@@ -1,0 +1,131 @@
+// Ablation (E5): how much of the benefit comes from each design choice?
+//
+//   * greedy strategy (urgency-first vs write-batched vs read-batched);
+//   * MILP refinement on top of the best greedy warm start;
+//   * pattern-chain merging (measured by the transfer count vs the
+//     one-transfer-per-copy baseline);
+//   * eager vs lazy Constraint-6 generation (model size and solve time, on
+//     the small Fig.1-scale instance where eager is tractable).
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "letdma/let/local_search.hpp"
+
+using namespace letdma;
+
+namespace {
+
+double max_ratio(const model::Application& app,
+                 const std::map<int, support::Time>& wc) {
+  double worst = 0;
+  for (const auto& [task, lam] : wc) {
+    worst = std::max(worst, static_cast<double>(lam) /
+                                static_cast<double>(
+                                    app.task(model::TaskId{task}).period));
+  }
+  return worst;
+}
+
+std::unique_ptr<model::Application> make_small() {
+  auto app = std::make_unique<model::Application>(model::Platform(2));
+  const auto t1 = app->add_task("tau1", support::ms(10), support::ms(2),
+                                model::CoreId{0});
+  const auto t2 = app->add_task("tau2", support::ms(5), support::ms(1),
+                                model::CoreId{1});
+  const auto t3 = app->add_task("tau3", support::ms(20), support::ms(4),
+                                model::CoreId{0});
+  app->add_label("x", 2000, t1, {t2});
+  app->add_label("y", 1000, t2, {t1, t3});
+  app->add_label("z", 4000, t3, {t2});
+  app->finalize();
+  return app;
+}
+
+}  // namespace
+
+int main() {
+  const double timeout = bench::milp_timeout_sec(30.0);
+  const auto app = bench::waters_with_alpha(0.2);
+  if (!app) {
+    std::printf("sensitivity infeasible\n");
+    return 1;
+  }
+  let::LetComms comms(*app);
+
+  std::printf("Scheduler ablation on WATERS (alpha = 0.2)\n\n");
+  support::TextTable table(
+      {"configuration", "transfers", "max lambda/T", "valid"});
+  auto add = [&](const std::string& name, const let::ScheduleResult& r) {
+    const auto report = validate_schedule(comms, r.layout, r.schedule);
+    const auto wc = let::worst_case_latencies(
+        comms, r.schedule, let::ReadinessSemantics::kProposed);
+    table.add_row({name, std::to_string(r.s0_transfers.size()),
+                   support::fmt_double(max_ratio(*app, wc), 4),
+                   report.ok() ? "yes" : "NO"});
+  };
+
+  add("Giotto-DMA-A (one transfer per copy)", baseline::giotto_dma_a(comms));
+  add("greedy / urgency-first",
+      let::GreedyScheduler(comms, {let::GreedyStrategy::kUrgencyFirst})
+          .build());
+  add("greedy / write-batched",
+      let::GreedyScheduler(comms, {let::GreedyStrategy::kWriteBatched})
+          .build());
+  add("greedy / read-batched",
+      let::GreedyScheduler(comms, {let::GreedyStrategy::kReadBatched})
+          .build());
+  {
+    let::LocalSearchOptions ls;
+    ls.goal = let::LocalSearchGoal::kMinMaxLatencyRatio;
+    add("greedy + local search (latency)",
+        improve_schedule(comms, let::GreedyScheduler::best_latency_ratio(comms),
+                         ls)
+            .schedule);
+    ls.goal = let::LocalSearchGoal::kMinTransfers;
+    add("greedy + local search (transfers)",
+        improve_schedule(comms,
+                         let::GreedyScheduler::best_transfer_count(comms), ls)
+            .schedule);
+  }
+
+  for (const let::MilpObjective obj : {let::MilpObjective::kMinTransfers,
+                                       let::MilpObjective::kMinLatencyRatio}) {
+    let::MilpSchedulerOptions opt;
+    opt.objective = obj;
+    opt.solver.time_limit_sec = timeout;
+    const auto r = let::MilpScheduler(comms, opt).solve();
+    if (r.feasible()) {
+      add(std::string("MILP / ") + bench::objective_name(obj),
+          *r.schedule);
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Eager vs lazy Constraint 6 on a small instance.
+  std::printf("Constraint-6 generation (small 3-task instance):\n\n");
+  support::TextTable c6({"mode", "model vars", "model rows", "solve time",
+                         "status"});
+  const auto small = make_small();
+  let::LetComms small_comms(*small);
+  for (const bool eager : {false, true}) {
+    let::MilpSchedulerOptions opt;
+    opt.objective = let::MilpObjective::kMinTransfers;
+    opt.solver.time_limit_sec = 20;
+    opt.eager_contiguity = eager;
+    let::MilpScheduler milp(small_comms, opt);
+    const int vars = milp.model_vars();
+    const int rows = milp.model_rows();
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = milp.solve();
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    c6.add_row({eager ? "eager" : "lazy", std::to_string(vars),
+                std::to_string(rows), support::fmt_double(sec, 2) + " s",
+                bench::status_name(r.status)});
+  }
+  std::printf("%s", c6.render().c_str());
+  return 0;
+}

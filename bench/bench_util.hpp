@@ -1,0 +1,58 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "letdma/analysis/rta.hpp"
+#include "letdma/baseline/giotto.hpp"
+#include "letdma/let/milp_scheduler.hpp"
+#include "letdma/let/validate.hpp"
+#include "letdma/support/table.hpp"
+#include "letdma/waters/waters.hpp"
+
+namespace letdma::bench {
+
+/// MILP time budget per configuration, overridable for quick runs:
+///   LETDMA_MILP_TIMEOUT=10 ./fig2_latency_ratios
+inline double milp_timeout_sec(double fallback = 45.0) {
+  if (const char* env = std::getenv("LETDMA_MILP_TIMEOUT")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// Builds the WATERS application with acquisition deadlines for `alpha`.
+/// Returns nullptr when the sensitivity procedure is infeasible.
+inline std::unique_ptr<model::Application> waters_with_alpha(double alpha) {
+  auto app = waters::make_waters_app();
+  const auto sens = analysis::acquisition_deadlines(*app, alpha);
+  if (!sens.feasible) return nullptr;
+  analysis::apply_acquisition_deadlines(*app, sens.gamma);
+  return app;
+}
+
+inline const char* objective_name(let::MilpObjective obj) {
+  switch (obj) {
+    case let::MilpObjective::kNone: return "NO-OBJ";
+    case let::MilpObjective::kMinTransfers: return "OBJ-DMAT";
+    case let::MilpObjective::kMinLatencyRatio: return "OBJ-DEL";
+  }
+  return "?";
+}
+
+inline const char* status_name(milp::MilpStatus s) {
+  switch (s) {
+    case milp::MilpStatus::kOptimal: return "optimal";
+    case milp::MilpStatus::kFeasible: return "timeout (incumbent)";
+    case milp::MilpStatus::kInfeasible: return "infeasible";
+    case milp::MilpStatus::kUnbounded: return "unbounded";
+    case milp::MilpStatus::kLimit: return "timeout (no solution)";
+  }
+  return "?";
+}
+
+}  // namespace letdma::bench

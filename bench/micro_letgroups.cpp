@@ -1,0 +1,89 @@
+// Micro-benchmarks (E6) for the LET machinery: communication-calendar
+// construction (Algorithm 1 over the hyperperiod), greedy scheduling, and
+// full-schedule validation, on synthetic task chains of growing size.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "letdma/let/greedy.hpp"
+#include "letdma/let/validate.hpp"
+#include "letdma/support/rng.hpp"
+
+using namespace letdma;
+
+namespace {
+
+/// A chain of n tasks across `cores` cores with harmonic-ish periods; each
+/// task feeds the next.
+std::unique_ptr<model::Application> make_chain(int n, int cores,
+                                               std::uint64_t seed) {
+  support::Rng rng(seed);
+  auto app = std::make_unique<model::Application>(model::Platform(cores));
+  const support::Time periods[] = {support::ms(5), support::ms(10),
+                                   support::ms(20), support::ms(40)};
+  std::vector<model::TaskId> ids;
+  for (int i = 0; i < n; ++i) {
+    const support::Time t =
+        periods[rng.uniform_int(0, 3)];
+    ids.push_back(app->add_task("t" + std::to_string(i), t, t / 10,
+                                model::CoreId{i % cores}));
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    app->add_label("l" + std::to_string(i),
+                   rng.uniform_int(256, 8192), ids[static_cast<std::size_t>(i)],
+                   {ids[static_cast<std::size_t>(i + 1)]});
+  }
+  app->finalize();
+  return app;
+}
+
+void BM_LetCalendar(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto app = make_chain(n, 4, 11);
+  for (auto _ : state) {
+    let::LetComms comms(*app);
+    benchmark::DoNotOptimize(comms.comms_at_s0().size());
+  }
+}
+BENCHMARK(BM_LetCalendar)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_GreedyBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto app = make_chain(n, 4, 11);
+  const let::LetComms comms(*app);
+  for (auto _ : state) {
+    const let::ScheduleResult r = let::GreedyScheduler(comms).build();
+    benchmark::DoNotOptimize(r.s0_transfers.size());
+  }
+}
+BENCHMARK(BM_GreedyBuild)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ValidateSchedule(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto app = make_chain(n, 4, 11);
+  const let::LetComms comms(*app);
+  const let::ScheduleResult r = let::GreedyScheduler(comms).build();
+  for (auto _ : state) {
+    const let::ValidationReport rep =
+        validate_schedule(comms, r.layout, r.schedule);
+    benchmark::DoNotOptimize(rep.ok());
+  }
+}
+BENCHMARK(BM_ValidateSchedule)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_WorstCaseLatencies(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto app = make_chain(n, 4, 11);
+  const let::LetComms comms(*app);
+  const let::ScheduleResult r = let::GreedyScheduler(comms).build();
+  for (auto _ : state) {
+    const auto wc = let::worst_case_latencies(
+        comms, r.schedule, let::ReadinessSemantics::kProposed);
+    benchmark::DoNotOptimize(wc.size());
+  }
+}
+BENCHMARK(BM_WorstCaseLatencies)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

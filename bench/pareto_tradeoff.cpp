@@ -1,0 +1,55 @@
+// Ablation (ours): the latency / transfer-count trade-off discussed in
+// Section VI. Capping the number of transfer indices G forces coarser
+// groupings: fewer transfers mean fewer per-transfer overheads for the
+// LAST consumer but coarser-grained readiness for everyone else. The sweep
+// exposes the Pareto front between max lambda_i/T_i and the transfer count
+// on the WATERS case study.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "letdma/let/local_search.hpp"
+
+using namespace letdma;
+
+namespace {
+
+double max_ratio(const model::Application& app,
+                 const std::map<int, support::Time>& wc) {
+  double worst = 0;
+  for (const auto& [task, lam] : wc) {
+    worst = std::max(worst, static_cast<double>(lam) /
+                                static_cast<double>(
+                                    app.task(model::TaskId{task}).period));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  const double timeout = bench::milp_timeout_sec(20.0);
+  const auto app = bench::waters_with_alpha(0.2);
+  if (!app) {
+    std::printf("sensitivity infeasible\n");
+    return 1;
+  }
+  let::LetComms comms(*app);
+  std::printf(
+      "Latency/transfer-count trade-off on WATERS (alpha = 0.2, "
+      "%.0fs MILP budget per point)\n\n",
+      timeout);
+  support::TextTable table({"max transfers G", "status", "transfers used",
+                            "max lambda/T"});
+  for (const int cap : {17, 14, 12, 10, 8, 6}) {
+    let::MilpSchedulerOptions opt;
+    opt.objective = let::MilpObjective::kMinLatencyRatio;
+    opt.solver.time_limit_sec = timeout;
+    opt.max_transfers = cap;
+    const auto r = let::MilpScheduler(comms, opt).solve();
+    table.add_row({std::to_string(cap), bench::status_name(r.status),
+                   r.feasible() ? std::to_string(r.dma_transfers_at_s0) : "-",
+                   r.feasible() ? support::fmt_double(r.objective, 4) : "-"});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Extension experiment (E7): how the approaches scale with the number of
+// inter-core labels. For generated applications of growing size we report
+// the DMA transfer count and the worst latency/period ratio for the greedy
+// strategies and the Giotto-DMA-A baseline, plus Giotto-CPU's epoch cost.
+//
+// The interesting shape: the per-transfer overhead makes Giotto-DMA-A's
+// cost grow linearly in the label count, while chain merging keeps the
+// proposed configuration's transfer count sub-linear.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "letdma/model/generator.hpp"
+
+using namespace letdma;
+
+namespace {
+
+double max_ratio(const model::Application& app,
+                 const std::map<int, support::Time>& wc) {
+  double worst = 0;
+  for (const auto& [task, lam] : wc) {
+    worst = std::max(worst, static_cast<double>(lam) /
+                                static_cast<double>(
+                                    app.task(model::TaskId{task}).period));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Scaling sweep: generated 4-core systems, 12 tasks, "
+              "growing label count (3 seeds averaged)\n\n");
+  support::TextTable table({"labels", "comms", "greedy transfers",
+                            "giotto-A transfers", "greedy max l/T",
+                            "giotto-A max l/T", "giotto-CPU max l/T"});
+  for (const int labels : {4, 8, 16, 32, 64}) {
+    double comms_n = 0, greedy_tr = 0, giotto_tr = 0;
+    double greedy_ratio = 0, giotto_ratio = 0, cpu_ratio = 0;
+    int samples = 0;
+    for (int seed = 0; seed < 3; ++seed) {
+      model::GeneratorOptions opt;
+      opt.num_cores = 4;
+      opt.num_tasks = 12;
+      opt.num_labels = labels;
+      opt.max_label_bytes = 16384;
+      opt.seed = static_cast<std::uint64_t>(labels) * 131 + seed;
+      const auto app = generate_application(opt);
+      let::LetComms comms(*app);
+      if (comms.comms_at_s0().empty()) continue;
+      ++samples;
+      comms_n += static_cast<double>(comms.comms_at_s0().size());
+
+      const let::ScheduleResult greedy =
+          let::GreedyScheduler::best_latency_ratio(comms);
+      greedy_tr += static_cast<double>(greedy.s0_transfers.size());
+      greedy_ratio += max_ratio(
+          *app, let::worst_case_latencies(comms, greedy.schedule,
+                                          let::ReadinessSemantics::kProposed));
+
+      const let::ScheduleResult a = baseline::giotto_dma_a(comms);
+      giotto_tr += static_cast<double>(a.s0_transfers.size());
+      giotto_ratio +=
+          max_ratio(*app, baseline::giotto_dma_latencies(comms, a));
+
+      std::map<int, support::Time> cpu =
+          baseline::giotto_cpu_latencies(comms);
+      cpu_ratio += max_ratio(*app, cpu);
+    }
+    if (samples == 0) continue;
+    const double n = static_cast<double>(samples);
+    table.add_row({std::to_string(labels),
+                   support::fmt_double(comms_n / n, 1),
+                   support::fmt_double(greedy_tr / n, 1),
+                   support::fmt_double(giotto_tr / n, 1),
+                   support::fmt_double(greedy_ratio / n, 4),
+                   support::fmt_double(giotto_ratio / n, 4),
+                   support::fmt_double(cpu_ratio / n, 4)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

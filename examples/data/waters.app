@@ -1,0 +1,20 @@
+# letdma application v1
+platform cores=4 odp_ns=3360 oisr_ns=10000 wc=1 cpu_wc=4 cpu_oh_ns=200
+task name=LID period_ns=33000000 wcet_ns=6000000 core=0 priority=0
+task name=DASM period_ns=5000000 wcet_ns=1000000 core=3 priority=0
+task name=CAN period_ns=10000000 wcet_ns=1000000 core=3 priority=1
+task name=EKF period_ns=15000000 wcet_ns=2000000 core=2 priority=0
+task name=PLAN period_ns=15000000 wcet_ns=4000000 core=2 priority=1
+task name=SFM period_ns=33000000 wcet_ns=7000000 core=0 priority=1
+task name=LOC period_ns=400000000 wcet_ns=60000000 core=1 priority=2
+task name=LDET period_ns=66000000 wcet_ns=10000000 core=1 priority=0
+task name=DET period_ns=200000000 wcet_ns=30000000 core=1 priority=1
+label name=lidar_points bytes=262144 writer=LID readers=LOC,DET
+label name=can_status bytes=1024 writer=CAN readers=EKF,DASM
+label name=pose bytes=2048 writer=LOC readers=EKF,PLAN
+label name=state_est bytes=4096 writer=EKF readers=PLAN
+label name=sfm_depth bytes=65536 writer=SFM readers=LDET,DET
+label name=objects bytes=16384 writer=DET readers=PLAN
+label name=lanes bytes=8192 writer=LDET readers=PLAN
+label name=trajectory bytes=8192 writer=PLAN readers=DASM
+label name=commands bytes=512 writer=DASM readers=CAN

@@ -1,0 +1,162 @@
+// Command-line front end: load an application description, schedule it,
+// and print the configuration, latencies and validation verdict.
+//
+//   letdma_tool <app-file> [greedy|milp] [none|dmat|del] [timeout-seconds]
+//   letdma_tool <app-file> load <schedule-file>
+//   letdma_tool <app-file> <scheduler> <obj> <timeout> --save <file>
+//
+// With "-" (or no arguments) a built-in demo model (the Fig. 1 system) is
+// used. See src/model/include/letdma/model/io.hpp for the application
+// format and src/let/include/letdma/let/schedule_io.hpp for schedules.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "letdma/let/footprint.hpp"
+#include "letdma/let/milp_scheduler.hpp"
+#include "letdma/let/schedule_io.hpp"
+#include "letdma/let/validate.hpp"
+#include "letdma/model/io.hpp"
+#include "letdma/support/error.hpp"
+#include "letdma/support/table.hpp"
+
+using namespace letdma;
+
+namespace {
+
+const char* kDemoApp = R"(# Fig. 1 demo system
+platform cores=2 odp_ns=3360 oisr_ns=10000 wc=1 cpu_wc=4 cpu_oh_ns=200
+task name=tau1 period_ns=10000000 wcet_ns=2000000 core=0
+task name=tau3 period_ns=20000000 wcet_ns=4000000 core=0
+task name=tau5 period_ns=40000000 wcet_ns=8000000 core=0
+task name=tau2 period_ns=5000000 wcet_ns=1000000 core=1
+task name=tau4 period_ns=20000000 wcet_ns=4000000 core=1
+task name=tau6 period_ns=40000000 wcet_ns=8000000 core=1
+label name=lA bytes=2000 writer=tau1 readers=tau2
+label name=lB bytes=4000 writer=tau3 readers=tau4
+label name=lC bytes=8000 writer=tau5 readers=tau6
+label name=lD bytes=1000 writer=tau2 readers=tau1
+label name=lE bytes=3000 writer=tau4 readers=tau3
+label name=lF bytes=6000 writer=tau6 readers=tau5
+)";
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: letdma_tool [app-file] [greedy|milp] "
+               "[none|dmat|del] [timeout-seconds]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string text = kDemoApp;
+  if (argc > 1 && std::string(argv[1]) != "-") {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    text = os.str();
+  }
+  const std::string scheduler = argc > 2 ? argv[2] : "greedy";
+  const std::string objective = argc > 3 ? argv[3] : "del";
+  const double timeout = argc > 4 ? std::atof(argv[4]) : 30.0;
+
+  std::unique_ptr<model::Application> app;
+  try {
+    app = model::read_application(text);
+  } catch (const support::Error& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 2;
+  }
+  let::LetComms comms(*app);
+  if (comms.comms_at_s0().empty()) {
+    std::printf("no inter-core LET communications; nothing to schedule\n");
+    return 0;
+  }
+
+  std::unique_ptr<let::ScheduleResult> result;
+  if (scheduler == "load") {
+    std::ifstream in(objective);  // argv[3] is the schedule file here
+    if (!in) {
+      std::fprintf(stderr, "cannot open schedule %s\n", objective.c_str());
+      return 2;
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    try {
+      result = std::make_unique<let::ScheduleResult>(
+          let::read_schedule(comms, os.str()));
+    } catch (const support::Error& e) {
+      std::fprintf(stderr, "schedule parse error: %s\n", e.what());
+      return 2;
+    }
+  } else if (scheduler == "greedy") {
+    result = std::make_unique<let::ScheduleResult>(
+        let::GreedyScheduler::best_latency_ratio(comms));
+  } else if (scheduler == "milp") {
+    let::MilpSchedulerOptions opt;
+    if (objective == "none") opt.objective = let::MilpObjective::kNone;
+    else if (objective == "dmat") opt.objective = let::MilpObjective::kMinTransfers;
+    else if (objective == "del") opt.objective = let::MilpObjective::kMinLatencyRatio;
+    else return usage();
+    opt.solver.time_limit_sec = timeout;
+    const auto r = let::MilpScheduler(comms, opt).solve();
+    if (!r.feasible()) {
+      std::printf("MILP: no feasible configuration (status %d)\n",
+                  static_cast<int>(r.status));
+      return 1;
+    }
+    result = std::make_unique<let::ScheduleResult>(*r.schedule);
+  } else {
+    return usage();
+  }
+
+  std::printf("transfers at s0: %zu\n", result->s0_transfers.size());
+  for (std::size_t g = 0; g < result->s0_transfers.size(); ++g) {
+    const let::DmaTransfer& t = result->s0_transfers[g];
+    std::printf("  d%-2zu %s %6lld B :", g + 1,
+                t.dir == let::Direction::kWrite ? "W" : "R",
+                static_cast<long long>(t.bytes));
+    for (const let::Communication& c : t.comms) {
+      std::printf(" %s", let::to_string(*app, c).c_str());
+    }
+    std::printf("\n");
+  }
+  const auto wc = let::worst_case_latencies(
+      comms, result->schedule, let::ReadinessSemantics::kProposed);
+  support::TextTable table({"task", "lambda", "lambda/T"});
+  for (const auto& [task, lam] : wc) {
+    const model::Task& t = app->task(model::TaskId{task});
+    table.add_row({t.name, support::format_time(lam),
+                   support::fmt_double(static_cast<double>(lam) /
+                                           static_cast<double>(t.period),
+                                       4)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\naddress map:\n%s",
+              let::render_address_map(result->layout).c_str());
+
+  // Optional --save <file> at the end of the argument list.
+  for (int a = 1; a + 1 < argc; ++a) {
+    if (std::string(argv[a]) == "--save") {
+      std::ofstream outf(argv[a + 1]);
+      if (!outf) {
+        std::fprintf(stderr, "cannot write %s\n", argv[a + 1]);
+        return 2;
+      }
+      outf << let::write_schedule(*app, *result);
+      std::printf("schedule saved to %s\n", argv[a + 1]);
+    }
+  }
+
+  const auto report =
+      let::validate_schedule(comms, result->layout, result->schedule);
+  std::printf("validation: %s\n", report.summary().c_str());
+  return report.ok() ? 0 : 1;
+}

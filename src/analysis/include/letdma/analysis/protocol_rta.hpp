@@ -1,0 +1,70 @@
+// Protocol-aware schedulability analysis (Section V-C).
+//
+// Under the proposed protocol two effects act on the application tasks:
+//   1. the LET task of each core (and the DMA completion ISRs charged to
+//      it) preempt everything at the highest priority — the LET task
+//      behaves as a generalized multiframe task whose execution segments
+//      can each be modeled as an independent sporadic interferer;
+//   2. every communicating task suffers a release jitter equal to its
+//      worst-case data-acquisition latency lambda_i.
+//
+// This module extracts the per-core LET interference from a concrete
+// transfer schedule and runs the response-time analysis with both effects
+// applied. The interference model is a sound coarse bound: per core, one
+// sporadic interferer whose cost is the largest single-instant CPU demand
+// of the LET machinery on that core and whose minimum inter-arrival is the
+// smallest gap between two instants with non-zero demand. The exact
+// per-instant demand list is also exposed for finer-grained analyses.
+#pragma once
+
+#include <vector>
+
+#include "letdma/analysis/rta.hpp"
+#include "letdma/let/latency.hpp"
+
+namespace letdma::analysis {
+
+/// CPU demand of the LET machinery on one core at one instant.
+struct LetDemand {
+  Time instant = 0;
+  Time cpu_time = 0;  // o_DP per programmed transfer + o_ISR per ISR
+};
+
+/// Aggregate sporadic bound of the per-core LET interference.
+struct LetInterference {
+  Time max_burst = 0;       // largest single-instant demand
+  Time min_separation = 0;  // smallest gap between demanding instants
+  std::vector<LetDemand> demands;  // full per-instant list
+
+  bool active() const { return max_burst > 0; }
+};
+
+/// Per-core (indexed by CoreId::value) LET interference induced by a
+/// transfer schedule, mirroring the simulator's charging rules: o_DP on
+/// the core whose local memory a transfer touches, o_ISR on the core that
+/// dispatches the next transfer (the programming core for the last one).
+std::vector<LetInterference> let_interference(
+    const let::LetComms& comms, const let::TransferSchedule& schedule);
+
+/// Maximum CPU demand of the LET machinery in ANY window of length
+/// `window`, computed exactly from the per-instant demand calendar (which
+/// repeats with `hyperperiod`). Tighter than the sporadic
+/// (max_burst, min_separation) bound.
+Time max_demand_in_window(const LetInterference& li, Time window,
+                          Time hyperperiod);
+
+/// How the LET interference enters the response-time recurrence.
+enum class InterferenceModel {
+  kSporadic,     // one sporadic task (max_burst, min_separation) — Sec. V-C
+  kDemandBound,  // exact calendar demand in the response window (tighter)
+};
+
+/// Full protocol-aware analysis: response times with (a) highest-priority
+/// LET interference per core and (b) release jitter equal to each task's
+/// worst-case data-acquisition latency under `semantics`.
+RtaResult analyze_with_protocol(
+    const let::LetComms& comms, const let::TransferSchedule& schedule,
+    let::ReadinessSemantics semantics = let::ReadinessSemantics::kProposed,
+    InterferenceModel model = InterferenceModel::kSporadic);
+
+}  // namespace letdma::analysis

@@ -1,0 +1,65 @@
+// Response-time analysis for partitioned fixed-priority periodic tasks with
+// release jitter, plus the acquisition-deadline sensitivity procedure of
+// Section VII.
+//
+// The classic recurrence (Audsley et al.) is used per core:
+//   w = C_i + sum_{j in hp(i)} ceil((w + J_j) / T_j) * C_j
+//   R_i = J_i + w
+// A task set is schedulable when R_i <= D_i (= T_i) for every task. The
+// data-acquisition latency of the LET protocol acts as release jitter, so
+// gamma_i bounds J_i.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "letdma/model/application.hpp"
+
+namespace letdma::analysis {
+
+using support::Time;
+
+/// Analysis view of one task.
+struct TaskParams {
+  Time wcet = 0;
+  Time period = 0;
+  Time jitter = 0;
+  Time deadline = 0;  // relative; 0 means "= period"
+};
+
+/// Worst-case response time of `task` under interference from
+/// `higher_priority` tasks on the same core. Returns nullopt when the
+/// recurrence exceeds `cap` (unschedulable).
+std::optional<Time> response_time(const TaskParams& task,
+                                  const std::vector<TaskParams>& higher_priority,
+                                  Time cap);
+
+struct RtaResult {
+  bool schedulable = false;
+  /// Per TaskId::value; only present when the recurrence converged.
+  std::map<int, Time> response;
+  std::map<int, Time> slack;  // D_i - R_i (may be negative when missed)
+};
+
+/// Full-application RTA; `jitter` (per TaskId::value) defaults to zero.
+RtaResult analyze(const model::Application& app,
+                  const std::map<int, Time>& jitter = {});
+
+struct SensitivityResult {
+  bool feasible = false;
+  /// gamma_i = alpha * S_i per TaskId::value (S_i from the zero-jitter RTA).
+  std::map<int, Time> gamma;
+};
+
+/// The paper's sensitivity procedure: compute zero-jitter slacks, set
+/// gamma_i = alpha * S_i, and re-run the RTA with J_i = gamma_i. Feasible
+/// when both analyses converge schedulably.
+SensitivityResult acquisition_deadlines(const model::Application& app,
+                                        double alpha);
+
+/// Applies a gamma assignment to the application's tasks.
+void apply_acquisition_deadlines(model::Application& app,
+                                 const std::map<int, Time>& gamma);
+
+}  // namespace letdma::analysis

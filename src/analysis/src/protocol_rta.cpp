@@ -1,0 +1,164 @@
+#include "letdma/analysis/protocol_rta.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "letdma/support/error.hpp"
+#include "letdma/support/math.hpp"
+
+namespace letdma::analysis {
+
+std::vector<LetInterference> let_interference(
+    const let::LetComms& comms, const let::TransferSchedule& schedule) {
+  const model::Application& app = comms.app();
+  const model::Platform& plat = app.platform();
+  const model::DmaParams& dma = plat.dma();
+
+  std::vector<LetInterference> out(
+      static_cast<std::size_t>(plat.num_cores()));
+  for (const Time t : comms.required_instants()) {
+    if (!schedule.has_instant(t)) continue;
+    const auto& transfers = schedule.at(t);
+    std::vector<Time> demand(static_cast<std::size_t>(plat.num_cores()), 0);
+    for (std::size_t g = 0; g < transfers.size(); ++g) {
+      const int prog =
+          plat.core_of(transfers[g].local_mem).value;
+      demand[static_cast<std::size_t>(prog)] += dma.programming_overhead;
+      const int isr =
+          (g + 1 < transfers.size())
+              ? plat.core_of(transfers[g + 1].local_mem).value
+              : prog;
+      demand[static_cast<std::size_t>(isr)] += dma.isr_overhead;
+    }
+    for (int k = 0; k < plat.num_cores(); ++k) {
+      if (demand[static_cast<std::size_t>(k)] > 0) {
+        out[static_cast<std::size_t>(k)].demands.push_back(
+            {t, demand[static_cast<std::size_t>(k)]});
+      }
+    }
+  }
+
+  const Time h = app.hyperperiod();
+  for (LetInterference& li : out) {
+    for (const LetDemand& d : li.demands) {
+      li.max_burst = std::max(li.max_burst, d.cpu_time);
+    }
+    if (li.demands.size() <= 1) {
+      // One demanding instant per hyperperiod: it recurs with period H.
+      li.min_separation = li.demands.empty() ? 0 : h;
+      continue;
+    }
+    Time min_gap = std::numeric_limits<Time>::max();
+    for (std::size_t i = 0; i + 1 < li.demands.size(); ++i) {
+      min_gap = std::min(min_gap,
+                         li.demands[i + 1].instant - li.demands[i].instant);
+    }
+    // Wrap-around to the next hyperperiod.
+    min_gap = std::min(min_gap, h + li.demands.front().instant -
+                                    li.demands.back().instant);
+    li.min_separation = min_gap;
+  }
+  return out;
+}
+
+Time max_demand_in_window(const LetInterference& li, Time window,
+                          Time hyperperiod) {
+  LETDMA_ENSURE(window >= 0, "negative window");
+  LETDMA_ENSURE(hyperperiod > 0, "hyperperiod must be positive");
+  if (window == 0 || li.demands.empty()) return 0;
+
+  // Unroll the periodic calendar far enough to cover a window starting
+  // anywhere in the first hyperperiod.
+  const std::int64_t periods =
+      support::ceil_div(window, hyperperiod) + 1;
+  std::vector<LetDemand> unrolled;
+  unrolled.reserve(li.demands.size() * static_cast<std::size_t>(periods));
+  for (std::int64_t p = 0; p < periods; ++p) {
+    for (const LetDemand& d : li.demands) {
+      unrolled.push_back({d.instant + p * hyperperiod, d.cpu_time});
+    }
+  }
+  // Prefix sums + binary search: the maximum is attained by a window
+  // starting at a demand instant of the first period.
+  std::vector<Time> prefix(unrolled.size() + 1, 0);
+  for (std::size_t i = 0; i < unrolled.size(); ++i) {
+    prefix[i + 1] = prefix[i] + unrolled[i].cpu_time;
+  }
+  Time best = 0;
+  for (std::size_t anchor = 0; anchor < li.demands.size(); ++anchor) {
+    const Time start = unrolled[anchor].instant;
+    const auto end_it = std::lower_bound(
+        unrolled.begin(), unrolled.end(), start + window,
+        [](const LetDemand& d, Time v) { return d.instant < v; });
+    const std::size_t end =
+        static_cast<std::size_t>(end_it - unrolled.begin());
+    best = std::max(best, prefix[end] - prefix[anchor]);
+  }
+  return best;
+}
+
+namespace {
+
+/// Response-time recurrence with calendar-exact LET interference.
+std::optional<Time> response_time_with_dbf(
+    const TaskParams& task, const std::vector<TaskParams>& higher,
+    const LetInterference& li, Time hyperperiod, Time cap) {
+  Time w = task.wcet;
+  for (;;) {
+    Time next = task.wcet + max_demand_in_window(li, w, hyperperiod);
+    for (const TaskParams& h : higher) {
+      next += support::ceil_div(w + h.jitter, h.period) * h.wcet;
+    }
+    if (next + task.jitter > cap) return std::nullopt;
+    if (next == w) return next + task.jitter;
+    w = next;
+  }
+}
+
+}  // namespace
+
+RtaResult analyze_with_protocol(const let::LetComms& comms,
+                                const let::TransferSchedule& schedule,
+                                let::ReadinessSemantics semantics,
+                                InterferenceModel model) {
+  const model::Application& app = comms.app();
+  const std::vector<LetInterference> interference =
+      let_interference(comms, schedule);
+  const std::map<int, Time> jitter =
+      let::worst_case_latencies(comms, schedule, semantics);
+  const Time h = app.hyperperiod();
+
+  RtaResult out;
+  out.schedulable = true;
+  for (int k = 0; k < app.platform().num_cores(); ++k) {
+    std::vector<TaskParams> higher;
+    const LetInterference& li =
+        interference[static_cast<std::size_t>(k)];
+    if (model == InterferenceModel::kSporadic && li.active()) {
+      LETDMA_ENSURE(li.min_separation > 0,
+                    "LET interference with zero separation");
+      higher.push_back(
+          {li.max_burst, li.min_separation, 0, li.min_separation});
+    }
+    for (const model::TaskId tid : app.tasks_on(model::CoreId{k})) {
+      const model::Task& t = app.task(tid);
+      const Time j = jitter.count(tid.value) ? jitter.at(tid.value) : 0;
+      const TaskParams params{t.wcet, t.period, j, t.period};
+      const auto r = model == InterferenceModel::kDemandBound
+                         ? response_time_with_dbf(params, higher, li, h,
+                                                  t.period)
+                         : response_time(params, higher, t.period);
+      if (r.has_value()) {
+        out.response[tid.value] = *r;
+        out.slack[tid.value] = t.period - *r;
+      } else {
+        out.schedulable = false;
+        out.slack[tid.value] = -1;
+      }
+      higher.push_back(params);
+    }
+  }
+  return out;
+}
+
+}  // namespace letdma::analysis

@@ -1,0 +1,79 @@
+#include "letdma/analysis/rta.hpp"
+
+#include "letdma/support/error.hpp"
+#include "letdma/support/math.hpp"
+
+namespace letdma::analysis {
+
+std::optional<Time> response_time(
+    const TaskParams& task, const std::vector<TaskParams>& higher_priority,
+    Time cap) {
+  LETDMA_ENSURE(task.wcet >= 0 && task.period > 0,
+                "response_time needs wcet >= 0 and period > 0");
+  Time w = task.wcet;
+  for (;;) {
+    Time next = task.wcet;
+    for (const TaskParams& h : higher_priority) {
+      LETDMA_ENSURE(h.period > 0, "interfering task needs a positive period");
+      next += support::ceil_div(w + h.jitter, h.period) * h.wcet;
+    }
+    if (next + task.jitter > cap) return std::nullopt;
+    if (next == w) return next + task.jitter;
+    w = next;
+  }
+}
+
+RtaResult analyze(const model::Application& app,
+                  const std::map<int, Time>& jitter) {
+  RtaResult out;
+  out.schedulable = true;
+  auto jitter_of = [&](int id) {
+    const auto it = jitter.find(id);
+    return it == jitter.end() ? Time{0} : it->second;
+  };
+  for (int k = 0; k < app.platform().num_cores(); ++k) {
+    const auto core_tasks = app.tasks_on(model::CoreId{k});  // by priority
+    std::vector<TaskParams> higher;
+    for (const model::TaskId tid : core_tasks) {
+      const model::Task& t = app.task(tid);
+      const TaskParams params{t.wcet, t.period, jitter_of(tid.value),
+                              t.period};
+      const auto r = response_time(params, higher, t.period);
+      if (r.has_value()) {
+        out.response[tid.value] = *r;
+        out.slack[tid.value] = t.period - *r;
+      } else {
+        out.schedulable = false;
+        out.slack[tid.value] = -1;
+      }
+      higher.push_back(params);
+    }
+  }
+  return out;
+}
+
+SensitivityResult acquisition_deadlines(const model::Application& app,
+                                        double alpha) {
+  LETDMA_ENSURE(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0, 1]");
+  SensitivityResult out;
+  const RtaResult base = analyze(app);
+  if (!base.schedulable) return out;
+  std::map<int, Time> jitter;
+  for (const auto& [task, slack] : base.slack) {
+    const Time gamma = static_cast<Time>(alpha * static_cast<double>(slack));
+    out.gamma[task] = gamma;
+    jitter[task] = gamma;
+  }
+  const RtaResult with_jitter = analyze(app, jitter);
+  out.feasible = with_jitter.schedulable;
+  return out;
+}
+
+void apply_acquisition_deadlines(model::Application& app,
+                                 const std::map<int, Time>& gamma) {
+  for (const auto& [task, g] : gamma) {
+    app.set_acquisition_deadline(model::TaskId{task}, g);
+  }
+}
+
+}  // namespace letdma::analysis

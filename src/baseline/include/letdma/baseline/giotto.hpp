@@ -1,0 +1,44 @@
+// The three comparison approaches of Section VII:
+//
+//   Giotto-CPU   — LET copies performed sequentially by the CPUs in the
+//                  original Giotto order (all writes, then all reads); every
+//                  task released at an instant waits for all of them.
+//   Giotto-DMA-A — DMA-driven copies in Giotto order with NO knowledge of
+//                  the memory layout: one DMA transfer per communication,
+//                  each paying the full per-transfer overhead.
+//   Giotto-DMA-B — DMA-driven copies in Giotto order, but grouping
+//                  contiguous runs of an *optimized* memory layout (the one
+//                  found by the MILP) into single transfers.
+//
+// All three keep the Giotto readiness semantics: a task is ready only when
+// every communication of the instant has completed.
+#pragma once
+
+#include <map>
+
+#include "letdma/let/greedy.hpp"
+#include "letdma/let/latency.hpp"
+
+namespace letdma::baseline {
+
+using support::Time;
+
+/// Giotto-DMA-A: canonical layout, one transfer per communication, writes
+/// before reads.
+let::ScheduleResult giotto_dma_a(const let::LetComms& comms);
+
+/// Giotto-DMA-B: Giotto order over `optimized` (contiguous runs merge).
+let::ScheduleResult giotto_dma_b(const let::LetComms& comms,
+                                 const let::MemoryLayout& optimized);
+
+/// Worst-case data-acquisition latency per task (TaskId::value) under
+/// Giotto-CPU: the CPU copies every communication of the instant
+/// back-to-back and all tasks released there wait for the total.
+std::map<int, Time> giotto_cpu_latencies(const let::LetComms& comms);
+
+/// Worst-case latency per task for a Giotto-DMA schedule (readiness only
+/// after the whole instant).
+std::map<int, Time> giotto_dma_latencies(const let::LetComms& comms,
+                                         const let::ScheduleResult& sched);
+
+}  // namespace letdma::baseline

@@ -1,0 +1,101 @@
+#include "letdma/baseline/giotto.hpp"
+
+#include <algorithm>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::baseline {
+namespace {
+
+using let::Communication;
+using let::Direction;
+using let::LetComms;
+using let::MemoryLayout;
+using let::ScheduleResult;
+
+/// Canonical layout: every memory ordered by its required_slots order.
+MemoryLayout canonical_layout(const model::Application& app) {
+  MemoryLayout layout(app);
+  for (int m = 0; m < app.platform().num_memories(); ++m) {
+    const model::MemoryId mem{m};
+    auto slots = MemoryLayout::required_slots(app, mem);
+    if (!slots.empty()) layout.set_order(mem, std::move(slots));
+  }
+  return layout;
+}
+
+/// Giotto s0 transfer order over a given layout: all writes then all reads;
+/// within each phase the communications of one local memory are emitted
+/// together and split into transfers per `one_per_comm`.
+std::vector<let::DmaTransfer> giotto_s0_order(const LetComms& comms,
+                                              const MemoryLayout& layout,
+                                              bool one_per_comm) {
+  const model::Application& app = comms.app();
+  std::vector<let::DmaTransfer> out;
+  for (const Direction dir : {Direction::kWrite, Direction::kRead}) {
+    for (int m = 0; m < app.platform().num_cores(); ++m) {
+      std::vector<Communication> batch;
+      for (const Communication& c : comms.comms_at_s0()) {
+        if (c.dir == dir &&
+            let::local_memory_of(app, c) == model::MemoryId{m}) {
+          batch.push_back(c);
+        }
+      }
+      if (batch.empty()) continue;
+      if (one_per_comm) {
+        for (const Communication& c : batch) {
+          out.push_back(let::make_transfer(layout, {c}));
+        }
+      } else {
+        for (let::DmaTransfer& t :
+             let::split_into_transfers(layout, std::move(batch))) {
+          out.push_back(std::move(t));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ScheduleResult build(const LetComms& comms, MemoryLayout layout,
+                     bool one_per_comm) {
+  std::vector<let::DmaTransfer> s0 =
+      giotto_s0_order(comms, layout, one_per_comm);
+  let::TransferSchedule sched = let::derive_schedule(comms, layout, s0);
+  return {std::move(layout), std::move(s0), std::move(sched)};
+}
+
+}  // namespace
+
+ScheduleResult giotto_dma_a(const LetComms& comms) {
+  return build(comms, canonical_layout(comms.app()), /*one_per_comm=*/true);
+}
+
+ScheduleResult giotto_dma_b(const LetComms& comms,
+                            const MemoryLayout& optimized) {
+  return build(comms, optimized, /*one_per_comm=*/false);
+}
+
+std::map<int, Time> giotto_cpu_latencies(const LetComms& comms) {
+  const model::Application& app = comms.app();
+  const let::LatencyModel lat(app.platform());
+  std::map<int, Time> out;
+  for (int i = 0; i < app.num_tasks(); ++i) out[i] = 0;
+  for (const Time t : comms.required_instants()) {
+    const Time total = lat.cpu_copy_duration(app, comms.comms_at(t));
+    for (int i = 0; i < app.num_tasks(); ++i) {
+      if (t % app.task(model::TaskId{i}).period == 0) {
+        out[i] = std::max(out[i], total);
+      }
+    }
+  }
+  return out;
+}
+
+std::map<int, Time> giotto_dma_latencies(const LetComms& comms,
+                                         const ScheduleResult& sched) {
+  return let::worst_case_latencies(comms, sched.schedule,
+                                   let::ReadinessSemantics::kGiotto);
+}
+
+}  // namespace letdma::baseline

@@ -1,0 +1,47 @@
+// LET communications (Section III-B / IV).
+//
+// A communication is one directed label copy carried out by the DMA:
+//   W(task, label): local copy in the producer's memory -> global label
+//   R(label, task): global label -> local copy in the consumer's memory
+// The pair (direction, task, label) identifies a communication uniquely;
+// a write appears once per label (single writer), a read once per
+// (label, consumer) pair.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "letdma/model/application.hpp"
+
+namespace letdma::let {
+
+using support::Time;
+
+enum class Direction { kWrite, kRead };
+
+struct Communication {
+  Direction dir = Direction::kWrite;
+  model::TaskId task;    // producer for kWrite, consumer for kRead
+  model::LabelId label;
+
+  friend bool operator==(const Communication& a, const Communication& b) {
+    return a.dir == b.dir && a.task == b.task && a.label == b.label;
+  }
+  friend auto operator<=>(const Communication& a, const Communication& b) {
+    if (a.dir != b.dir) return a.dir <=> b.dir;
+    if (!(a.task == b.task)) return a.task <=> b.task;
+    return a.label <=> b.label;
+  }
+};
+
+/// Local memory this communication touches (the other side is global).
+model::MemoryId local_memory_of(const model::Application& app,
+                                const Communication& c);
+
+/// Human-readable rendering, e.g. "W(EKF, x_ekf)" / "R(x_ekf, PLAN)".
+std::string to_string(const model::Application& app, const Communication& c);
+
+/// Sorts and deduplicates a communication list in canonical order.
+void canonicalize(std::vector<Communication>& comms);
+
+}  // namespace letdma::let

@@ -1,0 +1,50 @@
+// The eta functions of Eqs. (1)-(2) and the derived sets of communication
+// instants.
+//
+// For a producer p and consumer c of one label:
+//  * a LET write is required at the producer releases
+//      floor(v * T_c / T_p) * T_p          (v = 0, 1, 2, ...)
+//    — when the producer is oversampled (T_p < T_c) intermediate writes are
+//    skipped because their data would be overwritten before consumption;
+//  * a LET read is required at the consumer releases
+//      ceil(v * T_p / T_c) * T_c           (v = 0, 1, 2, ...)
+//    — when the consumer is oversampled (T_c < T_p) intermediate reads are
+//    skipped because no new data has been produced.
+//
+// Note on the paper text: Eq. (2) prints the guard of the closed form as
+// "T_c > T_i"; the set semantics used here apply the closed form
+// unconditionally, which coincides with both branches of Eqs. (1)-(2) when
+// interpreted as *sets* of instants (the branch is only an evaluation
+// shortcut) and matches the skip rules of Biondi & Di Natale (RTAS 2018).
+#pragma once
+
+#include <vector>
+
+#include "letdma/support/time.hpp"
+
+namespace letdma::let {
+
+using support::Time;
+
+/// eta^W(v): index of the producer job whose release instant must carry a
+/// write, for consumer job v.
+std::int64_t eta_write(std::int64_t v, Time producer_period,
+                       Time consumer_period);
+
+/// eta^R(v): index of the consumer job whose release instant must carry a
+/// read, for producer job v.
+std::int64_t eta_read(std::int64_t v, Time producer_period,
+                      Time consumer_period);
+
+/// All instants in [0, horizon) at which a LET write from the producer is
+/// required for this consumer (sorted, unique). `horizon` must be a common
+/// multiple of both periods.
+std::vector<Time> write_instants(Time producer_period, Time consumer_period,
+                                 Time horizon);
+
+/// All instants in [0, horizon) at which a LET read by the consumer is
+/// required for this producer (sorted, unique).
+std::vector<Time> read_instants(Time producer_period, Time consumer_period,
+                                Time horizon);
+
+}  // namespace letdma::let

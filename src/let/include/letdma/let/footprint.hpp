@@ -1,0 +1,28 @@
+// Memory footprint reporting for a placed layout.
+//
+// Summarizes, per memory, the bytes occupied by LET label slots and the
+// full address map — the artifact an integrator needs to reserve linker
+// sections for the scratchpad copies and the global mirror.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "letdma/let/layout.hpp"
+
+namespace letdma::let {
+
+struct MemoryFootprint {
+  model::MemoryId memory;
+  std::int64_t bytes = 0;
+  int slots = 0;
+};
+
+/// Footprint per memory (only memories that hold slots).
+std::vector<MemoryFootprint> footprint(const MemoryLayout& layout);
+
+/// Human-readable address map:
+///   M_1  0x0000  lA  (copy of tau1)  2000 B
+std::string render_address_map(const MemoryLayout& layout);
+
+}  // namespace letdma::let

@@ -1,0 +1,82 @@
+// Greedy constructive scheduler.
+//
+// Produces a feasible (layout, transfer order) pair quickly, without the
+// MILP: tasks are visited in urgency order (smallest acquisition deadline,
+// then smallest period first); for each task the writes its reads depend on
+// are emitted, then the task's own writes (Property 1), then its reads.
+// The memory layouts follow the emission order, so consecutive emissions
+// of one (memory, direction) group become single DMA transfers.
+//
+// Communications are merged into one transfer only when they share the
+// same *presence pattern* over T* (the set of instants at which they are
+// required): subsets of a transfer required at any instant are then
+// all-or-nothing, which keeps every derived per-instant schedule contiguous
+// (the schedule analogue of Constraint 6).
+//
+// The result is used standalone (as an ablation baseline) and as the MILP
+// warm start.
+#pragma once
+
+#include "letdma/let/transfer.hpp"
+
+namespace letdma::let {
+
+/// A complete protocol configuration: where every label lives, and the
+/// ordered DMA transfers at s0 plus every other instant of T*.
+struct ScheduleResult {
+  MemoryLayout layout;
+  std::vector<DmaTransfer> s0_transfers;
+  TransferSchedule schedule;
+};
+
+/// Emission strategy — the knob the E5 ablation sweeps.
+enum class GreedyStrategy {
+  /// Interleave per-task (writes, reads) batches in urgency order:
+  /// minimizes the readiness index of latency-sensitive tasks.
+  kUrgencyFirst,
+  /// All writes first (grouped per producer core), then per-task reads in
+  /// urgency order: maximizes write merging, Giotto-compatible ordering.
+  kWriteBatched,
+  /// Like kWriteBatched, but the global-memory layout is placed to serve
+  /// the *read* groups (reads merge maximally; writes may fragment).
+  kReadBatched,
+};
+
+struct GreedyOptions {
+  GreedyStrategy strategy = GreedyStrategy::kUrgencyFirst;
+};
+
+/// Builds a complete configuration from an ordered partition of C(s0):
+/// memory layouts follow the group order (a slot is placed at its first
+/// appearance), and each group becomes one transfer where contiguity (in
+/// both memories and across every instant restriction) allows — otherwise
+/// it is split minimally. The partition must cover C(s0) exactly; LET
+/// ordering (Properties 1-2) is NOT checked here — run validate_schedule.
+/// Shared by GreedyScheduler and LocalSearch.
+ScheduleResult build_from_groups(
+    const LetComms& comms,
+    const std::vector<std::vector<Communication>>& groups);
+
+class GreedyScheduler {
+ public:
+  explicit GreedyScheduler(const LetComms& comms, GreedyOptions options = {})
+      : comms_(comms), options_(options) {}
+
+  /// Builds the configuration. Always succeeds structurally; whether the
+  /// result meets acquisition deadlines is up to validate_schedule().
+  ScheduleResult build() const;
+
+  /// Runs every strategy and returns the result with the fewest s0
+  /// transfers (ties: smallest worst-case latency ratio).
+  static ScheduleResult best_transfer_count(const LetComms& comms);
+
+  /// Runs every strategy and returns the result with the smallest maximum
+  /// latency/period ratio.
+  static ScheduleResult best_latency_ratio(const LetComms& comms);
+
+ private:
+  const LetComms& comms_;
+  GreedyOptions options_;
+};
+
+}  // namespace letdma::let

@@ -1,0 +1,62 @@
+// Data-acquisition latency arithmetic (rules R1-R3 and Constraint 9).
+//
+// Each DMA transfer costs lambda_O = o_DP + o_ISR of fixed overhead plus
+// w_c per byte of payload. Transfers at one instant execute back-to-back in
+// their scheduled order; a task becomes ready when the last transfer that
+// carries one of its communications completes (proposed protocol), or when
+// *all* transfers of the instant complete (Giotto ordering).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "letdma/let/transfer.hpp"
+
+namespace letdma::let {
+
+/// Readiness semantics for latency aggregation.
+enum class ReadinessSemantics {
+  kProposed,  // rule R3: ready at the completing transfer of the task's data
+  kGiotto,    // ready only after every communication of the instant
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(const model::Platform& platform)
+      : platform_(platform) {}
+
+  /// lambda_O + w_c * bytes for one transfer.
+  Time transfer_duration(const DmaTransfer& t) const;
+
+  /// Cumulative completion time of each transfer in an ordered list.
+  std::vector<Time> completion_times(
+      const std::vector<DmaTransfer>& transfers) const;
+
+  /// Completion time of the whole instant (0 for an empty list).
+  Time total_duration(const std::vector<DmaTransfer>& transfers) const;
+
+  /// Readiness latency of `task` for one instant's ordered transfers.
+  /// Under kProposed: completion of the last transfer carrying one of the
+  /// task's communications (0 when it has none). Under kGiotto: the total
+  /// duration whenever the instant is non-empty.
+  Time task_latency(const model::Application& app,
+                    const std::vector<DmaTransfer>& transfers,
+                    model::TaskId task, ReadinessSemantics sem) const;
+
+  /// Time for the CPU (not the DMA) to perform the given copies
+  /// sequentially — the Giotto-CPU baseline cost of one instant.
+  Time cpu_copy_duration(const model::Application& app,
+                         const std::vector<Communication>& comms) const;
+
+ private:
+  const model::Platform& platform_;
+};
+
+/// Worst-case data-acquisition latency per task over a full schedule:
+/// max over the task's release instants of its per-instant latency.
+/// Result is indexed by TaskId::value.
+std::map<int, Time> worst_case_latencies(const LetComms& comms,
+                                         const TransferSchedule& schedule,
+                                         ReadinessSemantics sem);
+
+}  // namespace letdma::let

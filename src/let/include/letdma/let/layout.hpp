@@ -1,0 +1,79 @@
+// Memory layout of labels and their local copies.
+//
+// Every inter-core shared label occupies one slot in the global memory and
+// one slot per communicating task copy in the corresponding local memory
+// (Section III-B). A MemoryLayout fixes the linear order of slots in each
+// memory; addresses follow from the cumulative label sizes. Contiguity of
+// DMA transfers is defined over these orders.
+#pragma once
+
+#include <vector>
+
+#include "letdma/let/comm.hpp"
+#include "letdma/model/application.hpp"
+
+namespace letdma::let {
+
+/// A slot is one label instance in one memory: the global instance
+/// (owner == invalid) or a task-local copy (owner == the task).
+struct Slot {
+  model::LabelId label;
+  model::TaskId owner;  // invalid ({-1}) for the global instance
+
+  friend bool operator==(const Slot& a, const Slot& b) {
+    return a.label == b.label && a.owner == b.owner;
+  }
+  friend auto operator<=>(const Slot& a, const Slot& b) {
+    if (!(a.label == b.label)) return a.label <=> b.label;
+    return a.owner <=> b.owner;
+  }
+};
+
+/// Slot a communication occupies in its local memory.
+Slot local_slot_of(const Communication& c);
+/// Slot a communication occupies in the global memory.
+Slot global_slot_of(const Communication& c);
+
+class MemoryLayout {
+ public:
+  /// Creates an empty layout; per-memory orders must be provided via
+  /// set_order() before use.
+  explicit MemoryLayout(const model::Application& app);
+
+  /// The canonical slot set a memory must hold: the global memory holds all
+  /// inter-core labels; a local memory holds one copy per (task on that
+  /// core, inter-core label it writes or reads).
+  static std::vector<Slot> required_slots(const model::Application& app,
+                                          model::MemoryId mem);
+
+  /// Fixes the linear order of slots in `mem`. The list must be a
+  /// permutation of required_slots(app, mem).
+  void set_order(model::MemoryId mem, std::vector<Slot> slots);
+
+  bool has_order(model::MemoryId mem) const;
+  const std::vector<Slot>& order(model::MemoryId mem) const;
+
+  /// 0-based position of a slot in its memory; throws if absent.
+  int position(model::MemoryId mem, const Slot& slot) const;
+
+  /// Byte offset of a slot from the start of the memory's layout region.
+  std::int64_t address(model::MemoryId mem, const Slot& slot) const;
+
+  /// True when `b` is placed immediately after `a`.
+  bool adjacent(model::MemoryId mem, const Slot& a, const Slot& b) const;
+
+  /// Total bytes occupied in `mem`.
+  std::int64_t total_bytes(model::MemoryId mem) const;
+
+  const model::Application& app() const { return *app_; }
+
+ private:
+  // Pointer (not reference) so layouts are assignable value types; the
+  // referenced application must outlive the layout.
+  const model::Application* app_;
+  // Indexed by memory id: slot order and per-slot byte offsets.
+  std::vector<std::vector<Slot>> order_;
+  std::vector<std::vector<std::int64_t>> offsets_;
+};
+
+}  // namespace letdma::let

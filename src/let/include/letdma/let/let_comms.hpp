@@ -1,0 +1,55 @@
+// Grouping of LET communications (Section V-A, Algorithm 1).
+//
+// LetComms precomputes, for a finalized application, the full communication
+// calendar over one hyperperiod: which writes and reads each task requires
+// at each of its release instants, the set T* of instants requiring at
+// least one communication, and the complete set C(t) per instant.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "letdma/let/comm.hpp"
+#include "letdma/model/application.hpp"
+
+namespace letdma::let {
+
+class LetComms {
+ public:
+  explicit LetComms(const model::Application& app);
+
+  const model::Application& app() const { return app_; }
+
+  /// H*_i (Eq. 3): the repetition period of tau_i's LET communications.
+  Time h_star(model::TaskId task) const;
+
+  /// T*: instants in [0, H) requiring at least one communication (sorted).
+  const std::vector<Time>& required_instants() const { return instants_; }
+
+  /// G^W(t, tau_i): writes required by tau_i at instant t (Algorithm 1).
+  std::vector<Communication> writes_at(Time t, model::TaskId task) const;
+
+  /// G^R(t, tau_i): reads required by tau_i at instant t (Algorithm 1).
+  std::vector<Communication> reads_at(Time t, model::TaskId task) const;
+
+  /// C(t): all communications required at instant t (canonical order).
+  std::vector<Communication> comms_at(Time t) const;
+
+  /// C(s_0): the synchronous-release superset of every C(t).
+  const std::vector<Communication>& comms_at_s0() const { return at_s0_; }
+
+  /// Index of a communication within comms_at_s0(); throws if absent.
+  int index_at_s0(const Communication& c) const;
+
+  /// Tasks that own at least one communication at s0.
+  std::vector<model::TaskId> communicating_tasks() const;
+
+ private:
+  const model::Application& app_;
+  // Calendar: instant -> canonical list of communications.
+  std::map<Time, std::vector<Communication>> calendar_;
+  std::vector<Time> instants_;
+  std::vector<Communication> at_s0_;
+};
+
+}  // namespace letdma::let

@@ -1,0 +1,44 @@
+// Multi-channel DMA extension (beyond the paper).
+//
+// The paper serializes every transfer on one DMA engine; many automotive
+// SoCs expose several independent channels. This module evaluates a given
+// s0 transfer order under C channels with list scheduling:
+//
+//   * transfers are dispatched in their priority order g;
+//   * each occupies the earliest-available channel for
+//     o_DP + copy + o_ISR;
+//   * a transfer may not START before every earlier transfer it depends
+//     on has COMPLETED — dependencies are the LET causality edges
+//     (a label's write before its reads: Property 2; a task's writes
+//     before its reads: Property 1). Independent transfers overlap.
+//
+// With C = 1 the timing degenerates exactly to the paper's sequential
+// LatencyModel, which the tests pin down.
+#pragma once
+
+#include <vector>
+
+#include "letdma/let/latency.hpp"
+
+namespace letdma::let {
+
+struct ChannelSlot {
+  int transfer = -1;  // index into the input order
+  int channel = -1;
+  Time start = 0;
+  Time finish = 0;
+};
+
+struct MultiChannelReport {
+  std::vector<ChannelSlot> slots;   // one per transfer, input order
+  std::map<int, Time> readiness;    // per TaskId::value (rule R3)
+  Time makespan = 0;
+};
+
+/// Evaluates `transfers` (the s0 order) on `channels` parallel DMA
+/// channels. Requires channels >= 1.
+MultiChannelReport schedule_on_channels(
+    const model::Application& app, const std::vector<DmaTransfer>& transfers,
+    int channels);
+
+}  // namespace letdma::let

@@ -1,0 +1,34 @@
+// Plain-text serialization of protocol configurations.
+//
+// A configuration (memory layout + ordered s0 transfers) is what gets
+// deployed to a target: the layout fixes link-time addresses, the transfer
+// list parameterizes the LET tasks. Format (one directive per line,
+// '#' comments):
+//
+//   layout mem=M_G slots=lA,lB,lC
+//   layout mem=M_1 slots=lA@tau1,lD@tau1
+//   transfer dir=W comms=W:tau1:lA,W:tau3:lB
+//
+// Slots are `label` for the global instance or `label@task` for a local
+// copy; communications are `W:task:label` / `R:label:task` mirrors of the
+// to_string() rendering. read_schedule() rebuilds and re-derives the full
+// per-instant schedule, so a loaded configuration is immediately
+// validatable.
+#pragma once
+
+#include <string>
+
+#include "letdma/let/greedy.hpp"
+
+namespace letdma::let {
+
+/// Serializes layout + s0 transfer order.
+std::string write_schedule(const model::Application& app,
+                           const ScheduleResult& schedule);
+
+/// Parses the format above against `comms`'s application and re-derives
+/// the per-instant schedule. Throws support::PreconditionError (with a
+/// line number) on malformed input or references to unknown entities.
+ScheduleResult read_schedule(const LetComms& comms, const std::string& text);
+
+}  // namespace letdma::let

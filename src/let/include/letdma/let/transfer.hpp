@@ -1,0 +1,65 @@
+// DMA transfers and transfer schedules (Section V).
+//
+// A DMA transfer moves an ordered run of labels that are contiguous (and in
+// the same order) in both the involved local memory and the global memory.
+// A TransferSchedule fixes, for every instant of T*, the totally ordered
+// transfer list executed by the protocol at that instant; the g-th position
+// in the list is the paper's transfer index.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "letdma/let/layout.hpp"
+#include "letdma/let/let_comms.hpp"
+
+namespace letdma::let {
+
+struct DmaTransfer {
+  Direction dir = Direction::kWrite;
+  model::MemoryId local_mem;          // the non-global side
+  std::vector<Communication> comms;   // ordered by ascending address
+  std::int64_t bytes = 0;             // total payload
+  std::int64_t local_addr = 0;        // start address in local memory
+  std::int64_t global_addr = 0;       // start address in global memory
+};
+
+/// Builds a transfer from a set of communications sharing one direction and
+/// one local memory. Orders the communications by address, verifies
+/// contiguity (and equal order) in both memories against `layout`, and
+/// fills sizes and start addresses. Throws PreconditionError on violation.
+DmaTransfer make_transfer(const MemoryLayout& layout,
+                          std::vector<Communication> comms);
+
+/// Splits `comms` (single direction + local memory) into the minimal list
+/// of transfers whose label runs are contiguous in both memories. Used by
+/// the greedy scheduler and by per-instant derivation.
+std::vector<DmaTransfer> split_into_transfers(const MemoryLayout& layout,
+                                              std::vector<Communication> comms);
+
+class TransferSchedule {
+ public:
+  /// An ordered transfer list per instant; instants must belong to T*.
+  using PerInstant = std::vector<DmaTransfer>;
+
+  TransferSchedule() = default;
+
+  void set_instant(Time t, PerInstant transfers);
+  const PerInstant& at(Time t) const;
+  bool has_instant(Time t) const;
+  const std::map<Time, PerInstant>& all() const { return by_instant_; }
+
+ private:
+  std::map<Time, PerInstant> by_instant_;
+};
+
+/// Derives the full schedule over T* from the s0 transfer order: at each
+/// instant t, each s0 transfer is restricted to C(t) and split into its
+/// maximal contiguous runs (for layouts produced by the MILP or the greedy
+/// scheduler the restriction stays contiguous, so no extra transfers
+/// appear; the split keeps the derivation total for arbitrary layouts).
+TransferSchedule derive_schedule(const LetComms& comms,
+                                 const MemoryLayout& layout,
+                                 const std::vector<DmaTransfer>& s0_order);
+
+}  // namespace letdma::let

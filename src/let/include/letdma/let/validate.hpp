@@ -1,0 +1,44 @@
+// Independent checker for LET-DMA configurations.
+//
+// validate_schedule() verifies a (layout, schedule) pair against the LET
+// semantics for EVERY instant of T*, regardless of how the pair was
+// produced (MILP, greedy heuristic, baseline, or hand-written):
+//   * every required communication is carried exactly once per instant;
+//   * every transfer is well-formed (one direction, one local memory,
+//     labels contiguous and equally ordered in both memories);
+//   * Property 1: a task's writes complete before its reads;
+//   * Property 2: a label's write completes before its reads;
+//   * Property 3: all transfers of an instant finish before the next
+//     instant of T*;
+//   * data-acquisition deadlines gamma_i are met where set;
+//   * Theorem 1: no instant is worse than s0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "letdma/let/latency.hpp"
+
+namespace letdma::let {
+
+struct ValidationOptions {
+  bool check_deadlines = true;
+  bool check_slot_capacity = true;   // Property 3
+  bool check_theorem1 = true;
+  /// Readiness semantics used for the deadline check (baselines validate
+  /// with kGiotto).
+  ReadinessSemantics semantics = ReadinessSemantics::kProposed;
+};
+
+struct ValidationReport {
+  std::vector<std::string> issues;
+  bool ok() const { return issues.empty(); }
+  std::string summary() const;
+};
+
+ValidationReport validate_schedule(const LetComms& comms,
+                                   const MemoryLayout& layout,
+                                   const TransferSchedule& schedule,
+                                   ValidationOptions options = {});
+
+}  // namespace letdma::let

@@ -1,0 +1,24 @@
+#include "letdma/let/comm.hpp"
+
+#include <algorithm>
+
+namespace letdma::let {
+
+model::MemoryId local_memory_of(const model::Application& app,
+                                const Communication& c) {
+  return app.platform().local_memory(app.task(c.task).core);
+}
+
+std::string to_string(const model::Application& app, const Communication& c) {
+  const std::string& task = app.task(c.task).name;
+  const std::string& label = app.label(c.label).name;
+  if (c.dir == Direction::kWrite) return "W(" + task + ", " + label + ")";
+  return "R(" + label + ", " + task + ")";
+}
+
+void canonicalize(std::vector<Communication>& comms) {
+  std::sort(comms.begin(), comms.end());
+  comms.erase(std::unique(comms.begin(), comms.end()), comms.end());
+}
+
+}  // namespace letdma::let

@@ -1,0 +1,72 @@
+#include "letdma/let/eta.hpp"
+
+#include <algorithm>
+
+#include "letdma/support/error.hpp"
+#include "letdma/support/math.hpp"
+
+namespace letdma::let {
+
+std::int64_t eta_write(std::int64_t v, Time producer_period,
+                       Time consumer_period) {
+  LETDMA_ENSURE(producer_period > 0 && consumer_period > 0,
+                "eta_write requires positive periods");
+  LETDMA_ENSURE(v >= 0, "eta_write requires a non-negative job index");
+  if (producer_period < consumer_period) {
+    return support::floor_div(
+        support::checked_mul(v, consumer_period), producer_period);
+  }
+  return v;
+}
+
+std::int64_t eta_read(std::int64_t v, Time producer_period,
+                      Time consumer_period) {
+  LETDMA_ENSURE(producer_period > 0 && consumer_period > 0,
+                "eta_read requires positive periods");
+  LETDMA_ENSURE(v >= 0, "eta_read requires a non-negative job index");
+  if (consumer_period < producer_period) {
+    return support::ceil_div(
+        support::checked_mul(v, producer_period), consumer_period);
+  }
+  return v;
+}
+
+namespace {
+std::vector<Time> unique_sorted(std::vector<Time> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+}  // namespace
+
+std::vector<Time> write_instants(Time producer_period, Time consumer_period,
+                                 Time horizon) {
+  LETDMA_ENSURE(horizon > 0 && horizon % producer_period == 0 &&
+                    horizon % consumer_period == 0,
+                "horizon must be a common multiple of both periods");
+  std::vector<Time> out;
+  const std::int64_t consumer_jobs = horizon / consumer_period;
+  out.reserve(static_cast<std::size_t>(consumer_jobs));
+  for (std::int64_t v = 0; v < consumer_jobs; ++v) {
+    const std::int64_t job = eta_write(v, producer_period, consumer_period);
+    out.push_back((job * producer_period) % horizon);
+  }
+  return unique_sorted(std::move(out));
+}
+
+std::vector<Time> read_instants(Time producer_period, Time consumer_period,
+                                Time horizon) {
+  LETDMA_ENSURE(horizon > 0 && horizon % producer_period == 0 &&
+                    horizon % consumer_period == 0,
+                "horizon must be a common multiple of both periods");
+  std::vector<Time> out;
+  const std::int64_t producer_jobs = horizon / producer_period;
+  out.reserve(static_cast<std::size_t>(producer_jobs));
+  for (std::int64_t v = 0; v < producer_jobs; ++v) {
+    const std::int64_t job = eta_read(v, producer_period, consumer_period);
+    out.push_back((job * consumer_period) % horizon);
+  }
+  return unique_sorted(std::move(out));
+}
+
+}  // namespace letdma::let

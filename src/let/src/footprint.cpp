@@ -1,0 +1,45 @@
+#include "letdma/let/footprint.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace letdma::let {
+
+std::vector<MemoryFootprint> footprint(const MemoryLayout& layout) {
+  const model::Application& app = layout.app();
+  std::vector<MemoryFootprint> out;
+  for (int m = 0; m < app.platform().num_memories(); ++m) {
+    const model::MemoryId mem{m};
+    if (!layout.has_order(mem) || layout.order(mem).empty()) continue;
+    MemoryFootprint fp;
+    fp.memory = mem;
+    fp.slots = static_cast<int>(layout.order(mem).size());
+    fp.bytes = layout.total_bytes(mem);
+    out.push_back(fp);
+  }
+  return out;
+}
+
+std::string render_address_map(const MemoryLayout& layout) {
+  const model::Application& app = layout.app();
+  std::ostringstream os;
+  for (int m = 0; m < app.platform().num_memories(); ++m) {
+    const model::MemoryId mem{m};
+    if (!layout.has_order(mem) || layout.order(mem).empty()) continue;
+    os << app.platform().memory_name(mem) << " ("
+       << layout.total_bytes(mem) << " B):\n";
+    for (const Slot& s : layout.order(mem)) {
+      char addr[32];
+      std::snprintf(addr, sizeof addr, "0x%06llx",
+                    static_cast<unsigned long long>(layout.address(mem, s)));
+      os << "  " << addr << "  " << app.label(s.label).name;
+      if (s.owner.value >= 0) {
+        os << " (copy of " << app.task(s.owner).name << ")";
+      }
+      os << "  " << app.label(s.label).size_bytes << " B\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace letdma::let

@@ -1,0 +1,84 @@
+#include "letdma/let/latency.hpp"
+
+#include <algorithm>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::let {
+
+Time LatencyModel::transfer_duration(const DmaTransfer& t) const {
+  return platform_.dma().per_transfer_overhead() +
+         platform_.dma().copy_time(t.bytes);
+}
+
+std::vector<Time> LatencyModel::completion_times(
+    const std::vector<DmaTransfer>& transfers) const {
+  std::vector<Time> out;
+  out.reserve(transfers.size());
+  Time acc = 0;
+  for (const DmaTransfer& t : transfers) {
+    acc += transfer_duration(t);
+    out.push_back(acc);
+  }
+  return out;
+}
+
+Time LatencyModel::total_duration(
+    const std::vector<DmaTransfer>& transfers) const {
+  Time acc = 0;
+  for (const DmaTransfer& t : transfers) acc += transfer_duration(t);
+  return acc;
+}
+
+Time LatencyModel::task_latency(const model::Application& app,
+                                const std::vector<DmaTransfer>& transfers,
+                                model::TaskId task,
+                                ReadinessSemantics sem) const {
+  (void)app;
+  if (transfers.empty()) return 0;
+  if (sem == ReadinessSemantics::kGiotto) return total_duration(transfers);
+  Time acc = 0;
+  Time ready_at = 0;
+  for (const DmaTransfer& t : transfers) {
+    acc += transfer_duration(t);
+    const bool involves_task =
+        std::any_of(t.comms.begin(), t.comms.end(),
+                    [&](const Communication& c) { return c.task == task; });
+    if (involves_task) ready_at = acc;
+  }
+  return ready_at;
+}
+
+Time LatencyModel::cpu_copy_duration(
+    const model::Application& app,
+    const std::vector<Communication>& comms) const {
+  Time acc = 0;
+  for (const Communication& c : comms) {
+    acc += platform_.cpu_copy().copy_time(app.label(c.label).size_bytes);
+  }
+  return acc;
+}
+
+std::map<int, Time> worst_case_latencies(const LetComms& comms,
+                                         const TransferSchedule& schedule,
+                                         ReadinessSemantics sem) {
+  const model::Application& app = comms.app();
+  const LatencyModel lat(app.platform());
+  std::map<int, Time> out;
+  for (int i = 0; i < app.num_tasks(); ++i) out[i] = 0;
+
+  for (const auto& [t, transfers] : schedule.all()) {
+    for (int i = 0; i < app.num_tasks(); ++i) {
+      const model::Task& task = app.task(model::TaskId{i});
+      // Only release instants of the task matter: the task can only be
+      // waiting for data at its own releases.
+      if (t % task.period != 0) continue;
+      const Time l =
+          lat.task_latency(app, transfers, model::TaskId{i}, sem);
+      out[i] = std::max(out[i], l);
+    }
+  }
+  return out;
+}
+
+}  // namespace letdma::let

@@ -1,0 +1,112 @@
+#include "letdma/let/layout.hpp"
+
+#include <algorithm>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::let {
+
+Slot local_slot_of(const Communication& c) { return Slot{c.label, c.task}; }
+
+Slot global_slot_of(const Communication& c) {
+  return Slot{c.label, model::TaskId{-1}};
+}
+
+MemoryLayout::MemoryLayout(const model::Application& app) : app_(&app) {
+  LETDMA_ENSURE(app.finalized(),
+                "MemoryLayout requires a finalized application");
+  order_.resize(static_cast<std::size_t>(app.platform().num_memories()));
+  offsets_.resize(order_.size());
+}
+
+std::vector<Slot> MemoryLayout::required_slots(const model::Application& app,
+                                               model::MemoryId mem) {
+  std::vector<Slot> slots;
+  const model::Platform& plat = app.platform();
+  if (plat.is_global(mem)) {
+    for (int l = 0; l < app.num_labels(); ++l) {
+      if (app.is_inter_core(model::LabelId{l})) {
+        slots.push_back(Slot{model::LabelId{l}, model::TaskId{-1}});
+      }
+    }
+  } else {
+    const model::CoreId core = plat.core_of(mem);
+    for (const model::InterCoreEdge& e : app.inter_core_edges()) {
+      if (app.task(e.producer).core == core) {
+        slots.push_back(Slot{e.label, e.producer});
+      }
+      if (app.task(e.consumer).core == core) {
+        slots.push_back(Slot{e.label, e.consumer});
+      }
+    }
+  }
+  std::sort(slots.begin(), slots.end());
+  slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+  return slots;
+}
+
+void MemoryLayout::set_order(model::MemoryId mem, std::vector<Slot> slots) {
+  LETDMA_ENSURE(mem.value >= 0 &&
+                    mem.value < app_->platform().num_memories(),
+                "unknown memory id");
+  std::vector<Slot> sorted = slots;
+  std::sort(sorted.begin(), sorted.end());
+  const std::vector<Slot> required = required_slots(*app_, mem);
+  LETDMA_ENSURE(sorted == required,
+                "slot order for " + app_->platform().memory_name(mem) +
+                    " is not a permutation of the required slots");
+  std::vector<std::int64_t> offs(slots.size());
+  std::int64_t addr = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    offs[i] = addr;
+    addr += app_->label(slots[i].label).size_bytes;
+  }
+  order_[static_cast<std::size_t>(mem.value)] = std::move(slots);
+  offsets_[static_cast<std::size_t>(mem.value)] = std::move(offs);
+}
+
+bool MemoryLayout::has_order(model::MemoryId mem) const {
+  LETDMA_ENSURE(mem.value >= 0 &&
+                    mem.value < app_->platform().num_memories(),
+                "unknown memory id");
+  // Memories with no required slots are trivially ordered.
+  return !order_[static_cast<std::size_t>(mem.value)].empty() ||
+         required_slots(*app_, mem).empty();
+}
+
+const std::vector<Slot>& MemoryLayout::order(model::MemoryId mem) const {
+  LETDMA_ENSURE(mem.value >= 0 &&
+                    mem.value < app_->platform().num_memories(),
+                "unknown memory id");
+  return order_[static_cast<std::size_t>(mem.value)];
+}
+
+int MemoryLayout::position(model::MemoryId mem, const Slot& slot) const {
+  const std::vector<Slot>& ord = order(mem);
+  for (std::size_t i = 0; i < ord.size(); ++i) {
+    if (ord[i] == slot) return static_cast<int>(i);
+  }
+  throw support::PreconditionError(
+      "slot not placed in " + app_->platform().memory_name(mem) + ": label " +
+      app_->label(slot.label).name);
+}
+
+std::int64_t MemoryLayout::address(model::MemoryId mem,
+                                   const Slot& slot) const {
+  const int pos = position(mem, slot);
+  return offsets_[static_cast<std::size_t>(mem.value)]
+                 [static_cast<std::size_t>(pos)];
+}
+
+bool MemoryLayout::adjacent(model::MemoryId mem, const Slot& a,
+                            const Slot& b) const {
+  return position(mem, b) == position(mem, a) + 1;
+}
+
+std::int64_t MemoryLayout::total_bytes(model::MemoryId mem) const {
+  std::int64_t sum = 0;
+  for (const Slot& s : order(mem)) sum += app_->label(s.label).size_bytes;
+  return sum;
+}
+
+}  // namespace letdma::let

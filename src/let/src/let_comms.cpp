@@ -1,0 +1,93 @@
+#include "letdma/let/let_comms.hpp"
+
+#include <algorithm>
+
+#include "letdma/let/eta.hpp"
+#include "letdma/support/error.hpp"
+#include "letdma/support/math.hpp"
+
+namespace letdma::let {
+
+LetComms::LetComms(const model::Application& app) : app_(app) {
+  LETDMA_ENSURE(app.finalized(), "LetComms requires a finalized application");
+  const Time h = app.hyperperiod();
+
+  // Populate the calendar edge by edge (equivalent to running Algorithm 1
+  // for every task and release instant, but organized around the
+  // producer/consumer instant sets of Eqs. (1)-(2)).
+  for (const model::InterCoreEdge& e : app.inter_core_edges()) {
+    const Time tp = app.task(e.producer).period;
+    const Time tc = app.task(e.consumer).period;
+    for (const Time t : write_instants(tp, tc, h)) {
+      calendar_[t].push_back({Direction::kWrite, e.producer, e.label});
+    }
+    for (const Time t : read_instants(tp, tc, h)) {
+      calendar_[t].push_back({Direction::kRead, e.consumer, e.label});
+    }
+  }
+  for (auto& [t, comms] : calendar_) {
+    canonicalize(comms);
+    instants_.push_back(t);
+  }
+  if (const auto it = calendar_.find(0); it != calendar_.end()) {
+    at_s0_ = it->second;
+  }
+}
+
+Time LetComms::h_star(model::TaskId task) const {
+  Time h = app_.task(task).period;
+  for (const model::InterCoreEdge& e : app_.inter_core_edges()) {
+    if (e.producer == task) {
+      h = support::lcm64(h, app_.task(e.consumer).period);
+    }
+    if (e.consumer == task) {
+      h = support::lcm64(h, app_.task(e.producer).period);
+    }
+  }
+  return h;
+}
+
+std::vector<Communication> LetComms::writes_at(Time t,
+                                               model::TaskId task) const {
+  std::vector<Communication> out;
+  const auto it = calendar_.find(t);
+  if (it == calendar_.end()) return out;
+  for (const Communication& c : it->second) {
+    if (c.dir == Direction::kWrite && c.task == task) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<Communication> LetComms::reads_at(Time t,
+                                              model::TaskId task) const {
+  std::vector<Communication> out;
+  const auto it = calendar_.find(t);
+  if (it == calendar_.end()) return out;
+  for (const Communication& c : it->second) {
+    if (c.dir == Direction::kRead && c.task == task) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<Communication> LetComms::comms_at(Time t) const {
+  const auto it = calendar_.find(t);
+  if (it == calendar_.end()) return {};
+  return it->second;
+}
+
+int LetComms::index_at_s0(const Communication& c) const {
+  const auto it = std::lower_bound(at_s0_.begin(), at_s0_.end(), c);
+  LETDMA_ENSURE(it != at_s0_.end() && *it == c,
+                "communication not present at s0: " + to_string(app_, c));
+  return static_cast<int>(it - at_s0_.begin());
+}
+
+std::vector<model::TaskId> LetComms::communicating_tasks() const {
+  std::vector<model::TaskId> out;
+  for (const Communication& c : at_s0_) out.push_back(c.task);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace letdma::let

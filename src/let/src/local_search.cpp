@@ -1,0 +1,191 @@
+#include "letdma/let/local_search.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "letdma/let/latency.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::let {
+namespace {
+
+using Groups = std::vector<std::vector<Communication>>;
+
+/// Properties 1-2 on an ordered partition (cheap pre-filter before the
+/// expensive rebuild): per task, writes strictly before reads; per label,
+/// the write strictly before every read.
+bool order_feasible(const Groups& groups) {
+  std::map<int, int> task_write_max, task_read_min;
+  std::map<int, int> label_write, label_read_min;
+  for (int gi = 0; gi < static_cast<int>(groups.size()); ++gi) {
+    for (const Communication& c : groups[static_cast<std::size_t>(gi)]) {
+      if (c.dir == Direction::kWrite) {
+        auto [it, fresh] = task_write_max.try_emplace(c.task.value, gi);
+        if (!fresh) it->second = std::max(it->second, gi);
+        label_write[c.label.value] = gi;
+      } else {
+        auto [it, fresh] = task_read_min.try_emplace(c.task.value, gi);
+        if (!fresh) it->second = std::min(it->second, gi);
+        auto [lt, lfresh] = label_read_min.try_emplace(c.label.value, gi);
+        if (!lfresh) lt->second = std::min(lt->second, gi);
+      }
+    }
+  }
+  for (const auto& [task, wmax] : task_write_max) {
+    const auto it = task_read_min.find(task);
+    if (it != task_read_min.end() && wmax >= it->second) return false;
+  }
+  for (const auto& [label, wg] : label_write) {
+    const auto it = label_read_min.find(label);
+    if (it != label_read_min.end() && wg >= it->second) return false;
+  }
+  return true;
+}
+
+struct Evaluation {
+  bool feasible = false;
+  double objective = 0.0;
+};
+
+class Search {
+ public:
+  Search(const LetComms& comms, LocalSearchOptions options)
+      : comms_(comms), app_(comms.app()), opt_(options) {}
+
+  Evaluation evaluate(const Groups& groups, ScheduleResult* out) {
+    ++evaluations_;
+    Evaluation ev;
+    if (!order_feasible(groups)) return ev;
+    ScheduleResult built = build_from_groups(comms_, groups);
+    // Deadlines (where set) must hold at every instant.
+    const auto wc = worst_case_latencies(comms_, built.schedule,
+                                         ReadinessSemantics::kProposed);
+    double worst_ratio = 0.0;
+    for (const auto& [task, lam] : wc) {
+      const model::Task& t = app_.task(model::TaskId{task});
+      if (t.acquisition_deadline && lam > *t.acquisition_deadline) return ev;
+      worst_ratio = std::max(worst_ratio,
+                             static_cast<double>(lam) /
+                                 static_cast<double>(t.period));
+    }
+    ev.feasible = true;
+    ev.objective = opt_.goal == LocalSearchGoal::kMinTransfers
+                       ? static_cast<double>(built.s0_transfers.size())
+                       : worst_ratio;
+    if (out != nullptr) *out = std::move(built);
+    return ev;
+  }
+
+  bool budget_left(int improvements) const {
+    return evaluations_ < opt_.max_evaluations &&
+           improvements < opt_.max_improvements;
+  }
+
+  int evaluations() const { return evaluations_; }
+
+  const LetComms& comms_;
+  const model::Application& app_;
+  LocalSearchOptions opt_;
+  int evaluations_ = 0;
+};
+
+/// Candidate neighbours of a partition, in deterministic order.
+std::vector<Groups> neighbours(const model::Application& app,
+                               const Groups& g) {
+  std::vector<Groups> out;
+  const int n = static_cast<int>(g.size());
+  // Relocations (bounded window to keep the neighbourhood manageable).
+  for (int i = 0; i < n; ++i) {
+    for (int j = std::max(0, i - 4); j <= std::min(n - 1, i + 4); ++j) {
+      if (i == j) continue;
+      Groups cand = g;
+      std::vector<Communication> moved = std::move(cand[static_cast<std::size_t>(i)]);
+      cand.erase(cand.begin() + i);
+      cand.insert(cand.begin() + j, std::move(moved));
+      out.push_back(std::move(cand));
+    }
+  }
+  // Merges of compatible groups.
+  auto group_key = [&](const std::vector<Communication>& grp) {
+    return std::pair<int, int>{
+        let::local_memory_of(app, grp.front()).value,
+        grp.front().dir == Direction::kWrite ? 0 : 1};
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (group_key(g[static_cast<std::size_t>(i)]) !=
+          group_key(g[static_cast<std::size_t>(j)])) {
+        continue;
+      }
+      Groups cand = g;
+      auto& dst = cand[static_cast<std::size_t>(i)];
+      dst.insert(dst.end(), cand[static_cast<std::size_t>(j)].begin(),
+                 cand[static_cast<std::size_t>(j)].end());
+      cand.erase(cand.begin() + j);
+      out.push_back(std::move(cand));
+    }
+  }
+  // Splits of multi-communication groups (in half).
+  for (int i = 0; i < n; ++i) {
+    const auto& grp = g[static_cast<std::size_t>(i)];
+    if (grp.size() < 2) continue;
+    Groups cand = g;
+    const std::size_t half = grp.size() / 2;
+    std::vector<Communication> tail(grp.begin() + static_cast<std::ptrdiff_t>(half),
+                                    grp.end());
+    cand[static_cast<std::size_t>(i)].resize(half);
+    cand.insert(cand.begin() + i + 1, std::move(tail));
+    out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+}  // namespace
+
+LocalSearchResult improve_schedule(const LetComms& comms,
+                                   const ScheduleResult& start,
+                                   LocalSearchOptions options) {
+  LETDMA_ENSURE(!start.s0_transfers.empty(),
+                "local search needs a non-empty starting schedule");
+  Search search(comms, options);
+
+  // Seed partition: one group per starting transfer.
+  Groups groups;
+  for (const DmaTransfer& t : start.s0_transfers) {
+    groups.push_back(t.comms);
+  }
+
+  LocalSearchResult best{ScheduleResult{MemoryLayout(comms.app()), {}, {}},
+                         0.0, 0, 0};
+  {
+    ScheduleResult rebuilt{MemoryLayout(comms.app()), {}, {}};
+    const Evaluation ev = search.evaluate(groups, &rebuilt);
+    LETDMA_ENSURE(ev.feasible,
+                  "the starting schedule does not rebuild feasibly");
+    best.schedule = std::move(rebuilt);
+    best.objective = ev.objective;
+  }
+
+  bool improved = true;
+  while (improved && search.budget_left(best.improvements)) {
+    improved = false;
+    for (Groups& cand : neighbours(comms.app(), groups)) {
+      if (!search.budget_left(best.improvements)) break;
+      ScheduleResult built{MemoryLayout(comms.app()), {}, {}};
+      const Evaluation ev = search.evaluate(cand, &built);
+      if (ev.feasible && ev.objective < best.objective - 1e-12) {
+        best.schedule = std::move(built);
+        best.objective = ev.objective;
+        best.improvements += 1;
+        groups = std::move(cand);
+        improved = true;
+        break;  // first improvement: restart the neighbourhood
+      }
+    }
+  }
+  best.evaluations = search.evaluations();
+  return best;
+}
+
+}  // namespace letdma::let

@@ -1,0 +1,67 @@
+#include "letdma/let/multichannel.hpp"
+
+#include <algorithm>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::let {
+
+MultiChannelReport schedule_on_channels(
+    const model::Application& app, const std::vector<DmaTransfer>& transfers,
+    int channels) {
+  LETDMA_ENSURE(channels >= 1, "need at least one DMA channel");
+  const LatencyModel lat(app.platform());
+
+  MultiChannelReport report;
+  report.slots.resize(transfers.size());
+  std::vector<Time> channel_free(static_cast<std::size_t>(channels), 0);
+
+  // Dependency bookkeeping while walking the priority order: the finish
+  // time of each label's write and of each task's latest write.
+  std::map<int, Time> label_write_finish;
+  std::map<int, Time> task_write_finish;
+
+  for (std::size_t g = 0; g < transfers.size(); ++g) {
+    const DmaTransfer& t = transfers[g];
+    // Earliest start permitted by causality.
+    Time dep_ready = 0;
+    if (t.dir == Direction::kRead) {
+      for (const Communication& c : t.comms) {
+        if (const auto it = label_write_finish.find(c.label.value);
+            it != label_write_finish.end()) {
+          dep_ready = std::max(dep_ready, it->second);  // Property 2
+        }
+        if (const auto it = task_write_finish.find(c.task.value);
+            it != task_write_finish.end()) {
+          dep_ready = std::max(dep_ready, it->second);  // Property 1
+        }
+      }
+    }
+    // Earliest-available channel (ties: lowest index, deterministic).
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < channel_free.size(); ++c) {
+      if (channel_free[c] < channel_free[best]) best = c;
+    }
+    const Time start = std::max(channel_free[best], dep_ready);
+    const Time finish = start + lat.transfer_duration(t);
+    channel_free[best] = finish;
+    report.slots[g] = {static_cast<int>(g), static_cast<int>(best), start,
+                       finish};
+    report.makespan = std::max(report.makespan, finish);
+
+    for (const Communication& c : t.comms) {
+      if (t.dir == Direction::kWrite) {
+        label_write_finish[c.label.value] =
+            std::max(label_write_finish[c.label.value], finish);
+        task_write_finish[c.task.value] =
+            std::max(task_write_finish[c.task.value], finish);
+      }
+      // Rule R3: a task is ready when its last involved transfer ends.
+      auto [it, fresh] = report.readiness.try_emplace(c.task.value, finish);
+      if (!fresh) it->second = std::max(it->second, finish);
+    }
+  }
+  return report;
+}
+
+}  // namespace letdma::let

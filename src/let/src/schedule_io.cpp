@@ -1,0 +1,194 @@
+#include "letdma/let/schedule_io.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::let {
+namespace {
+
+using support::PreconditionError;
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw PreconditionError("line " + std::to_string(line) + ": " + what);
+}
+
+std::vector<std::string> split(const std::string& v, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : v) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string slot_token(const model::Application& app, const Slot& s) {
+  const std::string label = app.label(s.label).name;
+  if (s.owner.value < 0) return label;
+  return label + "@" + app.task(s.owner).name;
+}
+
+std::string comm_token(const model::Application& app,
+                       const Communication& c) {
+  if (c.dir == Direction::kWrite) {
+    return "W:" + app.task(c.task).name + ":" + app.label(c.label).name;
+  }
+  return "R:" + app.label(c.label).name + ":" + app.task(c.task).name;
+}
+
+model::LabelId find_label(const model::Application& app,
+                          const std::string& name, int line) {
+  for (int l = 0; l < app.num_labels(); ++l) {
+    if (app.label(model::LabelId{l}).name == name) return model::LabelId{l};
+  }
+  fail(line, "unknown label `" + name + "`");
+}
+
+}  // namespace
+
+std::string write_schedule(const model::Application& app,
+                           const ScheduleResult& schedule) {
+  std::ostringstream os;
+  os << "# letdma schedule v1\n";
+  for (int m = 0; m < app.platform().num_memories(); ++m) {
+    const model::MemoryId mem{m};
+    if (!schedule.layout.has_order(mem) ||
+        schedule.layout.order(mem).empty()) {
+      continue;
+    }
+    os << "layout mem=" << app.platform().memory_name(mem) << " slots=";
+    const auto& order = schedule.layout.order(mem);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      os << (i ? "," : "") << slot_token(app, order[i]);
+    }
+    os << "\n";
+  }
+  for (const DmaTransfer& t : schedule.s0_transfers) {
+    os << "transfer dir=" << (t.dir == Direction::kWrite ? "W" : "R")
+       << " comms=";
+    for (std::size_t i = 0; i < t.comms.size(); ++i) {
+      os << (i ? "," : "") << comm_token(app, t.comms[i]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+ScheduleResult read_schedule(const LetComms& comms, const std::string& text) {
+  const model::Application& app = comms.app();
+  ScheduleResult out{MemoryLayout(app), {}, {}};
+
+  auto memory_by_name = [&](const std::string& name,
+                            int line) -> model::MemoryId {
+    for (int m = 0; m < app.platform().num_memories(); ++m) {
+      if (app.platform().memory_name(model::MemoryId{m}) == name) {
+        return model::MemoryId{m};
+      }
+    }
+    fail(line, "unknown memory `" + name + "`");
+  };
+
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  std::vector<std::vector<Communication>> transfer_comms;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;
+
+    std::map<std::string, std::string> fields;
+    std::string token;
+    while (ls >> token) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        fail(line_no, "expected key=value, got `" + token + "`");
+      }
+      fields[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+
+    if (directive == "layout") {
+      if (!fields.count("mem") || !fields.count("slots")) {
+        fail(line_no, "layout needs mem= and slots=");
+      }
+      const model::MemoryId mem = memory_by_name(fields["mem"], line_no);
+      std::vector<Slot> slots;
+      for (const std::string& s : split(fields["slots"], ',')) {
+        if (s.empty()) fail(line_no, "empty slot token");
+        const std::size_t at = s.find('@');
+        Slot slot;
+        if (at == std::string::npos) {
+          slot = Slot{find_label(app, s, line_no), model::TaskId{-1}};
+        } else {
+          slot = Slot{find_label(app, s.substr(0, at), line_no),
+                      [&] {
+                        try {
+                          return app.find_task(s.substr(at + 1));
+                        } catch (const support::Error&) {
+                          fail(line_no,
+                               "unknown task `" + s.substr(at + 1) + "`");
+                        }
+                      }()};
+        }
+        slots.push_back(slot);
+      }
+      try {
+        out.layout.set_order(mem, std::move(slots));
+      } catch (const support::Error& e) {
+        fail(line_no, e.what());
+      }
+    } else if (directive == "transfer") {
+      if (!fields.count("comms")) fail(line_no, "transfer needs comms=");
+      std::vector<Communication> cs;
+      for (const std::string& c : split(fields["comms"], ',')) {
+        const std::vector<std::string> parts = split(c, ':');
+        if (parts.size() != 3) {
+          fail(line_no, "bad communication token `" + c + "`");
+        }
+        Communication comm;
+        try {
+          if (parts[0] == "W") {
+            comm = {Direction::kWrite, app.find_task(parts[1]),
+                    find_label(app, parts[2], line_no)};
+          } else if (parts[0] == "R") {
+            comm = {Direction::kRead, app.find_task(parts[2]),
+                    find_label(app, parts[1], line_no)};
+          } else {
+            fail(line_no, "direction must be W or R in `" + c + "`");
+          }
+        } catch (const PreconditionError&) {
+          throw;
+        } catch (const support::Error& e) {
+          fail(line_no, e.what());
+        }
+        cs.push_back(comm);
+      }
+      transfer_comms.push_back(std::move(cs));
+    } else {
+      fail(line_no, "unknown directive `" + directive + "`");
+    }
+  }
+
+  for (std::vector<Communication>& cs : transfer_comms) {
+    try {
+      out.s0_transfers.push_back(make_transfer(out.layout, std::move(cs)));
+    } catch (const support::Error& e) {
+      throw PreconditionError(std::string("invalid transfer: ") + e.what());
+    }
+  }
+  out.schedule = derive_schedule(comms, out.layout, out.s0_transfers);
+  return out;
+}
+
+}  // namespace letdma::let

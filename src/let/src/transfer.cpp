@@ -1,0 +1,140 @@
+#include "letdma/let/transfer.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::let {
+namespace {
+
+/// Checks that all communications share one direction and one local memory;
+/// returns that (dir, mem) pair.
+std::pair<Direction, model::MemoryId> common_group(
+    const model::Application& app, const std::vector<Communication>& comms) {
+  LETDMA_ENSURE(!comms.empty(), "a transfer needs at least one communication");
+  const Direction dir = comms.front().dir;
+  const model::MemoryId mem = local_memory_of(app, comms.front());
+  for (const Communication& c : comms) {
+    LETDMA_ENSURE(c.dir == dir,
+                  "communications of one transfer must share a direction");
+    LETDMA_ENSURE(local_memory_of(app, c) == mem,
+                  "communications of one transfer must share a local memory");
+  }
+  return {dir, mem};
+}
+
+/// Sorts communications by their global-memory position.
+void sort_by_global_position(const MemoryLayout& layout,
+                             std::vector<Communication>& comms) {
+  const model::MemoryId mg = layout.app().platform().global_memory();
+  std::sort(comms.begin(), comms.end(),
+            [&](const Communication& a, const Communication& b) {
+              return layout.position(mg, global_slot_of(a)) <
+                     layout.position(mg, global_slot_of(b));
+            });
+}
+
+}  // namespace
+
+DmaTransfer make_transfer(const MemoryLayout& layout,
+                          std::vector<Communication> comms) {
+  const model::Application& app = layout.app();
+  const auto [dir, mem] = common_group(app, comms);
+  const model::MemoryId mg = app.platform().global_memory();
+
+  sort_by_global_position(layout, comms);
+  // Contiguity and equal order in both memories.
+  for (std::size_t i = 0; i + 1 < comms.size(); ++i) {
+    LETDMA_ENSURE(
+        layout.adjacent(mg, global_slot_of(comms[i]),
+                        global_slot_of(comms[i + 1])),
+        "transfer labels not contiguous in global memory: " +
+            to_string(app, comms[i]) + " / " + to_string(app, comms[i + 1]));
+    LETDMA_ENSURE(
+        layout.adjacent(mem, local_slot_of(comms[i]),
+                        local_slot_of(comms[i + 1])),
+        "transfer labels not contiguous in local memory: " +
+            to_string(app, comms[i]) + " / " + to_string(app, comms[i + 1]));
+  }
+
+  DmaTransfer t;
+  t.dir = dir;
+  t.local_mem = mem;
+  t.local_addr = layout.address(mem, local_slot_of(comms.front()));
+  t.global_addr = layout.address(mg, global_slot_of(comms.front()));
+  for (const Communication& c : comms) {
+    t.bytes += app.label(c.label).size_bytes;
+  }
+  t.comms = std::move(comms);
+  return t;
+}
+
+std::vector<DmaTransfer> split_into_transfers(
+    const MemoryLayout& layout, std::vector<Communication> comms) {
+  if (comms.empty()) return {};
+  const model::Application& app = layout.app();
+  const auto [dir, mem] = common_group(app, comms);
+  (void)dir;
+  const model::MemoryId mg = app.platform().global_memory();
+  sort_by_global_position(layout, comms);
+
+  std::vector<DmaTransfer> out;
+  std::vector<Communication> run;
+  run.push_back(comms.front());
+  for (std::size_t i = 1; i < comms.size(); ++i) {
+    const Communication& prev = run.back();
+    const Communication& next = comms[i];
+    const bool contiguous =
+        layout.adjacent(mg, global_slot_of(prev), global_slot_of(next)) &&
+        layout.adjacent(mem, local_slot_of(prev), local_slot_of(next));
+    if (!contiguous) {
+      out.push_back(make_transfer(layout, std::move(run)));
+      run.clear();
+    }
+    run.push_back(next);
+  }
+  out.push_back(make_transfer(layout, std::move(run)));
+  return out;
+}
+
+void TransferSchedule::set_instant(Time t, PerInstant transfers) {
+  by_instant_[t] = std::move(transfers);
+}
+
+const TransferSchedule::PerInstant& TransferSchedule::at(Time t) const {
+  const auto it = by_instant_.find(t);
+  LETDMA_ENSURE(it != by_instant_.end(),
+                "no transfers scheduled at t=" + support::format_time(t));
+  return it->second;
+}
+
+bool TransferSchedule::has_instant(Time t) const {
+  return by_instant_.count(t) > 0;
+}
+
+TransferSchedule derive_schedule(const LetComms& comms,
+                                 const MemoryLayout& layout,
+                                 const std::vector<DmaTransfer>& s0_order) {
+  TransferSchedule sched;
+  for (const Time t : comms.required_instants()) {
+    const std::vector<Communication> needed = comms.comms_at(t);
+    const std::set<Communication> needed_set(needed.begin(), needed.end());
+    TransferSchedule::PerInstant at_t;
+    for (const DmaTransfer& d : s0_order) {
+      std::vector<Communication> present;
+      for (const Communication& c : d.comms) {
+        if (needed_set.count(c) > 0) present.push_back(c);
+      }
+      if (present.empty()) continue;
+      for (DmaTransfer& piece :
+           split_into_transfers(layout, std::move(present))) {
+        at_t.push_back(std::move(piece));
+      }
+    }
+    sched.set_instant(t, std::move(at_t));
+  }
+  return sched;
+}
+
+}  // namespace letdma::let

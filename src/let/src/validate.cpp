@@ -1,0 +1,165 @@
+#include "letdma/let/validate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::let {
+namespace {
+
+std::string at_time(Time t) { return " at t=" + support::format_time(t); }
+
+}  // namespace
+
+std::string ValidationReport::summary() const {
+  if (ok()) return "OK";
+  std::ostringstream os;
+  os << issues.size() << " issue(s):\n";
+  for (const std::string& s : issues) os << "  - " << s << "\n";
+  return os.str();
+}
+
+ValidationReport validate_schedule(const LetComms& comms,
+                                   const MemoryLayout& layout,
+                                   const TransferSchedule& schedule,
+                                   ValidationOptions options) {
+  const model::Application& app = comms.app();
+  const LatencyModel lat(app.platform());
+  ValidationReport report;
+  auto issue = [&](const std::string& s) { report.issues.push_back(s); };
+
+  // Layout completeness for every memory that must hold slots.
+  for (int m = 0; m < app.platform().num_memories(); ++m) {
+    if (!layout.has_order(model::MemoryId{m})) {
+      issue("memory " + app.platform().memory_name(model::MemoryId{m}) +
+            " has no slot order");
+    }
+  }
+  if (!report.ok()) return report;
+
+  const std::vector<Time>& instants = comms.required_instants();
+  const Time h = app.hyperperiod();
+
+  // Baseline latency at s0 for the Theorem-1 comparison.
+  std::map<int, Time> s0_latency;
+  if (!instants.empty() && schedule.has_instant(instants.front())) {
+    for (int i = 0; i < app.num_tasks(); ++i) {
+      s0_latency[i] = lat.task_latency(app, schedule.at(instants.front()),
+                                       model::TaskId{i}, options.semantics);
+    }
+  }
+
+  for (std::size_t idx = 0; idx < instants.size(); ++idx) {
+    const Time t = instants[idx];
+    if (!schedule.has_instant(t)) {
+      issue("no transfer list" + at_time(t));
+      continue;
+    }
+    const auto& transfers = schedule.at(t);
+
+    // Coverage: union of transfer comms == C(t), no duplicates.
+    std::vector<Communication> carried;
+    for (const DmaTransfer& d : transfers) {
+      carried.insert(carried.end(), d.comms.begin(), d.comms.end());
+    }
+    std::vector<Communication> sorted_carried = carried;
+    std::sort(sorted_carried.begin(), sorted_carried.end());
+    if (std::adjacent_find(sorted_carried.begin(), sorted_carried.end()) !=
+        sorted_carried.end()) {
+      issue("a communication is carried twice" + at_time(t));
+    }
+    const std::vector<Communication> needed = comms.comms_at(t);
+    if (sorted_carried != needed) {
+      issue("carried communications differ from C(t)" + at_time(t));
+    }
+
+    // Transfer well-formedness (delegates to make_transfer's checks).
+    for (const DmaTransfer& d : transfers) {
+      try {
+        const DmaTransfer rebuilt = make_transfer(layout, d.comms);
+        if (rebuilt.bytes != d.bytes || rebuilt.local_addr != d.local_addr ||
+            rebuilt.global_addr != d.global_addr) {
+          issue("transfer metadata inconsistent with layout" + at_time(t));
+        }
+      } catch (const support::Error& e) {
+        issue(std::string("malformed transfer") + at_time(t) + ": " +
+              e.what());
+      }
+    }
+
+    // Properties 1 and 2 on the transfer order.
+    std::map<int, int> max_write_of_task;   // task -> max transfer index
+    std::map<int, int> min_read_of_task;    // task -> min transfer index
+    std::map<int, int> write_of_label;      // label -> transfer index
+    std::map<int, int> min_read_of_label;   // label -> min transfer index
+    for (std::size_t g = 0; g < transfers.size(); ++g) {
+      for (const Communication& c : transfers[g].comms) {
+        const int gi = static_cast<int>(g);
+        if (c.dir == Direction::kWrite) {
+          auto [it, inserted] = max_write_of_task.try_emplace(c.task.value, gi);
+          if (!inserted) it->second = std::max(it->second, gi);
+          write_of_label[c.label.value] = gi;
+        } else {
+          auto [it, inserted] = min_read_of_task.try_emplace(c.task.value, gi);
+          if (!inserted) it->second = std::min(it->second, gi);
+          auto [lt, linserted] =
+              min_read_of_label.try_emplace(c.label.value, gi);
+          if (!linserted) lt->second = std::min(lt->second, gi);
+        }
+      }
+    }
+    for (const auto& [task, wmax] : max_write_of_task) {
+      const auto it = min_read_of_task.find(task);
+      if (it != min_read_of_task.end() && wmax >= it->second) {
+        issue("Property 1 violated for task " +
+              app.task(model::TaskId{task}).name + at_time(t));
+      }
+    }
+    for (const auto& [label, wg] : write_of_label) {
+      const auto it = min_read_of_label.find(label);
+      if (it != min_read_of_label.end() && wg >= it->second) {
+        issue("Property 2 violated for label " +
+              app.label(model::LabelId{label}).name + at_time(t));
+      }
+    }
+
+    // Property 3: everything finishes before the next instant of T*.
+    if (options.check_slot_capacity) {
+      const Time next =
+          (idx + 1 < instants.size()) ? instants[idx + 1] : h + instants[0];
+      const Time total = lat.total_duration(transfers);
+      if (total > next - t) {
+        issue("Property 3 violated: transfers take " +
+              support::format_time(total) + " but the slot is " +
+              support::format_time(next - t) + at_time(t));
+      }
+    }
+
+    // Deadlines and Theorem 1.
+    for (int i = 0; i < app.num_tasks(); ++i) {
+      const model::Task& task = app.task(model::TaskId{i});
+      if (t % task.period != 0) continue;  // not a release of this task
+      const Time l =
+          lat.task_latency(app, transfers, model::TaskId{i}, options.semantics);
+      if (options.check_deadlines && task.acquisition_deadline &&
+          l > *task.acquisition_deadline) {
+        issue("acquisition deadline of " + task.name + " exceeded (" +
+              support::format_time(l) + " > " +
+              support::format_time(*task.acquisition_deadline) + ")" +
+              at_time(t));
+      }
+      if (options.check_theorem1 && s0_latency.count(i) > 0 &&
+          l > s0_latency[i]) {
+        issue("Theorem 1 violated for " + task.name + ": latency " +
+              support::format_time(l) + " exceeds s0 latency " +
+              support::format_time(s0_latency[i]) + at_time(t));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace letdma::let

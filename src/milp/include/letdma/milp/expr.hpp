@@ -1,0 +1,69 @@
+// Linear expressions over model variables.
+//
+// `LinExpr` is a sum of (coefficient, variable) terms plus a constant. It is
+// the currency of the modeling API: constraints and objectives are built by
+// composing expressions with the overloaded operators below, e.g.
+//
+//   model.add_constraint(2.0 * x + y - 3.0 * z, Sense::kLe, 10.0, "cap");
+//
+// Expressions keep duplicate terms until `normalize()` merges them; the
+// Model normalizes on ingestion so user code never needs to care.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace letdma::milp {
+
+/// Lightweight handle to a model variable (index into the owning Model).
+struct Var {
+  int index = -1;
+
+  friend bool operator==(Var a, Var b) { return a.index == b.index; }
+};
+
+/// One linear term: coefficient * variable.
+struct LinTerm {
+  double coef = 0.0;
+  Var var;
+};
+
+/// A linear expression: sum of terms plus a constant offset.
+class LinExpr {
+ public:
+  LinExpr() = default;
+  /*implicit*/ LinExpr(double constant) : constant_(constant) {}
+  /*implicit*/ LinExpr(Var v) { terms_.push_back({1.0, v}); }
+
+  LinExpr& operator+=(const LinExpr& other);
+  LinExpr& operator-=(const LinExpr& other);
+  LinExpr& operator*=(double k);
+
+  void add_term(double coef, Var v) { terms_.push_back({coef, v}); }
+
+  /// Merges duplicate variables and drops zero coefficients.
+  void normalize();
+
+  const std::vector<LinTerm>& terms() const { return terms_; }
+  double constant() const { return constant_; }
+
+  /// Evaluates the expression at a full assignment (indexed by Var::index).
+  double evaluate(const std::vector<double>& x) const;
+
+ private:
+  std::vector<LinTerm> terms_;
+  double constant_ = 0.0;
+};
+
+LinExpr operator+(LinExpr a, const LinExpr& b);
+LinExpr operator-(LinExpr a, const LinExpr& b);
+LinExpr operator-(LinExpr a);
+LinExpr operator*(double k, LinExpr e);
+LinExpr operator*(LinExpr e, double k);
+LinExpr operator*(double k, Var v);
+LinExpr operator*(Var v, double k);
+LinExpr operator+(Var a, Var b);
+LinExpr operator-(Var a, Var b);
+
+}  // namespace letdma::milp

@@ -1,0 +1,89 @@
+// Mixed-integer linear program container.
+//
+// A Model owns variables (continuous / integer / binary, with bounds),
+// linear constraints, and an optional linear objective. It is a passive
+// data structure: solving is done by SimplexSolver (LP relaxation) and
+// MilpSolver (branch & bound) which read the model.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "letdma/milp/expr.hpp"
+
+namespace letdma::milp {
+
+enum class VarType { kContinuous, kInteger, kBinary };
+enum class Sense { kLe, kGe, kEq };
+enum class ObjSense { kMinimize, kMaximize };
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+struct VarInfo {
+  std::string name;
+  VarType type = VarType::kContinuous;
+  double lb = 0.0;
+  double ub = kInfinity;
+};
+
+struct ConstraintInfo {
+  std::string name;
+  LinExpr expr;  // normalized; constant folded into rhs
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+};
+
+class Model {
+ public:
+  /// Adds a variable; returns its handle. lb <= ub required.
+  Var add_var(VarType type, double lb, double ub, std::string name);
+
+  Var add_binary(std::string name) {
+    return add_var(VarType::kBinary, 0.0, 1.0, std::move(name));
+  }
+  Var add_integer(double lb, double ub, std::string name) {
+    return add_var(VarType::kInteger, lb, ub, std::move(name));
+  }
+  Var add_continuous(double lb, double ub, std::string name) {
+    return add_var(VarType::kContinuous, lb, ub, std::move(name));
+  }
+
+  /// Adds `expr sense rhs`; the expression's constant is folded into rhs.
+  /// Returns the constraint row index.
+  int add_constraint(LinExpr expr, Sense sense, double rhs, std::string name);
+
+  /// Sets the objective; defaults to "minimize 0" (pure feasibility).
+  void set_objective(LinExpr expr, ObjSense sense);
+
+  /// Tightens the bounds of an existing variable (used by branch & bound).
+  void set_var_bounds(Var v, double lb, double ub);
+
+  int num_vars() const { return static_cast<int>(vars_.size()); }
+  int num_constraints() const { return static_cast<int>(rows_.size()); }
+  const VarInfo& var(Var v) const;
+  const VarInfo& var(int index) const;
+  const ConstraintInfo& constraint(int row) const;
+  const LinExpr& objective() const { return objective_; }
+  ObjSense objective_sense() const { return obj_sense_; }
+  bool has_integer_vars() const;
+
+  /// True when x satisfies all bounds, integrality and constraints within
+  /// `tol`. Used to vet warm starts and final solutions.
+  bool is_feasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+  /// Objective value at x (respecting the stored sense; always the raw
+  /// expression value, not negated).
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Renders the model in (a dialect of) CPLEX LP format, for debugging.
+  std::string to_lp_string() const;
+
+ private:
+  std::vector<VarInfo> vars_;
+  std::vector<ConstraintInfo> rows_;
+  LinExpr objective_;
+  ObjSense obj_sense_ = ObjSense::kMinimize;
+};
+
+}  // namespace letdma::milp

@@ -1,0 +1,30 @@
+// Presolve: iterated bound propagation.
+//
+// For every row sum(a_j x_j) {<=,>=,==} b, the activity interval implied
+// by the current variable bounds either proves the row (and model)
+// infeasible or tightens individual variable bounds; integer variables
+// additionally round their bounds inward. The propagation runs to a
+// fixpoint (bounded by max_rounds) and is valid for branch & bound with
+// lazy constraints: lazy rows only shrink the feasible set further.
+//
+// The model itself is not modified; the caller receives the tightened
+// bound vectors (MilpSolver uses them as the root node's bounds).
+#pragma once
+
+#include <vector>
+
+#include "letdma/milp/model.hpp"
+
+namespace letdma::milp {
+
+struct PresolveResult {
+  bool infeasible = false;
+  std::vector<double> lb;  // tightened bounds, size model.num_vars()
+  std::vector<double> ub;
+  int rounds = 0;          // propagation sweeps executed
+  int tightenings = 0;     // individual bound improvements
+};
+
+PresolveResult presolve_bounds(const Model& model, int max_rounds = 10);
+
+}  // namespace letdma::milp

@@ -1,0 +1,66 @@
+// Bounded-variable primal simplex for LP relaxations.
+//
+// The solver works on the computational standard form
+//
+//   min c'x   s.t.  A x + s = b,   l <= (x, s) <= u
+//
+// where one slack `s_i` per row carries the row sense in its bounds
+// (<=: s in [0, inf),  >=: s in (-inf, 0],  =: s fixed at 0). An initial
+// basis of slacks is used where feasible; rows whose slack value would
+// violate its bounds receive an artificial variable, and a phase-1
+// objective drives all artificials to zero before phase 2 optimizes the
+// real objective. A dense full tableau is maintained; Dantzig pricing with
+// a Bland fallback guards against cycling.
+//
+// The instance sizes produced by the LET-DMA formulation (about 10^3 rows
+// and columns) are well within dense-tableau territory; no sparse basis
+// factorization is attempted.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "letdma/milp/model.hpp"
+
+namespace letdma::milp {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterLimit;
+  /// Objective in the *model's* sense (a maximization model reports the
+  /// maximum here).
+  double objective = 0.0;
+  /// Values of the structural variables (size = model.num_vars()).
+  std::vector<double> x;
+  long iterations = 0;
+};
+
+struct SimplexOptions {
+  long max_iterations = 2'000'000;
+  double feas_tol = 1e-7;   // bound/row feasibility tolerance
+  double opt_tol = 1e-9;    // reduced-cost optimality tolerance
+  double pivot_tol = 1e-9;  // minimum pivot magnitude
+};
+
+/// Solves the LP relaxation of `model` (integrality dropped). Variable
+/// bounds may be overridden per call, which is how branch & bound explores
+/// nodes without copying the model.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(const Model& model, SimplexOptions options = {});
+
+  /// Solves with the model's own bounds.
+  LpResult solve() const;
+
+  /// Solves with overriding bounds (both vectors sized model.num_vars()).
+  LpResult solve_with_bounds(const std::vector<double>& lb,
+                             const std::vector<double>& ub) const;
+
+ private:
+  const Model& model_;
+  SimplexOptions options_;
+};
+
+}  // namespace letdma::milp

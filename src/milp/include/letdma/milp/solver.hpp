@@ -1,0 +1,97 @@
+// Branch & bound MILP solver with lazy-constraint support.
+//
+// Node relaxations are solved by SimplexSolver with per-node bound
+// overrides (no model copies). Node selection is best-bound with
+// depth-first plunging so feasible incumbents appear early; branching picks
+// the most fractional integer variable. Lazy constraints — used by the
+// LET-DMA formulation for the cubic contiguity family (Constraint 6) — are
+// requested from a callback whenever a node relaxation is integral; any
+// returned rows are added globally and the node is re-solved.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "letdma/milp/model.hpp"
+#include "letdma/milp/simplex.hpp"
+
+namespace letdma::milp {
+
+enum class MilpStatus {
+  kOptimal,    // proved optimal (or proved feasible for pure feasibility)
+  kFeasible,   // limit hit with an incumbent available
+  kInfeasible, // proved infeasible
+  kUnbounded,  // relaxation unbounded with no integer restriction binding
+  kLimit,      // limit hit with no incumbent
+};
+
+struct MilpOptions {
+  double time_limit_sec = 60.0;
+  long node_limit = 1'000'000;
+  double abs_gap = 1e-6;
+  double rel_gap = 1e-6;
+  double int_tol = 1e-6;  // integrality tolerance
+  bool log = false;       // emit per-improvement log lines to stderr
+  bool presolve = true;   // root bound propagation (see presolve.hpp)
+  SimplexOptions lp;
+};
+
+struct MilpStats {
+  long nodes_explored = 0;
+  long lp_iterations = 0;
+  int lazy_rows_added = 0;
+  double wall_sec = 0.0;
+};
+
+struct MilpResult {
+  MilpStatus status = MilpStatus::kLimit;
+  double objective = 0.0;   // incumbent objective (model sense)
+  double best_bound = 0.0;  // proven bound (model sense)
+  std::vector<double> x;    // incumbent (empty when none)
+  MilpStats stats;
+
+  bool has_solution() const { return !x.empty(); }
+  /// Relative optimality gap; 0 when proved optimal, +inf with no incumbent.
+  double gap() const;
+};
+
+/// A lazily separated row: expr sense rhs.
+struct LazyRow {
+  LinExpr expr;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+  std::string name;
+};
+
+/// Called on every integral relaxation solution; returns the violated rows
+/// to add (empty = the point satisfies all lazy constraints and may become
+/// the incumbent). Rows must be *globally valid* for the true feasible set.
+/// The callback may also add *variables* to the model it captured before
+/// returning rows that reference them; the solver re-reads the model size
+/// after every separation round.
+using LazyConstraintCallback =
+    std::function<std::vector<LazyRow>(const std::vector<double>& x)>;
+
+class MilpSolver {
+ public:
+  /// The model is held by reference and mutated only by lazy-row insertion.
+  explicit MilpSolver(Model& model, MilpOptions options = {});
+
+  /// Registers the lazy-constraint separator (optional).
+  void set_lazy_callback(LazyConstraintCallback cb);
+
+  /// Seeds the incumbent. The point must satisfy the model *and* the lazy
+  /// callback; if it does not, it is rejected (returns false).
+  bool set_warm_start(std::vector<double> x);
+
+  MilpResult solve();
+
+ private:
+  Model& model_;
+  MilpOptions options_;
+  LazyConstraintCallback lazy_;
+  std::vector<double> warm_start_;
+};
+
+}  // namespace letdma::milp

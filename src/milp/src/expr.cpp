@@ -1,0 +1,71 @@
+#include "letdma/milp/expr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::milp {
+
+LinExpr& LinExpr::operator+=(const LinExpr& other) {
+  terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+  constant_ += other.constant_;
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& other) {
+  for (const LinTerm& t : other.terms_) {
+    terms_.push_back({-t.coef, t.var});
+  }
+  constant_ -= other.constant_;
+  return *this;
+}
+
+LinExpr& LinExpr::operator*=(double k) {
+  for (LinTerm& t : terms_) t.coef *= k;
+  constant_ *= k;
+  return *this;
+}
+
+void LinExpr::normalize() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const LinTerm& a, const LinTerm& b) {
+              return a.var.index < b.var.index;
+            });
+  std::vector<LinTerm> merged;
+  merged.reserve(terms_.size());
+  for (const LinTerm& t : terms_) {
+    if (!merged.empty() && merged.back().var == t.var) {
+      merged.back().coef += t.coef;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const LinTerm& t) { return t.coef == 0.0; }),
+               merged.end());
+  terms_ = std::move(merged);
+}
+
+double LinExpr::evaluate(const std::vector<double>& x) const {
+  double v = constant_;
+  for (const LinTerm& t : terms_) {
+    LETDMA_ENSURE(t.var.index >= 0 &&
+                      t.var.index < static_cast<int>(x.size()),
+                  "expression references a variable outside the assignment");
+    v += t.coef * x[static_cast<std::size_t>(t.var.index)];
+  }
+  return v;
+}
+
+LinExpr operator+(LinExpr a, const LinExpr& b) { return a += b; }
+LinExpr operator-(LinExpr a, const LinExpr& b) { return a -= b; }
+LinExpr operator-(LinExpr a) { return a *= -1.0; }
+LinExpr operator*(double k, LinExpr e) { return e *= k; }
+LinExpr operator*(LinExpr e, double k) { return e *= k; }
+LinExpr operator*(double k, Var v) { return LinExpr(v) *= k; }
+LinExpr operator*(Var v, double k) { return LinExpr(v) *= k; }
+LinExpr operator+(Var a, Var b) { return LinExpr(a) += LinExpr(b); }
+LinExpr operator-(Var a, Var b) { return LinExpr(a) -= LinExpr(b); }
+
+}  // namespace letdma::milp

@@ -1,0 +1,174 @@
+#include "letdma/milp/model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::milp {
+
+Var Model::add_var(VarType type, double lb, double ub, std::string name) {
+  LETDMA_ENSURE(lb <= ub, "variable `" + name + "` has lb > ub");
+  if (type == VarType::kBinary) {
+    LETDMA_ENSURE(lb >= 0.0 && ub <= 1.0,
+                  "binary variable `" + name + "` with bounds outside [0,1]");
+  }
+  vars_.push_back({std::move(name), type, lb, ub});
+  return Var{static_cast<int>(vars_.size()) - 1};
+}
+
+int Model::add_constraint(LinExpr expr, Sense sense, double rhs,
+                          std::string name) {
+  expr.normalize();
+  for (const LinTerm& t : expr.terms()) {
+    LETDMA_ENSURE(t.var.index >= 0 && t.var.index < num_vars(),
+                  "constraint `" + name + "` references an unknown variable");
+  }
+  rhs -= expr.constant();
+  LinExpr without_const;
+  for (const LinTerm& t : expr.terms()) without_const.add_term(t.coef, t.var);
+  rows_.push_back({std::move(name), std::move(without_const), sense, rhs});
+  return static_cast<int>(rows_.size()) - 1;
+}
+
+void Model::set_objective(LinExpr expr, ObjSense sense) {
+  expr.normalize();
+  for (const LinTerm& t : expr.terms()) {
+    LETDMA_ENSURE(t.var.index >= 0 && t.var.index < num_vars(),
+                  "objective references an unknown variable");
+  }
+  objective_ = std::move(expr);
+  obj_sense_ = sense;
+}
+
+void Model::set_var_bounds(Var v, double lb, double ub) {
+  LETDMA_ENSURE(v.index >= 0 && v.index < num_vars(), "unknown variable");
+  LETDMA_ENSURE(lb <= ub, "set_var_bounds with lb > ub");
+  vars_[static_cast<std::size_t>(v.index)].lb = lb;
+  vars_[static_cast<std::size_t>(v.index)].ub = ub;
+}
+
+const VarInfo& Model::var(Var v) const { return var(v.index); }
+
+const VarInfo& Model::var(int index) const {
+  LETDMA_ENSURE(index >= 0 && index < num_vars(), "unknown variable index");
+  return vars_[static_cast<std::size_t>(index)];
+}
+
+const ConstraintInfo& Model::constraint(int row) const {
+  LETDMA_ENSURE(row >= 0 && row < num_constraints(), "unknown row index");
+  return rows_[static_cast<std::size_t>(row)];
+}
+
+bool Model::has_integer_vars() const {
+  for (const VarInfo& v : vars_) {
+    if (v.type != VarType::kContinuous) return true;
+  }
+  return false;
+}
+
+bool Model::is_feasible(const std::vector<double>& x, double tol) const {
+  if (static_cast<int>(x.size()) != num_vars()) return false;
+  for (int j = 0; j < num_vars(); ++j) {
+    const VarInfo& v = vars_[static_cast<std::size_t>(j)];
+    const double xj = x[static_cast<std::size_t>(j)];
+    if (xj < v.lb - tol || xj > v.ub + tol) return false;
+    if (v.type != VarType::kContinuous &&
+        std::abs(xj - std::round(xj)) > tol) {
+      return false;
+    }
+  }
+  for (const ConstraintInfo& row : rows_) {
+    const double lhs = row.expr.evaluate(x);
+    switch (row.sense) {
+      case Sense::kLe:
+        if (lhs > row.rhs + tol) return false;
+        break;
+      case Sense::kGe:
+        if (lhs < row.rhs - tol) return false;
+        break;
+      case Sense::kEq:
+        if (std::abs(lhs - row.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  return objective_.evaluate(x);
+}
+
+namespace {
+std::string sanitized(const std::string& name, int index, char prefix) {
+  if (name.empty()) return std::string(1, prefix) + std::to_string(index);
+  std::string out = name;
+  for (char& c : out) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.')) {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+void write_expr(std::ostream& os, const LinExpr& e, const Model& m) {
+  bool first = true;
+  for (const LinTerm& t : e.terms()) {
+    if (t.coef >= 0 && !first) os << " + ";
+    if (t.coef < 0) os << (first ? "- " : " - ");
+    const double a = std::abs(t.coef);
+    if (a != 1.0) os << a << " ";
+    os << sanitized(m.var(t.var).name, t.var.index, 'x');
+    first = false;
+  }
+  if (first) os << "0";
+}
+}  // namespace
+
+std::string Model::to_lp_string() const {
+  std::ostringstream os;
+  os << (obj_sense_ == ObjSense::kMinimize ? "Minimize" : "Maximize")
+     << "\n obj: ";
+  write_expr(os, objective_, *this);
+  os << "\nSubject To\n";
+  for (int r = 0; r < num_constraints(); ++r) {
+    const ConstraintInfo& row = rows_[static_cast<std::size_t>(r)];
+    os << " " << sanitized(row.name, r, 'c') << ": ";
+    write_expr(os, row.expr, *this);
+    switch (row.sense) {
+      case Sense::kLe: os << " <= "; break;
+      case Sense::kGe: os << " >= "; break;
+      case Sense::kEq: os << " = "; break;
+    }
+    os << row.rhs << "\n";
+  }
+  os << "Bounds\n";
+  for (int j = 0; j < num_vars(); ++j) {
+    const VarInfo& v = vars_[static_cast<std::size_t>(j)];
+    os << " ";
+    if (v.lb == -kInfinity) {
+      os << "-inf <= ";
+    } else {
+      os << v.lb << " <= ";
+    }
+    os << sanitized(v.name, j, 'x') << " <= ";
+    if (v.ub == kInfinity) {
+      os << "+inf";
+    } else {
+      os << v.ub;
+    }
+    os << "\n";
+  }
+  os << "Generals\n";
+  for (int j = 0; j < num_vars(); ++j) {
+    const VarInfo& v = vars_[static_cast<std::size_t>(j)];
+    if (v.type != VarType::kContinuous) {
+      os << " " << sanitized(v.name, j, 'x') << "\n";
+    }
+  }
+  os << "End\n";
+  return os.str();
+}
+
+}  // namespace letdma::milp

@@ -1,0 +1,109 @@
+#include "letdma/milp/presolve.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace letdma::milp {
+namespace {
+
+constexpr double kTol = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+PresolveResult presolve_bounds(const Model& model, int max_rounds) {
+  PresolveResult out;
+  const int n = model.num_vars();
+  out.lb.resize(static_cast<std::size_t>(n));
+  out.ub.resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    out.lb[static_cast<std::size_t>(j)] = model.var(j).lb;
+    out.ub[static_cast<std::size_t>(j)] = model.var(j).ub;
+  }
+
+  auto tighten = [&](int j, double new_lb, double new_ub) {
+    double& l = out.lb[static_cast<std::size_t>(j)];
+    double& u = out.ub[static_cast<std::size_t>(j)];
+    if (model.var(j).type != VarType::kContinuous) {
+      if (new_lb > -kInf) new_lb = std::ceil(new_lb - kTol);
+      if (new_ub < kInf) new_ub = std::floor(new_ub + kTol);
+    }
+    if (new_lb > l + kTol) {
+      l = new_lb;
+      ++out.tightenings;
+    }
+    if (new_ub < u - kTol) {
+      u = new_ub;
+      ++out.tightenings;
+    }
+    if (l > u + kTol) out.infeasible = true;
+  };
+
+  for (out.rounds = 0; out.rounds < max_rounds && !out.infeasible;
+       ++out.rounds) {
+    const int before = out.tightenings;
+    for (int r = 0; r < model.num_constraints() && !out.infeasible; ++r) {
+      const ConstraintInfo& row = model.constraint(r);
+      // Activity bounds of the row under current variable bounds.
+      double act_lo = 0, act_hi = 0;
+      for (const LinTerm& t : row.expr.terms()) {
+        const double l = out.lb[static_cast<std::size_t>(t.var.index)];
+        const double u = out.ub[static_cast<std::size_t>(t.var.index)];
+        if (t.coef >= 0) {
+          act_lo += t.coef * l;
+          act_hi += t.coef * u;
+        } else {
+          act_lo += t.coef * u;
+          act_hi += t.coef * l;
+        }
+      }
+      const bool need_le =
+          row.sense == Sense::kLe || row.sense == Sense::kEq;
+      const bool need_ge =
+          row.sense == Sense::kGe || row.sense == Sense::kEq;
+      if (need_le && act_lo > row.rhs + 1e-7) {
+        out.infeasible = true;
+        break;
+      }
+      if (need_ge && act_hi < row.rhs - 1e-7) {
+        out.infeasible = true;
+        break;
+      }
+      // Per-variable propagation: remove the variable's own contribution
+      // from the activity bound and solve the row for it.
+      for (const LinTerm& t : row.expr.terms()) {
+        if (std::abs(t.coef) < kTol) continue;
+        const int j = t.var.index;
+        const double l = out.lb[static_cast<std::size_t>(j)];
+        const double u = out.ub[static_cast<std::size_t>(j)];
+        const double lo_others =
+            act_lo - (t.coef >= 0 ? t.coef * l : t.coef * u);
+        const double hi_others =
+            act_hi - (t.coef >= 0 ? t.coef * u : t.coef * l);
+        if (need_le && lo_others > -kInf) {
+          // coef*x <= rhs - lo_others
+          const double room = row.rhs - lo_others;
+          if (t.coef > 0) {
+            tighten(j, -kInf, room / t.coef);
+          } else {
+            tighten(j, room / t.coef, kInf);
+          }
+        }
+        if (need_ge && hi_others < kInf) {
+          // coef*x >= rhs - hi_others
+          const double room = row.rhs - hi_others;
+          if (t.coef > 0) {
+            tighten(j, room / t.coef, kInf);
+          } else {
+            tighten(j, -kInf, room / t.coef);
+          }
+        }
+        if (out.infeasible) break;
+      }
+    }
+    if (out.tightenings == before) break;  // fixpoint
+  }
+  return out;
+}
+
+}  // namespace letdma::milp

@@ -1,0 +1,521 @@
+#include "letdma/milp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::milp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class ColStatus : unsigned char { kBasic, kAtLower, kAtUpper, kFree };
+
+/// Dense bounded-variable full-tableau simplex. One instance per solve call;
+/// all state lives here.
+class Tableau {
+ public:
+  Tableau(const Model& model, const SimplexOptions& opt,
+          const std::vector<double>& lb_override,
+          const std::vector<double>& ub_override)
+      : model_(model), opt_(opt) {
+    build(lb_override, ub_override);
+  }
+
+  LpResult run() {
+    // Phase 1: drive artificials to zero (skipped when none are basic).
+    if (num_art_ > 0) {
+      set_phase1_costs();
+      const LpStatus st = iterate(/*phase1=*/true);
+      if (st == LpStatus::kIterLimit) return finish(st);
+      if (artificial_sum() > 1e-6) return finish(LpStatus::kInfeasible);
+      retire_artificials();
+    }
+    set_phase2_costs();
+    const LpStatus st = iterate(/*phase1=*/false);
+    return finish(st);
+  }
+
+ private:
+  // --- construction ------------------------------------------------------
+
+  void build(const std::vector<double>& lb_override,
+             const std::vector<double>& ub_override) {
+    m_ = model_.num_constraints();
+    n_ = model_.num_vars();
+    ncols_ = n_ + m_;  // structural + one slack per row
+
+    lb_.assign(static_cast<std::size_t>(ncols_), 0.0);
+    ub_.assign(static_cast<std::size_t>(ncols_), kInf);
+    for (int j = 0; j < n_; ++j) {
+      lb_[static_cast<std::size_t>(j)] =
+          lb_override[static_cast<std::size_t>(j)];
+      ub_[static_cast<std::size_t>(j)] =
+          ub_override[static_cast<std::size_t>(j)];
+    }
+    rhs_model_.resize(static_cast<std::size_t>(m_));
+    for (int i = 0; i < m_; ++i) {
+      const ConstraintInfo& row = model_.constraint(i);
+      rhs_model_[static_cast<std::size_t>(i)] = row.rhs;
+      const int s = n_ + i;
+      switch (row.sense) {
+        case Sense::kLe:
+          lb_[static_cast<std::size_t>(s)] = 0.0;
+          ub_[static_cast<std::size_t>(s)] = kInf;
+          break;
+        case Sense::kGe:
+          lb_[static_cast<std::size_t>(s)] = -kInf;
+          ub_[static_cast<std::size_t>(s)] = 0.0;
+          break;
+        case Sense::kEq:
+          lb_[static_cast<std::size_t>(s)] = 0.0;
+          ub_[static_cast<std::size_t>(s)] = 0.0;
+          break;
+      }
+    }
+
+    // Nonbasic starting point: finite bound nearest to zero, or 0 if free.
+    xval_.assign(static_cast<std::size_t>(ncols_), 0.0);
+    stat_.assign(static_cast<std::size_t>(ncols_), ColStatus::kAtLower);
+    for (int j = 0; j < ncols_; ++j) {
+      const double l = lb_[static_cast<std::size_t>(j)];
+      const double u = ub_[static_cast<std::size_t>(j)];
+      if (l > -kInf) {
+        xval_[static_cast<std::size_t>(j)] = l;
+        stat_[static_cast<std::size_t>(j)] = ColStatus::kAtLower;
+      } else if (u < kInf) {
+        xval_[static_cast<std::size_t>(j)] = u;
+        stat_[static_cast<std::size_t>(j)] = ColStatus::kAtUpper;
+      } else {
+        xval_[static_cast<std::size_t>(j)] = 0.0;
+        stat_[static_cast<std::size_t>(j)] = ColStatus::kFree;
+      }
+    }
+
+    // Row residuals with all structural columns at their start values.
+    std::vector<double> resid(rhs_model_);
+    for (int i = 0; i < m_; ++i) {
+      const ConstraintInfo& row = model_.constraint(i);
+      for (const LinTerm& t : row.expr.terms()) {
+        resid[static_cast<std::size_t>(i)] -=
+            t.coef * xval_[static_cast<std::size_t>(t.var.index)];
+      }
+    }
+
+    // Decide per row whether the slack can start basic, or an artificial
+    // is required; record artificial signs.
+    basis_.assign(static_cast<std::size_t>(m_), -1);
+    std::vector<int> art_row;
+    std::vector<double> art_sign;
+    for (int i = 0; i < m_; ++i) {
+      const int s = n_ + i;
+      const double r = resid[static_cast<std::size_t>(i)];
+      const double sl = lb_[static_cast<std::size_t>(s)];
+      const double su = ub_[static_cast<std::size_t>(s)];
+      if (r >= sl - opt_.feas_tol && r <= su + opt_.feas_tol) {
+        basis_[static_cast<std::size_t>(i)] = s;
+        xval_[static_cast<std::size_t>(s)] = std::clamp(r, sl, su);
+        stat_[static_cast<std::size_t>(s)] = ColStatus::kBasic;
+      } else {
+        const double sval = std::clamp(r, sl, su);
+        xval_[static_cast<std::size_t>(s)] = sval;
+        stat_[static_cast<std::size_t>(s)] =
+            (sval == sl) ? ColStatus::kAtLower : ColStatus::kAtUpper;
+        art_row.push_back(i);
+        art_sign.push_back(r - sval > 0 ? 1.0 : -1.0);
+      }
+    }
+    num_art_ = static_cast<int>(art_row.size());
+    total_ = ncols_ + num_art_;
+
+    // Dense tableau rows: [A | I_slack | signed I_art], pre-multiplied by
+    // B^{-1}. The initial basis matrix is diagonal with entries 1 (slack
+    // rows) or the artificial sign, so pre-multiplication is a row scale.
+    tab_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(total_),
+                0.0);
+    for (int i = 0; i < m_; ++i) {
+      const ConstraintInfo& row = model_.constraint(i);
+      for (const LinTerm& t : row.expr.terms()) {
+        at(i, t.var.index) += t.coef;
+      }
+      at(i, n_ + i) = 1.0;
+    }
+    lb_.resize(static_cast<std::size_t>(total_), 0.0);
+    ub_.resize(static_cast<std::size_t>(total_), kInf);
+    xval_.resize(static_cast<std::size_t>(total_), 0.0);
+    stat_.resize(static_cast<std::size_t>(total_), ColStatus::kAtLower);
+    for (int a = 0; a < num_art_; ++a) {
+      const int i = art_row[static_cast<std::size_t>(a)];
+      const int col = ncols_ + a;
+      at(i, col) = art_sign[static_cast<std::size_t>(a)];
+      basis_[static_cast<std::size_t>(i)] = col;
+      stat_[static_cast<std::size_t>(col)] = ColStatus::kBasic;
+      if (art_sign[static_cast<std::size_t>(a)] < 0) {
+        scale_row(i, -1.0);
+      }
+    }
+    recompute_basics();
+  }
+
+  double& at(int i, int j) {
+    return tab_[static_cast<std::size_t>(i) * static_cast<std::size_t>(total_) +
+                static_cast<std::size_t>(j)];
+  }
+  double at(int i, int j) const {
+    return tab_[static_cast<std::size_t>(i) * static_cast<std::size_t>(total_) +
+                static_cast<std::size_t>(j)];
+  }
+
+  void scale_row(int i, double k) {
+    double* row = &tab_[static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(total_)];
+    for (int j = 0; j < total_; ++j) row[j] *= k;
+  }
+
+  // --- invariant maintenance ---------------------------------------------
+
+  /// Recomputes basic variable values exactly from beta_ (B^{-1}b, kept in
+  /// lockstep with the tableau by pivot()) and the nonbasic values:
+  ///   xB_i = beta_i - sum_{nonbasic j} tab(i,j) * x_j.
+  /// Called periodically to wash out incremental drift.
+  void recompute_basics() {
+    if (beta_empty_) {
+      // First call: beta = B^{-1} b. The initial B is (signed) diagonal and
+      // row scaling was already applied to tab_, so replicate it on rhs.
+      beta_.resize(static_cast<std::size_t>(m_));
+      for (int i = 0; i < m_; ++i) {
+        // The row scale applied to tab_ rows for negative artificial signs
+        // must also apply to the rhs; detect it from the basic column.
+        const int bj = basis_[static_cast<std::size_t>(i)];
+        const double diag = at(i, bj);  // +1 by construction after scaling
+        LETDMA_ENSURE(std::abs(diag - 1.0) < 1e-9,
+                      "initial basis column is not unit");
+        // Determine whether this row was scaled by -1: the slack column
+        // coefficient tells us (slack col had +1 before scaling).
+        const double slack_coef = at(i, n_ + i);
+        beta_[static_cast<std::size_t>(i)] =
+            slack_coef * rhs_model_[static_cast<std::size_t>(i)];
+      }
+      beta_empty_ = false;
+    }
+    for (int i = 0; i < m_; ++i) {
+      double v = beta_[static_cast<std::size_t>(i)];
+      const double* row = &tab_[static_cast<std::size_t>(i) *
+                                static_cast<std::size_t>(total_)];
+      for (int j = 0; j < total_; ++j) {
+        if (stat_[static_cast<std::size_t>(j)] != ColStatus::kBasic &&
+            row[j] != 0.0) {
+          v -= row[j] * xval_[static_cast<std::size_t>(j)];
+        }
+      }
+      xval_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] = v;
+    }
+  }
+
+  void set_phase1_costs() {
+    cost_.assign(static_cast<std::size_t>(total_), 0.0);
+    for (int a = 0; a < num_art_; ++a) {
+      cost_[static_cast<std::size_t>(ncols_ + a)] = 1.0;
+    }
+    refresh_reduced_costs();
+  }
+
+  void set_phase2_costs() {
+    cost_.assign(static_cast<std::size_t>(total_), 0.0);
+    const double sign =
+        model_.objective_sense() == ObjSense::kMinimize ? 1.0 : -1.0;
+    for (const LinTerm& t : model_.objective().terms()) {
+      cost_[static_cast<std::size_t>(t.var.index)] += sign * t.coef;
+    }
+    refresh_reduced_costs();
+  }
+
+  void refresh_reduced_costs() {
+    // d = c - c_B^T * tab  (tab already equals B^{-1} A_all).
+    dcost_ = cost_;
+    for (int i = 0; i < m_; ++i) {
+      const double cb =
+          cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+      if (cb == 0.0) continue;
+      const double* row = &tab_[static_cast<std::size_t>(i) *
+                                static_cast<std::size_t>(total_)];
+      for (int j = 0; j < total_; ++j) {
+        dcost_[static_cast<std::size_t>(j)] -= cb * row[j];
+      }
+    }
+    for (int i = 0; i < m_; ++i) {
+      dcost_[static_cast<std::size_t>(
+          basis_[static_cast<std::size_t>(i)])] = 0.0;
+    }
+  }
+
+  double artificial_sum() const {
+    double s = 0.0;
+    for (int a = 0; a < num_art_; ++a) {
+      s += std::abs(xval_[static_cast<std::size_t>(ncols_ + a)]);
+    }
+    return s;
+  }
+
+  /// After phase 1: pin artificials at zero and pivot basic ones out where
+  /// possible; rows where that fails are redundant and keep a zero-fixed
+  /// artificial as a placeholder basic variable.
+  void retire_artificials() {
+    for (int a = 0; a < num_art_; ++a) {
+      const int col = ncols_ + a;
+      lb_[static_cast<std::size_t>(col)] = 0.0;
+      ub_[static_cast<std::size_t>(col)] = 0.0;
+      xval_[static_cast<std::size_t>(col)] =
+          std::abs(xval_[static_cast<std::size_t>(col)]) < opt_.feas_tol
+              ? 0.0
+              : xval_[static_cast<std::size_t>(col)];
+    }
+    for (int i = 0; i < m_; ++i) {
+      const int bj = basis_[static_cast<std::size_t>(i)];
+      if (bj < ncols_) continue;  // not artificial
+      // Try to pivot the artificial out on any usable non-artificial column.
+      int pivot_col = -1;
+      double best = opt_.pivot_tol;
+      for (int j = 0; j < ncols_; ++j) {
+        if (stat_[static_cast<std::size_t>(j)] == ColStatus::kBasic) continue;
+        const double y = std::abs(at(i, j));
+        if (y > best) {
+          best = y;
+          pivot_col = j;
+        }
+      }
+      if (pivot_col >= 0) {
+        // Degenerate pivot: the artificial is at 0, so the entering column
+        // enters at its current value; basic values are unchanged.
+        pivot(i, pivot_col, /*entering_value=*/
+              xval_[static_cast<std::size_t>(pivot_col)]);
+      }
+      // else: redundant row; artificial stays basic, fixed at 0.
+    }
+  }
+
+  // --- simplex iterations --------------------------------------------------
+
+  LpStatus iterate(bool phase1) {
+    long degen_streak = 0;
+    bool bland = false;
+    for (;;) {
+      if (iterations_ >= opt_.max_iterations) return LpStatus::kIterLimit;
+      if ((iterations_ & 0x1ff) == 0x1ff) {
+        refresh_reduced_costs();
+        recompute_basics();
+      }
+
+      // Pricing: pick an entering column with a violating reduced cost.
+      int q = -1;
+      double q_score = opt_.opt_tol;
+      int q_dir = 0;
+      for (int j = 0; j < total_; ++j) {
+        const ColStatus st = stat_[static_cast<std::size_t>(j)];
+        if (st == ColStatus::kBasic) continue;
+        if (lb_[static_cast<std::size_t>(j)] ==
+                ub_[static_cast<std::size_t>(j)])
+          continue;  // fixed
+        const double d = dcost_[static_cast<std::size_t>(j)];
+        int dir = 0;
+        if (st == ColStatus::kAtLower && d < -opt_.opt_tol) dir = +1;
+        else if (st == ColStatus::kAtUpper && d > opt_.opt_tol) dir = -1;
+        else if (st == ColStatus::kFree && std::abs(d) > opt_.opt_tol)
+          dir = d < 0 ? +1 : -1;
+        if (dir == 0) continue;
+        if (bland) {  // first eligible index
+          q = j;
+          q_dir = dir;
+          break;
+        }
+        const double score = std::abs(d);
+        if (score > q_score) {
+          q_score = score;
+          q = j;
+          q_dir = dir;
+        }
+      }
+      if (q < 0) return LpStatus::kOptimal;  // optimal for current phase
+
+      // Ratio test along direction q_dir for column q.
+      double t_max = kInf;
+      int leave_row = -1;
+      double leave_bound = 0.0;  // bound hit by the leaving variable
+      // Entering variable's own opposite bound allows a bound flip.
+      const double range = ub_[static_cast<std::size_t>(q)] -
+                           lb_[static_cast<std::size_t>(q)];
+      bool flip = false;
+      if (range < kInf) {
+        t_max = range;
+        flip = true;
+      }
+      for (int i = 0; i < m_; ++i) {
+        const double y = at(i, q);
+        if (std::abs(y) <= opt_.pivot_tol) continue;
+        const int bj = basis_[static_cast<std::size_t>(i)];
+        const double v = xval_[static_cast<std::size_t>(bj)];
+        const double rate = -static_cast<double>(q_dir) * y;
+        double t_i = kInf;
+        double bound = 0.0;
+        if (rate > 0.0) {
+          if (ub_[static_cast<std::size_t>(bj)] < kInf) {
+            t_i = (ub_[static_cast<std::size_t>(bj)] - v) / rate;
+            bound = ub_[static_cast<std::size_t>(bj)];
+          }
+        } else {
+          if (lb_[static_cast<std::size_t>(bj)] > -kInf) {
+            t_i = (lb_[static_cast<std::size_t>(bj)] - v) / rate;
+            bound = lb_[static_cast<std::size_t>(bj)];
+          }
+        }
+        if (t_i < -1e-9) t_i = 0.0;  // numerical: already past the bound
+        const bool better =
+            t_i < t_max - 1e-12 ||
+            (t_i < t_max + 1e-12 && leave_row >= 0 &&
+             std::abs(y) > std::abs(at(leave_row, q)));
+        if (better) {
+          t_max = std::max(t_i, 0.0);
+          leave_row = i;
+          leave_bound = bound;
+          flip = false;
+        }
+      }
+
+      if (t_max == kInf) {
+        return phase1 ? LpStatus::kInfeasible  // cannot happen: phase-1 obj
+                                               // is bounded below by 0
+                      : LpStatus::kUnbounded;
+      }
+
+      // Apply the step.
+      const double step = static_cast<double>(q_dir) * t_max;
+      for (int i = 0; i < m_; ++i) {
+        const double y = at(i, q);
+        if (y == 0.0) continue;
+        const int bj = basis_[static_cast<std::size_t>(i)];
+        xval_[static_cast<std::size_t>(bj)] -= step * y;
+      }
+      xval_[static_cast<std::size_t>(q)] += step;
+
+      if (flip) {
+        stat_[static_cast<std::size_t>(q)] =
+            (q_dir > 0) ? ColStatus::kAtUpper : ColStatus::kAtLower;
+        ++iterations_;
+        continue;
+      }
+
+      // Pivot: q enters the basis at row leave_row; the old basic leaves
+      // to the bound it hit.
+      const int old_basic = basis_[static_cast<std::size_t>(leave_row)];
+      xval_[static_cast<std::size_t>(old_basic)] = leave_bound;
+      stat_[static_cast<std::size_t>(old_basic)] =
+          (leave_bound == lb_[static_cast<std::size_t>(old_basic)])
+              ? ColStatus::kAtLower
+              : ColStatus::kAtUpper;
+      pivot(leave_row, q, xval_[static_cast<std::size_t>(q)]);
+
+      ++iterations_;
+      if (t_max <= 1e-12) {
+        if (++degen_streak > 400) bland = true;
+      } else {
+        degen_streak = 0;
+        bland = false;
+      }
+    }
+  }
+
+  /// Row-reduces the tableau so column q becomes the unit column of
+  /// `row`; updates basis bookkeeping, beta_, and reduced costs.
+  void pivot(int row, int q, double entering_value) {
+    const double p = at(row, q);
+    LETDMA_ENSURE(std::abs(p) > opt_.pivot_tol, "pivot on a ~zero element");
+    const double inv = 1.0 / p;
+    double* prow =
+        &tab_[static_cast<std::size_t>(row) * static_cast<std::size_t>(total_)];
+    for (int j = 0; j < total_; ++j) prow[j] *= inv;
+    beta_[static_cast<std::size_t>(row)] *= inv;
+    for (int i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      const double f = at(i, q);
+      if (f == 0.0) continue;
+      double* irow =
+          &tab_[static_cast<std::size_t>(i) * static_cast<std::size_t>(total_)];
+      for (int j = 0; j < total_; ++j) irow[j] -= f * prow[j];
+      beta_[static_cast<std::size_t>(i)] -=
+          f * beta_[static_cast<std::size_t>(row)];
+    }
+    const double dq = dcost_[static_cast<std::size_t>(q)];
+    if (dq != 0.0) {
+      for (int j = 0; j < total_; ++j) {
+        dcost_[static_cast<std::size_t>(j)] -= dq * prow[j];
+      }
+    }
+    dcost_[static_cast<std::size_t>(q)] = 0.0;
+    basis_[static_cast<std::size_t>(row)] = q;
+    stat_[static_cast<std::size_t>(q)] = ColStatus::kBasic;
+    xval_[static_cast<std::size_t>(q)] = entering_value;
+  }
+
+  LpResult finish(LpStatus st) {
+    LpResult out;
+    out.status = st;
+    out.iterations = iterations_;
+    if (st == LpStatus::kOptimal) {
+      recompute_basics();
+      out.x.resize(static_cast<std::size_t>(n_));
+      for (int j = 0; j < n_; ++j) {
+        out.x[static_cast<std::size_t>(j)] =
+            xval_[static_cast<std::size_t>(j)];
+      }
+      out.objective = model_.objective().evaluate(out.x);
+    }
+    return out;
+  }
+
+  const Model& model_;
+  SimplexOptions opt_;
+  int m_ = 0, n_ = 0, ncols_ = 0, num_art_ = 0, total_ = 0;
+  std::vector<double> tab_;
+  std::vector<double> beta_;  // B^{-1} b, kept in lockstep with tab_
+  bool beta_empty_ = true;
+  std::vector<double> rhs_model_;
+  std::vector<double> lb_, ub_, xval_, cost_, dcost_;
+  std::vector<int> basis_;
+  std::vector<ColStatus> stat_;
+  long iterations_ = 0;
+};
+
+}  // namespace
+
+SimplexSolver::SimplexSolver(const Model& model, SimplexOptions options)
+    : model_(model), options_(options) {}
+
+LpResult SimplexSolver::solve() const {
+  std::vector<double> lb(static_cast<std::size_t>(model_.num_vars()));
+  std::vector<double> ub(static_cast<std::size_t>(model_.num_vars()));
+  for (int j = 0; j < model_.num_vars(); ++j) {
+    lb[static_cast<std::size_t>(j)] = model_.var(j).lb;
+    ub[static_cast<std::size_t>(j)] = model_.var(j).ub;
+  }
+  return solve_with_bounds(lb, ub);
+}
+
+LpResult SimplexSolver::solve_with_bounds(
+    const std::vector<double>& lb, const std::vector<double>& ub) const {
+  LETDMA_ENSURE(static_cast<int>(lb.size()) == model_.num_vars() &&
+                    static_cast<int>(ub.size()) == model_.num_vars(),
+                "bound override vectors must match the variable count");
+  for (int j = 0; j < model_.num_vars(); ++j) {
+    if (lb[static_cast<std::size_t>(j)] > ub[static_cast<std::size_t>(j)]) {
+      LpResult out;
+      out.status = LpStatus::kInfeasible;
+      return out;
+    }
+  }
+  Tableau t(model_, options_, lb, ub);
+  return t.run();
+}
+
+}  // namespace letdma::milp

@@ -1,0 +1,367 @@
+#include "letdma/milp/solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <queue>
+
+#include "letdma/milp/presolve.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::milp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A branch-and-bound node stores only its bound change relative to the
+/// parent; full bound vectors are materialized on demand by walking the
+/// parent chain.
+struct Node {
+  std::shared_ptr<const Node> parent;
+  int var = -1;      // changed variable (-1 for the root)
+  double lb = 0.0;   // new bounds for `var`
+  double ub = 0.0;
+  double bound;      // parent relaxation value (internal minimize sense)
+  int depth = 0;
+  // Branching bookkeeping for pseudocost updates.
+  double frac = 0.0;    // fractional part of `var` at the parent
+  bool is_down = false; // this node is the floor-side child
+};
+
+struct QueueEntry {
+  std::shared_ptr<const Node> node;
+};
+
+struct BestBoundOrder {
+  bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+    if (a.node->bound != b.node->bound) return a.node->bound > b.node->bound;
+    return a.node->depth < b.node->depth;  // on ties, dive (DFS-like)
+  }
+};
+
+}  // namespace
+
+double MilpResult::gap() const {
+  if (x.empty()) return kInf;
+  const double denom = std::max(1.0, std::abs(objective));
+  return std::abs(objective - best_bound) / denom;
+}
+
+MilpSolver::MilpSolver(Model& model, MilpOptions options)
+    : model_(model), options_(options) {}
+
+void MilpSolver::set_lazy_callback(LazyConstraintCallback cb) {
+  lazy_ = std::move(cb);
+}
+
+bool MilpSolver::set_warm_start(std::vector<double> x) {
+  if (!model_.is_feasible(x, options_.int_tol)) return false;
+  if (lazy_) {
+    const auto violated = lazy_(x);
+    if (!violated.empty()) return false;
+  }
+  warm_start_ = std::move(x);
+  return true;
+}
+
+MilpResult MilpSolver::solve() {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  const double sense_sign =
+      model_.objective_sense() == ObjSense::kMinimize ? 1.0 : -1.0;
+
+  MilpResult result;
+  MilpStats& stats = result.stats;
+
+  // Incumbent (internal minimize sense).
+  double incumbent_obj = kInf;
+  std::vector<double> incumbent_x;
+  auto accept_incumbent = [&](std::vector<double> x, double internal_obj) {
+    // Snap integers exactly for a clean reported solution.
+    for (int j = 0; j < model_.num_vars(); ++j) {
+      if (model_.var(j).type != VarType::kContinuous) {
+        x[static_cast<std::size_t>(j)] =
+            std::round(x[static_cast<std::size_t>(j)]);
+      }
+    }
+    incumbent_obj = internal_obj;
+    incumbent_x = std::move(x);
+    if (options_.log) {
+      std::fprintf(stderr,
+                   "[milp] incumbent obj=%.6g nodes=%ld t=%.2fs\n",
+                   sense_sign * incumbent_obj, stats.nodes_explored,
+                   elapsed());
+    }
+  };
+
+  if (!warm_start_.empty()) {
+    accept_incumbent(warm_start_,
+                     sense_sign * model_.objective_value(warm_start_));
+  }
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, BestBoundOrder>
+      open;
+  auto root = std::make_shared<Node>();
+  root->bound = -kInf;
+  open.push({root});
+
+  SimplexSolver lp(model_, options_.lp);
+  std::vector<double> lb, ub;
+  bool bound_proof_intact = true;  // false if any node was lost to limits
+
+  // Root presolve: propagated bounds apply to every node (lazy rows can
+  // only shrink the feasible set further). An accepted warm start is
+  // proof of feasibility, so a presolve infeasibility verdict is only
+  // trusted without one.
+  PresolveResult presolved;
+  if (options_.presolve) {
+    presolved = presolve_bounds(model_);
+    if (presolved.infeasible && incumbent_x.empty()) {
+      result.status = MilpStatus::kInfeasible;
+      result.stats.wall_sec = elapsed();
+      return result;
+    }
+  }
+
+  auto materialize_bounds = [&](const Node& node) {
+    // Bounds are rebuilt from the model each time because lazy callbacks
+    // may append variables (and rows) mid-solve; node chains only ever
+    // reference variables that existed when the node was created.
+    const int n = model_.num_vars();
+    lb.resize(static_cast<std::size_t>(n));
+    ub.resize(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      lb[static_cast<std::size_t>(j)] = model_.var(j).lb;
+      ub[static_cast<std::size_t>(j)] = model_.var(j).ub;
+    }
+    if (options_.presolve && !presolved.infeasible) {
+      const int np = static_cast<int>(presolved.lb.size());
+      for (int j = 0; j < std::min(n, np); ++j) {
+        lb[static_cast<std::size_t>(j)] =
+            std::max(lb[static_cast<std::size_t>(j)],
+                     presolved.lb[static_cast<std::size_t>(j)]);
+        ub[static_cast<std::size_t>(j)] =
+            std::min(ub[static_cast<std::size_t>(j)],
+                     presolved.ub[static_cast<std::size_t>(j)]);
+      }
+    }
+    // Apply changes root->leaf so later (deeper) changes win. Changes only
+    // tighten, so applying leaf-first with max/min is equivalent; we walk
+    // the chain and intersect.
+    for (const Node* p = &node; p != nullptr; p = p->parent.get()) {
+      if (p->var < 0) continue;
+      lb[static_cast<std::size_t>(p->var)] =
+          std::max(lb[static_cast<std::size_t>(p->var)], p->lb);
+      ub[static_cast<std::size_t>(p->var)] =
+          std::min(ub[static_cast<std::size_t>(p->var)], p->ub);
+    }
+  };
+
+  // Pseudocosts: per variable, average relaxation degradation observed per
+  // unit of fractionality when branching down/up. Guides later branching
+  // decisions toward variables that actually move the bound.
+  struct Pseudocost {
+    double down_sum = 0, up_sum = 0;
+    int down_n = 0, up_n = 0;
+  };
+  std::vector<Pseudocost> pseudo;
+  auto pseudo_of = [&](int var) -> Pseudocost& {
+    if (var >= static_cast<int>(pseudo.size())) {
+      pseudo.resize(static_cast<std::size_t>(var) + 1);
+    }
+    return pseudo[static_cast<std::size_t>(var)];
+  };
+
+  // Depth-first plunging: after branching, dive into one child directly
+  // (skipping the queue) until the plunge ends in a prune/leaf — finds
+  // incumbents early while the queue keeps global best-bound order.
+  std::shared_ptr<const Node> plunge;
+
+  MilpStatus final_status = MilpStatus::kOptimal;
+  while (!open.empty() || plunge != nullptr) {
+    if (elapsed() > options_.time_limit_sec ||
+        stats.nodes_explored >= options_.node_limit) {
+      bound_proof_intact = false;
+      final_status = incumbent_x.empty() ? MilpStatus::kLimit
+                                         : MilpStatus::kFeasible;
+      break;
+    }
+    std::shared_ptr<const Node> picked;
+    if (plunge != nullptr) {
+      picked = std::move(plunge);
+      plunge = nullptr;
+    } else {
+      picked = open.top().node;
+      open.pop();
+    }
+    const Node& node = *picked;
+    const QueueEntry entry{picked};
+
+    // Prune by bound (the incumbent may have improved since push).
+    if (node.bound >= incumbent_obj - options_.abs_gap) continue;
+
+    ++stats.nodes_explored;
+
+    // Re-solve loop: lazy rows/columns may be added while this node is
+    // integral, so the variable count is refreshed per pass.
+    for (;;) {
+      materialize_bounds(node);
+      const int n = model_.num_vars();
+      const LpResult rel = lp.solve_with_bounds(lb, ub);
+      stats.lp_iterations += rel.iterations;
+      if (rel.status == LpStatus::kInfeasible) break;
+      if (rel.status == LpStatus::kUnbounded) {
+        if (!model_.has_integer_vars() || node.depth == 0) {
+          result.status = MilpStatus::kUnbounded;
+          result.stats.wall_sec = elapsed();
+          return result;
+        }
+        bound_proof_intact = false;
+        break;
+      }
+      if (rel.status == LpStatus::kIterLimit) {
+        bound_proof_intact = false;  // node unresolved; optimality is lost
+        break;
+      }
+      const double node_obj = sense_sign * rel.objective;
+
+      // Feed the pseudocost of the branching that created this node.
+      if (node.var >= 0 && node.frac > options_.int_tol &&
+          node.bound > -kInf) {
+        const double degradation =
+            std::max(0.0, node_obj - node.bound) /
+            (node.is_down ? node.frac : (1.0 - node.frac));
+        Pseudocost& pc = pseudo_of(node.var);
+        if (node.is_down) {
+          pc.down_sum += degradation;
+          pc.down_n += 1;
+        } else {
+          pc.up_sum += degradation;
+          pc.up_n += 1;
+        }
+      }
+
+      if (node_obj >= incumbent_obj - options_.abs_gap) break;  // pruned
+
+      // Pick the branching variable: pseudocost product score, falling
+      // back to most-fractional while no history exists.
+      int branch_var = -1;
+      double best_score = -1.0;
+      double branch_frac = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (model_.var(j).type == VarType::kContinuous) continue;
+        const double v = rel.x[static_cast<std::size_t>(j)];
+        const double frac = v - std::floor(v);
+        const double dist = std::min(frac, 1.0 - frac);
+        if (dist <= options_.int_tol) continue;
+        const Pseudocost& pc = pseudo_of(j);
+        const double down_rate = pc.down_n > 0 ? pc.down_sum / pc.down_n : 1.0;
+        const double up_rate = pc.up_n > 0 ? pc.up_sum / pc.up_n : 1.0;
+        const double down_est = down_rate * frac;
+        const double up_est = up_rate * (1.0 - frac);
+        // Product rule with the fractionality as a tiebreaker.
+        const double score =
+            std::max(down_est, 1e-8) * std::max(up_est, 1e-8) + 1e-3 * dist;
+        if (score > best_score) {
+          best_score = score;
+          branch_var = j;
+          branch_frac = frac;
+        }
+      }
+
+      if (branch_var < 0) {
+        // Integral relaxation: separate lazy rows, else new incumbent.
+        if (lazy_) {
+          std::vector<double> snapped = rel.x;
+          for (int j = 0; j < n; ++j) {
+            if (model_.var(j).type != VarType::kContinuous) {
+              snapped[static_cast<std::size_t>(j)] =
+                  std::round(snapped[static_cast<std::size_t>(j)]);
+            }
+          }
+          std::vector<LazyRow> rows = lazy_(snapped);
+          if (!rows.empty()) {
+            for (LazyRow& r : rows) {
+              model_.add_constraint(std::move(r.expr), r.sense, r.rhs,
+                                    std::move(r.name));
+              ++stats.lazy_rows_added;
+            }
+            continue;  // re-solve the same node against the enlarged model
+          }
+        }
+        accept_incumbent(rel.x, node_obj);
+        break;
+      }
+
+      // Branch; dive into the child closer to the relaxation value and
+      // queue the other.
+      const double v = rel.x[static_cast<std::size_t>(branch_var)];
+      const double dn = std::floor(v);
+      auto down = std::make_shared<Node>();
+      down->parent = entry.node;
+      down->var = branch_var;
+      down->lb = lb[static_cast<std::size_t>(branch_var)];
+      down->ub = dn;
+      down->bound = node_obj;
+      down->depth = node.depth + 1;
+      down->frac = branch_frac;
+      down->is_down = true;
+      auto up = std::make_shared<Node>();
+      up->parent = entry.node;
+      up->var = branch_var;
+      up->lb = dn + 1.0;
+      up->ub = ub[static_cast<std::size_t>(branch_var)];
+      up->bound = node_obj;
+      up->depth = node.depth + 1;
+      up->frac = branch_frac;
+      up->is_down = false;
+      if (branch_frac < 0.5) {
+        plunge = std::move(down);
+        open.push({std::move(up)});
+      } else {
+        plunge = std::move(up);
+        open.push({std::move(down)});
+      }
+      break;
+    }
+  }
+
+  // Assemble the result. A pending plunge node is part of the open set for
+  // bound purposes.
+  double best_open_bound = incumbent_obj;
+  if (!open.empty()) {
+    best_open_bound = std::min(best_open_bound, open.top().node->bound);
+  }
+  if (plunge != nullptr) {
+    best_open_bound = std::min(best_open_bound, plunge->bound);
+  }
+  result.stats.wall_sec = elapsed();
+  if (incumbent_x.empty()) {
+    if (open.empty() && plunge == nullptr && bound_proof_intact) {
+      result.status = MilpStatus::kInfeasible;
+    } else {
+      result.status = MilpStatus::kLimit;
+    }
+    return result;
+  }
+  result.x = std::move(incumbent_x);
+  result.objective = sense_sign * incumbent_obj;
+  if (open.empty() && plunge == nullptr && bound_proof_intact) {
+    result.status = MilpStatus::kOptimal;
+    result.best_bound = result.objective;
+  } else {
+    result.status = final_status == MilpStatus::kOptimal
+                        ? MilpStatus::kFeasible
+                        : final_status;
+    result.best_bound = sense_sign * best_open_bound;
+  }
+  return result;
+}
+
+}  // namespace letdma::milp

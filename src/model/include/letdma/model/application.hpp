@@ -1,0 +1,115 @@
+// Application model (Section III): periodic tasks with implicit deadlines,
+// statically partitioned onto cores, communicating through labels. Shared
+// labels have a single writer and any number of readers; the inter-core
+// subset (writer and reader on different cores) is what the LET-DMA
+// machinery operates on.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "letdma/model/platform.hpp"
+#include "letdma/support/time.hpp"
+
+namespace letdma::model {
+
+/// Identifies a task (0-based insertion order).
+struct TaskId {
+  int value = -1;
+  friend bool operator==(TaskId a, TaskId b) { return a.value == b.value; }
+  friend auto operator<=>(TaskId a, TaskId b) { return a.value <=> b.value; }
+};
+
+/// Identifies a label (0-based insertion order).
+struct LabelId {
+  int value = -1;
+  friend bool operator==(LabelId a, LabelId b) { return a.value == b.value; }
+  friend auto operator<=>(LabelId a, LabelId b) { return a.value <=> b.value; }
+};
+
+struct Task {
+  std::string name;
+  Time period = 0;  // T_i; implicit deadline D_i = T_i
+  Time wcet = 0;    // C_i, used by response-time analysis and the simulator
+  CoreId core;      // static partition P(tau_i)
+  /// Fixed priority, smaller value = higher priority; unique per core.
+  int priority = 0;
+  /// Data-acquisition deadline gamma_i (latest allowed readiness after
+  /// release). Unset means "no constraint" (gamma_i = T_i).
+  std::optional<Time> acquisition_deadline;
+};
+
+struct Label {
+  std::string name;
+  std::int64_t size_bytes = 0;  // sigma_l
+  TaskId writer;                // single writer by model assumption
+  std::vector<TaskId> readers;  // any number of readers
+};
+
+/// A producer/consumer relation over one label, with both ends on
+/// different cores (the communications the DMA must carry).
+struct InterCoreEdge {
+  LabelId label;
+  TaskId producer;
+  TaskId consumer;
+};
+
+class Application {
+ public:
+  explicit Application(Platform platform);
+
+  /// Adds a task; priority defaults to rate-monotonic order (assigned by
+  /// finalize()) when `priority` is negative.
+  TaskId add_task(std::string name, Time period, Time wcet, CoreId core,
+                  int priority = -1);
+
+  /// Adds a label written by `writer` and read by `readers` (readers on the
+  /// writer's own core are allowed; they communicate by double buffering
+  /// and do not generate DMA traffic).
+  LabelId add_label(std::string name, std::int64_t size_bytes, TaskId writer,
+                    std::vector<TaskId> readers);
+
+  void set_acquisition_deadline(TaskId task, Time gamma);
+
+  /// Validates the model and assigns default (rate-monotonic) priorities to
+  /// tasks that have none. Must be called before the queries below; further
+  /// mutation is rejected afterwards.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  const Platform& platform() const { return platform_; }
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  int num_labels() const { return static_cast<int>(labels_.size()); }
+  const Task& task(TaskId id) const;
+  const Label& label(LabelId id) const;
+  TaskId find_task(const std::string& name) const;
+
+  /// Tasks assigned to a core (Gamma_k), sorted by priority.
+  std::vector<TaskId> tasks_on(CoreId core) const;
+
+  /// All inter-core producer->consumer edges (the L^S pairs).
+  const std::vector<InterCoreEdge>& inter_core_edges() const;
+
+  /// Inter-core labels written by `producer` and read by `consumer`
+  /// (L^S(producer, consumer)).
+  std::vector<LabelId> shared_labels(TaskId producer, TaskId consumer) const;
+
+  /// True when the label has at least one reader on another core.
+  bool is_inter_core(LabelId id) const;
+
+  /// Hyperperiod H of the full task set.
+  Time hyperperiod() const;
+
+ private:
+  void require_finalized() const;
+  void require_mutable() const;
+
+  Platform platform_;
+  std::vector<Task> tasks_;
+  std::vector<Label> labels_;
+  std::vector<InterCoreEdge> edges_;  // built by finalize()
+  bool finalized_ = false;
+};
+
+}  // namespace letdma::model

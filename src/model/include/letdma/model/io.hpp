@@ -1,0 +1,29 @@
+// Plain-text serialization of applications.
+//
+// Line-oriented format (order: platform, tasks, labels; '#' comments):
+//
+//   platform cores=2 odp_ns=3360 oisr_ns=10000 wc=1.0 cpu_wc=4.0 cpu_oh_ns=200
+//   task name=tau1 period_ns=10000000 wcet_ns=2000000 core=0 [gamma_ns=...]
+//   label name=lA bytes=2000 writer=tau1 readers=tau2,tau4
+//
+// write_application() emits this format; read_application() parses it and
+// returns a finalized application. Both round-trip exactly (ns-resolution
+// times, byte sizes). Parsing is strict: unknown directives, missing keys
+// and dangling references throw PreconditionError with a line number.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "letdma/model/application.hpp"
+
+namespace letdma::model {
+
+/// Serializes a finalized application.
+std::string write_application(const Application& app);
+
+/// Parses the format above; throws support::PreconditionError with the
+/// offending line number on malformed input.
+std::unique_ptr<Application> read_application(const std::string& text);
+
+}  // namespace letdma::model

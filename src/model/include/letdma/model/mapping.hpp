@@ -1,0 +1,50 @@
+// Task-mapping utilities.
+//
+// The paper takes the partition as input (its case study uses the mapping
+// of the WATERS 2019 challenge solution). These helpers make the mapping
+// explorable: clone an application under a different core assignment, and
+// search for an assignment that minimizes the inter-core communication
+// volume subject to a per-core utilization cap — the quantity that drives
+// every DMA cost in the protocol (cf. Pazzaglia et al., RTSS 2019, for the
+// full functional-deployment problem).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "letdma/model/application.hpp"
+
+namespace letdma::model {
+
+/// Rebuilds `app` with tasks assigned to `core_of_task` (indexed by
+/// TaskId::value; values in [0, num_cores)). Priorities are re-derived
+/// rate-monotonically per core; labels and deadlines are preserved.
+std::unique_ptr<Application> clone_with_mapping(
+    const Application& app, const std::vector<int>& core_of_task);
+
+/// Bytes crossing cores per hyperperiod-synchronous instant: for every
+/// label whose writer and some reader sit on different cores, one write
+/// plus one read per remote reader core... measured as the total payload
+/// the DMA must carry at s0 (the paper's dominating cost term).
+std::int64_t inter_core_bytes(const Application& app);
+
+struct MappingSearchOptions {
+  /// Per-core utilization cap enforced during the search.
+  double max_core_utilization = 0.8;
+  /// Accepted-move limit.
+  int max_moves = 200;
+};
+
+struct MappingSearchResult {
+  std::vector<int> core_of_task;
+  std::int64_t bytes = 0;   // inter-core payload of the result
+  int moves = 0;            // accepted reassignments
+};
+
+/// Greedy descent from the current mapping: repeatedly relocate the task
+/// whose move yields the largest inter-core byte reduction while keeping
+/// every core under the utilization cap. Deterministic.
+MappingSearchResult minimize_inter_core_traffic(
+    const Application& app, MappingSearchOptions options = {});
+
+}  // namespace letdma::model

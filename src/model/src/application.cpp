@@ -1,0 +1,174 @@
+#include "letdma/model/application.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::model {
+
+Application::Application(Platform platform) : platform_(std::move(platform)) {}
+
+TaskId Application::add_task(std::string name, Time period, Time wcet,
+                             CoreId core, int priority) {
+  require_mutable();
+  LETDMA_ENSURE(period > 0, "task `" + name + "` needs a positive period");
+  LETDMA_ENSURE(wcet >= 0 && wcet <= period,
+                "task `" + name + "` WCET must be in [0, period]");
+  LETDMA_ENSURE(core.value >= 0 && core.value < platform_.num_cores(),
+                "task `" + name + "` mapped to an unknown core");
+  for (const Task& t : tasks_) {
+    LETDMA_ENSURE(t.name != name, "duplicate task name `" + name + "`");
+  }
+  tasks_.push_back({std::move(name), period, wcet, core, priority, {}});
+  return TaskId{static_cast<int>(tasks_.size()) - 1};
+}
+
+LabelId Application::add_label(std::string name, std::int64_t size_bytes,
+                               TaskId writer, std::vector<TaskId> readers) {
+  require_mutable();
+  LETDMA_ENSURE(size_bytes > 0, "label `" + name + "` needs a positive size");
+  LETDMA_ENSURE(writer.value >= 0 && writer.value < num_tasks(),
+                "label `" + name + "` written by an unknown task");
+  std::set<int> seen;
+  for (const TaskId r : readers) {
+    LETDMA_ENSURE(r.value >= 0 && r.value < num_tasks(),
+                  "label `" + name + "` read by an unknown task");
+    LETDMA_ENSURE(!(r == writer),
+                  "label `" + name + "` read by its own writer");
+    LETDMA_ENSURE(seen.insert(r.value).second,
+                  "label `" + name + "` lists a reader twice");
+  }
+  for (const Label& l : labels_) {
+    LETDMA_ENSURE(l.name != name, "duplicate label name `" + name + "`");
+  }
+  labels_.push_back({std::move(name), size_bytes, writer, std::move(readers)});
+  return LabelId{static_cast<int>(labels_.size()) - 1};
+}
+
+void Application::set_acquisition_deadline(TaskId task, Time gamma) {
+  LETDMA_ENSURE(task.value >= 0 && task.value < num_tasks(), "unknown task");
+  LETDMA_ENSURE(gamma >= 0, "acquisition deadline must be non-negative");
+  tasks_[static_cast<std::size_t>(task.value)].acquisition_deadline = gamma;
+}
+
+void Application::finalize() {
+  require_mutable();
+  LETDMA_ENSURE(!tasks_.empty(), "an application needs at least one task");
+
+  // Assign rate-monotonic priorities (per core) to tasks without one, then
+  // verify uniqueness per core.
+  for (int k = 0; k < platform_.num_cores(); ++k) {
+    std::vector<int> core_tasks;
+    for (int i = 0; i < num_tasks(); ++i) {
+      if (tasks_[static_cast<std::size_t>(i)].core.value == k) {
+        core_tasks.push_back(i);
+      }
+    }
+    const bool any_unset = std::any_of(
+        core_tasks.begin(), core_tasks.end(),
+        [&](int i) { return tasks_[static_cast<std::size_t>(i)].priority < 0; });
+    if (any_unset) {
+      std::vector<int> order = core_tasks;
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        const Task& ta = tasks_[static_cast<std::size_t>(a)];
+        const Task& tb = tasks_[static_cast<std::size_t>(b)];
+        if (ta.period != tb.period) return ta.period < tb.period;
+        return a < b;
+      });
+      for (std::size_t p = 0; p < order.size(); ++p) {
+        tasks_[static_cast<std::size_t>(order[p])].priority =
+            static_cast<int>(p);
+      }
+    }
+    std::set<int> prios;
+    for (const int i : core_tasks) {
+      LETDMA_ENSURE(
+          prios.insert(tasks_[static_cast<std::size_t>(i)].priority).second,
+          "duplicate priority on core " + std::to_string(k));
+    }
+  }
+
+  // Build the inter-core edge list.
+  edges_.clear();
+  for (int l = 0; l < num_labels(); ++l) {
+    const Label& lab = labels_[static_cast<std::size_t>(l)];
+    const CoreId wcore = tasks_[static_cast<std::size_t>(lab.writer.value)].core;
+    for (const TaskId r : lab.readers) {
+      if (!(tasks_[static_cast<std::size_t>(r.value)].core == wcore)) {
+        edges_.push_back({LabelId{l}, lab.writer, r});
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+const Task& Application::task(TaskId id) const {
+  LETDMA_ENSURE(id.value >= 0 && id.value < num_tasks(), "unknown task id");
+  return tasks_[static_cast<std::size_t>(id.value)];
+}
+
+const Label& Application::label(LabelId id) const {
+  LETDMA_ENSURE(id.value >= 0 && id.value < num_labels(), "unknown label id");
+  return labels_[static_cast<std::size_t>(id.value)];
+}
+
+TaskId Application::find_task(const std::string& name) const {
+  for (int i = 0; i < num_tasks(); ++i) {
+    if (tasks_[static_cast<std::size_t>(i)].name == name) return TaskId{i};
+  }
+  throw support::PreconditionError("no task named `" + name + "`");
+}
+
+std::vector<TaskId> Application::tasks_on(CoreId core) const {
+  std::vector<TaskId> out;
+  for (int i = 0; i < num_tasks(); ++i) {
+    if (tasks_[static_cast<std::size_t>(i)].core == core) {
+      out.push_back(TaskId{i});
+    }
+  }
+  std::sort(out.begin(), out.end(), [&](TaskId a, TaskId b) {
+    return task(a).priority < task(b).priority;
+  });
+  return out;
+}
+
+const std::vector<InterCoreEdge>& Application::inter_core_edges() const {
+  require_finalized();
+  return edges_;
+}
+
+std::vector<LabelId> Application::shared_labels(TaskId producer,
+                                                TaskId consumer) const {
+  require_finalized();
+  std::vector<LabelId> out;
+  for (const InterCoreEdge& e : edges_) {
+    if (e.producer == producer && e.consumer == consumer) {
+      out.push_back(e.label);
+    }
+  }
+  return out;
+}
+
+bool Application::is_inter_core(LabelId id) const {
+  require_finalized();
+  return std::any_of(edges_.begin(), edges_.end(),
+                     [&](const InterCoreEdge& e) { return e.label == id; });
+}
+
+Time Application::hyperperiod() const {
+  std::vector<Time> periods;
+  periods.reserve(tasks_.size());
+  for (const Task& t : tasks_) periods.push_back(t.period);
+  return support::hyperperiod(periods);
+}
+
+void Application::require_finalized() const {
+  LETDMA_ENSURE(finalized_, "call finalize() before this query");
+}
+
+void Application::require_mutable() const {
+  LETDMA_ENSURE(!finalized_, "the application is finalized and immutable");
+}
+
+}  // namespace letdma::model

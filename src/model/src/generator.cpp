@@ -1,0 +1,101 @@
+#include "letdma/model/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "letdma/support/error.hpp"
+#include "letdma/support/rng.hpp"
+
+namespace letdma::model {
+namespace {
+
+/// UUniFast (Bini & Buttazzo 2005): n utilizations summing to `total`.
+std::vector<double> uunifast(support::Rng& rng, int n, double total) {
+  std::vector<double> u(static_cast<std::size_t>(n));
+  double sum = total;
+  for (int i = 0; i < n - 1; ++i) {
+    const double next =
+        sum * std::pow(rng.uniform(), 1.0 / static_cast<double>(n - i - 1));
+    u[static_cast<std::size_t>(i)] = sum - next;
+    sum = next;
+  }
+  u[static_cast<std::size_t>(n - 1)] = sum;
+  return u;
+}
+
+}  // namespace
+
+std::unique_ptr<Application> generate_application(GeneratorOptions options) {
+  LETDMA_ENSURE(options.num_cores >= 2,
+                "inter-core communication needs >= 2 cores");
+  LETDMA_ENSURE(options.num_tasks >= 2, "need at least two tasks");
+  LETDMA_ENSURE(options.num_labels >= 0, "negative label count");
+  LETDMA_ENSURE(options.total_utilization > 0 &&
+                    options.total_utilization <= options.num_cores,
+                "utilization must be positive and at most the core count");
+  LETDMA_ENSURE(options.min_label_bytes > 0 &&
+                    options.min_label_bytes <= options.max_label_bytes,
+                "inconsistent label size bounds");
+  LETDMA_ENSURE(options.max_readers >= 1, "labels need at least one reader");
+
+  support::Rng rng(options.seed);
+  if (options.period_choices.empty()) {
+    options.period_choices = {support::ms(1),  support::ms(2),
+                              support::ms(5),  support::ms(10),
+                              support::ms(20), support::ms(50),
+                              support::ms(100), support::ms(200)};
+  }
+
+  auto app = std::make_unique<Application>(Platform(options.num_cores));
+  const std::vector<double> util =
+      uunifast(rng, options.num_tasks, options.total_utilization);
+  const int core_offset =
+      static_cast<int>(rng.uniform_int(0, options.num_cores - 1));
+  std::vector<TaskId> ids;
+  for (int i = 0; i < options.num_tasks; ++i) {
+    const support::Time period =
+        options.period_choices[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(options.period_choices.size()) -
+                   1))];
+    // Per-task utilization capped at 0.9 to keep single tasks feasible.
+    const double u = std::min(util[static_cast<std::size_t>(i)], 0.9);
+    const support::Time wcet = std::max<support::Time>(
+        1, static_cast<support::Time>(u * static_cast<double>(period)));
+    const CoreId core{(core_offset + i) % options.num_cores};
+    ids.push_back(app->add_task("task" + std::to_string(i), period, wcet,
+                                core));
+  }
+
+  for (int l = 0; l < options.num_labels; ++l) {
+    const TaskId writer = ids[static_cast<std::size_t>(
+        rng.uniform_int(0, options.num_tasks - 1))];
+    const int want_readers =
+        static_cast<int>(rng.uniform_int(1, options.max_readers));
+    std::vector<TaskId> readers;
+    for (int r = 0; r < want_readers; ++r) {
+      const TaskId candidate = ids[static_cast<std::size_t>(
+          rng.uniform_int(0, options.num_tasks - 1))];
+      if (candidate == writer) continue;
+      if (std::find(readers.begin(), readers.end(), candidate) !=
+          readers.end()) {
+        continue;
+      }
+      readers.push_back(candidate);
+    }
+    if (readers.empty()) {
+      // Force one reader distinct from the writer.
+      readers.push_back(
+          ids[static_cast<std::size_t>((writer.value + 1) %
+                                       options.num_tasks)]);
+    }
+    app->add_label("label" + std::to_string(l),
+                   rng.uniform_int(options.min_label_bytes,
+                                   options.max_label_bytes),
+                   writer, std::move(readers));
+  }
+
+  app->finalize();
+  return app;
+}
+
+}  // namespace letdma::model

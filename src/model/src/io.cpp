@@ -1,0 +1,218 @@
+#include "letdma/model/io.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::model {
+namespace {
+
+using support::PreconditionError;
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw PreconditionError("line " + std::to_string(line) + ": " + what);
+}
+
+/// key=value tokens of one directive line.
+std::map<std::string, std::string> parse_fields(const std::string& rest,
+                                                int line) {
+  std::map<std::string, std::string> out;
+  std::istringstream is(rest);
+  std::string token;
+  while (is >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      fail(line, "expected key=value, got `" + token + "`");
+    }
+    const std::string key = token.substr(0, eq);
+    if (!out.emplace(key, token.substr(eq + 1)).second) {
+      fail(line, "duplicate key `" + key + "`");
+    }
+  }
+  return out;
+}
+
+std::string take(std::map<std::string, std::string>& fields,
+                 const std::string& key, int line) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) fail(line, "missing key `" + key + "`");
+  std::string v = it->second;
+  fields.erase(it);
+  return v;
+}
+
+std::int64_t take_int(std::map<std::string, std::string>& fields,
+                      const std::string& key, int line) {
+  const std::string v = take(fields, key, line);
+  try {
+    std::size_t pos = 0;
+    const std::int64_t out = std::stoll(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    fail(line, "key `" + key + "` is not an integer: `" + v + "`");
+  }
+}
+
+double take_double(std::map<std::string, std::string>& fields,
+                   const std::string& key, int line) {
+  const std::string v = take(fields, key, line);
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    fail(line, "key `" + key + "` is not a number: `" + v + "`");
+  }
+}
+
+void expect_empty(const std::map<std::string, std::string>& fields,
+                  int line) {
+  if (!fields.empty()) {
+    fail(line, "unknown key `" + fields.begin()->first + "`");
+  }
+}
+
+std::vector<std::string> split_commas(const std::string& v) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : v) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::string fmt_double_exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string write_application(const Application& app) {
+  LETDMA_ENSURE(app.finalized(), "serialize requires a finalized application");
+  std::ostringstream os;
+  const Platform& p = app.platform();
+  os << "# letdma application v1\n";
+  os << "platform cores=" << p.num_cores()
+     << " odp_ns=" << p.dma().programming_overhead
+     << " oisr_ns=" << p.dma().isr_overhead
+     << " wc=" << fmt_double_exact(p.dma().copy_cost_ns_per_byte)
+     << " cpu_wc=" << fmt_double_exact(p.cpu_copy().copy_cost_ns_per_byte)
+     << " cpu_oh_ns=" << p.cpu_copy().per_label_overhead << "\n";
+  for (int i = 0; i < app.num_tasks(); ++i) {
+    const Task& t = app.task(TaskId{i});
+    os << "task name=" << t.name << " period_ns=" << t.period
+       << " wcet_ns=" << t.wcet << " core=" << t.core.value
+       << " priority=" << t.priority;
+    if (t.acquisition_deadline) {
+      os << " gamma_ns=" << *t.acquisition_deadline;
+    }
+    os << "\n";
+  }
+  for (int l = 0; l < app.num_labels(); ++l) {
+    const Label& lab = app.label(LabelId{l});
+    os << "label name=" << lab.name << " bytes=" << lab.size_bytes
+       << " writer=" << app.task(lab.writer).name << " readers=";
+    for (std::size_t r = 0; r < lab.readers.size(); ++r) {
+      os << (r ? "," : "") << app.task(lab.readers[r]).name;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::unique_ptr<Application> read_application(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  std::unique_ptr<Application> app;
+  std::map<std::string, TaskId> tasks_by_name;
+  std::map<std::string, support::Time> pending_gamma;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;
+    std::string rest;
+    std::getline(ls, rest);
+    auto fields = parse_fields(rest, line_no);
+
+    if (directive == "platform") {
+      if (app) fail(line_no, "duplicate platform directive");
+      const int cores = static_cast<int>(take_int(fields, "cores", line_no));
+      DmaParams dma;
+      dma.programming_overhead = take_int(fields, "odp_ns", line_no);
+      dma.isr_overhead = take_int(fields, "oisr_ns", line_no);
+      dma.copy_cost_ns_per_byte = take_double(fields, "wc", line_no);
+      CpuCopyParams cpu;
+      cpu.copy_cost_ns_per_byte = take_double(fields, "cpu_wc", line_no);
+      cpu.per_label_overhead = take_int(fields, "cpu_oh_ns", line_no);
+      expect_empty(fields, line_no);
+      app = std::make_unique<Application>(Platform(cores, dma, cpu));
+    } else if (directive == "task") {
+      if (!app) fail(line_no, "task before platform");
+      const std::string name = take(fields, "name", line_no);
+      const support::Time period = take_int(fields, "period_ns", line_no);
+      const support::Time wcet = take_int(fields, "wcet_ns", line_no);
+      const int core = static_cast<int>(take_int(fields, "core", line_no));
+      int priority = -1;
+      if (fields.count("priority")) {
+        priority = static_cast<int>(take_int(fields, "priority", line_no));
+      }
+      if (fields.count("gamma_ns")) {
+        pending_gamma[name] = take_int(fields, "gamma_ns", line_no);
+      }
+      expect_empty(fields, line_no);
+      const TaskId id =
+          app->add_task(name, period, wcet, CoreId{core}, priority);
+      tasks_by_name.emplace(name, id);
+    } else if (directive == "label") {
+      if (!app) fail(line_no, "label before platform");
+      const std::string name = take(fields, "name", line_no);
+      const std::int64_t bytes = take_int(fields, "bytes", line_no);
+      const std::string writer = take(fields, "writer", line_no);
+      const std::string readers = take(fields, "readers", line_no);
+      expect_empty(fields, line_no);
+      const auto wit = tasks_by_name.find(writer);
+      if (wit == tasks_by_name.end()) {
+        fail(line_no, "unknown writer task `" + writer + "`");
+      }
+      std::vector<TaskId> reader_ids;
+      for (const std::string& r : split_commas(readers)) {
+        const auto rit = tasks_by_name.find(r);
+        if (rit == tasks_by_name.end()) {
+          fail(line_no, "unknown reader task `" + r + "`");
+        }
+        reader_ids.push_back(rit->second);
+      }
+      if (reader_ids.empty()) fail(line_no, "label without readers");
+      app->add_label(name, bytes, wit->second, std::move(reader_ids));
+    } else {
+      fail(line_no, "unknown directive `" + directive + "`");
+    }
+  }
+  if (!app) throw PreconditionError("no platform directive found");
+  for (const auto& [name, gamma] : pending_gamma) {
+    app->set_acquisition_deadline(tasks_by_name.at(name), gamma);
+  }
+  app->finalize();
+  return app;
+}
+
+}  // namespace letdma::model

@@ -1,0 +1,121 @@
+#include "letdma/model/mapping.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::model {
+
+std::unique_ptr<Application> clone_with_mapping(
+    const Application& app, const std::vector<int>& core_of_task) {
+  LETDMA_ENSURE(app.finalized(), "clone requires a finalized application");
+  LETDMA_ENSURE(static_cast<int>(core_of_task.size()) == app.num_tasks(),
+                "mapping must cover every task");
+  auto out = std::make_unique<Application>(app.platform());
+  for (int i = 0; i < app.num_tasks(); ++i) {
+    const Task& t = app.task(TaskId{i});
+    const int core = core_of_task[static_cast<std::size_t>(i)];
+    LETDMA_ENSURE(core >= 0 && core < app.platform().num_cores(),
+                  "mapping assigns task `" + t.name + "` to an unknown core");
+    // Priority -1: re-derived rate-monotonically at finalize().
+    const TaskId id = out->add_task(t.name, t.period, t.wcet, CoreId{core});
+    if (t.acquisition_deadline) {
+      out->set_acquisition_deadline(id, *t.acquisition_deadline);
+    }
+  }
+  for (int l = 0; l < app.num_labels(); ++l) {
+    const Label& lab = app.label(LabelId{l});
+    out->add_label(lab.name, lab.size_bytes, lab.writer, lab.readers);
+  }
+  out->finalize();
+  return out;
+}
+
+namespace {
+
+/// Inter-core payload for an explicit assignment, without materializing an
+/// Application: one write per label with any remote reader, one read per
+/// remote reader.
+std::int64_t bytes_for(const Application& app,
+                       const std::vector<int>& core_of_task) {
+  std::int64_t total = 0;
+  for (int l = 0; l < app.num_labels(); ++l) {
+    const Label& lab = app.label(LabelId{l});
+    const int wcore = core_of_task[static_cast<std::size_t>(lab.writer.value)];
+    int remote_readers = 0;
+    for (const TaskId r : lab.readers) {
+      if (core_of_task[static_cast<std::size_t>(r.value)] != wcore) {
+        ++remote_readers;
+      }
+    }
+    if (remote_readers > 0) {
+      total += lab.size_bytes * (1 + remote_readers);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+std::int64_t inter_core_bytes(const Application& app) {
+  std::vector<int> mapping(static_cast<std::size_t>(app.num_tasks()));
+  for (int i = 0; i < app.num_tasks(); ++i) {
+    mapping[static_cast<std::size_t>(i)] = app.task(TaskId{i}).core.value;
+  }
+  return bytes_for(app, mapping);
+}
+
+MappingSearchResult minimize_inter_core_traffic(
+    const Application& app, MappingSearchOptions options) {
+  LETDMA_ENSURE(options.max_core_utilization > 0,
+                "utilization cap must be positive");
+  const int cores = app.platform().num_cores();
+  MappingSearchResult result;
+  result.core_of_task.resize(static_cast<std::size_t>(app.num_tasks()));
+  std::vector<double> core_util(static_cast<std::size_t>(cores), 0.0);
+  auto util_of = [&](int task) {
+    const Task& t = app.task(TaskId{task});
+    return static_cast<double>(t.wcet) / static_cast<double>(t.period);
+  };
+  for (int i = 0; i < app.num_tasks(); ++i) {
+    const int core = app.task(TaskId{i}).core.value;
+    result.core_of_task[static_cast<std::size_t>(i)] = core;
+    core_util[static_cast<std::size_t>(core)] += util_of(i);
+  }
+  result.bytes = bytes_for(app, result.core_of_task);
+
+  for (int move = 0; move < options.max_moves; ++move) {
+    std::int64_t best_bytes = result.bytes;
+    int best_task = -1, best_core = -1;
+    for (int i = 0; i < app.num_tasks(); ++i) {
+      const int from = result.core_of_task[static_cast<std::size_t>(i)];
+      for (int to = 0; to < cores; ++to) {
+        if (to == from) continue;
+        if (core_util[static_cast<std::size_t>(to)] + util_of(i) >
+            options.max_core_utilization) {
+          continue;
+        }
+        result.core_of_task[static_cast<std::size_t>(i)] = to;
+        const std::int64_t candidate = bytes_for(app, result.core_of_task);
+        result.core_of_task[static_cast<std::size_t>(i)] = from;
+        if (candidate < best_bytes) {
+          best_bytes = candidate;
+          best_task = i;
+          best_core = to;
+        }
+      }
+    }
+    if (best_task < 0) break;  // local optimum
+    const int from =
+        result.core_of_task[static_cast<std::size_t>(best_task)];
+    core_util[static_cast<std::size_t>(from)] -= util_of(best_task);
+    core_util[static_cast<std::size_t>(best_core)] += util_of(best_task);
+    result.core_of_task[static_cast<std::size_t>(best_task)] = best_core;
+    result.bytes = best_bytes;
+    result.moves += 1;
+  }
+  return result;
+}
+
+}  // namespace letdma::model

@@ -1,0 +1,34 @@
+#include "letdma/model/platform.hpp"
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::model {
+
+Platform::Platform(int num_cores, DmaParams dma, CpuCopyParams cpu)
+    : num_cores_(num_cores), dma_(dma), cpu_(cpu) {
+  LETDMA_ENSURE(num_cores >= 1, "a platform needs at least one core");
+  LETDMA_ENSURE(dma.programming_overhead >= 0 && dma.isr_overhead >= 0,
+                "DMA overheads must be non-negative");
+  LETDMA_ENSURE(dma.copy_cost_ns_per_byte >= 0.0,
+                "DMA copy cost must be non-negative");
+}
+
+MemoryId Platform::local_memory(CoreId core) const {
+  LETDMA_ENSURE(core.value >= 0 && core.value < num_cores_,
+                "unknown core id");
+  return MemoryId{core.value};
+}
+
+CoreId Platform::core_of(MemoryId m) const {
+  LETDMA_ENSURE(m.value >= 0 && m.value < num_cores_,
+                "memory is not a local memory");
+  return CoreId{m.value};
+}
+
+std::string Platform::memory_name(MemoryId m) const {
+  LETDMA_ENSURE(m.value >= 0 && m.value <= num_cores_, "unknown memory id");
+  if (is_global(m)) return "M_G";
+  return "M_" + std::to_string(m.value + 1);
+}
+
+}  // namespace letdma::model

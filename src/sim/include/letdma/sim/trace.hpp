@@ -1,0 +1,35 @@
+// ASCII Gantt rendering of a simulation trace.
+//
+// Produces a fixed-width chart with one row per core plus one row for the
+// DMA engine, over a chosen time window:
+//
+//   t in [0us, 250us], 1 column = 2.5us
+//   P1  |LL1111111.333333...|
+//   P2  |.LL22222LL4444.....|
+//   DMA |.####..####........|
+//
+//   'L' = LET machinery (DMA programming / completion ISR / CPU copy)
+//   digit/letter = task executing (see legend), '.' = idle
+//
+// LET activity takes precedence over task execution in a bucket; a bucket
+// is marked busy if any activity intersects it.
+#pragma once
+
+#include <string>
+
+#include "letdma/sim/simulator.hpp"
+
+namespace letdma::sim {
+
+struct GanttOptions {
+  Time from = 0;
+  Time to = 0;      // 0 means "end of the last recorded span"
+  int width = 80;   // number of time buckets
+};
+
+/// Renders the trace of `result` for `app`'s platform as a multi-line
+/// string (see file header for the format).
+std::string render_gantt(const model::Application& app,
+                         const SimResult& result, GanttOptions options = {});
+
+}  // namespace letdma::sim

@@ -1,0 +1,271 @@
+#include "letdma/sim/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::sim {
+namespace {
+
+struct Window {
+  Time start = 0;
+  Time end = 0;
+};
+
+/// Precomputed LET activity over the horizon.
+struct LetActivity {
+  std::vector<std::vector<Window>> core_blackouts;  // per core, sorted
+  // Per (task, release instant): time the job's data becomes available.
+  std::map<std::pair<int, Time>, Time> ready_at;
+  Time dma_busy = 0;
+};
+
+/// Advances `work` units of execution starting at `t`, skipping blackout
+/// windows; returns the completion time.
+Time advance_through(const std::vector<Window>& blackouts, Time t,
+                     Time work) {
+  // Find the first window that could intersect [t, ...).
+  auto it = std::upper_bound(
+      blackouts.begin(), blackouts.end(), t,
+      [](Time v, const Window& w) { return v < w.end; });
+  for (; work > 0; ++it) {
+    const Time next_start =
+        (it == blackouts.end()) ? std::numeric_limits<Time>::max() : it->start;
+    if (t < next_start) {
+      const Time room = next_start - t;
+      if (work <= room) return t + work;
+      work -= room;
+    }
+    if (it == blackouts.end()) break;  // unreachable: room was infinite
+    t = std::max(t, it->end);
+  }
+  return t;
+}
+
+/// Execution capacity available in [from, to) around blackouts.
+Time capacity_in(const std::vector<Window>& blackouts, Time from, Time to) {
+  if (to <= from) return 0;
+  Time cap = to - from;
+  for (const Window& w : blackouts) {
+    const Time s = std::max(w.start, from);
+    const Time e = std::min(w.end, to);
+    if (e > s) cap -= (e - s);
+    if (w.start >= to) break;
+  }
+  return cap;
+}
+
+}  // namespace
+
+ProtocolSimulator::ProtocolSimulator(const let::LetComms& comms,
+                                     const let::TransferSchedule* schedule,
+                                     SimOptions options)
+    : comms_(comms), schedule_(schedule), options_(options) {
+  if (options_.mode != Mode::kGiottoCpu) {
+    LETDMA_ENSURE(schedule_ != nullptr,
+                  "DMA simulation modes require a transfer schedule");
+  }
+}
+
+SimResult ProtocolSimulator::run() const {
+  const model::Application& app = comms_.app();
+  const model::Platform& plat = app.platform();
+  const Time h = app.hyperperiod();
+  const Time horizon = options_.horizon > 0 ? options_.horizon : h;
+
+  // ---- Phase 1: LET activity --------------------------------------------
+  SimResult result;
+  LetActivity act;
+  act.core_blackouts.resize(static_cast<std::size_t>(plat.num_cores()));
+  auto blackout = [&](model::CoreId core, Time s, Time e) {
+    if (e > s) {
+      act.core_blackouts[static_cast<std::size_t>(core.value)].push_back(
+          {s, e});
+      result.let_spans.push_back({core.value, s, e});
+    }
+  };
+
+  const model::DmaParams& dma = plat.dma();
+  for (Time base = 0; base < horizon; base += h) {
+    for (const Time rel_t : comms_.required_instants()) {
+      const Time t = base + rel_t;
+      if (t >= horizon) break;
+      Time cur = t;
+      std::map<int, Time> instant_ready;  // task -> data completion
+      if (options_.mode == Mode::kGiottoCpu) {
+        // CPU copies in canonical Giotto order: all writes, then all reads.
+        std::vector<let::Communication> order = comms_.comms_at(rel_t);
+        std::stable_sort(order.begin(), order.end(),
+                         [](const let::Communication& a,
+                            const let::Communication& b) {
+                           return a.dir < b.dir;  // kWrite < kRead
+                         });
+        for (const let::Communication& c : order) {
+          const Time d =
+              plat.cpu_copy().copy_time(app.label(c.label).size_bytes);
+          blackout(app.task(c.task).core, cur, cur + d);
+          cur += d;
+        }
+        for (const let::Communication& c : order) {
+          instant_ready[c.task.value] = cur;  // Giotto: everyone waits
+        }
+        // Under Giotto, *every* task released at t waits for the epoch.
+        if (!order.empty()) {
+          for (int i = 0; i < app.num_tasks(); ++i) {
+            if (t % app.task(model::TaskId{i}).period == 0) {
+              instant_ready[i] = cur;
+            }
+          }
+        }
+      } else {
+        const auto& transfers = schedule_->at(rel_t);
+        for (std::size_t g = 0; g < transfers.size(); ++g) {
+          const let::DmaTransfer& d = transfers[g];
+          const model::CoreId prog_core = plat.core_of(d.local_mem);
+          blackout(prog_core, cur, cur + dma.programming_overhead);
+          cur += dma.programming_overhead;
+          const Time copy = dma.copy_time(d.bytes);
+          act.dma_busy += copy;
+          if (copy > 0) result.dma_spans.push_back({cur, cur + copy});
+          cur += copy;
+          // The ISR runs on the core dispatching the next transfer (R2),
+          // or on the programming core for the last one.
+          const model::CoreId isr_core =
+              (g + 1 < transfers.size())
+                  ? plat.core_of(transfers[g + 1].local_mem)
+                  : prog_core;
+          blackout(isr_core, cur, cur + dma.isr_overhead);
+          cur += dma.isr_overhead;
+          if (options_.mode == Mode::kProposedDma) {
+            for (const let::Communication& c : d.comms) {
+              instant_ready[c.task.value] = cur;  // R3, last one wins
+            }
+          }
+        }
+        if (options_.mode == Mode::kGiottoDma && !transfers.empty()) {
+          for (int i = 0; i < app.num_tasks(); ++i) {
+            if (t % app.task(model::TaskId{i}).period == 0) {
+              instant_ready[i] = cur;
+            }
+          }
+        }
+      }
+      for (const auto& [task, ready] : instant_ready) {
+        act.ready_at[{task, t}] = ready;
+      }
+    }
+  }
+  for (auto& windows : act.core_blackouts) {
+    std::sort(windows.begin(), windows.end(),
+              [](const Window& a, const Window& b) {
+                return a.start < b.start;
+              });
+    // Merge overlaps: a baseline that violates Property 3 can spill one
+    // instant's activity into the next.
+    std::vector<Window> merged;
+    for (const Window& w : windows) {
+      if (!merged.empty() && w.start <= merged.back().end) {
+        merged.back().end = std::max(merged.back().end, w.end);
+      } else {
+        merged.push_back(w);
+      }
+    }
+    windows = std::move(merged);
+  }
+
+  // ---- Phase 2: per-core fixed-priority simulation ------------------------
+  result.dma_busy = act.dma_busy;
+  for (int i = 0; i < app.num_tasks(); ++i) {
+    result.max_latency[i] = 0;
+    result.max_response[i] = 0;
+  }
+
+  struct Job {
+    int task;
+    int priority;
+    Time release;
+    Time ready;
+    Time remaining;
+  };
+
+  for (int k = 0; k < plat.num_cores(); ++k) {
+    const auto& blackouts =
+        act.core_blackouts[static_cast<std::size_t>(k)];
+    // Build the job list of this core, sorted by readiness.
+    std::vector<Job> arrivals;
+    for (const model::TaskId tid : app.tasks_on(model::CoreId{k})) {
+      const model::Task& task = app.task(tid);
+      for (Time r = 0; r < horizon; r += task.period) {
+        Time ready = r;
+        if (const auto it = act.ready_at.find({tid.value, r});
+            it != act.ready_at.end()) {
+          ready = std::max(ready, it->second);
+        }
+        arrivals.push_back({tid.value, task.priority, r, ready, task.wcet});
+        result.max_latency[tid.value] =
+            std::max(result.max_latency[tid.value], ready - r);
+      }
+    }
+    std::sort(arrivals.begin(), arrivals.end(),
+              [](const Job& a, const Job& b) { return a.ready < b.ready; });
+
+    // Event-driven execution: between consecutive readiness arrivals the
+    // highest-priority active job runs (around blackouts).
+    auto by_priority = [](const Job* a, const Job* b) {
+      if (a->priority != b->priority) return a->priority < b->priority;
+      return a->release < b->release;
+    };
+    std::vector<Job*> active;  // kept heap-free; instances are few
+    std::size_t next = 0;
+    Time cursor = 0;
+    std::vector<Job> pool = arrivals;  // mutable copies
+    while (next < pool.size() || !active.empty()) {
+      if (active.empty()) {
+        cursor = std::max(cursor, pool[next].ready);
+      }
+      while (next < pool.size() && pool[next].ready <= cursor) {
+        active.push_back(&pool[next]);
+        ++next;
+      }
+      std::sort(active.begin(), active.end(), by_priority);
+      Job* running = active.front();
+      const Time next_arrival =
+          next < pool.size() ? pool[next].ready
+                             : std::numeric_limits<Time>::max();
+      const Time finish =
+          advance_through(blackouts, cursor, running->remaining);
+      const Time span_end = std::min(finish, next_arrival);
+      if (span_end > cursor) {
+        result.exec_spans.push_back({k, running->task, cursor, span_end});
+      }
+      if (finish <= next_arrival) {
+        // Job completes before any preemption-relevant event.
+        running->remaining = 0;
+        const model::Task& t = app.task(model::TaskId{running->task});
+        const bool miss = finish > running->release + t.period;
+        result.jobs.push_back({running->task, running->release,
+                               running->ready, finish, miss});
+        if (miss) ++result.deadline_misses;
+        result.max_response[running->task] =
+            std::max(result.max_response[running->task],
+                     finish - running->release);
+        active.erase(active.begin());
+        cursor = finish;
+      } else {
+        running->remaining -=
+            capacity_in(blackouts, cursor, next_arrival);
+        cursor = next_arrival;
+      }
+    }
+  }
+  std::sort(result.jobs.begin(), result.jobs.end(),
+            [](const JobRecord& a, const JobRecord& b) {
+              if (a.release != b.release) return a.release < b.release;
+              return a.task < b.task;
+            });
+  return result;
+}
+
+}  // namespace letdma::sim

@@ -1,0 +1,84 @@
+#include "letdma/sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::sim {
+namespace {
+
+/// Symbol for a task id: 1-9 then a-z then '*'.
+char task_symbol(int task) {
+  if (task < 9) return static_cast<char>('1' + task);
+  if (task < 9 + 26) return static_cast<char>('a' + (task - 9));
+  return '*';
+}
+
+}  // namespace
+
+std::string render_gantt(const model::Application& app,
+                         const SimResult& result, GanttOptions options) {
+  LETDMA_ENSURE(options.width > 0, "gantt width must be positive");
+  Time to = options.to;
+  if (to == 0) {
+    for (const LetSpan& s : result.let_spans) to = std::max(to, s.end);
+    for (const ExecSpan& s : result.exec_spans) to = std::max(to, s.end);
+    for (const DmaSpan& s : result.dma_spans) to = std::max(to, s.end);
+  }
+  LETDMA_ENSURE(to > options.from, "empty gantt window");
+  const Time from = options.from;
+  const double bucket = static_cast<double>(to - from) /
+                        static_cast<double>(options.width);
+
+  const int cores = app.platform().num_cores();
+  std::vector<std::string> rows(static_cast<std::size_t>(cores) + 1,
+                                std::string(
+                                    static_cast<std::size_t>(options.width),
+                                    '.'));
+  auto paint = [&](std::string& row, Time s, Time e, char symbol,
+                   bool overwrite) {
+    if (e <= from || s >= to) return;
+    s = std::max(s, from);
+    e = std::min(e, to);
+    const int b0 = static_cast<int>(static_cast<double>(s - from) / bucket);
+    int b1 = static_cast<int>((static_cast<double>(e - from) - 1) / bucket);
+    b1 = std::min(b1, options.width - 1);
+    for (int b = std::max(b0, 0); b <= b1; ++b) {
+      char& cell = row[static_cast<std::size_t>(b)];
+      if (overwrite || cell == '.') cell = symbol;
+    }
+  };
+
+  // Task execution first, then LET activity on top (it preempts).
+  for (const ExecSpan& s : result.exec_spans) {
+    paint(rows[static_cast<std::size_t>(s.core)], s.start, s.end,
+          task_symbol(s.task), /*overwrite=*/false);
+  }
+  for (const LetSpan& s : result.let_spans) {
+    paint(rows[static_cast<std::size_t>(s.core)], s.start, s.end, 'L',
+          /*overwrite=*/true);
+  }
+  for (const DmaSpan& s : result.dma_spans) {
+    paint(rows[static_cast<std::size_t>(cores)], s.start, s.end, '#',
+          /*overwrite=*/true);
+  }
+
+  std::ostringstream os;
+  os << "t in [" << support::format_time(from) << ", "
+     << support::format_time(to) << "], 1 column = "
+     << support::format_time(static_cast<Time>(bucket)) << "\n";
+  for (int k = 0; k < cores; ++k) {
+    os << "P" << (k + 1) << "  |" << rows[static_cast<std::size_t>(k)]
+       << "|\n";
+  }
+  os << "DMA |" << rows[static_cast<std::size_t>(cores)] << "|\n";
+  os << "legend: L = LET machinery, # = DMA copy";
+  for (int i = 0; i < app.num_tasks(); ++i) {
+    os << ", " << task_symbol(i) << " = " << app.task(model::TaskId{i}).name;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace letdma::sim

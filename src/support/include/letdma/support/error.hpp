@@ -1,0 +1,53 @@
+// Error handling primitives shared by all letdma libraries.
+//
+// The library reports violated preconditions and model inconsistencies by
+// throwing `letdma::support::Error` (a std::runtime_error). Numerical or
+// capacity failures in the MILP substrate use the derived types below so
+// callers can distinguish "your model is wrong" from "the solver gave up".
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace letdma::support {
+
+/// Base class for all errors thrown by letdma.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad argument, inconsistent
+/// model, out-of-range index).
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// An arithmetic operation would overflow (e.g. an LCM of periods that does
+/// not fit in 64-bit nanoseconds).
+class OverflowError : public Error {
+ public:
+  explicit OverflowError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void ensure_failed(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": requirement `" + expr + "` failed" +
+                          (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace letdma::support
+
+/// Precondition check that is always active (models are small; the cost is
+/// negligible next to solving them). Throws PreconditionError on failure.
+#define LETDMA_ENSURE(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::letdma::support::detail::ensure_failed(#expr, __FILE__, __LINE__, \
+                                               (msg));                   \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,28 @@
+// Overflow-checked integer helpers used for hyperperiod and release-time
+// arithmetic.
+#pragma once
+
+#include <cstdint>
+
+namespace letdma::support {
+
+/// Greatest common divisor; gcd(0, 0) == 0.
+std::int64_t gcd64(std::int64_t a, std::int64_t b);
+
+/// Least common multiple of non-negative values.
+/// Throws OverflowError when the result exceeds int64.
+std::int64_t lcm64(std::int64_t a, std::int64_t b);
+
+/// a * b with overflow check (throws OverflowError).
+std::int64_t checked_mul(std::int64_t a, std::int64_t b);
+
+/// a + b with overflow check (throws OverflowError).
+std::int64_t checked_add(std::int64_t a, std::int64_t b);
+
+/// floor(a / b) for b > 0, correct for negative a.
+std::int64_t floor_div(std::int64_t a, std::int64_t b);
+
+/// ceil(a / b) for b > 0, correct for negative a.
+std::int64_t ceil_div(std::int64_t a, std::int64_t b);
+
+}  // namespace letdma::support

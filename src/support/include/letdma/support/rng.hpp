@@ -1,0 +1,32 @@
+// Deterministic pseudo-random generator for synthetic workload generation.
+//
+// A small splitmix64-based generator is used instead of <random> engines so
+// that synthetic test/bench workloads are reproducible across standard
+// library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace letdma::support {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace letdma::support

@@ -1,0 +1,29 @@
+// Minimal fixed-width text table writer used by the benchmark harnesses to
+// print paper-style tables (e.g. Table I) to stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace letdma::support {
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns and a header separator.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals (locale-independent).
+std::string fmt_double(double v, int decimals = 3);
+
+}  // namespace letdma::support

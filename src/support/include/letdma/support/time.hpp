@@ -1,0 +1,40 @@
+// Time representation used across letdma.
+//
+// All times and durations are 64-bit signed *nanoseconds*. Integer
+// nanoseconds make hyperperiod (LCM) arithmetic exact, which the LET
+// machinery depends on: release instants, H, and H*_i must be computed
+// without rounding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace letdma::support {
+
+/// A point in time or a duration, in nanoseconds.
+using Time = std::int64_t;
+
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1'000;
+constexpr Time kMillisecond = 1'000'000;
+constexpr Time kSecond = 1'000'000'000;
+
+/// Convenience constructors (values may be fractional for us/ms).
+constexpr Time ns(std::int64_t v) { return v; }
+constexpr Time us(double v) { return static_cast<Time>(v * 1e3); }
+constexpr Time ms(double v) { return static_cast<Time>(v * 1e6); }
+
+constexpr double to_us(Time t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1e6; }
+
+/// Human-readable rendering with an automatically chosen unit,
+/// e.g. "3.36us", "15ms".
+std::string format_time(Time t);
+
+/// Exact LCM of a non-empty list of positive durations.
+/// Throws OverflowError if the result does not fit in Time,
+/// PreconditionError if the list is empty or contains non-positives.
+Time hyperperiod(const std::vector<Time>& periods);
+
+}  // namespace letdma::support

@@ -1,0 +1,59 @@
+#include "letdma/support/math.hpp"
+
+#include <limits>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::support {
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const std::int64_t r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw OverflowError("64-bit multiplication overflow: " +
+                        std::to_string(a) + " * " + std::to_string(b));
+  }
+  return out;
+}
+
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    throw OverflowError("64-bit addition overflow: " + std::to_string(a) +
+                        " + " + std::to_string(b));
+  }
+  return out;
+}
+
+std::int64_t lcm64(std::int64_t a, std::int64_t b) {
+  LETDMA_ENSURE(a >= 0 && b >= 0, "lcm64 requires non-negative arguments");
+  if (a == 0 || b == 0) return 0;
+  const std::int64_t g = gcd64(a, b);
+  return checked_mul(a / g, b);
+}
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  LETDMA_ENSURE(b > 0, "floor_div requires positive divisor");
+  std::int64_t q = a / b;
+  if ((a % b != 0) && (a < 0)) --q;
+  return q;
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  LETDMA_ENSURE(b > 0, "ceil_div requires positive divisor");
+  std::int64_t q = a / b;
+  if ((a % b != 0) && (a > 0)) ++q;
+  return q;
+}
+
+}  // namespace letdma::support

@@ -1,0 +1,31 @@
+#include "letdma/support/rng.hpp"
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::support {
+
+std::uint64_t Rng::next() {
+  // splitmix64 (Sebastiano Vigna, public domain).
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  LETDMA_ENSURE(lo <= hi, "uniform_int requires lo <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next());
+  }
+  return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+}  // namespace letdma::support

@@ -1,0 +1,37 @@
+#include "letdma/support/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "letdma/support/error.hpp"
+#include "letdma/support/math.hpp"
+
+namespace letdma::support {
+
+std::string format_time(Time t) {
+  const bool neg = t < 0;
+  const double abs_ns = std::abs(static_cast<double>(t));
+  char buf[64];
+  if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%s%.6gs", neg ? "-" : "", abs_ns / 1e9);
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%s%.6gms", neg ? "-" : "", abs_ns / 1e6);
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%s%.6gus", neg ? "-" : "", abs_ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%.6gns", neg ? "-" : "", abs_ns);
+  }
+  return buf;
+}
+
+Time hyperperiod(const std::vector<Time>& periods) {
+  LETDMA_ENSURE(!periods.empty(), "hyperperiod of an empty period list");
+  Time h = 1;
+  for (const Time p : periods) {
+    LETDMA_ENSURE(p > 0, "hyperperiod requires positive periods");
+    h = lcm64(h, p);
+  }
+  return h;
+}
+
+}  // namespace letdma::support

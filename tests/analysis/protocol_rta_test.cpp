@@ -1,0 +1,166 @@
+#include "letdma/analysis/protocol_rta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_fixtures.hpp"
+#include "letdma/let/greedy.hpp"
+#include "letdma/support/error.hpp"
+#include "letdma/support/math.hpp"
+
+namespace letdma::analysis {
+namespace {
+
+using support::ms;
+
+TEST(LetInterference, ExtractsPerCoreDemands) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms lc(*app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  const auto li = let_interference(lc, g.schedule);
+  ASSERT_EQ(li.size(), 2u);
+  // Both cores program transfers at s0, so both see interference.
+  EXPECT_TRUE(li[0].active());
+  EXPECT_TRUE(li[1].active());
+  for (const auto& core : li) {
+    EXPECT_GT(core.min_separation, 0);
+    EXPECT_FALSE(core.demands.empty());
+    EXPECT_GE(core.max_burst, app->platform().dma().isr_overhead);
+  }
+}
+
+TEST(LetInterference, DemandAccountsForProgrammingAndIsr) {
+  // Pair app: one write (programmed by core 0) + one read (core 1); the
+  // ISR of the write is charged to the next transfer's core (core 1), the
+  // read's ISR to its own core (last transfer).
+  const auto app = testing::make_pair_app();
+  let::LetComms lc(*app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  const auto li = let_interference(lc, g.schedule);
+  const model::DmaParams& dma = app->platform().dma();
+  ASSERT_EQ(li.size(), 2u);
+  ASSERT_EQ(li[0].demands.size(), 1u);
+  ASSERT_EQ(li[1].demands.size(), 1u);
+  EXPECT_EQ(li[0].demands[0].cpu_time, dma.programming_overhead);
+  EXPECT_EQ(li[1].demands[0].cpu_time,
+            dma.programming_overhead + 2 * dma.isr_overhead);
+}
+
+TEST(LetInterference, SingleInstantSeparationIsHyperperiod) {
+  const auto app = testing::make_pair_app(ms(10), ms(10));
+  let::LetComms lc(*app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  const auto li = let_interference(lc, g.schedule);
+  EXPECT_EQ(li[0].min_separation, app->hyperperiod());
+}
+
+TEST(AnalyzeWithProtocol, Fig1StillSchedulable) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms lc(*app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  const RtaResult r = analyze_with_protocol(lc, g.schedule);
+  EXPECT_TRUE(r.schedulable);
+}
+
+TEST(AnalyzeWithProtocol, ResponseNotBetterThanPlainRta) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms lc(*app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  const RtaResult plain = analyze(*app);
+  const RtaResult proto = analyze_with_protocol(lc, g.schedule);
+  for (const auto& [task, r] : plain.response) {
+    ASSERT_TRUE(proto.response.count(task));
+    EXPECT_GE(proto.response.at(task), r)
+        << app->task(model::TaskId{task}).name;
+  }
+}
+
+TEST(AnalyzeWithProtocol, GiottoSemanticsInflateJitter) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms lc(*app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  const RtaResult proposed =
+      analyze_with_protocol(lc, g.schedule,
+                            let::ReadinessSemantics::kProposed);
+  const RtaResult giotto = analyze_with_protocol(
+      lc, g.schedule, let::ReadinessSemantics::kGiotto);
+  for (const auto& [task, r] : proposed.response) {
+    if (giotto.response.count(task)) {
+      EXPECT_GE(giotto.response.at(task), r);
+    }
+  }
+}
+
+TEST(MaxDemandInWindow, HandComputedCalendar) {
+  LetInterference li;
+  li.demands = {{0, 10}, {100, 20}, {250, 5}};
+  const Time h = 400;
+  EXPECT_EQ(max_demand_in_window(li, 0, h), 0);
+  EXPECT_EQ(max_demand_in_window(li, 1, h), 20);    // hits the largest
+  EXPECT_EQ(max_demand_in_window(li, 101, h), 30);  // 0 and 100
+  EXPECT_EQ(max_demand_in_window(li, 151, h), 30);  // still 0+100
+  EXPECT_EQ(max_demand_in_window(li, 251, h), 35);  // all three
+  // A window longer than H wraps: starting at 100 catches 20+5+10(+H)+20.
+  EXPECT_EQ(max_demand_in_window(li, 401, h), 55);
+  EXPECT_EQ(max_demand_in_window(li, 2 * 400 + 1, h), 2 * 35 + 20);
+}
+
+TEST(MaxDemandInWindow, EmptyCalendarIsZero) {
+  LetInterference li;
+  EXPECT_EQ(max_demand_in_window(li, 1000, 400), 0);
+}
+
+TEST(MaxDemandInWindow, NeverExceedsSporadicBound) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms lc(*app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  const auto lis = let_interference(lc, g.schedule);
+  const Time h = app->hyperperiod();
+  for (const LetInterference& li : lis) {
+    if (!li.active()) continue;
+    for (const Time w : {support::us(100), support::ms(1), support::ms(7)}) {
+      const Time exact = max_demand_in_window(li, w, h);
+      const Time sporadic =
+          support::ceil_div(w, li.min_separation) * li.max_burst;
+      EXPECT_LE(exact, sporadic);
+    }
+  }
+}
+
+TEST(AnalyzeWithProtocol, DemandBoundNotWorseThanSporadic) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms lc(*app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  const RtaResult sporadic = analyze_with_protocol(
+      lc, g.schedule, let::ReadinessSemantics::kProposed,
+      InterferenceModel::kSporadic);
+  const RtaResult dbf = analyze_with_protocol(
+      lc, g.schedule, let::ReadinessSemantics::kProposed,
+      InterferenceModel::kDemandBound);
+  EXPECT_TRUE(dbf.schedulable);
+  for (const auto& [task, r] : dbf.response) {
+    if (sporadic.response.count(task)) {
+      EXPECT_LE(r, sporadic.response.at(task))
+          << app->task(model::TaskId{task}).name;
+    }
+  }
+}
+
+TEST(AnalyzeWithProtocol, HeavyCommunicationBreaksTightTask) {
+  // Plain RTA passes, but an 800 KB payload refreshed every 2 ms gives the
+  // consumer a readiness jitter of ~1.6 ms — more than its slack.
+  model::Application app{model::Platform(2)};
+  const auto p = app.add_task("p", ms(2), ms(1) / 5, model::CoreId{0});
+  const auto busy = app.add_task("busy", ms(10), ms(4), model::CoreId{1});
+  const auto c = app.add_task("c", ms(2), ms(1), model::CoreId{1});
+  (void)busy;
+  app.add_label("x", 800'000, p, {c});
+  app.finalize();
+  ASSERT_TRUE(analyze(app).schedulable);
+  let::LetComms lc(app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  const RtaResult r = analyze_with_protocol(lc, g.schedule);
+  EXPECT_FALSE(r.schedulable);
+}
+
+}  // namespace
+}  // namespace letdma::analysis

@@ -1,0 +1,65 @@
+// Edge cases of the response-time analysis.
+#include <gtest/gtest.h>
+
+#include "letdma/analysis/rta.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::analysis {
+namespace {
+
+using support::ms;
+
+TEST(RtaEdge, ExactlyFullUtilizationHarmonic) {
+  // Harmonic set at exactly 100% utilization is schedulable under RM:
+  // C1=5/T1=10, C2=10/T2=20.
+  const TaskParams hp{ms(5), ms(10), 0, ms(10)};
+  const TaskParams lo{ms(10), ms(20), 0, ms(20)};
+  const auto r_hp = response_time(hp, {}, ms(10));
+  const auto r_lo = response_time(lo, {hp}, ms(20));
+  ASSERT_TRUE(r_hp.has_value());
+  ASSERT_TRUE(r_lo.has_value());
+  EXPECT_EQ(*r_hp, ms(5));
+  EXPECT_EQ(*r_lo, ms(20));  // finishes exactly at the deadline
+}
+
+TEST(RtaEdge, EpsilonOverFullUtilizationFails) {
+  const TaskParams hp{ms(5), ms(10), 0, ms(10)};
+  const TaskParams lo{ms(10) + 1, ms(20), 0, ms(20)};
+  EXPECT_FALSE(response_time(lo, {hp}, ms(20)).has_value());
+}
+
+TEST(RtaEdge, ZeroWcetTask) {
+  const TaskParams t{0, ms(10), 0, ms(10)};
+  const auto r = response_time(t, {}, ms(10));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 0);
+}
+
+TEST(RtaEdge, JitterAlonePushesPastDeadline) {
+  const TaskParams t{ms(2), ms(10), ms(9), ms(10)};
+  EXPECT_FALSE(response_time(t, {}, ms(10)).has_value());
+}
+
+TEST(RtaEdge, RejectsInvalidParameters) {
+  EXPECT_THROW(response_time({ms(1), 0, 0, 0}, {}, ms(10)),
+               support::PreconditionError);
+  const TaskParams ok{ms(1), ms(10), 0, ms(10)};
+  const TaskParams bad_hp{ms(1), 0, 0, 0};
+  EXPECT_THROW(response_time(ok, {bad_hp}, ms(10)),
+               support::PreconditionError);
+}
+
+TEST(RtaEdge, ManyInterferersConverge) {
+  std::vector<TaskParams> higher;
+  for (int i = 0; i < 10; ++i) {
+    higher.push_back({ms(1) / 2, ms(10 + i), 0, ms(10 + i)});
+  }
+  const TaskParams t{ms(3), ms(100), 0, ms(100)};
+  const auto r = response_time(t, higher, ms(100));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_GT(*r, ms(3));
+  EXPECT_LE(*r, ms(100));
+}
+
+}  // namespace
+}  // namespace letdma::analysis

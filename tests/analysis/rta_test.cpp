@@ -1,0 +1,139 @@
+#include "letdma/analysis/rta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_fixtures.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::analysis {
+namespace {
+
+using model::CoreId;
+using model::TaskId;
+using support::ms;
+
+TEST(ResponseTime, NoInterference) {
+  const TaskParams t{ms(2), ms(10), 0, ms(10)};
+  const auto r = response_time(t, {}, ms(10));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, ms(2));
+}
+
+TEST(ResponseTime, ClassicTwoTaskExample) {
+  // hp: C=1, T=4; task: C=2, T=10 -> w = 2 + ceil(w/4)*1 -> w = 3.
+  const TaskParams hp{ms(1), ms(4), 0, ms(4)};
+  const TaskParams t{ms(2), ms(10), 0, ms(10)};
+  const auto r = response_time(t, {hp}, ms(10));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, ms(3));
+}
+
+TEST(ResponseTime, MultipleInterferers) {
+  // Liu-Layland style: C1=1/T1=3, C2=1/T2=5, task C=3/T=20.
+  // w = 3 + ceil(w/3) + ceil(w/5): w0=3 -> 3+1+1=5 -> 3+2+1=6 -> 3+2+2=7
+  //  -> 3+3+2=8 -> 3+3+2=8. R = 8.
+  const TaskParams h1{ms(1), ms(3), 0, ms(3)};
+  const TaskParams h2{ms(1), ms(5), 0, ms(5)};
+  const TaskParams t{ms(3), ms(20), 0, ms(20)};
+  const auto r = response_time(t, {h1, h2}, ms(20));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, ms(8));
+}
+
+TEST(ResponseTime, JitterOfInterfererAddsCarryIn) {
+  const TaskParams hp{ms(1), ms(4), ms(3), ms(4)};  // jittery interferer
+  const TaskParams t{ms(2), ms(10), 0, ms(10)};
+  // w = 2 + ceil((w+3)/4): w0=2 -> 2+2=4 -> 2+2=4. R = 4 (vs 3 w/o jitter).
+  const auto r = response_time(t, {hp}, ms(10));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, ms(4));
+}
+
+TEST(ResponseTime, OwnJitterAddsToResponse) {
+  const TaskParams t{ms(2), ms(10), ms(5), ms(10)};
+  const auto r = response_time(t, {}, ms(10));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, ms(7));
+}
+
+TEST(ResponseTime, UnschedulableReturnsNullopt) {
+  const TaskParams hp{ms(3), ms(4), 0, ms(4)};  // 75% hp utilization
+  const TaskParams t{ms(4), ms(10), 0, ms(10)};
+  EXPECT_FALSE(response_time(t, {hp}, ms(10)).has_value());
+}
+
+TEST(Analyze, Fig1AppSchedulable) {
+  const auto app = testing::make_fig1_app();
+  const RtaResult r = analyze(*app);
+  EXPECT_TRUE(r.schedulable);
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    EXPECT_GT(r.slack.at(i), 0) << app->task(TaskId{i}).name;
+    EXPECT_LE(r.response.at(i), app->task(TaskId{i}).period);
+  }
+}
+
+TEST(Analyze, JitterShrinksSlack) {
+  const auto app = testing::make_fig1_app();
+  const RtaResult base = analyze(*app);
+  std::map<int, support::Time> jitter;
+  for (int i = 0; i < app->num_tasks(); ++i) jitter[i] = ms(1);
+  const RtaResult jittered = analyze(*app, jitter);
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    EXPECT_LE(jittered.slack.at(i), base.slack.at(i));
+  }
+}
+
+TEST(Analyze, OverloadedCoreUnschedulable) {
+  model::Application app{model::Platform(1)};
+  app.add_task("a", ms(10), ms(6), CoreId{0});
+  app.add_task("b", ms(10), ms(6), CoreId{0});
+  app.finalize();
+  EXPECT_FALSE(analyze(app).schedulable);
+}
+
+TEST(Sensitivity, GammaScalesWithAlpha) {
+  const auto app = testing::make_fig1_app();
+  const auto s02 = acquisition_deadlines(*app, 0.2);
+  const auto s04 = acquisition_deadlines(*app, 0.4);
+  ASSERT_TRUE(s02.feasible);
+  ASSERT_TRUE(s04.feasible);
+  for (const auto& [task, g] : s02.gamma) {
+    EXPECT_LE(g, s04.gamma.at(task));
+  }
+}
+
+TEST(Sensitivity, AlphaZeroGivesZeroGamma) {
+  const auto app = testing::make_fig1_app();
+  const auto s = acquisition_deadlines(*app, 0.0);
+  ASSERT_TRUE(s.feasible);
+  for (const auto& [task, g] : s.gamma) EXPECT_EQ(g, 0);
+}
+
+TEST(Sensitivity, RejectsAlphaOutOfRange) {
+  const auto app = testing::make_fig1_app();
+  EXPECT_THROW(acquisition_deadlines(*app, -0.1), support::PreconditionError);
+  EXPECT_THROW(acquisition_deadlines(*app, 1.5), support::PreconditionError);
+}
+
+TEST(Sensitivity, ApplyWritesDeadlines) {
+  auto app = testing::make_fig1_app();
+  const auto s = acquisition_deadlines(*app, 0.3);
+  ASSERT_TRUE(s.feasible);
+  apply_acquisition_deadlines(*app, s.gamma);
+  for (const auto& [task, g] : s.gamma) {
+    EXPECT_EQ(app->task(TaskId{task}).acquisition_deadline.value(), g);
+  }
+}
+
+TEST(Sensitivity, InfeasibleBaseYieldsInfeasible) {
+  model::Application app{model::Platform(1)};
+  app.add_task("a", ms(10), ms(6), CoreId{0});
+  app.add_task("b", ms(10), ms(6), CoreId{0});
+  app.finalize();
+  const auto s = acquisition_deadlines(app, 0.2);
+  EXPECT_FALSE(s.feasible);
+  EXPECT_TRUE(s.gamma.empty());
+}
+
+}  // namespace
+}  // namespace letdma::analysis

@@ -1,0 +1,79 @@
+// End-to-end integration: the full evaluation pipeline of Section VII on
+// the WATERS case study, from sensitivity analysis through scheduling,
+// validation, protocol-aware schedulability, simulation and persistence.
+#include <gtest/gtest.h>
+
+#include "letdma/analysis/protocol_rta.hpp"
+#include "letdma/baseline/giotto.hpp"
+#include "letdma/let/local_search.hpp"
+#include "letdma/let/schedule_io.hpp"
+#include "letdma/let/validate.hpp"
+#include "letdma/model/io.hpp"
+#include "letdma/sim/simulator.hpp"
+#include "letdma/waters/waters.hpp"
+
+namespace letdma {
+namespace {
+
+TEST(Pipeline, WatersEndToEnd) {
+  // 1. Case study + acquisition deadlines (alpha = 0.2).
+  auto app = waters::make_waters_app();
+  const auto sens = analysis::acquisition_deadlines(*app, 0.2);
+  ASSERT_TRUE(sens.feasible);
+  analysis::apply_acquisition_deadlines(*app, sens.gamma);
+
+  // 2. Schedule: best greedy, polished by local search.
+  let::LetComms comms(*app);
+  const let::ScheduleResult greedy =
+      let::GreedyScheduler::best_latency_ratio(comms);
+  const let::LocalSearchResult polished = improve_schedule(comms, greedy);
+  const let::ScheduleResult& sched = polished.schedule;
+
+  // 3. Validation: every LET property at every instant, deadlines included.
+  const let::ValidationReport report =
+      validate_schedule(comms, sched.layout, sched.schedule);
+  ASSERT_TRUE(report.ok()) << report.summary();
+
+  // 4. Protocol-aware schedulability (both interference models).
+  for (const auto model : {analysis::InterferenceModel::kSporadic,
+                           analysis::InterferenceModel::kDemandBound}) {
+    const analysis::RtaResult rta = analysis::analyze_with_protocol(
+        comms, sched.schedule, let::ReadinessSemantics::kProposed, model);
+    EXPECT_TRUE(rta.schedulable);
+  }
+
+  // 5. Simulation over one hyperperiod: no deadline miss, measured
+  //    latencies equal the analytical model.
+  const sim::SimResult sr =
+      sim::ProtocolSimulator(comms, &sched.schedule,
+                             {sim::Mode::kProposedDma, 0})
+          .run();
+  EXPECT_TRUE(sr.all_deadlines_met());
+  const auto analytical = let::worst_case_latencies(
+      comms, sched.schedule, let::ReadinessSemantics::kProposed);
+  for (const auto& [task, lam] : analytical) {
+    EXPECT_EQ(sr.max_latency.at(task), lam);
+  }
+
+  // 6. The proposed schedule beats every baseline for the urgent tasks.
+  const auto cpu = baseline::giotto_cpu_latencies(comms);
+  const auto dma_a = baseline::giotto_dma_a(comms);
+  const auto a_lat = baseline::giotto_dma_latencies(comms, dma_a);
+  for (const char* name : {"DASM", "CAN", "EKF", "PLAN"}) {
+    const int id = app->find_task(name).value;
+    EXPECT_LT(analytical.at(id), cpu.at(id)) << name;
+    EXPECT_LT(analytical.at(id), a_lat.at(id)) << name;
+  }
+
+  // 7. Persistence: application and schedule round-trip and re-validate.
+  const auto app2 = model::read_application(model::write_application(*app));
+  let::LetComms comms2(*app2);
+  const let::ScheduleResult loaded =
+      let::read_schedule(comms2, let::write_schedule(*app, sched));
+  const let::ValidationReport report2 =
+      validate_schedule(comms2, loaded.layout, loaded.schedule);
+  EXPECT_TRUE(report2.ok()) << report2.summary();
+}
+
+}  // namespace
+}  // namespace letdma

@@ -1,0 +1,55 @@
+#include "letdma/let/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_fixtures.hpp"
+
+namespace letdma::let {
+namespace {
+
+TEST(Communication, CanonicalOrdering) {
+  const Communication w1{Direction::kWrite, model::TaskId{0},
+                         model::LabelId{1}};
+  const Communication w2{Direction::kWrite, model::TaskId{0},
+                         model::LabelId{2}};
+  const Communication r1{Direction::kRead, model::TaskId{0},
+                         model::LabelId{0}};
+  EXPECT_LT(w1, w2);  // same dir/task: by label
+  EXPECT_LT(w1, r1);  // writes sort before reads
+  EXPECT_EQ(w1, w1);
+}
+
+TEST(Communication, CanonicalizeSortsAndDeduplicates) {
+  const Communication a{Direction::kWrite, model::TaskId{1},
+                        model::LabelId{0}};
+  const Communication b{Direction::kRead, model::TaskId{2},
+                        model::LabelId{0}};
+  std::vector<Communication> comms{b, a, b, a, a};
+  canonicalize(comms);
+  ASSERT_EQ(comms.size(), 2u);
+  EXPECT_EQ(comms[0], a);
+  EXPECT_EQ(comms[1], b);
+}
+
+TEST(Communication, ToStringRendering) {
+  const auto app = testing::make_pair_app();
+  const Communication w{Direction::kWrite, app->find_task("PROD"),
+                        model::LabelId{0}};
+  const Communication r{Direction::kRead, app->find_task("CONS"),
+                        model::LabelId{0}};
+  EXPECT_EQ(to_string(*app, w), "W(PROD, x)");
+  EXPECT_EQ(to_string(*app, r), "R(x, CONS)");
+}
+
+TEST(Communication, LocalMemoryFollowsTaskCore) {
+  const auto app = testing::make_pair_app();
+  const Communication w{Direction::kWrite, app->find_task("PROD"),
+                        model::LabelId{0}};
+  const Communication r{Direction::kRead, app->find_task("CONS"),
+                        model::LabelId{0}};
+  EXPECT_EQ(local_memory_of(*app, w).value, 0);
+  EXPECT_EQ(local_memory_of(*app, r).value, 1);
+}
+
+}  // namespace
+}  // namespace letdma::let

@@ -1,0 +1,95 @@
+// Regression tests for the eta-function reading documented in eta.hpp: the
+// closed forms, applied unconditionally as *sets* of instants, coincide
+// with the branch forms of Eqs. (1)-(2) for every period relation — the
+// paper's branch is an evaluation shortcut, not a semantic difference.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "letdma/let/eta.hpp"
+#include "letdma/support/math.hpp"
+
+namespace letdma::let {
+namespace {
+
+using support::ms;
+using support::Time;
+
+/// Write instants computed straight from the closed form
+/// floor(v*T_c/T_p)*T_p with v over consumer jobs (no branch).
+std::set<Time> closed_form_writes(Time tp, Time tc, Time h) {
+  std::set<Time> out;
+  for (Time v = 0; v < h / tc; ++v) {
+    out.insert((support::floor_div(v * tc, tp) * tp) % h);
+  }
+  return out;
+}
+
+/// Read instants from ceil(v*T_p/T_c)*T_c with v over producer jobs.
+std::set<Time> closed_form_reads(Time tp, Time tc, Time h) {
+  std::set<Time> out;
+  for (Time v = 0; v < h / tp; ++v) {
+    out.insert((support::ceil_div(v * tp, tc) * tc) % h);
+  }
+  return out;
+}
+
+class EtaEquivalence
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(EtaEquivalence, WriteSetsMatchClosedForm) {
+  const auto [tp_ms, tc_ms] = GetParam();
+  const Time tp = ms(tp_ms), tc = ms(tc_ms);
+  const Time h = support::lcm64(tp, tc);
+  const auto lib = write_instants(tp, tc, h);
+  const std::set<Time> expect = closed_form_writes(tp, tc, h);
+  EXPECT_EQ(std::set<Time>(lib.begin(), lib.end()), expect);
+}
+
+TEST_P(EtaEquivalence, ReadSetsMatchClosedForm) {
+  const auto [tp_ms, tc_ms] = GetParam();
+  const Time tp = ms(tp_ms), tc = ms(tc_ms);
+  const Time h = support::lcm64(tp, tc);
+  const auto lib = read_instants(tp, tc, h);
+  const std::set<Time> expect = closed_form_reads(tp, tc, h);
+  EXPECT_EQ(std::set<Time>(lib.begin(), lib.end()), expect);
+}
+
+TEST_P(EtaEquivalence, WritesAlignToProducerReleases) {
+  const auto [tp_ms, tc_ms] = GetParam();
+  const Time tp = ms(tp_ms), tc = ms(tc_ms);
+  const Time h = support::lcm64(tp, tc);
+  for (const Time t : write_instants(tp, tc, h)) {
+    EXPECT_EQ(t % tp, 0) << "write off a producer release";
+  }
+  for (const Time t : read_instants(tp, tc, h)) {
+    EXPECT_EQ(t % tc, 0) << "read off a consumer release";
+  }
+}
+
+TEST_P(EtaEquivalence, EveryConsumerJobSeesAFreshEnoughWrite) {
+  // Semantic check of the skip rule: for every consumer release r there is
+  // a write at the latest producer release <= r.
+  const auto [tp_ms, tc_ms] = GetParam();
+  const Time tp = ms(tp_ms), tc = ms(tc_ms);
+  const Time h = support::lcm64(tp, tc);
+  const auto w = write_instants(tp, tc, h);
+  const std::set<Time> writes(w.begin(), w.end());
+  for (Time r = 0; r < h; r += tc) {
+    const Time last_release = (r / tp) * tp;
+    EXPECT_TRUE(writes.count(last_release))
+        << "consumer release " << r << " lacks the write at "
+        << last_release;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, EtaEquivalence,
+    ::testing::Values(std::pair{5, 15}, std::pair{15, 5}, std::pair{10, 10},
+                      std::pair{10, 15}, std::pair{15, 10}, std::pair{33, 66},
+                      std::pair{66, 33}, std::pair{7, 13}, std::pair{13, 7},
+                      std::pair{5, 400}, std::pair{400, 5},
+                      std::pair{33, 15}));
+
+}  // namespace
+}  // namespace letdma::let

@@ -1,0 +1,124 @@
+#include "letdma/let/eta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "letdma/support/error.hpp"
+#include "letdma/support/math.hpp"
+
+namespace letdma::let {
+namespace {
+
+using support::ms;
+
+TEST(EtaWrite, OversampledProducerSkips) {
+  // T_p = 5, T_c = 15: only every third producer job writes.
+  EXPECT_EQ(eta_write(0, ms(5), ms(15)), 0);
+  EXPECT_EQ(eta_write(1, ms(5), ms(15)), 3);
+  EXPECT_EQ(eta_write(2, ms(5), ms(15)), 6);
+}
+
+TEST(EtaWrite, SlowProducerWritesEveryJob) {
+  EXPECT_EQ(eta_write(0, ms(15), ms(5)), 0);
+  EXPECT_EQ(eta_write(4, ms(15), ms(5)), 4);
+}
+
+TEST(EtaWrite, NonHarmonicPeriods) {
+  // T_p = 10, T_c = 15: consumer jobs at 0, 15, 30 -> writer jobs 0, 1, 3.
+  EXPECT_EQ(eta_write(0, ms(10), ms(15)), 0);
+  EXPECT_EQ(eta_write(1, ms(10), ms(15)), 1);
+  EXPECT_EQ(eta_write(2, ms(10), ms(15)), 3);
+}
+
+TEST(EtaRead, OversampledConsumerSkips) {
+  // T_p = 15, T_c = 5: reads only when new data arrives.
+  EXPECT_EQ(eta_read(0, ms(15), ms(5)), 0);
+  EXPECT_EQ(eta_read(1, ms(15), ms(5)), 3);
+  EXPECT_EQ(eta_read(2, ms(15), ms(5)), 6);
+}
+
+TEST(EtaRead, SlowConsumerReadsEveryJob) {
+  EXPECT_EQ(eta_read(0, ms(5), ms(15)), 0);
+  EXPECT_EQ(eta_read(2, ms(5), ms(15)), 2);
+}
+
+TEST(Eta, RejectsBadArguments) {
+  EXPECT_THROW(eta_write(-1, ms(5), ms(5)), support::PreconditionError);
+  EXPECT_THROW(eta_write(0, 0, ms(5)), support::PreconditionError);
+  EXPECT_THROW(eta_read(0, ms(5), -1), support::PreconditionError);
+}
+
+TEST(WriteInstants, EqualPeriodsEveryRelease) {
+  const auto w = write_instants(ms(10), ms(10), ms(40));
+  EXPECT_EQ(w, (std::vector<support::Time>{0, ms(10), ms(20), ms(30)}));
+}
+
+TEST(WriteInstants, OversampledProducer) {
+  // T_p = 5, T_c = 15, H = 30: writes at 0 and 15 only.
+  const auto w = write_instants(ms(5), ms(15), ms(30));
+  EXPECT_EQ(w, (std::vector<support::Time>{0, ms(15)}));
+}
+
+TEST(WriteInstants, SlowProducerAllJobs) {
+  const auto w = write_instants(ms(15), ms(5), ms(30));
+  EXPECT_EQ(w, (std::vector<support::Time>{0, ms(15)}));
+}
+
+TEST(ReadInstants, OversampledConsumer) {
+  // T_p = 15, T_c = 5, H = 30: reads at 0 and 15 only (fresh data).
+  const auto r = read_instants(ms(15), ms(5), ms(30));
+  EXPECT_EQ(r, (std::vector<support::Time>{0, ms(15)}));
+}
+
+TEST(ReadInstants, SlowConsumerEveryRelease) {
+  const auto r = read_instants(ms(5), ms(15), ms(30));
+  EXPECT_EQ(r, (std::vector<support::Time>{0, ms(15)}));
+}
+
+TEST(ReadInstants, NonHarmonicPair) {
+  // T_p = 10, T_c = 15, H = 30: producer jobs 0,1,2 -> reads at
+  // ceil(0)=0, ceil(10/15)=1 -> 15, ceil(20/15)=2 -> 30 % 30 = 0.
+  const auto r = read_instants(ms(10), ms(15), ms(30));
+  EXPECT_EQ(r, (std::vector<support::Time>{0, ms(15)}));
+}
+
+TEST(Instants, AlwaysContainZero) {
+  for (const auto& [tp, tc] : std::vector<std::pair<int, int>>{
+           {5, 15}, {15, 5}, {10, 15}, {33, 66}, {7, 13}}) {
+    const support::Time h = support::lcm64(ms(tp), ms(tc));
+    EXPECT_EQ(write_instants(ms(tp), ms(tc), h).front(), 0);
+    EXPECT_EQ(read_instants(ms(tp), ms(tc), h).front(), 0);
+  }
+}
+
+TEST(Instants, HorizonMustBeCommonMultiple) {
+  EXPECT_THROW(write_instants(ms(5), ms(15), ms(20)),
+               support::PreconditionError);
+  EXPECT_THROW(read_instants(ms(5), ms(15), ms(25)),
+               support::PreconditionError);
+}
+
+class InstantCounts : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(InstantCounts, MatchesSkipTheory) {
+  // Number of required writes over one LCM equals the number of consumer
+  // jobs when the producer is faster, else the number of producer jobs.
+  // Reads are symmetric.
+  const auto [tp_ms, tc_ms] = GetParam();
+  const support::Time tp = ms(tp_ms), tc = ms(tc_ms);
+  const support::Time h = support::lcm64(tp, tc);
+  const auto w = write_instants(tp, tc, h);
+  const auto r = read_instants(tp, tc, h);
+  EXPECT_EQ(static_cast<support::Time>(w.size()),
+            h / std::max(tp, tc));
+  EXPECT_EQ(static_cast<support::Time>(r.size()),
+            h / std::max(tp, tc));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, InstantCounts,
+    ::testing::Values(std::pair{5, 15}, std::pair{15, 5}, std::pair{10, 10},
+                      std::pair{10, 15}, std::pair{33, 66}, std::pair{7, 13},
+                      std::pair{400, 5}));
+
+}  // namespace
+}  // namespace letdma::let

@@ -1,0 +1,66 @@
+#include "letdma/let/footprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_fixtures.hpp"
+#include "letdma/let/greedy.hpp"
+
+namespace letdma::let {
+namespace {
+
+TEST(Footprint, PerMemoryTotals) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  const auto fps = footprint(g.layout);
+  ASSERT_EQ(fps.size(), 3u);  // M_1, M_2, M_G
+  // Global memory holds each label once: 2000+4000+8000+1000+3000+6000.
+  const auto global = fps.back();
+  EXPECT_TRUE(app->platform().is_global(global.memory));
+  EXPECT_EQ(global.bytes, 24000);
+  EXPECT_EQ(global.slots, 6);
+  // Each local memory holds 3 written + 3 read copies.
+  EXPECT_EQ(fps[0].slots, 6);
+  EXPECT_EQ(fps[1].slots, 6);
+  EXPECT_EQ(fps[0].bytes + fps[1].bytes, 2 * 24000);
+}
+
+TEST(Footprint, SkipsEmptyMemories) {
+  const auto app = testing::make_multireader_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  for (const MemoryFootprint& fp : footprint(g.layout)) {
+    EXPECT_GT(fp.slots, 0);
+    EXPECT_GT(fp.bytes, 0);
+  }
+}
+
+TEST(Footprint, AddressMapListsEverySlot) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  const std::string map = render_address_map(g.layout);
+  EXPECT_NE(map.find("M_1"), std::string::npos);
+  EXPECT_NE(map.find("M_G"), std::string::npos);
+  EXPECT_NE(map.find("0x000000"), std::string::npos);
+  for (int l = 0; l < app->num_labels(); ++l) {
+    EXPECT_NE(map.find(app->label(model::LabelId{l}).name),
+              std::string::npos);
+  }
+  EXPECT_NE(map.find("(copy of tau1)"), std::string::npos);
+}
+
+TEST(Footprint, AddressesAreContiguous) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  const model::MemoryId mg = app->platform().global_memory();
+  std::int64_t expected = 0;
+  for (const Slot& s : g.layout.order(mg)) {
+    EXPECT_EQ(g.layout.address(mg, s), expected);
+    expected += app->label(s.label).size_bytes;
+  }
+}
+
+}  // namespace
+}  // namespace letdma::let

@@ -1,0 +1,241 @@
+#include "letdma/let/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_fixtures.hpp"
+#include "letdma/support/error.hpp"
+#include "letdma/let/validate.hpp"
+
+namespace letdma::let {
+namespace {
+
+TEST(GreedyScheduler, PairAppProducesValidSchedule) {
+  const auto app = testing::make_pair_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  EXPECT_EQ(g.s0_transfers.size(), 2u);  // one write, then one read
+  EXPECT_EQ(g.s0_transfers[0].dir, Direction::kWrite);
+  EXPECT_EQ(g.s0_transfers[1].dir, Direction::kRead);
+  const ValidationReport report = validate_schedule(lc, g.layout, g.schedule);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(GreedyScheduler, Fig1ScheduleValid) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  const ValidationReport report = validate_schedule(lc, g.layout, g.schedule);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(GreedyScheduler, MultiReaderScheduleValid) {
+  const auto app = testing::make_multireader_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  const ValidationReport report = validate_schedule(lc, g.layout, g.schedule);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(GreedyScheduler, UrgentConsumerIsServedEarly) {
+  // tau2 has the smallest period, so its read (and the write feeding it)
+  // must appear in the earliest transfers.
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  const model::TaskId t2 = app->find_task("tau2");
+  int t2_last = -1;
+  for (std::size_t gi = 0; gi < g.s0_transfers.size(); ++gi) {
+    for (const Communication& c : g.s0_transfers[gi].comms) {
+      if (c.task == t2 && c.dir == Direction::kRead) {
+        t2_last = static_cast<int>(gi);
+      }
+    }
+  }
+  ASSERT_GE(t2_last, 0);
+  // tau2's read needs tau1's write (other memory) and, by Property 1,
+  // tau2's own write (yet another memory): index 2 is the minimum.
+  EXPECT_LE(t2_last, 2);
+}
+
+TEST(GreedyScheduler, RespectsPropertyOneAndTwoByConstruction) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  // Validator covers this; re-check directly at s0 for clarity.
+  std::map<int, int> write_max, read_min, label_write;
+  for (std::size_t gi = 0; gi < g.s0_transfers.size(); ++gi) {
+    for (const Communication& c : g.s0_transfers[gi].comms) {
+      if (c.dir == Direction::kWrite) {
+        write_max[c.task.value] =
+            std::max(write_max.count(c.task.value)
+                         ? write_max[c.task.value]
+                         : -1,
+                     static_cast<int>(gi));
+        label_write[c.label.value] = static_cast<int>(gi);
+      } else {
+        if (!read_min.count(c.task.value)) {
+          read_min[c.task.value] = static_cast<int>(gi);
+        }
+        EXPECT_LT(label_write.at(c.label.value), static_cast<int>(gi));
+      }
+    }
+  }
+  for (const auto& [task, wmax] : write_max) {
+    if (read_min.count(task)) {
+      EXPECT_LT(wmax, read_min[task]);
+    }
+  }
+}
+
+TEST(GreedyScheduler, DeadlineAwareOrdering) {
+  // Give tau6 the tightest acquisition deadline; its data must be scheduled
+  // before tau2's despite the period order.
+  const auto app = testing::make_fig1_app();
+  app->set_acquisition_deadline(app->find_task("tau6"), support::us(50));
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  int t6_read = -1, t2_read = -1;
+  for (std::size_t gi = 0; gi < g.s0_transfers.size(); ++gi) {
+    for (const Communication& c : g.s0_transfers[gi].comms) {
+      if (c.dir != Direction::kRead) continue;
+      if (c.task == app->find_task("tau6")) t6_read = static_cast<int>(gi);
+      if (c.task == app->find_task("tau2")) t2_read = static_cast<int>(gi);
+    }
+  }
+  ASSERT_GE(t6_read, 0);
+  ASSERT_GE(t2_read, 0);
+  EXPECT_LT(t6_read, t2_read);
+}
+
+class GreedyStrategies : public ::testing::TestWithParam<GreedyStrategy> {};
+
+TEST_P(GreedyStrategies, AllStrategiesProduceValidSchedules) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc, {GetParam()}).build();
+  const ValidationReport r = validate_schedule(lc, g.layout, g.schedule);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST_P(GreedyStrategies, MultiReaderValidUnderEveryStrategy) {
+  const auto app = testing::make_multireader_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc, {GetParam()}).build();
+  const ValidationReport r = validate_schedule(lc, g.layout, g.schedule);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GreedyStrategies,
+                         ::testing::Values(GreedyStrategy::kUrgencyFirst,
+                                           GreedyStrategy::kWriteBatched,
+                                           GreedyStrategy::kReadBatched));
+
+TEST(GreedyScheduler, BestTransferCountNotWorseThanAnyStrategy) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult best = GreedyScheduler::best_transfer_count(lc);
+  for (const GreedyStrategy s :
+       {GreedyStrategy::kUrgencyFirst, GreedyStrategy::kWriteBatched,
+        GreedyStrategy::kReadBatched}) {
+    const ScheduleResult r = GreedyScheduler(lc, {s}).build();
+    EXPECT_LE(best.s0_transfers.size(), r.s0_transfers.size());
+  }
+  const ValidationReport rep =
+      validate_schedule(lc, best.layout, best.schedule);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(GreedyScheduler, BestLatencyRatioValid) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult best = GreedyScheduler::best_latency_ratio(lc);
+  const ValidationReport rep =
+      validate_schedule(lc, best.layout, best.schedule);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(GreedyScheduler, WriteBatchedMergesWritesPerCore) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g =
+      GreedyScheduler(lc, {GreedyStrategy::kWriteBatched}).build();
+  // Fig1: three writes per core, equal patterns per pair only at matching
+  // periods; still, the write transfers must all precede the reads.
+  bool seen_read = false;
+  for (const DmaTransfer& t : g.s0_transfers) {
+    if (t.dir == Direction::kRead) seen_read = true;
+    if (seen_read) {
+      EXPECT_EQ(t.dir, Direction::kRead);
+    }
+  }
+}
+
+TEST(BuildFromGroups, SingletonGroupsActLikeGiottoA) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  std::vector<std::vector<Communication>> groups;
+  // Writes first, then reads, one communication per group.
+  for (const Direction dir : {Direction::kWrite, Direction::kRead}) {
+    for (const Communication& c : lc.comms_at_s0()) {
+      if (c.dir == dir) groups.push_back({c});
+    }
+  }
+  const ScheduleResult r = build_from_groups(lc, groups);
+  EXPECT_EQ(r.s0_transfers.size(), lc.comms_at_s0().size());
+  const ValidationReport rep = validate_schedule(lc, r.layout, r.schedule);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(BuildFromGroups, LayoutFollowsGroupOrder) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  // Put tau5's write (label lC) first: its global slot must get address 0.
+  const Communication w5{Direction::kWrite, app->find_task("tau5"),
+                         model::LabelId{2}};
+  std::vector<std::vector<Communication>> groups{{w5}};
+  for (const Direction dir : {Direction::kWrite, Direction::kRead}) {
+    for (const Communication& c : lc.comms_at_s0()) {
+      if (c.dir == dir && !(c == w5)) groups.push_back({c});
+    }
+  }
+  const ScheduleResult r = build_from_groups(lc, groups);
+  EXPECT_EQ(r.layout.address(app->platform().global_memory(),
+                             global_slot_of(w5)),
+            0);
+}
+
+TEST(BuildFromGroups, IncompatibleGroupIsSplit) {
+  // A group mixing non-adjacent labels still produces a valid (split)
+  // schedule rather than failing.
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  std::vector<Communication> all_writes, all_reads;
+  for (const Communication& c : lc.comms_at_s0()) {
+    (c.dir == Direction::kWrite ? all_writes : all_reads).push_back(c);
+  }
+  // One mega write group per core plus singleton reads.
+  std::map<int, std::vector<Communication>> by_mem;
+  for (const Communication& c : all_writes) {
+    by_mem[local_memory_of(*app, c).value].push_back(c);
+  }
+  std::vector<std::vector<Communication>> groups;
+  for (auto& [mem, cs] : by_mem) groups.push_back(std::move(cs));
+  for (const Communication& c : all_reads) groups.push_back({c});
+  const ScheduleResult r = build_from_groups(lc, groups);
+  const ValidationReport rep = validate_schedule(lc, r.layout, r.schedule);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(GreedyScheduler, DerivedInstantsNeverSplitTransfers) {
+  // Pattern-grouped transfers restrict to all-or-nothing at any instant, so
+  // the per-instant transfer count never exceeds the s0 count.
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  for (const Time t : lc.required_instants()) {
+    EXPECT_LE(g.schedule.at(t).size(), g.s0_transfers.size()) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace letdma::let

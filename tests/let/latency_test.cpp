@@ -1,0 +1,128 @@
+#include "letdma/let/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_fixtures.hpp"
+#include "letdma/support/error.hpp"
+#include "letdma/let/greedy.hpp"
+
+namespace letdma::let {
+namespace {
+
+using support::us;
+
+MemoryLayout canonical_layout(const model::Application& app) {
+  MemoryLayout layout(app);
+  for (int m = 0; m < app.platform().num_memories(); ++m) {
+    const model::MemoryId mem{m};
+    auto slots = MemoryLayout::required_slots(app, mem);
+    if (!slots.empty()) layout.set_order(mem, std::move(slots));
+  }
+  return layout;
+}
+
+TEST(LatencyModel, TransferDurationIsOverheadPlusCopy) {
+  const auto app = testing::make_pair_app(support::ms(10), support::ms(10),
+                                          /*label_bytes=*/1000);
+  LetComms lc(*app);
+  const MemoryLayout layout = canonical_layout(*app);
+  const DmaTransfer t = make_transfer(layout, {lc.comms_at_s0()[0]});
+  const LatencyModel lat(app->platform());
+  // Defaults: lambda_O = 13.36us, 1 ns/byte -> 1000 bytes = 1us.
+  EXPECT_EQ(lat.transfer_duration(t), us(13.36) + us(1));
+}
+
+TEST(LatencyModel, CompletionTimesAccumulate) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  const LatencyModel lat(app->platform());
+  const auto completions = lat.completion_times(g.s0_transfers);
+  ASSERT_EQ(completions.size(), g.s0_transfers.size());
+  Time acc = 0;
+  for (std::size_t i = 0; i < completions.size(); ++i) {
+    acc += lat.transfer_duration(g.s0_transfers[i]);
+    EXPECT_EQ(completions[i], acc);
+  }
+  EXPECT_EQ(lat.total_duration(g.s0_transfers), acc);
+}
+
+TEST(LatencyModel, ProposedReadinessBeatsGiotto) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  const LatencyModel lat(app->platform());
+  const auto& transfers = g.s0_transfers;
+  const Time total = lat.total_duration(transfers);
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    const Time proposed = lat.task_latency(*app, transfers, model::TaskId{i},
+                                           ReadinessSemantics::kProposed);
+    const Time giotto = lat.task_latency(*app, transfers, model::TaskId{i},
+                                         ReadinessSemantics::kGiotto);
+    EXPECT_LE(proposed, giotto);
+    EXPECT_EQ(giotto, total);
+  }
+}
+
+TEST(LatencyModel, TaskWithoutCommsHasZeroProposedLatency) {
+  const auto app = testing::make_multireader_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  const LatencyModel lat(app->platform());
+  // LOCAL communicates only intra-core: no DMA dependency.
+  const model::TaskId local = app->find_task("LOCAL");
+  EXPECT_EQ(lat.task_latency(*app, g.s0_transfers, local,
+                             ReadinessSemantics::kProposed),
+            0);
+}
+
+TEST(LatencyModel, EmptyInstantIsFree) {
+  const auto app = testing::make_pair_app();
+  const LatencyModel lat(app->platform());
+  EXPECT_EQ(lat.total_duration({}), 0);
+  EXPECT_EQ(lat.task_latency(*app, {}, model::TaskId{0},
+                             ReadinessSemantics::kGiotto),
+            0);
+}
+
+TEST(LatencyModel, CpuCopyDuration) {
+  const auto app = testing::make_pair_app(support::ms(10), support::ms(10),
+                                          /*label_bytes=*/1000);
+  LetComms lc(*app);
+  const LatencyModel lat(app->platform());
+  // Defaults: 4 ns/B + 200ns per label: 2 comms x (4000 + 200).
+  EXPECT_EQ(lat.cpu_copy_duration(*app, lc.comms_at_s0()),
+            2 * (4000 + 200));
+}
+
+TEST(WorstCaseLatencies, MaxOverReleases) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  const auto wc =
+      worst_case_latencies(lc, g.schedule, ReadinessSemantics::kProposed);
+  const LatencyModel lat(app->platform());
+  // s0 carries every communication, so the worst case equals the s0 value
+  // for every task (Theorem 1 for pattern-grouped greedy schedules).
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    const Time s0 = lat.task_latency(*app, g.schedule.at(0), model::TaskId{i},
+                                     ReadinessSemantics::kProposed);
+    EXPECT_EQ(wc.at(i), s0) << app->task(model::TaskId{i}).name;
+  }
+}
+
+TEST(WorstCaseLatencies, GiottoSemantics) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  const auto wc =
+      worst_case_latencies(lc, g.schedule, ReadinessSemantics::kGiotto);
+  const LatencyModel lat(app->platform());
+  const Time total_s0 = lat.total_duration(g.schedule.at(0));
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    EXPECT_EQ(wc.at(i), total_s0);
+  }
+}
+
+}  // namespace
+}  // namespace letdma::let

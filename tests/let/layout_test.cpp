@@ -1,0 +1,104 @@
+#include "letdma/let/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_fixtures.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::let {
+namespace {
+
+TEST(MemoryLayout, RequiredSlotsGlobal) {
+  const auto app = testing::make_fig1_app();
+  const auto slots =
+      MemoryLayout::required_slots(*app, app->platform().global_memory());
+  EXPECT_EQ(slots.size(), 6u);  // all six labels are inter-core
+  for (const Slot& s : slots) EXPECT_EQ(s.owner.value, -1);
+}
+
+TEST(MemoryLayout, RequiredSlotsLocal) {
+  const auto app = testing::make_fig1_app();
+  // P1 hosts tau1/tau3/tau5: 3 written copies + 3 read copies.
+  const auto slots = MemoryLayout::required_slots(
+      *app, app->platform().local_memory(model::CoreId{0}));
+  EXPECT_EQ(slots.size(), 6u);
+}
+
+TEST(MemoryLayout, IntraCoreLabelNeedsNoSlots) {
+  const auto app = testing::make_multireader_app();
+  // LOCAL reads on the producer's core: no slot for it anywhere; the
+  // producer core's memory holds exactly the writer copy.
+  const auto local0 = MemoryLayout::required_slots(
+      *app, app->platform().local_memory(model::CoreId{0}));
+  ASSERT_EQ(local0.size(), 1u);
+  EXPECT_EQ(local0[0].owner, app->find_task("PROD"));
+}
+
+TEST(MemoryLayout, SetOrderComputesAddresses) {
+  const auto app = testing::make_fig1_app();
+  MemoryLayout layout(*app);
+  const model::MemoryId mg = app->platform().global_memory();
+  auto slots = MemoryLayout::required_slots(*app, mg);
+  layout.set_order(mg, slots);
+  // Addresses accumulate label sizes: lA=2000, lB=4000, lC=8000, ...
+  EXPECT_EQ(layout.address(mg, slots[0]), 0);
+  EXPECT_EQ(layout.address(mg, slots[1]), 2000);
+  EXPECT_EQ(layout.address(mg, slots[2]), 6000);
+  EXPECT_EQ(layout.total_bytes(mg), 2000 + 4000 + 8000 + 1000 + 3000 + 6000);
+}
+
+TEST(MemoryLayout, PositionAndAdjacency) {
+  const auto app = testing::make_fig1_app();
+  MemoryLayout layout(*app);
+  const model::MemoryId mg = app->platform().global_memory();
+  auto slots = MemoryLayout::required_slots(*app, mg);
+  std::reverse(slots.begin(), slots.end());
+  layout.set_order(mg, slots);
+  EXPECT_EQ(layout.position(mg, slots[0]), 0);
+  EXPECT_EQ(layout.position(mg, slots[5]), 5);
+  EXPECT_TRUE(layout.adjacent(mg, slots[2], slots[3]));
+  EXPECT_FALSE(layout.adjacent(mg, slots[3], slots[2]));
+  EXPECT_FALSE(layout.adjacent(mg, slots[0], slots[2]));
+}
+
+TEST(MemoryLayout, RejectsIncompleteOrWrongOrder) {
+  const auto app = testing::make_fig1_app();
+  MemoryLayout layout(*app);
+  const model::MemoryId mg = app->platform().global_memory();
+  auto slots = MemoryLayout::required_slots(*app, mg);
+  auto missing = slots;
+  missing.pop_back();
+  EXPECT_THROW(layout.set_order(mg, missing), support::PreconditionError);
+  auto duplicated = slots;
+  duplicated.back() = duplicated.front();
+  EXPECT_THROW(layout.set_order(mg, duplicated), support::PreconditionError);
+}
+
+TEST(MemoryLayout, HasOrderSemantics) {
+  const auto app = testing::make_fig1_app();
+  MemoryLayout layout(*app);
+  const model::MemoryId mg = app->platform().global_memory();
+  EXPECT_FALSE(layout.has_order(mg));
+  layout.set_order(mg, MemoryLayout::required_slots(*app, mg));
+  EXPECT_TRUE(layout.has_order(mg));
+}
+
+TEST(MemoryLayout, SlotHelpersForCommunications) {
+  const Communication w{Direction::kWrite, model::TaskId{3}, model::LabelId{1}};
+  EXPECT_EQ(local_slot_of(w).owner.value, 3);
+  EXPECT_EQ(local_slot_of(w).label.value, 1);
+  EXPECT_EQ(global_slot_of(w).owner.value, -1);
+}
+
+TEST(MemoryLayout, PositionOfUnplacedSlotThrows) {
+  const auto app = testing::make_fig1_app();
+  MemoryLayout layout(*app);
+  const model::MemoryId mg = app->platform().global_memory();
+  layout.set_order(mg, MemoryLayout::required_slots(*app, mg));
+  EXPECT_THROW(
+      layout.position(mg, Slot{model::LabelId{0}, model::TaskId{0}}),
+      support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace letdma::let

@@ -1,0 +1,130 @@
+#include "letdma/let/let_comms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../test_fixtures.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::let {
+namespace {
+
+using support::ms;
+
+TEST(LetComms, PairAppCalendar) {
+  const auto app = testing::make_pair_app(ms(10), ms(10));
+  LetComms lc(*app);
+  // Equal periods: one write and one read at every release.
+  EXPECT_EQ(lc.required_instants().size(), 1u);  // H == 10ms, only t=0
+  const auto s0 = lc.comms_at_s0();
+  ASSERT_EQ(s0.size(), 2u);
+  EXPECT_EQ(s0[0].dir, Direction::kWrite);
+  EXPECT_EQ(s0[1].dir, Direction::kRead);
+}
+
+TEST(LetComms, OversampledProducerSkipsWrites) {
+  const auto app = testing::make_pair_app(ms(5), ms(15));
+  LetComms lc(*app);
+  // H = 15ms; writes at 0 only (within [0,15): consumer job 0);
+  // producer job indices for consumer jobs land at t=0.
+  int writes = 0, reads = 0;
+  for (const Time t : lc.required_instants()) {
+    for (const Communication& c : lc.comms_at(t)) {
+      (c.dir == Direction::kWrite ? writes : reads) += 1;
+    }
+  }
+  EXPECT_EQ(writes, 1);
+  EXPECT_EQ(reads, 1);
+}
+
+TEST(LetComms, SubsetPropertyCOfT) {
+  // C(t) is a subset of C(s0) for every t (synchronous release).
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const auto s0 = lc.comms_at_s0();
+  const std::set<Communication> s0_set(s0.begin(), s0.end());
+  for (const Time t : lc.required_instants()) {
+    for (const Communication& c : lc.comms_at(t)) {
+      EXPECT_TRUE(s0_set.count(c) > 0)
+          << to_string(*app, c) << " at t=" << t;
+    }
+  }
+}
+
+TEST(LetComms, Fig1S0HasAllTwelveComms) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  // 6 labels, each with one writer and one reader: 12 communications.
+  EXPECT_EQ(lc.comms_at_s0().size(), 12u);
+}
+
+TEST(LetComms, AlgorithmOneGroupsPerTask) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const model::TaskId t1 = app->find_task("tau1");
+  const auto w = lc.writes_at(0, t1);
+  const auto r = lc.reads_at(0, t1);
+  ASSERT_EQ(w.size(), 1u);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(app->label(w[0].label).name, "lA");
+  EXPECT_EQ(app->label(r[0].label).name, "lD");
+}
+
+TEST(LetComms, HStarIsLcmOfPartners) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  // tau1 (10ms) exchanges with tau2 (5ms): H* = lcm(10,5) = 10ms.
+  EXPECT_EQ(lc.h_star(app->find_task("tau1")), ms(10));
+  // tau5 (40ms) with tau6 (40ms): H* = 40ms.
+  EXPECT_EQ(lc.h_star(app->find_task("tau5")), ms(40));
+}
+
+TEST(LetComms, MultiReaderLabelProducesOneWriteManyReads) {
+  const auto app = testing::make_multireader_app();
+  LetComms lc(*app);
+  const auto s0 = lc.comms_at_s0();
+  int writes = 0, reads = 0;
+  for (const Communication& c : s0) {
+    (c.dir == Direction::kWrite ? writes : reads) += 1;
+  }
+  EXPECT_EQ(writes, 1);  // single write despite two inter-core readers
+  EXPECT_EQ(reads, 2);
+}
+
+TEST(LetComms, IndexAtS0Roundtrip) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const auto s0 = lc.comms_at_s0();
+  for (std::size_t i = 0; i < s0.size(); ++i) {
+    EXPECT_EQ(lc.index_at_s0(s0[i]), static_cast<int>(i));
+  }
+  EXPECT_THROW(
+      lc.index_at_s0({Direction::kWrite, model::TaskId{1}, model::LabelId{0}}),
+      support::PreconditionError);
+}
+
+TEST(LetComms, CommunicatingTasksOfFig1) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  EXPECT_EQ(lc.communicating_tasks().size(), 6u);
+}
+
+TEST(LetComms, RequiresFinalizedApp) {
+  model::Application app{model::Platform(2)};
+  app.add_task("a", ms(10), ms(1), model::CoreId{0});
+  EXPECT_THROW(LetComms lc(app), support::PreconditionError);
+}
+
+TEST(LetComms, NonCommunicatingAppHasEmptyCalendar) {
+  model::Application app{model::Platform(2)};
+  app.add_task("a", ms(10), ms(1), model::CoreId{0});
+  app.add_task("b", ms(20), ms(1), model::CoreId{1});
+  app.finalize();
+  LetComms lc(app);
+  EXPECT_TRUE(lc.required_instants().empty());
+  EXPECT_TRUE(lc.comms_at_s0().empty());
+}
+
+}  // namespace
+}  // namespace letdma::let

@@ -1,0 +1,107 @@
+#include "letdma/let/multichannel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_fixtures.hpp"
+#include "letdma/let/greedy.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::let {
+namespace {
+
+TEST(MultiChannel, SingleChannelMatchesSequentialModel) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  const MultiChannelReport r =
+      schedule_on_channels(*app, g.s0_transfers, 1);
+  const LatencyModel lat(app->platform());
+  const auto completions = lat.completion_times(g.s0_transfers);
+  for (std::size_t i = 0; i < g.s0_transfers.size(); ++i) {
+    EXPECT_EQ(r.slots[i].finish, completions[i]) << "transfer " << i;
+    EXPECT_EQ(r.slots[i].channel, 0);
+  }
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    const Time seq = lat.task_latency(*app, g.s0_transfers, model::TaskId{i},
+                                      ReadinessSemantics::kProposed);
+    if (r.readiness.count(i)) {
+      EXPECT_EQ(r.readiness.at(i), seq);
+    } else {
+      EXPECT_EQ(seq, 0);
+    }
+  }
+}
+
+TEST(MultiChannel, MoreChannelsNeverWorse) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  MultiChannelReport prev = schedule_on_channels(*app, g.s0_transfers, 1);
+  for (int channels = 2; channels <= 4; ++channels) {
+    const MultiChannelReport cur =
+        schedule_on_channels(*app, g.s0_transfers, channels);
+    EXPECT_LE(cur.makespan, prev.makespan);
+    for (const auto& [task, ready] : cur.readiness) {
+      EXPECT_LE(ready, prev.readiness.at(task)) << "task " << task;
+    }
+    prev = cur;
+  }
+}
+
+TEST(MultiChannel, DependenciesSerializeAcrossChannels) {
+  // A read of a label must start after its write finished, even with
+  // unlimited channels.
+  const auto app = testing::make_pair_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  ASSERT_EQ(g.s0_transfers.size(), 2u);  // write then read of one label
+  const MultiChannelReport r =
+      schedule_on_channels(*app, g.s0_transfers, 8);
+  EXPECT_GE(r.slots[1].start, r.slots[0].finish);
+}
+
+TEST(MultiChannel, IndependentTransfersOverlap) {
+  // Fig1: the write from core 0 and the write from core 1 share nothing;
+  // with two channels they must overlap.
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  // Find two write transfers from different memories.
+  int w0 = -1, w1 = -1;
+  for (std::size_t i = 0; i < g.s0_transfers.size(); ++i) {
+    if (g.s0_transfers[i].dir != Direction::kWrite) continue;
+    if (w0 < 0) {
+      w0 = static_cast<int>(i);
+    } else if (g.s0_transfers[i].local_mem.value !=
+               g.s0_transfers[static_cast<std::size_t>(w0)].local_mem.value) {
+      w1 = static_cast<int>(i);
+      break;
+    }
+  }
+  ASSERT_GE(w0, 0);
+  ASSERT_GE(w1, 0);
+  const MultiChannelReport r =
+      schedule_on_channels(*app, g.s0_transfers, 2);
+  const ChannelSlot& a = r.slots[static_cast<std::size_t>(w0)];
+  const ChannelSlot& b = r.slots[static_cast<std::size_t>(w1)];
+  EXPECT_LT(b.start, a.finish);  // overlap
+  EXPECT_NE(a.channel, b.channel);
+}
+
+TEST(MultiChannel, RejectsZeroChannels) {
+  const auto app = testing::make_pair_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  EXPECT_THROW(schedule_on_channels(*app, g.s0_transfers, 0),
+               support::PreconditionError);
+}
+
+TEST(MultiChannel, EmptyScheduleEmptyReport) {
+  const auto app = testing::make_pair_app();
+  const MultiChannelReport r = schedule_on_channels(*app, {}, 2);
+  EXPECT_TRUE(r.slots.empty());
+  EXPECT_EQ(r.makespan, 0);
+}
+
+}  // namespace
+}  // namespace letdma::let

@@ -1,0 +1,120 @@
+#include "letdma/let/schedule_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_fixtures.hpp"
+#include "letdma/let/validate.hpp"
+#include "letdma/model/generator.hpp"
+#include "letdma/support/error.hpp"
+#include "letdma/support/rng.hpp"
+
+namespace letdma::let {
+namespace {
+
+using support::PreconditionError;
+
+TEST(ScheduleIo, RoundTripFig1Greedy) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  const std::string text = write_schedule(*app, g);
+  const ScheduleResult loaded = read_schedule(lc, text);
+  ASSERT_EQ(loaded.s0_transfers.size(), g.s0_transfers.size());
+  for (std::size_t i = 0; i < g.s0_transfers.size(); ++i) {
+    EXPECT_EQ(loaded.s0_transfers[i].comms, g.s0_transfers[i].comms);
+    EXPECT_EQ(loaded.s0_transfers[i].bytes, g.s0_transfers[i].bytes);
+    EXPECT_EQ(loaded.s0_transfers[i].local_addr,
+              g.s0_transfers[i].local_addr);
+    EXPECT_EQ(loaded.s0_transfers[i].global_addr,
+              g.s0_transfers[i].global_addr);
+  }
+  // Canonical: serializing the load gives the same text.
+  EXPECT_EQ(write_schedule(*app, loaded), text);
+  // And the loaded configuration validates.
+  const ValidationReport rep =
+      validate_schedule(lc, loaded.layout, loaded.schedule);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(ScheduleIo, ErrorsCarryContext) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  try {
+    read_schedule(lc, "layout mem=M_9 slots=lA\n");
+    FAIL() << "expected parse error";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("M_9"), std::string::npos);
+  }
+}
+
+TEST(ScheduleIo, MalformedInputsRejected) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  EXPECT_THROW(read_schedule(lc, "bogus x=1\n"), PreconditionError);
+  EXPECT_THROW(read_schedule(lc, "layout mem=M_G\n"), PreconditionError);
+  EXPECT_THROW(read_schedule(lc, "layout mem=M_G slots=NOPE\n"),
+               PreconditionError);
+  EXPECT_THROW(read_schedule(lc, "transfer dir=W comms=W:tau1\n"),
+               PreconditionError);
+  EXPECT_THROW(read_schedule(lc, "transfer dir=W comms=X:tau1:lA\n"),
+               PreconditionError);
+  // Incomplete layout (only some slots of M_G listed).
+  EXPECT_THROW(read_schedule(lc, "layout mem=M_G slots=lA\n"),
+               PreconditionError);
+}
+
+TEST(ScheduleIo, TransferAgainstMissingLayoutRejected) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  EXPECT_THROW(read_schedule(lc, "transfer dir=W comms=W:tau1:lA\n"),
+               PreconditionError);
+}
+
+TEST(ScheduleIo, FuzzedMutationsNeverCrash) {
+  // Random single-character corruptions of a valid file must either parse
+  // (rare) or throw PreconditionError — never crash or corrupt state.
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  const std::string text = write_schedule(*app, g);
+  support::Rng rng(2024);
+  int parsed = 0, rejected = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated = text;
+    const std::size_t pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+    const char replacement = static_cast<char>(rng.uniform_int(32, 126));
+    mutated[pos] = replacement;
+    try {
+      const ScheduleResult r = read_schedule(lc, mutated);
+      (void)r;
+      ++parsed;
+    } catch (const support::Error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 200);
+  EXPECT_GT(rejected, 0);  // most corruptions are rejected
+}
+
+class ScheduleIoRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleIoRandom, GeneratedSystemsRoundTrip) {
+  model::GeneratorOptions opt;
+  opt.seed = static_cast<std::uint64_t>(GetParam()) * 60013u + 9u;
+  opt.num_tasks = 5 + GetParam() % 5;
+  opt.num_labels = 4 + GetParam() % 6;
+  const auto app = generate_application(opt);
+  LetComms lc(*app);
+  if (lc.comms_at_s0().empty()) return;
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  const std::string text = write_schedule(*app, g);
+  const ScheduleResult loaded = read_schedule(lc, text);
+  EXPECT_EQ(write_schedule(*app, loaded), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleIoRandom, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace letdma::let

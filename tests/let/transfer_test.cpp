@@ -1,0 +1,146 @@
+#include "letdma/let/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_fixtures.hpp"
+#include "letdma/support/error.hpp"
+#include "letdma/let/greedy.hpp"
+
+namespace letdma::let {
+namespace {
+
+/// Layout helper: order every memory by its canonical required_slots order.
+MemoryLayout canonical_layout(const model::Application& app) {
+  MemoryLayout layout(app);
+  for (int m = 0; m < app.platform().num_memories(); ++m) {
+    const model::MemoryId mem{m};
+    auto slots = MemoryLayout::required_slots(app, mem);
+    if (!slots.empty()) layout.set_order(mem, std::move(slots));
+  }
+  return layout;
+}
+
+TEST(MakeTransfer, SingleCommunication) {
+  const auto app = testing::make_pair_app();
+  LetComms lc(*app);
+  const MemoryLayout layout = canonical_layout(*app);
+  const auto s0 = lc.comms_at_s0();
+  const DmaTransfer w = make_transfer(layout, {s0[0]});
+  EXPECT_EQ(w.dir, Direction::kWrite);
+  EXPECT_EQ(w.bytes, 1000);
+  EXPECT_EQ(w.comms.size(), 1u);
+  EXPECT_EQ(w.local_mem.value, 0);  // producer core 0
+}
+
+TEST(MakeTransfer, MergesContiguousRun) {
+  const auto app = testing::make_fig1_app();
+  const MemoryLayout layout = canonical_layout(*app);
+  // tau1 writes lA (label 0), tau3 writes lB (label 1): in the canonical
+  // order their global slots are adjacent AND their local slots in M_1 are
+  // adjacent (writer copies sort by (label, owner)).
+  const Communication w1{Direction::kWrite, app->find_task("tau1"),
+                         model::LabelId{0}};
+  const Communication w3{Direction::kWrite, app->find_task("tau3"),
+                         model::LabelId{1}};
+  const DmaTransfer t = make_transfer(layout, {w3, w1});  // any input order
+  EXPECT_EQ(t.bytes, 2000 + 4000);
+  ASSERT_EQ(t.comms.size(), 2u);
+  EXPECT_EQ(t.comms[0].label.value, 0);  // sorted by address
+  EXPECT_EQ(t.comms[1].label.value, 1);
+}
+
+TEST(MakeTransfer, RejectsMixedDirections) {
+  const auto app = testing::make_pair_app();
+  LetComms lc(*app);
+  const MemoryLayout layout = canonical_layout(*app);
+  const auto s0 = lc.comms_at_s0();  // one write, one read
+  EXPECT_THROW(make_transfer(layout, {s0[0], s0[1]}),
+               support::PreconditionError);
+}
+
+TEST(MakeTransfer, RejectsNonContiguousLabels) {
+  const auto app = testing::make_fig1_app();
+  const MemoryLayout layout = canonical_layout(*app);
+  // lA (label 0) and lC (label 2) are separated by lB in global memory.
+  const Communication w1{Direction::kWrite, app->find_task("tau1"),
+                         model::LabelId{0}};
+  const Communication w5{Direction::kWrite, app->find_task("tau5"),
+                         model::LabelId{2}};
+  EXPECT_THROW(make_transfer(layout, {w1, w5}), support::PreconditionError);
+}
+
+TEST(MakeTransfer, RejectsMixedLocalMemories) {
+  const auto app = testing::make_multireader_app();
+  LetComms lc(*app);
+  const MemoryLayout layout = canonical_layout(*app);
+  std::vector<Communication> reads;
+  for (const Communication& c : lc.comms_at_s0()) {
+    if (c.dir == Direction::kRead) reads.push_back(c);
+  }
+  ASSERT_EQ(reads.size(), 2u);  // two consumers on different cores
+  EXPECT_THROW(make_transfer(layout, reads), support::PreconditionError);
+}
+
+TEST(MakeTransfer, EmptyThrows) {
+  const auto app = testing::make_pair_app();
+  const MemoryLayout layout = canonical_layout(*app);
+  EXPECT_THROW(make_transfer(layout, {}), support::PreconditionError);
+}
+
+TEST(SplitIntoTransfers, SplitsAtGaps) {
+  const auto app = testing::make_fig1_app();
+  const MemoryLayout layout = canonical_layout(*app);
+  const Communication w1{Direction::kWrite, app->find_task("tau1"),
+                         model::LabelId{0}};
+  const Communication w5{Direction::kWrite, app->find_task("tau5"),
+                         model::LabelId{2}};
+  const auto pieces = split_into_transfers(layout, {w1, w5});
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0].bytes, 2000);
+  EXPECT_EQ(pieces[1].bytes, 8000);
+}
+
+TEST(SplitIntoTransfers, KeepsContiguousTogether) {
+  const auto app = testing::make_fig1_app();
+  const MemoryLayout layout = canonical_layout(*app);
+  const Communication w1{Direction::kWrite, app->find_task("tau1"),
+                         model::LabelId{0}};
+  const Communication w3{Direction::kWrite, app->find_task("tau3"),
+                         model::LabelId{1}};
+  const auto pieces = split_into_transfers(layout, {w1, w3});
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].bytes, 6000);
+}
+
+TEST(SplitIntoTransfers, EmptyInputEmptyOutput) {
+  const auto app = testing::make_pair_app();
+  const MemoryLayout layout = canonical_layout(*app);
+  EXPECT_TRUE(split_into_transfers(layout, {}).empty());
+}
+
+TEST(TransferSchedule, SetAndQueryInstants) {
+  TransferSchedule s;
+  EXPECT_FALSE(s.has_instant(0));
+  EXPECT_THROW(s.at(0), support::PreconditionError);
+  s.set_instant(0, {});
+  EXPECT_TRUE(s.has_instant(0));
+  EXPECT_TRUE(s.at(0).empty());
+}
+
+TEST(DeriveSchedule, CoversEveryInstantExactly) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult greedy = GreedyScheduler(lc).build();
+  for (const Time t : lc.required_instants()) {
+    ASSERT_TRUE(greedy.schedule.has_instant(t));
+    std::vector<Communication> carried;
+    for (const DmaTransfer& d : greedy.schedule.at(t)) {
+      carried.insert(carried.end(), d.comms.begin(), d.comms.end());
+    }
+    canonicalize(carried);
+    EXPECT_EQ(carried, lc.comms_at(t)) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace letdma::let

@@ -1,0 +1,243 @@
+#include "letdma/let/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_fixtures.hpp"
+#include "letdma/support/error.hpp"
+#include "letdma/let/greedy.hpp"
+
+namespace letdma::let {
+namespace {
+
+TEST(Validate, AcceptsGreedySchedules) {
+  std::vector<std::unique_ptr<model::Application>> apps;
+  apps.push_back(testing::make_pair_app());
+  apps.push_back(testing::make_fig1_app());
+  apps.push_back(testing::make_multireader_app());
+  for (const auto& app : apps) {
+    LetComms lc(*app);
+    const ScheduleResult g = GreedyScheduler(lc).build();
+    const ValidationReport r = validate_schedule(lc, g.layout, g.schedule);
+    EXPECT_TRUE(r.ok()) << r.summary();
+    EXPECT_EQ(r.summary(), "OK");
+  }
+}
+
+TEST(Validate, DetectsMissingInstant) {
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  ScheduleResult g = GreedyScheduler(lc).build();
+  TransferSchedule partial;
+  partial.set_instant(0, g.schedule.at(0));  // drop every other instant
+  const ValidationReport r = validate_schedule(lc, g.layout, partial);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Validate, DetectsPropertyTwoViolation) {
+  // Swap the write and the read of the pair app: read before write.
+  const auto app = testing::make_pair_app();
+  LetComms lc(*app);
+  ScheduleResult g = GreedyScheduler(lc).build();
+  ASSERT_EQ(g.s0_transfers.size(), 2u);
+  std::swap(g.s0_transfers[0], g.s0_transfers[1]);
+  TransferSchedule bad;
+  bad.set_instant(0, g.s0_transfers);
+  const ValidationReport r = validate_schedule(lc, g.layout, bad);
+  ASSERT_FALSE(r.ok());
+  bool mentions_p2 = false;
+  for (const auto& s : r.issues) {
+    mentions_p2 |= s.find("Property 2") != std::string::npos;
+  }
+  EXPECT_TRUE(mentions_p2) << r.summary();
+}
+
+TEST(Validate, DetectsDuplicateCarriage) {
+  const auto app = testing::make_pair_app();
+  LetComms lc(*app);
+  ScheduleResult g = GreedyScheduler(lc).build();
+  auto transfers = g.s0_transfers;
+  transfers.push_back(transfers[0]);  // write carried twice
+  TransferSchedule bad;
+  bad.set_instant(0, transfers);
+  const ValidationReport r = validate_schedule(lc, g.layout, bad);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Validate, DetectsDeadlineMiss) {
+  const auto app = testing::make_pair_app();
+  app->set_acquisition_deadline(app->find_task("CONS"), support::us(1));
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  const ValidationReport r = validate_schedule(lc, g.layout, g.schedule);
+  ASSERT_FALSE(r.ok());
+  bool mentions_deadline = false;
+  for (const auto& s : r.issues) {
+    mentions_deadline |= s.find("acquisition deadline") != std::string::npos;
+  }
+  EXPECT_TRUE(mentions_deadline);
+  // The same schedule passes when deadline checking is disabled.
+  ValidationOptions opt;
+  opt.check_deadlines = false;
+  EXPECT_TRUE(validate_schedule(lc, g.layout, g.schedule, opt).ok());
+}
+
+TEST(Validate, DetectsPropertyThreeViolation) {
+  // A huge label on a fast pair leaves no room before the next instant.
+  const auto app = testing::make_pair_app(support::ms(1), support::ms(1),
+                                          /*label_bytes=*/10'000'000);
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  const ValidationReport r = validate_schedule(lc, g.layout, g.schedule);
+  ASSERT_FALSE(r.ok());
+  bool mentions_p3 = false;
+  for (const auto& s : r.issues) {
+    mentions_p3 |= s.find("Property 3") != std::string::npos;
+  }
+  EXPECT_TRUE(mentions_p3) << r.summary();
+}
+
+TEST(Validate, MissingLayoutReported) {
+  const auto app = testing::make_pair_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  MemoryLayout empty(*app);
+  const ValidationReport r = validate_schedule(lc, empty, g.schedule);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.issues[0].find("no slot order"), std::string::npos);
+}
+
+TEST(Validate, DetectsCorruptedTransferMetadata) {
+  const auto app = testing::make_pair_app();
+  LetComms lc(*app);
+  ScheduleResult g = GreedyScheduler(lc).build();
+  auto transfers = g.s0_transfers;
+  transfers[0].bytes += 1;  // inconsistent with the layout
+  TransferSchedule bad = g.schedule;
+  bad.set_instant(0, transfers);
+  const ValidationReport r = validate_schedule(lc, g.layout, bad);
+  ASSERT_FALSE(r.ok());
+  bool mentions_meta = false;
+  for (const auto& s : r.issues) {
+    mentions_meta |= s.find("metadata") != std::string::npos;
+  }
+  EXPECT_TRUE(mentions_meta) << r.summary();
+}
+
+TEST(Validate, DetectsNonContiguousTransfer) {
+  // Hand-build a transfer whose labels are not adjacent in memory by
+  // bypassing make_transfer.
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  ScheduleResult g = GreedyScheduler(lc).build();
+  // Merge two single-comm write transfers that are NOT contiguous.
+  std::vector<DmaTransfer> transfers = g.s0_transfers;
+  DmaTransfer* first_w = nullptr;
+  DmaTransfer* second_w = nullptr;
+  for (DmaTransfer& t : transfers) {
+    if (t.dir != Direction::kWrite) continue;
+    if (!first_w) {
+      first_w = &t;
+    } else if (t.local_mem == first_w->local_mem &&
+               t.global_addr != first_w->global_addr + first_w->bytes) {
+      second_w = &t;
+      break;
+    }
+  }
+  if (first_w == nullptr || second_w == nullptr) {
+    GTEST_SKIP() << "no mergeable non-contiguous pair in this layout";
+  }
+  first_w->comms.insert(first_w->comms.end(), second_w->comms.begin(),
+                        second_w->comms.end());
+  first_w->bytes += second_w->bytes;
+  transfers.erase(
+      std::remove_if(transfers.begin(), transfers.end(),
+                     [&](const DmaTransfer& t) { return &t == second_w; }),
+      transfers.end());
+  // Rebuild: erase via value comparison is fiddly with pointers; simpler
+  // path: drop the second transfer by index.
+  TransferSchedule bad = g.schedule;
+  bad.set_instant(0, transfers);
+  const ValidationReport r = validate_schedule(lc, g.layout, bad);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Validate, FlagsTheorem1ViolationFromHoleyTransfer) {
+  // A transfer [A, B, C] where B is skipped at t=20ms splits into two
+  // pieces there; with tiny payloads the extra per-transfer overhead makes
+  // lambda(t) exceed lambda(s0) — exactly what Constraint 6 exists to
+  // prevent and what the validator must flag.
+  model::Application app{model::Platform(2)};
+  const auto p = app.add_task("p", support::ms(10), support::ms(1),
+                              model::CoreId{0});
+  const auto cA = app.add_task("cA", support::ms(10), support::ms(1),
+                               model::CoreId{1});
+  const auto cB = app.add_task("cB", support::ms(20), support::ms(1),
+                               model::CoreId{1});
+  app.add_label("A", 16, p, {cA});
+  app.add_label("B", 16, p, {cB});
+  app.add_label("C", 16, p, {cA});
+  app.finalize();
+  LetComms lc(app);
+  // Canonical layout: A, B, C contiguous in M_G; read copies in M_2 are
+  // (A,cA), (B,cB), (C,cA) — also in label order.
+  MemoryLayout layout(app);
+  for (int m = 0; m < app.platform().num_memories(); ++m) {
+    auto slots = MemoryLayout::required_slots(app, model::MemoryId{m});
+    if (!slots.empty()) layout.set_order(model::MemoryId{m}, slots);
+  }
+  // s0 order: writes of A and B merged (so B's absence at t=10ms does NOT
+  // save a transfer), the write of C alone, then ONE read transfer
+  // carrying A, B and C together.
+  std::vector<Communication> wAB, wC, reads;
+  for (const Communication& c : lc.comms_at_s0()) {
+    if (c.dir == Direction::kRead) {
+      reads.push_back(c);
+    } else if (app.label(c.label).name == "C") {
+      wC.push_back(c);
+    } else {
+      wAB.push_back(c);
+    }
+  }
+  std::vector<DmaTransfer> s0;
+  s0.push_back(make_transfer(layout, wAB));
+  s0.push_back(make_transfer(layout, wC));
+  s0.push_back(make_transfer(layout, reads));
+  const TransferSchedule schedule = derive_schedule(lc, layout, s0);
+  // At t=10ms B is skipped: the merged write shrinks to {A} (still one
+  // transfer) but the read run [A, _, C] splits into two pieces — the
+  // instant pays one MORE lambda_O than s0 (4 transfers vs 3).
+  ASSERT_TRUE(schedule.has_instant(support::ms(10)));
+  EXPECT_EQ(schedule.at(support::ms(10)).size(), 4u);
+  EXPECT_EQ(schedule.at(0).size(), 3u);
+  const ValidationReport r = validate_schedule(lc, layout, schedule);
+  ASSERT_FALSE(r.ok());
+  bool mentions_theorem = false;
+  for (const auto& s : r.issues) {
+    mentions_theorem |= s.find("Theorem 1") != std::string::npos;
+  }
+  EXPECT_TRUE(mentions_theorem) << r.summary();
+}
+
+TEST(Validate, GiottoSemanticsOptionUsed) {
+  // Giotto semantics inflate latencies; with a deadline between the
+  // proposed and the Giotto value, only the Giotto check fails.
+  const auto app = testing::make_fig1_app();
+  LetComms lc(*app);
+  const ScheduleResult g = GreedyScheduler(lc).build();
+  const LatencyModel lat(app->platform());
+  const model::TaskId t2 = app->find_task("tau2");
+  const Time proposed = lat.task_latency(*app, g.schedule.at(0), t2,
+                                         ReadinessSemantics::kProposed);
+  const Time giotto = lat.task_latency(*app, g.schedule.at(0), t2,
+                                       ReadinessSemantics::kGiotto);
+  ASSERT_LT(proposed, giotto);
+  app->set_acquisition_deadline(t2, (proposed + giotto) / 2);
+  ValidationOptions opt;
+  opt.semantics = ReadinessSemantics::kProposed;
+  EXPECT_TRUE(validate_schedule(lc, g.layout, g.schedule, opt).ok());
+  opt.semantics = ReadinessSemantics::kGiotto;
+  EXPECT_FALSE(validate_schedule(lc, g.layout, g.schedule, opt).ok());
+}
+
+}  // namespace
+}  // namespace letdma::let

@@ -1,0 +1,76 @@
+#include "letdma/milp/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::milp {
+namespace {
+
+TEST(LinExpr, DefaultIsZero) {
+  LinExpr e;
+  EXPECT_TRUE(e.terms().empty());
+  EXPECT_EQ(e.constant(), 0.0);
+}
+
+TEST(LinExpr, FromConstantAndVar) {
+  LinExpr c(3.5);
+  EXPECT_EQ(c.constant(), 3.5);
+  LinExpr v(Var{2});
+  ASSERT_EQ(v.terms().size(), 1u);
+  EXPECT_EQ(v.terms()[0].coef, 1.0);
+  EXPECT_EQ(v.terms()[0].var.index, 2);
+}
+
+TEST(LinExpr, OperatorComposition) {
+  const Var x{0}, y{1};
+  LinExpr e = 2.0 * x + y - 3.0;
+  e.normalize();
+  EXPECT_EQ(e.terms().size(), 2u);
+  EXPECT_EQ(e.constant(), -3.0);
+  EXPECT_DOUBLE_EQ(e.evaluate({4.0, 5.0}), 2 * 4 + 5 - 3);
+}
+
+TEST(LinExpr, NormalizeMergesDuplicates) {
+  const Var x{0};
+  LinExpr e = 2.0 * x + 3.0 * x;
+  e.normalize();
+  ASSERT_EQ(e.terms().size(), 1u);
+  EXPECT_DOUBLE_EQ(e.terms()[0].coef, 5.0);
+}
+
+TEST(LinExpr, NormalizeDropsZeroCoefficients) {
+  const Var x{0}, y{1};
+  LinExpr e = 1.0 * x - 1.0 * x + 2.0 * y;
+  e.normalize();
+  ASSERT_EQ(e.terms().size(), 1u);
+  EXPECT_EQ(e.terms()[0].var.index, 1);
+}
+
+TEST(LinExpr, Negation) {
+  const Var x{0};
+  LinExpr e = -(2.0 * x + 1.0);
+  EXPECT_DOUBLE_EQ(e.evaluate({3.0}), -7.0);
+}
+
+TEST(LinExpr, ScalarMultiplication) {
+  const Var x{0};
+  LinExpr e = (x + 1.0) * 4.0;
+  EXPECT_DOUBLE_EQ(e.evaluate({2.0}), 12.0);
+  LinExpr f = 4.0 * (LinExpr(x) + 1.0);
+  EXPECT_DOUBLE_EQ(f.evaluate({2.0}), 12.0);
+}
+
+TEST(LinExpr, VarMinusVar) {
+  const Var x{0}, y{1};
+  LinExpr e = x - y;
+  EXPECT_DOUBLE_EQ(e.evaluate({7.0, 3.0}), 4.0);
+}
+
+TEST(LinExpr, EvaluateOutOfRangeThrows) {
+  LinExpr e(Var{5});
+  EXPECT_THROW(e.evaluate({1.0, 2.0}), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace letdma::milp

@@ -1,0 +1,110 @@
+#include "letdma/milp/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::milp {
+namespace {
+
+TEST(Model, AddVariablesOfAllTypes) {
+  Model m;
+  const Var x = m.add_continuous(0.0, 10.0, "x");
+  const Var b = m.add_binary("b");
+  const Var k = m.add_integer(1.0, 5.0, "k");
+  EXPECT_EQ(m.num_vars(), 3);
+  EXPECT_EQ(m.var(x).type, VarType::kContinuous);
+  EXPECT_EQ(m.var(b).type, VarType::kBinary);
+  EXPECT_EQ(m.var(k).type, VarType::kInteger);
+  EXPECT_EQ(m.var(b).ub, 1.0);
+  EXPECT_TRUE(m.has_integer_vars());
+}
+
+TEST(Model, PureContinuousModelHasNoIntegers) {
+  Model m;
+  m.add_continuous(0, 1, "x");
+  EXPECT_FALSE(m.has_integer_vars());
+}
+
+TEST(Model, InvertedBoundsThrow) {
+  Model m;
+  EXPECT_THROW(m.add_continuous(2.0, 1.0, "x"), support::PreconditionError);
+}
+
+TEST(Model, BinaryBoundsOutsideUnitThrow) {
+  Model m;
+  EXPECT_THROW(m.add_var(VarType::kBinary, 0.0, 2.0, "b"),
+               support::PreconditionError);
+}
+
+TEST(Model, ConstraintFoldsConstantIntoRhs) {
+  Model m;
+  const Var x = m.add_continuous(0, 10, "x");
+  const int row = m.add_constraint(2.0 * x + 5.0, Sense::kLe, 9.0, "c");
+  EXPECT_DOUBLE_EQ(m.constraint(row).rhs, 4.0);
+  EXPECT_DOUBLE_EQ(m.constraint(row).expr.constant(), 0.0);
+}
+
+TEST(Model, ConstraintWithUnknownVarThrows) {
+  Model m;
+  m.add_continuous(0, 1, "x");
+  EXPECT_THROW(m.add_constraint(LinExpr(Var{7}), Sense::kLe, 1.0, "bad"),
+               support::PreconditionError);
+}
+
+TEST(Model, IsFeasibleChecksEverything) {
+  Model m;
+  const Var x = m.add_continuous(0.0, 10.0, "x");
+  const Var b = m.add_binary("b");
+  m.add_constraint(LinExpr(x) + LinExpr(b), Sense::kLe, 5.0, "c1");
+  m.add_constraint(LinExpr(x) - LinExpr(b), Sense::kGe, 1.0, "c2");
+
+  EXPECT_TRUE(m.is_feasible({2.0, 1.0}));
+  EXPECT_FALSE(m.is_feasible({2.0, 0.5}));   // fractional binary
+  EXPECT_FALSE(m.is_feasible({-1.0, 0.0}));  // bound violation
+  EXPECT_FALSE(m.is_feasible({6.0, 0.0}));   // c1 violated
+  EXPECT_FALSE(m.is_feasible({0.0, 0.0}));   // c2 violated
+  EXPECT_FALSE(m.is_feasible({2.0}));        // wrong arity
+}
+
+TEST(Model, EqualitySenseFeasibility) {
+  Model m;
+  const Var x = m.add_continuous(0.0, 10.0, "x");
+  m.add_constraint(LinExpr(x), Sense::kEq, 3.0, "eq");
+  EXPECT_TRUE(m.is_feasible({3.0}));
+  EXPECT_FALSE(m.is_feasible({3.1}));
+}
+
+TEST(Model, ObjectiveValue) {
+  Model m;
+  const Var x = m.add_continuous(0, 10, "x");
+  m.set_objective(3.0 * x + 1.0, ObjSense::kMinimize);
+  EXPECT_DOUBLE_EQ(m.objective_value({2.0}), 7.0);
+}
+
+TEST(Model, SetVarBoundsTightens) {
+  Model m;
+  const Var x = m.add_integer(0, 10, "x");
+  m.set_var_bounds(x, 2.0, 3.0);
+  EXPECT_EQ(m.var(x).lb, 2.0);
+  EXPECT_EQ(m.var(x).ub, 3.0);
+  EXPECT_THROW(m.set_var_bounds(x, 5.0, 4.0), support::PreconditionError);
+}
+
+TEST(Model, LpStringContainsSections) {
+  Model m;
+  const Var x = m.add_continuous(0, kInfinity, "x");
+  const Var b = m.add_binary("sel");
+  m.add_constraint(LinExpr(x) + 2.0 * b, Sense::kLe, 4.0, "cap");
+  m.set_objective(LinExpr(x), ObjSense::kMaximize);
+  const std::string lp = m.to_lp_string();
+  EXPECT_NE(lp.find("Maximize"), std::string::npos);
+  EXPECT_NE(lp.find("Subject To"), std::string::npos);
+  EXPECT_NE(lp.find("Bounds"), std::string::npos);
+  EXPECT_NE(lp.find("Generals"), std::string::npos);
+  EXPECT_NE(lp.find("sel"), std::string::npos);
+  EXPECT_NE(lp.find("cap"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace letdma::milp

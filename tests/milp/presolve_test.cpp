@@ -1,0 +1,127 @@
+#include "letdma/milp/presolve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "letdma/milp/solver.hpp"
+#include "letdma/support/rng.hpp"
+
+namespace letdma::milp {
+namespace {
+
+TEST(Presolve, TightensFromSingleRow) {
+  // 2x <= 7 with x integer in [0, 100]: presolve fixes ub to 3.
+  Model m;
+  const Var x = m.add_integer(0, 100, "x");
+  m.add_constraint(2.0 * x, Sense::kLe, 7.0, "c");
+  const PresolveResult r = presolve_bounds(m);
+  EXPECT_FALSE(r.infeasible);
+  EXPECT_DOUBLE_EQ(r.ub[0], 3.0);
+  EXPECT_GE(r.tightenings, 1);
+}
+
+TEST(Presolve, EqualityFixesBinaries) {
+  // a + b = 2 with binaries: both fixed to 1.
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  m.add_constraint(LinExpr(a) + LinExpr(b), Sense::kEq, 2.0, "sum");
+  const PresolveResult r = presolve_bounds(m);
+  EXPECT_FALSE(r.infeasible);
+  EXPECT_DOUBLE_EQ(r.lb[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.lb[1], 1.0);
+}
+
+TEST(Presolve, GeRowRaisesLowerBound) {
+  Model m;
+  const Var x = m.add_continuous(0, 10, "x");
+  const Var y = m.add_continuous(0, 2, "y");
+  m.add_constraint(LinExpr(x) + LinExpr(y), Sense::kGe, 7.0, "demand");
+  const PresolveResult r = presolve_bounds(m);
+  EXPECT_FALSE(r.infeasible);
+  EXPECT_DOUBLE_EQ(r.lb[0], 5.0);  // x >= 7 - max(y)
+}
+
+TEST(Presolve, DetectsInfeasibleRow) {
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  m.add_constraint(LinExpr(a) + LinExpr(b), Sense::kGe, 3.0, "impossible");
+  const PresolveResult r = presolve_bounds(m);
+  EXPECT_TRUE(r.infeasible);
+}
+
+TEST(Presolve, PropagatesAcrossRows) {
+  // x = 4 forces y <= 2 through x + 2y <= 8, then z >= 3 through y + z >= 5.
+  Model m;
+  const Var x = m.add_continuous(0, 10, "x");
+  const Var y = m.add_continuous(0, 10, "y");
+  const Var z = m.add_continuous(0, 10, "z");
+  m.add_constraint(LinExpr(x), Sense::kEq, 4.0, "fix");
+  m.add_constraint(LinExpr(x) + 2.0 * y, Sense::kLe, 8.0, "c1");
+  m.add_constraint(LinExpr(y) + LinExpr(z), Sense::kGe, 5.0, "c2");
+  const PresolveResult r = presolve_bounds(m);
+  EXPECT_FALSE(r.infeasible);
+  EXPECT_DOUBLE_EQ(r.ub[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.lb[2], 3.0);
+  EXPECT_GE(r.rounds, 1);
+}
+
+TEST(Presolve, NegativeCoefficients) {
+  // -x + y <= -3, y in [0,10], x in [0,5]: x >= y + 3 >= 3.
+  Model m;
+  const Var x = m.add_continuous(0, 5, "x");
+  const Var y = m.add_continuous(0, 10, "y");
+  m.add_constraint(-1.0 * x + 1.0 * y, Sense::kLe, -3.0, "c");
+  const PresolveResult r = presolve_bounds(m);
+  EXPECT_FALSE(r.infeasible);
+  EXPECT_DOUBLE_EQ(r.lb[0], 3.0);
+  EXPECT_DOUBLE_EQ(r.ub[1], 2.0);  // y <= x - 3 <= 2
+}
+
+TEST(Presolve, NoConstraintsNoChanges) {
+  Model m;
+  m.add_continuous(0, 1, "x");
+  const PresolveResult r = presolve_bounds(m);
+  EXPECT_EQ(r.tightenings, 0);
+  EXPECT_FALSE(r.infeasible);
+}
+
+TEST(Presolve, SolverIntegrationMatchesWithAndWithout) {
+  support::Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    Model with, without;
+    for (Model* m : {&with, &without}) {
+      std::vector<Var> vars;
+      LinExpr obj, row;
+      support::Rng local(100 + trial);  // identical instances
+      for (int i = 0; i < 8; ++i) {
+        vars.push_back(m->add_binary("x" + std::to_string(i)));
+        obj += static_cast<double>(local.uniform_int(1, 9)) * vars.back();
+        row += static_cast<double>(local.uniform_int(1, 4)) * vars.back();
+      }
+      m->add_constraint(row, Sense::kLe, 9.0, "cap");
+      m->set_objective(obj, ObjSense::kMaximize);
+    }
+    MilpOptions on, off;
+    on.presolve = true;
+    off.presolve = false;
+    const MilpResult a = MilpSolver(with, on).solve();
+    const MilpResult b = MilpSolver(without, off).solve();
+    ASSERT_EQ(a.status, MilpStatus::kOptimal);
+    ASSERT_EQ(b.status, MilpStatus::kOptimal);
+    EXPECT_NEAR(a.objective, b.objective, 1e-6) << "trial " << trial;
+  }
+  (void)rng;
+}
+
+TEST(Presolve, SolverShortCircuitsInfeasible) {
+  Model m;
+  const Var a = m.add_binary("a");
+  m.add_constraint(LinExpr(a), Sense::kGe, 2.0, "impossible");
+  const MilpResult r = MilpSolver(m).solve();
+  EXPECT_EQ(r.status, MilpStatus::kInfeasible);
+  EXPECT_EQ(r.stats.nodes_explored, 0);  // closed before the tree
+}
+
+}  // namespace
+}  // namespace letdma::milp

@@ -1,0 +1,257 @@
+#include "letdma/milp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "letdma/milp/model.hpp"
+
+namespace letdma::milp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(Simplex, TrivialMaximization) {
+  // max x + y  s.t. x + y <= 4, x <= 3, y <= 2  ->  obj 4.
+  Model m;
+  const Var x = m.add_continuous(0, 3, "x");
+  const Var y = m.add_continuous(0, 2, "y");
+  m.add_constraint(x + y, Sense::kLe, 4.0, "cap");
+  m.set_objective(x + y, ObjSense::kMaximize);
+  const LpResult r = SimplexSolver(m).solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 4.0, kTol);
+}
+
+TEST(Simplex, ClassicTwoVariableLp) {
+  // max 3x + 5y s.t. x <= 4; 2y <= 12; 3x + 2y <= 18 (Dantzig's example).
+  Model m;
+  const Var x = m.add_continuous(0, kInfinity, "x");
+  const Var y = m.add_continuous(0, kInfinity, "y");
+  m.add_constraint(LinExpr(x), Sense::kLe, 4.0, "c1");
+  m.add_constraint(2.0 * y, Sense::kLe, 12.0, "c2");
+  m.add_constraint(3.0 * x + 2.0 * y, Sense::kLe, 18.0, "c3");
+  m.set_objective(3.0 * x + 5.0 * y, ObjSense::kMaximize);
+  const LpResult r = SimplexSolver(m).solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 36.0, kTol);
+  EXPECT_NEAR(r.x[0], 2.0, kTol);
+  EXPECT_NEAR(r.x[1], 6.0, kTol);
+}
+
+TEST(Simplex, MinimizationWithGeRows) {
+  // min 2x + 3y  s.t. x + y >= 10, x >= 2, y >= 3  ->  x=7, y=3, obj 23.
+  Model m;
+  const Var x = m.add_continuous(2, kInfinity, "x");
+  const Var y = m.add_continuous(3, kInfinity, "y");
+  m.add_constraint(x + y, Sense::kGe, 10.0, "demand");
+  m.set_objective(2.0 * x + 3.0 * y, ObjSense::kMinimize);
+  const LpResult r = SimplexSolver(m).solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 23.0, kTol);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + y s.t. x + 2y = 6, x,y >= 0 -> y=3, x=0, obj 3.
+  Model m;
+  const Var x = m.add_continuous(0, kInfinity, "x");
+  const Var y = m.add_continuous(0, kInfinity, "y");
+  m.add_constraint(x + 2.0 * y, Sense::kEq, 6.0, "bal");
+  m.set_objective(x + y, ObjSense::kMinimize);
+  const LpResult r = SimplexSolver(m).solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 3.0, kTol);
+  EXPECT_NEAR(r.x[1], 3.0, kTol);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  Model m;
+  const Var x = m.add_continuous(0, 1, "x");
+  m.add_constraint(LinExpr(x), Sense::kGe, 2.0, "impossible");
+  const LpResult r = SimplexSolver(m).solve();
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsConflictingEqualities) {
+  Model m;
+  const Var x = m.add_continuous(0, 10, "x");
+  m.add_constraint(LinExpr(x), Sense::kEq, 2.0, "a");
+  m.add_constraint(LinExpr(x), Sense::kEq, 3.0, "b");
+  const LpResult r = SimplexSolver(m).solve();
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  Model m;
+  const Var x = m.add_continuous(0, kInfinity, "x");
+  m.set_objective(LinExpr(x), ObjSense::kMaximize);
+  const LpResult r = SimplexSolver(m).solve();
+  EXPECT_EQ(r.status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, FreeVariable) {
+  // min x s.t. x >= -5 via constraint (x itself is free).
+  Model m;
+  const Var x = m.add_continuous(-kInfinity, kInfinity, "x");
+  m.add_constraint(LinExpr(x), Sense::kGe, -5.0, "lb");
+  m.set_objective(LinExpr(x), ObjSense::kMinimize);
+  const LpResult r = SimplexSolver(m).solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -5.0, kTol);
+}
+
+TEST(Simplex, NegativeRhsRows) {
+  // min -x - y s.t. -x - y >= -4  (i.e. x + y <= 4), 0 <= x,y <= 3.
+  Model m;
+  const Var x = m.add_continuous(0, 3, "x");
+  const Var y = m.add_continuous(0, 3, "y");
+  m.add_constraint(-1.0 * x - 1.0 * y, Sense::kGe, -4.0, "neg");
+  m.set_objective(-1.0 * x - 1.0 * y, ObjSense::kMinimize);
+  const LpResult r = SimplexSolver(m).solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -4.0, kTol);
+}
+
+TEST(Simplex, RedundantRowsHandled) {
+  Model m;
+  const Var x = m.add_continuous(0, 10, "x");
+  m.add_constraint(LinExpr(x), Sense::kEq, 4.0, "a");
+  m.add_constraint(2.0 * x, Sense::kEq, 8.0, "dup");
+  m.set_objective(LinExpr(x), ObjSense::kMinimize);
+  const LpResult r = SimplexSolver(m).solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 4.0, kTol);
+}
+
+TEST(Simplex, NoConstraintsJustBounds) {
+  Model m;
+  const Var x = m.add_continuous(1.5, 9.0, "x");
+  m.set_objective(LinExpr(x), ObjSense::kMaximize);
+  const LpResult r = SimplexSolver(m).solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 9.0, kTol);
+}
+
+TEST(Simplex, BoundOverridesRespected) {
+  Model m;
+  const Var x = m.add_continuous(0, 10, "x");
+  m.set_objective(LinExpr(x), ObjSense::kMaximize);
+  const LpResult r = SimplexSolver(m).solve_with_bounds({2.0}, {5.0});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 5.0, kTol);
+}
+
+TEST(Simplex, InvertedOverrideBoundsAreInfeasible) {
+  Model m;
+  m.add_continuous(0, 10, "x");
+  const LpResult r = SimplexSolver(m).solve_with_bounds({5.0}, {2.0});
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DegenerateLpTerminates) {
+  // Many redundant constraints through the same vertex.
+  Model m;
+  const Var x = m.add_continuous(0, kInfinity, "x");
+  const Var y = m.add_continuous(0, kInfinity, "y");
+  for (int i = 1; i <= 8; ++i) {
+    m.add_constraint(static_cast<double>(i) * x + static_cast<double>(i) * y,
+                     Sense::kLe, 0.0, "deg" + std::to_string(i));
+  }
+  m.set_objective(x + y, ObjSense::kMaximize);
+  const LpResult r = SimplexSolver(m).solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 0.0, kTol);
+}
+
+TEST(Simplex, KleeMintyCube) {
+  // The classic worst case for Dantzig pricing: max sum 2^(n-j) x_j over
+  // the Klee-Minty cube. Optimum is 5^n at x = (0, ..., 0, 5^n).
+  const int n = 6;
+  Model m;
+  std::vector<Var> x;
+  for (int j = 0; j < n; ++j) {
+    x.push_back(m.add_continuous(0, kInfinity, "x" + std::to_string(j)));
+  }
+  for (int i = 0; i < n; ++i) {
+    LinExpr row;
+    for (int j = 0; j < i; ++j) {
+      row += 2.0 * std::pow(5.0, i - j) * x[static_cast<std::size_t>(j)];
+    }
+    row += LinExpr(x[static_cast<std::size_t>(i)]);
+    m.add_constraint(row, Sense::kLe, std::pow(5.0, i + 1),
+                     "km" + std::to_string(i));
+  }
+  LinExpr obj;
+  for (int j = 0; j < n; ++j) {
+    obj += std::pow(2.0, n - 1 - j) * x[static_cast<std::size_t>(j)];
+  }
+  m.set_objective(obj, ObjSense::kMaximize);
+  const LpResult r = SimplexSolver(m).solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, std::pow(5.0, n), 1e-4);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(n - 1)], std::pow(5.0, n), 1e-4);
+}
+
+TEST(Simplex, ManyBoundFlips) {
+  // Boxed variables with alternating objective signs exercise the
+  // bound-flip (no-pivot) path.
+  Model m;
+  LinExpr obj;
+  for (int j = 0; j < 40; ++j) {
+    const Var v = m.add_continuous(-1.0, 1.0, "x" + std::to_string(j));
+    obj += (j % 2 == 0 ? 1.0 : -1.0) * v;
+  }
+  m.set_objective(obj, ObjSense::kMaximize);
+  const LpResult r = SimplexSolver(m).solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 40.0, 1e-6);
+}
+
+TEST(Simplex, TransportationProblem) {
+  // 2 suppliers (cap 20, 30) x 3 consumers (demand 10, 25, 15);
+  // costs: s1: 2,4,5 ; s2: 3,1,7. Optimal cost = 2*10+4*0+5*10 ... verify
+  // against a hand-computed optimum of 125.
+  Model m;
+  std::vector<Var> ship;
+  const double cost[2][3] = {{2, 4, 5}, {3, 1, 7}};
+  const double cap[2] = {20, 30};
+  const double dem[3] = {10, 25, 15};
+  for (int s = 0; s < 2; ++s) {
+    for (int c = 0; c < 3; ++c) {
+      ship.push_back(m.add_continuous(
+          0, kInfinity, "x" + std::to_string(s) + std::to_string(c)));
+    }
+  }
+  for (int s = 0; s < 2; ++s) {
+    LinExpr e;
+    for (int c = 0; c < 3; ++c) e += LinExpr(ship[s * 3 + c]);
+    m.add_constraint(e, Sense::kLe, cap[s], "cap" + std::to_string(s));
+  }
+  for (int c = 0; c < 3; ++c) {
+    LinExpr e;
+    for (int s = 0; s < 2; ++s) e += LinExpr(ship[s * 3 + c]);
+    m.add_constraint(e, Sense::kGe, dem[c], "dem" + std::to_string(c));
+  }
+  LinExpr obj;
+  for (int s = 0; s < 2; ++s) {
+    for (int c = 0; c < 3; ++c) obj += cost[s][c] * ship[s * 3 + c];
+  }
+  m.set_objective(obj, ObjSense::kMinimize);
+  const LpResult r = SimplexSolver(m).solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  // Optimum: s1->c1 10 (20), s1->c3 10 (50), s2->c2 25 (25), s2->c3 5 (35)
+  // = 130? Check alternatives: s1: c1 10, c3 15 => 20+75=95; s2: c2 25 =>25
+  // total 120, uses s1 cap 25 > 20. Infeasible. LP finds the true optimum;
+  // assert bounds instead of an exact hand value, plus feasibility.
+  EXPECT_GT(r.objective, 0.0);
+  double total = 0;
+  for (double v : r.x) {
+    EXPECT_GE(v, -kTol);
+    total += v;
+  }
+  EXPECT_NEAR(total, 50.0, 1e-5);  // all demand shipped
+  EXPECT_NEAR(r.objective, 125.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace letdma::milp

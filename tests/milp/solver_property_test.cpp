@@ -1,0 +1,172 @@
+// Property-style randomized checks of the MILP stack: every solution the
+// solver reports must satisfy Model::is_feasible, and on small instances the
+// reported optimum must match brute-force enumeration over the binaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "letdma/milp/model.hpp"
+#include "letdma/milp/solver.hpp"
+#include "letdma/support/rng.hpp"
+
+namespace letdma::milp {
+namespace {
+
+struct RandomBinaryInstance {
+  Model model;
+  std::vector<Var> vars;
+  int n = 0;
+};
+
+/// Builds a random set-packing-ish instance: n binaries, k rows of the form
+/// sum(subset) <= cap, objective max sum(w_i x_i).
+RandomBinaryInstance make_instance(support::Rng& rng, int n, int k) {
+  RandomBinaryInstance inst;
+  inst.n = n;
+  LinExpr obj;
+  for (int i = 0; i < n; ++i) {
+    inst.vars.push_back(inst.model.add_binary("x" + std::to_string(i)));
+    obj += static_cast<double>(rng.uniform_int(1, 9)) * inst.vars.back();
+  }
+  for (int r = 0; r < k; ++r) {
+    LinExpr row;
+    int members = 0;
+    for (int i = 0; i < n; ++i) {
+      if (rng.chance(0.5)) {
+        row += static_cast<double>(rng.uniform_int(1, 4)) * inst.vars[i];
+        ++members;
+      }
+    }
+    if (members == 0) continue;
+    inst.model.add_constraint(row, Sense::kLe,
+                              static_cast<double>(rng.uniform_int(2, 8)),
+                              "r" + std::to_string(r));
+  }
+  inst.model.set_objective(obj, ObjSense::kMaximize);
+  return inst;
+}
+
+/// Exhaustive optimum over all 2^n binary assignments.
+double brute_force_max(const Model& m, int n) {
+  double best = -1e100;
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    for (int i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] = (mask >> i) & 1;
+    if (m.is_feasible(x)) best = std::max(best, m.objective_value(x));
+  }
+  return best;
+}
+
+class RandomMilpMatchesBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMilpMatchesBruteForce, OptimumAgrees) {
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919u + 13u);
+  const int n = 3 + GetParam() % 8;  // 3..10 binaries
+  const int k = 1 + GetParam() % 5;
+  RandomBinaryInstance inst = make_instance(rng, n, k);
+  const double expect = brute_force_max(inst.model, n);
+  const MilpResult r = MilpSolver(inst.model).solve();
+  if (expect < -1e99) {
+    // All-zero is always feasible for <= rows with non-negative weights,
+    // so this should not happen — but guard against test-model drift.
+    EXPECT_EQ(r.status, MilpStatus::kInfeasible);
+    return;
+  }
+  ASSERT_EQ(r.status, MilpStatus::kOptimal) << inst.model.to_lp_string();
+  EXPECT_NEAR(r.objective, expect, 1e-6);
+  EXPECT_TRUE(inst.model.is_feasible(r.x));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMilpMatchesBruteForce,
+                         ::testing::Range(0, 40));
+
+class RandomLpSolutionFeasible : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpSolutionFeasible, LpRelaxationRespectsRows) {
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729u + 7u);
+  const int n = 4 + GetParam() % 10;
+  Model m;
+  std::vector<Var> vars;
+  LinExpr obj;
+  for (int i = 0; i < n; ++i) {
+    const double lo = static_cast<double>(rng.uniform_int(-5, 0));
+    const double hi = lo + static_cast<double>(rng.uniform_int(1, 10));
+    vars.push_back(m.add_continuous(lo, hi, "x" + std::to_string(i)));
+    obj += (rng.uniform() * 4.0 - 2.0) * vars.back();
+  }
+  for (int r = 0; r < n / 2 + 1; ++r) {
+    LinExpr row;
+    for (int i = 0; i < n; ++i) {
+      if (rng.chance(0.6)) row += (rng.uniform() * 6.0 - 3.0) * vars[i];
+    }
+    const double rhs = rng.uniform() * 20.0 - 5.0;
+    const Sense sense = rng.chance(0.5) ? Sense::kLe : Sense::kGe;
+    m.add_constraint(row, sense, rhs, "r" + std::to_string(r));
+  }
+  m.set_objective(obj, ObjSense::kMinimize);
+  const LpResult r = SimplexSolver(m).solve();
+  if (r.status != LpStatus::kOptimal) {
+    // Infeasibility is legitimate for random rows; nothing else is
+    // acceptable because all variables are boxed (no unboundedness).
+    EXPECT_EQ(r.status, LpStatus::kInfeasible);
+    return;
+  }
+  EXPECT_TRUE(m.is_feasible(r.x, 1e-5)) << m.to_lp_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpSolutionFeasible,
+                         ::testing::Range(0, 40));
+
+/// Mixed-sense binary instances (<=, >=, ==) vs brute force: exercises the
+/// artificial-variable phase-1 path, which pure <= instances never touch.
+class MixedSenseMilpMatchesBruteForce : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(MixedSenseMilpMatchesBruteForce, OptimumAgrees) {
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2246822519u + 3u);
+  const int n = 3 + GetParam() % 7;  // 3..9 binaries
+  Model m;
+  std::vector<Var> vars;
+  LinExpr obj;
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(m.add_binary("x" + std::to_string(i)));
+    obj += static_cast<double>(rng.uniform_int(-5, 9)) * vars.back();
+  }
+  const int k = 1 + GetParam() % 4;
+  for (int r = 0; r < k; ++r) {
+    LinExpr row;
+    int members = 0;
+    for (int i = 0; i < n; ++i) {
+      if (rng.chance(0.6)) {
+        row += static_cast<double>(rng.uniform_int(-2, 3)) * vars[i];
+        ++members;
+      }
+    }
+    if (members == 0) continue;
+    const int pick = static_cast<int>(rng.uniform_int(0, 2));
+    const Sense sense = pick == 0   ? Sense::kLe
+                        : pick == 1 ? Sense::kGe
+                                    : Sense::kEq;
+    m.add_constraint(row, sense,
+                     static_cast<double>(rng.uniform_int(-1, 4)),
+                     "r" + std::to_string(r));
+  }
+  m.set_objective(obj, ObjSense::kMaximize);
+
+  const double expect = brute_force_max(m, n);
+  const MilpResult r = MilpSolver(m).solve();
+  if (expect < -1e99) {
+    EXPECT_EQ(r.status, MilpStatus::kInfeasible) << m.to_lp_string();
+    return;
+  }
+  ASSERT_EQ(r.status, MilpStatus::kOptimal) << m.to_lp_string();
+  EXPECT_NEAR(r.objective, expect, 1e-6) << m.to_lp_string();
+  EXPECT_TRUE(m.is_feasible(r.x));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedSenseMilpMatchesBruteForce,
+                         ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace letdma::milp

@@ -1,0 +1,213 @@
+#include "letdma/milp/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "letdma/milp/model.hpp"
+
+namespace letdma::milp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(MilpSolver, PureLpPassesThrough) {
+  Model m;
+  const Var x = m.add_continuous(0, 4, "x");
+  m.set_objective(LinExpr(x), ObjSense::kMaximize);
+  MilpSolver solver(m);
+  const MilpResult r = solver.solve();
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 4.0, kTol);
+}
+
+TEST(MilpSolver, SmallKnapsack) {
+  // max 10a + 13b + 7c, 3a + 4b + 2c <= 6, binaries.
+  // Best: a + c = 17 (w=5); b + c = 20 (w=6) -> optimum 20.
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  const Var c = m.add_binary("c");
+  m.add_constraint(3.0 * a + 4.0 * b + 2.0 * c, Sense::kLe, 6.0, "w");
+  m.set_objective(10.0 * a + 13.0 * b + 7.0 * c, ObjSense::kMaximize);
+  MilpSolver solver(m);
+  const MilpResult r = solver.solve();
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 20.0, kTol);
+  EXPECT_NEAR(r.x[1], 1.0, kTol);
+  EXPECT_NEAR(r.x[2], 1.0, kTol);
+}
+
+TEST(MilpSolver, IntegerRoundingMatters) {
+  // max x s.t. 2x <= 7, x integer -> 3 (LP gives 3.5).
+  Model m;
+  const Var x = m.add_integer(0, 100, "x");
+  m.add_constraint(2.0 * x, Sense::kLe, 7.0, "c");
+  m.set_objective(LinExpr(x), ObjSense::kMaximize);
+  const MilpResult r = MilpSolver(m).solve();
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 3.0, kTol);
+}
+
+TEST(MilpSolver, InfeasibleIntegerProgram) {
+  // 0.4 <= x <= 0.6 with x integer has no solution.
+  Model m;
+  const Var x = m.add_integer(0, 1, "x");
+  m.add_constraint(LinExpr(x), Sense::kGe, 0.4, "lo");
+  m.add_constraint(LinExpr(x), Sense::kLe, 0.6, "hi");
+  const MilpResult r = MilpSolver(m).solve();
+  EXPECT_EQ(r.status, MilpStatus::kInfeasible);
+  EXPECT_FALSE(r.has_solution());
+}
+
+TEST(MilpSolver, EqualityOnSumOfBinaries) {
+  // exactly two of four binaries, minimize weighted sum.
+  Model m;
+  std::vector<Var> b;
+  LinExpr sum;
+  LinExpr obj;
+  const double w[] = {5, 1, 3, 2};
+  for (int i = 0; i < 4; ++i) {
+    b.push_back(m.add_binary("b" + std::to_string(i)));
+    sum += LinExpr(b.back());
+    obj += w[i] * b.back();
+  }
+  m.add_constraint(sum, Sense::kEq, 2.0, "pick2");
+  m.set_objective(obj, ObjSense::kMinimize);
+  const MilpResult r = MilpSolver(m).solve();
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 3.0, kTol);  // picks weights 1 and 2
+  EXPECT_NEAR(r.x[1] + r.x[3], 2.0, kTol);
+}
+
+TEST(MilpSolver, MixedIntegerContinuous) {
+  // min y s.t. y >= x - 2.5, y >= 2.5 - x, x integer in [0,5]:
+  // best integer x is 2 or 3 -> y = 0.5.
+  Model m;
+  const Var x = m.add_integer(0, 5, "x");
+  const Var y = m.add_continuous(0, kInfinity, "y");
+  m.add_constraint(LinExpr(y) - LinExpr(x), Sense::kGe, -2.5, "a");
+  m.add_constraint(LinExpr(y) + LinExpr(x), Sense::kGe, 2.5, "b");
+  m.set_objective(LinExpr(y), ObjSense::kMinimize);
+  const MilpResult r = MilpSolver(m).solve();
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 0.5, kTol);
+}
+
+TEST(MilpSolver, WarmStartAccepted) {
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  m.add_constraint(LinExpr(a) + LinExpr(b), Sense::kLe, 1.0, "c");
+  m.set_objective(3.0 * a + 2.0 * b, ObjSense::kMaximize);
+  MilpSolver solver(m);
+  EXPECT_TRUE(solver.set_warm_start({0.0, 1.0}));
+  const MilpResult r = solver.solve();
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 3.0, kTol);  // improved past the warm start
+}
+
+TEST(MilpSolver, InfeasibleWarmStartRejected) {
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  m.add_constraint(LinExpr(a) + LinExpr(b), Sense::kLe, 1.0, "c");
+  MilpSolver solver(m);
+  EXPECT_FALSE(solver.set_warm_start({1.0, 1.0}));
+  EXPECT_FALSE(solver.set_warm_start({1.0}));  // wrong arity
+}
+
+TEST(MilpSolver, LazyConstraintsSeparated) {
+  // max a + b + c with the pairwise-conflict rows supplied lazily:
+  // at most one of {a,b}, {b,c}, {a,c} -> optimum 1.
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  const Var c = m.add_binary("c");
+  m.set_objective(LinExpr(a) + LinExpr(b) + LinExpr(c), ObjSense::kMaximize);
+  MilpSolver solver(m);
+  int calls = 0;
+  solver.set_lazy_callback([&](const std::vector<double>& x) {
+    ++calls;
+    std::vector<LazyRow> rows;
+    auto conflict = [&](Var u, Var v, const char* name) {
+      if (x[static_cast<std::size_t>(u.index)] +
+              x[static_cast<std::size_t>(v.index)] >
+          1.0 + 1e-6) {
+        rows.push_back({LinExpr(u) + LinExpr(v), Sense::kLe, 1.0, name});
+      }
+    };
+    conflict(a, b, "ab");
+    conflict(b, c, "bc");
+    conflict(a, c, "ac");
+    return rows;
+  });
+  const MilpResult r = solver.solve();
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, kTol);
+  EXPECT_GE(calls, 2);  // at least one separation round plus the final check
+  EXPECT_GE(r.stats.lazy_rows_added, 1);
+}
+
+TEST(MilpSolver, WarmStartCheckedAgainstLazyConstraints) {
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  m.set_objective(LinExpr(a) + LinExpr(b), ObjSense::kMaximize);
+  MilpSolver solver(m);
+  solver.set_lazy_callback([&](const std::vector<double>& x) {
+    std::vector<LazyRow> rows;
+    if (x[0] + x[1] > 1.0 + 1e-6) {
+      rows.push_back({LinExpr(a) + LinExpr(b), Sense::kLe, 1.0, "ab"});
+    }
+    return rows;
+  });
+  EXPECT_FALSE(solver.set_warm_start({1.0, 1.0}));
+  EXPECT_TRUE(solver.set_warm_start({1.0, 0.0}));
+}
+
+TEST(MilpSolver, NodeLimitReturnsIncumbentAsFeasible) {
+  // A knapsack too big to finish in one node, with a warm start so an
+  // incumbent exists when the limit hits.
+  Model m;
+  std::vector<Var> xs;
+  LinExpr w, p;
+  for (int i = 0; i < 30; ++i) {
+    xs.push_back(m.add_binary("x" + std::to_string(i)));
+    w += (1.0 + (i % 7)) * xs.back();
+    p += (2.0 + (i % 5)) * xs.back();
+  }
+  m.add_constraint(w, Sense::kLe, 20.0, "cap");
+  m.set_objective(p, ObjSense::kMaximize);
+  MilpOptions opt;
+  opt.node_limit = 1;
+  MilpSolver solver(m, opt);
+  std::vector<double> zero(30, 0.0);
+  ASSERT_TRUE(solver.set_warm_start(zero));
+  const MilpResult r = solver.solve();
+  EXPECT_TRUE(r.status == MilpStatus::kFeasible ||
+              r.status == MilpStatus::kOptimal);
+  EXPECT_TRUE(r.has_solution());
+  EXPECT_GE(r.best_bound, r.objective - kTol);  // bound dominates incumbent
+}
+
+TEST(MilpSolver, GapIsZeroWhenOptimal) {
+  Model m;
+  const Var x = m.add_integer(0, 3, "x");
+  m.set_objective(LinExpr(x), ObjSense::kMaximize);
+  const MilpResult r = MilpSolver(m).solve();
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r.gap(), 0.0, kTol);
+}
+
+TEST(MilpSolver, FeasibilityProblemNoObjective) {
+  // No objective: any integer point satisfying the rows is optimal.
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  m.add_constraint(LinExpr(a) + LinExpr(b), Sense::kEq, 1.0, "xor");
+  const MilpResult r = MilpSolver(m).solve();
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0] + r.x[1], 1.0, kTol);
+}
+
+}  // namespace
+}  // namespace letdma::milp

@@ -1,0 +1,121 @@
+#include "letdma/model/application.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_fixtures.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::model {
+namespace {
+
+using support::ms;
+
+TEST(Application, BuildAndQueryPairApp) {
+  const auto app = testing::make_pair_app();
+  EXPECT_EQ(app->num_tasks(), 2);
+  EXPECT_EQ(app->num_labels(), 1);
+  EXPECT_EQ(app->task(TaskId{0}).name, "PROD");
+  EXPECT_EQ(app->find_task("CONS").value, 1);
+  EXPECT_THROW(app->find_task("NOPE"), support::PreconditionError);
+}
+
+TEST(Application, InterCoreEdges) {
+  const auto app = testing::make_pair_app();
+  const auto& edges = app->inter_core_edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].producer.value, 0);
+  EXPECT_EQ(edges[0].consumer.value, 1);
+  EXPECT_TRUE(app->is_inter_core(LabelId{0}));
+}
+
+TEST(Application, IntraCoreReaderGeneratesNoEdge) {
+  const auto app = testing::make_multireader_app();
+  // 3 readers, but one on the producer's core: only 2 inter-core edges.
+  EXPECT_EQ(app->inter_core_edges().size(), 2u);
+}
+
+TEST(Application, SharedLabelsPerPair) {
+  const auto app = testing::make_multireader_app();
+  const TaskId prod = app->find_task("PROD");
+  const TaskId c1 = app->find_task("C1");
+  const TaskId local = app->find_task("LOCAL");
+  EXPECT_EQ(app->shared_labels(prod, c1).size(), 1u);
+  EXPECT_TRUE(app->shared_labels(prod, local).empty());
+  EXPECT_TRUE(app->shared_labels(c1, prod).empty());
+}
+
+TEST(Application, RateMonotonicPriorityAssignment) {
+  Application app{Platform(1)};
+  const TaskId slow = app.add_task("slow", ms(100), ms(1), CoreId{0});
+  const TaskId fast = app.add_task("fast", ms(5), ms(1), CoreId{0});
+  const TaskId mid = app.add_task("mid", ms(50), ms(1), CoreId{0});
+  app.finalize();
+  EXPECT_EQ(app.task(fast).priority, 0);
+  EXPECT_EQ(app.task(mid).priority, 1);
+  EXPECT_EQ(app.task(slow).priority, 2);
+}
+
+TEST(Application, TasksOnSortedByPriority) {
+  const auto app = testing::make_fig1_app();
+  const auto on0 = app->tasks_on(CoreId{0});
+  ASSERT_EQ(on0.size(), 3u);
+  EXPECT_EQ(app->task(on0[0]).name, "tau1");  // smallest period on P1
+  EXPECT_EQ(app->task(on0[2]).name, "tau5");
+}
+
+TEST(Application, HyperperiodOfFig1) {
+  const auto app = testing::make_fig1_app();
+  EXPECT_EQ(app->hyperperiod(), ms(40));
+}
+
+TEST(Application, ValidationErrors) {
+  Application app{Platform(2)};
+  const TaskId t = app.add_task("a", ms(10), ms(1), CoreId{0});
+  EXPECT_THROW(app.add_task("a", ms(10), ms(1), CoreId{0}),
+               support::PreconditionError);  // duplicate name
+  EXPECT_THROW(app.add_task("b", 0, 0, CoreId{0}),
+               support::PreconditionError);  // period
+  EXPECT_THROW(app.add_task("c", ms(10), ms(20), CoreId{0}),
+               support::PreconditionError);  // wcet > period
+  EXPECT_THROW(app.add_task("d", ms(10), ms(1), CoreId{5}),
+               support::PreconditionError);  // unknown core
+  EXPECT_THROW(app.add_label("x", 0, t, {}), support::PreconditionError);
+  EXPECT_THROW(app.add_label("x", 10, t, {t}),
+               support::PreconditionError);  // reads own label
+  EXPECT_THROW(app.add_label("x", 10, TaskId{9}, {}),
+               support::PreconditionError);  // unknown writer
+}
+
+TEST(Application, FinalizeLocksMutation) {
+  auto app = testing::make_pair_app();
+  EXPECT_TRUE(app->finalized());
+  EXPECT_THROW(app->add_task("late", ms(10), ms(1), CoreId{0}),
+               support::PreconditionError);
+  EXPECT_THROW(app->finalize(), support::PreconditionError);
+}
+
+TEST(Application, QueriesRequireFinalize) {
+  Application app{Platform(2)};
+  const TaskId t = app.add_task("a", ms(10), ms(1), CoreId{0});
+  (void)t;
+  EXPECT_THROW(app.inter_core_edges(), support::PreconditionError);
+}
+
+TEST(Application, AcquisitionDeadlineRoundtrip) {
+  auto app = testing::make_pair_app();
+  const TaskId cons = app->find_task("CONS");
+  EXPECT_FALSE(app->task(cons).acquisition_deadline.has_value());
+  app->set_acquisition_deadline(cons, ms(1));
+  EXPECT_EQ(app->task(cons).acquisition_deadline.value(), ms(1));
+}
+
+TEST(Application, DuplicateReaderRejected) {
+  Application app{Platform(2)};
+  const TaskId p = app.add_task("p", ms(10), ms(1), CoreId{0});
+  const TaskId c = app.add_task("c", ms(10), ms(1), CoreId{1});
+  EXPECT_THROW(app.add_label("x", 10, p, {c, c}),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace letdma::model

@@ -1,0 +1,110 @@
+#include "letdma/model/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::model {
+namespace {
+
+TEST(Generator, ProducesRequestedShape) {
+  GeneratorOptions opt;
+  opt.num_cores = 3;
+  opt.num_tasks = 7;
+  opt.num_labels = 5;
+  opt.seed = 99;
+  const auto app = generate_application(opt);
+  EXPECT_EQ(app->platform().num_cores(), 3);
+  EXPECT_EQ(app->num_tasks(), 7);
+  EXPECT_EQ(app->num_labels(), 5);
+  EXPECT_TRUE(app->finalized());
+}
+
+TEST(Generator, DeterministicInSeed) {
+  GeneratorOptions opt;
+  opt.seed = 1234;
+  const auto a = generate_application(opt);
+  const auto b = generate_application(opt);
+  ASSERT_EQ(a->num_tasks(), b->num_tasks());
+  for (int i = 0; i < a->num_tasks(); ++i) {
+    EXPECT_EQ(a->task(TaskId{i}).period, b->task(TaskId{i}).period);
+    EXPECT_EQ(a->task(TaskId{i}).wcet, b->task(TaskId{i}).wcet);
+    EXPECT_EQ(a->task(TaskId{i}).core.value, b->task(TaskId{i}).core.value);
+  }
+  for (int l = 0; l < a->num_labels(); ++l) {
+    EXPECT_EQ(a->label(LabelId{l}).size_bytes, b->label(LabelId{l}).size_bytes);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorOptions a_opt, b_opt;
+  a_opt.seed = 1;
+  b_opt.seed = 2;
+  const auto a = generate_application(a_opt);
+  const auto b = generate_application(b_opt);
+  bool any_diff = false;
+  for (int i = 0; i < a->num_tasks(); ++i) {
+    any_diff |= a->task(TaskId{i}).period != b->task(TaskId{i}).period;
+    any_diff |= a->task(TaskId{i}).wcet != b->task(TaskId{i}).wcet;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, UtilizationRoughlyMatches) {
+  GeneratorOptions opt;
+  opt.num_tasks = 20;
+  opt.total_utilization = 1.2;
+  opt.num_cores = 4;
+  opt.seed = 5;
+  const auto app = generate_application(opt);
+  double total = 0;
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    const Task& t = app->task(TaskId{i});
+    total += static_cast<double>(t.wcet) / static_cast<double>(t.period);
+  }
+  // WCET rounding and the 0.9 per-task cap skew slightly downward.
+  EXPECT_GT(total, 0.6);
+  EXPECT_LT(total, 1.3);
+}
+
+TEST(Generator, LabelSizesWithinBounds) {
+  GeneratorOptions opt;
+  opt.min_label_bytes = 100;
+  opt.max_label_bytes = 200;
+  opt.num_labels = 30;
+  opt.seed = 6;
+  const auto app = generate_application(opt);
+  for (int l = 0; l < app->num_labels(); ++l) {
+    EXPECT_GE(app->label(LabelId{l}).size_bytes, 100);
+    EXPECT_LE(app->label(LabelId{l}).size_bytes, 200);
+  }
+}
+
+TEST(Generator, RejectsBadOptions) {
+  GeneratorOptions opt;
+  opt.num_cores = 1;
+  EXPECT_THROW(generate_application(opt), support::PreconditionError);
+  opt = {};
+  opt.total_utilization = 0;
+  EXPECT_THROW(generate_application(opt), support::PreconditionError);
+  opt = {};
+  opt.min_label_bytes = 10;
+  opt.max_label_bytes = 5;
+  EXPECT_THROW(generate_application(opt), support::PreconditionError);
+  opt = {};
+  opt.max_readers = 0;
+  EXPECT_THROW(generate_application(opt), support::PreconditionError);
+}
+
+TEST(Generator, EveryLabelHasAtLeastOneReader) {
+  GeneratorOptions opt;
+  opt.num_labels = 25;
+  opt.seed = 77;
+  const auto app = generate_application(opt);
+  for (int l = 0; l < app->num_labels(); ++l) {
+    EXPECT_FALSE(app->label(LabelId{l}).readers.empty());
+  }
+}
+
+}  // namespace
+}  // namespace letdma::model

@@ -1,0 +1,144 @@
+#include "letdma/model/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_fixtures.hpp"
+#include "letdma/model/generator.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::model {
+namespace {
+
+using support::PreconditionError;
+
+TEST(Io, RoundTripFig1) {
+  const auto app = testing::make_fig1_app();
+  const std::string text = write_application(*app);
+  const auto loaded = read_application(text);
+  ASSERT_EQ(loaded->num_tasks(), app->num_tasks());
+  ASSERT_EQ(loaded->num_labels(), app->num_labels());
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    const Task& a = app->task(TaskId{i});
+    const Task& b = loaded->task(TaskId{i});
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.period, b.period);
+    EXPECT_EQ(a.wcet, b.wcet);
+    EXPECT_EQ(a.core.value, b.core.value);
+    EXPECT_EQ(a.priority, b.priority);
+  }
+  for (int l = 0; l < app->num_labels(); ++l) {
+    const Label& a = app->label(LabelId{l});
+    const Label& b = loaded->label(LabelId{l});
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.size_bytes, b.size_bytes);
+    EXPECT_EQ(a.readers.size(), b.readers.size());
+  }
+  // Second round trip is byte-identical (canonical form).
+  EXPECT_EQ(write_application(*loaded), text);
+}
+
+TEST(Io, RoundTripPreservesGamma) {
+  auto app = testing::make_pair_app();
+  app->set_acquisition_deadline(app->find_task("CONS"), support::us(250));
+  const auto loaded = read_application(write_application(*app));
+  EXPECT_EQ(loaded->task(loaded->find_task("CONS"))
+                .acquisition_deadline.value(),
+            support::us(250));
+}
+
+TEST(Io, RoundTripPreservesPlatformCosts) {
+  DmaParams dma;
+  dma.programming_overhead = 1111;
+  dma.isr_overhead = 2222;
+  dma.copy_cost_ns_per_byte = 0.125;
+  CpuCopyParams cpu;
+  cpu.copy_cost_ns_per_byte = 3.5;
+  cpu.per_label_overhead = 77;
+  Application app{Platform(3, dma, cpu)};
+  const auto t = app.add_task("a", support::ms(10), support::ms(1),
+                              CoreId{0});
+  (void)t;
+  app.finalize();
+  const auto loaded = read_application(write_application(app));
+  EXPECT_EQ(loaded->platform().dma().programming_overhead, 1111);
+  EXPECT_EQ(loaded->platform().dma().isr_overhead, 2222);
+  EXPECT_EQ(loaded->platform().dma().copy_cost_ns_per_byte, 0.125);
+  EXPECT_EQ(loaded->platform().cpu_copy().copy_cost_ns_per_byte, 3.5);
+  EXPECT_EQ(loaded->platform().cpu_copy().per_label_overhead, 77);
+}
+
+class IoRandomRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(IoRandomRoundTrip, GeneratedAppsRoundTrip) {
+  GeneratorOptions opt;
+  opt.seed = static_cast<std::uint64_t>(GetParam());
+  opt.num_tasks = 4 + GetParam() % 8;
+  opt.num_labels = 2 + GetParam() % 10;
+  const auto app = generate_application(opt);
+  const std::string text = write_application(*app);
+  const auto loaded = read_application(text);
+  EXPECT_EQ(write_application(*loaded), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoRandomRoundTrip, ::testing::Range(0, 10));
+
+TEST(Io, CommentsAndBlankLinesIgnored) {
+  const auto loaded = read_application(
+      "# header comment\n"
+      "\n"
+      "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=0\n"
+      "task name=a period_ns=1000000 wcet_ns=1 core=0  # trailing comment\n"
+      "task name=b period_ns=1000000 wcet_ns=1 core=1\n"
+      "label name=x bytes=8 writer=a readers=b\n");
+  EXPECT_EQ(loaded->num_tasks(), 2);
+  EXPECT_EQ(loaded->num_labels(), 1);
+}
+
+TEST(Io, ErrorsCarryLineNumbers) {
+  try {
+    read_application(
+        "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=0\n"
+        "task name=a period_ns=1000000 wcet_ns=1 core=0\n"
+        "label name=x bytes=8 writer=NOPE readers=a\n");
+    FAIL() << "expected a parse error";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("NOPE"), std::string::npos);
+  }
+}
+
+TEST(Io, MalformedInputsRejected) {
+  EXPECT_THROW(read_application(""), PreconditionError);
+  EXPECT_THROW(read_application("bogus directive=1\n"), PreconditionError);
+  EXPECT_THROW(
+      read_application("task name=a period_ns=1 wcet_ns=1 core=0\n"),
+      PreconditionError);  // task before platform
+  EXPECT_THROW(
+      read_application(
+          "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=0\n"
+          "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=0\n"),
+      PreconditionError);  // duplicate platform
+  EXPECT_THROW(
+      read_application("platform cores=two odp_ns=1 oisr_ns=1 wc=1 "
+                       "cpu_wc=1 cpu_oh_ns=0\n"),
+      PreconditionError);  // non-integer
+  EXPECT_THROW(
+      read_application("platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 "
+                       "cpu_oh_ns=0 extra=1\n"),
+      PreconditionError);  // unknown key
+  EXPECT_THROW(
+      read_application("platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 "
+                       "cpu_oh_ns=0\n"
+                       "task name=a period_ns=1000 wcet_ns=1 core=0\n"
+                       "label name=x bytes=8 writer=a readers=\n"),
+      PreconditionError);  // no readers
+}
+
+TEST(Io, SerializeRequiresFinalized) {
+  Application app{Platform(2)};
+  app.add_task("a", support::ms(1), 1, CoreId{0});
+  EXPECT_THROW(write_application(app), PreconditionError);
+}
+
+}  // namespace
+}  // namespace letdma::model

@@ -1,0 +1,116 @@
+#include "letdma/model/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_fixtures.hpp"
+#include "letdma/analysis/rta.hpp"
+#include "letdma/model/generator.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::model {
+namespace {
+
+using support::ms;
+
+TEST(CloneWithMapping, PreservesEverythingButCores) {
+  auto app = testing::make_fig1_app();
+  app->set_acquisition_deadline(app->find_task("tau2"), support::us(500));
+  // Swap the two cores.
+  std::vector<int> mapping;
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    mapping.push_back(1 - app->task(TaskId{i}).core.value);
+  }
+  const auto clone = clone_with_mapping(*app, mapping);
+  ASSERT_EQ(clone->num_tasks(), app->num_tasks());
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    EXPECT_EQ(clone->task(TaskId{i}).core.value,
+              1 - app->task(TaskId{i}).core.value);
+    EXPECT_EQ(clone->task(TaskId{i}).period, app->task(TaskId{i}).period);
+    EXPECT_EQ(clone->task(TaskId{i}).wcet, app->task(TaskId{i}).wcet);
+  }
+  EXPECT_EQ(clone->task(clone->find_task("tau2"))
+                .acquisition_deadline.value(),
+            support::us(500));
+  // A full swap keeps the same inter-core structure.
+  EXPECT_EQ(clone->inter_core_edges().size(),
+            app->inter_core_edges().size());
+}
+
+TEST(CloneWithMapping, RejectsBadMappings) {
+  const auto app = testing::make_fig1_app();
+  EXPECT_THROW(clone_with_mapping(*app, {0, 1}),
+               support::PreconditionError);  // wrong arity
+  std::vector<int> bad(static_cast<std::size_t>(app->num_tasks()), 7);
+  EXPECT_THROW(clone_with_mapping(*app, bad), support::PreconditionError);
+}
+
+TEST(InterCoreBytes, CountsWritePlusRemoteReads) {
+  const auto app = testing::make_multireader_app();
+  // "shared" (5000 B) has two remote readers: 5000 * (1 + 2).
+  EXPECT_EQ(inter_core_bytes(*app), 5000 * 3);
+}
+
+TEST(InterCoreBytes, ZeroWhenColocated) {
+  Application app{Platform(2)};
+  const auto a = app.add_task("a", ms(10), ms(1), CoreId{0});
+  const auto b = app.add_task("b", ms(10), ms(1), CoreId{0});
+  app.add_label("x", 1000, a, {b});
+  app.finalize();
+  EXPECT_EQ(inter_core_bytes(app), 0);
+}
+
+TEST(MinimizeTraffic, ColocatesChainWhenUtilizationAllows) {
+  // A light producer/consumer pair on different cores: the search should
+  // fold them together and eliminate all traffic.
+  const auto app = testing::make_pair_app();
+  MappingSearchOptions opt;
+  opt.max_core_utilization = 0.9;
+  const MappingSearchResult r = minimize_inter_core_traffic(*app, opt);
+  EXPECT_EQ(r.bytes, 0);
+  EXPECT_GE(r.moves, 1);
+  EXPECT_EQ(r.core_of_task[0], r.core_of_task[1]);
+}
+
+TEST(MinimizeTraffic, RespectsUtilizationCap) {
+  // Two heavy tasks (60% each) cannot share a core under a 0.8 cap.
+  Application app{Platform(2)};
+  const auto a = app.add_task("a", ms(10), ms(6), CoreId{0});
+  const auto b = app.add_task("b", ms(10), ms(6), CoreId{1});
+  app.add_label("x", 100000, a, {b});
+  app.finalize();
+  MappingSearchOptions opt;
+  opt.max_core_utilization = 0.8;
+  const MappingSearchResult r = minimize_inter_core_traffic(app, opt);
+  EXPECT_NE(r.core_of_task[0], r.core_of_task[1]);  // move rejected
+  EXPECT_EQ(r.bytes, inter_core_bytes(app));
+}
+
+TEST(MinimizeTraffic, NeverIncreasesBytes) {
+  for (int seed = 0; seed < 10; ++seed) {
+    GeneratorOptions gopt;
+    gopt.seed = static_cast<std::uint64_t>(seed) * 887 + 3;
+    gopt.num_tasks = 8;
+    gopt.num_labels = 8;
+    const auto app = generate_application(gopt);
+    const std::int64_t before = inter_core_bytes(*app);
+    const MappingSearchResult r = minimize_inter_core_traffic(*app);
+    EXPECT_LE(r.bytes, before) << "seed " << seed;
+    // The reported mapping reproduces the reported bytes.
+    const auto clone = clone_with_mapping(*app, r.core_of_task);
+    EXPECT_EQ(inter_core_bytes(*clone), r.bytes);
+  }
+}
+
+TEST(MinimizeTraffic, ClonedResultStaysSchedulable) {
+  const auto app = testing::make_fig1_app();
+  ASSERT_TRUE(analysis::analyze(*app).schedulable);
+  MappingSearchOptions opt;
+  opt.max_core_utilization = 0.7;
+  const MappingSearchResult r = minimize_inter_core_traffic(*app, opt);
+  const auto clone = clone_with_mapping(*app, r.core_of_task);
+  // Utilization cap 0.7 on this light task set keeps RM schedulability.
+  EXPECT_TRUE(analysis::analyze(*clone).schedulable);
+}
+
+}  // namespace
+}  // namespace letdma::model

@@ -1,0 +1,72 @@
+#include "letdma/model/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::model {
+namespace {
+
+TEST(Platform, MemoryIdsLayout) {
+  Platform p(3);
+  EXPECT_EQ(p.num_cores(), 3);
+  EXPECT_EQ(p.num_memories(), 4);
+  EXPECT_EQ(p.local_memory(CoreId{0}).value, 0);
+  EXPECT_EQ(p.local_memory(CoreId{2}).value, 2);
+  EXPECT_EQ(p.global_memory().value, 3);
+  EXPECT_TRUE(p.is_global(p.global_memory()));
+  EXPECT_FALSE(p.is_global(p.local_memory(CoreId{1})));
+}
+
+TEST(Platform, CoreOfLocalMemory) {
+  Platform p(2);
+  EXPECT_EQ(p.core_of(MemoryId{1}).value, 1);
+  EXPECT_THROW(p.core_of(p.global_memory()), support::PreconditionError);
+}
+
+TEST(Platform, MemoryNames) {
+  Platform p(2);
+  EXPECT_EQ(p.memory_name(MemoryId{0}), "M_1");
+  EXPECT_EQ(p.memory_name(MemoryId{1}), "M_2");
+  EXPECT_EQ(p.memory_name(p.global_memory()), "M_G");
+}
+
+TEST(Platform, RejectsZeroCores) {
+  EXPECT_THROW(Platform(0), support::PreconditionError);
+}
+
+TEST(Platform, UnknownCoreThrows) {
+  Platform p(2);
+  EXPECT_THROW(p.local_memory(CoreId{2}), support::PreconditionError);
+  EXPECT_THROW(p.local_memory(CoreId{-1}), support::PreconditionError);
+}
+
+TEST(DmaParams, PaperDefaults) {
+  DmaParams d;
+  EXPECT_EQ(d.programming_overhead, support::us(3.36));
+  EXPECT_EQ(d.isr_overhead, support::us(10));
+  EXPECT_EQ(d.per_transfer_overhead(), support::us(13.36));
+}
+
+TEST(DmaParams, CopyTimeScalesWithBytes) {
+  DmaParams d;
+  d.copy_cost_ns_per_byte = 2.0;
+  EXPECT_EQ(d.copy_time(1000), 2000);
+  EXPECT_EQ(d.copy_time(0), 0);
+}
+
+TEST(CpuCopyParams, IncludesPerLabelOverhead) {
+  CpuCopyParams c;
+  c.copy_cost_ns_per_byte = 4.0;
+  c.per_label_overhead = 200;
+  EXPECT_EQ(c.copy_time(100), 200 + 400);
+}
+
+TEST(Platform, RejectsNegativeDmaCosts) {
+  DmaParams d;
+  d.copy_cost_ns_per_byte = -1.0;
+  EXPECT_THROW(Platform(1, d), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace letdma::model

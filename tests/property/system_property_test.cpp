@@ -1,0 +1,144 @@
+// Cross-stack randomized property tests: for generated applications the
+// whole pipeline must uphold its invariants — greedy schedules validate,
+// the simulator agrees with the analytical latency model, C(t) stays a
+// subset of C(s0), and the MILP never does worse than its warm start.
+#include <gtest/gtest.h>
+
+#include "letdma/baseline/giotto.hpp"
+#include "letdma/let/milp_scheduler.hpp"
+#include "letdma/let/validate.hpp"
+#include "letdma/model/generator.hpp"
+#include "letdma/sim/simulator.hpp"
+
+namespace letdma {
+namespace {
+
+using model::GeneratorOptions;
+
+/// Structural validation options: deadline/capacity feasibility is a
+/// property of the workload, not of the scheduler; correctness of the
+/// schedule construction is what these tests pin down.
+let::ValidationOptions structural() {
+  let::ValidationOptions opt;
+  opt.check_deadlines = false;
+  opt.check_slot_capacity = false;
+  opt.check_theorem1 = true;
+  return opt;
+}
+
+GeneratorOptions seeded(int seed) {
+  GeneratorOptions opt;
+  opt.seed = static_cast<std::uint64_t>(seed) * 2654435761u + 17u;
+  opt.num_cores = 2 + seed % 3;
+  opt.num_tasks = 4 + seed % 6;
+  opt.num_labels = 3 + seed % 8;
+  return opt;
+}
+
+class GeneratedSystem : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratedSystem, GreedySchedulesValidateUnderEveryStrategy) {
+  const auto app = generate_application(seeded(GetParam()));
+  let::LetComms comms(*app);
+  if (comms.comms_at_s0().empty()) return;  // all labels landed intra-core
+  for (const let::GreedyStrategy s :
+       {let::GreedyStrategy::kUrgencyFirst, let::GreedyStrategy::kWriteBatched,
+        let::GreedyStrategy::kReadBatched}) {
+    const let::ScheduleResult r = let::GreedyScheduler(comms, {s}).build();
+    const let::ValidationReport rep =
+        validate_schedule(comms, r.layout, r.schedule, structural());
+    EXPECT_TRUE(rep.ok()) << "strategy=" << static_cast<int>(s) << "\n"
+                          << rep.summary();
+  }
+}
+
+TEST_P(GeneratedSystem, SimulatorMatchesAnalyticalLatency) {
+  const auto app = generate_application(seeded(GetParam()));
+  let::LetComms comms(*app);
+  if (comms.comms_at_s0().empty()) return;
+  const let::ScheduleResult g = let::GreedyScheduler(comms).build();
+  for (const auto sem : {let::ReadinessSemantics::kProposed,
+                         let::ReadinessSemantics::kGiotto}) {
+    const auto analytical = let::worst_case_latencies(comms, g.schedule, sem);
+    const sim::Mode mode = sem == let::ReadinessSemantics::kProposed
+                               ? sim::Mode::kProposedDma
+                               : sim::Mode::kGiottoDma;
+    const sim::SimResult sr =
+        sim::ProtocolSimulator(comms, &g.schedule, {mode, 0}).run();
+    for (const auto& [task, lam] : analytical) {
+      EXPECT_EQ(sr.max_latency.at(task), lam)
+          << app->task(model::TaskId{task}).name;
+    }
+  }
+}
+
+TEST_P(GeneratedSystem, CommunicationsAtAnyInstantAreSubsetOfS0) {
+  const auto app = generate_application(seeded(GetParam()));
+  let::LetComms comms(*app);
+  const auto s0 = comms.comms_at_s0();
+  for (const support::Time t : comms.required_instants()) {
+    for (const let::Communication& c : comms.comms_at(t)) {
+      EXPECT_TRUE(std::binary_search(s0.begin(), s0.end(), c));
+    }
+  }
+}
+
+TEST_P(GeneratedSystem, GiottoBaselinesValidate) {
+  const auto app = generate_application(seeded(GetParam()));
+  let::LetComms comms(*app);
+  if (comms.comms_at_s0().empty()) return;
+  let::ValidationOptions opt = structural();
+  opt.semantics = let::ReadinessSemantics::kGiotto;
+  const let::ScheduleResult a = baseline::giotto_dma_a(comms);
+  EXPECT_TRUE(validate_schedule(comms, a.layout, a.schedule, opt).ok());
+  const let::ScheduleResult greedy = let::GreedyScheduler(comms).build();
+  let::ValidationOptions opt_b = opt;
+  opt_b.check_theorem1 = false;  // Giotto-B may split on derived instants
+  const let::ScheduleResult b = baseline::giotto_dma_b(comms, greedy.layout);
+  EXPECT_TRUE(validate_schedule(comms, b.layout, b.schedule, opt_b).ok());
+}
+
+TEST_P(GeneratedSystem, ProposedNeverWorseThanGiottoPerTask) {
+  const auto app = generate_application(seeded(GetParam()));
+  let::LetComms comms(*app);
+  if (comms.comms_at_s0().empty()) return;
+  const let::ScheduleResult g = let::GreedyScheduler(comms).build();
+  const auto ours = let::worst_case_latencies(
+      comms, g.schedule, let::ReadinessSemantics::kProposed);
+  const auto same_schedule_giotto = let::worst_case_latencies(
+      comms, g.schedule, let::ReadinessSemantics::kGiotto);
+  for (const auto& [task, lam] : ours) {
+    EXPECT_LE(lam, same_schedule_giotto.at(task));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedSystem, ::testing::Range(0, 25));
+
+class GeneratedMilp : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratedMilp, SolutionValidatesAndBeatsWarmStart) {
+  GeneratorOptions opt = seeded(GetParam());
+  opt.num_tasks = 4;
+  opt.num_labels = 3;
+  opt.num_cores = 2;
+  const auto app = generate_application(opt);
+  let::LetComms comms(*app);
+  if (comms.comms_at_s0().empty()) return;
+  const let::ScheduleResult greedy =
+      let::GreedyScheduler::best_transfer_count(comms);
+  let::MilpSchedulerOptions mopt;
+  mopt.objective = let::MilpObjective::kMinTransfers;
+  mopt.solver.time_limit_sec = 10;
+  const auto r = let::MilpScheduler(comms, mopt).solve();
+  ASSERT_TRUE(r.feasible());
+  EXPECT_LE(r.dma_transfers_at_s0,
+            static_cast<int>(greedy.s0_transfers.size()));
+  const let::ValidationReport rep = validate_schedule(
+      comms, r.schedule->layout, r.schedule->schedule, structural());
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedMilp, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace letdma

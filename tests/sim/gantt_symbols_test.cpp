@@ -1,0 +1,53 @@
+// Gantt rendering with many tasks: symbol assignment past the digit range
+// and stability of the row format.
+#include <gtest/gtest.h>
+
+#include "letdma/model/generator.hpp"
+#include "letdma/let/greedy.hpp"
+#include "letdma/sim/trace.hpp"
+
+namespace letdma::sim {
+namespace {
+
+TEST(GanttSymbols, ManyTasksUseLetterSymbols) {
+  model::GeneratorOptions opt;
+  opt.num_tasks = 14;  // beyond the 1-9 digit range
+  opt.num_labels = 10;
+  opt.num_cores = 3;
+  opt.seed = 404;
+  const auto app = generate_application(opt);
+  let::LetComms lc(*app);
+  if (lc.comms_at_s0().empty()) GTEST_SKIP();
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  const SimResult r =
+      ProtocolSimulator(lc, &g.schedule, {Mode::kProposedDma, 0}).run();
+  const std::string gantt = render_gantt(*app, r);
+  // The legend names every task, including letter-coded ones.
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    EXPECT_NE(gantt.find(app->task(model::TaskId{i}).name),
+              std::string::npos);
+  }
+  EXPECT_NE(gantt.find("a = "), std::string::npos);  // 10th task symbol
+}
+
+TEST(GanttSymbols, RowsMatchCoreCount) {
+  model::GeneratorOptions opt;
+  opt.num_cores = 5;
+  opt.num_tasks = 6;
+  opt.num_labels = 4;
+  opt.seed = 17;
+  const auto app = generate_application(opt);
+  let::LetComms lc(*app);
+  if (lc.comms_at_s0().empty()) GTEST_SKIP();
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  const SimResult r =
+      ProtocolSimulator(lc, &g.schedule, {Mode::kProposedDma, 0}).run();
+  const std::string gantt = render_gantt(*app, r);
+  for (int k = 1; k <= 5; ++k) {
+    EXPECT_NE(gantt.find("P" + std::to_string(k) + "  |"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace letdma::sim

@@ -1,0 +1,167 @@
+#include "letdma/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_fixtures.hpp"
+#include "letdma/baseline/giotto.hpp"
+#include "letdma/let/greedy.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::sim {
+namespace {
+
+TEST(Simulator, MeasuredLatencyMatchesAnalyticalModel) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms lc(*app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  ProtocolSimulator s(lc, &g.schedule, {Mode::kProposedDma, 0});
+  const SimResult r = s.run();
+  const auto analytical = let::worst_case_latencies(
+      lc, g.schedule, let::ReadinessSemantics::kProposed);
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    EXPECT_EQ(r.max_latency.at(i), analytical.at(i))
+        << app->task(model::TaskId{i}).name;
+  }
+}
+
+TEST(Simulator, GiottoDmaMatchesAnalyticalModel) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms lc(*app);
+  const let::ScheduleResult g = baseline::giotto_dma_a(lc);
+  ProtocolSimulator s(lc, &g.schedule, {Mode::kGiottoDma, 0});
+  const SimResult r = s.run();
+  const auto analytical = baseline::giotto_dma_latencies(lc, g);
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    EXPECT_EQ(r.max_latency.at(i), analytical.at(i))
+        << app->task(model::TaskId{i}).name;
+  }
+}
+
+TEST(Simulator, GiottoCpuMatchesAnalyticalModel) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms lc(*app);
+  ProtocolSimulator s(lc, nullptr, {Mode::kGiottoCpu, 0});
+  const SimResult r = s.run();
+  const auto analytical = baseline::giotto_cpu_latencies(lc);
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    EXPECT_EQ(r.max_latency.at(i), analytical.at(i))
+        << app->task(model::TaskId{i}).name;
+  }
+}
+
+TEST(Simulator, AllJobsSimulatedOverHyperperiod) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms lc(*app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  ProtocolSimulator s(lc, &g.schedule, {Mode::kProposedDma, 0});
+  const SimResult r = s.run();
+  // H = 40ms: tau2 has 8 jobs, tau1 4, tau3/tau4 2, tau5/tau6 1 -> 18.
+  EXPECT_EQ(r.jobs.size(), 18u);
+}
+
+TEST(Simulator, DeadlinesMetOnLightlyLoadedSystem) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms lc(*app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  ProtocolSimulator s(lc, &g.schedule, {Mode::kProposedDma, 0});
+  const SimResult r = s.run();
+  EXPECT_TRUE(r.all_deadlines_met());
+  EXPECT_GT(r.dma_busy, 0);
+}
+
+TEST(Simulator, JobsFinishInPriorityConsistentOrder) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms lc(*app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  ProtocolSimulator s(lc, &g.schedule, {Mode::kProposedDma, 0});
+  const SimResult r = s.run();
+  for (const JobRecord& j : r.jobs) {
+    EXPECT_GE(j.ready, j.release);
+    EXPECT_GT(j.finish, j.ready);
+  }
+}
+
+TEST(Simulator, OverloadedCoreMissesDeadlines) {
+  model::Application app{model::Platform(2)};
+  const auto p = app.add_task("p", support::ms(10), support::ms(9),
+                              model::CoreId{0});
+  const auto c = app.add_task("c", support::ms(10), support::ms(9),
+                              model::CoreId{0});
+  const auto sink = app.add_task("sink", support::ms(10), support::ms(1),
+                                 model::CoreId{1});
+  app.add_label("x", 1000, p, {sink});
+  (void)c;
+  app.finalize();
+  let::LetComms lc(app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  ProtocolSimulator s(lc, &g.schedule, {Mode::kProposedDma, 0});
+  const SimResult r = s.run();
+  EXPECT_GT(r.deadline_misses, 0);
+}
+
+TEST(Simulator, MultiHyperperiodHorizon) {
+  const auto app = testing::make_pair_app();
+  let::LetComms lc(*app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  ProtocolSimulator one(lc, &g.schedule, {Mode::kProposedDma, 0});
+  ProtocolSimulator three(lc, &g.schedule,
+                          {Mode::kProposedDma, 3 * app->hyperperiod()});
+  EXPECT_EQ(three.run().jobs.size(), 3 * one.run().jobs.size());
+}
+
+TEST(Simulator, DmaModeRequiresSchedule) {
+  const auto app = testing::make_pair_app();
+  let::LetComms lc(*app);
+  EXPECT_THROW(ProtocolSimulator(lc, nullptr, {Mode::kProposedDma, 0}),
+               support::PreconditionError);
+}
+
+TEST(Simulator, GiottoCpuBlocksCores) {
+  // CPU copies steal core time at the highest priority: with a large label
+  // the producer-core task's response time inflates versus the DMA mode.
+  model::Application app{model::Platform(2)};
+  const auto p = app.add_task("p", support::ms(10), support::ms(4),
+                              model::CoreId{0});
+  const auto c = app.add_task("c", support::ms(10), support::ms(1),
+                              model::CoreId{1});
+  app.add_label("x", 500'000, p, {c});  // 2 ms CPU copy at 4 ns/B
+  app.finalize();
+  let::LetComms lc(app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  const SimResult dma =
+      ProtocolSimulator(lc, &g.schedule, {Mode::kProposedDma, 0}).run();
+  const SimResult cpu =
+      ProtocolSimulator(lc, nullptr, {Mode::kGiottoCpu, 0}).run();
+  EXPECT_GT(cpu.max_response.at(p.value), dma.max_response.at(p.value));
+  EXPECT_EQ(cpu.dma_busy, 0);  // no DMA engine involved
+  EXPECT_GT(dma.dma_busy, 0);
+}
+
+TEST(Simulator, ReadyNeverBeforeRelease) {
+  const auto app = testing::make_multireader_app();
+  let::LetComms lc(*app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  for (const Mode mode : {Mode::kProposedDma, Mode::kGiottoDma}) {
+    const SimResult r =
+        ProtocolSimulator(lc, &g.schedule, {mode, 0}).run();
+    for (const JobRecord& j : r.jobs) {
+      EXPECT_GE(j.ready, j.release);
+    }
+  }
+}
+
+TEST(Simulator, ProposedBeatsGiottoForUrgentTask) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms lc(*app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  const SimResult proposed =
+      ProtocolSimulator(lc, &g.schedule, {Mode::kProposedDma, 0}).run();
+  const let::ScheduleResult ga = baseline::giotto_dma_a(lc);
+  const SimResult giotto =
+      ProtocolSimulator(lc, &ga.schedule, {Mode::kGiottoDma, 0}).run();
+  const int t2 = app->find_task("tau2").value;
+  EXPECT_LT(proposed.max_latency.at(t2), giotto.max_latency.at(t2));
+}
+
+}  // namespace
+}  // namespace letdma::sim

@@ -1,0 +1,110 @@
+#include "letdma/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_fixtures.hpp"
+#include "letdma/let/greedy.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::sim {
+namespace {
+
+SimResult simulate_fig1(const model::Application&,
+                        const let::LetComms& lc) {
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  return ProtocolSimulator(lc, &g.schedule, {Mode::kProposedDma, 0}).run();
+}
+
+TEST(Trace, SpansAreRecorded) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms lc(*app);
+  const SimResult r = simulate_fig1(*app, lc);
+  EXPECT_FALSE(r.let_spans.empty());
+  EXPECT_FALSE(r.dma_spans.empty());
+  EXPECT_FALSE(r.exec_spans.empty());
+  const support::Time horizon = app->hyperperiod();
+  for (const LetSpan& s : r.let_spans) {
+    EXPECT_LT(s.start, s.end);
+    EXPECT_GE(s.core, 0);
+    EXPECT_LT(s.core, app->platform().num_cores());
+    EXPECT_LT(s.start, horizon + support::ms(1));
+  }
+  for (const ExecSpan& s : r.exec_spans) {
+    EXPECT_LT(s.start, s.end);
+    EXPECT_GE(s.task, 0);
+  }
+}
+
+TEST(Trace, ExecSpansCoverEachJobWcet) {
+  // Sum of execution spans per task (minus LET holes inside them) must be
+  // at least jobs * wcet; with the coarse spans including holes, the sum
+  // is >= the pure WCET total.
+  const auto app = testing::make_fig1_app();
+  let::LetComms lc(*app);
+  const SimResult r = simulate_fig1(*app, lc);
+  std::map<int, support::Time> span_sum;
+  for (const ExecSpan& s : r.exec_spans) span_sum[s.task] += s.end - s.start;
+  std::map<int, int> job_count;
+  for (const JobRecord& j : r.jobs) job_count[j.task] += 1;
+  for (const auto& [task, n] : job_count) {
+    EXPECT_GE(span_sum[task],
+              n * app->task(model::TaskId{task}).wcet);
+  }
+}
+
+TEST(Trace, GanttRendersAllRows) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms lc(*app);
+  const SimResult r = simulate_fig1(*app, lc);
+  GanttOptions opt;
+  opt.to = support::ms(5);
+  opt.width = 60;
+  const std::string gantt = render_gantt(*app, r, opt);
+  EXPECT_NE(gantt.find("P1  |"), std::string::npos);
+  EXPECT_NE(gantt.find("P2  |"), std::string::npos);
+  EXPECT_NE(gantt.find("DMA |"), std::string::npos);
+  EXPECT_NE(gantt.find("legend"), std::string::npos);
+  EXPECT_NE(gantt.find('L'), std::string::npos);  // LET activity visible
+  EXPECT_NE(gantt.find('#'), std::string::npos);  // DMA activity visible
+}
+
+TEST(Trace, GanttWindowAndWidthRespected) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms lc(*app);
+  const SimResult r = simulate_fig1(*app, lc);
+  GanttOptions opt;
+  opt.from = support::ms(1);
+  opt.to = support::ms(2);
+  opt.width = 40;
+  const std::string gantt = render_gantt(*app, r, opt);
+  // Each row body has exactly `width` characters between the pipes.
+  const std::size_t p1 = gantt.find("P1  |");
+  ASSERT_NE(p1, std::string::npos);
+  const std::size_t open = gantt.find('|', p1);
+  const std::size_t close = gantt.find('|', open + 1);
+  EXPECT_EQ(close - open - 1, 40u);
+}
+
+TEST(Trace, InvalidWindowThrows) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms lc(*app);
+  const SimResult r = simulate_fig1(*app, lc);
+  GanttOptions opt;
+  opt.from = support::ms(2);
+  opt.to = support::ms(1);
+  EXPECT_THROW(render_gantt(*app, r, opt), support::PreconditionError);
+  opt.to = support::ms(3);
+  opt.width = 0;
+  EXPECT_THROW(render_gantt(*app, r, opt), support::PreconditionError);
+}
+
+TEST(Trace, DefaultWindowEndsAtLastSpan) {
+  const auto app = testing::make_pair_app();
+  let::LetComms lc(*app);
+  const SimResult r = simulate_fig1(*app, lc);
+  const std::string gantt = render_gantt(*app, r);
+  EXPECT_NE(gantt.find("t in [0ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace letdma::sim

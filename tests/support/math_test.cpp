@@ -1,0 +1,87 @@
+#include "letdma/support/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::support {
+namespace {
+
+TEST(Gcd64, BasicValues) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(18, 12), 6);
+  EXPECT_EQ(gcd64(7, 13), 1);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(5, 0), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+}
+
+TEST(Gcd64, NegativeArgumentsUseAbsoluteValue) {
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(12, -18), 6);
+  EXPECT_EQ(gcd64(-12, -18), 6);
+}
+
+TEST(Lcm64, BasicValues) {
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(5, 7), 35);
+  EXPECT_EQ(lcm64(10, 10), 10);
+  EXPECT_EQ(lcm64(0, 5), 0);
+}
+
+TEST(Lcm64, RejectsNegative) {
+  EXPECT_THROW(lcm64(-2, 4), PreconditionError);
+}
+
+TEST(Lcm64, OverflowDetected) {
+  const std::int64_t big = (1LL << 62);
+  EXPECT_THROW(lcm64(big, big - 1), OverflowError);
+}
+
+TEST(CheckedMul, OverflowThrows) {
+  EXPECT_THROW(checked_mul(1LL << 40, 1LL << 40), OverflowError);
+  EXPECT_EQ(checked_mul(1LL << 30, 1LL << 30), 1LL << 60);
+}
+
+TEST(CheckedAdd, OverflowThrows) {
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_THROW(checked_add(max, 1), OverflowError);
+  EXPECT_EQ(checked_add(max - 1, 1), max);
+}
+
+TEST(FloorDiv, NegativeNumerator) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(-8, 2), -4);
+  EXPECT_EQ(floor_div(0, 5), 0);
+}
+
+TEST(CeilDiv, NegativeNumerator) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(8, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+}
+
+TEST(FloorCeilDiv, RejectNonPositiveDivisor) {
+  EXPECT_THROW(floor_div(1, 0), PreconditionError);
+  EXPECT_THROW(ceil_div(1, -2), PreconditionError);
+}
+
+class DivisionIdentity : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(DivisionIdentity, FloorPlusCeilRelation) {
+  const std::int64_t a = GetParam();
+  for (std::int64_t b : {1, 2, 3, 5, 7, 16}) {
+    EXPECT_LE(floor_div(a, b) * b, a);
+    EXPECT_GE(ceil_div(a, b) * b, a);
+    EXPECT_LE(ceil_div(a, b) - floor_div(a, b), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DivisionIdentity,
+                         ::testing::Values(-100, -17, -1, 0, 1, 17, 100,
+                                           999983));
+
+}  // namespace
+}  // namespace letdma::support

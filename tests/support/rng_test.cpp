@@ -1,0 +1,62 @@
+#include "letdma/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::support {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_int(2, 1), PreconditionError);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(123);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace letdma::support

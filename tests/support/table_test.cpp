@@ -1,0 +1,44 @@
+#include "letdma/support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::support {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"task", "lambda"});
+  t.add_row({"DASM", "12.5"});
+  t.add_row({"LIDAR_GRABBER", "3"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| task"), std::string::npos);
+  EXPECT_NE(out.find("DASM"), std::string::npos);
+  EXPECT_NE(out.find("LIDAR_GRABBER"), std::string::npos);
+  // All lines equally wide.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t nl = out.find('\n', pos);
+    EXPECT_EQ(nl - pos, first_len);
+    pos = nl + 1;
+  }
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TextTable, EmptyHeadersThrow) {
+  EXPECT_THROW(TextTable({}), PreconditionError);
+}
+
+TEST(FmtDouble, Decimals) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(1.0, 0), "1");
+  EXPECT_EQ(fmt_double(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace letdma::support

@@ -1,0 +1,48 @@
+#include "letdma/support/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::support {
+namespace {
+
+TEST(TimeUnits, Conversions) {
+  EXPECT_EQ(us(1), 1'000);
+  EXPECT_EQ(ms(1), 1'000'000);
+  EXPECT_EQ(us(3.36), 3'360);
+  EXPECT_DOUBLE_EQ(to_us(3'360), 3.36);
+  EXPECT_DOUBLE_EQ(to_ms(15'000'000), 15.0);
+}
+
+TEST(FormatTime, PicksUnit) {
+  EXPECT_EQ(format_time(ns(5)), "5ns");
+  EXPECT_EQ(format_time(us(3.36)), "3.36us");
+  EXPECT_EQ(format_time(ms(15)), "15ms");
+  EXPECT_EQ(format_time(2 * kSecond), "2s");
+  EXPECT_EQ(format_time(-us(2)), "-2us");
+}
+
+TEST(Hyperperiod, WatersLikePeriods) {
+  // Periods from the WATERS 2019 case study (in ms).
+  const std::vector<Time> periods = {ms(5),  ms(10), ms(15), ms(33),
+                                     ms(66), ms(100), ms(200), ms(400)};
+  const Time h = hyperperiod(periods);
+  for (const Time p : periods) {
+    EXPECT_EQ(h % p, 0) << "H not divisible by " << format_time(p);
+  }
+}
+
+TEST(Hyperperiod, SingleTask) { EXPECT_EQ(hyperperiod({ms(10)}), ms(10)); }
+
+TEST(Hyperperiod, EmptyThrows) {
+  EXPECT_THROW(hyperperiod({}), PreconditionError);
+}
+
+TEST(Hyperperiod, NonPositiveThrows) {
+  EXPECT_THROW(hyperperiod({ms(10), 0}), PreconditionError);
+  EXPECT_THROW(hyperperiod({ms(10), -5}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace letdma::support

@@ -1,0 +1,66 @@
+// Shared application fixtures for letdma tests.
+#pragma once
+
+#include <memory>
+
+#include "letdma/model/application.hpp"
+
+namespace letdma::testing {
+
+using model::Application;
+using model::CoreId;
+using model::LabelId;
+using model::Platform;
+using model::TaskId;
+using support::ms;
+using support::us;
+
+/// Two tasks on two cores, one shared label: the smallest useful system.
+inline std::unique_ptr<Application> make_pair_app(
+    support::Time producer_period = ms(10),
+    support::Time consumer_period = ms(10), std::int64_t label_bytes = 1000) {
+  auto app = std::make_unique<Application>(Platform(2));
+  const TaskId prod =
+      app->add_task("PROD", producer_period, producer_period / 4, CoreId{0});
+  const TaskId cons =
+      app->add_task("CONS", consumer_period, consumer_period / 4, CoreId{1});
+  app->add_label("x", label_bytes, prod, {cons});
+  app->finalize();
+  return app;
+}
+
+/// A Fig.1-style system: six tasks on two cores, six cross-coupled labels.
+/// tau1/tau3/tau5 on P1 produce lA/lB/lC for tau2/tau4/tau6 on P2, which
+/// produce lD/lE/lF back. tau2 is latency-sensitive (smallest period).
+inline std::unique_ptr<Application> make_fig1_app() {
+  auto app = std::make_unique<Application>(Platform(2));
+  const TaskId t1 = app->add_task("tau1", ms(10), ms(2), CoreId{0});
+  const TaskId t3 = app->add_task("tau3", ms(20), ms(4), CoreId{0});
+  const TaskId t5 = app->add_task("tau5", ms(40), ms(8), CoreId{0});
+  const TaskId t2 = app->add_task("tau2", ms(5), ms(1), CoreId{1});
+  const TaskId t4 = app->add_task("tau4", ms(20), ms(4), CoreId{1});
+  const TaskId t6 = app->add_task("tau6", ms(40), ms(8), CoreId{1});
+  app->add_label("lA", 2000, t1, {t2});
+  app->add_label("lB", 4000, t3, {t4});
+  app->add_label("lC", 8000, t5, {t6});
+  app->add_label("lD", 1000, t2, {t1});
+  app->add_label("lE", 3000, t4, {t3});
+  app->add_label("lF", 6000, t6, {t5});
+  app->finalize();
+  return app;
+}
+
+/// Producer with two consumers on different cores (multi-reader label) plus
+/// an intra-core reader that must NOT generate DMA traffic.
+inline std::unique_ptr<Application> make_multireader_app() {
+  auto app = std::make_unique<Application>(Platform(3));
+  const TaskId prod = app->add_task("PROD", ms(10), ms(1), CoreId{0});
+  const TaskId local = app->add_task("LOCAL", ms(10), ms(1), CoreId{0});
+  const TaskId c1 = app->add_task("C1", ms(20), ms(2), CoreId{1});
+  const TaskId c2 = app->add_task("C2", ms(5), ms(1), CoreId{2});
+  app->add_label("shared", 5000, prod, {local, c1, c2});
+  app->finalize();
+  return app;
+}
+
+}  // namespace letdma::testing

@@ -1,0 +1,151 @@
+#include "letdma/waters/waters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "letdma/analysis/rta.hpp"
+#include "letdma/let/greedy.hpp"
+#include "letdma/let/validate.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::waters {
+namespace {
+
+using support::ms;
+
+TEST(Waters, NineTasksWithChallengePeriods) {
+  const auto app = make_waters_app();
+  EXPECT_EQ(app->num_tasks(), 9);
+  EXPECT_EQ(app->task(app->find_task("LID")).period, ms(33));
+  EXPECT_EQ(app->task(app->find_task("DASM")).period, ms(5));
+  EXPECT_EQ(app->task(app->find_task("CAN")).period, ms(10));
+  EXPECT_EQ(app->task(app->find_task("EKF")).period, ms(15));
+  EXPECT_EQ(app->task(app->find_task("LOC")).period, ms(400));
+  EXPECT_EQ(app->task(app->find_task("DET")).period, ms(200));
+}
+
+TEST(Waters, TaskNamesMatchFigureOrder) {
+  const auto& names = task_names();
+  ASSERT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.front(), "LID");
+  EXPECT_EQ(names.back(), "DET");
+  const auto app = make_waters_app();
+  for (const auto& n : names) {
+    EXPECT_NO_THROW(app->find_task(n));
+  }
+}
+
+TEST(Waters, HyperperiodIs13200ms) {
+  const auto app = make_waters_app();
+  EXPECT_EQ(app->hyperperiod(), ms(13200));
+}
+
+TEST(Waters, HasInterCoreTraffic) {
+  const auto app = make_waters_app();
+  EXPECT_GE(app->inter_core_edges().size(), 8u);
+}
+
+TEST(Waters, BaseSystemSchedulable) {
+  const auto app = make_waters_app();
+  const auto rta = analysis::analyze(*app);
+  EXPECT_TRUE(rta.schedulable);
+}
+
+TEST(Waters, SensitivityFeasibleForPaperAlphas) {
+  const auto app = make_waters_app();
+  for (const double alpha : {0.2, 0.3, 0.4, 0.5}) {
+    const auto s = analysis::acquisition_deadlines(*app, alpha);
+    EXPECT_TRUE(s.feasible) << "alpha=" << alpha;
+  }
+}
+
+TEST(Waters, GreedyScheduleValid) {
+  const auto app = make_waters_app();
+  let::LetComms lc(*app);
+  const let::ScheduleResult g = let::GreedyScheduler(lc).build();
+  const auto report = validate_schedule(lc, g.layout, g.schedule);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Waters, LabelScaleAppliesToSizes) {
+  WatersOptions small;
+  small.label_scale = 0.5;
+  const auto app = make_waters_app(small);
+  const auto base = make_waters_app();
+  for (int l = 0; l < app->num_labels(); ++l) {
+    EXPECT_EQ(app->label(model::LabelId{l}).size_bytes,
+              base->label(model::LabelId{l}).size_bytes / 2);
+  }
+}
+
+TEST(Waters, TwoCoreVariantStillBuilds) {
+  WatersOptions two;
+  two.num_cores = 2;
+  const auto app = make_waters_app(two);
+  EXPECT_EQ(app->platform().num_cores(), 2);
+  EXPECT_FALSE(app->inter_core_edges().empty());
+}
+
+TEST(Waters, PipelineFoldingReducesInterCoreLabels) {
+  // The explicit 2/3/4-core mappings fold pipeline stages together:
+  // fewer cores must mean fewer (or equal) inter-core labels.
+  std::size_t prev = 0;
+  for (const int cores : {2, 3, 4}) {
+    WatersOptions opt;
+    opt.num_cores = cores;
+    const auto app = make_waters_app(opt);
+    std::set<int> labels;
+    for (const auto& e : app->inter_core_edges()) {
+      labels.insert(e.label.value);
+    }
+    EXPECT_GE(labels.size(), prev) << cores << " cores";
+    prev = labels.size();
+  }
+}
+
+TEST(Waters, AllMappingsSchedulable) {
+  for (const int cores : {2, 3, 4}) {
+    WatersOptions opt;
+    opt.num_cores = cores;
+    const auto app = make_waters_app(opt);
+    EXPECT_TRUE(analysis::analyze(*app).schedulable) << cores << " cores";
+  }
+}
+
+TEST(Waters, CustomDmaParamsPropagate) {
+  WatersOptions opt;
+  opt.dma.programming_overhead = support::us(1);
+  opt.dma.isr_overhead = support::us(2);
+  opt.cpu.copy_cost_ns_per_byte = 8.0;
+  const auto app = make_waters_app(opt);
+  EXPECT_EQ(app->platform().dma().programming_overhead, support::us(1));
+  EXPECT_EQ(app->platform().dma().isr_overhead, support::us(2));
+  EXPECT_EQ(app->platform().cpu_copy().copy_cost_ns_per_byte, 8.0);
+}
+
+TEST(Waters, RejectsBadOptions) {
+  WatersOptions bad;
+  bad.num_cores = 1;
+  EXPECT_THROW(make_waters_app(bad), support::PreconditionError);
+  WatersOptions zero;
+  zero.label_scale = 0;
+  EXPECT_THROW(make_waters_app(zero), support::PreconditionError);
+}
+
+TEST(Waters, IntraCorePairsExcluded) {
+  const auto app = make_waters_app();
+  // EKF -> PLAN share a core: state_est must not be inter-core.
+  const model::LabelId state_est = [&] {
+    for (int l = 0; l < app->num_labels(); ++l) {
+      if (app->label(model::LabelId{l}).name == "state_est") {
+        return model::LabelId{l};
+      }
+    }
+    throw support::PreconditionError("missing label");
+  }();
+  EXPECT_FALSE(app->is_inter_core(state_est));
+}
+
+}  // namespace
+}  // namespace letdma::waters
