@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpha_sensitivity.dir/alpha_sensitivity.cpp.o"
+  "CMakeFiles/alpha_sensitivity.dir/alpha_sensitivity.cpp.o.d"
+  "alpha_sensitivity"
+  "alpha_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpha_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

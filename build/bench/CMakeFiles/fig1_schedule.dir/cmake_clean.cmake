@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_schedule.dir/fig1_schedule.cpp.o"
+  "CMakeFiles/fig1_schedule.dir/fig1_schedule.cpp.o.d"
+  "fig1_schedule"
+  "fig1_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_latency_ratios.dir/fig2_latency_ratios.cpp.o"
+  "CMakeFiles/fig2_latency_ratios.dir/fig2_latency_ratios.cpp.o.d"
+  "fig2_latency_ratios"
+  "fig2_latency_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_latency_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_ablation.dir/mapping_ablation.cpp.o"
+  "CMakeFiles/mapping_ablation.dir/mapping_ablation.cpp.o.d"
+  "mapping_ablation"
+  "mapping_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_letgroups.dir/micro_letgroups.cpp.o"
+  "CMakeFiles/micro_letgroups.dir/micro_letgroups.cpp.o.d"
+  "micro_letgroups"
+  "micro_letgroups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_letgroups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_milp.dir/micro_milp.cpp.o"
+  "CMakeFiles/micro_milp.dir/micro_milp.cpp.o.d"
+  "micro_milp"
+  "micro_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_scheduling.dir/micro_scheduling.cpp.o"
+  "CMakeFiles/micro_scheduling.dir/micro_scheduling.cpp.o.d"
+  "micro_scheduling"
+  "micro_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

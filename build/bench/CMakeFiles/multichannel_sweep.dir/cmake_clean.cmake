@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multichannel_sweep.dir/multichannel_sweep.cpp.o"
+  "CMakeFiles/multichannel_sweep.dir/multichannel_sweep.cpp.o.d"
+  "multichannel_sweep"
+  "multichannel_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multichannel_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedulability_sweep.dir/schedulability_sweep.cpp.o"
+  "CMakeFiles/schedulability_sweep.dir/schedulability_sweep.cpp.o.d"
+  "schedulability_sweep"
+  "schedulability_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedulability_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

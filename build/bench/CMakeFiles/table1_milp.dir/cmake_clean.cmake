@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_milp.dir/table1_milp.cpp.o"
+  "CMakeFiles/table1_milp.dir/table1_milp.cpp.o.d"
+  "table1_milp"
+  "table1_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

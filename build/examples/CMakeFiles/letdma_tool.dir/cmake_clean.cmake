@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/letdma_tool.dir/letdma_tool.cpp.o"
+  "CMakeFiles/letdma_tool.dir/letdma_tool.cpp.o.d"
+  "letdma_tool"
+  "letdma_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/letdma_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waters_casestudy.dir/waters_casestudy.cpp.o"
+  "CMakeFiles/waters_casestudy.dir/waters_casestudy.cpp.o.d"
+  "waters_casestudy"
+  "waters_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waters_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/letdma_analysis.dir/src/protocol_rta.cpp.o"
+  "CMakeFiles/letdma_analysis.dir/src/protocol_rta.cpp.o.d"
+  "CMakeFiles/letdma_analysis.dir/src/rta.cpp.o"
+  "CMakeFiles/letdma_analysis.dir/src/rta.cpp.o.d"
+  "libletdma_analysis.a"
+  "libletdma_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/letdma_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

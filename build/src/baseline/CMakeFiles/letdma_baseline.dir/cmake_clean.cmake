@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/letdma_baseline.dir/src/giotto.cpp.o"
+  "CMakeFiles/letdma_baseline.dir/src/giotto.cpp.o.d"
+  "libletdma_baseline.a"
+  "libletdma_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/letdma_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

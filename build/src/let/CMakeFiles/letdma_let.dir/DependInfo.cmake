@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/let/src/comm.cpp" "src/let/CMakeFiles/letdma_let.dir/src/comm.cpp.o" "gcc" "src/let/CMakeFiles/letdma_let.dir/src/comm.cpp.o.d"
+  "/root/repo/src/let/src/eta.cpp" "src/let/CMakeFiles/letdma_let.dir/src/eta.cpp.o" "gcc" "src/let/CMakeFiles/letdma_let.dir/src/eta.cpp.o.d"
+  "/root/repo/src/let/src/footprint.cpp" "src/let/CMakeFiles/letdma_let.dir/src/footprint.cpp.o" "gcc" "src/let/CMakeFiles/letdma_let.dir/src/footprint.cpp.o.d"
+  "/root/repo/src/let/src/greedy.cpp" "src/let/CMakeFiles/letdma_let.dir/src/greedy.cpp.o" "gcc" "src/let/CMakeFiles/letdma_let.dir/src/greedy.cpp.o.d"
+  "/root/repo/src/let/src/latency.cpp" "src/let/CMakeFiles/letdma_let.dir/src/latency.cpp.o" "gcc" "src/let/CMakeFiles/letdma_let.dir/src/latency.cpp.o.d"
+  "/root/repo/src/let/src/layout.cpp" "src/let/CMakeFiles/letdma_let.dir/src/layout.cpp.o" "gcc" "src/let/CMakeFiles/letdma_let.dir/src/layout.cpp.o.d"
+  "/root/repo/src/let/src/let_comms.cpp" "src/let/CMakeFiles/letdma_let.dir/src/let_comms.cpp.o" "gcc" "src/let/CMakeFiles/letdma_let.dir/src/let_comms.cpp.o.d"
+  "/root/repo/src/let/src/local_search.cpp" "src/let/CMakeFiles/letdma_let.dir/src/local_search.cpp.o" "gcc" "src/let/CMakeFiles/letdma_let.dir/src/local_search.cpp.o.d"
+  "/root/repo/src/let/src/milp_scheduler.cpp" "src/let/CMakeFiles/letdma_let.dir/src/milp_scheduler.cpp.o" "gcc" "src/let/CMakeFiles/letdma_let.dir/src/milp_scheduler.cpp.o.d"
+  "/root/repo/src/let/src/multichannel.cpp" "src/let/CMakeFiles/letdma_let.dir/src/multichannel.cpp.o" "gcc" "src/let/CMakeFiles/letdma_let.dir/src/multichannel.cpp.o.d"
+  "/root/repo/src/let/src/schedule_io.cpp" "src/let/CMakeFiles/letdma_let.dir/src/schedule_io.cpp.o" "gcc" "src/let/CMakeFiles/letdma_let.dir/src/schedule_io.cpp.o.d"
+  "/root/repo/src/let/src/transfer.cpp" "src/let/CMakeFiles/letdma_let.dir/src/transfer.cpp.o" "gcc" "src/let/CMakeFiles/letdma_let.dir/src/transfer.cpp.o.d"
+  "/root/repo/src/let/src/validate.cpp" "src/let/CMakeFiles/letdma_let.dir/src/validate.cpp.o" "gcc" "src/let/CMakeFiles/letdma_let.dir/src/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/letdma_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/letdma_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/letdma_milp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/letdma_let.dir/src/comm.cpp.o"
+  "CMakeFiles/letdma_let.dir/src/comm.cpp.o.d"
+  "CMakeFiles/letdma_let.dir/src/eta.cpp.o"
+  "CMakeFiles/letdma_let.dir/src/eta.cpp.o.d"
+  "CMakeFiles/letdma_let.dir/src/footprint.cpp.o"
+  "CMakeFiles/letdma_let.dir/src/footprint.cpp.o.d"
+  "CMakeFiles/letdma_let.dir/src/greedy.cpp.o"
+  "CMakeFiles/letdma_let.dir/src/greedy.cpp.o.d"
+  "CMakeFiles/letdma_let.dir/src/latency.cpp.o"
+  "CMakeFiles/letdma_let.dir/src/latency.cpp.o.d"
+  "CMakeFiles/letdma_let.dir/src/layout.cpp.o"
+  "CMakeFiles/letdma_let.dir/src/layout.cpp.o.d"
+  "CMakeFiles/letdma_let.dir/src/let_comms.cpp.o"
+  "CMakeFiles/letdma_let.dir/src/let_comms.cpp.o.d"
+  "CMakeFiles/letdma_let.dir/src/local_search.cpp.o"
+  "CMakeFiles/letdma_let.dir/src/local_search.cpp.o.d"
+  "CMakeFiles/letdma_let.dir/src/milp_scheduler.cpp.o"
+  "CMakeFiles/letdma_let.dir/src/milp_scheduler.cpp.o.d"
+  "CMakeFiles/letdma_let.dir/src/multichannel.cpp.o"
+  "CMakeFiles/letdma_let.dir/src/multichannel.cpp.o.d"
+  "CMakeFiles/letdma_let.dir/src/schedule_io.cpp.o"
+  "CMakeFiles/letdma_let.dir/src/schedule_io.cpp.o.d"
+  "CMakeFiles/letdma_let.dir/src/transfer.cpp.o"
+  "CMakeFiles/letdma_let.dir/src/transfer.cpp.o.d"
+  "CMakeFiles/letdma_let.dir/src/validate.cpp.o"
+  "CMakeFiles/letdma_let.dir/src/validate.cpp.o.d"
+  "libletdma_let.a"
+  "libletdma_let.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/letdma_let.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/milp/src/expr.cpp" "src/milp/CMakeFiles/letdma_milp.dir/src/expr.cpp.o" "gcc" "src/milp/CMakeFiles/letdma_milp.dir/src/expr.cpp.o.d"
+  "/root/repo/src/milp/src/model.cpp" "src/milp/CMakeFiles/letdma_milp.dir/src/model.cpp.o" "gcc" "src/milp/CMakeFiles/letdma_milp.dir/src/model.cpp.o.d"
+  "/root/repo/src/milp/src/presolve.cpp" "src/milp/CMakeFiles/letdma_milp.dir/src/presolve.cpp.o" "gcc" "src/milp/CMakeFiles/letdma_milp.dir/src/presolve.cpp.o.d"
+  "/root/repo/src/milp/src/simplex.cpp" "src/milp/CMakeFiles/letdma_milp.dir/src/simplex.cpp.o" "gcc" "src/milp/CMakeFiles/letdma_milp.dir/src/simplex.cpp.o.d"
+  "/root/repo/src/milp/src/solver.cpp" "src/milp/CMakeFiles/letdma_milp.dir/src/solver.cpp.o" "gcc" "src/milp/CMakeFiles/letdma_milp.dir/src/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/letdma_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/letdma_milp.dir/src/expr.cpp.o"
+  "CMakeFiles/letdma_milp.dir/src/expr.cpp.o.d"
+  "CMakeFiles/letdma_milp.dir/src/model.cpp.o"
+  "CMakeFiles/letdma_milp.dir/src/model.cpp.o.d"
+  "CMakeFiles/letdma_milp.dir/src/presolve.cpp.o"
+  "CMakeFiles/letdma_milp.dir/src/presolve.cpp.o.d"
+  "CMakeFiles/letdma_milp.dir/src/simplex.cpp.o"
+  "CMakeFiles/letdma_milp.dir/src/simplex.cpp.o.d"
+  "CMakeFiles/letdma_milp.dir/src/solver.cpp.o"
+  "CMakeFiles/letdma_milp.dir/src/solver.cpp.o.d"
+  "libletdma_milp.a"
+  "libletdma_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/letdma_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/src/application.cpp" "src/model/CMakeFiles/letdma_model.dir/src/application.cpp.o" "gcc" "src/model/CMakeFiles/letdma_model.dir/src/application.cpp.o.d"
+  "/root/repo/src/model/src/generator.cpp" "src/model/CMakeFiles/letdma_model.dir/src/generator.cpp.o" "gcc" "src/model/CMakeFiles/letdma_model.dir/src/generator.cpp.o.d"
+  "/root/repo/src/model/src/io.cpp" "src/model/CMakeFiles/letdma_model.dir/src/io.cpp.o" "gcc" "src/model/CMakeFiles/letdma_model.dir/src/io.cpp.o.d"
+  "/root/repo/src/model/src/mapping.cpp" "src/model/CMakeFiles/letdma_model.dir/src/mapping.cpp.o" "gcc" "src/model/CMakeFiles/letdma_model.dir/src/mapping.cpp.o.d"
+  "/root/repo/src/model/src/platform.cpp" "src/model/CMakeFiles/letdma_model.dir/src/platform.cpp.o" "gcc" "src/model/CMakeFiles/letdma_model.dir/src/platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/letdma_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

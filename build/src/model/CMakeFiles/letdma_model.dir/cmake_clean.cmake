@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/letdma_model.dir/src/application.cpp.o"
+  "CMakeFiles/letdma_model.dir/src/application.cpp.o.d"
+  "CMakeFiles/letdma_model.dir/src/generator.cpp.o"
+  "CMakeFiles/letdma_model.dir/src/generator.cpp.o.d"
+  "CMakeFiles/letdma_model.dir/src/io.cpp.o"
+  "CMakeFiles/letdma_model.dir/src/io.cpp.o.d"
+  "CMakeFiles/letdma_model.dir/src/mapping.cpp.o"
+  "CMakeFiles/letdma_model.dir/src/mapping.cpp.o.d"
+  "CMakeFiles/letdma_model.dir/src/platform.cpp.o"
+  "CMakeFiles/letdma_model.dir/src/platform.cpp.o.d"
+  "libletdma_model.a"
+  "libletdma_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/letdma_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

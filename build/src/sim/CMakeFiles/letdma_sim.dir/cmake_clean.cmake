@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/letdma_sim.dir/src/simulator.cpp.o"
+  "CMakeFiles/letdma_sim.dir/src/simulator.cpp.o.d"
+  "CMakeFiles/letdma_sim.dir/src/trace.cpp.o"
+  "CMakeFiles/letdma_sim.dir/src/trace.cpp.o.d"
+  "libletdma_sim.a"
+  "libletdma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/letdma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

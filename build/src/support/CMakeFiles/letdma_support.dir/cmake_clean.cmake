@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/letdma_support.dir/src/math.cpp.o"
+  "CMakeFiles/letdma_support.dir/src/math.cpp.o.d"
+  "CMakeFiles/letdma_support.dir/src/rng.cpp.o"
+  "CMakeFiles/letdma_support.dir/src/rng.cpp.o.d"
+  "CMakeFiles/letdma_support.dir/src/table.cpp.o"
+  "CMakeFiles/letdma_support.dir/src/table.cpp.o.d"
+  "CMakeFiles/letdma_support.dir/src/time.cpp.o"
+  "CMakeFiles/letdma_support.dir/src/time.cpp.o.d"
+  "libletdma_support.a"
+  "libletdma_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/letdma_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/letdma_waters.dir/src/waters.cpp.o"
+  "CMakeFiles/letdma_waters.dir/src/waters.cpp.o.d"
+  "libletdma_waters.a"
+  "libletdma_waters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/letdma_waters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

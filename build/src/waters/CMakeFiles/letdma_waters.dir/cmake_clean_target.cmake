@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libletdma_waters.a"
+)

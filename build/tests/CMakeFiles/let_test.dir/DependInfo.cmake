@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/let/comm_test.cpp" "tests/CMakeFiles/let_test.dir/let/comm_test.cpp.o" "gcc" "tests/CMakeFiles/let_test.dir/let/comm_test.cpp.o.d"
+  "/root/repo/tests/let/eta_paper_equivalence_test.cpp" "tests/CMakeFiles/let_test.dir/let/eta_paper_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/let_test.dir/let/eta_paper_equivalence_test.cpp.o.d"
+  "/root/repo/tests/let/eta_test.cpp" "tests/CMakeFiles/let_test.dir/let/eta_test.cpp.o" "gcc" "tests/CMakeFiles/let_test.dir/let/eta_test.cpp.o.d"
+  "/root/repo/tests/let/footprint_test.cpp" "tests/CMakeFiles/let_test.dir/let/footprint_test.cpp.o" "gcc" "tests/CMakeFiles/let_test.dir/let/footprint_test.cpp.o.d"
+  "/root/repo/tests/let/greedy_test.cpp" "tests/CMakeFiles/let_test.dir/let/greedy_test.cpp.o" "gcc" "tests/CMakeFiles/let_test.dir/let/greedy_test.cpp.o.d"
+  "/root/repo/tests/let/latency_test.cpp" "tests/CMakeFiles/let_test.dir/let/latency_test.cpp.o" "gcc" "tests/CMakeFiles/let_test.dir/let/latency_test.cpp.o.d"
+  "/root/repo/tests/let/layout_test.cpp" "tests/CMakeFiles/let_test.dir/let/layout_test.cpp.o" "gcc" "tests/CMakeFiles/let_test.dir/let/layout_test.cpp.o.d"
+  "/root/repo/tests/let/let_comms_test.cpp" "tests/CMakeFiles/let_test.dir/let/let_comms_test.cpp.o" "gcc" "tests/CMakeFiles/let_test.dir/let/let_comms_test.cpp.o.d"
+  "/root/repo/tests/let/local_search_test.cpp" "tests/CMakeFiles/let_test.dir/let/local_search_test.cpp.o" "gcc" "tests/CMakeFiles/let_test.dir/let/local_search_test.cpp.o.d"
+  "/root/repo/tests/let/milp_consistency_test.cpp" "tests/CMakeFiles/let_test.dir/let/milp_consistency_test.cpp.o" "gcc" "tests/CMakeFiles/let_test.dir/let/milp_consistency_test.cpp.o.d"
+  "/root/repo/tests/let/milp_scheduler_test.cpp" "tests/CMakeFiles/let_test.dir/let/milp_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/let_test.dir/let/milp_scheduler_test.cpp.o.d"
+  "/root/repo/tests/let/multichannel_test.cpp" "tests/CMakeFiles/let_test.dir/let/multichannel_test.cpp.o" "gcc" "tests/CMakeFiles/let_test.dir/let/multichannel_test.cpp.o.d"
+  "/root/repo/tests/let/schedule_io_test.cpp" "tests/CMakeFiles/let_test.dir/let/schedule_io_test.cpp.o" "gcc" "tests/CMakeFiles/let_test.dir/let/schedule_io_test.cpp.o.d"
+  "/root/repo/tests/let/transfer_test.cpp" "tests/CMakeFiles/let_test.dir/let/transfer_test.cpp.o" "gcc" "tests/CMakeFiles/let_test.dir/let/transfer_test.cpp.o.d"
+  "/root/repo/tests/let/validate_test.cpp" "tests/CMakeFiles/let_test.dir/let/validate_test.cpp.o" "gcc" "tests/CMakeFiles/let_test.dir/let/validate_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/letdma_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/letdma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/letdma_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/let/CMakeFiles/letdma_let.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/letdma_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/waters/CMakeFiles/letdma_waters.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/letdma_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/letdma_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

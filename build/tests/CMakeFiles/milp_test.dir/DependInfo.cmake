@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/milp/expr_test.cpp" "tests/CMakeFiles/milp_test.dir/milp/expr_test.cpp.o" "gcc" "tests/CMakeFiles/milp_test.dir/milp/expr_test.cpp.o.d"
+  "/root/repo/tests/milp/model_test.cpp" "tests/CMakeFiles/milp_test.dir/milp/model_test.cpp.o" "gcc" "tests/CMakeFiles/milp_test.dir/milp/model_test.cpp.o.d"
+  "/root/repo/tests/milp/presolve_test.cpp" "tests/CMakeFiles/milp_test.dir/milp/presolve_test.cpp.o" "gcc" "tests/CMakeFiles/milp_test.dir/milp/presolve_test.cpp.o.d"
+  "/root/repo/tests/milp/simplex_test.cpp" "tests/CMakeFiles/milp_test.dir/milp/simplex_test.cpp.o" "gcc" "tests/CMakeFiles/milp_test.dir/milp/simplex_test.cpp.o.d"
+  "/root/repo/tests/milp/solver_property_test.cpp" "tests/CMakeFiles/milp_test.dir/milp/solver_property_test.cpp.o" "gcc" "tests/CMakeFiles/milp_test.dir/milp/solver_property_test.cpp.o.d"
+  "/root/repo/tests/milp/solver_test.cpp" "tests/CMakeFiles/milp_test.dir/milp/solver_test.cpp.o" "gcc" "tests/CMakeFiles/milp_test.dir/milp/solver_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/letdma_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/letdma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/letdma_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/let/CMakeFiles/letdma_let.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/letdma_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/waters/CMakeFiles/letdma_waters.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/letdma_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/letdma_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

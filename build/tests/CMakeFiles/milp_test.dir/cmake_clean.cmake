@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milp_test.dir/milp/expr_test.cpp.o"
+  "CMakeFiles/milp_test.dir/milp/expr_test.cpp.o.d"
+  "CMakeFiles/milp_test.dir/milp/model_test.cpp.o"
+  "CMakeFiles/milp_test.dir/milp/model_test.cpp.o.d"
+  "CMakeFiles/milp_test.dir/milp/presolve_test.cpp.o"
+  "CMakeFiles/milp_test.dir/milp/presolve_test.cpp.o.d"
+  "CMakeFiles/milp_test.dir/milp/simplex_test.cpp.o"
+  "CMakeFiles/milp_test.dir/milp/simplex_test.cpp.o.d"
+  "CMakeFiles/milp_test.dir/milp/solver_property_test.cpp.o"
+  "CMakeFiles/milp_test.dir/milp/solver_property_test.cpp.o.d"
+  "CMakeFiles/milp_test.dir/milp/solver_test.cpp.o"
+  "CMakeFiles/milp_test.dir/milp/solver_test.cpp.o.d"
+  "milp_test"
+  "milp_test.pdb"
+  "milp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waters_test.dir/waters/waters_test.cpp.o"
+  "CMakeFiles/waters_test.dir/waters/waters_test.cpp.o.d"
+  "waters_test"
+  "waters_test.pdb"
+  "waters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

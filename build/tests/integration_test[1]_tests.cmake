@@ -1,0 +1,3 @@
+add_test([=[Pipeline.WatersEndToEnd]=]  /root/repo/build/tests/integration_test [==[--gtest_filter=Pipeline.WatersEndToEnd]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Pipeline.WatersEndToEnd]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_test_TESTS Pipeline.WatersEndToEnd)
