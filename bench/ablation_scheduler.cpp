@@ -96,6 +96,8 @@ int main() {
     opt.objective = obj;
     opt.solver.time_limit_sec = timeout;
     const auto r = let::MilpScheduler(comms, opt).solve();
+    bench::append_milp_metrics("ablation_scheduler",
+                               bench::objective_name(obj), r);
     if (r.feasible()) {
       add(std::string("MILP / ") + bench::objective_name(obj),
           *r.schedule);

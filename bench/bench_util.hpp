@@ -1,15 +1,18 @@
 // Shared helpers for the paper-reproduction benchmark harnesses.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "letdma/analysis/rta.hpp"
 #include "letdma/baseline/giotto.hpp"
 #include "letdma/let/milp_scheduler.hpp"
 #include "letdma/let/validate.hpp"
+#include "letdma/obs/json.hpp"
 #include "letdma/support/table.hpp"
 #include "letdma/waters/waters.hpp"
 
@@ -53,6 +56,78 @@ inline const char* status_name(milp::MilpStatus s) {
     case milp::MilpStatus::kLimit: return "timeout (no solution)";
   }
   return "?";
+}
+
+/// Destination of the machine-readable benchmark metrics stream:
+///   LETDMA_METRICS=/tmp/run.jsonl ./table1_milp
+/// defaults to bench_metrics.jsonl in the working directory; set
+/// LETDMA_METRICS to the empty string to disable emission.
+inline std::string metrics_path() {
+  if (const char* env = std::getenv("LETDMA_METRICS")) return env;
+  return "bench_metrics.jsonl";
+}
+
+/// Appends `{"bench":...,"config":...,<fields>}` as one JSONL line so
+/// future runs have a perf trajectory to diff against.
+inline void append_metrics(const std::string& bench,
+                           const std::string& config,
+                           const std::vector<obs::Arg>& fields) {
+  const std::string path = metrics_path();
+  if (path.empty()) return;
+  std::string line = "{\"bench\":";
+  obs::json::append_string(line, bench);
+  line += ",\"config\":";
+  obs::json::append_string(line, config);
+  for (const obs::Arg& f : fields) {
+    line += ",";
+    obs::json::append_string(line, f.key);
+    line += ":";
+    obs::json::append_value(line, f.value);
+  }
+  line += "}\n";
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fclose(f);
+}
+
+/// MILP-run convenience: records the outcome *and* the solve behaviour
+/// (incumbent timeline, final gap) for trajectory comparisons.
+inline void append_milp_metrics(const std::string& bench,
+                                const std::string& config,
+                                const let::MilpScheduleResult& r) {
+  std::vector<obs::Arg> fields = {
+      {"status", std::string(status_name(r.status))},
+      {"objective", r.objective},
+      {"transfers", static_cast<std::int64_t>(r.dma_transfers_at_s0)},
+      {"wall_sec", r.stats.wall_sec},
+      {"nodes", r.stats.nodes_explored},
+      {"lp_iterations", r.stats.lp_iterations},
+      {"lazy_rows", static_cast<std::int64_t>(r.stats.lazy_rows_added)},
+      {"separation_rounds",
+       static_cast<std::int64_t>(r.stats.separation_rounds)},
+      {"first_incumbent_sec", r.stats.first_incumbent_sec},
+      {"improvements",
+       static_cast<std::int64_t>(r.stats.incumbent_improvements())},
+  };
+  if (!r.stats.gap_timeline.empty()) {
+    fields.push_back({"final_gap", r.stats.gap_timeline.back().gap});
+  }
+  // The incumbent timeline rides along as a JSON array string so one
+  // line stays one observation.
+  std::string timeline = "[";
+  for (std::size_t i = 0; i < r.stats.incumbents.size(); ++i) {
+    const milp::IncumbentSample& s = r.stats.incumbents[i];
+    if (i > 0) timeline += ",";
+    timeline += "[";
+    obs::json::append_number(timeline, s.t_sec);
+    timeline += ",";
+    obs::json::append_number(timeline, s.objective);
+    timeline += "]";
+  }
+  timeline += "]";
+  fields.push_back({"incumbent_timeline", timeline});
+  append_metrics(bench, config, fields);
 }
 
 }  // namespace letdma::bench

@@ -35,6 +35,11 @@ int main() {
       opt.solver.time_limit_sec = timeout;
       let::MilpScheduler milp(comms, opt);
       const auto ours = milp.solve();
+      bench::append_milp_metrics(
+          "fig2_latency_ratios",
+          std::string(bench::objective_name(obj)) + "/alpha=" +
+              support::fmt_double(alpha, 1),
+          ours);
       std::printf("Fig.2 %s  alpha=%.1f  %s  [%s, %.1fs, %d transfers]\n",
                   inset_names[inset++], alpha, bench::objective_name(obj),
                   bench::status_name(ours.status), ours.stats.wall_sec,

@@ -38,6 +38,10 @@ int main() {
       opt.solver.time_limit_sec = timeout;
       let::MilpScheduler milp(comms, opt);
       const auto r = milp.solve();
+      bench::append_milp_metrics(
+          "table1_milp", std::string(bench::objective_name(obj)) + "/alpha=" +
+                             support::fmt_double(alpha, 1),
+          r);
       table.add_row({bench::objective_name(obj),
                      support::fmt_double(alpha, 1),
                      support::fmt_double(r.stats.wall_sec, 1) + " s",

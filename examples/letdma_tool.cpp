@@ -3,7 +3,14 @@
 //
 //   letdma_tool <app-file> [greedy|milp] [none|dmat|del] [timeout-seconds]
 //   letdma_tool <app-file> load <schedule-file>
-//   letdma_tool <app-file> <scheduler> <obj> <timeout> --save <file>
+//
+// Flags (anywhere in the argument list):
+//   --save <file>     write the resulting schedule
+//   --trace <file>    write a Chrome trace-event JSON (open in Perfetto or
+//                     chrome://tracing): MILP solver phases and incumbent
+//                     events plus the simulated per-core/DMA schedule
+//   --metrics <file>  append the full event stream as JSONL
+//   -v                verbose: mirror events to stderr
 //
 // With "-" (or no arguments) a built-in demo model (the Fig. 1 system) is
 // used. See src/model/include/letdma/model/io.hpp for the application
@@ -13,12 +20,16 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "letdma/let/footprint.hpp"
 #include "letdma/let/milp_scheduler.hpp"
 #include "letdma/let/schedule_io.hpp"
 #include "letdma/let/validate.hpp"
 #include "letdma/model/io.hpp"
+#include "letdma/obs/obs.hpp"
+#include "letdma/obs/sinks.hpp"
+#include "letdma/sim/trace_export.hpp"
 #include "letdma/support/error.hpp"
 #include "letdma/support/table.hpp"
 
@@ -45,27 +56,75 @@ label name=lF bytes=6000 writer=tau6 readers=tau5
 int usage() {
   std::fprintf(stderr,
                "usage: letdma_tool [app-file] [greedy|milp] "
-               "[none|dmat|del] [timeout-seconds]\n");
+               "[none|dmat|del] [timeout-seconds]\n"
+               "       [--save <file>] [--trace <file>] [--metrics <file>] "
+               "[-v]\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<std::string> pos;
+  std::string trace_path, metrics_path, save_path;
+  bool verbose = false;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto value = [&](std::string* dst) {
+      if (a + 1 >= argc) return false;
+      *dst = argv[++a];
+      return true;
+    };
+    if (arg == "--trace") {
+      if (!value(&trace_path)) return usage();
+    } else if (arg == "--metrics") {
+      if (!value(&metrics_path)) return usage();
+    } else if (arg == "--save") {
+      if (!value(&save_path)) return usage();
+    } else if (arg == "-v") {
+      verbose = true;
+    } else {
+      pos.push_back(arg);
+    }
+  }
+
   std::string text = kDemoApp;
-  if (argc > 1 && std::string(argv[1]) != "-") {
-    std::ifstream in(argv[1]);
+  if (!pos.empty() && pos[0] != "-") {
+    std::ifstream in(pos[0]);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", pos[0].c_str());
       return 2;
     }
     std::ostringstream os;
     os << in.rdbuf();
     text = os.str();
   }
-  const std::string scheduler = argc > 2 ? argv[2] : "greedy";
-  const std::string objective = argc > 3 ? argv[3] : "del";
-  const double timeout = argc > 4 ? std::atof(argv[4]) : 30.0;
+  const std::string scheduler = pos.size() > 1 ? pos[1] : "greedy";
+  const std::string objective = pos.size() > 2 ? pos[2] : "del";
+  const double timeout = pos.size() > 3 ? std::atof(pos[3].c_str()) : 30.0;
+
+  // Observability sinks, attached before any scheduling work so solver
+  // phase spans and incumbent events are captured.
+  obs::Registry& reg = obs::Registry::instance();
+  std::shared_ptr<obs::ChromeTraceSink> trace_sink;
+  std::shared_ptr<obs::JsonlMetricsSink> metrics_sink;
+  if (!trace_path.empty()) {
+    trace_sink = std::make_shared<obs::ChromeTraceSink>();
+    reg.attach(trace_sink);
+  }
+  if (!metrics_path.empty()) {
+    try {
+      metrics_sink = std::make_shared<obs::JsonlMetricsSink>(metrics_path);
+    } catch (const support::Error& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    reg.attach(metrics_sink);
+  }
+  if (verbose) {
+    reg.set_log_threshold(obs::Level::kDebug);
+    reg.attach(std::make_shared<obs::StderrLogSink>());
+  }
 
   std::unique_ptr<model::Application> app;
   try {
@@ -82,7 +141,7 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<let::ScheduleResult> result;
   if (scheduler == "load") {
-    std::ifstream in(objective);  // argv[3] is the schedule file here
+    std::ifstream in(objective);  // pos[2] is the schedule file here
     if (!in) {
       std::fprintf(stderr, "cannot open schedule %s\n", objective.c_str());
       return 2;
@@ -106,12 +165,18 @@ int main(int argc, char** argv) {
     else if (objective == "del") opt.objective = let::MilpObjective::kMinLatencyRatio;
     else return usage();
     opt.solver.time_limit_sec = timeout;
+    opt.solver.log = verbose;
     const auto r = let::MilpScheduler(comms, opt).solve();
     if (!r.feasible()) {
       std::printf("MILP: no feasible configuration (status %d)\n",
                   static_cast<int>(r.status));
       return 1;
     }
+    std::printf("MILP: objective %.4g, %ld nodes, first incumbent %.2fs, "
+                "%d improvements\n",
+                r.objective, r.stats.nodes_explored,
+                r.stats.first_incumbent_sec,
+                r.stats.incumbent_improvements());
     result = std::make_unique<let::ScheduleResult>(*r.schedule);
   } else {
     return usage();
@@ -142,21 +207,38 @@ int main(int argc, char** argv) {
   std::printf("\naddress map:\n%s",
               let::render_address_map(result->layout).c_str());
 
-  // Optional --save <file> at the end of the argument list.
-  for (int a = 1; a + 1 < argc; ++a) {
-    if (std::string(argv[a]) == "--save") {
-      std::ofstream outf(argv[a + 1]);
-      if (!outf) {
-        std::fprintf(stderr, "cannot write %s\n", argv[a + 1]);
-        return 2;
-      }
-      outf << let::write_schedule(*app, *result);
-      std::printf("schedule saved to %s\n", argv[a + 1]);
+  if (!save_path.empty()) {
+    std::ofstream outf(save_path);
+    if (!outf) {
+      std::fprintf(stderr, "cannot write %s\n", save_path.c_str());
+      return 2;
     }
+    outf << let::write_schedule(*app, *result);
+    std::printf("schedule saved to %s\n", save_path.c_str());
   }
 
   const auto report =
       let::validate_schedule(comms, result->layout, result->schedule);
   std::printf("validation: %s\n", report.summary().c_str());
-  return report.ok() ? 0 : 1;
+
+  bool io_error = false;
+  if (trace_sink != nullptr) {
+    // Simulate the resulting schedule so the trace carries the Fig.-1
+    // style per-core/DMA timeline next to the solver events.
+    sim::ProtocolSimulator simulator(comms, &result->schedule, {});
+    sim::emit_trace_events(*app, simulator.run());
+    reg.detach(trace_sink);
+    if (trace_sink->write_file(trace_path)) {
+      std::printf("trace written to %s (%zu events); open in "
+                  "https://ui.perfetto.dev\n",
+                  trace_path.c_str(), trace_sink->size());
+    } else {
+      io_error = true;
+    }
+  }
+  if (metrics_sink != nullptr) {
+    reg.detach(metrics_sink);
+    std::printf("metrics appended to %s\n", metrics_path.c_str());
+  }
+  return report.ok() && !io_error ? 0 : 1;
 }

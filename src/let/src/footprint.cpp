@@ -3,11 +3,14 @@
 #include <cstdio>
 #include <sstream>
 
+#include "letdma/obs/obs.hpp"
+
 namespace letdma::let {
 
 std::vector<MemoryFootprint> footprint(const MemoryLayout& layout) {
   const model::Application& app = layout.app();
   std::vector<MemoryFootprint> out;
+  std::int64_t total = 0;
   for (int m = 0; m < app.platform().num_memories(); ++m) {
     const model::MemoryId mem{m};
     if (!layout.has_order(mem) || layout.order(mem).empty()) continue;
@@ -15,8 +18,12 @@ std::vector<MemoryFootprint> footprint(const MemoryLayout& layout) {
     fp.memory = mem;
     fp.slots = static_cast<int>(layout.order(mem).size());
     fp.bytes = layout.total_bytes(mem);
+    total += fp.bytes;
     out.push_back(fp);
   }
+  obs::log_debug("let", "layout footprint: " + std::to_string(out.size()) +
+                            " memories, " + std::to_string(total) +
+                            " bytes total");
   return out;
 }
 

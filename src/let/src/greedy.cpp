@@ -6,6 +6,7 @@
 #include <set>
 
 #include "letdma/let/latency.hpp"
+#include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
 
 namespace letdma::let {
@@ -148,6 +149,11 @@ ScheduleResult build_from_groups(
 }
 
 ScheduleResult GreedyScheduler::build() const {
+  static obs::Counter builds("let.greedy.builds");
+  builds.add();
+  obs::ScopedSpan span("let.greedy.build", "let");
+  span.arg("strategy", static_cast<std::int64_t>(options_.strategy));
+
   const model::Application& app = comms_.app();
   const std::vector<Communication>& s0 = comms_.comms_at_s0();
   PatternCache patterns;
@@ -284,10 +290,14 @@ ScheduleResult GreedyScheduler::build() const {
     }
   }
 
-  return detail_build_from_groups(
+  ScheduleResult result = detail_build_from_groups(
       comms_, groups,
       /*reads_first_placement=*/options_.strategy ==
           GreedyStrategy::kReadBatched);
+  span.arg("batches", static_cast<std::int64_t>(batches.size()));
+  span.arg("transfers",
+           static_cast<std::int64_t>(result.s0_transfers.size()));
+  return result;
 }
 
 namespace {

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "letdma/let/latency.hpp"
+#include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
 
 namespace letdma::let {
@@ -148,6 +149,7 @@ LocalSearchResult improve_schedule(const LetComms& comms,
                                    LocalSearchOptions options) {
   LETDMA_ENSURE(!start.s0_transfers.empty(),
                 "local search needs a non-empty starting schedule");
+  obs::ScopedSpan span("let.local_search", "let");
   Search search(comms, options);
 
   // Seed partition: one group per starting transfer.
@@ -185,6 +187,11 @@ LocalSearchResult improve_schedule(const LetComms& comms,
     }
   }
   best.evaluations = search.evaluations();
+  static obs::Counter evaluations("let.local_search.evaluations");
+  evaluations.add(best.evaluations);
+  span.arg("evaluations", static_cast<std::int64_t>(best.evaluations));
+  span.arg("improvements", static_cast<std::int64_t>(best.improvements));
+  span.arg("objective", best.objective);
   return best;
 }
 

@@ -7,6 +7,7 @@
 
 #include "letdma/let/latency.hpp"
 #include "letdma/let/local_search.hpp"
+#include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
 
 namespace letdma::let {
@@ -898,7 +899,11 @@ struct MilpScheduler::Impl {
 MilpScheduler::MilpScheduler(const LetComms& comms,
                              MilpSchedulerOptions options)
     : impl_(std::make_shared<Impl>(comms, options)) {
+  obs::ScopedSpan span("let.milp.build", "let");
   impl_->build();
+  span.arg("comms", static_cast<std::int64_t>(impl_->num_comms));
+  span.arg("vars", static_cast<std::int64_t>(impl_->model.num_vars()));
+  span.arg("rows", static_cast<std::int64_t>(impl_->model.num_constraints()));
 }
 
 int MilpScheduler::model_vars() const { return impl_->model.num_vars(); }
@@ -916,6 +921,7 @@ MilpScheduleResult MilpScheduler::solve() {
   }
 
   if (im.opt.greedy_warm_start) {
+    obs::ScopedSpan ws_span("let.milp.warm_start", "let");
     // Preferred variant first (matched to the objective and polished by a
     // short local search), then the raw strategies as fallbacks in case
     // the preferred one misses a deadline.
@@ -940,22 +946,34 @@ MilpScheduleResult MilpScheduler::solve() {
           GreedyStrategy::kReadBatched}) {
       candidates.push_back(GreedyScheduler(im.comms, {s}).build());
     }
+    bool seeded = false;
     for (const ScheduleResult& greedy : candidates) {
       if (const auto x = im.warm_start_vector(greedy)) {
-        if (solver.set_warm_start(*x)) break;
+        if (solver.set_warm_start(*x)) {
+          seeded = true;
+          break;
+        }
       }
     }
+    ws_span.arg("candidates", static_cast<std::int64_t>(candidates.size()));
+    ws_span.arg("seeded", seeded);
   }
 
-  const milp::MilpResult r = solver.solve();
+  const milp::MilpResult r = [&] {
+    obs::ScopedSpan solve_span("let.milp.solve", "let");
+    return solver.solve();
+  }();
   MilpScheduleResult out;
   out.status = r.status;
   out.stats = r.stats;
   out.objective = r.objective;
   if (r.has_solution()) {
+    obs::ScopedSpan extract_span("let.milp.extract", "let");
     out.schedule.emplace(im.extract(r.x));
     out.dma_transfers_at_s0 =
         static_cast<int>(out.schedule->s0_transfers.size());
+    extract_span.arg("transfers",
+                     static_cast<std::int64_t>(out.dma_transfers_at_s0));
   }
   return out;
 }

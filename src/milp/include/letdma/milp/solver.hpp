@@ -32,16 +32,47 @@ struct MilpOptions {
   double abs_gap = 1e-6;
   double rel_gap = 1e-6;
   double int_tol = 1e-6;  // integrality tolerance
-  bool log = false;       // emit per-improvement log lines to stderr
+  /// Emit per-improvement diagnostics through obs::log (category "milp");
+  /// with no log sink attached these land on stderr in the standard
+  /// "[letdma +t] I milp: ..." format.
+  bool log = false;
   bool presolve = true;   // root bound propagation (see presolve.hpp)
   SimplexOptions lp;
+};
+
+/// One incumbent improvement: when it landed and what it was worth
+/// (objective in the model's sense).
+struct IncumbentSample {
+  double t_sec = 0.0;
+  double objective = 0.0;
+  long nodes = 0;
+};
+
+/// A periodic snapshot of solve progress (model-sense bound; gap as in
+/// MilpResult::gap()). Sampled every 256 nodes while an incumbent exists,
+/// capped so pathological runs cannot grow the vector unboundedly.
+struct GapSample {
+  double t_sec = 0.0;
+  double gap = 0.0;
+  double best_bound = 0.0;
+  long nodes = 0;
 };
 
 struct MilpStats {
   long nodes_explored = 0;
   long lp_iterations = 0;
   int lazy_rows_added = 0;
+  int separation_rounds = 0;  // lazy-callback rounds that returned rows
   double wall_sec = 0.0;
+
+  // Solve *behaviour* over time (Table-1-style incumbent trajectories).
+  double first_incumbent_sec = -1.0;  // -1 when no incumbent was found
+  std::vector<IncumbentSample> incumbents;
+  std::vector<GapSample> gap_timeline;
+
+  int incumbent_improvements() const {
+    return static_cast<int>(incumbents.size());
+  }
 };
 
 struct MilpResult {

@@ -8,6 +8,7 @@
 #include <queue>
 
 #include "letdma/milp/presolve.hpp"
+#include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
 
 namespace letdma::milp {
@@ -76,8 +77,26 @@ MilpResult MilpSolver::solve() {
   const double sense_sign =
       model_.objective_sense() == ObjSense::kMinimize ? 1.0 : -1.0;
 
+  obs::ScopedSpan span("milp.solve", "milp");
+  span.arg("vars", static_cast<std::int64_t>(model_.num_vars()));
+  span.arg("rows", static_cast<std::int64_t>(model_.num_constraints()));
+
   MilpResult result;
   MilpStats& stats = result.stats;
+
+  // Final span args come from the stats as they stand at scope exit
+  // (destroyed before `span`, so the args land on the solve slice).
+  struct SpanStats {
+    obs::ScopedSpan& span;
+    const MilpStats& stats;
+    ~SpanStats() {
+      span.arg("nodes", stats.nodes_explored);
+      span.arg("lp_iterations", stats.lp_iterations);
+      span.arg("lazy_rows", static_cast<std::int64_t>(stats.lazy_rows_added));
+      span.arg("incumbents",
+               static_cast<std::int64_t>(stats.incumbents.size()));
+    }
+  } span_stats{span, stats};
 
   // Incumbent (internal minimize sense).
   double incumbent_obj = kInf;
@@ -92,11 +111,52 @@ MilpResult MilpSolver::solve() {
     }
     incumbent_obj = internal_obj;
     incumbent_x = std::move(x);
+    const double t = elapsed();
+    const double reported = sense_sign * incumbent_obj;
+    if (stats.first_incumbent_sec < 0) stats.first_incumbent_sec = t;
+    stats.incumbents.push_back({t, reported, stats.nodes_explored});
+    if (obs::enabled()) {
+      obs::instant("milp.incumbent", "milp",
+                   {{"objective", reported},
+                    {"nodes", stats.nodes_explored},
+                    {"t_sec", t}});
+    }
     if (options_.log) {
-      std::fprintf(stderr,
-                   "[milp] incumbent obj=%.6g nodes=%ld t=%.2fs\n",
-                   sense_sign * incumbent_obj, stats.nodes_explored,
-                   elapsed());
+      char buf[128];
+      std::snprintf(buf, sizeof buf, "incumbent obj=%.6g nodes=%ld t=%.2fs",
+                    reported, stats.nodes_explored, t);
+      obs::log_info("milp", buf);
+    }
+  };
+
+  // Gap-over-time samples: recorded on a 256-node cadence (and once at
+  // the end) while an incumbent and a finite bound exist. The cap bounds
+  // memory on pathological runs; obs mirrors each sample as counters.
+  auto record_gap = [&](double internal_bound) {
+    if (incumbent_x.empty() || internal_bound == -kInf) return;
+    if (stats.gap_timeline.size() >= 4096) return;
+    const double denom = std::max(1.0, std::abs(incumbent_obj));
+    GapSample s;
+    s.t_sec = elapsed();
+    s.gap = std::abs(incumbent_obj - internal_bound) / denom;
+    s.best_bound = sense_sign * internal_bound;
+    s.nodes = stats.nodes_explored;
+    stats.gap_timeline.push_back(s);
+    if (obs::enabled()) {
+      obs::Event e;
+      e.phase = obs::Phase::kCounter;
+      e.name = "milp.gap";
+      e.category = "milp";
+      e.ts_us = obs::now_us();
+      e.args.push_back({"value", s.gap});
+      obs::emit(std::move(e));
+      obs::Event n;
+      n.phase = obs::Phase::kCounter;
+      n.name = "milp.nodes";
+      n.category = "milp";
+      n.ts_us = e.ts_us;
+      n.args.push_back({"value", stats.nodes_explored});
+      obs::emit(std::move(n));
     }
   };
 
@@ -207,6 +267,13 @@ MilpResult MilpSolver::solve() {
     if (node.bound >= incumbent_obj - options_.abs_gap) continue;
 
     ++stats.nodes_explored;
+    if ((stats.nodes_explored & 0xFF) == 0) {
+      double global_bound = node.bound;
+      if (!open.empty()) {
+        global_bound = std::min(global_bound, open.top().node->bound);
+      }
+      record_gap(global_bound);
+    }
 
     // Re-solve loop: lazy rows/columns may be added while this node is
     // integral, so the variable count is refreshed per pass.
@@ -287,6 +354,12 @@ MilpResult MilpSolver::solve() {
           }
           std::vector<LazyRow> rows = lazy_(snapped);
           if (!rows.empty()) {
+            ++stats.separation_rounds;
+            if (obs::enabled()) {
+              obs::instant("milp.lazy_separation", "milp",
+                           {{"rows", static_cast<std::int64_t>(rows.size())},
+                            {"nodes", stats.nodes_explored}});
+            }
             for (LazyRow& r : rows) {
               model_.add_constraint(std::move(r.expr), r.sense, r.rhs,
                                     std::move(r.name));
@@ -341,6 +414,7 @@ MilpResult MilpSolver::solve() {
   if (plunge != nullptr) {
     best_open_bound = std::min(best_open_bound, plunge->bound);
   }
+  record_gap(best_open_bound);  // closing sample (gap 0 when proved)
   result.stats.wall_sec = elapsed();
   if (incumbent_x.empty()) {
     if (open.empty() && plunge == nullptr && bound_proof_intact) {

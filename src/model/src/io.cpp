@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
 
 namespace letdma::model {
@@ -212,6 +213,11 @@ std::unique_ptr<Application> read_application(const std::string& text) {
     app->set_acquisition_deadline(tasks_by_name.at(name), gamma);
   }
   app->finalize();
+  obs::log_debug("model",
+                 "parsed application: " + std::to_string(app->num_tasks()) +
+                     " tasks, " + std::to_string(app->num_labels()) +
+                     " labels, " +
+                     std::to_string(app->platform().num_cores()) + " cores");
   return app;
 }
 

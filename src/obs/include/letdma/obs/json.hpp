@@ -1,0 +1,26 @@
+// Minimal JSON writing helpers shared by the obs sinks, the simulator
+// trace export, and the bench metrics emitter. Writing only — the test
+// suite carries its own tiny reader for validation.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "letdma/obs/obs.hpp"
+
+namespace letdma::obs::json {
+
+/// Appends `s` as a quoted, escaped JSON string.
+void append_string(std::string& out, std::string_view s);
+
+/// Appends a finite double with round-trip precision; non-finite values
+/// (which JSON cannot represent) become null.
+void append_number(std::string& out, double v);
+
+/// Appends an ArgValue as the matching JSON scalar.
+void append_value(std::string& out, const ArgValue& v);
+
+/// Appends `{"k":v,...}` for an arg list (empty list -> `{}`).
+void append_args_object(std::string& out, const std::vector<Arg>& args);
+
+}  // namespace letdma::obs::json

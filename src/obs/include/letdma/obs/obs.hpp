@@ -1,0 +1,270 @@
+// letdma::obs — structured tracing, metrics, and logging for the whole
+// stack.
+//
+// Three independent facilities share one process-global Registry:
+//
+//   * Trace events. Spans (RAII ScopedSpan -> Chrome "complete" events),
+//     instants, and counter samples flow to attached Sinks. With no sink
+//     attached the emit path is a single relaxed atomic load; with
+//     LETDMA_OBS_ENABLED=0 (CMake -DLETDMA_ENABLE_TRACING=OFF) it compiles
+//     out entirely.
+//   * Counters. Always-on monotonic accumulators (lock-free after first
+//     registration) that benches and tests can read back; `sample()`
+//     additionally publishes the current value as a trace event.
+//   * Logging. Leveled, category-tagged diagnostics in one consistent
+//     format. Delivered to sinks that opt in (`wants_logs()`), falling
+//     back to stderr when none is attached, so library code never prints
+//     ad hoc. Logging stays functional when tracing is compiled out.
+//
+// Sinks are provided in sinks.hpp: StderrLogSink (human-readable),
+// JsonlMetricsSink (one JSON object per line), and ChromeTraceSink
+// (trace-event JSON loadable in Perfetto / chrome://tracing).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#ifndef LETDMA_OBS_ENABLED
+#define LETDMA_OBS_ENABLED 1
+#endif
+
+namespace letdma::obs {
+
+enum class Level { kDebug = 0, kInfo, kWarn, kError };
+
+/// One-letter tag used by the textual renderings ("D", "I", "W", "E").
+const char* level_tag(Level level);
+
+using ArgValue = std::variant<std::int64_t, double, bool, std::string>;
+
+struct Arg {
+  std::string key;
+  ArgValue value;
+};
+
+enum class Phase {
+  kComplete,  // a span with a start and a duration
+  kInstant,   // a point event
+  kCounter,   // a sampled counter value (in args["value"])
+  kLog,       // a log line (level + message in args["message"])
+};
+
+/// A single observation. Timestamps are microseconds; trace events use
+/// the registry's wall clock (us since process start) unless the emitter
+/// overrides `ts_us` with a domain clock (the simulator uses simulated
+/// time on its own track group).
+struct Event {
+  Phase phase = Phase::kInstant;
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;
+  double dur_us = 0.0;  // complete events only
+  int track = 0;        // registry track id (maps to pid/tid in sinks)
+  Level level = Level::kInfo;
+  std::vector<Arg> args;
+};
+
+/// Consumer of events. `consume` is serialized by the Registry, but sinks
+/// used directly (tests, tools) should be internally thread-safe.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void consume(const Event& event) = 0;
+  virtual void flush() {}
+  /// Log-phase events are delivered only to sinks that opt in.
+  virtual bool wants_logs() const { return false; }
+};
+
+/// A named timeline. Track 0 is the default "letdma" track (pid 0);
+/// the simulator registers per-core tracks under pid 1 ("simulation") so
+/// wall-clock and simulated-time events do not interleave in viewers.
+struct TrackInfo {
+  int id = 0;
+  std::string name;
+  int pid = 0;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  // --- trace sinks --------------------------------------------------------
+  void attach(std::shared_ptr<Sink> sink);
+  void detach(const std::shared_ptr<Sink>& sink);
+  /// True when at least one sink is attached (single relaxed load).
+  bool tracing_active() const {
+    return sink_count_.load(std::memory_order_relaxed) > 0;
+  }
+  void emit(Event event);
+
+  // --- clock --------------------------------------------------------------
+  /// Microseconds of wall time since the registry was created.
+  double now_us() const;
+
+  // --- tracks -------------------------------------------------------------
+  /// Returns the id for `name`, registering it on first use.
+  int track(const std::string& name, int pid = 0);
+  std::vector<TrackInfo> tracks() const;
+
+  // --- counters -----------------------------------------------------------
+  /// Monotonic add; the counter is created on first use. Counters are
+  /// always live (independent of sinks) so code can assert on them.
+  void counter_add(const std::string& name, std::int64_t delta);
+  std::int64_t counter_value(const std::string& name) const;
+  std::vector<std::pair<std::string, std::int64_t>> counters() const;
+  /// Zeroes every counter (test isolation; ids/names stay registered).
+  void reset_counters();
+  /// Emits the counter's current value as a kCounter trace event.
+  void sample_counter(const std::string& name);
+
+  // --- logging ------------------------------------------------------------
+  void set_log_threshold(Level level);
+  Level log_threshold() const;
+  /// Routes to log-accepting sinks; falls back to stderr ("[letdma] T
+  /// <category>: <message>" with T the level tag) when none is attached.
+  void log(Level level, std::string_view category, std::string_view message);
+
+  /// Pointer to the counter cell for `name` (stable for process lifetime).
+  std::atomic<std::int64_t>* counter_cell(const std::string& name);
+
+ private:
+  Registry();
+  struct Impl;
+  Impl* impl_;  // leaked singleton state; never destroyed
+  std::atomic<int> sink_count_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Free-function convenience layer (what instrumentation sites call).
+// ---------------------------------------------------------------------------
+
+inline bool enabled() {
+#if LETDMA_OBS_ENABLED
+  return Registry::instance().tracing_active();
+#else
+  return false;
+#endif
+}
+
+inline double now_us() { return Registry::instance().now_us(); }
+
+inline void emit(Event event) {
+#if LETDMA_OBS_ENABLED
+  Registry::instance().emit(std::move(event));
+#else
+  (void)event;
+#endif
+}
+
+/// Emits an instant event (no-op without sinks / when compiled out).
+inline void instant(std::string name, std::string category,
+                    std::vector<Arg> args = {}, int track = 0) {
+#if LETDMA_OBS_ENABLED
+  if (!enabled()) return;
+  Event e;
+  e.phase = Phase::kInstant;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.ts_us = Registry::instance().now_us();
+  e.track = track;
+  e.args = std::move(args);
+  Registry::instance().emit(std::move(e));
+#else
+  (void)name;
+  (void)category;
+  (void)args;
+  (void)track;
+#endif
+}
+
+inline void log(Level level, std::string_view category,
+                std::string_view message) {
+  Registry::instance().log(level, category, message);
+}
+inline void log_debug(std::string_view cat, std::string_view msg) {
+  log(Level::kDebug, cat, msg);
+}
+inline void log_info(std::string_view cat, std::string_view msg) {
+  log(Level::kInfo, cat, msg);
+}
+inline void log_warn(std::string_view cat, std::string_view msg) {
+  log(Level::kWarn, cat, msg);
+}
+inline void log_error(std::string_view cat, std::string_view msg) {
+  log(Level::kError, cat, msg);
+}
+
+/// Always-on monotonic counter with a lock-free hot path. Intended use:
+///
+///   static obs::Counter builds("let.greedy.builds");
+///   builds.add();
+class Counter {
+ public:
+  explicit Counter(const std::string& name)
+      : cell_(Registry::instance().counter_cell(name)) {}
+  void add(std::int64_t delta = 1) {
+    cell_->fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return cell_->load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t>* cell_;
+};
+
+/// RAII span: emits a Chrome "complete" event covering its lifetime.
+/// Construction snapshots the clock only when a sink is attached; a span
+/// armed at construction still emits even if sinks detach first (the
+/// registry drops events with no consumer).
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string name, std::string category, int track = 0) {
+#if LETDMA_OBS_ENABLED
+    if (!enabled()) return;
+    armed_ = true;
+    event_.phase = Phase::kComplete;
+    event_.name = std::move(name);
+    event_.category = std::move(category);
+    event_.track = track;
+    event_.ts_us = Registry::instance().now_us();
+#else
+    (void)name;
+    (void)category;
+    (void)track;
+#endif
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a key/value to the span (shown under "args" in viewers).
+  void arg(std::string key, ArgValue value) {
+#if LETDMA_OBS_ENABLED
+    if (armed_) event_.args.push_back({std::move(key), std::move(value)});
+#else
+    (void)key;
+    (void)value;
+#endif
+  }
+
+  ~ScopedSpan() {
+#if LETDMA_OBS_ENABLED
+    if (!armed_) return;
+    event_.dur_us = Registry::instance().now_us() - event_.ts_us;
+    Registry::instance().emit(std::move(event_));
+#endif
+  }
+
+ private:
+#if LETDMA_OBS_ENABLED
+  Event event_;
+  bool armed_ = false;
+#endif
+};
+
+}  // namespace letdma::obs

@@ -1,0 +1,74 @@
+// Event sinks: human-readable stderr logging, JSONL metrics, and Chrome
+// trace-event JSON (Perfetto / chrome://tracing).
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "letdma/obs/obs.hpp"
+
+namespace letdma::obs {
+
+/// Renders every event (including logs) as one stderr line in the same
+/// format the registry's fallback logger uses, e.g.
+///   [letdma +12.3ms] I milp: incumbent obj=16 nodes=4
+///   [letdma +40.1ms] span let.milp.solve (27.7ms) vars=812
+/// Attach one to see the full event stream while debugging.
+class StderrLogSink : public Sink {
+ public:
+  explicit StderrLogSink(Level threshold = Level::kDebug)
+      : threshold_(threshold) {}
+  void consume(const Event& event) override;
+  bool wants_logs() const override { return true; }
+
+ private:
+  Level threshold_;
+  std::mutex mutex_;
+};
+
+/// One JSON object per event per line — the machine-readable metrics
+/// stream benches append to. Log events are included (they carry the
+/// level under "level").
+class JsonlMetricsSink : public Sink {
+ public:
+  /// Appends to `path` ("a" mode); throws support::PreconditionError when
+  /// the file cannot be opened.
+  explicit JsonlMetricsSink(const std::string& path);
+  /// Writes to a caller-owned stream (tests).
+  explicit JsonlMetricsSink(std::ostream& out);
+  ~JsonlMetricsSink() override;
+
+  void consume(const Event& event) override;
+  void flush() override;
+  bool wants_logs() const override { return true; }
+
+ private:
+  std::FILE* file_ = nullptr;   // owned, used for the path constructor
+  std::ostream* stream_ = nullptr;
+  std::mutex mutex_;
+};
+
+/// Buffers events and serializes them as Chrome trace-event JSON:
+/// `{"traceEvents":[...]}` with process/thread metadata derived from the
+/// registry's track table. Complete events become "X" slices, instants
+/// "i", counters "C"; log events are rendered as instants on their track
+/// so they show up in context.
+class ChromeTraceSink : public Sink {
+ public:
+  void consume(const Event& event) override;
+  bool wants_logs() const override { return true; }
+
+  std::size_t size() const;
+  void write(std::ostream& out) const;
+  /// Returns false (and logs an error) when the file cannot be written.
+  bool write_file(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+}  // namespace letdma::obs

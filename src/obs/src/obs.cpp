@@ -1,0 +1,201 @@
+#include "letdma/obs/obs.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+
+namespace letdma::obs {
+
+const char* level_tag(Level level) {
+  switch (level) {
+    case Level::kDebug: return "D";
+    case Level::kInfo: return "I";
+    case Level::kWarn: return "W";
+    case Level::kError: return "E";
+  }
+  return "?";
+}
+
+struct Registry::Impl {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point epoch = Clock::now();
+
+  mutable std::mutex mutex;
+  std::vector<std::shared_ptr<Sink>> sinks;
+  bool any_log_sink = false;
+
+  // Counter cells live in a deque so pointers stay stable forever.
+  std::deque<std::atomic<std::int64_t>> cells;
+  std::map<std::string, std::atomic<std::int64_t>*> counters;
+
+  std::vector<TrackInfo> tracks;
+  std::map<std::string, int> track_ids;
+
+  std::atomic<int> log_threshold{static_cast<int>(Level::kInfo)};
+};
+
+Registry::Registry() : impl_(new Impl) {
+  // Track 0 always exists: the process-wide default timeline.
+  impl_->tracks.push_back({0, "letdma", 0});
+  impl_->track_ids.emplace("letdma", 0);
+}
+
+Registry& Registry::instance() {
+  // Leaked on purpose: instrumentation may run during static destruction.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+void Registry::attach(std::shared_ptr<Sink> sink) {
+  if (sink == nullptr) return;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->sinks.push_back(std::move(sink));
+  impl_->any_log_sink = false;
+  for (const auto& s : impl_->sinks) {
+    if (s->wants_logs()) impl_->any_log_sink = true;
+  }
+  sink_count_.store(static_cast<int>(impl_->sinks.size()),
+                    std::memory_order_relaxed);
+}
+
+void Registry::detach(const std::shared_ptr<Sink>& sink) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& sinks = impl_->sinks;
+  for (auto it = sinks.begin(); it != sinks.end(); ++it) {
+    if (*it == sink) {
+      (*it)->flush();
+      sinks.erase(it);
+      break;
+    }
+  }
+  impl_->any_log_sink = false;
+  for (const auto& s : sinks) {
+    if (s->wants_logs()) impl_->any_log_sink = true;
+  }
+  sink_count_.store(static_cast<int>(sinks.size()),
+                    std::memory_order_relaxed);
+}
+
+void Registry::emit(Event event) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& sink : impl_->sinks) sink->consume(event);
+}
+
+double Registry::now_us() const {
+  return std::chrono::duration<double, std::micro>(Impl::Clock::now() -
+                                                   impl_->epoch)
+      .count();
+}
+
+int Registry::track(const std::string& name, int pid) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->track_ids.find(name);
+  if (it != impl_->track_ids.end()) return it->second;
+  const int id = static_cast<int>(impl_->tracks.size());
+  impl_->tracks.push_back({id, name, pid});
+  impl_->track_ids.emplace(name, id);
+  return id;
+}
+
+std::vector<TrackInfo> Registry::tracks() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->tracks;
+}
+
+std::atomic<std::int64_t>* Registry::counter_cell(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->counters.find(name);
+  if (it != impl_->counters.end()) return it->second;
+  impl_->cells.emplace_back(0);
+  std::atomic<std::int64_t>* cell = &impl_->cells.back();
+  impl_->counters.emplace(name, cell);
+  return cell;
+}
+
+void Registry::counter_add(const std::string& name, std::int64_t delta) {
+  counter_cell(name)->fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::int64_t Registry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) return 0;
+  return it->second->load(std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(impl_->counters.size());
+  for (const auto& [name, cell] : impl_->counters) {
+    out.emplace_back(name, cell->load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void Registry::reset_counters() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& [name, cell] : impl_->counters) {
+    (void)name;
+    cell->store(0, std::memory_order_relaxed);
+  }
+}
+
+void Registry::sample_counter(const std::string& name) {
+  if (!tracing_active()) return;
+  Event e;
+  e.phase = Phase::kCounter;
+  e.name = name;
+  e.category = "counter";
+  e.ts_us = now_us();
+  e.args.push_back({"value", counter_value(name)});
+  emit(std::move(e));
+}
+
+void Registry::set_log_threshold(Level level) {
+  impl_->log_threshold.store(static_cast<int>(level),
+                             std::memory_order_relaxed);
+}
+
+Level Registry::log_threshold() const {
+  return static_cast<Level>(
+      impl_->log_threshold.load(std::memory_order_relaxed));
+}
+
+void Registry::log(Level level, std::string_view category,
+                   std::string_view message) {
+  if (static_cast<int>(level) <
+      impl_->log_threshold.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const double ts = now_us();
+  bool delivered = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->any_log_sink) {
+      Event e;
+      e.phase = Phase::kLog;
+      e.name = std::string(category);
+      e.category = std::string(category);
+      e.level = level;
+      e.ts_us = ts;
+      e.args.push_back({"message", std::string(message)});
+      for (const auto& sink : impl_->sinks) {
+        if (sink->wants_logs()) {
+          sink->consume(e);
+          delivered = true;
+        }
+      }
+    }
+  }
+  if (!delivered) {
+    std::fprintf(stderr, "[letdma +%.1fms] %s %.*s: %.*s\n", ts / 1000.0,
+                 level_tag(level), static_cast<int>(category.size()),
+                 category.data(), static_cast<int>(message.size()),
+                 message.data());
+  }
+}
+
+}  // namespace letdma::obs

@@ -1,0 +1,332 @@
+#include "letdma/obs/sinks.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "letdma/obs/json.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::obs {
+
+namespace json {
+
+void append_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_value(std::string& out, const ArgValue& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRId64, *i);
+    out += buf;
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    append_number(out, *d);
+  } else if (const auto* b = std::get_if<bool>(&v)) {
+    out += *b ? "true" : "false";
+  } else {
+    append_string(out, std::get<std::string>(v));
+  }
+}
+
+void append_args_object(std::string& out, const std::vector<Arg>& args) {
+  out.push_back('{');
+  bool first = true;
+  for (const Arg& a : args) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_string(out, a.key);
+    out.push_back(':');
+    append_value(out, a.value);
+  }
+  out.push_back('}');
+}
+
+}  // namespace json
+
+namespace {
+
+std::string render_arg_value(const ArgValue& v) {
+  std::string out;
+  if (const auto* s = std::get_if<std::string>(&v)) {
+    out = *s;
+  } else {
+    json::append_value(out, v);
+  }
+  return out;
+}
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kComplete: return "span";
+    case Phase::kInstant: return "instant";
+    case Phase::kCounter: return "counter";
+    case Phase::kLog: return "log";
+  }
+  return "?";
+}
+
+}  // namespace
+
+// --- StderrLogSink ---------------------------------------------------------
+
+void StderrLogSink::consume(const Event& event) {
+  if (event.phase == Phase::kLog &&
+      static_cast<int>(event.level) < static_cast<int>(threshold_)) {
+    return;
+  }
+  std::string line;
+  char head[64];
+  std::snprintf(head, sizeof head, "[letdma +%.1fms] ", event.ts_us / 1000.0);
+  line += head;
+  switch (event.phase) {
+    case Phase::kLog: {
+      line += level_tag(event.level);
+      line += ' ';
+      line += event.category;
+      line += ':';
+      for (const Arg& a : event.args) {
+        if (a.key == "message") {
+          line += ' ';
+          line += render_arg_value(a.value);
+        }
+      }
+      break;
+    }
+    case Phase::kComplete: {
+      char dur[40];
+      std::snprintf(dur, sizeof dur, " (%.3gms)", event.dur_us / 1000.0);
+      line += "span ";
+      line += event.name;
+      line += dur;
+      for (const Arg& a : event.args) {
+        line += ' ';
+        line += a.key;
+        line += '=';
+        line += render_arg_value(a.value);
+      }
+      break;
+    }
+    case Phase::kInstant:
+    case Phase::kCounter: {
+      line += phase_name(event.phase);
+      line += ' ';
+      line += event.name;
+      for (const Arg& a : event.args) {
+        line += ' ';
+        line += a.key;
+        line += '=';
+        line += render_arg_value(a.value);
+      }
+      break;
+    }
+  }
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+// --- JsonlMetricsSink ------------------------------------------------------
+
+JsonlMetricsSink::JsonlMetricsSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "a")) {
+  if (file_ == nullptr) {
+    throw support::PreconditionError("cannot open metrics file " + path);
+  }
+}
+
+JsonlMetricsSink::JsonlMetricsSink(std::ostream& out) : stream_(&out) {}
+
+JsonlMetricsSink::~JsonlMetricsSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlMetricsSink::consume(const Event& event) {
+  std::string line = "{\"type\":\"";
+  line += phase_name(event.phase);
+  line += "\",\"name\":";
+  json::append_string(line, event.name);
+  line += ",\"cat\":";
+  json::append_string(line, event.category);
+  line += ",\"ts_us\":";
+  json::append_number(line, event.ts_us);
+  if (event.phase == Phase::kComplete) {
+    line += ",\"dur_us\":";
+    json::append_number(line, event.dur_us);
+  }
+  if (event.phase == Phase::kLog) {
+    line += ",\"level\":\"";
+    line += level_tag(event.level);
+    line += '"';
+  }
+  if (!event.args.empty()) {
+    line += ",\"args\":";
+    json::append_args_object(line, event.args);
+  }
+  line += "}\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fwrite(line.data(), 1, line.size(), file_);
+  } else {
+    stream_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  }
+}
+
+void JsonlMetricsSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fflush(file_);
+  } else {
+    stream_->flush();
+  }
+}
+
+// --- ChromeTraceSink -------------------------------------------------------
+
+void ChromeTraceSink::consume(const Event& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+std::size_t ChromeTraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void ChromeTraceSink::write(std::ostream& out) const {
+  const std::vector<TrackInfo> tracks = Registry::instance().tracks();
+  std::string body = "{\"traceEvents\":[\n";
+  bool first = true;
+  auto begin_record = [&] {
+    if (!first) body += ",\n";
+    first = false;
+  };
+
+  // Process/thread metadata so Perfetto labels the tracks. Wall-clock
+  // events (pid 0) and simulated-time events (other pids) become separate
+  // process groups and never share a timeline.
+  std::vector<int> pids;
+  for (const TrackInfo& t : tracks) {
+    bool seen = false;
+    for (const int p : pids) seen = seen || p == t.pid;
+    if (!seen) pids.push_back(t.pid);
+  }
+  for (const int pid : pids) {
+    begin_record();
+    body += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+            std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":";
+    json::append_string(body, pid == 0 ? "letdma" : "simulation");
+    body += "}}";
+  }
+  for (const TrackInfo& t : tracks) {
+    begin_record();
+    body += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+            std::to_string(t.pid) + ",\"tid\":" + std::to_string(t.id) +
+            ",\"args\":{\"name\":";
+    json::append_string(body, t.name);
+    body += "}}";
+  }
+
+  auto pid_of = [&](int track) {
+    for (const TrackInfo& t : tracks) {
+      if (t.id == track) return t.pid;
+    }
+    return 0;
+  };
+
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+  }
+  for (const Event& e : events) {
+    begin_record();
+    body += "{\"name\":";
+    json::append_string(body, e.phase == Phase::kLog
+                                  ? ("log:" + e.category)
+                                  : e.name);
+    body += ",\"cat\":";
+    json::append_string(body, e.category.empty() ? "letdma" : e.category);
+    body += ",\"ph\":\"";
+    switch (e.phase) {
+      case Phase::kComplete: body += 'X'; break;
+      case Phase::kCounter: body += 'C'; break;
+      case Phase::kInstant:
+      case Phase::kLog: body += 'i'; break;
+    }
+    body += "\",\"ts\":";
+    json::append_number(body, e.ts_us);
+    if (e.phase == Phase::kComplete) {
+      body += ",\"dur\":";
+      json::append_number(body, e.dur_us);
+    }
+    if (e.phase == Phase::kInstant || e.phase == Phase::kLog) {
+      body += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    body += ",\"pid\":" + std::to_string(pid_of(e.track)) +
+            ",\"tid\":" + std::to_string(e.track);
+    if (!e.args.empty() || e.phase == Phase::kLog) {
+      body += ",\"args\":";
+      if (e.phase == Phase::kLog) {
+        std::vector<Arg> args = e.args;
+        args.push_back({"level", std::string(level_tag(e.level))});
+        json::append_args_object(body, args);
+      } else {
+        json::append_args_object(body, e.args);
+      }
+    }
+    body += "}";
+  }
+  body += "\n]}\n";
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+}
+
+bool ChromeTraceSink::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    Registry::instance().log(Level::kError, "obs",
+                             "cannot write trace file " + path);
+    return false;
+  }
+  std::string buffer;
+  {
+    std::ostringstream os;
+    write(os);
+    buffer = os.str();
+  }
+  std::fwrite(buffer.data(), 1, buffer.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace letdma::obs

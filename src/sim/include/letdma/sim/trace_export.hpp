@@ -1,0 +1,31 @@
+// Chrome trace-event export of a simulation: the Fig.-1 schedule as
+// Perfetto-loadable slices instead of an 80-column ASCII Gantt.
+//
+// Spans are placed on per-core tracks ("P1".."Pn") plus one "DMA" track,
+// all registered under the "simulation" process group (pid 1) so their
+// simulated-time timestamps never interleave with the wall-clock events
+// of the solver. Task executions become slices named after the task, LET
+// machinery windows become "LET" slices, DMA copies become "copy"
+// slices, and deadline misses appear as instant markers on the task's
+// core track.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "letdma/sim/simulator.hpp"
+
+namespace letdma::sim {
+
+/// Emits the spans of `result` into the global obs registry (visible to
+/// every attached sink). No-op when tracing is compiled out or no sink
+/// is attached.
+void emit_trace_events(const model::Application& app, const SimResult& result);
+
+/// Standalone convenience: renders one simulation as a complete Chrome
+/// trace JSON document (attaches a temporary sink around
+/// emit_trace_events).
+std::string chrome_trace_json(const model::Application& app,
+                              const SimResult& result);
+
+}  // namespace letdma::sim

@@ -1,0 +1,82 @@
+#include "letdma/sim/trace_export.hpp"
+
+#include <sstream>
+
+#include "letdma/obs/obs.hpp"
+#include "letdma/obs/sinks.hpp"
+
+namespace letdma::sim {
+namespace {
+
+constexpr int kSimPid = 1;
+
+obs::Event span_event(std::string name, std::string category, int track,
+                      Time start, Time end) {
+  obs::Event e;
+  e.phase = obs::Phase::kComplete;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.track = track;
+  e.ts_us = support::to_us(start);
+  e.dur_us = support::to_us(end - start);
+  return e;
+}
+
+}  // namespace
+
+void emit_trace_events(const model::Application& app,
+                       const SimResult& result) {
+  if (!obs::enabled()) return;
+  obs::Registry& reg = obs::Registry::instance();
+
+  const int cores = app.platform().num_cores();
+  std::vector<int> core_track(static_cast<std::size_t>(cores));
+  for (int c = 0; c < cores; ++c) {
+    core_track[static_cast<std::size_t>(c)] =
+        reg.track("P" + std::to_string(c + 1), kSimPid);
+  }
+  const int dma_track = reg.track("DMA", kSimPid);
+
+  for (const ExecSpan& s : result.exec_spans) {
+    obs::Event e = span_event(app.task(model::TaskId{s.task}).name,
+                              "sim.exec",
+                              core_track[static_cast<std::size_t>(s.core)],
+                              s.start, s.end);
+    e.args.push_back({"task", static_cast<std::int64_t>(s.task)});
+    reg.emit(std::move(e));
+  }
+  for (const LetSpan& s : result.let_spans) {
+    reg.emit(span_event("LET", "sim.let",
+                        core_track[static_cast<std::size_t>(s.core)], s.start,
+                        s.end));
+  }
+  for (const DmaSpan& s : result.dma_spans) {
+    reg.emit(span_event("copy", "sim.dma", dma_track, s.start, s.end));
+  }
+  for (const JobRecord& job : result.jobs) {
+    if (!job.deadline_miss) continue;
+    const model::Task& t = app.task(model::TaskId{job.task});
+    obs::Event e;
+    e.phase = obs::Phase::kInstant;
+    e.name = "deadline_miss:" + t.name;
+    e.category = "sim";
+    e.track = core_track[static_cast<std::size_t>(t.core.value)];
+    e.ts_us = support::to_us(job.finish);
+    e.args.push_back({"release", support::to_us(job.release)});
+    reg.emit(std::move(e));
+  }
+}
+
+std::string chrome_trace_json(const model::Application& app,
+                              const SimResult& result) {
+  auto sink = std::make_shared<obs::ChromeTraceSink>();
+  obs::Registry& reg = obs::Registry::instance();
+  reg.attach(sink);
+  emit_trace_events(app, result);
+  reg.detach(sink);
+  std::ostringstream os;
+  sink->write(os);
+  return os.str();
+}
+
+}  // namespace letdma::sim

@@ -1,0 +1,298 @@
+// End-to-end checks of the Chrome trace-event export: the JSON must
+// parse, and the tracks/events a Perfetto user relies on must be present
+// for (a) a simulated WATERS schedule and (b) a MILP solve.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "letdma/let/greedy.hpp"
+#include "letdma/let/milp_scheduler.hpp"
+#include "letdma/obs/obs.hpp"
+#include "letdma/obs/sinks.hpp"
+#include "letdma/sim/simulator.hpp"
+#include "letdma/sim/trace_export.hpp"
+#include "letdma/waters/waters.hpp"
+
+namespace letdma {
+namespace {
+
+// --- minimal JSON parser (enough for trace-event files) --------------------
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  void fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    pos_ = text_.size();  // unwind
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return '\0';
+    }
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  JsonValue value() {
+    skip_ws();
+    JsonValue v;
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return v;
+    }
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      v.kind = JsonValue::kString;
+      v.str = string();
+      return v;
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      v.kind = JsonValue::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      v.kind = JsonValue::kBool;
+      return v;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return v;
+    }
+    // number
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("unexpected character");
+      return v;
+    }
+    v.kind = JsonValue::kNumber;
+    v.number = std::atof(text_.substr(start, pos_ - start).c_str());
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u':
+            out.push_back('?');  // escaped control char; value irrelevant here
+            pos_ += 4;
+            break;
+          default: out.push_back(esc); break;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::kObject;
+    expect('{');
+    if (consume('}')) return v;
+    do {
+      skip_ws();
+      std::string key = string();
+      expect(':');
+      v.object.emplace(std::move(key), value());
+    } while (consume(','));
+    expect('}');
+    return v;
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::kArray;
+    expect('[');
+    if (consume(']')) return v;
+    do {
+      v.array.push_back(value());
+    } while (consume(','));
+    expect(']');
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+JsonValue parse_trace_or_die(const std::string& json) {
+  JsonParser parser(json);
+  JsonValue root = parser.parse();
+  EXPECT_TRUE(parser.ok()) << parser.error();
+  EXPECT_EQ(root.kind, JsonValue::kObject);
+  return root;
+}
+
+TEST(ChromeTrace, WatersSimulationHasPerCoreAndDmaTracks) {
+  if (!LETDMA_OBS_ENABLED) GTEST_SKIP() << "tracing compiled out";
+  const auto app = waters::make_waters_app();
+  let::LetComms comms(*app);
+  const let::ScheduleResult schedule =
+      let::GreedyScheduler::best_transfer_count(comms);
+  sim::ProtocolSimulator simulator(comms, &schedule.schedule, {});
+  const std::string json = sim::chrome_trace_json(*app, simulator.run());
+
+  const JsonValue root = parse_trace_or_die(json);
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::kArray);
+  ASSERT_FALSE(events->array.empty());
+
+  // Track metadata: one thread per core plus the DMA engine, all in the
+  // simulation process.
+  std::set<std::string> names;
+  int sim_pid = -1;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.find("ph");
+    const JsonValue* name = e.find("name");
+    if (ph == nullptr || name == nullptr || ph->str != "M") continue;
+    if (name->str == "thread_name") {
+      names.insert(e.find("args")->find("name")->str);
+      sim_pid = static_cast<int>(e.find("pid")->number);
+    }
+  }
+  const int cores = app->platform().num_cores();
+  for (int c = 0; c < cores; ++c) {
+    EXPECT_TRUE(names.count("P" + std::to_string(c + 1)))
+        << "missing per-core track P" << (c + 1);
+  }
+  EXPECT_TRUE(names.count("DMA"));
+
+  // Slices: every category must be represented and every slice must carry
+  // the complete-event fields Perfetto needs.
+  std::map<std::string, int> by_cat;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr || ph->str != "X") continue;
+    ASSERT_NE(e.find("ts"), nullptr);
+    ASSERT_NE(e.find("dur"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    EXPECT_GE(e.find("dur")->number, 0.0);
+    EXPECT_EQ(static_cast<int>(e.find("pid")->number), sim_pid);
+    by_cat[e.find("cat")->str]++;
+  }
+  EXPECT_GT(by_cat["sim.exec"], 0);
+  EXPECT_GT(by_cat["sim.let"], 0);
+  EXPECT_GT(by_cat["sim.dma"], 0);
+}
+
+TEST(ChromeTrace, MilpSolveEmitsPhaseSpansAndIncumbents) {
+  if (!LETDMA_OBS_ENABLED) GTEST_SKIP() << "tracing compiled out";
+  auto sink = std::make_shared<obs::ChromeTraceSink>();
+  obs::Registry::instance().attach(sink);
+
+  const auto app = waters::make_waters_app();
+  let::LetComms comms(*app);
+  let::MilpSchedulerOptions opt;
+  opt.objective = let::MilpObjective::kMinTransfers;
+  opt.solver.time_limit_sec = 5.0;
+  const auto r = let::MilpScheduler(comms, opt).solve();
+  obs::Registry::instance().detach(sink);
+  ASSERT_TRUE(r.feasible());
+
+  std::ostringstream os;
+  sink->write(os);
+  const JsonValue root = parse_trace_or_die(os.str());
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::set<std::string> spans;
+  int incumbents = 0;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.find("ph");
+    const JsonValue* name = e.find("name");
+    if (ph == nullptr || name == nullptr) continue;
+    if (ph->str == "X") spans.insert(name->str);
+    if (ph->str == "i" && name->str == "milp.incumbent") ++incumbents;
+  }
+  EXPECT_TRUE(spans.count("let.milp.build"));
+  EXPECT_TRUE(spans.count("milp.solve"));
+  EXPECT_TRUE(spans.count("let.milp.extract"));
+  EXPECT_GE(incumbents, 1) << "warm start must record an incumbent event";
+}
+
+}  // namespace
+}  // namespace letdma

@@ -1,0 +1,275 @@
+#include "letdma/obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "letdma/obs/sinks.hpp"
+
+namespace letdma::obs {
+namespace {
+
+/// Records every event it sees; optionally opts into log delivery.
+class CaptureSink : public Sink {
+ public:
+  explicit CaptureSink(bool wants_logs = false) : wants_logs_(wants_logs) {}
+
+  void consume(const Event& event) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(event);
+  }
+  bool wants_logs() const override { return wants_logs_; }
+
+  std::vector<Event> events() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+  }
+  std::size_t count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  bool wants_logs_;
+};
+
+/// Attaches a sink for the scope of a test and detaches it afterwards so
+/// the process-global registry stays clean for the next test.
+class ScopedSink {
+ public:
+  explicit ScopedSink(std::shared_ptr<Sink> sink) : sink_(std::move(sink)) {
+    Registry::instance().attach(sink_);
+  }
+  ~ScopedSink() { Registry::instance().detach(sink_); }
+
+ private:
+  std::shared_ptr<Sink> sink_;
+};
+
+TEST(ObsRegistry, CountersAccumulateAndReset) {
+  Registry& reg = Registry::instance();
+  reg.reset_counters();
+  reg.counter_add("test.counter.a", 3);
+  reg.counter_add("test.counter.a", 4);
+  reg.counter_add("test.counter.b", 1);
+  EXPECT_EQ(reg.counter_value("test.counter.a"), 7);
+  EXPECT_EQ(reg.counter_value("test.counter.b"), 1);
+  EXPECT_EQ(reg.counter_value("test.counter.unregistered"), 0);
+
+  bool saw_a = false;
+  for (const auto& [name, value] : reg.counters()) {
+    if (name == "test.counter.a") {
+      saw_a = true;
+      EXPECT_EQ(value, 7);
+    }
+  }
+  EXPECT_TRUE(saw_a);
+
+  reg.reset_counters();
+  EXPECT_EQ(reg.counter_value("test.counter.a"), 0);
+}
+
+TEST(ObsRegistry, CounterClassSharesTheNamedCell) {
+  Registry& reg = Registry::instance();
+  reg.reset_counters();
+  Counter c1("test.counter.shared");
+  Counter c2("test.counter.shared");
+  c1.add(5);
+  c2.add(2);
+  EXPECT_EQ(c1.value(), 7);
+  EXPECT_EQ(reg.counter_value("test.counter.shared"), 7);
+}
+
+TEST(ObsRegistry, CountersWorkWithoutAnySink) {
+  // Counters are independent of tracing: no sink, no LETDMA_OBS_ENABLED
+  // requirement.
+  Registry& reg = Registry::instance();
+  reg.reset_counters();
+  reg.counter_add("test.counter.nosink", 1);
+  EXPECT_EQ(reg.counter_value("test.counter.nosink"), 1);
+}
+
+TEST(ObsRegistry, TracksAreStableByName) {
+  Registry& reg = Registry::instance();
+  const int a = reg.track("test.track.alpha", 7);
+  const int b = reg.track("test.track.beta", 7);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.track("test.track.alpha", 7), a);
+  bool found = false;
+  for (const TrackInfo& t : reg.tracks()) {
+    if (t.id == a) {
+      found = true;
+      EXPECT_EQ(t.name, "test.track.alpha");
+      EXPECT_EQ(t.pid, 7);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsRegistry, AttachDetachTogglesTracingActive) {
+  if (!LETDMA_OBS_ENABLED) GTEST_SKIP() << "tracing compiled out";
+  Registry& reg = Registry::instance();
+  ASSERT_FALSE(reg.tracing_active()) << "leftover sink from another test";
+  auto sink = std::make_shared<CaptureSink>();
+  reg.attach(sink);
+  EXPECT_TRUE(reg.tracing_active());
+  EXPECT_TRUE(enabled());
+  reg.detach(sink);
+  EXPECT_FALSE(reg.tracing_active());
+  EXPECT_FALSE(enabled());
+}
+
+TEST(ObsRegistry, InstantIsDroppedWithoutSink) {
+  if (!LETDMA_OBS_ENABLED) GTEST_SKIP() << "tracing compiled out";
+  Registry& reg = Registry::instance();
+  ASSERT_FALSE(reg.tracing_active());
+  instant("test.orphan", "test");  // must not crash or leak anywhere
+  auto sink = std::make_shared<CaptureSink>();
+  ScopedSink scope(sink);
+  EXPECT_EQ(sink->count(), 0u) << "pre-attach events must not be buffered";
+}
+
+TEST(ObsScopedSpan, EmitsCompleteEventWithArgs) {
+  if (!LETDMA_OBS_ENABLED) GTEST_SKIP() << "tracing compiled out";
+  auto sink = std::make_shared<CaptureSink>();
+  ScopedSink scope(sink);
+  {
+    ScopedSpan span("test.span", "test");
+    span.arg("answer", std::int64_t{42});
+  }
+  const auto events = sink->events();
+  ASSERT_EQ(events.size(), 1u);
+  const Event& e = events[0];
+  EXPECT_EQ(e.phase, Phase::kComplete);
+  EXPECT_EQ(e.name, "test.span");
+  EXPECT_EQ(e.category, "test");
+  EXPECT_GE(e.dur_us, 0.0);
+  ASSERT_EQ(e.args.size(), 1u);
+  EXPECT_EQ(e.args[0].key, "answer");
+  EXPECT_EQ(std::get<std::int64_t>(e.args[0].value), 42);
+}
+
+TEST(ObsScopedSpan, UnarmedWhenConstructedWithoutSink) {
+  if (!LETDMA_OBS_ENABLED) GTEST_SKIP() << "tracing compiled out";
+  ASSERT_FALSE(enabled());
+  auto sink = std::make_shared<CaptureSink>();
+  {
+    ScopedSpan span("test.unarmed", "test");  // no sink yet: stays a no-op
+    ScopedSink scope(sink);
+    span.arg("ignored", true);
+  }
+  EXPECT_EQ(sink->count(), 0u);
+}
+
+TEST(ObsRegistry, SampleCounterEmitsCounterEvent) {
+  if (!LETDMA_OBS_ENABLED) GTEST_SKIP() << "tracing compiled out";
+  Registry& reg = Registry::instance();
+  reg.reset_counters();
+  reg.counter_add("test.counter.sampled", 9);
+  auto sink = std::make_shared<CaptureSink>();
+  ScopedSink scope(sink);
+  reg.sample_counter("test.counter.sampled");
+  const auto events = sink->events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].phase, Phase::kCounter);
+  ASSERT_FALSE(events[0].args.empty());
+  EXPECT_EQ(std::get<std::int64_t>(events[0].args[0].value), 9);
+}
+
+TEST(ObsLogging, RespectsThresholdAndSinkOptIn) {
+  Registry& reg = Registry::instance();
+  const Level saved = reg.log_threshold();
+  reg.set_log_threshold(Level::kInfo);
+
+  auto logs = std::make_shared<CaptureSink>(/*wants_logs=*/true);
+  auto no_logs = std::make_shared<CaptureSink>(/*wants_logs=*/false);
+  {
+    ScopedSink s1(logs);
+    ScopedSink s2(no_logs);
+    log_debug("test", "below threshold");
+    log_info("test", "hello");
+    reg.set_log_threshold(Level::kDebug);
+    log_debug("test", "now visible");
+  }
+  reg.set_log_threshold(saved);
+
+  const auto events = logs->events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, Phase::kLog);
+  EXPECT_EQ(events[0].level, Level::kInfo);
+  ASSERT_FALSE(events[0].args.empty());
+  EXPECT_EQ(std::get<std::string>(events[0].args[0].value), "hello");
+  EXPECT_EQ(events[1].level, Level::kDebug);
+  EXPECT_EQ(no_logs->count(), 0u) << "log events must honor wants_logs()";
+}
+
+TEST(ObsSinks, ConcurrentEmittersAreSerialized) {
+  if (!LETDMA_OBS_ENABLED) GTEST_SKIP() << "tracing compiled out";
+  Registry& reg = Registry::instance();
+  reg.reset_counters();
+
+  auto capture = std::make_shared<CaptureSink>();
+  std::ostringstream jsonl;
+  auto metrics = std::make_shared<JsonlMetricsSink>(jsonl);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  {
+    ScopedSink s1(capture);
+    ScopedSink s2(metrics);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          instant("test.mt." + std::to_string(t), "test",
+                  {{"i", std::int64_t{i}}});
+          Registry::instance().counter_add("test.counter.mt", 1);
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+
+  EXPECT_EQ(capture->count(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(reg.counter_value("test.counter.mt"), kThreads * kPerThread);
+
+  // Every JSONL line must be intact (starts with '{', ends with '}'):
+  // torn writes would show up as malformed lines.
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++n;
+  }
+  EXPECT_EQ(n, static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST(ObsSinks, ChromeTraceSinkBuffersAndSerializes) {
+  if (!LETDMA_OBS_ENABLED) GTEST_SKIP() << "tracing compiled out";
+  auto sink = std::make_shared<ChromeTraceSink>();
+  {
+    ScopedSink scope(sink);
+    instant("test.one", "test");
+    ScopedSpan span("test.two", "test");
+  }
+  EXPECT_EQ(sink->size(), 2u);
+  std::ostringstream os;
+  sink->write(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.one\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.two\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace letdma::obs
