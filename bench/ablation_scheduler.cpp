@@ -17,17 +17,6 @@ using namespace letdma;
 
 namespace {
 
-double max_ratio(const model::Application& app,
-                 const std::map<int, support::Time>& wc) {
-  double worst = 0;
-  for (const auto& [task, lam] : wc) {
-    worst = std::max(worst, static_cast<double>(lam) /
-                                static_cast<double>(
-                                    app.task(model::TaskId{task}).period));
-  }
-  return worst;
-}
-
 std::unique_ptr<model::Application> make_small() {
   auto app = std::make_unique<model::Application>(model::Platform(2));
   const auto t1 = app->add_task("tau1", support::ms(10), support::ms(2),
@@ -62,7 +51,7 @@ int main() {
     const auto wc = let::worst_case_latencies(
         comms, r.schedule, let::ReadinessSemantics::kProposed);
     table.add_row({name, std::to_string(r.s0_transfers.size()),
-                   support::fmt_double(max_ratio(*app, wc), 4),
+                   support::fmt_double(bench::max_latency_ratio(*app, wc), 4),
                    report.ok() ? "yes" : "NO"});
   };
 

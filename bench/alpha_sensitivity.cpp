@@ -8,7 +8,12 @@
 // below scales the label sizes to expose the same frontier mechanism:
 // larger payloads (or tighter gammas) eventually make the configuration
 // infeasible through Constraint 9 / Property 3.
+//
+// Each point runs the engine's MILP adapter under NO-OBJ, so the outcome
+// vocabulary (optimal / feasible / infeasible / timeout) matches the rest
+// of the engine-based harnesses.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 
@@ -16,7 +21,7 @@ using namespace letdma;
 
 namespace {
 
-const char* run_one(double alpha, double label_scale, double timeout,
+std::string run_one(double alpha, double label_scale, double timeout,
                     int* transfers) {
   waters::WatersOptions wopt;
   wopt.label_scale = label_scale;
@@ -25,12 +30,17 @@ const char* run_one(double alpha, double label_scale, double timeout,
   if (!sens.feasible) return "infeasible (sensitivity RTA)";
   analysis::apply_acquisition_deadlines(*app, sens.gamma);
   let::LetComms comms(*app);
-  let::MilpSchedulerOptions opt;
-  opt.objective = let::MilpObjective::kNone;
-  opt.solver.time_limit_sec = timeout;
-  const auto r = let::MilpScheduler(comms, opt).solve();
-  *transfers = r.dma_transfers_at_s0;
-  return bench::status_name(r.status);
+  const engine::ScheduleOutcome out = bench::run_engine(
+      comms, "milp", engine::Objective::kFeasibility, timeout);
+  if (out.schedule) {
+    *transfers = static_cast<int>(out.schedule->s0_transfers.size());
+  }
+  bench::append_engine_metrics("alpha_sensitivity",
+                               "alpha=" + support::fmt_double(alpha, 1) +
+                                   ",scale=" +
+                                   support::fmt_double(label_scale, 0),
+                               out);
+  return engine::status_name(out.status);
 }
 
 }  // namespace
@@ -43,7 +53,7 @@ int main() {
   support::TextTable alpha_table({"alpha", "outcome", "# DMA transfers"});
   for (const double alpha : {0.1, 0.2, 0.3, 0.4, 0.5}) {
     int transfers = 0;
-    const char* outcome = run_one(alpha, 1.0, timeout, &transfers);
+    const std::string outcome = run_one(alpha, 1.0, timeout, &transfers);
     alpha_table.add_row({support::fmt_double(alpha, 1), outcome,
                          transfers > 0 ? std::to_string(transfers) : "-"});
   }
@@ -56,7 +66,7 @@ int main() {
                                   "# DMA transfers"});
   for (const double scale : {1.0, 2.0, 4.0, 8.0, 16.0}) {
     int transfers = 0;
-    const char* outcome = run_one(0.1, scale, timeout, &transfers);
+    const std::string outcome = run_one(0.1, scale, timeout, &transfers);
     scale_table.add_row({support::fmt_double(scale, 0), outcome,
                          transfers > 0 ? std::to_string(transfers) : "-"});
   }

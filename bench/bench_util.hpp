@@ -10,6 +10,8 @@
 
 #include "letdma/analysis/rta.hpp"
 #include "letdma/baseline/giotto.hpp"
+#include "letdma/engine/engine.hpp"
+#include "letdma/let/latency.hpp"
 #include "letdma/let/milp_scheduler.hpp"
 #include "letdma/let/validate.hpp"
 #include "letdma/obs/json.hpp"
@@ -58,6 +60,32 @@ inline const char* status_name(milp::MilpStatus s) {
   return "?";
 }
 
+/// Max worst-case latency over period across all communicating tasks —
+/// the OBJ-DEL measure every sweep reports (previously copy-pasted into
+/// each bench).
+inline double max_latency_ratio(const model::Application& app,
+                                const std::map<int, model::Time>& wc) {
+  double worst = 0.0;
+  for (const auto& [task, lam] : wc) {
+    worst = std::max(worst,
+                     static_cast<double>(lam) /
+                         static_cast<double>(
+                             app.task(model::TaskId{task}).period));
+  }
+  return worst;
+}
+
+/// One engine solve with a private incumbent — the "deadlines -> comms ->
+/// schedule -> validate" preamble every bench used to hand-roll. The
+/// returned outcome's schedule (when present) is already validated by the
+/// engine adapters.
+inline engine::ScheduleOutcome run_engine(const let::LetComms& comms,
+                                          const std::string& scheduler,
+                                          engine::Objective objective,
+                                          double budget_sec) {
+  return engine::solve_with(scheduler, comms, objective, budget_sec);
+}
+
 /// Destination of the machine-readable benchmark metrics stream:
 ///   LETDMA_METRICS=/tmp/run.jsonl ./table1_milp
 /// defaults to bench_metrics.jsonl in the working directory; set
@@ -89,6 +117,25 @@ inline void append_metrics(const std::string& bench,
   if (f == nullptr) return;
   std::fwrite(line.data(), 1, line.size(), f);
   std::fclose(f);
+}
+
+/// Appends the uniform engine fields for an outcome to a metrics record.
+inline void append_engine_metrics(const std::string& bench,
+                                  const std::string& config,
+                                  const engine::ScheduleOutcome& out) {
+  std::vector<obs::Arg> fields = {
+      {"status", std::string(engine::status_name(out.status))},
+      {"strategy", out.strategy},
+      {"objective", out.objective},
+      {"wall_sec", out.wall_sec},
+      {"cancelled", out.cancelled},
+  };
+  if (out.schedule) {
+    fields.push_back(
+        {"transfers",
+         static_cast<std::int64_t>(out.schedule->s0_transfers.size())});
+  }
+  append_metrics(bench, config, fields);
 }
 
 /// MILP-run convenience: records the outcome *and* the solve behaviour

@@ -35,14 +35,7 @@ int main() {
         comms, g.schedule, let::ReadinessSemantics::kProposed);
     const auto cpu = baseline::giotto_cpu_latencies(comms);
     auto ratio = [&](const std::map<int, support::Time>& wc) {
-      double worst = 0;
-      for (const auto& [task, lam] : wc) {
-        worst = std::max(worst,
-                         static_cast<double>(lam) /
-                             static_cast<double>(
-                                 app->task(model::TaskId{task}).period));
-      }
-      return worst;
+      return bench::max_latency_ratio(*app, wc);
     };
     table.add_row({std::to_string(cores), std::to_string(labels.size()),
                    std::to_string(comms.comms_at_s0().size()),

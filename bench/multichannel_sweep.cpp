@@ -18,8 +18,14 @@ int main() {
     return 1;
   }
   let::LetComms comms(*app);
-  const let::ScheduleResult g =
-      let::GreedyScheduler::best_latency_ratio(comms);
+  const engine::ScheduleOutcome out = bench::run_engine(
+      comms, "greedy", engine::Objective::kMinMaxLatencyRatio, 5.0);
+  if (!out.schedule) {
+    std::printf("no valid greedy schedule (%s)\n",
+                engine::status_name(out.status));
+    return 1;
+  }
+  const let::ScheduleResult& g = *out.schedule;
   std::printf(
       "Multi-channel sweep on WATERS (greedy best-latency order, "
       "%zu transfers at s0)\n\n",

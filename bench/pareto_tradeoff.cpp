@@ -11,20 +11,6 @@
 
 using namespace letdma;
 
-namespace {
-
-double max_ratio(const model::Application& app,
-                 const std::map<int, support::Time>& wc) {
-  double worst = 0;
-  for (const auto& [task, lam] : wc) {
-    worst = std::max(worst, static_cast<double>(lam) /
-                                static_cast<double>(
-                                    app.task(model::TaskId{task}).period));
-  }
-  return worst;
-}
-
-}  // namespace
 
 int main() {
   const double timeout = bench::milp_timeout_sec(20.0);

@@ -6,76 +6,112 @@
 // The interesting shape: the per-transfer overhead makes Giotto-DMA-A's
 // cost grow linearly in the label count, while chain merging keeps the
 // proposed configuration's transfer count sub-linear.
+//
+// Instances are evaluated through engine::BatchRunner: the (labels, seed)
+// grid fans out over a thread pool and results come back in grid order, so
+// the table is identical at any thread count.
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "letdma/engine/batch.hpp"
 #include "letdma/model/generator.hpp"
 
 using namespace letdma;
 
 namespace {
 
-double max_ratio(const model::Application& app,
-                 const std::map<int, support::Time>& wc) {
-  double worst = 0;
-  for (const auto& [task, lam] : wc) {
-    worst = std::max(worst, static_cast<double>(lam) /
-                                static_cast<double>(
-                                    app.task(model::TaskId{task}).period));
-  }
-  return worst;
-}
+struct Sample {
+  int labels = 0;
+  bool used = false;
+  // Unlike the baselines, greedy results are validated by the engine:
+  // an instance whose transfers cannot fit any slot (Property 3) yields
+  // no valid schedule and is excluded from the greedy averages.
+  bool greedy_valid = false;
+  double comms = 0;
+  double greedy_tr = 0, giotto_tr = 0;
+  double greedy_ratio = 0, giotto_ratio = 0, cpu_ratio = 0;
+};
 
 }  // namespace
 
 int main() {
   std::printf("Scaling sweep: generated 4-core systems, 12 tasks, "
               "growing label count (3 seeds averaged)\n\n");
+
+  std::vector<std::pair<int, int>> grid;  // (labels, seed)
+  for (const int labels : {4, 8, 16, 32, 64}) {
+    for (int seed = 0; seed < 3; ++seed) grid.emplace_back(labels, seed);
+  }
+
+  const engine::BatchRunner runner;
+  const std::vector<Sample> samples = runner.map<Sample>(
+      grid.size(), [&](std::size_t i) {
+        const auto [labels, seed] = grid[i];
+        Sample s;
+        s.labels = labels;
+        model::GeneratorOptions opt;
+        opt.num_cores = 4;
+        opt.num_tasks = 12;
+        opt.num_labels = labels;
+        opt.max_label_bytes = 16384;
+        opt.seed = static_cast<std::uint64_t>(labels) * 131 +
+                   static_cast<std::uint64_t>(seed);
+        const auto app = generate_application(opt);
+        let::LetComms comms(*app);
+        if (comms.comms_at_s0().empty()) return s;
+        s.used = true;
+        s.comms = static_cast<double>(comms.comms_at_s0().size());
+
+        const engine::ScheduleOutcome greedy = bench::run_engine(
+            comms, "greedy", engine::Objective::kMinMaxLatencyRatio, 5.0);
+        if (greedy.schedule) {
+          s.greedy_valid = true;
+          s.greedy_tr =
+              static_cast<double>(greedy.schedule->s0_transfers.size());
+          s.greedy_ratio = greedy.objective;
+        }
+
+        const let::ScheduleResult a = baseline::giotto_dma_a(comms);
+        s.giotto_tr = static_cast<double>(a.s0_transfers.size());
+        s.giotto_ratio = bench::max_latency_ratio(
+            *app, baseline::giotto_dma_latencies(comms, a));
+        s.cpu_ratio = bench::max_latency_ratio(
+            *app, baseline::giotto_cpu_latencies(comms));
+        return s;
+      });
+
   support::TextTable table({"labels", "comms", "greedy transfers",
                             "giotto-A transfers", "greedy max l/T",
                             "giotto-A max l/T", "giotto-CPU max l/T"});
   for (const int labels : {4, 8, 16, 32, 64}) {
-    double comms_n = 0, greedy_tr = 0, giotto_tr = 0;
-    double greedy_ratio = 0, giotto_ratio = 0, cpu_ratio = 0;
-    int samples = 0;
-    for (int seed = 0; seed < 3; ++seed) {
-      model::GeneratorOptions opt;
-      opt.num_cores = 4;
-      opt.num_tasks = 12;
-      opt.num_labels = labels;
-      opt.max_label_bytes = 16384;
-      opt.seed = static_cast<std::uint64_t>(labels) * 131 + seed;
-      const auto app = generate_application(opt);
-      let::LetComms comms(*app);
-      if (comms.comms_at_s0().empty()) continue;
-      ++samples;
-      comms_n += static_cast<double>(comms.comms_at_s0().size());
-
-      const let::ScheduleResult greedy =
-          let::GreedyScheduler::best_latency_ratio(comms);
-      greedy_tr += static_cast<double>(greedy.s0_transfers.size());
-      greedy_ratio += max_ratio(
-          *app, let::worst_case_latencies(comms, greedy.schedule,
-                                          let::ReadinessSemantics::kProposed));
-
-      const let::ScheduleResult a = baseline::giotto_dma_a(comms);
-      giotto_tr += static_cast<double>(a.s0_transfers.size());
-      giotto_ratio +=
-          max_ratio(*app, baseline::giotto_dma_latencies(comms, a));
-
-      std::map<int, support::Time> cpu =
-          baseline::giotto_cpu_latencies(comms);
-      cpu_ratio += max_ratio(*app, cpu);
+    Sample sum;
+    int n = 0, n_greedy = 0;
+    for (const Sample& s : samples) {
+      if (s.labels != labels || !s.used) continue;
+      ++n;
+      sum.comms += s.comms;
+      sum.giotto_tr += s.giotto_tr;
+      sum.giotto_ratio += s.giotto_ratio;
+      sum.cpu_ratio += s.cpu_ratio;
+      if (!s.greedy_valid) continue;
+      ++n_greedy;
+      sum.greedy_tr += s.greedy_tr;
+      sum.greedy_ratio += s.greedy_ratio;
     }
-    if (samples == 0) continue;
-    const double n = static_cast<double>(samples);
-    table.add_row({std::to_string(labels),
-                   support::fmt_double(comms_n / n, 1),
-                   support::fmt_double(greedy_tr / n, 1),
-                   support::fmt_double(giotto_tr / n, 1),
-                   support::fmt_double(greedy_ratio / n, 4),
-                   support::fmt_double(giotto_ratio / n, 4),
-                   support::fmt_double(cpu_ratio / n, 4)});
+    if (n == 0) continue;
+    const double d = static_cast<double>(n);
+    const double dg = static_cast<double>(n_greedy);
+    table.add_row(
+        {std::to_string(labels), support::fmt_double(sum.comms / d, 1),
+         n_greedy ? support::fmt_double(sum.greedy_tr / dg, 1)
+                  : std::string("-"),
+         support::fmt_double(sum.giotto_tr / d, 1),
+         n_greedy ? support::fmt_double(sum.greedy_ratio / dg, 4)
+                  : std::string("-"),
+         support::fmt_double(sum.giotto_ratio / d, 4),
+         support::fmt_double(sum.cpu_ratio / d, 4)});
   }
   std::printf("%s", table.render().c_str());
   return 0;

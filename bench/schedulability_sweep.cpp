@@ -8,13 +8,29 @@
 // The motivating claim of the paper appears as the gap between (ii) and
 // (iii): per-task readiness preserves far more schedulability headroom as
 // utilization grows.
+//
+// The (utilization, sample) grid fans out over engine::BatchRunner; the
+// per-point acceptance counts aggregate from index-ordered results, so the
+// table is identical at any thread count.
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "letdma/analysis/protocol_rta.hpp"
+#include "letdma/engine/batch.hpp"
 #include "letdma/model/generator.hpp"
 
 using namespace letdma;
+
+namespace {
+
+struct Verdict {
+  double u = 0.0;
+  bool plain = false, proposed = false, giotto = false;
+};
+
+}  // namespace
 
 int main() {
   constexpr int kSamples = 25;
@@ -22,38 +38,60 @@ int main() {
       "Schedulability sweep: 4-core systems, 10 tasks, 8 labels, "
       "%d samples per point\n\n",
       kSamples);
-  support::TextTable table({"U per core", "plain RTA", "proposed protocol",
-                            "Giotto semantics"});
-  for (const double u : {0.3, 0.4, 0.5, 0.6, 0.7, 0.8}) {
-    int plain_ok = 0, proposed_ok = 0, giotto_ok = 0;
-    for (int s = 0; s < kSamples; ++s) {
-      model::GeneratorOptions opt;
-      opt.num_cores = 4;
-      opt.num_tasks = 10;
-      opt.num_labels = 8;
-      opt.total_utilization = u * opt.num_cores;
-      opt.max_label_bytes = 32768;
-      opt.seed = static_cast<std::uint64_t>(u * 1000) * 7919 + s;
-      const auto app = generate_application(opt);
-      const bool plain = analysis::analyze(*app).schedulable;
-      plain_ok += plain;
-      if (!plain) continue;  // protocol can only make things worse
-      let::LetComms comms(*app);
-      if (comms.comms_at_s0().empty()) {
-        proposed_ok += 1;
-        giotto_ok += 1;
-        continue;
-      }
-      const let::ScheduleResult g =
-          let::GreedyScheduler::best_latency_ratio(comms);
-      proposed_ok += analysis::analyze_with_protocol(
-                         comms, g.schedule, let::ReadinessSemantics::kProposed,
+
+  const std::vector<double> utilizations = {0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+  std::vector<std::pair<double, int>> grid;  // (u, sample)
+  for (const double u : utilizations) {
+    for (int s = 0; s < kSamples; ++s) grid.emplace_back(u, s);
+  }
+
+  const engine::BatchRunner runner;
+  const std::vector<Verdict> verdicts = runner.map<Verdict>(
+      grid.size(), [&](std::size_t i) {
+        const auto [u, s] = grid[i];
+        Verdict v;
+        v.u = u;
+        model::GeneratorOptions opt;
+        opt.num_cores = 4;
+        opt.num_tasks = 10;
+        opt.num_labels = 8;
+        opt.total_utilization = u * opt.num_cores;
+        opt.max_label_bytes = 32768;
+        opt.seed = static_cast<std::uint64_t>(u * 1000) * 7919 +
+                   static_cast<std::uint64_t>(s);
+        const auto app = generate_application(opt);
+        v.plain = analysis::analyze(*app).schedulable;
+        if (!v.plain) return v;  // protocol can only make things worse
+        let::LetComms comms(*app);
+        if (comms.comms_at_s0().empty()) {
+          v.proposed = v.giotto = true;
+          return v;
+        }
+        const engine::ScheduleOutcome out = bench::run_engine(
+            comms, "greedy", engine::Objective::kMinMaxLatencyRatio, 5.0);
+        if (!out.schedule) return v;
+        v.proposed = analysis::analyze_with_protocol(
+                         comms, out.schedule->schedule,
+                         let::ReadinessSemantics::kProposed,
                          analysis::InterferenceModel::kDemandBound)
                          .schedulable;
-      giotto_ok += analysis::analyze_with_protocol(
-                       comms, g.schedule, let::ReadinessSemantics::kGiotto,
+        v.giotto = analysis::analyze_with_protocol(
+                       comms, out.schedule->schedule,
+                       let::ReadinessSemantics::kGiotto,
                        analysis::InterferenceModel::kDemandBound)
                        .schedulable;
+        return v;
+      });
+
+  support::TextTable table({"U per core", "plain RTA", "proposed protocol",
+                            "Giotto semantics"});
+  for (const double u : utilizations) {
+    int plain_ok = 0, proposed_ok = 0, giotto_ok = 0;
+    for (const Verdict& v : verdicts) {
+      if (v.u != u) continue;
+      plain_ok += v.plain;
+      proposed_ok += v.proposed;
+      giotto_ok += v.giotto;
     }
     auto pct = [&](int n) {
       return support::fmt_double(100.0 * n / kSamples, 0) + " %";

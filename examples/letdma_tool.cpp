@@ -1,14 +1,21 @@
-// Command-line front end: load an application description, schedule it,
-// and print the configuration, latencies and validation verdict.
+// Command-line front end: load an application description, schedule it
+// through the engine layer, and print the configuration, latencies and
+// validation verdict.
 //
-//   letdma_tool <app-file> [greedy|milp] [none|dmat|del] [timeout-seconds]
+//   letdma_tool <app-file> [greedy|ls|milp|portfolio] [none|dmat|del]
+//               [timeout-seconds]
 //   letdma_tool <app-file> load <schedule-file>
 //
 // Flags (anywhere in the argument list):
+//   --engine <name>   scheduling engine: greedy | ls | milp | portfolio
+//                     (same as the positional scheduler; the flag wins)
+//   --budget-ms <ms>  wall-clock budget for the solve (overrides the
+//                     positional timeout, which is in seconds)
 //   --save <file>     write the resulting schedule
 //   --trace <file>    write a Chrome trace-event JSON (open in Perfetto or
-//                     chrome://tracing): MILP solver phases and incumbent
-//                     events plus the simulated per-core/DMA schedule
+//                     chrome://tracing): engine/solver phase spans and
+//                     incumbent events plus the simulated per-core/DMA
+//                     schedule
 //   --metrics <file>  append the full event stream as JSONL
 //   -v                verbose: mirror events to stderr
 //
@@ -22,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "letdma/engine/adapters.hpp"
+#include "letdma/engine/engine.hpp"
 #include "letdma/let/footprint.hpp"
 #include "letdma/let/milp_scheduler.hpp"
 #include "letdma/let/schedule_io.hpp"
@@ -55,8 +64,9 @@ label name=lF bytes=6000 writer=tau6 readers=tau5
 
 int usage() {
   std::fprintf(stderr,
-               "usage: letdma_tool [app-file] [greedy|milp] "
+               "usage: letdma_tool [app-file] [greedy|ls|milp|portfolio] "
                "[none|dmat|del] [timeout-seconds]\n"
+               "       [--engine greedy|ls|milp|portfolio] [--budget-ms <ms>]\n"
                "       [--save <file>] [--trace <file>] [--metrics <file>] "
                "[-v]\n");
   return 2;
@@ -67,6 +77,7 @@ int usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> pos;
   std::string trace_path, metrics_path, save_path;
+  std::string engine_flag, budget_ms_flag;
   bool verbose = false;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -81,6 +92,10 @@ int main(int argc, char** argv) {
       if (!value(&metrics_path)) return usage();
     } else if (arg == "--save") {
       if (!value(&save_path)) return usage();
+    } else if (arg == "--engine") {
+      if (!value(&engine_flag)) return usage();
+    } else if (arg == "--budget-ms") {
+      if (!value(&budget_ms_flag)) return usage();
     } else if (arg == "-v") {
       verbose = true;
     } else {
@@ -99,9 +114,15 @@ int main(int argc, char** argv) {
     os << in.rdbuf();
     text = os.str();
   }
-  const std::string scheduler = pos.size() > 1 ? pos[1] : "greedy";
+  const std::string scheduler =
+      !engine_flag.empty() ? engine_flag
+                           : (pos.size() > 1 ? pos[1] : "greedy");
   const std::string objective = pos.size() > 2 ? pos[2] : "del";
-  const double timeout = pos.size() > 3 ? std::atof(pos[3].c_str()) : 30.0;
+  double timeout = pos.size() > 3 ? std::atof(pos[3].c_str()) : 30.0;
+  if (!budget_ms_flag.empty()) {
+    timeout = std::atof(budget_ms_flag.c_str()) / 1000.0;
+  }
+  if (timeout <= 0) return usage();
 
   // Observability sinks, attached before any scheduling work so solver
   // phase spans and incumbent events are captured.
@@ -155,31 +176,43 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "schedule parse error: %s\n", e.what());
       return 2;
     }
-  } else if (scheduler == "greedy") {
-    result = std::make_unique<let::ScheduleResult>(
-        let::GreedyScheduler::best_latency_ratio(comms));
-  } else if (scheduler == "milp") {
-    let::MilpSchedulerOptions opt;
-    if (objective == "none") opt.objective = let::MilpObjective::kNone;
-    else if (objective == "dmat") opt.objective = let::MilpObjective::kMinTransfers;
-    else if (objective == "del") opt.objective = let::MilpObjective::kMinLatencyRatio;
+  } else {
+    engine::Objective eng_obj;
+    if (objective == "none") eng_obj = engine::Objective::kFeasibility;
+    else if (objective == "dmat") eng_obj = engine::Objective::kMinTransfers;
+    else if (objective == "del") eng_obj = engine::Objective::kMinMaxLatencyRatio;
     else return usage();
-    opt.solver.time_limit_sec = timeout;
-    opt.solver.log = verbose;
-    const auto r = let::MilpScheduler(comms, opt).solve();
-    if (!r.feasible()) {
-      std::printf("MILP: no feasible configuration (status %d)\n",
-                  static_cast<int>(r.status));
+
+    std::unique_ptr<engine::Scheduler> sched;
+    if (scheduler == "milp" && verbose) {
+      // The only engine knob the factory does not expose: solver logging.
+      engine::MilpEngineOptions mo;
+      mo.objective = eng_obj;
+      mo.milp.solver.log = true;
+      sched = std::make_unique<engine::MilpEngine>(mo);
+    } else {
+      try {
+        sched = engine::make_scheduler(scheduler, eng_obj);
+      } catch (const support::Error&) {
+        return usage();
+      }
+    }
+
+    engine::SharedIncumbent sink;
+    engine::Budget budget;
+    budget.wall_sec = timeout;
+    const engine::ScheduleOutcome out = sched->solve(comms, budget, sink);
+    if (!out.feasible()) {
+      std::printf("engine %s: no schedule (%s)\n", scheduler.c_str(),
+                  engine::status_name(out.status));
       return 1;
     }
-    std::printf("MILP: objective %.4g, %ld nodes, first incumbent %.2fs, "
-                "%d improvements\n",
-                r.objective, r.stats.nodes_explored,
-                r.stats.first_incumbent_sec,
-                r.stats.incumbent_improvements());
-    result = std::make_unique<let::ScheduleResult>(*r.schedule);
-  } else {
-    return usage();
+    std::printf("engine %s: %s, strategy %s, %s = %.4g, %.2fs, "
+                "%d incumbent improvement(s)\n",
+                scheduler.c_str(), engine::status_name(out.status),
+                out.strategy.c_str(), engine::objective_name(eng_obj),
+                out.objective, out.wall_sec, sink.improvements());
+    result = std::make_unique<let::ScheduleResult>(*out.schedule);
   }
 
   std::printf("transfers at s0: %zu\n", result->s0_transfers.size());

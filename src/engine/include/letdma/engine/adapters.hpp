@@ -1,0 +1,84 @@
+// Adapters wrapping the concrete schedulers behind engine::Scheduler.
+//
+//   * GreedyEngine      — the constructive heuristics; near-instant, always
+//                         publishes the best valid strategy result.
+//   * LocalSearchEngine — greedy seed + hill climbing; anytime, honours the
+//                         stop token between candidate evaluations.
+//   * MilpEngine        — the branch-and-bound MILP; warm-starts from the
+//                         sink's incumbent when one is published in time
+//                         (replacing the hard-coded greedy_warm_start
+//                         plumbing under the engine), publishes every
+//                         solver incumbent, and honours the stop token in
+//                         the node loop.
+//
+// All adapters validate what they publish: a schedule reaches the sink or
+// the outcome only when validate_schedule passes.
+#pragma once
+
+#include "letdma/engine/engine.hpp"
+#include "letdma/let/local_search.hpp"
+#include "letdma/let/milp_scheduler.hpp"
+
+namespace letdma::engine {
+
+struct GreedyEngineOptions {
+  Objective objective = Objective::kMinMaxLatencyRatio;
+  /// Restrict to one emission strategy; unset runs all and keeps the best.
+  std::optional<let::GreedyStrategy> strategy;
+};
+
+class GreedyEngine : public Scheduler {
+ public:
+  explicit GreedyEngine(GreedyEngineOptions options = {})
+      : options_(options) {}
+  const char* name() const override { return "greedy"; }
+  ScheduleOutcome solve(const let::LetComms& comms, const Budget& budget,
+                        IncumbentSink& sink) override;
+
+ private:
+  GreedyEngineOptions options_;
+};
+
+struct LocalSearchEngineOptions {
+  Objective objective = Objective::kMinMaxLatencyRatio;
+  /// Evaluation/improvement caps forwarded to improve_schedule; the goal,
+  /// time limit and stop token are overridden from the engine inputs.
+  let::LocalSearchOptions search;
+};
+
+class LocalSearchEngine : public Scheduler {
+ public:
+  explicit LocalSearchEngine(LocalSearchEngineOptions options = {})
+      : options_(options) {}
+  const char* name() const override { return "ls"; }
+  ScheduleOutcome solve(const let::LetComms& comms, const Budget& budget,
+                        IncumbentSink& sink) override;
+
+ private:
+  LocalSearchEngineOptions options_;
+};
+
+struct MilpEngineOptions {
+  Objective objective = Objective::kMinMaxLatencyRatio;
+  /// Solver knobs; objective, time limit, stop token, warm start and
+  /// incumbent callback are overridden from the engine inputs.
+  let::MilpSchedulerOptions milp;
+  /// Wait up to this long (capped at 10% of the budget) for a cheap
+  /// strategy to publish an incumbent into the sink before solving, and
+  /// warm-start from it. With no incumbent the internal greedy warm start
+  /// is used instead.
+  double warm_start_grace_sec = 0.25;
+};
+
+class MilpEngine : public Scheduler {
+ public:
+  explicit MilpEngine(MilpEngineOptions options = {}) : options_(options) {}
+  const char* name() const override { return "milp"; }
+  ScheduleOutcome solve(const let::LetComms& comms, const Budget& budget,
+                        IncumbentSink& sink) override;
+
+ private:
+  MilpEngineOptions options_;
+};
+
+}  // namespace letdma::engine

@@ -1,0 +1,53 @@
+// BatchRunner — many-instance evaluation on a fixed thread pool with
+// deterministic result ordering.
+//
+// The generator sweeps evaluate hundreds of independent instances; before
+// the engine each bench hand-rolled its own loop. BatchRunner runs any
+// index-addressed job set on a fixed pool and returns results **in index
+// order** regardless of completion order, so sweep tables and metrics
+// files are reproducible across thread counts.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "letdma/engine/engine.hpp"
+
+namespace letdma::engine {
+
+struct BatchOptions {
+  /// Worker threads; 0 = hardware concurrency (at least 1).
+  int threads = 0;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {});
+
+  int threads() const { return threads_; }
+
+  /// Runs f(i) for i in [0, n) on the pool; out[i] = f(i). The first
+  /// exception thrown by a job is rethrown after all workers drain.
+  template <class R, class F>
+  std::vector<R> map(std::size_t n, F&& f) const {
+    std::vector<R> out(n);
+    run_indexed(n, [&](std::size_t i) { out[i] = f(i); });
+    return out;
+  }
+
+  /// Schedules every instance through `scheduler` (whose solve must be
+  /// reentrant — all engine schedulers are) under a per-instance budget.
+  /// outcome[i] corresponds to instances[i].
+  std::vector<ScheduleOutcome> run(
+      Scheduler& scheduler,
+      const std::vector<const let::LetComms*>& instances,
+      const Budget& per_instance) const;
+
+ private:
+  void run_indexed(std::size_t n,
+                   const std::function<void(std::size_t)>& job) const;
+
+  int threads_ = 1;
+};
+
+}  // namespace letdma::engine

@@ -1,0 +1,57 @@
+// PortfolioScheduler — an anytime portfolio racing N strategies on
+// std::thread workers under one shared wall-clock budget.
+//
+// Every worker publishes improving schedules into one mutex-protected
+// SharedIncumbent; the MILP worker warm-starts from whatever the cheap
+// workers published first. A shared atomic stop token implements
+// cooperative cancellation: it is raised when the budget expires, when the
+// caller's own stop token fires, or when one worker *proves* optimality or
+// infeasibility (nothing left for the others to find) — losers observe it
+// in their evaluation/node loops and return promptly.
+//
+// Observability: the solve emits one span per worker on a per-strategy
+// track, "engine.incumbent" instants on every publication (from
+// SharedIncumbent), and bumps the counters
+//   engine.portfolio.launched   workers started
+//   engine.portfolio.cancelled  workers that exited via the stop token
+//   engine.portfolio.win.<s>    portfolio solves won by strategy <s>
+#pragma once
+
+#include <vector>
+
+#include "letdma/engine/engine.hpp"
+
+namespace letdma::engine {
+
+struct PortfolioOptions {
+  Objective objective = Objective::kMinMaxLatencyRatio;
+  /// Strategy names to race (factory names); empty = {greedy, ls, milp}.
+  std::vector<std::string> strategies;
+  /// Workers running at once; 0 = one thread per strategy. Lower values
+  /// run strategies in launch order, each seeing the remaining budget.
+  int max_concurrency = 0;
+  /// Raise the stop token once a worker returns a proof
+  /// (kOptimal/kInfeasible) so losing workers stop early.
+  bool early_stop = true;
+};
+
+class PortfolioScheduler : public Scheduler {
+ public:
+  explicit PortfolioScheduler(PortfolioOptions options = {});
+  /// Race caller-supplied strategies instead of factory names.
+  PortfolioScheduler(std::vector<std::unique_ptr<Scheduler>> strategies,
+                     PortfolioOptions options = {});
+
+  const char* name() const override { return "portfolio"; }
+  /// Returns the best published incumbent; kOptimal when some worker
+  /// proved it, kInfeasible when some worker proved that, kTimeout when
+  /// nothing was found. The caller's sink receives the winner too.
+  ScheduleOutcome solve(const let::LetComms& comms, const Budget& budget,
+                        IncumbentSink& sink) override;
+
+ private:
+  PortfolioOptions options_;
+  std::vector<std::unique_ptr<Scheduler>> strategies_;
+};
+
+}  // namespace letdma::engine

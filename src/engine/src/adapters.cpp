@@ -1,0 +1,221 @@
+#include "letdma/engine/adapters.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "letdma/obs/obs.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::engine {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The greedy candidates in preference order for `objective`: the
+/// composite best-of pick first, then every raw strategy as a fallback
+/// (the composite pick can miss an acquisition deadline that another
+/// strategy meets).
+std::vector<let::ScheduleResult> greedy_candidates(
+    const let::LetComms& comms, Objective objective,
+    std::optional<let::GreedyStrategy> only) {
+  std::vector<let::ScheduleResult> out;
+  if (only) {
+    out.push_back(let::GreedyScheduler(comms, {*only}).build());
+    return out;
+  }
+  out.push_back(objective == Objective::kMinTransfers
+                    ? let::GreedyScheduler::best_transfer_count(comms)
+                    : let::GreedyScheduler::best_latency_ratio(comms));
+  for (const let::GreedyStrategy s :
+       {let::GreedyStrategy::kUrgencyFirst, let::GreedyStrategy::kWriteBatched,
+        let::GreedyStrategy::kReadBatched}) {
+    out.push_back(let::GreedyScheduler(comms, {s}).build());
+  }
+  return out;
+}
+
+/// Best valid candidate under the engine objective, or nullopt when every
+/// candidate misses a deadline.
+std::optional<std::pair<let::ScheduleResult, double>> pick_best_valid(
+    const let::LetComms& comms, std::vector<let::ScheduleResult> candidates,
+    Objective objective) {
+  int best = -1;
+  double best_obj = 0.0;
+  for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+    const let::ScheduleResult& cand =
+        candidates[static_cast<std::size_t>(i)];
+    if (!schedule_valid(comms, cand)) continue;
+    const double obj = objective_of(comms, cand, objective);
+    if (best < 0 || obj < best_obj) {
+      best = i;
+      best_obj = obj;
+    }
+  }
+  if (best < 0) return std::nullopt;
+  return std::make_pair(std::move(candidates[static_cast<std::size_t>(best)]),
+                        best_obj);
+}
+
+/// Inner time limit for a worker: with a stop token present the token is
+/// the authoritative deadline, so the worker's own limit gets slack —
+/// cancellation then demonstrably flows through the token, not through a
+/// racing internal timeout.
+double inner_time_limit(double remaining_sec, const Budget& budget) {
+  const double floor_sec = std::max(remaining_sec, 0.01);
+  return budget.stop != nullptr ? floor_sec * 1.25 + 0.1 : floor_sec;
+}
+
+}  // namespace
+
+ScheduleOutcome GreedyEngine::solve(const let::LetComms& comms,
+                                    const Budget& budget,
+                                    IncumbentSink& sink) {
+  const auto t0 = Clock::now();
+  obs::ScopedSpan span("engine.greedy.solve", "engine");
+  ScheduleOutcome out;
+  out.strategy = name();
+  auto best = pick_best_valid(
+      comms, greedy_candidates(comms, options_.objective, options_.strategy),
+      options_.objective);
+  if (best) {
+    sink.offer(best->first, best->second, name());
+    out.status = Status::kFeasible;
+    out.objective = best->second;
+    out.schedule = std::move(best->first);
+  }
+  out.cancelled = budget.cancel_requested();
+  out.wall_sec = seconds_since(t0);
+  span.arg("status", status_name(out.status));
+  return out;
+}
+
+ScheduleOutcome LocalSearchEngine::solve(const let::LetComms& comms,
+                                         const Budget& budget,
+                                         IncumbentSink& sink) {
+  const auto t0 = Clock::now();
+  obs::ScopedSpan span("engine.ls.solve", "engine");
+  ScheduleOutcome out;
+  out.strategy = name();
+
+  auto seed = pick_best_valid(
+      comms, greedy_candidates(comms, options_.objective, std::nullopt),
+      options_.objective);
+  if (!seed) {
+    out.cancelled = budget.cancel_requested();
+    out.wall_sec = seconds_since(t0);
+    span.arg("status", status_name(out.status));
+    return out;
+  }
+  sink.offer(seed->first, seed->second, name());
+  out.status = Status::kFeasible;
+  out.objective = seed->second;
+  out.schedule = seed->first;
+
+  let::LocalSearchOptions ls = options_.search;
+  ls.goal = options_.objective == Objective::kMinTransfers
+                ? let::LocalSearchGoal::kMinTransfers
+                : let::LocalSearchGoal::kMinMaxLatencyRatio;
+  ls.stop = budget.stop;
+  ls.time_limit_sec =
+      inner_time_limit(budget.wall_sec - seconds_since(t0), budget);
+  try {
+    let::LocalSearchResult improved =
+        improve_schedule(comms, *out.schedule, ls);
+    // improve_schedule optimizes its own goal; re-measure under the
+    // engine objective so kFeasibility stays 0 and comparisons stay
+    // uniform across strategies.
+    const double obj =
+        objective_of(comms, improved.schedule, options_.objective);
+    if (obj < out.objective || options_.objective == Objective::kFeasibility) {
+      sink.offer(improved.schedule, obj, name());
+      out.objective = obj;
+      out.schedule = std::move(improved.schedule);
+    }
+  } catch (const support::Error&) {
+    // The seed does not rebuild feasibly under the search's partition
+    // moves; keep the validated seed as the outcome.
+  }
+  out.cancelled = budget.cancel_requested();
+  out.wall_sec = seconds_since(t0);
+  span.arg("status", status_name(out.status));
+  span.arg("objective", out.objective);
+  return out;
+}
+
+ScheduleOutcome MilpEngine::solve(const let::LetComms& comms,
+                                  const Budget& budget,
+                                  IncumbentSink& sink) {
+  const auto t0 = Clock::now();
+  obs::ScopedSpan span("engine.milp.solve", "engine");
+  ScheduleOutcome out;
+  out.strategy = name();
+
+  // Wait briefly for a cheap strategy to publish a warm start.
+  const double grace =
+      std::min(options_.warm_start_grace_sec, 0.1 * budget.wall_sec);
+  std::optional<Incumbent> hint = sink.best();
+  while (!hint && seconds_since(t0) < grace && !budget.cancel_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    hint = sink.best();
+  }
+
+  let::MilpSchedulerOptions opt = options_.milp;
+  switch (options_.objective) {
+    case Objective::kMinMaxLatencyRatio:
+      opt.objective = let::MilpObjective::kMinLatencyRatio;
+      break;
+    case Objective::kMinTransfers:
+      opt.objective = let::MilpObjective::kMinTransfers;
+      break;
+    case Objective::kFeasibility:
+      opt.objective = let::MilpObjective::kNone;
+      break;
+  }
+  opt.solver.stop = budget.stop;
+  opt.solver.time_limit_sec =
+      inner_time_limit(budget.wall_sec - seconds_since(t0), budget);
+  if (hint) {
+    // The sink already holds a feasible configuration: seed from it and
+    // skip the internal greedy candidates (they are what published it).
+    opt.warm_start_hint = &hint->schedule;
+    opt.greedy_warm_start = false;
+  }
+  opt.on_incumbent = [&](const let::ScheduleResult& schedule,
+                         double /*model_objective*/) {
+    if (!schedule_valid(comms, schedule)) return;
+    sink.offer(schedule, objective_of(comms, schedule, options_.objective),
+               name());
+  };
+
+  let::MilpScheduler scheduler(comms, opt);
+  const let::MilpScheduleResult r = scheduler.solve();
+
+  switch (r.status) {
+    case milp::MilpStatus::kOptimal: out.status = Status::kOptimal; break;
+    case milp::MilpStatus::kFeasible: out.status = Status::kFeasible; break;
+    case milp::MilpStatus::kInfeasible:
+      out.status = Status::kInfeasible;
+      break;
+    case milp::MilpStatus::kUnbounded:
+    case milp::MilpStatus::kLimit: out.status = Status::kTimeout; break;
+  }
+  if (r.feasible()) {
+    out.objective = objective_of(comms, *r.schedule, options_.objective);
+    sink.offer(*r.schedule, out.objective, name());
+    out.schedule = *r.schedule;
+  }
+  out.cancelled = r.stats.cancelled || budget.cancel_requested();
+  out.wall_sec = seconds_since(t0);
+  span.arg("status", status_name(out.status));
+  span.arg("warm_started_from_sink", hint.has_value());
+  span.arg("nodes", r.stats.nodes_explored);
+  return out;
+}
+
+}  // namespace letdma::engine

@@ -1,0 +1,63 @@
+#include "letdma/engine/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "letdma/obs/obs.hpp"
+
+namespace letdma::engine {
+
+BatchRunner::BatchRunner(BatchOptions options) {
+  const int requested = options.threads > 0
+                            ? options.threads
+                            : static_cast<int>(
+                                  std::thread::hardware_concurrency());
+  threads_ = std::max(1, requested);
+}
+
+void BatchRunner::run_indexed(
+    std::size_t n, const std::function<void(std::size_t)>& job) const {
+  obs::ScopedSpan span("engine.batch.run", "engine");
+  span.arg("jobs", static_cast<std::int64_t>(n));
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_), n);
+  span.arg("threads", static_cast<std::int64_t>(workers));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) job(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  auto worker_fn = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        job(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker_fn);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<ScheduleOutcome> BatchRunner::run(
+    Scheduler& scheduler, const std::vector<const let::LetComms*>& instances,
+    const Budget& per_instance) const {
+  return map<ScheduleOutcome>(instances.size(), [&](std::size_t i) {
+    SharedIncumbent sink;
+    return scheduler.solve(*instances[i], per_instance, sink);
+  });
+}
+
+}  // namespace letdma::engine

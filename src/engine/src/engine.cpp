@@ -1,0 +1,123 @@
+#include "letdma/engine/engine.hpp"
+
+#include <algorithm>
+
+#include "letdma/engine/adapters.hpp"
+#include "letdma/engine/portfolio.hpp"
+#include "letdma/let/latency.hpp"
+#include "letdma/let/validate.hpp"
+#include "letdma/obs/obs.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::engine {
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOptimal: return "optimal";
+    case Status::kFeasible: return "feasible";
+    case Status::kInfeasible: return "infeasible";
+    case Status::kTimeout: return "timeout (no solution)";
+  }
+  return "?";
+}
+
+const char* objective_name(Objective objective) {
+  switch (objective) {
+    case Objective::kMinMaxLatencyRatio: return "OBJ-DEL";
+    case Objective::kMinTransfers: return "OBJ-DMAT";
+    case Objective::kFeasibility: return "NO-OBJ";
+  }
+  return "?";
+}
+
+double objective_of(const let::LetComms& comms,
+                    const let::ScheduleResult& schedule,
+                    Objective objective) {
+  switch (objective) {
+    case Objective::kFeasibility:
+      return 0.0;
+    case Objective::kMinTransfers:
+      return static_cast<double>(schedule.s0_transfers.size());
+    case Objective::kMinMaxLatencyRatio: {
+      const auto wc = let::worst_case_latencies(
+          comms, schedule.schedule, let::ReadinessSemantics::kProposed);
+      double worst = 0.0;
+      for (const auto& [task, lam] : wc) {
+        worst = std::max(
+            worst, static_cast<double>(lam) /
+                       static_cast<double>(
+                           comms.app().task(model::TaskId{task}).period));
+      }
+      return worst;
+    }
+  }
+  return 0.0;
+}
+
+bool schedule_valid(const let::LetComms& comms,
+                    const let::ScheduleResult& schedule) {
+  return let::validate_schedule(comms, schedule.layout, schedule.schedule)
+      .ok();
+}
+
+bool SharedIncumbent::offer(const let::ScheduleResult& schedule,
+                            double objective, const std::string& strategy) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (best_ && best_->objective <= objective + 1e-12) return false;
+    best_ = Incumbent{schedule, objective, strategy};
+    ++improvements_;
+  }
+  static obs::Counter incumbents("engine.incumbents");
+  incumbents.add();
+  obs::instant("engine.incumbent", "engine",
+               {{"strategy", strategy}, {"objective", objective}});
+  return true;
+}
+
+std::optional<Incumbent> SharedIncumbent::best() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return best_;
+}
+
+int SharedIncumbent::improvements() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return improvements_;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          Objective objective) {
+  if (name == "greedy") {
+    GreedyEngineOptions opt;
+    opt.objective = objective;
+    return std::make_unique<GreedyEngine>(opt);
+  }
+  if (name == "ls") {
+    LocalSearchEngineOptions opt;
+    opt.objective = objective;
+    return std::make_unique<LocalSearchEngine>(opt);
+  }
+  if (name == "milp") {
+    MilpEngineOptions opt;
+    opt.objective = objective;
+    return std::make_unique<MilpEngine>(opt);
+  }
+  if (name == "portfolio") {
+    PortfolioOptions opt;
+    opt.objective = objective;
+    return std::make_unique<PortfolioScheduler>(opt);
+  }
+  throw support::PreconditionError("unknown engine scheduler: " + name);
+}
+
+ScheduleOutcome solve_with(const std::string& scheduler_name,
+                           const let::LetComms& comms, Objective objective,
+                           double budget_sec) {
+  const auto scheduler = make_scheduler(scheduler_name, objective);
+  SharedIncumbent sink;
+  Budget budget;
+  budget.wall_sec = budget_sec;
+  return scheduler->solve(comms, budget, sink);
+}
+
+}  // namespace letdma::engine

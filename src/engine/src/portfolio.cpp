@@ -1,0 +1,165 @@
+#include "letdma/engine/portfolio.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "letdma/obs/obs.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::engine {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_until(Clock::time_point deadline) {
+  return std::chrono::duration<double>(deadline - Clock::now()).count();
+}
+
+}  // namespace
+
+PortfolioScheduler::PortfolioScheduler(PortfolioOptions options)
+    : options_(std::move(options)) {
+  const std::vector<std::string> names =
+      options_.strategies.empty()
+          ? std::vector<std::string>{"greedy", "ls", "milp"}
+          : options_.strategies;
+  for (const std::string& n : names) {
+    strategies_.push_back(make_scheduler(n, options_.objective));
+  }
+}
+
+PortfolioScheduler::PortfolioScheduler(
+    std::vector<std::unique_ptr<Scheduler>> strategies,
+    PortfolioOptions options)
+    : options_(std::move(options)), strategies_(std::move(strategies)) {
+  LETDMA_ENSURE(!strategies_.empty(),
+                "a portfolio needs at least one strategy");
+}
+
+ScheduleOutcome PortfolioScheduler::solve(const let::LetComms& comms,
+                                          const Budget& budget,
+                                          IncumbentSink& sink) {
+  const auto t0 = Clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(budget.wall_sec));
+  obs::ScopedSpan span("engine.portfolio.solve", "engine");
+  span.arg("strategies", static_cast<std::int64_t>(strategies_.size()));
+  span.arg("budget_sec", budget.wall_sec);
+
+  static obs::Counter launched_counter("engine.portfolio.launched");
+  static obs::Counter cancelled_counter("engine.portfolio.cancelled");
+
+  // Workers publish into a portfolio-local incumbent so the MILP worker's
+  // warm-start polling sees what the cheap workers found; the winner is
+  // forwarded into the caller's sink at the end.
+  SharedIncumbent shared;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> proved_optimal{false};
+  std::atomic<bool> proved_infeasible{false};
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  int workers_done = 0;
+
+  const int total = static_cast<int>(strategies_.size());
+  const int workers = options_.max_concurrency > 0
+                          ? std::min(options_.max_concurrency, total)
+                          : total;
+
+  auto worker_fn = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= strategies_.size()) break;
+      Scheduler& strategy = *strategies_[i];
+      const double remaining = seconds_until(deadline);
+      if (remaining <= 0.0 || stop.load(std::memory_order_relaxed)) {
+        break;  // budget spent before this strategy got a slot
+      }
+      launched_counter.add();
+      const int track = obs::Registry::instance().track(
+          std::string("engine.") + strategy.name());
+      obs::ScopedSpan worker_span("engine.portfolio.worker", "engine",
+                                  track);
+      worker_span.arg("strategy", strategy.name());
+      Budget worker_budget;
+      worker_budget.wall_sec = remaining;
+      worker_budget.stop = &stop;
+      ScheduleOutcome out;
+      out.strategy = strategy.name();
+      try {
+        out = strategy.solve(comms, worker_budget, shared);
+      } catch (const std::exception& e) {
+        obs::log_warn("engine", std::string("portfolio worker '") +
+                                    strategy.name() + "' failed: " +
+                                    e.what());
+        continue;
+      }
+      worker_span.arg("status", status_name(out.status));
+      worker_span.arg("cancelled", out.cancelled);
+      if (out.cancelled) cancelled_counter.add();
+      if (!out.cancelled) {
+        // A proof leaves nothing for the other workers to find.
+        if (out.status == Status::kOptimal) {
+          proved_optimal.store(true, std::memory_order_relaxed);
+          if (options_.early_stop) stop.store(true, std::memory_order_relaxed);
+        } else if (out.status == Status::kInfeasible) {
+          proved_infeasible.store(true, std::memory_order_relaxed);
+          if (options_.early_stop) stop.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++workers_done;
+    }
+    cv.notify_all();
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker_fn);
+
+  // Watchdog on the calling thread: raise the stop token at the deadline
+  // (or when the caller's own token fires) and wait for the workers.
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    while (workers_done < workers) {
+      cv.wait_for(lock, std::chrono::milliseconds(50),
+                  [&] { return workers_done >= workers; });
+      if (Clock::now() >= deadline || budget.cancel_requested()) {
+        stop.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  for (std::thread& t : pool) t.join();
+
+  ScheduleOutcome out;
+  out.strategy = name();
+  const std::optional<Incumbent> best = shared.best();
+  if (best) {
+    sink.offer(best->schedule, best->objective, best->strategy);
+    obs::Registry::instance().counter_add(
+        "engine.portfolio.win." + best->strategy, 1);
+    out.status = proved_optimal.load() ? Status::kOptimal : Status::kFeasible;
+    out.schedule = best->schedule;
+    out.objective = best->objective;
+    out.strategy = best->strategy;
+  } else if (proved_infeasible.load()) {
+    out.status = Status::kInfeasible;
+  }
+  out.cancelled = budget.cancel_requested();
+  out.wall_sec = std::chrono::duration<double>(Clock::now() - t0).count();
+  span.arg("status", status_name(out.status));
+  span.arg("winner", best ? best->strategy : std::string("-"));
+  span.arg("incumbent_improvements",
+           static_cast<std::int64_t>(shared.improvements()));
+  return out;
+}
+
+}  // namespace letdma::engine

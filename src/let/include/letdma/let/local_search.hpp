@@ -15,6 +15,8 @@
 // warm starts.
 #pragma once
 
+#include <atomic>
+
 #include "letdma/let/greedy.hpp"
 
 namespace letdma::let {
@@ -30,6 +32,11 @@ struct LocalSearchOptions {
   int max_improvements = 100;
   /// Stop after this many candidate evaluations.
   int max_evaluations = 4000;
+  /// Wall-clock limit for the whole improvement run; <= 0 disables.
+  double time_limit_sec = 0.0;
+  /// Cooperative cancellation, polled before every candidate evaluation.
+  /// The best-so-far result is returned on cancel. Not owned; may be null.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 struct LocalSearchResult {

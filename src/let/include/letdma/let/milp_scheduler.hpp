@@ -29,6 +29,7 @@
 //     pattern of T* (a sound over-approximation of the paper's RGIT).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -52,6 +53,15 @@ struct MilpSchedulerOptions {
   int max_transfers = -1;
   /// Seed the solver with the greedy schedule when it is feasible.
   bool greedy_warm_start = true;
+  /// External configuration tried as the *first* warm-start candidate,
+  /// before any greedy candidate (letdma::engine passes the portfolio's
+  /// shared incumbent here). Not owned; must outlive solve().
+  const ScheduleResult* warm_start_hint = nullptr;
+  /// Called on the solving thread with the decoded configuration every
+  /// time the branch and bound improves its incumbent; `objective` is in
+  /// the model sense of the selected MilpObjective. Decoding costs one
+  /// extraction per improvement — cheap next to the node solves.
+  std::function<void(const ScheduleResult&, double objective)> on_incumbent;
   /// Generate the full Constraint-6 family up front instead of lazily.
   bool eager_contiguity = false;
   /// Encode Constraint 3 as the paper's exact equality

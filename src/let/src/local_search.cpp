@@ -1,6 +1,7 @@
 #include "letdma/let/local_search.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <optional>
 
@@ -52,7 +53,13 @@ struct Evaluation {
 class Search {
  public:
   Search(const LetComms& comms, LocalSearchOptions options)
-      : comms_(comms), app_(comms.app()), opt_(options) {}
+      : comms_(comms), app_(comms.app()), opt_(options) {
+    if (opt_.time_limit_sec > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(opt_.time_limit_sec));
+    }
+  }
 
   Evaluation evaluate(const Groups& groups, ScheduleResult* out) {
     ++evaluations_;
@@ -79,6 +86,13 @@ class Search {
   }
 
   bool budget_left(int improvements) const {
+    if (opt_.stop != nullptr &&
+        opt_.stop->load(std::memory_order_relaxed)) {
+      return false;
+    }
+    if (std::chrono::steady_clock::now() >= deadline_) {
+      return false;
+    }
     return evaluations_ < opt_.max_evaluations &&
            improvements < opt_.max_improvements;
   }
@@ -89,6 +103,8 @@ class Search {
   const model::Application& app_;
   LocalSearchOptions opt_;
   int evaluations_ = 0;
+  std::chrono::steady_clock::time_point deadline_ =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// Candidate neighbours of a partition, in deterministic order.

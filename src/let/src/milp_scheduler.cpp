@@ -913,38 +913,54 @@ int MilpScheduler::model_rows() const {
 
 MilpScheduleResult MilpScheduler::solve() {
   Impl& im = *impl_;
-  milp::MilpSolver solver(im.model, im.opt.solver);
   auto impl = impl_;
+  milp::MilpOptions solver_opt = im.opt.solver;
+  if (im.opt.on_incumbent) {
+    solver_opt.on_incumbent = [impl, cb = im.opt.on_incumbent](
+                                  const std::vector<double>& x,
+                                  double objective) {
+      cb(impl->extract(x), objective);
+    };
+  }
+  milp::MilpSolver solver(im.model, solver_opt);
   if (!im.opt.eager_contiguity) {
     solver.set_lazy_callback(
         [impl](const std::vector<double>& x) { return impl->separate(x); });
   }
 
-  if (im.opt.greedy_warm_start) {
+  if (im.opt.greedy_warm_start || im.opt.warm_start_hint != nullptr) {
     obs::ScopedSpan ws_span("let.milp.warm_start", "let");
-    // Preferred variant first (matched to the objective and polished by a
-    // short local search), then the raw strategies as fallbacks in case
-    // the preferred one misses a deadline.
+    // External hint first, then the preferred greedy variant (matched to
+    // the objective and polished by a short local search), then the raw
+    // strategies as fallbacks in case the preferred one misses a deadline.
     std::vector<ScheduleResult> candidates;
-    candidates.push_back(im.opt.objective == MilpObjective::kMinTransfers
-                             ? GreedyScheduler::best_transfer_count(im.comms)
-                             : GreedyScheduler::best_latency_ratio(im.comms));
-    try {
-      LocalSearchOptions ls;
-      ls.goal = im.opt.objective == MilpObjective::kMinTransfers
-                    ? LocalSearchGoal::kMinTransfers
-                    : LocalSearchGoal::kMinMaxLatencyRatio;
-      ls.max_evaluations = 800;
-      LocalSearchResult polished =
-          improve_schedule(im.comms, candidates.front(), ls);
-      candidates.insert(candidates.begin(), std::move(polished.schedule));
-    } catch (const support::Error&) {
-      // The raw candidate violates a deadline; fall through to the others.
+    if (im.opt.warm_start_hint != nullptr) {
+      candidates.push_back(*im.opt.warm_start_hint);
     }
-    for (const GreedyStrategy s :
-         {GreedyStrategy::kUrgencyFirst, GreedyStrategy::kWriteBatched,
-          GreedyStrategy::kReadBatched}) {
-      candidates.push_back(GreedyScheduler(im.comms, {s}).build());
+    if (im.opt.greedy_warm_start) {
+      const std::size_t greedy_at = candidates.size();
+      candidates.push_back(im.opt.objective == MilpObjective::kMinTransfers
+                               ? GreedyScheduler::best_transfer_count(im.comms)
+                               : GreedyScheduler::best_latency_ratio(im.comms));
+      try {
+        LocalSearchOptions ls;
+        ls.goal = im.opt.objective == MilpObjective::kMinTransfers
+                      ? LocalSearchGoal::kMinTransfers
+                      : LocalSearchGoal::kMinMaxLatencyRatio;
+        ls.max_evaluations = 800;
+        LocalSearchResult polished = improve_schedule(
+            im.comms, candidates[greedy_at], ls);
+        candidates.insert(
+            candidates.begin() + static_cast<std::ptrdiff_t>(greedy_at),
+            std::move(polished.schedule));
+      } catch (const support::Error&) {
+        // The raw candidate violates a deadline; fall through to the others.
+      }
+      for (const GreedyStrategy s :
+           {GreedyStrategy::kUrgencyFirst, GreedyStrategy::kWriteBatched,
+            GreedyStrategy::kReadBatched}) {
+        candidates.push_back(GreedyScheduler(im.comms, {s}).build());
+      }
     }
     bool seeded = false;
     for (const ScheduleResult& greedy : candidates) {

@@ -9,6 +9,7 @@
 // returned rows are added globally and the node is re-solved.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
@@ -38,6 +39,16 @@ struct MilpOptions {
   bool log = false;
   bool presolve = true;   // root bound propagation (see presolve.hpp)
   SimplexOptions lp;
+  /// Cooperative cancellation: polled at every branch-and-bound node. On
+  /// cancel the solve stops exactly like on a time limit — kFeasible with
+  /// the incumbent when one exists, kLimit otherwise — and
+  /// MilpStats::cancelled is set. Not owned; may be null.
+  const std::atomic<bool>* stop = nullptr;
+  /// Called on the solving thread for every incumbent improvement with the
+  /// integer-snapped solution vector and the reported (model-sense)
+  /// objective. Keep it cheap relative to a node solve.
+  std::function<void(const std::vector<double>& x, double objective)>
+      on_incumbent;
 };
 
 /// One incumbent improvement: when it landed and what it was worth
@@ -64,6 +75,7 @@ struct MilpStats {
   int lazy_rows_added = 0;
   int separation_rounds = 0;  // lazy-callback rounds that returned rows
   double wall_sec = 0.0;
+  bool cancelled = false;     // stopped early via MilpOptions::stop
 
   // Solve *behaviour* over time (Table-1-style incumbent trajectories).
   double first_incumbent_sec = -1.0;  // -1 when no incumbent was found

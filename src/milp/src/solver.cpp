@@ -127,6 +127,7 @@ MilpResult MilpSolver::solve() {
                     reported, stats.nodes_explored, t);
       obs::log_info("milp", buf);
     }
+    if (options_.on_incumbent) options_.on_incumbent(incumbent_x, reported);
   };
 
   // Gap-over-time samples: recorded on a 256-node cadence (and once at
@@ -245,9 +246,13 @@ MilpResult MilpSolver::solve() {
 
   MilpStatus final_status = MilpStatus::kOptimal;
   while (!open.empty() || plunge != nullptr) {
-    if (elapsed() > options_.time_limit_sec ||
+    const bool stop_raised =
+        options_.stop != nullptr &&
+        options_.stop->load(std::memory_order_relaxed);
+    if (stop_raised || elapsed() > options_.time_limit_sec ||
         stats.nodes_explored >= options_.node_limit) {
       bound_proof_intact = false;
+      stats.cancelled = stop_raised;
       final_status = incumbent_x.empty() ? MilpStatus::kLimit
                                          : MilpStatus::kFeasible;
       break;

@@ -1,0 +1,97 @@
+// BatchRunner — fixed thread pool with deterministic result ordering.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "../test_fixtures.hpp"
+#include "letdma/engine/adapters.hpp"
+#include "letdma/engine/batch.hpp"
+
+namespace letdma {
+namespace {
+
+TEST(BatchRunnerTest, MapReturnsResultsInIndexOrder) {
+  engine::BatchOptions opt;
+  opt.threads = 4;
+  const engine::BatchRunner runner(opt);
+  EXPECT_EQ(runner.threads(), 4);
+  // Later indices finish first so completion order inverts index order.
+  const std::vector<int> out =
+      runner.map<int>(16, [](std::size_t i) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds((16 - i) % 4));
+        return static_cast<int>(i) * 3;
+      });
+  ASSERT_EQ(out.size(), 16u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+  }
+}
+
+TEST(BatchRunnerTest, RunKeepsOutcomesAlignedWithInstances) {
+  // Distinct instances with recognizably different transfer payloads.
+  std::vector<std::unique_ptr<model::Application>> apps;
+  std::vector<std::unique_ptr<let::LetComms>> comms;
+  std::vector<const let::LetComms*> instances;
+  for (int i = 0; i < 6; ++i) {
+    apps.push_back(testing::make_pair_app(support::ms(10), support::ms(10),
+                                          1000 + 500 * i));
+    comms.push_back(std::make_unique<let::LetComms>(*apps.back()));
+    instances.push_back(comms.back().get());
+  }
+
+  engine::GreedyEngine greedy;
+  engine::BatchOptions opt;
+  opt.threads = 3;
+  const engine::BatchRunner runner(opt);
+  engine::Budget budget;
+  budget.wall_sec = 5.0;
+  const std::vector<engine::ScheduleOutcome> outcomes =
+      runner.run(greedy, instances, budget);
+
+  ASSERT_EQ(outcomes.size(), instances.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].feasible()) << "instance " << i;
+    // outcome[i] must be the schedule of instances[i]: its single write
+    // transfer carries that instance's label size.
+    std::int64_t write_bytes = 0;
+    for (const let::DmaTransfer& t : outcomes[i].schedule->s0_transfers) {
+      if (t.dir == let::Direction::kWrite) write_bytes += t.bytes;
+    }
+    EXPECT_EQ(write_bytes, 1000 + 500 * static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(BatchRunnerTest, DeterministicAcrossThreadCounts) {
+  auto run_at = [](int threads) {
+    engine::BatchOptions opt;
+    opt.threads = threads;
+    const engine::BatchRunner runner(opt);
+    return runner.map<int>(32, [](std::size_t i) {
+      return static_cast<int>(i * i % 97);
+    });
+  };
+  const std::vector<int> one = run_at(1);
+  EXPECT_EQ(run_at(2), one);
+  EXPECT_EQ(run_at(4), one);
+}
+
+TEST(BatchRunnerTest, RethrowsFirstJobError) {
+  engine::BatchOptions opt;
+  opt.threads = 4;
+  const engine::BatchRunner runner(opt);
+  EXPECT_THROW(runner.map<int>(8,
+                               [](std::size_t i) -> int {
+                                 if (i == 5) {
+                                   throw std::runtime_error("job 5 failed");
+                                 }
+                                 return static_cast<int>(i);
+                               }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace letdma

@@ -1,0 +1,240 @@
+// letdma::engine — uniform scheduler interface, adapters, shared
+// incumbent, cooperative cancellation, and the portfolio racer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "../test_fixtures.hpp"
+#include "letdma/analysis/rta.hpp"
+#include "letdma/engine/adapters.hpp"
+#include "letdma/engine/engine.hpp"
+#include "letdma/engine/portfolio.hpp"
+#include "letdma/let/validate.hpp"
+#include "letdma/obs/obs.hpp"
+#include "letdma/support/error.hpp"
+#include "letdma/waters/waters.hpp"
+
+namespace letdma {
+namespace {
+
+let::LetComms waters_comms(std::unique_ptr<model::Application>* keep) {
+  auto app = waters::make_waters_app();
+  const auto sens = analysis::acquisition_deadlines(*app, 0.2);
+  EXPECT_TRUE(sens.feasible);
+  analysis::apply_acquisition_deadlines(*app, sens.gamma);
+  let::LetComms comms(*app);
+  *keep = std::move(app);
+  return comms;
+}
+
+TEST(SharedIncumbentTest, KeepsStrictlyBestAndCounts) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms comms(*app);
+  const let::ScheduleResult g = let::GreedyScheduler::best_latency_ratio(comms);
+
+  engine::SharedIncumbent sink;
+  EXPECT_FALSE(sink.best().has_value());
+  EXPECT_TRUE(sink.offer(g, 2.0, "a"));
+  EXPECT_FALSE(sink.offer(g, 2.0, "b"));  // ties are not improvements
+  EXPECT_FALSE(sink.offer(g, 3.0, "b"));
+  EXPECT_TRUE(sink.offer(g, 1.0, "b"));
+  EXPECT_EQ(sink.improvements(), 2);
+  ASSERT_TRUE(sink.best().has_value());
+  EXPECT_DOUBLE_EQ(sink.best()->objective, 1.0);
+  EXPECT_EQ(sink.best()->strategy, "b");
+}
+
+TEST(EngineFactoryTest, ThrowsOnUnknownName) {
+  EXPECT_THROW(engine::make_scheduler("simulated-annealing"),
+               support::PreconditionError);
+}
+
+TEST(GreedyEngineTest, SolvesFig1AndPublishes) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms comms(*app);
+  engine::GreedyEngine greedy;
+  engine::SharedIncumbent sink;
+  const engine::ScheduleOutcome out = greedy.solve(comms, {}, sink);
+  EXPECT_EQ(out.status, engine::Status::kFeasible);
+  ASSERT_TRUE(out.feasible());
+  EXPECT_TRUE(engine::schedule_valid(comms, *out.schedule));
+  EXPECT_GT(out.objective, 0.0);
+  EXPECT_EQ(out.strategy, "greedy");
+  EXPECT_FALSE(out.cancelled);
+  ASSERT_TRUE(sink.best().has_value());
+  EXPECT_DOUBLE_EQ(sink.best()->objective, out.objective);
+}
+
+TEST(GreedyEngineTest, MinTransfersObjectiveCountsTransfers) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms comms(*app);
+  engine::GreedyEngineOptions opt;
+  opt.objective = engine::Objective::kMinTransfers;
+  engine::GreedyEngine greedy(opt);
+  engine::SharedIncumbent sink;
+  const engine::ScheduleOutcome out = greedy.solve(comms, {}, sink);
+  ASSERT_TRUE(out.feasible());
+  EXPECT_DOUBLE_EQ(
+      out.objective,
+      static_cast<double>(out.schedule->s0_transfers.size()));
+}
+
+TEST(LocalSearchEngineTest, NeverWorseThanGreedy) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms comms(*app);
+  const engine::ScheduleOutcome greedy =
+      engine::solve_with("greedy", comms,
+                         engine::Objective::kMinMaxLatencyRatio, 5.0);
+  const engine::ScheduleOutcome ls = engine::solve_with(
+      "ls", comms, engine::Objective::kMinMaxLatencyRatio, 5.0);
+  ASSERT_TRUE(greedy.feasible());
+  ASSERT_TRUE(ls.feasible());
+  EXPECT_TRUE(engine::schedule_valid(comms, *ls.schedule));
+  EXPECT_LE(ls.objective, greedy.objective + 1e-12);
+}
+
+TEST(MilpEngineTest, WarmStartsFromSinkIncumbent) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms comms(*app);
+  engine::SharedIncumbent sink;
+  engine::GreedyEngine greedy;
+  const engine::ScheduleOutcome seed = greedy.solve(comms, {}, sink);
+  ASSERT_TRUE(seed.feasible());
+
+  engine::MilpEngine milp;
+  engine::Budget budget;
+  budget.wall_sec = 5.0;
+  const engine::ScheduleOutcome out = milp.solve(comms, budget, sink);
+  ASSERT_TRUE(out.feasible());
+  EXPECT_TRUE(out.status == engine::Status::kOptimal ||
+              out.status == engine::Status::kFeasible);
+  EXPECT_TRUE(engine::schedule_valid(comms, *out.schedule));
+  // Warm-started from the sink, the MILP can only match or improve it.
+  EXPECT_LE(out.objective, seed.objective + 1e-12);
+}
+
+TEST(MilpEngineTest, StopTokenCancelsAndReturnsIncumbent) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms comms(*app);
+  std::atomic<bool> stop{false};
+  engine::SharedIncumbent sink;
+  engine::MilpEngine milp;
+  engine::Budget budget;
+  budget.wall_sec = 60.0;  // the token, not the budget, ends this solve
+  budget.stop = &stop;
+
+  std::thread trigger([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    stop.store(true);
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  const engine::ScheduleOutcome out = milp.solve(comms, budget, sink);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  trigger.join();
+
+  EXPECT_TRUE(out.cancelled);
+  // Cancellation behaves exactly like a timeout: the warm-start incumbent
+  // is returned, not thrown away.
+  ASSERT_TRUE(out.feasible());
+  EXPECT_EQ(out.status, engine::Status::kFeasible);
+  EXPECT_TRUE(engine::schedule_valid(comms, *out.schedule));
+  EXPECT_LT(wall, 30.0);  // returned promptly, nowhere near the budget
+}
+
+TEST(PortfolioTest, ValidAndNoWorseThanGreedyAcrossConcurrency) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms comms(*app);
+  const engine::ScheduleOutcome greedy =
+      engine::solve_with("greedy", comms,
+                         engine::Objective::kMinMaxLatencyRatio, 5.0);
+  ASSERT_TRUE(greedy.feasible());
+
+  for (const int concurrency : {1, 2, 4}) {
+    engine::PortfolioOptions opt;
+    opt.objective = engine::Objective::kMinMaxLatencyRatio;
+    opt.max_concurrency = concurrency;
+    engine::PortfolioScheduler portfolio(opt);
+    engine::SharedIncumbent sink;
+    engine::Budget budget;
+    budget.wall_sec = 1.5;
+    const engine::ScheduleOutcome out = portfolio.solve(comms, budget, sink);
+    ASSERT_TRUE(out.feasible()) << "concurrency " << concurrency;
+    EXPECT_TRUE(engine::schedule_valid(comms, *out.schedule))
+        << "concurrency " << concurrency;
+    EXPECT_LE(out.objective, greedy.objective + 1e-12)
+        << "concurrency " << concurrency;
+    // The winner is forwarded into the caller's sink.
+    ASSERT_TRUE(sink.best().has_value());
+    EXPECT_DOUBLE_EQ(sink.best()->objective, out.objective);
+  }
+}
+
+// Acceptance criterion of the engine layer: on the WATERS case study a
+// 2-second portfolio returns a validated schedule whose OBJ-DEL objective
+// is no worse than standalone greedy, and the losing workers are
+// cooperatively cancelled (observable through the obs counters).
+TEST(PortfolioTest, WatersTwoSecondBudgetBeatsGreedyAndCancelsLosers) {
+  std::unique_ptr<model::Application> app;
+  const let::LetComms comms = waters_comms(&app);
+
+  const engine::ScheduleOutcome greedy =
+      engine::solve_with("greedy", comms,
+                         engine::Objective::kMinMaxLatencyRatio, 5.0);
+  ASSERT_TRUE(greedy.feasible());
+
+  obs::Registry& reg = obs::Registry::instance();
+  reg.reset_counters();
+
+  engine::PortfolioScheduler portfolio;
+  engine::SharedIncumbent sink;
+  engine::Budget budget;
+  budget.wall_sec = 2.0;
+  const engine::ScheduleOutcome out = portfolio.solve(comms, budget, sink);
+
+  ASSERT_TRUE(out.feasible());
+  const let::ValidationReport report = let::validate_schedule(
+      comms, out.schedule->layout, out.schedule->schedule);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_LE(out.objective, greedy.objective + 1e-12);
+
+  // All three strategies launched; the MILP cannot prove optimality on
+  // WATERS in 2s, so at least one worker must have been cancelled by the
+  // shared stop token at the deadline.
+  EXPECT_EQ(reg.counter_value("engine.portfolio.launched"), 3);
+  EXPECT_GE(reg.counter_value("engine.portfolio.cancelled"), 1);
+  EXPECT_GE(reg.counter_value("engine.incumbents"), 1);
+  EXPECT_EQ(reg.counter_value("engine.portfolio.win." + out.strategy), 1);
+}
+
+TEST(PortfolioTest, ExternalStopTokenCancelsWholeRace) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms comms(*app);
+  std::atomic<bool> stop{false};
+  engine::PortfolioScheduler portfolio;
+  engine::SharedIncumbent sink;
+  engine::Budget budget;
+  budget.wall_sec = 60.0;
+  budget.stop = &stop;
+
+  std::thread trigger([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    stop.store(true);
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  const engine::ScheduleOutcome out = portfolio.solve(comms, budget, sink);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  trigger.join();
+
+  EXPECT_TRUE(out.cancelled);
+  EXPECT_TRUE(out.feasible());  // the heuristics finished before the stop
+  EXPECT_LT(wall, 30.0);
+}
+
+}  // namespace
+}  // namespace letdma

@@ -1,0 +1,44 @@
+// ThreadSanitizer smoke test for the shared-incumbent path: several
+// portfolio races in a row exercise concurrent offer()/best() calls, the
+// shared stop token, and the MILP warm-start polling loop. The assertions
+// are deliberately light — under -fsanitize=thread (the tsan CI job) the
+// value of this test is that it finishes without a data-race report.
+#include <gtest/gtest.h>
+
+#include "../test_fixtures.hpp"
+#include "letdma/engine/portfolio.hpp"
+#include "letdma/let/validate.hpp"
+
+namespace letdma {
+namespace {
+
+TEST(PortfolioTsanSmoke, RepeatedRacesOnSharedIncumbent) {
+  const auto app = testing::make_fig1_app();
+  let::LetComms comms(*app);
+  for (int round = 0; round < 3; ++round) {
+    engine::PortfolioScheduler portfolio;
+    engine::SharedIncumbent sink;
+    engine::Budget budget;
+    budget.wall_sec = 0.5;
+    const engine::ScheduleOutcome out = portfolio.solve(comms, budget, sink);
+    ASSERT_TRUE(out.feasible()) << "round " << round;
+    EXPECT_TRUE(engine::schedule_valid(comms, *out.schedule));
+  }
+}
+
+TEST(PortfolioTsanSmoke, ConcurrencyCappedRace) {
+  const auto app = testing::make_multireader_app();
+  let::LetComms comms(*app);
+  engine::PortfolioOptions opt;
+  opt.max_concurrency = 2;
+  engine::PortfolioScheduler portfolio(opt);
+  engine::SharedIncumbent sink;
+  engine::Budget budget;
+  budget.wall_sec = 0.5;
+  const engine::ScheduleOutcome out = portfolio.solve(comms, budget, sink);
+  ASSERT_TRUE(out.feasible());
+  EXPECT_TRUE(engine::schedule_valid(comms, *out.schedule));
+}
+
+}  // namespace
+}  // namespace letdma

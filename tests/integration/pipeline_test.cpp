@@ -5,7 +5,7 @@
 
 #include "letdma/analysis/protocol_rta.hpp"
 #include "letdma/baseline/giotto.hpp"
-#include "letdma/let/local_search.hpp"
+#include "letdma/engine/engine.hpp"
 #include "letdma/let/schedule_io.hpp"
 #include "letdma/let/validate.hpp"
 #include "letdma/model/io.hpp"
@@ -22,12 +22,13 @@ TEST(Pipeline, WatersEndToEnd) {
   ASSERT_TRUE(sens.feasible);
   analysis::apply_acquisition_deadlines(*app, sens.gamma);
 
-  // 2. Schedule: best greedy, polished by local search.
+  // 2. Schedule through the engine: greedy seed polished by local search.
   let::LetComms comms(*app);
-  const let::ScheduleResult greedy =
-      let::GreedyScheduler::best_latency_ratio(comms);
-  const let::LocalSearchResult polished = improve_schedule(comms, greedy);
-  const let::ScheduleResult& sched = polished.schedule;
+  const engine::ScheduleOutcome polished = engine::solve_with(
+      "ls", comms, engine::Objective::kMinMaxLatencyRatio, 10.0);
+  ASSERT_EQ(polished.status, engine::Status::kFeasible);
+  ASSERT_TRUE(polished.feasible());
+  const let::ScheduleResult& sched = *polished.schedule;
 
   // 3. Validation: every LET property at every instant, deadlines included.
   const let::ValidationReport report =
