@@ -2,15 +2,24 @@
 // through the engine layer, and print the configuration, latencies and
 // validation verdict.
 //
-//   letdma_tool <app-file> [greedy|ls|milp|portfolio] [none|dmat|del]
-//               [timeout-seconds]
+//   letdma_tool <app-file> [greedy|ls|milp|portfolio|giotto|supervised]
+//               [none|dmat|del] [timeout-seconds]
 //   letdma_tool <app-file> load <schedule-file>
 //
 // Flags (anywhere in the argument list):
-//   --engine <name>   scheduling engine: greedy | ls | milp | portfolio
-//                     (same as the positional scheduler; the flag wins)
+//   --engine <name>   scheduling engine: greedy | ls | milp | portfolio |
+//                     giotto | supervised (same as the positional
+//                     scheduler; the flag wins)
 //   --budget-ms <ms>  wall-clock budget for the solve (overrides the
-//                     positional timeout, which is in seconds)
+//                     positional timeout, which is in seconds; 0 is legal
+//                     and returns promptly with whatever is already known)
+//   --certify         independently certify the result with letdma::guard
+//                     and print the certificate; an uncertified schedule
+//                     makes the exit status non-zero
+//   --faults <spec>   arm the deterministic fault injector (same syntax as
+//                     the LETDMA_FAULTS environment variable, e.g.
+//                     "seed=7,chaos"); the env var is honoured when the
+//                     flag is absent
 //   --save <file>     write the resulting schedule
 //   --trace <file>    write a Chrome trace-event JSON (open in Perfetto or
 //                     chrome://tracing): engine/solver phase spans and
@@ -31,6 +40,8 @@
 
 #include "letdma/engine/adapters.hpp"
 #include "letdma/engine/engine.hpp"
+#include "letdma/guard/certify.hpp"
+#include "letdma/guard/faults.hpp"
 #include "letdma/let/footprint.hpp"
 #include "letdma/let/milp_scheduler.hpp"
 #include "letdma/let/schedule_io.hpp"
@@ -63,12 +74,15 @@ label name=lF bytes=6000 writer=tau6 readers=tau5
 )";
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: letdma_tool [app-file] [greedy|ls|milp|portfolio] "
-               "[none|dmat|del] [timeout-seconds]\n"
-               "       [--engine greedy|ls|milp|portfolio] [--budget-ms <ms>]\n"
-               "       [--save <file>] [--trace <file>] [--metrics <file>] "
-               "[-v]\n");
+  std::fprintf(
+      stderr,
+      "usage: letdma_tool [app-file] "
+      "[greedy|ls|milp|portfolio|giotto|supervised] "
+      "[none|dmat|del] [timeout-seconds]\n"
+      "       [--engine <name>] [--budget-ms <ms>] [--certify] "
+      "[--faults <spec>]\n"
+      "       [--save <file>] [--trace <file>] [--metrics <file>] "
+      "[-v]\n");
   return 2;
 }
 
@@ -77,8 +91,9 @@ int usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> pos;
   std::string trace_path, metrics_path, save_path;
-  std::string engine_flag, budget_ms_flag;
+  std::string engine_flag, budget_ms_flag, faults_flag;
   bool verbose = false;
+  bool certify_flag = false;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     auto value = [&](std::string* dst) {
@@ -96,6 +111,10 @@ int main(int argc, char** argv) {
       if (!value(&engine_flag)) return usage();
     } else if (arg == "--budget-ms") {
       if (!value(&budget_ms_flag)) return usage();
+    } else if (arg == "--certify") {
+      certify_flag = true;
+    } else if (arg == "--faults") {
+      if (!value(&faults_flag)) return usage();
     } else if (arg == "-v") {
       verbose = true;
     } else {
@@ -122,7 +141,24 @@ int main(int argc, char** argv) {
   if (!budget_ms_flag.empty()) {
     timeout = std::atof(budget_ms_flag.c_str()) / 1000.0;
   }
-  if (timeout <= 0) return usage();
+  if (timeout < 0) return usage();  // 0 is a legal (already-spent) budget
+
+  // Arm the fault injector: the explicit flag wins over LETDMA_FAULTS.
+  try {
+    if (!faults_flag.empty()) {
+      if (!guard::faults_compiled_in()) {
+        std::fprintf(stderr,
+                     "warning: --faults given but the injector is compiled "
+                     "out (LETDMA_ENABLE_FAULTS=OFF)\n");
+      }
+      guard::arm(guard::FaultPlan::parse(faults_flag));
+    } else {
+      guard::arm_from_env();
+    }
+  } catch (const support::Error& e) {
+    std::fprintf(stderr, "bad fault spec: %s\n", e.what());
+    return 2;
+  }
 
   // Observability sinks, attached before any scheduling work so solver
   // phase spans and incumbent events are captured.
@@ -254,6 +290,13 @@ int main(int argc, char** argv) {
       let::validate_schedule(comms, result->layout, result->schedule);
   std::printf("validation: %s\n", report.summary().c_str());
 
+  bool certified_ok = true;
+  if (certify_flag) {
+    const guard::Certificate cert = guard::certify(comms, *result);
+    std::printf("certificate: %s\n", cert.summary().c_str());
+    certified_ok = cert.certified();
+  }
+
   bool io_error = false;
   if (trace_sink != nullptr) {
     // Simulate the resulting schedule so the trace carries the Fig.-1
@@ -273,5 +316,5 @@ int main(int argc, char** argv) {
     reg.detach(metrics_sink);
     std::printf("metrics appended to %s\n", metrics_path.c_str());
   }
-  return report.ok() && !io_error ? 0 : 1;
+  return report.ok() && certified_ok && !io_error ? 0 : 1;
 }

@@ -146,9 +146,17 @@ class Scheduler {
                                 IncumbentSink& sink) = 0;
 };
 
+/// Well-defined outcome for a budget that is already exhausted on entry
+/// (wall_sec <= 0, or the stop token raised): the sink's best incumbent as
+/// kFeasible when one exists, else kTimeout. Every scheduler returns this
+/// promptly instead of hanging or racing when handed a spent budget.
+ScheduleOutcome expired_outcome(const IncumbentSink& sink,
+                                const std::string& strategy,
+                                const Budget& budget);
+
 /// Factory for the engine names exposed by tools and benches:
-/// "greedy" | "ls" | "milp" | "portfolio". Throws PreconditionError on an
-/// unknown name.
+/// "greedy" | "ls" | "milp" | "portfolio" | "giotto" | "supervised".
+/// Throws PreconditionError on an unknown name.
 std::unique_ptr<Scheduler> make_scheduler(
     const std::string& name,
     Objective objective = Objective::kMinMaxLatencyRatio);

@@ -1,0 +1,121 @@
+// Supervised engine mode — graceful degradation with independent
+// certification.
+//
+// SupervisedScheduler walks a degradation chain (default
+// milp -> ls -> greedy -> giotto): each level is run under the remaining
+// budget and its outcome is certified by letdma::guard before being
+// served. A level that throws, times out without an incumbent, or fails
+// certification is retried once (with a short backoff) and then demoted —
+// the next, simpler level takes over. The terminal level is the Giotto
+// baseline, which constructs a schedule directly from the paper's
+// single-buffered protocol and succeeds whenever the instance is feasible
+// at all, so a supervised solve never crashes, never hangs past its
+// budget, and never returns an uncertified schedule.
+//
+// An infeasibility claim is not trusted blindly: when an upper level
+// reports kInfeasible (the MILP can — a fault-injected node drop makes it
+// lie), the supervisor cross-checks by running the rest of the chain; a
+// certified feasible schedule from any later level refutes the claim, and
+// the refutation is counted and recorded.
+//
+// Everything the supervisor does is observable: retries, demotions,
+// certification failures and refuted infeasibility claims bump
+// "engine.guard.*" counters and emit span instants, and the final
+// SupervisionRecord names the level that produced the served schedule.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "letdma/engine/engine.hpp"
+#include "letdma/guard/certify.hpp"
+
+namespace letdma::engine {
+
+/// Certifies a full engine outcome: composes guard::certify on the
+/// schedule with engine-level shape checks (status/schedule consistency)
+/// and an objective recomputation (catches a corrupted/NaN objective).
+/// Outcomes without a schedule (kInfeasible / kTimeout) only get the
+/// shape checks.
+guard::Certificate certify_outcome(const let::LetComms& comms,
+                                   const ScheduleOutcome& outcome,
+                                   Objective objective);
+
+/// One attempt at one chain level, as recorded by the supervisor.
+struct LevelAttempt {
+  std::string strategy;
+  int attempt = 0;  // 0 = first try, 1 = retry
+  Status status = Status::kTimeout;
+  bool certified = false;
+  std::string note;  // exception text / certification summary, if any
+};
+
+/// What the supervisor did during one solve.
+struct SupervisionRecord {
+  std::vector<LevelAttempt> attempts;
+  /// Chain index of the level whose schedule was served (-1 = none).
+  int fallback_level = -1;
+  std::string served_by;
+  int retries = 0;
+  int demotions = 0;
+  int certification_failures = 0;
+  /// An upper level claimed kInfeasible but a later level produced a
+  /// certified schedule.
+  bool infeasible_refuted = false;
+};
+
+struct GuardOptions {
+  Objective objective = Objective::kMinMaxLatencyRatio;
+  /// Degradation chain, tried in order; empty = milp, ls, greedy, giotto.
+  std::vector<std::string> chain;
+  /// Retries per level before demotion (on throw / timeout-with-nothing /
+  /// certification failure).
+  int max_retries = 1;
+  /// Sleep before a retry (capped by the remaining budget).
+  double retry_backoff_sec = 0.05;
+  /// Certify every outcome before serving it (the point of the exercise;
+  /// OFF only makes sense for measuring certification overhead).
+  bool certify = true;
+  /// Run the remaining chain after a kInfeasible claim to try to refute
+  /// it instead of trusting the claimant.
+  bool cross_check_infeasible = true;
+  /// Observer invoked with the completed record after every solve.
+  std::function<void(const SupervisionRecord&)> on_complete;
+};
+
+/// The paper's Giotto single-buffered baseline behind the Scheduler
+/// interface — the terminal "always works" level of the degradation
+/// chain. Publishes its schedule only when validate_schedule passes.
+class GiottoEngine : public Scheduler {
+ public:
+  explicit GiottoEngine(Objective objective = Objective::kMinMaxLatencyRatio)
+      : objective_(objective) {}
+  const char* name() const override { return "giotto"; }
+  ScheduleOutcome solve(const let::LetComms& comms, const Budget& budget,
+                        IncumbentSink& sink) override;
+
+ private:
+  Objective objective_;
+};
+
+class SupervisedScheduler : public Scheduler {
+ public:
+  explicit SupervisedScheduler(GuardOptions options = {});
+  const char* name() const override { return "supervised"; }
+  ScheduleOutcome solve(const let::LetComms& comms, const Budget& budget,
+                        IncumbentSink& sink) override;
+
+ private:
+  GuardOptions options_;
+  std::vector<std::string> chain_;
+};
+
+/// Convenience: one supervised solve with a private sink, returning the
+/// outcome together with the supervision record.
+std::pair<ScheduleOutcome, SupervisionRecord> solve_supervised(
+    const let::LetComms& comms, const GuardOptions& options,
+    double budget_sec);
+
+}  // namespace letdma::engine

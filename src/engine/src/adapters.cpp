@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <thread>
 #include <vector>
 
+#include "letdma/guard/faults.hpp"
 #include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
 
@@ -15,6 +17,37 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Injection effects an adapter enacts itself (a kThrow already escaped
+/// from fault_point inside poll_entry_fault).
+struct EntryFault {
+  bool nan_objective = false;
+  bool spurious_infeasible = false;
+};
+
+/// Polls the adapter's entry fault site. kStall sleeps here (bounded by
+/// the budget so a stalled engine still respects the wall clock); the
+/// other kinds are returned for the adapter to apply where they bite.
+EntryFault poll_entry_fault(std::string_view site, const Budget& budget) {
+  EntryFault out;
+  if (const auto fault = guard::fault_point(site)) {
+    switch (*fault) {
+      case guard::FaultKind::kNanObjective:
+        out.nan_objective = true;
+        break;
+      case guard::FaultKind::kSpuriousInfeasible:
+        out.spurious_infeasible = true;
+        break;
+      case guard::FaultKind::kStall:
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::min(0.2, std::max(budget.wall_sec, 0.0))));
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
 }
 
 /// The greedy candidates in preference order for `objective`: the
@@ -78,6 +111,12 @@ ScheduleOutcome GreedyEngine::solve(const let::LetComms& comms,
                                     IncumbentSink& sink) {
   const auto t0 = Clock::now();
   obs::ScopedSpan span("engine.greedy.solve", "engine");
+  if (budget.wall_sec <= 0.0 || budget.cancel_requested()) {
+    ScheduleOutcome out = expired_outcome(sink, name(), budget);
+    span.arg("status", status_name(out.status));
+    return out;
+  }
+  const EntryFault fault = poll_entry_fault("engine.greedy", budget);
   ScheduleOutcome out;
   out.strategy = name();
   auto best = pick_best_valid(
@@ -88,6 +127,9 @@ ScheduleOutcome GreedyEngine::solve(const let::LetComms& comms,
     out.status = Status::kFeasible;
     out.objective = best->second;
     out.schedule = std::move(best->first);
+  }
+  if (fault.nan_objective && out.feasible()) {
+    out.objective = std::numeric_limits<double>::quiet_NaN();
   }
   out.cancelled = budget.cancel_requested();
   out.wall_sec = seconds_since(t0);
@@ -100,6 +142,12 @@ ScheduleOutcome LocalSearchEngine::solve(const let::LetComms& comms,
                                          IncumbentSink& sink) {
   const auto t0 = Clock::now();
   obs::ScopedSpan span("engine.ls.solve", "engine");
+  if (budget.wall_sec <= 0.0 || budget.cancel_requested()) {
+    ScheduleOutcome out = expired_outcome(sink, name(), budget);
+    span.arg("status", status_name(out.status));
+    return out;
+  }
+  const EntryFault fault = poll_entry_fault("engine.ls", budget);
   ScheduleOutcome out;
   out.strategy = name();
 
@@ -141,6 +189,9 @@ ScheduleOutcome LocalSearchEngine::solve(const let::LetComms& comms,
     // The seed does not rebuild feasibly under the search's partition
     // moves; keep the validated seed as the outcome.
   }
+  if (fault.nan_objective && out.feasible()) {
+    out.objective = std::numeric_limits<double>::quiet_NaN();
+  }
   out.cancelled = budget.cancel_requested();
   out.wall_sec = seconds_since(t0);
   span.arg("status", status_name(out.status));
@@ -153,8 +204,22 @@ ScheduleOutcome MilpEngine::solve(const let::LetComms& comms,
                                   IncumbentSink& sink) {
   const auto t0 = Clock::now();
   obs::ScopedSpan span("engine.milp.solve", "engine");
+  if (budget.wall_sec <= 0.0 || budget.cancel_requested()) {
+    ScheduleOutcome out = expired_outcome(sink, name(), budget);
+    span.arg("status", status_name(out.status));
+    return out;
+  }
+  const EntryFault fault = poll_entry_fault("engine.milp", budget);
   ScheduleOutcome out;
   out.strategy = name();
+  if (fault.spurious_infeasible) {
+    // The engine claims a proof it does not have; the supervised chain's
+    // cross-check is responsible for catching the lie.
+    out.status = Status::kInfeasible;
+    out.wall_sec = seconds_since(t0);
+    span.arg("status", status_name(out.status));
+    return out;
+  }
 
   // Wait briefly for a cheap strategy to publish a warm start.
   const double grace =
@@ -209,6 +274,9 @@ ScheduleOutcome MilpEngine::solve(const let::LetComms& comms,
     out.objective = objective_of(comms, *r.schedule, options_.objective);
     sink.offer(*r.schedule, out.objective, name());
     out.schedule = *r.schedule;
+  }
+  if (fault.nan_objective && out.feasible()) {
+    out.objective = std::numeric_limits<double>::quiet_NaN();
   }
   out.cancelled = r.stats.cancelled || budget.cancel_requested();
   out.wall_sec = seconds_since(t0);

@@ -4,6 +4,7 @@
 
 #include "letdma/engine/adapters.hpp"
 #include "letdma/engine/portfolio.hpp"
+#include "letdma/engine/supervised.hpp"
 #include "letdma/let/latency.hpp"
 #include "letdma/let/validate.hpp"
 #include "letdma/obs/obs.hpp"
@@ -85,6 +86,21 @@ int SharedIncumbent::improvements() const {
   return improvements_;
 }
 
+ScheduleOutcome expired_outcome(const IncumbentSink& sink,
+                                const std::string& strategy,
+                                const Budget& budget) {
+  ScheduleOutcome out;
+  out.strategy = strategy;
+  out.cancelled = budget.cancel_requested();
+  if (const std::optional<Incumbent> best = sink.best()) {
+    out.status = Status::kFeasible;
+    out.schedule = best->schedule;
+    out.objective = best->objective;
+    out.strategy = best->strategy;
+  }
+  return out;
+}
+
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
                                           Objective objective) {
   if (name == "greedy") {
@@ -106,6 +122,14 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
     PortfolioOptions opt;
     opt.objective = objective;
     return std::make_unique<PortfolioScheduler>(opt);
+  }
+  if (name == "giotto") {
+    return std::make_unique<GiottoEngine>(objective);
+  }
+  if (name == "supervised") {
+    GuardOptions opt;
+    opt.objective = objective;
+    return std::make_unique<SupervisedScheduler>(opt);
   }
   throw support::PreconditionError("unknown engine scheduler: " + name);
 }

@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 
+#include "letdma/guard/faults.hpp"
 #include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
 
@@ -51,6 +52,14 @@ ScheduleOutcome PortfolioScheduler::solve(const let::LetComms& comms,
   obs::ScopedSpan span("engine.portfolio.solve", "engine");
   span.arg("strategies", static_cast<std::int64_t>(strategies_.size()));
   span.arg("budget_sec", budget.wall_sec);
+
+  if (budget.wall_sec <= 0.0 || budget.cancel_requested()) {
+    // Spent budget: a well-defined prompt answer, no worker threads.
+    ScheduleOutcome out = expired_outcome(sink, name(), budget);
+    span.arg("status", status_name(out.status));
+    return out;
+  }
+  guard::fault_point("engine.portfolio");  // may throw FaultInjectedError
 
   static obs::Counter launched_counter("engine.portfolio.launched");
   static obs::Counter cancelled_counter("engine.portfolio.cancelled");

@@ -1,0 +1,302 @@
+#include "letdma/engine/supervised.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "letdma/baseline/giotto.hpp"
+#include "letdma/obs/obs.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::engine {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Floor budget for a degradation level reached after the wall clock ran
+/// out: the constructive safety-net levels (greedy, giotto) still get a
+/// sliver of time to run, so a solve whose upper levels consumed the whole
+/// budget can overrun it by at most chain-length floors instead of
+/// returning empty-handed.
+constexpr double kLevelFloorSec = 0.05;
+
+}  // namespace
+
+guard::Certificate certify_outcome(const let::LetComms& comms,
+                                   const ScheduleOutcome& outcome,
+                                   Objective objective) {
+  guard::Certificate cert;
+  const bool has_schedule = outcome.schedule.has_value();
+  const bool should_have = outcome.status == Status::kOptimal ||
+                           outcome.status == Status::kFeasible;
+  if (has_schedule != should_have) {
+    guard::Diagnostic d;
+    d.check = guard::Check::kOutcomeShape;
+    d.message = std::string("status `") + status_name(outcome.status) +
+                (has_schedule ? "` carries a schedule"
+                              : "` without a schedule");
+    cert.diagnostics.push_back(std::move(d));
+  }
+  if (!has_schedule) return cert;  // nothing further to check
+
+  if (!std::isfinite(outcome.objective)) {
+    guard::Diagnostic d;
+    d.check = guard::Check::kObjective;
+    d.message = "reported objective is not finite";
+    cert.diagnostics.push_back(std::move(d));
+  } else {
+    const double recomputed =
+        objective_of(comms, *outcome.schedule, objective);
+    const double tol = 1e-6 * std::max(1.0, std::abs(recomputed));
+    if (std::abs(recomputed - outcome.objective) > tol) {
+      guard::Diagnostic d;
+      d.check = guard::Check::kObjective;
+      d.message = "reported objective " + std::to_string(outcome.objective) +
+                  " != recomputed " + std::to_string(recomputed);
+      cert.diagnostics.push_back(std::move(d));
+    }
+  }
+
+  guard::Certificate inner = guard::certify(comms, *outcome.schedule);
+  for (guard::Diagnostic& d : inner.diagnostics) {
+    cert.diagnostics.push_back(std::move(d));
+  }
+  return cert;
+}
+
+ScheduleOutcome GiottoEngine::solve(const let::LetComms& comms,
+                                    const Budget& budget,
+                                    IncumbentSink& sink) {
+  const auto t0 = Clock::now();
+  obs::ScopedSpan span("engine.giotto.solve", "engine");
+  ScheduleOutcome out;
+  out.strategy = name();
+  if (budget.wall_sec <= 0.0 || budget.cancel_requested()) {
+    out = expired_outcome(sink, name(), budget);
+    out.wall_sec = seconds_since(t0);
+    span.arg("status", status_name(out.status));
+    return out;
+  }
+  try {
+    let::ScheduleResult sched = baseline::giotto_dma_a(comms);
+    if (schedule_valid(comms, sched)) {
+      out.objective = objective_of(comms, sched, objective_);
+      sink.offer(sched, out.objective, name());
+      out.status = Status::kFeasible;
+      out.schedule = std::move(sched);
+    }
+  } catch (const support::Error& e) {
+    obs::log_warn("engine",
+                  std::string("giotto baseline failed: ") + e.what());
+  }
+  out.cancelled = budget.cancel_requested();
+  out.wall_sec = seconds_since(t0);
+  span.arg("status", status_name(out.status));
+  return out;
+}
+
+SupervisedScheduler::SupervisedScheduler(GuardOptions options)
+    : options_(std::move(options)) {
+  chain_ = options_.chain.empty()
+               ? std::vector<std::string>{"milp", "ls", "greedy", "giotto"}
+               : options_.chain;
+  for (const std::string& n : chain_) {
+    LETDMA_ENSURE(n != "supervised",
+                  "a supervised chain cannot nest itself");
+  }
+}
+
+ScheduleOutcome SupervisedScheduler::solve(const let::LetComms& comms,
+                                           const Budget& budget,
+                                           IncumbentSink& sink) {
+  const auto t0 = Clock::now();
+  obs::ScopedSpan span("engine.supervised.solve", "engine");
+  static obs::Counter retries_counter("engine.guard.retries");
+  static obs::Counter demotions_counter("engine.guard.demotions");
+  static obs::Counter certfail_counter("engine.guard.certify_failures");
+  static obs::Counter refuted_counter("engine.guard.infeasible_refuted");
+
+  SupervisionRecord record;
+  ScheduleOutcome served;
+  served.strategy = name();
+  bool have_served = false;
+  bool saw_infeasible = false;
+
+  const auto finalize = [&](ScheduleOutcome out) {
+    if (out.feasible() && saw_infeasible) {
+      record.infeasible_refuted = true;
+      refuted_counter.add();
+      obs::instant("engine.guard.infeasible_refuted", "engine",
+                   {{"strategy", out.strategy}});
+    }
+    out.cancelled = budget.cancel_requested();
+    out.wall_sec = seconds_since(t0);
+    if (out.feasible()) {
+      obs::Registry::instance().counter_add(
+          "engine.guard.served." + out.strategy, 1);
+    }
+    span.arg("status", status_name(out.status));
+    span.arg("fallback_level", static_cast<std::int64_t>(
+                                   record.fallback_level));
+    span.arg("retries", static_cast<std::int64_t>(record.retries));
+    span.arg("demotions", static_cast<std::int64_t>(record.demotions));
+    span.arg("certify_failures",
+             static_cast<std::int64_t>(record.certification_failures));
+    if (options_.on_complete) options_.on_complete(record);
+    return out;
+  };
+
+  if (budget.wall_sec <= 0.0 || budget.cancel_requested()) {
+    return finalize(expired_outcome(sink, name(), budget));
+  }
+
+  const auto remaining = [&] { return budget.wall_sec - seconds_since(t0); };
+
+  for (int level = 0;
+       level < static_cast<int>(chain_.size()) && !have_served; ++level) {
+    const std::string& strat =
+        chain_[static_cast<std::size_t>(level)];
+    bool level_gave_up = false;
+    for (int attempt = 0;
+         attempt <= options_.max_retries && !have_served && !level_gave_up;
+         ++attempt) {
+      if (budget.cancel_requested()) {
+        level = static_cast<int>(chain_.size());
+        break;
+      }
+      LevelAttempt la;
+      la.strategy = strat;
+      la.attempt = attempt;
+      ScheduleOutcome out;
+      bool threw = false;
+      try {
+        const auto scheduler = make_scheduler(strat, options_.objective);
+        Budget level_budget;
+        level_budget.wall_sec = std::max(remaining(), kLevelFloorSec);
+        level_budget.stop = budget.stop;
+        out = scheduler->solve(comms, level_budget, sink);
+      } catch (const std::exception& e) {
+        threw = true;
+        la.note = e.what();
+        obs::log_warn("engine", "supervised level '" + strat +
+                                    "' threw: " + e.what());
+      }
+      if (!threw) {
+        la.status = out.status;
+        if (out.status == Status::kOptimal ||
+            out.status == Status::kFeasible) {
+          const guard::Certificate cert =
+              options_.certify
+                  ? certify_outcome(comms, out, options_.objective)
+                  : guard::Certificate{};
+          if (cert.certified()) {
+            la.certified = true;
+            record.attempts.push_back(la);
+            record.fallback_level = level;
+            record.served_by = strat;
+            served = std::move(out);
+            have_served = true;
+            break;
+          }
+          ++record.certification_failures;
+          certfail_counter.add();
+          la.note = cert.summary();
+          obs::instant("engine.guard.certify_reject", "engine",
+                       {{"strategy", strat}});
+        } else if (out.status == Status::kInfeasible) {
+          record.attempts.push_back(la);
+          if (options_.cross_check_infeasible &&
+              level + 1 < static_cast<int>(chain_.size())) {
+            // Don't trust the claim: demote and let the rest of the chain
+            // try to refute it with a certified schedule.
+            saw_infeasible = true;
+            level_gave_up = true;
+            break;
+          }
+          record.fallback_level = level;
+          record.served_by = strat;
+          served = std::move(out);
+          have_served = true;
+          break;
+        }
+        // kTimeout with no incumbent: fall through to retry/demote.
+      }
+      if (attempt < options_.max_retries) {
+        ++record.retries;
+        retries_counter.add();
+        obs::instant("engine.guard.retry", "engine",
+                     {{"strategy", strat},
+                      {"attempt", static_cast<std::int64_t>(attempt + 1)}});
+        record.attempts.push_back(la);
+        const double backoff =
+            std::min(options_.retry_backoff_sec,
+                     std::max(remaining(), 0.0));
+        if (backoff > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(backoff));
+        }
+        continue;
+      }
+      record.attempts.push_back(la);
+      level_gave_up = true;
+    }
+    if (!have_served && level + 1 < static_cast<int>(chain_.size())) {
+      ++record.demotions;
+      demotions_counter.add();
+      obs::instant(
+          "engine.guard.demote", "engine",
+          {{"from", strat},
+           {"to", chain_[static_cast<std::size_t>(level) + 1]}});
+    }
+  }
+
+  if (!have_served) {
+    // Chain exhausted: serve the sink's best incumbent if it certifies.
+    if (const std::optional<Incumbent> best = sink.best()) {
+      ScheduleOutcome out;
+      out.status = Status::kFeasible;
+      out.schedule = best->schedule;
+      out.objective = best->objective;
+      out.strategy = best->strategy;
+      const guard::Certificate cert =
+          options_.certify
+              ? certify_outcome(comms, out, options_.objective)
+              : guard::Certificate{};
+      if (cert.certified()) {
+        served = std::move(out);
+        have_served = true;
+        record.served_by = served.strategy;
+      }
+    }
+  }
+  if (!have_served) {
+    served.status = saw_infeasible ? Status::kInfeasible : Status::kTimeout;
+  }
+  return finalize(std::move(served));
+}
+
+std::pair<ScheduleOutcome, SupervisionRecord> solve_supervised(
+    const let::LetComms& comms, const GuardOptions& options,
+    double budget_sec) {
+  GuardOptions opt = options;
+  SupervisionRecord record;
+  const auto user_cb = opt.on_complete;
+  opt.on_complete = [&](const SupervisionRecord& r) {
+    record = r;
+    if (user_cb) user_cb(r);
+  };
+  SupervisedScheduler scheduler(opt);
+  SharedIncumbent sink;
+  Budget budget;
+  budget.wall_sec = budget_sec;
+  ScheduleOutcome out = scheduler.solve(comms, budget, sink);
+  return {std::move(out), std::move(record)};
+}
+
+}  // namespace letdma::engine

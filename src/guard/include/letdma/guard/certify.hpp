@@ -1,0 +1,70 @@
+// letdma::guard — independent certification of protocol configurations.
+//
+// certify() re-checks a complete (layout, s0 transfers, per-instant
+// schedule) configuration against everything the paper's guarantees rest
+// on — LET causality (Properties 1-2), slot containment (Property 3),
+// coverage of C(t), acquisition deadlines, Theorem 1, and the structural
+// invariants the solvers are supposed to maintain (layout slot sets,
+// transfer contiguity in both memories) — without reusing any solver code
+// path: the checks run on the declarative rules in let/validate plus
+// first-principles re-derivation here, so a bug in the MILP, the local
+// search, or the greedy constructor cannot silently certify its own
+// output.
+//
+// The result is a Certificate: empty = certified; otherwise each
+// Diagnostic names the failed check and, for LET-semantics findings, the
+// violated rule, the offending task/label/transfer, and the signed slack.
+// Engine-level outcome checks (status shape, objective recomputation) live
+// in letdma::engine's supervised layer, which composes this certificate.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "letdma/let/greedy.hpp"
+#include "letdma/let/validate.hpp"
+
+namespace letdma::guard {
+
+/// The family a Diagnostic belongs to.
+enum class Check {
+  kLayoutIntegrity,  // a memory's slot order is not a permutation of the
+                     // required slot set (duplicate / missing / foreign)
+  kTransferShape,    // an s0 transfer is malformed against the layout
+  kLetSemantics,     // a let/validate rule failed (violation attached)
+  kOutcomeShape,     // engine outcome inconsistent (status vs schedule)
+  kObjective,        // reported objective non-finite or != recomputed
+};
+
+const char* check_name(Check check);
+
+struct Diagnostic {
+  Check check = Check::kLetSemantics;
+  /// Set for kLetSemantics: the structured rule finding.
+  std::optional<let::Violation> violation;
+  std::string message;
+};
+
+struct Certificate {
+  std::vector<Diagnostic> diagnostics;
+
+  bool certified() const { return diagnostics.empty(); }
+  bool flags(Check check) const;
+  bool flags(let::Rule rule) const;
+  std::string summary() const;
+};
+
+struct CertifyOptions {
+  let::ValidationOptions validation;
+};
+
+/// Independently certifies a configuration. Never throws on a malformed
+/// configuration — structural failures become diagnostics. Every call
+/// bumps "guard.certify.pass" or "guard.certify.fail" and a failed call
+/// emits a "guard.certify_fail" obs instant naming the first diagnostic.
+Certificate certify(const let::LetComms& comms,
+                    const let::ScheduleResult& schedule,
+                    const CertifyOptions& options = {});
+
+}  // namespace letdma::guard

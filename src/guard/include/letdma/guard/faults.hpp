@@ -1,0 +1,152 @@
+// letdma::guard — deterministic fault injection for the solver/engine
+// stack.
+//
+// Production DMA stacks treat failure paths as first-class: descriptor
+// validation, watchdogs, and fallback engines are exercised continuously,
+// not only when the hardware misbehaves. This header gives letdma the
+// same capability in software: a seed-driven FaultPlan arms a small set of
+// named injection points threaded through the MILP node loop, the simplex
+// pivot loop, the engine adapters, and the io parsers. Each site polls the
+// armed plan and, when a fault fires, simulates one concrete failure mode:
+//
+//   kThrow               a solver exception (FaultInjectedError)
+//   kSpuriousInfeasible  a node/result wrongly reported infeasible
+//   kNanObjective        a corrupted (non-finite) objective value
+//   kStall               a worker that stops making progress for a while
+//   kTruncate            input text cut short before parsing
+//
+// Determinism: firing decisions depend only on (plan seed, site name,
+// per-site poll index), so a given plan produces the same fault sequence
+// on every run — failures found in CI reproduce locally from the seed.
+//
+// Arming is explicit: nothing fires until arm() (or arm_from_env(), which
+// reads LETDMA_FAULTS) installs a plan, so production paths and ordinary
+// tests are untouched. With -DLETDMA_ENABLE_FAULTS=OFF every poll compiles
+// to `return nullopt` and the injector has zero overhead.
+//
+// Plan syntax (env LETDMA_FAULTS or FaultPlan::parse):
+//
+//   seed=<n>                  RNG seed (default 1)
+//   <site>=<kind>[@rate]      arm `kind` at `site`, firing with the given
+//                             probability per poll (default 1.0)
+//   chaos                     arm every site with a moderate default rate
+//
+//   e.g.  LETDMA_FAULTS="seed=42,milp.node=throw@0.02,engine.ls=stall"
+//         LETDMA_FAULTS="seed=7,chaos"
+//
+// Sites: milp.node | simplex.pivot | engine.greedy | engine.ls |
+//        engine.milp | engine.portfolio | io.parse
+// Kinds: throw | infeasible | nan | stall | truncate
+//
+// Every fire bumps the obs counter "guard.fault.<site>" and emits a
+// "guard.fault" instant, so injected faults are visible in traces.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "letdma/support/error.hpp"
+
+#ifndef LETDMA_FAULTS_ENABLED
+#define LETDMA_FAULTS_ENABLED 1
+#endif
+
+namespace letdma::guard {
+
+/// True when the injector is compiled in (LETDMA_ENABLE_FAULTS=ON).
+constexpr bool faults_compiled_in() { return LETDMA_FAULTS_ENABLED != 0; }
+
+enum class FaultKind {
+  kThrow,
+  kSpuriousInfeasible,
+  kNanObjective,
+  kStall,
+  kTruncate,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// The exception thrown by a kThrow fault (derived from support::Error so
+/// existing solver-failure handling treats it like any numerical failure).
+class FaultInjectedError : public support::Error {
+ public:
+  explicit FaultInjectedError(const std::string& what) : Error(what) {}
+};
+
+/// One armed fault: fire `kind` at `site` with probability `rate` per
+/// poll, at most `max_fires` times (-1 = unlimited).
+struct FaultSpec {
+  std::string site;
+  FaultKind kind = FaultKind::kThrow;
+  double rate = 1.0;
+  int max_fires = -1;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultSpec> specs;
+
+  bool empty() const { return specs.empty(); }
+
+  /// Parses the plan syntax documented above. Throws
+  /// support::PreconditionError on an unknown site, kind, or token.
+  static FaultPlan parse(const std::string& text);
+  /// The `chaos` preset: every site armed at a moderate rate.
+  static FaultPlan chaos(std::uint64_t seed);
+};
+
+/// Installs `plan`; subsequent polls may fire. Replaces any armed plan and
+/// resets per-site poll/fire counts.
+void arm(const FaultPlan& plan);
+/// Removes the armed plan; polls return nullopt again.
+void disarm();
+bool armed();
+
+/// Arms from the LETDMA_FAULTS environment variable. Returns false (and
+/// leaves the injector disarmed) when the variable is unset or empty;
+/// throws on a malformed spec. Never called implicitly — tools and fault
+/// suites opt in.
+bool arm_from_env();
+
+/// Total fires at `site` since the plan was armed (0 when disarmed).
+std::int64_t fire_count(std::string_view site);
+
+namespace detail {
+#if LETDMA_FAULTS_ENABLED
+extern std::atomic<bool> g_armed;
+std::optional<FaultKind> poll_slow(std::string_view site);
+#endif
+}  // namespace detail
+
+/// Polls `site` against the armed plan. Disarmed (the common case) this is
+/// one relaxed atomic load; compiled out it is constant nullopt.
+inline std::optional<FaultKind> poll(std::string_view site) {
+#if LETDMA_FAULTS_ENABLED
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return std::nullopt;
+  return detail::poll_slow(site);
+#else
+  (void)site;
+  return std::nullopt;
+#endif
+}
+
+/// Like poll(), but a kThrow fault is raised here as FaultInjectedError;
+/// any other fired kind is returned for the site to enact.
+inline std::optional<FaultKind> fault_point(std::string_view site) {
+#if LETDMA_FAULTS_ENABLED
+  const std::optional<FaultKind> kind = poll(site);
+  if (kind == FaultKind::kThrow) {
+    throw FaultInjectedError("injected fault at " + std::string(site));
+  }
+  return kind;
+#else
+  (void)site;
+  return std::nullopt;
+#endif
+}
+
+}  // namespace letdma::guard

@@ -1,0 +1,171 @@
+#include "letdma/guard/certify.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "letdma/obs/obs.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::guard {
+
+const char* check_name(Check check) {
+  switch (check) {
+    case Check::kLayoutIntegrity: return "layout-integrity";
+    case Check::kTransferShape: return "transfer-shape";
+    case Check::kLetSemantics: return "let-semantics";
+    case Check::kOutcomeShape: return "outcome-shape";
+    case Check::kObjective: return "objective";
+  }
+  return "?";
+}
+
+bool Certificate::flags(Check check) const {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [check](const Diagnostic& d) { return d.check == check; });
+}
+
+bool Certificate::flags(let::Rule rule) const {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [rule](const Diagnostic& d) {
+                       return d.violation && d.violation->rule == rule;
+                     });
+}
+
+std::string Certificate::summary() const {
+  if (certified()) return "CERTIFIED";
+  std::ostringstream os;
+  os << "REJECTED, " << diagnostics.size() << " diagnostic(s):\n";
+  for (const Diagnostic& d : diagnostics) {
+    os << "  - [" << check_name(d.check);
+    if (d.violation) os << "/" << let::rule_name(d.violation->rule);
+    os << "] " << d.message << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// The layout re-check: every memory order must be a permutation of the
+/// canonical required slot set. set_order() enforces this at construction
+/// time, but a certificate must not trust that the layout it is handed was
+/// built through that API (loaded schedules, decoded MILP solutions and
+/// injected corruption all arrive here), so it is re-derived from the
+/// application alone.
+void check_layout(const let::LetComms& comms, const let::MemoryLayout& layout,
+                  Certificate& cert) {
+  const model::Application& app = comms.app();
+  for (int m = 0; m < app.platform().num_memories(); ++m) {
+    const model::MemoryId mem{m};
+    std::vector<let::Slot> required =
+        let::MemoryLayout::required_slots(app, mem);
+    if (!layout.has_order(mem)) {
+      if (required.empty()) continue;  // nothing to hold; nothing to check
+      Diagnostic d;
+      d.check = Check::kLayoutIntegrity;
+      d.message = "memory " + app.platform().memory_name(mem) +
+                  " has no slot order";
+      cert.diagnostics.push_back(std::move(d));
+      continue;
+    }
+    std::vector<let::Slot> placed = layout.order(mem);
+    std::sort(placed.begin(), placed.end());
+    const auto dup = std::adjacent_find(placed.begin(), placed.end());
+    if (dup != placed.end()) {
+      Diagnostic d;
+      d.check = Check::kLayoutIntegrity;
+      d.message = "memory " + app.platform().memory_name(mem) +
+                  " places label " + app.label(dup->label).name +
+                  " twice (overlapping slots)";
+      cert.diagnostics.push_back(std::move(d));
+    }
+    std::sort(required.begin(), required.end());
+    if (placed != required) {
+      Diagnostic d;
+      d.check = Check::kLayoutIntegrity;
+      d.message = "memory " + app.platform().memory_name(mem) +
+                  " slot set differs from the required set (" +
+                  std::to_string(placed.size()) + " placed, " +
+                  std::to_string(required.size()) + " required)";
+      cert.diagnostics.push_back(std::move(d));
+    }
+  }
+}
+
+/// Every s0 transfer must rebuild identically from its communication list
+/// and the layout: one direction, one local memory, labels contiguous and
+/// equally ordered in both memories, and the declared bytes/addresses
+/// matching the layout's address map.
+void check_transfers(const let::ScheduleResult& schedule, Certificate& cert) {
+  for (std::size_t g = 0; g < schedule.s0_transfers.size(); ++g) {
+    const let::DmaTransfer& t = schedule.s0_transfers[g];
+    try {
+      const let::DmaTransfer rebuilt =
+          let::make_transfer(schedule.layout, t.comms);
+      if (rebuilt.bytes != t.bytes || rebuilt.local_addr != t.local_addr ||
+          rebuilt.global_addr != t.global_addr || rebuilt.dir != t.dir) {
+        Diagnostic d;
+        d.check = Check::kTransferShape;
+        d.message = "s0 transfer " + std::to_string(g) +
+                    " metadata inconsistent with the layout";
+        cert.diagnostics.push_back(std::move(d));
+      }
+    } catch (const support::Error& e) {
+      Diagnostic d;
+      d.check = Check::kTransferShape;
+      d.message = "s0 transfer " + std::to_string(g) +
+                  " malformed: " + e.what();
+      cert.diagnostics.push_back(std::move(d));
+    }
+  }
+}
+
+}  // namespace
+
+Certificate certify(const let::LetComms& comms,
+                    const let::ScheduleResult& schedule,
+                    const CertifyOptions& options) {
+  obs::ScopedSpan span("guard.certify", "guard");
+  Certificate cert;
+
+  check_layout(comms, schedule.layout, cert);
+  // Semantic checks need a usable address map; with a broken layout the
+  // validate pass would only drown the root cause in follow-on noise.
+  if (!cert.flags(Check::kLayoutIntegrity)) {
+    check_transfers(schedule, cert);
+    let::ValidationReport report;
+    try {
+      report = let::validate_schedule(comms, schedule.layout,
+                                      schedule.schedule, options.validation);
+    } catch (const support::Error& e) {
+      Diagnostic d;
+      d.check = Check::kLetSemantics;
+      d.message = std::string("validation aborted: ") + e.what();
+      cert.diagnostics.push_back(std::move(d));
+    }
+    for (let::Violation& v : report.violations) {
+      Diagnostic d;
+      d.check = Check::kLetSemantics;
+      d.message = v.message;
+      d.violation = std::move(v);
+      cert.diagnostics.push_back(std::move(d));
+    }
+  }
+
+  static obs::Counter pass("guard.certify.pass");
+  static obs::Counter fail("guard.certify.fail");
+  if (cert.certified()) {
+    pass.add();
+  } else {
+    fail.add();
+    obs::instant("guard.certify_fail", "guard",
+                 {{"diagnostics",
+                   static_cast<std::int64_t>(cert.diagnostics.size())},
+                  {"first", cert.diagnostics.front().message}});
+  }
+  span.arg("certified", cert.certified());
+  span.arg("diagnostics",
+           static_cast<std::int64_t>(cert.diagnostics.size()));
+  return cert;
+}
+
+}  // namespace letdma::guard

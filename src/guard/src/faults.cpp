@@ -1,0 +1,266 @@
+#include "letdma/guard/faults.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "letdma/obs/obs.hpp"
+
+namespace letdma::guard {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kThrow: return "throw";
+    case FaultKind::kSpuriousInfeasible: return "infeasible";
+    case FaultKind::kNanObjective: return "nan";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kTruncate: return "truncate";
+  }
+  return "?";
+}
+
+namespace {
+
+using support::PreconditionError;
+
+const char* const kSites[] = {
+    "milp.node",   "simplex.pivot",    "engine.greedy", "engine.ls",
+    "engine.milp", "engine.portfolio", "io.parse",
+};
+
+bool known_site(const std::string& site) {
+  for (const char* s : kSites) {
+    if (site == s) return true;
+  }
+  return false;
+}
+
+FaultKind parse_kind(const std::string& name) {
+  if (name == "throw") return FaultKind::kThrow;
+  if (name == "infeasible") return FaultKind::kSpuriousInfeasible;
+  if (name == "nan") return FaultKind::kNanObjective;
+  if (name == "stall") return FaultKind::kStall;
+  if (name == "truncate") return FaultKind::kTruncate;
+  throw PreconditionError("unknown fault kind `" + name + "`");
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t site_hash(std::string_view site) {
+  // FNV-1a; stable across platforms so seeds reproduce everywhere.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+#if LETDMA_FAULTS_ENABLED
+struct SiteState {
+  std::int64_t polls = 0;
+  std::int64_t fires = 0;
+  std::vector<int> spec_fires;  // per armed spec targeting this site
+};
+
+struct InjectorState {
+  std::mutex mu;
+  FaultPlan plan;
+  std::map<std::string, SiteState, std::less<>> sites;
+};
+
+InjectorState& state() {
+  static InjectorState* s = new InjectorState;  // leaked, like the registry
+  return *s;
+}
+#endif
+
+}  // namespace
+
+FaultPlan FaultPlan::chaos(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  // Moderate rates: frequent enough that every multi-second run sees
+  // faults, sparse enough that cheap strategies still get through.
+  plan.specs.push_back({"milp.node", FaultKind::kThrow, 0.002, 2});
+  plan.specs.push_back({"milp.node", FaultKind::kSpuriousInfeasible, 0.002, 2});
+  plan.specs.push_back({"simplex.pivot", FaultKind::kThrow, 0.01, 1});
+  plan.specs.push_back({"engine.milp", FaultKind::kThrow, 0.5, 1});
+  plan.specs.push_back({"engine.ls", FaultKind::kNanObjective, 0.5, 1});
+  plan.specs.push_back({"engine.ls", FaultKind::kStall, 0.25, 1});
+  plan.specs.push_back({"engine.greedy", FaultKind::kThrow, 0.25, 1});
+  plan.specs.push_back({"io.parse", FaultKind::kTruncate, 0.1, 1});
+  return plan;
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string token = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    if (token == "chaos") {
+      const FaultPlan preset = chaos(plan.seed);
+      plan.specs.insert(plan.specs.end(), preset.specs.begin(),
+                        preset.specs.end());
+      continue;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw PreconditionError("fault plan: expected key=value, got `" + token +
+                              "`");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "seed") {
+      try {
+        std::size_t end = 0;
+        plan.seed = std::stoull(value, &end);
+        if (end != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        throw PreconditionError("fault plan: bad seed `" + value + "`");
+      }
+      // `chaos` tokens parsed before the seed would have baked in the
+      // default; re-derive their seed-dependence through arm() (the seed
+      // lives on the plan, not the specs), so nothing to fix up here.
+      continue;
+    }
+    if (!known_site(key)) {
+      throw PreconditionError("fault plan: unknown site `" + key + "`");
+    }
+    FaultSpec spec;
+    spec.site = key;
+    const std::size_t at = value.find('@');
+    spec.kind = parse_kind(value.substr(0, at));
+    if (at != std::string::npos) {
+      const std::string rate = value.substr(at + 1);
+      try {
+        std::size_t end = 0;
+        spec.rate = std::stod(rate, &end);
+        if (end != rate.size() || spec.rate < 0.0 || spec.rate > 1.0) {
+          throw std::invalid_argument(rate);
+        }
+      } catch (const std::exception&) {
+        throw PreconditionError("fault plan: bad rate `" + rate + "`");
+      }
+    }
+    plan.specs.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+#if LETDMA_FAULTS_ENABLED
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+std::optional<FaultKind> poll_slow(std::string_view site) {
+  InjectorState& st = state();
+  std::optional<FaultKind> fired;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    if (st.plan.empty()) return std::nullopt;
+    auto it = st.sites.find(site);
+    if (it == st.sites.end()) {
+      it = st.sites.emplace(std::string(site), SiteState{}).first;
+      it->second.spec_fires.assign(st.plan.specs.size(), 0);
+    }
+    SiteState& ss = it->second;
+    const std::int64_t poll_index = ss.polls++;
+    for (std::size_t k = 0; k < st.plan.specs.size(); ++k) {
+      const FaultSpec& spec = st.plan.specs[k];
+      if (spec.site != site) continue;
+      if (spec.max_fires >= 0 &&
+          ss.spec_fires[k] >= spec.max_fires) {
+        continue;
+      }
+      // Deterministic per (seed, site, spec index, poll index).
+      const std::uint64_t r = splitmix64(
+          st.plan.seed ^ site_hash(site) ^
+          (static_cast<std::uint64_t>(k) << 48) ^
+          static_cast<std::uint64_t>(poll_index));
+      const double u =
+          static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+      if (u < spec.rate) {
+        ++ss.spec_fires[k];
+        ++ss.fires;
+        fired = spec.kind;
+        break;
+      }
+    }
+  }
+  if (fired) {
+    obs::Registry::instance().counter_add("guard.fault." + std::string(site),
+                                          1);
+    obs::instant("guard.fault", "guard",
+                 {{"site", std::string(site)},
+                  {"kind", std::string(fault_kind_name(*fired))}});
+  }
+  return fired;
+}
+
+}  // namespace detail
+
+void arm(const FaultPlan& plan) {
+  InjectorState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.plan = plan;
+  st.sites.clear();
+  detail::g_armed.store(!plan.empty(), std::memory_order_relaxed);
+  if (!plan.empty()) {
+    obs::log_info("guard", "fault plan armed: seed=" +
+                               std::to_string(plan.seed) + ", " +
+                               std::to_string(plan.specs.size()) + " spec(s)");
+  }
+}
+
+void disarm() {
+  InjectorState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.plan = FaultPlan{};
+  st.plan.specs.clear();
+  st.sites.clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+bool armed() { return detail::g_armed.load(std::memory_order_relaxed); }
+
+std::int64_t fire_count(std::string_view site) {
+  InjectorState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  const auto it = st.sites.find(site);
+  return it == st.sites.end() ? 0 : it->second.fires;
+}
+
+#else  // LETDMA_FAULTS_ENABLED == 0: the injector is compiled out.
+
+void arm(const FaultPlan&) {}
+void disarm() {}
+bool armed() { return false; }
+std::int64_t fire_count(std::string_view) { return 0; }
+
+#endif
+
+bool arm_from_env() {
+  const char* spec = std::getenv("LETDMA_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return false;
+  if (!faults_compiled_in()) {
+    obs::log_warn("guard",
+                  "LETDMA_FAULTS set but the injector is compiled out "
+                  "(LETDMA_ENABLE_FAULTS=OFF); ignoring");
+    return false;
+  }
+  arm(FaultPlan::parse(spec));
+  return armed();
+}
+
+}  // namespace letdma::guard

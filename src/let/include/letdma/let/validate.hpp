@@ -12,6 +12,12 @@
 //     instant of T*;
 //   * data-acquisition deadlines gamma_i are met where set;
 //   * Theorem 1: no instant is worse than s0.
+//
+// Each finding is reported twice: as a structured Violation (which rule,
+// which instant, which task/label/transfer, how much slack remains) for
+// programmatic consumers — letdma::guard builds its certification reports
+// from these — and as a rendered string in `issues` for humans and legacy
+// callers.
 #pragma once
 
 #include <string>
@@ -20,6 +26,35 @@
 #include "letdma/let/latency.hpp"
 
 namespace letdma::let {
+
+/// The rule a Violation breaks. Values mirror the checker list above.
+enum class Rule {
+  kLayoutMissing,      // a memory has no slot order
+  kCoverage,           // carried communications differ from C(t)
+  kDuplicateComm,      // a communication is carried twice in one instant
+  kMalformedTransfer,  // non-contiguous / metadata-inconsistent transfer
+  kProperty1,          // a task's write ordered at/after one of its reads
+  kProperty2,          // a label's write ordered at/after one of its reads
+  kProperty3,          // an instant's transfers overrun its slot
+  kDeadline,           // gamma_i exceeded
+  kTheorem1,           // an instant's latency exceeds the s0 latency
+};
+
+const char* rule_name(Rule rule);
+
+/// One structured finding. Entity fields are -1 when not applicable;
+/// `slack` is the signed margin in the rule's natural unit (negative =
+/// violated by that amount): nanoseconds for kProperty3/kDeadline/
+/// kTheorem1, transfer-index distance for kProperty1/kProperty2.
+struct Violation {
+  Rule rule = Rule::kCoverage;
+  Time instant = -1;
+  int task = -1;      // TaskId::value
+  int label = -1;     // LabelId::value
+  int transfer = -1;  // index into the instant's transfer list
+  double slack = 0.0;
+  std::string message;
+};
 
 struct ValidationOptions {
   bool check_deadlines = true;
@@ -31,9 +66,13 @@ struct ValidationOptions {
 };
 
 struct ValidationReport {
+  std::vector<Violation> violations;
+  /// Rendered mirror of `violations` (one string each, same order).
   std::vector<std::string> issues;
-  bool ok() const { return issues.empty(); }
+  bool ok() const { return violations.empty(); }
   std::string summary() const;
+  /// True when some violation breaks `rule`.
+  bool violates(Rule rule) const;
 };
 
 ValidationReport validate_schedule(const LetComms& comms,

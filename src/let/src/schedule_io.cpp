@@ -4,15 +4,17 @@
 #include <sstream>
 #include <vector>
 
+#include "letdma/guard/faults.hpp"
 #include "letdma/support/error.hpp"
 
 namespace letdma::let {
 namespace {
 
+using support::ParseError;
 using support::PreconditionError;
 
 [[noreturn]] void fail(int line, const std::string& what) {
-  throw PreconditionError("line " + std::to_string(line) + ": " + what);
+  throw ParseError(line, what);
 }
 
 std::vector<std::string> split(const std::string& v, char sep) {
@@ -96,7 +98,12 @@ ScheduleResult read_schedule(const LetComms& comms, const std::string& text) {
     fail(line, "unknown memory `" + name + "`");
   };
 
-  std::istringstream is(text);
+  std::string effective = text;
+  if (const auto fault = guard::fault_point("io.parse");
+      fault == guard::FaultKind::kTruncate) {
+    effective.resize(effective.size() / 2);
+  }
+  std::istringstream is(effective);
   std::string line;
   int line_no = 0;
   std::vector<std::vector<Communication>> transfer_comms;
@@ -115,7 +122,10 @@ ScheduleResult read_schedule(const LetComms& comms, const std::string& text) {
       if (eq == std::string::npos || eq == 0) {
         fail(line_no, "expected key=value, got `" + token + "`");
       }
-      fields[token.substr(0, eq)] = token.substr(eq + 1);
+      const std::string key = token.substr(0, eq);
+      if (!fields.emplace(key, token.substr(eq + 1)).second) {
+        fail(line_no, "duplicate key `" + key + "`");
+      }
     }
 
     if (directive == "layout") {
@@ -123,6 +133,9 @@ ScheduleResult read_schedule(const LetComms& comms, const std::string& text) {
         fail(line_no, "layout needs mem= and slots=");
       }
       const model::MemoryId mem = memory_by_name(fields["mem"], line_no);
+      if (out.layout.has_order(mem)) {
+        fail(line_no, "duplicate layout for memory `" + fields["mem"] + "`");
+      }
       std::vector<Slot> slots;
       for (const std::string& s : split(fields["slots"], ',')) {
         if (s.empty()) fail(line_no, "empty slot token");
@@ -167,7 +180,7 @@ ScheduleResult read_schedule(const LetComms& comms, const std::string& text) {
           } else {
             fail(line_no, "direction must be W or R in `" + c + "`");
           }
-        } catch (const PreconditionError&) {
+        } catch (const ParseError&) {
           throw;
         } catch (const support::Error& e) {
           fail(line_no, e.what());
@@ -184,10 +197,16 @@ ScheduleResult read_schedule(const LetComms& comms, const std::string& text) {
     try {
       out.s0_transfers.push_back(make_transfer(out.layout, std::move(cs)));
     } catch (const support::Error& e) {
-      throw PreconditionError(std::string("invalid transfer: ") + e.what());
+      throw ParseError(0, std::string("invalid transfer: ") + e.what());
     }
   }
-  out.schedule = derive_schedule(comms, out.layout, out.s0_transfers);
+  try {
+    out.schedule = derive_schedule(comms, out.layout, out.s0_transfers);
+  } catch (const support::Error& e) {
+    // A document can be token-wise well-formed yet describe a schedule the
+    // hyperperiod expansion rejects; surface that as malformed input too.
+    throw ParseError(0, std::string("invalid schedule: ") + e.what());
+  }
   return out;
 }
 

@@ -14,12 +14,32 @@ std::string at_time(Time t) { return " at t=" + support::format_time(t); }
 
 }  // namespace
 
+const char* rule_name(Rule rule) {
+  switch (rule) {
+    case Rule::kLayoutMissing: return "layout-missing";
+    case Rule::kCoverage: return "coverage";
+    case Rule::kDuplicateComm: return "duplicate-communication";
+    case Rule::kMalformedTransfer: return "malformed-transfer";
+    case Rule::kProperty1: return "property-1";
+    case Rule::kProperty2: return "property-2";
+    case Rule::kProperty3: return "property-3";
+    case Rule::kDeadline: return "deadline";
+    case Rule::kTheorem1: return "theorem-1";
+  }
+  return "?";
+}
+
 std::string ValidationReport::summary() const {
   if (ok()) return "OK";
   std::ostringstream os;
   os << issues.size() << " issue(s):\n";
   for (const std::string& s : issues) os << "  - " << s << "\n";
   return os.str();
+}
+
+bool ValidationReport::violates(Rule rule) const {
+  return std::any_of(violations.begin(), violations.end(),
+                     [rule](const Violation& v) { return v.rule == rule; });
 }
 
 ValidationReport validate_schedule(const LetComms& comms,
@@ -29,13 +49,19 @@ ValidationReport validate_schedule(const LetComms& comms,
   const model::Application& app = comms.app();
   const LatencyModel lat(app.platform());
   ValidationReport report;
-  auto issue = [&](const std::string& s) { report.issues.push_back(s); };
+  auto issue = [&](Violation v) {
+    report.issues.push_back(v.message);
+    report.violations.push_back(std::move(v));
+  };
 
   // Layout completeness for every memory that must hold slots.
   for (int m = 0; m < app.platform().num_memories(); ++m) {
     if (!layout.has_order(model::MemoryId{m})) {
-      issue("memory " + app.platform().memory_name(model::MemoryId{m}) +
-            " has no slot order");
+      Violation v;
+      v.rule = Rule::kLayoutMissing;
+      v.message = "memory " + app.platform().memory_name(model::MemoryId{m}) +
+                  " has no slot order";
+      issue(std::move(v));
     }
   }
   if (!report.ok()) return report;
@@ -55,7 +81,11 @@ ValidationReport validate_schedule(const LetComms& comms,
   for (std::size_t idx = 0; idx < instants.size(); ++idx) {
     const Time t = instants[idx];
     if (!schedule.has_instant(t)) {
-      issue("no transfer list" + at_time(t));
+      Violation v;
+      v.rule = Rule::kCoverage;
+      v.instant = t;
+      v.message = "no transfer list" + at_time(t);
+      issue(std::move(v));
       continue;
     }
     const auto& transfers = schedule.at(t);
@@ -67,26 +97,67 @@ ValidationReport validate_schedule(const LetComms& comms,
     }
     std::vector<Communication> sorted_carried = carried;
     std::sort(sorted_carried.begin(), sorted_carried.end());
-    if (std::adjacent_find(sorted_carried.begin(), sorted_carried.end()) !=
-        sorted_carried.end()) {
-      issue("a communication is carried twice" + at_time(t));
+    const auto dup = std::adjacent_find(sorted_carried.begin(),
+                                        sorted_carried.end());
+    if (dup != sorted_carried.end()) {
+      Violation v;
+      v.rule = Rule::kDuplicateComm;
+      v.instant = t;
+      v.task = dup->task.value;
+      v.label = dup->label.value;
+      v.message = "communication " + to_string(app, *dup) +
+                  " is carried twice" + at_time(t);
+      issue(std::move(v));
     }
     const std::vector<Communication> needed = comms.comms_at(t);
     if (sorted_carried != needed) {
-      issue("carried communications differ from C(t)" + at_time(t));
+      Violation v;
+      v.rule = Rule::kCoverage;
+      v.instant = t;
+      // Name one witness: a needed communication that is not carried (or,
+      // failing that, a carried one that is not needed).
+      std::vector<Communication> missing;
+      std::set_difference(needed.begin(), needed.end(),
+                          sorted_carried.begin(), sorted_carried.end(),
+                          std::back_inserter(missing));
+      if (missing.empty()) {
+        std::set_difference(sorted_carried.begin(), sorted_carried.end(),
+                            needed.begin(), needed.end(),
+                            std::back_inserter(missing));
+      }
+      if (!missing.empty()) {
+        v.task = missing.front().task.value;
+        v.label = missing.front().label.value;
+      }
+      v.message = "carried communications differ from C(t)" + at_time(t);
+      issue(std::move(v));
     }
 
     // Transfer well-formedness (delegates to make_transfer's checks).
-    for (const DmaTransfer& d : transfers) {
+    for (std::size_t g = 0; g < transfers.size(); ++g) {
+      const DmaTransfer& d = transfers[g];
       try {
         const DmaTransfer rebuilt = make_transfer(layout, d.comms);
         if (rebuilt.bytes != d.bytes || rebuilt.local_addr != d.local_addr ||
             rebuilt.global_addr != d.global_addr) {
-          issue("transfer metadata inconsistent with layout" + at_time(t));
+          Violation v;
+          v.rule = Rule::kMalformedTransfer;
+          v.instant = t;
+          v.transfer = static_cast<int>(g);
+          if (!d.comms.empty()) v.label = d.comms.front().label.value;
+          v.message = "transfer metadata inconsistent with layout" +
+                      at_time(t);
+          issue(std::move(v));
         }
       } catch (const support::Error& e) {
-        issue(std::string("malformed transfer") + at_time(t) + ": " +
-              e.what());
+        Violation v;
+        v.rule = Rule::kMalformedTransfer;
+        v.instant = t;
+        v.transfer = static_cast<int>(g);
+        if (!d.comms.empty()) v.label = d.comms.front().label.value;
+        v.message =
+            std::string("malformed transfer") + at_time(t) + ": " + e.what();
+        issue(std::move(v));
       }
     }
 
@@ -114,15 +185,29 @@ ValidationReport validate_schedule(const LetComms& comms,
     for (const auto& [task, wmax] : max_write_of_task) {
       const auto it = min_read_of_task.find(task);
       if (it != min_read_of_task.end() && wmax >= it->second) {
-        issue("Property 1 violated for task " +
-              app.task(model::TaskId{task}).name + at_time(t));
+        Violation v;
+        v.rule = Rule::kProperty1;
+        v.instant = t;
+        v.task = task;
+        v.transfer = wmax;
+        v.slack = static_cast<double>(it->second - wmax - 1);
+        v.message = "Property 1 violated for task " +
+                    app.task(model::TaskId{task}).name + at_time(t);
+        issue(std::move(v));
       }
     }
     for (const auto& [label, wg] : write_of_label) {
       const auto it = min_read_of_label.find(label);
       if (it != min_read_of_label.end() && wg >= it->second) {
-        issue("Property 2 violated for label " +
-              app.label(model::LabelId{label}).name + at_time(t));
+        Violation v;
+        v.rule = Rule::kProperty2;
+        v.instant = t;
+        v.label = label;
+        v.transfer = wg;
+        v.slack = static_cast<double>(it->second - wg - 1);
+        v.message = "Property 2 violated for label " +
+                    app.label(model::LabelId{label}).name + at_time(t);
+        issue(std::move(v));
       }
     }
 
@@ -132,9 +217,14 @@ ValidationReport validate_schedule(const LetComms& comms,
           (idx + 1 < instants.size()) ? instants[idx + 1] : h + instants[0];
       const Time total = lat.total_duration(transfers);
       if (total > next - t) {
-        issue("Property 3 violated: transfers take " +
-              support::format_time(total) + " but the slot is " +
-              support::format_time(next - t) + at_time(t));
+        Violation v;
+        v.rule = Rule::kProperty3;
+        v.instant = t;
+        v.slack = static_cast<double>((next - t) - total);
+        v.message = "Property 3 violated: transfers take " +
+                    support::format_time(total) + " but the slot is " +
+                    support::format_time(next - t) + at_time(t);
+        issue(std::move(v));
       }
     }
 
@@ -146,16 +236,28 @@ ValidationReport validate_schedule(const LetComms& comms,
           lat.task_latency(app, transfers, model::TaskId{i}, options.semantics);
       if (options.check_deadlines && task.acquisition_deadline &&
           l > *task.acquisition_deadline) {
-        issue("acquisition deadline of " + task.name + " exceeded (" +
-              support::format_time(l) + " > " +
-              support::format_time(*task.acquisition_deadline) + ")" +
-              at_time(t));
+        Violation v;
+        v.rule = Rule::kDeadline;
+        v.instant = t;
+        v.task = i;
+        v.slack = static_cast<double>(*task.acquisition_deadline - l);
+        v.message = "acquisition deadline of " + task.name + " exceeded (" +
+                    support::format_time(l) + " > " +
+                    support::format_time(*task.acquisition_deadline) + ")" +
+                    at_time(t);
+        issue(std::move(v));
       }
       if (options.check_theorem1 && s0_latency.count(i) > 0 &&
           l > s0_latency[i]) {
-        issue("Theorem 1 violated for " + task.name + ": latency " +
-              support::format_time(l) + " exceeds s0 latency " +
-              support::format_time(s0_latency[i]) + at_time(t));
+        Violation v;
+        v.rule = Rule::kTheorem1;
+        v.instant = t;
+        v.task = i;
+        v.slack = static_cast<double>(s0_latency[i] - l);
+        v.message = "Theorem 1 violated for " + task.name + ": latency " +
+                    support::format_time(l) + " exceeds s0 latency " +
+                    support::format_time(s0_latency[i]) + at_time(t);
+        issue(std::move(v));
       }
     }
   }

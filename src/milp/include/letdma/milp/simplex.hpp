@@ -35,6 +35,11 @@ struct LpResult {
   /// Values of the structural variables (size = model.num_vars()).
   std::vector<double> x;
   long iterations = 0;
+  /// Pivots that made no progress (step length ~0); long streaks of these
+  /// are the precursor to cycling.
+  long degenerate_pivots = 0;
+  /// Whether the Bland anti-cycling rule was ever engaged on this solve.
+  bool bland_used = false;
 };
 
 struct SimplexOptions {
@@ -42,6 +47,10 @@ struct SimplexOptions {
   double feas_tol = 1e-7;   // bound/row feasibility tolerance
   double opt_tol = 1e-9;    // reduced-cost optimality tolerance
   double pivot_tol = 1e-9;  // minimum pivot magnitude
+  /// Consecutive degenerate pivots tolerated under Dantzig pricing before
+  /// falling back to Bland's rule (which provably cannot cycle). The
+  /// fallback disengages after the next improving step.
+  long degen_streak_limit = 400;
 };
 
 /// Solves the LP relaxation of `model` (integrality dropped). Variable

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "letdma/guard/faults.hpp"
+#include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
 
 namespace letdma::milp {
@@ -304,6 +306,9 @@ class Tableau {
     for (;;) {
       if (iterations_ >= opt_.max_iterations) return LpStatus::kIterLimit;
       if ((iterations_ & 0x1ff) == 0x1ff) {
+        // Fault poll rides the existing periodic refresh so the pivot hot
+        // path never pays for it.
+        guard::fault_point("simplex.pivot");
         refresh_reduced_costs();
         recompute_basics();
       }
@@ -418,7 +423,12 @@ class Tableau {
 
       ++iterations_;
       if (t_max <= 1e-12) {
-        if (++degen_streak > 400) bland = true;
+        ++degenerate_pivots_;
+        if (++degen_streak > opt_.degen_streak_limit && !bland) {
+          bland = true;
+          bland_used_ = true;
+          ++bland_activations_;
+        }
       } else {
         degen_streak = 0;
         bland = false;
@@ -462,6 +472,16 @@ class Tableau {
     LpResult out;
     out.status = st;
     out.iterations = iterations_;
+    out.degenerate_pivots = degenerate_pivots_;
+    out.bland_used = bland_used_;
+    if (degenerate_pivots_ > 0) {
+      obs::Registry::instance().counter_add("milp.simplex.degenerate_pivots",
+                                            degenerate_pivots_);
+    }
+    if (bland_activations_ > 0) {
+      obs::Registry::instance().counter_add("milp.simplex.bland_activations",
+                                            bland_activations_);
+    }
     if (st == LpStatus::kOptimal) {
       recompute_basics();
       out.x.resize(static_cast<std::size_t>(n_));
@@ -485,6 +505,9 @@ class Tableau {
   std::vector<int> basis_;
   std::vector<ColStatus> stat_;
   long iterations_ = 0;
+  long degenerate_pivots_ = 0;
+  long bland_activations_ = 0;
+  bool bland_used_ = false;
 };
 
 }  // namespace

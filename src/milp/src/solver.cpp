@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <memory>
 #include <queue>
+#include <thread>
 
+#include "letdma/guard/faults.hpp"
 #include "letdma/milp/presolve.hpp"
 #include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
@@ -267,6 +269,19 @@ MilpResult MilpSolver::solve() {
     }
     const Node& node = *picked;
     const QueueEntry entry{picked};
+
+    if (const auto fault = guard::fault_point("milp.node")) {
+      if (*fault == guard::FaultKind::kSpuriousInfeasible) {
+        // Silently drop the node, leaving the bound proof "intact": when
+        // this empties the tree with no incumbent the solver confidently
+        // reports kInfeasible for a feasible instance — exactly the lie
+        // the supervised engine's cross-check is built to refute.
+        continue;
+      }
+      if (*fault == guard::FaultKind::kStall) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
 
     // Prune by bound (the incumbent may have improved since push).
     if (node.bound >= incumbent_obj - options_.abs_gap) continue;

@@ -1,20 +1,24 @@
 #include "letdma/model/io.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <vector>
 
+#include "letdma/guard/faults.hpp"
 #include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
+#include "letdma/support/time.hpp"
 
 namespace letdma::model {
 namespace {
 
-using support::PreconditionError;
+using support::ParseError;
 
 [[noreturn]] void fail(int line, const std::string& what) {
-  throw PreconditionError("line " + std::to_string(line) + ": " + what);
+  throw ParseError(line, what);
 }
 
 /// key=value tokens of one directive line.
@@ -64,11 +68,26 @@ double take_double(std::map<std::string, std::string>& fields,
   try {
     std::size_t pos = 0;
     const double out = std::stod(v, &pos);
-    if (pos != v.size()) throw std::invalid_argument(v);
+    if (pos != v.size() || !std::isfinite(out)) {
+      throw std::invalid_argument(v);
+    }
     return out;
   } catch (const std::exception&) {
-    fail(line, "key `" + key + "` is not a number: `" + v + "`");
+    fail(line, "key `" + key + "` is not a finite number: `" + v + "`");
   }
+}
+
+/// take_int with an inclusive validity range; out-of-range values are a
+/// parse error with the offending line, not a deferred model exception.
+std::int64_t take_int_in(std::map<std::string, std::string>& fields,
+                         const std::string& key, int line, std::int64_t lo,
+                         std::int64_t hi) {
+  const std::int64_t v = take_int(fields, key, line);
+  if (v < lo || v > hi) {
+    fail(line, "key `" + key + "` out of range [" + std::to_string(lo) +
+                   ", " + std::to_string(hi) + "]: " + std::to_string(v));
+  }
+  return v;
 }
 
 void expect_empty(const std::map<std::string, std::string>& fields,
@@ -135,7 +154,12 @@ std::string write_application(const Application& app) {
 }
 
 std::unique_ptr<Application> read_application(const std::string& text) {
-  std::istringstream is(text);
+  std::string effective = text;
+  if (const auto fault = guard::fault_point("io.parse");
+      fault == guard::FaultKind::kTruncate) {
+    effective.resize(effective.size() / 2);
+  }
+  std::istringstream is(effective);
   std::string line;
   int line_no = 0;
   std::unique_ptr<Application> app;
@@ -156,37 +180,57 @@ std::unique_ptr<Application> read_application(const std::string& text) {
 
     if (directive == "platform") {
       if (app) fail(line_no, "duplicate platform directive");
-      const int cores = static_cast<int>(take_int(fields, "cores", line_no));
+      const int cores = static_cast<int>(
+          take_int_in(fields, "cores", line_no, 1, 4096));
       DmaParams dma;
-      dma.programming_overhead = take_int(fields, "odp_ns", line_no);
-      dma.isr_overhead = take_int(fields, "oisr_ns", line_no);
+      dma.programming_overhead =
+          take_int_in(fields, "odp_ns", line_no, 0, support::ms(1'000'000));
+      dma.isr_overhead =
+          take_int_in(fields, "oisr_ns", line_no, 0, support::ms(1'000'000));
       dma.copy_cost_ns_per_byte = take_double(fields, "wc", line_no);
       CpuCopyParams cpu;
       cpu.copy_cost_ns_per_byte = take_double(fields, "cpu_wc", line_no);
-      cpu.per_label_overhead = take_int(fields, "cpu_oh_ns", line_no);
+      cpu.per_label_overhead =
+          take_int_in(fields, "cpu_oh_ns", line_no, 0, support::ms(1'000'000));
+      if (dma.copy_cost_ns_per_byte < 0 || cpu.copy_cost_ns_per_byte < 0) {
+        fail(line_no, "copy costs must be non-negative");
+      }
       expect_empty(fields, line_no);
       app = std::make_unique<Application>(Platform(cores, dma, cpu));
     } else if (directive == "task") {
       if (!app) fail(line_no, "task before platform");
       const std::string name = take(fields, "name", line_no);
-      const support::Time period = take_int(fields, "period_ns", line_no);
-      const support::Time wcet = take_int(fields, "wcet_ns", line_no);
-      const int core = static_cast<int>(take_int(fields, "core", line_no));
+      const support::Time period =
+          take_int_in(fields, "period_ns", line_no, 1,
+                      std::numeric_limits<std::int64_t>::max());
+      const support::Time wcet =
+          take_int_in(fields, "wcet_ns", line_no, 0, period);
+      const int core = static_cast<int>(take_int_in(
+          fields, "core", line_no, 0, app->platform().num_cores() - 1));
       int priority = -1;
       if (fields.count("priority")) {
         priority = static_cast<int>(take_int(fields, "priority", line_no));
       }
       if (fields.count("gamma_ns")) {
-        pending_gamma[name] = take_int(fields, "gamma_ns", line_no);
+        pending_gamma[name] =
+            take_int_in(fields, "gamma_ns", line_no, 1, period);
       }
       expect_empty(fields, line_no);
-      const TaskId id =
-          app->add_task(name, period, wcet, CoreId{core}, priority);
-      tasks_by_name.emplace(name, id);
+      if (tasks_by_name.count(name) > 0) {
+        fail(line_no, "duplicate task name `" + name + "`");
+      }
+      try {
+        const TaskId id =
+            app->add_task(name, period, wcet, CoreId{core}, priority);
+        tasks_by_name.emplace(name, id);
+      } catch (const support::Error& e) {
+        fail(line_no, e.what());
+      }
     } else if (directive == "label") {
       if (!app) fail(line_no, "label before platform");
       const std::string name = take(fields, "name", line_no);
-      const std::int64_t bytes = take_int(fields, "bytes", line_no);
+      const std::int64_t bytes = take_int_in(
+          fields, "bytes", line_no, 1, std::int64_t{1} << 40);
       const std::string writer = take(fields, "writer", line_no);
       const std::string readers = take(fields, "readers", line_no);
       expect_empty(fields, line_no);
@@ -203,16 +247,27 @@ std::unique_ptr<Application> read_application(const std::string& text) {
         reader_ids.push_back(rit->second);
       }
       if (reader_ids.empty()) fail(line_no, "label without readers");
-      app->add_label(name, bytes, wit->second, std::move(reader_ids));
+      try {
+        app->add_label(name, bytes, wit->second, std::move(reader_ids));
+      } catch (const support::Error& e) {
+        fail(line_no, e.what());
+      }
     } else {
       fail(line_no, "unknown directive `" + directive + "`");
     }
   }
-  if (!app) throw PreconditionError("no platform directive found");
-  for (const auto& [name, gamma] : pending_gamma) {
-    app->set_acquisition_deadline(tasks_by_name.at(name), gamma);
+  if (!app) throw ParseError(0, "no platform directive found");
+  try {
+    for (const auto& [name, gamma] : pending_gamma) {
+      app->set_acquisition_deadline(tasks_by_name.at(name), gamma);
+    }
+    app->finalize();
+  } catch (const support::Error& e) {
+    // Cross-entity inconsistencies surface at finalize (e.g. a period LCM
+    // overflowing 64-bit nanoseconds); report them as malformed input
+    // rather than leaking a model-layer exception for a parsing call.
+    throw ParseError(0, e.what());
   }
-  app->finalize();
   obs::log_debug("model",
                  "parsed application: " + std::to_string(app->num_tasks()) +
                      " tasks, " + std::to_string(app->num_labels()) +

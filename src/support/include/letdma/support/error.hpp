@@ -31,6 +31,24 @@ class OverflowError : public Error {
   explicit OverflowError(const std::string& what) : Error(what) {}
 };
 
+/// Malformed external input (application / schedule text). Carries the
+/// 1-based offending line so tools can point at it; derives from
+/// PreconditionError so callers that treat all bad input uniformly keep
+/// working. Parsers guarantee this is the ONLY error family escaping them
+/// on malformed, truncated, or out-of-range input — never UB and never a
+/// partially applied parse.
+class ParseError : public PreconditionError {
+ public:
+  ParseError(int line, const std::string& what)
+      : PreconditionError("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  /// 1-based line of the offending input (0 = whole document).
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
 namespace detail {
 [[noreturn]] inline void ensure_failed(const char* expr, const char* file,
                                        int line, const std::string& msg) {

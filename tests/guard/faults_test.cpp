@@ -1,0 +1,155 @@
+#include "letdma/guard/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::guard {
+namespace {
+
+/// Disarms around every test so a leftover plan can never leak into other
+/// suites running in the same process.
+class FaultsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { disarm(); }
+  void TearDown() override { disarm(); }
+};
+
+TEST_F(FaultsTest, ParseRejectsUnknownSiteKindAndToken) {
+  EXPECT_THROW(FaultPlan::parse("bogus.site=throw"),
+               support::PreconditionError);
+  EXPECT_THROW(FaultPlan::parse("milp.node=explode"),
+               support::PreconditionError);
+  EXPECT_THROW(FaultPlan::parse("seed=notanumber"),
+               support::PreconditionError);
+  EXPECT_THROW(FaultPlan::parse("milp.node=throw@1.5"),
+               support::PreconditionError);
+}
+
+TEST_F(FaultsTest, ParseReadsSeedSitesAndRates) {
+  const FaultPlan plan =
+      FaultPlan::parse("seed=42,milp.node=throw@0.25,engine.ls=stall");
+  EXPECT_EQ(plan.seed, 42u);
+  ASSERT_EQ(plan.specs.size(), 2u);
+  EXPECT_EQ(plan.specs[0].site, "milp.node");
+  EXPECT_EQ(plan.specs[0].kind, FaultKind::kThrow);
+  EXPECT_DOUBLE_EQ(plan.specs[0].rate, 0.25);
+  EXPECT_EQ(plan.specs[1].site, "engine.ls");
+  EXPECT_EQ(plan.specs[1].kind, FaultKind::kStall);
+  EXPECT_DOUBLE_EQ(plan.specs[1].rate, 1.0);
+}
+
+TEST_F(FaultsTest, ChaosPresetArmsEverySite) {
+  const FaultPlan plan = FaultPlan::chaos(7);
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_FALSE(plan.empty());
+  // Every spec names a known site (parse round-trip would reject others);
+  // at least the solver and io sites must be covered.
+  bool has_milp = false, has_io = false, has_engine = false;
+  for (const FaultSpec& s : plan.specs) {
+    if (s.site == "milp.node") has_milp = true;
+    if (s.site == "io.parse") has_io = true;
+    if (s.site.rfind("engine.", 0) == 0) has_engine = true;
+  }
+  EXPECT_TRUE(has_milp);
+  EXPECT_TRUE(has_io);
+  EXPECT_TRUE(has_engine);
+}
+
+TEST_F(FaultsTest, DisarmedPollNeverFires) {
+  EXPECT_FALSE(armed());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(poll("milp.node"), std::nullopt);
+  }
+  EXPECT_EQ(fire_count("milp.node"), 0);
+}
+
+TEST_F(FaultsTest, ArmedFullRatePollFiresEveryTime) {
+  if (!faults_compiled_in()) GTEST_SKIP() << "injector compiled out";
+  arm(FaultPlan::parse("seed=1,engine.ls=nan"));
+  EXPECT_TRUE(armed());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(poll("engine.ls"), FaultKind::kNanObjective);
+    EXPECT_EQ(poll("engine.greedy"), std::nullopt);  // not armed
+  }
+  EXPECT_EQ(fire_count("engine.ls"), 10);
+  disarm();
+  EXPECT_EQ(poll("engine.ls"), std::nullopt);
+  EXPECT_EQ(fire_count("engine.ls"), 0);
+}
+
+TEST_F(FaultsTest, FaultPointThrowsOnThrowKind) {
+  if (!faults_compiled_in()) GTEST_SKIP() << "injector compiled out";
+  arm(FaultPlan::parse("seed=1,milp.node=throw"));
+  EXPECT_THROW(fault_point("milp.node"), FaultInjectedError);
+  // FaultInjectedError is a support::Error, so generic solver-failure
+  // handling catches it.
+  arm(FaultPlan::parse("seed=1,milp.node=throw"));
+  EXPECT_THROW(fault_point("milp.node"), support::Error);
+}
+
+TEST_F(FaultsTest, MaxFiresCapsTheFaultCount) {
+  if (!faults_compiled_in()) GTEST_SKIP() << "injector compiled out";
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.specs.push_back({"engine.greedy", FaultKind::kStall, 1.0, 2});
+  arm(plan);
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (poll("engine.greedy")) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(fire_count("engine.greedy"), 2);
+}
+
+TEST_F(FaultsTest, FiringSequenceIsDeterministicInTheSeed) {
+  if (!faults_compiled_in()) GTEST_SKIP() << "injector compiled out";
+  const auto sequence = [](std::uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.specs.push_back({"simplex.pivot", FaultKind::kThrow, 0.3, -1});
+    arm(plan);
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) {
+      fires.push_back(poll("simplex.pivot").has_value());
+    }
+    disarm();
+    return fires;
+  };
+  const auto a = sequence(123);
+  const auto b = sequence(123);
+  const auto c = sequence(124);
+  EXPECT_EQ(a, b);  // same seed -> identical fault sequence
+  EXPECT_NE(a, c);  // different seed -> different sequence
+  // A 0.3 rate actually fires a nontrivial fraction of polls.
+  const int fires = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 20);
+  EXPECT_LT(fires, 120);
+}
+
+TEST_F(FaultsTest, RearmResetsFireCounts) {
+  if (!faults_compiled_in()) GTEST_SKIP() << "injector compiled out";
+  arm(FaultPlan::parse("seed=1,io.parse=truncate"));
+  (void)poll("io.parse");
+  EXPECT_EQ(fire_count("io.parse"), 1);
+  arm(FaultPlan::parse("seed=1,io.parse=truncate"));
+  EXPECT_EQ(fire_count("io.parse"), 0);
+}
+
+TEST_F(FaultsTest, CompiledOutInjectorIsInert) {
+  if (faults_compiled_in()) {
+    GTEST_SKIP() << "injector compiled in; OFF behavior covered by the "
+                    "LETDMA_ENABLE_FAULTS=OFF CI job";
+  }
+  arm(FaultPlan::parse("seed=1,milp.node=throw"));
+  EXPECT_FALSE(armed());
+  EXPECT_EQ(poll("milp.node"), std::nullopt);
+  EXPECT_NO_THROW(fault_point("milp.node"));
+  EXPECT_EQ(fire_count("milp.node"), 0);
+}
+
+}  // namespace
+}  // namespace letdma::guard

@@ -1,0 +1,216 @@
+// Deterministic malformed-input corpus over both text parsers
+// (model::read_application, let::read_schedule): every entry must produce
+// a structured support::ParseError — never UB, an uncaught foreign
+// exception, or a silently partial parse. A seeded truncation/corruption
+// fuzz over valid documents closes the gap between the hand-written
+// corpus and arbitrary damage.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../test_fixtures.hpp"
+#include "letdma/let/greedy.hpp"
+#include "letdma/let/let_comms.hpp"
+#include "letdma/let/schedule_io.hpp"
+#include "letdma/model/io.hpp"
+#include "letdma/support/error.hpp"
+#include "letdma/support/rng.hpp"
+
+namespace letdma {
+namespace {
+
+using letdma::testing::make_fig1_app;
+using support::ParseError;
+
+const char* const kValidApp = R"(platform cores=2 odp_ns=3360 oisr_ns=10000 wc=1 cpu_wc=4 cpu_oh_ns=200
+task name=A period_ns=10000000 wcet_ns=2000000 core=0
+task name=B period_ns=10000000 wcet_ns=2000000 core=1
+label name=x bytes=1000 writer=A readers=B
+)";
+
+TEST(MalformedCorpus, ValidApplicationStillParses) {
+  const auto app = model::read_application(kValidApp);
+  EXPECT_EQ(app->num_tasks(), 2);
+  EXPECT_EQ(app->num_labels(), 1);
+}
+
+TEST(MalformedCorpus, ApplicationParserRejectsEveryCorpusEntry) {
+  const std::vector<std::pair<const char*, std::string>> corpus = {
+      {"empty document", ""},
+      {"comment only", "# nothing here\n"},
+      {"no platform", "task name=A period_ns=10 wcet_ns=1 core=0\n"},
+      {"unknown directive",
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"
+       "frobnicate name=A\n"},
+      {"missing key",
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"
+       "task name=A period_ns=10 core=0\n"},
+      {"unknown key",
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1 "
+       "bogus=1\n"},
+      {"duplicate key",
+       "platform cores=2 cores=3 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 "
+       "cpu_oh_ns=1\n"},
+      {"non-integer int",
+       "platform cores=two odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"},
+      {"trailing garbage on int",
+       "platform cores=2x odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"},
+      {"non-finite double",
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=nan cpu_wc=1 cpu_oh_ns=1\n"},
+      {"infinite double",
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=inf cpu_wc=1 cpu_oh_ns=1\n"},
+      {"negative copy cost",
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=-1 cpu_wc=1 cpu_oh_ns=1\n"},
+      {"zero cores",
+       "platform cores=0 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"},
+      {"negative overhead",
+       "platform cores=2 odp_ns=-5 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"},
+      {"duplicate platform",
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"},
+      {"task before platform",
+       "task name=A period_ns=10 wcet_ns=1 core=0\n"
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"},
+      {"zero period",
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"
+       "task name=A period_ns=0 wcet_ns=0 core=0\n"},
+      {"wcet beyond period",
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"
+       "task name=A period_ns=10 wcet_ns=20 core=0\n"},
+      {"core out of range",
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"
+       "task name=A period_ns=10 wcet_ns=1 core=2\n"},
+      {"negative core",
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"
+       "task name=A period_ns=10 wcet_ns=1 core=-1\n"},
+      {"gamma beyond period",
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"
+       "task name=A period_ns=10 wcet_ns=1 core=0 gamma_ns=11\n"},
+      {"duplicate task name",
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"
+       "task name=A period_ns=10 wcet_ns=1 core=0\n"
+       "task name=A period_ns=10 wcet_ns=1 core=1\n"},
+      {"zero-byte label",
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"
+       "task name=A period_ns=10 wcet_ns=1 core=0\n"
+       "task name=B period_ns=10 wcet_ns=1 core=1\n"
+       "label name=x bytes=0 writer=A readers=B\n"},
+      {"unknown writer",
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"
+       "task name=A period_ns=10 wcet_ns=1 core=0\n"
+       "label name=x bytes=10 writer=Z readers=A\n"},
+      {"unknown reader",
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"
+       "task name=A period_ns=10 wcet_ns=1 core=0\n"
+       "label name=x bytes=10 writer=A readers=Z\n"},
+      {"label without readers",
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"
+       "task name=A period_ns=10 wcet_ns=1 core=0\n"
+       "label name=x bytes=10 writer=A readers=,\n"},
+      {"key without value form",
+       "platform cores=2 odp_ns=1 oisr_ns=1 wc=1 cpu_wc=1 cpu_oh_ns=1\n"
+       "task noequals period_ns=10 wcet_ns=1 core=0\n"},
+  };
+  for (const auto& [label, text] : corpus) {
+    EXPECT_THROW(
+        {
+          try {
+            model::read_application(text);
+          } catch (const ParseError& e) {
+            EXPECT_GE(e.line(), 0) << label;
+            throw;
+          }
+        },
+        ParseError)
+        << "corpus entry: " << label;
+  }
+}
+
+TEST(MalformedCorpus, ScheduleParserRejectsEveryCorpusEntry) {
+  const auto app = make_fig1_app();
+  const let::LetComms comms(*app);
+  const std::vector<std::pair<const char*, std::string>> corpus = {
+      {"unknown directive", "schedule foo=bar\n"},
+      {"layout missing keys", "layout mem=M1\n"},
+      {"unknown memory", "layout mem=M99 slots=lA\n"},
+      {"unknown label", "layout mem=M1 slots=nosuch\n"},
+      {"unknown owner task", "layout mem=M1 slots=lA@nosuch\n"},
+      {"empty slot token", "layout mem=M1 slots=,\n"},
+      {"bad token shape", "layout =oops\n"},
+      {"duplicate key", "layout mem=M1 mem=M1 slots=lA\n"},
+      {"transfer missing comms", "transfer dir=W\n"},
+      {"bad comm token", "transfer comms=W:tau1\n"},
+      {"bad direction", "transfer comms=X:tau1:lA\n"},
+      {"unknown comm task", "transfer comms=W:nosuch:lA\n"},
+      {"unknown comm label", "transfer comms=W:tau1:nosuch\n"},
+  };
+  for (const auto& [label, text] : corpus) {
+    EXPECT_THROW(let::read_schedule(comms, text), ParseError)
+        << "corpus entry: " << label;
+  }
+}
+
+TEST(MalformedCorpus, ScheduleParserRejectsDuplicateLayout) {
+  const auto app = make_fig1_app();
+  const let::LetComms comms(*app);
+  const let::ScheduleResult good =
+      let::GreedyScheduler::best_latency_ratio(comms);
+  const std::string text = let::write_schedule(*app, good);
+  // Find the first layout line and duplicate it at the end.
+  const std::size_t start = text.find("layout ");
+  ASSERT_NE(start, std::string::npos);
+  const std::size_t end = text.find('\n', start);
+  const std::string dup = text + text.substr(start, end - start) + "\n";
+  EXPECT_THROW(let::read_schedule(comms, dup), ParseError);
+}
+
+/// Seeded damage fuzz: truncations and byte corruptions of valid
+/// documents must parse fully or throw support::Error — nothing else.
+template <typename ParseFn>
+void fuzz_damage(const std::string& valid, std::uint64_t seed,
+                 ParseFn&& parse) {
+  support::Rng rng(seed);
+  for (int i = 0; i < 200; ++i) {
+    std::string damaged = valid;
+    if (i % 2 == 0) {
+      damaged.resize(rng.uniform_int(
+          0, static_cast<int>(damaged.size())));
+    } else {
+      const int flips = rng.uniform_int(1, 8);
+      for (int f = 0; f < flips && !damaged.empty(); ++f) {
+        const int at = rng.uniform_int(
+            0, static_cast<int>(damaged.size()) - 1);
+        damaged[static_cast<std::size_t>(at)] =
+            static_cast<char>(rng.uniform_int(1, 126));
+      }
+    }
+    try {
+      parse(damaged);  // a clean parse of damaged text is acceptable
+    } catch (const support::Error&) {
+      // structured failure: acceptable
+    }
+    // anything else (foreign exception, crash) fails the test/sanitizers
+  }
+}
+
+TEST(MalformedCorpus, ApplicationParserSurvivesSeededDamage) {
+  const auto app = make_fig1_app();
+  const std::string valid = model::write_application(*app);
+  fuzz_damage(valid, 0xA11CE5,
+              [](const std::string& text) { model::read_application(text); });
+}
+
+TEST(MalformedCorpus, ScheduleParserSurvivesSeededDamage) {
+  const auto app = make_fig1_app();
+  const let::LetComms comms(*app);
+  const let::ScheduleResult good =
+      let::GreedyScheduler::best_latency_ratio(comms);
+  const std::string valid = let::write_schedule(*app, good);
+  fuzz_damage(valid, 0xB0B,
+              [&](const std::string& text) { let::read_schedule(comms, text); });
+}
+
+}  // namespace
+}  // namespace letdma

@@ -1,0 +1,169 @@
+#include "letdma/engine/supervised.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_fixtures.hpp"
+#include "letdma/guard/faults.hpp"
+#include "letdma/let/let_comms.hpp"
+#include "letdma/obs/obs.hpp"
+#include "letdma/waters/waters.hpp"
+
+namespace letdma::engine {
+namespace {
+
+using letdma::testing::make_fig1_app;
+
+class SupervisedTest : public ::testing::Test {
+ protected:
+  void SetUp() override { guard::disarm(); }
+  void TearDown() override { guard::disarm(); }
+};
+
+TEST_F(SupervisedTest, HealthyRunServesTopOfChainCertified) {
+  const auto app = make_fig1_app();
+  const let::LetComms comms(*app);
+  GuardOptions opt;
+  opt.chain = {"greedy", "giotto"};
+  const auto [out, record] = solve_supervised(comms, opt, 10.0);
+  ASSERT_TRUE(out.feasible());
+  EXPECT_EQ(record.fallback_level, 0);
+  EXPECT_EQ(record.served_by, "greedy");
+  EXPECT_EQ(record.retries, 0);
+  EXPECT_EQ(record.demotions, 0);
+  EXPECT_TRUE(
+      certify_outcome(comms, out, opt.objective).certified());
+}
+
+TEST_F(SupervisedTest, ThrowingLevelIsRetriedThenDemoted) {
+  if (!guard::faults_compiled_in()) GTEST_SKIP() << "injector compiled out";
+  const auto app = make_fig1_app();
+  const let::LetComms comms(*app);
+  guard::arm(guard::FaultPlan::parse("seed=1,engine.milp=throw"));
+  GuardOptions opt;
+  opt.chain = {"milp", "greedy"};
+  opt.retry_backoff_sec = 0.0;
+  const auto [out, record] = solve_supervised(comms, opt, 10.0);
+  ASSERT_TRUE(out.feasible());
+  EXPECT_EQ(record.served_by, "greedy");
+  EXPECT_EQ(record.fallback_level, 1);
+  EXPECT_EQ(record.retries, 1);   // milp retried once...
+  EXPECT_EQ(record.demotions, 1); // ...then demoted
+  EXPECT_TRUE(certify_outcome(comms, out, opt.objective).certified());
+}
+
+TEST_F(SupervisedTest, NanObjectiveFailsCertificationAndFallsBack) {
+  if (!guard::faults_compiled_in()) GTEST_SKIP() << "injector compiled out";
+  const auto app = make_fig1_app();
+  const let::LetComms comms(*app);
+  guard::arm(guard::FaultPlan::parse("seed=1,engine.ls=nan"));
+  GuardOptions opt;
+  opt.chain = {"ls", "greedy"};
+  opt.retry_backoff_sec = 0.0;
+  const auto [out, record] = solve_supervised(comms, opt, 10.0);
+  ASSERT_TRUE(out.feasible());
+  EXPECT_TRUE(std::isfinite(out.objective));
+  EXPECT_EQ(record.served_by, "greedy");
+  EXPECT_GE(record.certification_failures, 1);
+  EXPECT_TRUE(certify_outcome(comms, out, opt.objective).certified());
+}
+
+TEST_F(SupervisedTest, SpuriousInfeasibleIsCrossCheckedAndRefuted) {
+  if (!guard::faults_compiled_in()) GTEST_SKIP() << "injector compiled out";
+  const auto app = make_fig1_app();
+  const let::LetComms comms(*app);
+  guard::arm(guard::FaultPlan::parse("seed=1,engine.milp=infeasible"));
+  GuardOptions opt;
+  opt.chain = {"milp", "greedy"};
+  const auto [out, record] = solve_supervised(comms, opt, 10.0);
+  // The instance IS feasible; the injected claim must not be served.
+  ASSERT_TRUE(out.feasible());
+  EXPECT_NE(out.status, Status::kInfeasible);
+  EXPECT_TRUE(record.infeasible_refuted);
+  EXPECT_EQ(record.served_by, "greedy");
+}
+
+TEST_F(SupervisedTest, InfeasibleClaimServedWhenCrossCheckDisabled) {
+  if (!guard::faults_compiled_in()) GTEST_SKIP() << "injector compiled out";
+  const auto app = make_fig1_app();
+  const let::LetComms comms(*app);
+  guard::arm(guard::FaultPlan::parse("seed=1,engine.milp=infeasible"));
+  GuardOptions opt;
+  opt.chain = {"milp", "greedy"};
+  opt.cross_check_infeasible = false;
+  const auto [out, record] = solve_supervised(comms, opt, 10.0);
+  EXPECT_EQ(out.status, Status::kInfeasible);
+  EXPECT_FALSE(record.infeasible_refuted);
+}
+
+TEST_F(SupervisedTest, EveryLevelFaultedStillServesGiottoCertified) {
+  if (!guard::faults_compiled_in()) GTEST_SKIP() << "injector compiled out";
+  const auto app = make_fig1_app();
+  const let::LetComms comms(*app);
+  guard::arm(guard::FaultPlan::parse(
+      "seed=5,engine.milp=throw,engine.ls=throw,engine.greedy=throw"));
+  GuardOptions opt;
+  opt.retry_backoff_sec = 0.0;
+  const auto [out, record] = solve_supervised(comms, opt, 20.0);
+  ASSERT_TRUE(out.feasible());
+  EXPECT_EQ(record.served_by, "giotto");
+  EXPECT_EQ(record.fallback_level, 3);
+  EXPECT_EQ(record.demotions, 3);
+  EXPECT_TRUE(certify_outcome(comms, out, opt.objective).certified());
+}
+
+TEST_F(SupervisedTest, WatersUnderChaosAlwaysReturnsCertified) {
+  if (!guard::faults_compiled_in()) GTEST_SKIP() << "injector compiled out";
+  const auto app = waters::make_waters_app();
+  const let::LetComms comms(*app);
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    guard::arm(guard::FaultPlan::chaos(seed));
+    GuardOptions opt;
+    opt.retry_backoff_sec = 0.0;
+    const auto [out, record] = solve_supervised(comms, opt, 15.0);
+    guard::disarm();
+    // Whatever the chaos plan hit, the chain must end with a certified
+    // schedule (WATERS is feasible), never a crash, hang, or raw fault.
+    ASSERT_TRUE(out.feasible()) << "seed " << seed;
+    EXPECT_TRUE(certify_outcome(comms, out, opt.objective).certified())
+        << "seed " << seed;
+    EXPECT_GE(record.fallback_level, 0) << "seed " << seed;
+  }
+}
+
+TEST_F(SupervisedTest, RecordsObsCountersForFallbacks) {
+  if (!guard::faults_compiled_in()) GTEST_SKIP() << "injector compiled out";
+  const auto app = make_fig1_app();
+  const let::LetComms comms(*app);
+  obs::Registry& reg = obs::Registry::instance();
+  const auto base_demotions = reg.counter_value("engine.guard.demotions");
+  const auto base_retries = reg.counter_value("engine.guard.retries");
+  guard::arm(guard::FaultPlan::parse("seed=1,engine.milp=throw"));
+  GuardOptions opt;
+  opt.chain = {"milp", "greedy"};
+  opt.retry_backoff_sec = 0.0;
+  const auto [out, record] = solve_supervised(comms, opt, 10.0);
+  ASSERT_TRUE(out.feasible());
+  EXPECT_EQ(reg.counter_value("engine.guard.demotions"), base_demotions + 1);
+  EXPECT_EQ(reg.counter_value("engine.guard.retries"), base_retries + 1);
+  EXPECT_GE(reg.counter_value("engine.guard.served." + record.served_by), 1);
+}
+
+TEST_F(SupervisedTest, ZeroBudgetReturnsPromptlyWithDefinedOutcome) {
+  const auto app = make_fig1_app();
+  const let::LetComms comms(*app);
+  const auto [out, record] = solve_supervised(comms, {}, 0.0);
+  EXPECT_FALSE(out.feasible());
+  EXPECT_EQ(out.status, Status::kTimeout);
+  EXPECT_EQ(record.fallback_level, -1);
+}
+
+TEST_F(SupervisedTest, NestedSupervisedChainIsRejected) {
+  GuardOptions opt;
+  opt.chain = {"supervised"};
+  EXPECT_THROW(SupervisedScheduler{opt}, support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace letdma::engine

@@ -1,0 +1,113 @@
+// Anti-cycling regression: degenerate LPs must terminate (bounded pivots,
+// Bland fallback) instead of cycling under Dantzig pricing, and the solver
+// must report degeneracy through LpResult and the obs counters.
+#include <gtest/gtest.h>
+
+#include "letdma/milp/model.hpp"
+#include "letdma/milp/simplex.hpp"
+#include "letdma/obs/obs.hpp"
+
+namespace letdma::milp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+/// Beale's classic cycling example: Dantzig pricing with naive tie-breaks
+/// cycles forever on this LP; any anti-cycling safeguard must still reach
+/// the optimum -0.05 at x = (0.04, 0, 1, 0).
+Model beale_lp() {
+  Model m;
+  const Var x1 = m.add_continuous(0, kInfinity, "x1");
+  const Var x2 = m.add_continuous(0, kInfinity, "x2");
+  const Var x3 = m.add_continuous(0, kInfinity, "x3");
+  const Var x4 = m.add_continuous(0, kInfinity, "x4");
+  m.add_constraint(0.25 * x1 - 60.0 * x2 - 0.04 * x3 + 9.0 * x4, Sense::kLe,
+                   0.0, "r1");
+  m.add_constraint(0.5 * x1 - 90.0 * x2 - 0.02 * x3 + 3.0 * x4, Sense::kLe,
+                   0.0, "r2");
+  m.add_constraint(LinExpr(x3), Sense::kLe, 1.0, "r3");
+  m.set_objective(-0.75 * x1 + 150.0 * x2 - 0.02 * x3 + 6.0 * x4,
+                  ObjSense::kMinimize);
+  return m;
+}
+
+/// Primal-degenerate LP: the vertex reached after the first pivot has a
+/// basic slack at zero, so the next pivot has step length zero.
+Model degenerate_lp() {
+  Model m;
+  const Var x = m.add_continuous(0, kInfinity, "x");
+  const Var y = m.add_continuous(0, kInfinity, "y");
+  m.add_constraint(LinExpr(x), Sense::kLe, 1.0, "cx");
+  m.add_constraint(LinExpr(y), Sense::kLe, 1.0, "cy");
+  m.add_constraint(x + y, Sense::kLe, 1.0, "cap");
+  m.set_objective(x + y, ObjSense::kMaximize);
+  return m;
+}
+
+TEST(SimplexDegen, BealeCyclingLpReachesOptimum) {
+  const Model m = beale_lp();
+  const LpResult r = SimplexSolver(m).solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -0.05, kTol);
+  EXPECT_NEAR(r.x[0], 0.04, kTol);
+  EXPECT_NEAR(r.x[1], 0.0, kTol);
+  EXPECT_NEAR(r.x[2], 1.0, kTol);
+  EXPECT_NEAR(r.x[3], 0.0, kTol);
+}
+
+TEST(SimplexDegen, BealeSolvesUnderTightStreakLimit) {
+  // Even with the most aggressive fallback (any degenerate pivot engages
+  // Bland's rule) the optimum is unchanged — the guard affects pivot
+  // selection, never correctness.
+  SimplexOptions opt;
+  opt.degen_streak_limit = 0;
+  const Model m = beale_lp();
+  const LpResult r = SimplexSolver(m, opt).solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -0.05, kTol);
+}
+
+TEST(SimplexDegen, DegeneratePivotsAreCountedAndBlandEngages) {
+  obs::Registry& reg = obs::Registry::instance();
+  const auto base_degen = reg.counter_value("milp.simplex.degenerate_pivots");
+  const auto base_bland = reg.counter_value("milp.simplex.bland_activations");
+
+  SimplexOptions opt;
+  opt.degen_streak_limit = 0;  // first degenerate pivot engages Bland
+  const Model m = degenerate_lp();
+  const LpResult r = SimplexSolver(m, opt).solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, kTol);
+  EXPECT_GT(r.degenerate_pivots, 0);
+  EXPECT_TRUE(r.bland_used);
+
+  EXPECT_GE(reg.counter_value("milp.simplex.degenerate_pivots"),
+            base_degen + r.degenerate_pivots);
+  EXPECT_GE(reg.counter_value("milp.simplex.bland_activations"),
+            base_bland + 1);
+}
+
+TEST(SimplexDegen, GenerousStreakLimitStaysOnDantzig) {
+  SimplexOptions opt;
+  opt.degen_streak_limit = 1'000'000;
+  const Model m = degenerate_lp();
+  const LpResult r = SimplexSolver(m, opt).solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, kTol);
+  EXPECT_FALSE(r.bland_used);
+}
+
+TEST(SimplexDegen, PivotCountStaysBounded) {
+  // The regression this file exists for: Beale's LP under a naive Dantzig
+  // rule cycles forever. Whatever pricing path is taken, iterations must
+  // stay far below the cap.
+  SimplexOptions opt;
+  opt.max_iterations = 10'000;
+  const Model m = beale_lp();
+  const LpResult r = SimplexSolver(m, opt).solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_LT(r.iterations, 1'000);
+}
+
+}  // namespace
+}  // namespace letdma::milp
