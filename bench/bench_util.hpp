@@ -64,13 +64,12 @@ inline const char* status_name(milp::MilpStatus s) {
 /// the OBJ-DEL measure every sweep reports (previously copy-pasted into
 /// each bench).
 inline double max_latency_ratio(const model::Application& app,
-                                const std::map<int, model::Time>& wc) {
+                                const std::vector<model::Time>& wc) {
   double worst = 0.0;
-  for (const auto& [task, lam] : wc) {
-    worst = std::max(worst,
-                     static_cast<double>(lam) /
-                         static_cast<double>(
-                             app.task(model::TaskId{task}).period));
+  for (int task = 0; task < static_cast<int>(wc.size()); ++task) {
+    worst = std::max(
+        worst, static_cast<double>(wc[static_cast<std::size_t>(task)]) /
+                   static_cast<double>(app.task(model::TaskId{task}).period));
   }
   return worst;
 }

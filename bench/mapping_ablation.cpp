@@ -34,7 +34,7 @@ int main() {
     const auto ours = let::worst_case_latencies(
         comms, g.schedule, let::ReadinessSemantics::kProposed);
     const auto cpu = baseline::giotto_cpu_latencies(comms);
-    auto ratio = [&](const std::map<int, support::Time>& wc) {
+    auto ratio = [&](const std::vector<support::Time>& wc) {
       return bench::max_latency_ratio(*app, wc);
     };
     table.add_row({std::to_string(cores), std::to_string(labels.size()),

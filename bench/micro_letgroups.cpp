@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "letdma/let/compiled.hpp"
 #include "letdma/let/greedy.hpp"
 #include "letdma/let/validate.hpp"
 #include "letdma/support/rng.hpp"
@@ -83,6 +84,36 @@ void BM_WorstCaseLatencies(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WorstCaseLatencies)->Arg(8)->Arg(32);
+
+// One-time cost of flattening a calendar into the compiled instance —
+// the build the local search and the engine adapters amortize over every
+// candidate evaluation.
+void BM_CompiledBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto app = make_chain(n, 4, 11);
+  const let::LetComms comms(*app);
+  for (auto _ : state) {
+    const let::CompiledComms compiled(comms);
+    benchmark::DoNotOptimize(compiled.num_comms());
+  }
+}
+BENCHMARK(BM_CompiledBuild)->Arg(8)->Arg(16)->Arg(32);
+
+// The compiled instant-class sweep against BM_WorstCaseLatencies' from-
+// scratch path on the same schedule: the per-candidate objective cost
+// inside the delta evaluator.
+void BM_CompiledSweep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto app = make_chain(n, 4, 11);
+  const let::LetComms comms(*app);
+  const let::CompiledComms compiled(comms);
+  const let::ScheduleResult r = let::GreedyScheduler(comms).build();
+  for (auto _ : state) {
+    const auto wc = compiled.sweep_worst_case(r.s0_transfers);
+    benchmark::DoNotOptimize(wc.size());
+  }
+}
+BENCHMARK(BM_CompiledSweep)->Arg(8)->Arg(32);
 
 }  // namespace
 

@@ -1,0 +1,192 @@
+// Local-search throughput harness: candidate evaluations per second on the
+// WATERS case study, seed rebuild-per-candidate path (kReference) against
+// the compiled-instance delta evaluator (kCompiled). Both engines must
+// agree exactly (evaluations, improvements, objective bits) — this binary
+// aborts with a diagnostic if they ever diverge, so the perf numbers can
+// never come from paths that drifted apart.
+//
+// Modes:
+//   ./micro_localsearch                      print the table, emit metrics
+//   ./micro_localsearch --check BASELINE     additionally compare the
+//       measured OBJ-DEL speedup against the committed baseline and exit
+//       non-zero when it regressed by more than 20%.
+//
+// Metrics go to the LETDMA_METRICS destination (CI points this at
+// BENCH_localsearch.json); the speedup ratio is machine-independent enough
+// to gate on, absolute evals/sec are informational.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "letdma/let/compiled.hpp"
+#include "letdma/let/local_search.hpp"
+
+namespace {
+
+using namespace letdma;
+using Clock = std::chrono::steady_clock;
+
+struct Sample {
+  let::LocalSearchResult result;
+  double best_sec;       // fastest of the timed repeats
+  double evals_per_sec;  // evaluations / best_sec
+};
+
+/// Runs one full (converged) improvement pass `repeats` times and keeps
+/// the fastest wall time — the standard repeat-and-best protocol that
+/// filters scheduler noise out of short runs.
+Sample measure(const let::LetComms& comms, const let::CompiledComms& compiled,
+               const let::ScheduleResult& start, let::LocalSearchGoal goal,
+               let::LocalSearchEngine engine, int repeats) {
+  let::LocalSearchOptions opt;
+  opt.goal = goal;
+  opt.engine = engine;
+  // Convergence-bounded runs: both engines walk the identical accepted-move
+  // trajectory to the same local optimum, so the evaluation counts match.
+  opt.max_evaluations = 1 << 20;
+  opt.max_improvements = 1 << 20;
+
+  const bool use_compiled = engine == let::LocalSearchEngine::kCompiled;
+  const auto run = [&] {
+    return use_compiled ? improve_schedule(compiled, start, opt)
+                        : improve_schedule(comms, start, opt);
+  };
+
+  let::LocalSearchResult first = run();  // warm-up, also the reported result
+  double best_sec = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    const let::LocalSearchResult rr = run();
+    const double sec = std::chrono::duration<double>(Clock::now() - t0).count();
+    best_sec = std::min(best_sec, sec);
+    if (rr.evaluations != first.evaluations) {
+      std::fprintf(stderr, "non-deterministic run: %d vs %d evaluations\n",
+                   rr.evaluations, first.evaluations);
+      std::exit(2);
+    }
+  }
+  const double rate = best_sec > 0.0 ? first.evaluations / best_sec : 0.0;
+  return Sample{std::move(first), best_sec, rate};
+}
+
+/// Minimal extraction of `"key": <number>` from a flat JSON object; enough
+/// for the committed baseline file and free of parser dependencies.
+bool json_number(const std::string& text, const std::string& key,
+                 double* out) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t p = text.find(':', at + needle.size());
+  if (p == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + p + 1, nullptr);
+  return true;
+}
+
+const char* goal_name(let::LocalSearchGoal goal) {
+  return goal == let::LocalSearchGoal::kMinTransfers ? "OBJ-DMAT" : "OBJ-DEL";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+
+  const auto app = waters::make_waters_app();
+  const let::LetComms comms(*app);
+  const let::CompiledComms compiled(comms);
+  constexpr int kRepeats = 5;
+
+  std::printf("local-search throughput on WATERS (%zu comms at s0)\n",
+              comms.comms_at_s0().size());
+  std::printf("%-10s %-10s %10s %6s %12s %10s\n", "goal", "engine", "evals",
+              "moves", "evals/sec", "speedup");
+
+  double del_speedup = 0.0;
+  for (const let::LocalSearchGoal goal :
+       {let::LocalSearchGoal::kMinMaxLatencyRatio,
+        let::LocalSearchGoal::kMinTransfers}) {
+    const let::ScheduleResult start =
+        goal == let::LocalSearchGoal::kMinTransfers
+            ? let::GreedyScheduler::best_transfer_count(comms)
+            : let::GreedyScheduler::best_latency_ratio(comms);
+    const Sample ref = measure(comms, compiled, start, goal,
+                               let::LocalSearchEngine::kReference, kRepeats);
+    const Sample fast = measure(comms, compiled, start, goal,
+                                let::LocalSearchEngine::kCompiled, kRepeats);
+
+    // The equivalence gate: identical trajectories or the numbers are void.
+    if (ref.result.evaluations != fast.result.evaluations ||
+        ref.result.improvements != fast.result.improvements ||
+        ref.result.objective != fast.result.objective) {
+      std::fprintf(stderr,
+                   "engines diverged under %s: reference %d/%d/%.17g vs "
+                   "compiled %d/%d/%.17g\n",
+                   goal_name(goal), ref.result.evaluations,
+                   ref.result.improvements, ref.result.objective,
+                   fast.result.evaluations, fast.result.improvements,
+                   fast.result.objective);
+      return 2;
+    }
+
+    const double speedup =
+        ref.evals_per_sec > 0.0 ? fast.evals_per_sec / ref.evals_per_sec
+                                : 0.0;
+    if (goal == let::LocalSearchGoal::kMinMaxLatencyRatio) {
+      del_speedup = speedup;
+    }
+    std::printf("%-10s %-10s %10d %6d %12.0f %10s\n", goal_name(goal),
+                "reference", ref.result.evaluations, ref.result.improvements,
+                ref.evals_per_sec, "1.0x");
+    std::printf("%-10s %-10s %10d %6d %12.0f %9.1fx\n", goal_name(goal),
+                "compiled", fast.result.evaluations, fast.result.improvements,
+                fast.evals_per_sec, speedup);
+
+    const std::string config =
+        goal == let::LocalSearchGoal::kMinTransfers ? "waters-dmat"
+                                                    : "waters-del";
+    bench::append_metrics(
+        "micro_localsearch", config,
+        {{"evaluations", static_cast<std::int64_t>(ref.result.evaluations)},
+         {"improvements",
+          static_cast<std::int64_t>(ref.result.improvements)},
+         {"objective", ref.result.objective},
+         {"reference_evals_per_sec", ref.evals_per_sec},
+         {"compiled_evals_per_sec", fast.evals_per_sec},
+         {"speedup", speedup}});
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    double baseline = 0.0;
+    if (!json_number(buf.str(), "speedup", &baseline) || baseline <= 0.0) {
+      std::fprintf(stderr, "baseline %s has no positive \"speedup\" field\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    const double floor = 0.8 * baseline;
+    std::printf("check: OBJ-DEL speedup %.1fx vs baseline %.1fx "
+                "(floor %.1fx): %s\n",
+                del_speedup, baseline, floor,
+                del_speedup >= floor ? "ok" : "REGRESSION");
+    if (del_speedup < floor) return 1;
+  }
+  return 0;
+}

@@ -38,9 +38,8 @@ int main() {
         schedule_on_channels(*app, g.s0_transfers, channels);
     auto ready = [&](const char* name) {
       const int id = app->find_task(name).value;
-      return r.readiness.count(id)
-                 ? support::format_time(r.readiness.at(id))
-                 : std::string("-");
+      const auto t = r.readiness[static_cast<std::size_t>(id)];
+      return t > 0 ? support::format_time(t) : std::string("-");
     };
     table.add_row({std::to_string(channels),
                    support::format_time(r.makespan), ready("DASM"),

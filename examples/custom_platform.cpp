@@ -58,7 +58,7 @@ int main() {
     const auto wc = let::worst_case_latencies(
         comms, sched.schedule, let::ReadinessSemantics::kProposed);
     support::Time worst = 0;
-    for (const auto& [task, lam] : wc) worst = std::max(worst, lam);
+    for (const auto lam : wc) worst = std::max(worst, lam);
     sim::ProtocolSimulator simulator(comms, &sched.schedule,
                                      {sim::Mode::kProposedDma, 0});
     const sim::SimResult sr = simulator.run();

@@ -265,7 +265,8 @@ int main(int argc, char** argv) {
   const auto wc = let::worst_case_latencies(
       comms, result->schedule, let::ReadinessSemantics::kProposed);
   support::TextTable table({"task", "lambda", "lambda/T"});
-  for (const auto& [task, lam] : wc) {
+  for (int task = 0; task < static_cast<int>(wc.size()); ++task) {
+    const auto lam = wc[static_cast<std::size_t>(task)];
     const model::Task& t = app->task(model::TaskId{task});
     table.add_row({t.name, support::format_time(lam),
                    support::fmt_double(static_cast<double>(lam) /

@@ -52,10 +52,11 @@ int main() {
   std::printf("validation: %s\n", report.summary().c_str());
   const auto latencies = let::worst_case_latencies(
       comms, result.schedule, let::ReadinessSemantics::kProposed);
-  for (const auto& [task, lambda] : latencies) {
-    std::printf("lambda(%s) = %s\n",
-                app.task(model::TaskId{task}).name.c_str(),
-                support::format_time(lambda).c_str());
+  for (int task = 0; task < static_cast<int>(latencies.size()); ++task) {
+    std::printf(
+        "lambda(%s) = %s\n", app.task(model::TaskId{task}).name.c_str(),
+        support::format_time(latencies[static_cast<std::size_t>(task)])
+            .c_str());
   }
   return report.ok() ? 0 : 1;
 }

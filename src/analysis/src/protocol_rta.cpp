@@ -124,7 +124,7 @@ RtaResult analyze_with_protocol(const let::LetComms& comms,
   const model::Application& app = comms.app();
   const std::vector<LetInterference> interference =
       let_interference(comms, schedule);
-  const std::map<int, Time> jitter =
+  const std::vector<Time> jitter =
       let::worst_case_latencies(comms, schedule, semantics);
   const Time h = app.hyperperiod();
 
@@ -142,7 +142,7 @@ RtaResult analyze_with_protocol(const let::LetComms& comms,
     }
     for (const model::TaskId tid : app.tasks_on(model::CoreId{k})) {
       const model::Task& t = app.task(tid);
-      const Time j = jitter.count(tid.value) ? jitter.at(tid.value) : 0;
+      const Time j = jitter[static_cast<std::size_t>(tid.value)];
       const TaskParams params{t.wcet, t.period, j, t.period};
       const auto r = model == InterferenceModel::kDemandBound
                          ? response_time_with_dbf(params, higher, li, h,

@@ -14,7 +14,7 @@
 // every communication of the instant has completed.
 #pragma once
 
-#include <map>
+#include <vector>
 
 #include "letdma/let/greedy.hpp"
 #include "letdma/let/latency.hpp"
@@ -31,14 +31,14 @@ let::ScheduleResult giotto_dma_a(const let::LetComms& comms);
 let::ScheduleResult giotto_dma_b(const let::LetComms& comms,
                                  const let::MemoryLayout& optimized);
 
-/// Worst-case data-acquisition latency per task (TaskId::value) under
-/// Giotto-CPU: the CPU copies every communication of the instant
+/// Worst-case data-acquisition latency per task (indexed by TaskId::value)
+/// under Giotto-CPU: the CPU copies every communication of the instant
 /// back-to-back and all tasks released there wait for the total.
-std::map<int, Time> giotto_cpu_latencies(const let::LetComms& comms);
+std::vector<Time> giotto_cpu_latencies(const let::LetComms& comms);
 
-/// Worst-case latency per task for a Giotto-DMA schedule (readiness only
-/// after the whole instant).
-std::map<int, Time> giotto_dma_latencies(const let::LetComms& comms,
-                                         const let::ScheduleResult& sched);
+/// Worst-case latency per task (indexed by TaskId::value) for a Giotto-DMA
+/// schedule (readiness only after the whole instant).
+std::vector<Time> giotto_dma_latencies(const let::LetComms& comms,
+                                       const let::ScheduleResult& sched);
 
 }  // namespace letdma::baseline

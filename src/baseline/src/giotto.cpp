@@ -76,24 +76,24 @@ ScheduleResult giotto_dma_b(const LetComms& comms,
   return build(comms, optimized, /*one_per_comm=*/false);
 }
 
-std::map<int, Time> giotto_cpu_latencies(const LetComms& comms) {
+std::vector<Time> giotto_cpu_latencies(const LetComms& comms) {
   const model::Application& app = comms.app();
   const let::LatencyModel lat(app.platform());
-  std::map<int, Time> out;
-  for (int i = 0; i < app.num_tasks(); ++i) out[i] = 0;
+  std::vector<Time> out(static_cast<std::size_t>(app.num_tasks()), 0);
   for (const Time t : comms.required_instants()) {
     const Time total = lat.cpu_copy_duration(app, comms.comms_at(t));
     for (int i = 0; i < app.num_tasks(); ++i) {
       if (t % app.task(model::TaskId{i}).period == 0) {
-        out[i] = std::max(out[i], total);
+        out[static_cast<std::size_t>(i)] =
+            std::max(out[static_cast<std::size_t>(i)], total);
       }
     }
   }
   return out;
 }
 
-std::map<int, Time> giotto_dma_latencies(const LetComms& comms,
-                                         const ScheduleResult& sched) {
+std::vector<Time> giotto_dma_latencies(const LetComms& comms,
+                                       const ScheduleResult& sched) {
   return let::worst_case_latencies(comms, sched.schedule,
                                    let::ReadinessSemantics::kGiotto);
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "letdma/guard/faults.hpp"
+#include "letdma/let/compiled.hpp"
 #include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
 
@@ -172,9 +173,22 @@ ScheduleOutcome LocalSearchEngine::solve(const let::LetComms& comms,
   ls.stop = budget.stop;
   ls.time_limit_sec =
       inner_time_limit(budget.wall_sec - seconds_since(t0), budget);
+  // Publish every accepted move so a racing MILP sees mid-search
+  // improvements as warm starts instead of only the final result. The ls
+  // goal value doubles as the engine objective except under kFeasibility.
+  ls.on_improvement = [&](const let::ScheduleResult& improved_schedule,
+                          double ls_objective) {
+    sink.offer(improved_schedule,
+               options_.objective == Objective::kFeasibility ? 0.0
+                                                             : ls_objective,
+               name());
+  };
   try {
+    // Compile once; the delta evaluator inside improve_schedule and any
+    // repeated solves share the flat instance.
+    const let::CompiledComms compiled(comms);
     let::LocalSearchResult improved =
-        improve_schedule(comms, *out.schedule, ls);
+        improve_schedule(compiled, *out.schedule, ls);
     // improve_schedule optimizes its own goal; re-measure under the
     // engine objective so kFeasibility stays 0 and comparisons stay
     // uniform across strategies.

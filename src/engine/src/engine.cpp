@@ -40,14 +40,15 @@ double objective_of(const let::LetComms& comms,
     case Objective::kMinTransfers:
       return static_cast<double>(schedule.s0_transfers.size());
     case Objective::kMinMaxLatencyRatio: {
-      const auto wc = let::worst_case_latencies(
+      const std::vector<support::Time> wc = let::worst_case_latencies(
           comms, schedule.schedule, let::ReadinessSemantics::kProposed);
       double worst = 0.0;
-      for (const auto& [task, lam] : wc) {
+      for (int task = 0; task < static_cast<int>(wc.size()); ++task) {
         worst = std::max(
-            worst, static_cast<double>(lam) /
-                       static_cast<double>(
-                           comms.app().task(model::TaskId{task}).period));
+            worst,
+            static_cast<double>(wc[static_cast<std::size_t>(task)]) /
+                static_cast<double>(
+                    comms.app().task(model::TaskId{task}).period));
       }
       return worst;
     }

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "letdma/baseline/giotto.hpp"
+#include "letdma/let/compiled.hpp"
 #include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
 
@@ -63,7 +64,13 @@ guard::Certificate certify_outcome(const let::LetComms& comms,
     }
   }
 
-  guard::Certificate inner = guard::certify(comms, *outcome.schedule);
+  // Hand the certifier a compiled view so it cross-checks the incremental
+  // evaluator's sweep against the from-scratch latency path as part of the
+  // certificate.
+  const let::CompiledComms compiled(comms);
+  guard::CertifyOptions copt;
+  copt.compiled = &compiled;
+  guard::Certificate inner = guard::certify(comms, *outcome.schedule, copt);
   for (guard::Diagnostic& d : inner.diagnostics) {
     cert.diagnostics.push_back(std::move(d));
   }

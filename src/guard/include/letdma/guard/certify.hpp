@@ -35,6 +35,8 @@ enum class Check {
   kLetSemantics,     // a let/validate rule failed (violation attached)
   kOutcomeShape,     // engine outcome inconsistent (status vs schedule)
   kObjective,        // reported objective non-finite or != recomputed
+  kEvaluatorConsistency,  // compiled-instance sweep disagrees with the
+                          // from-scratch latency recomputation
 };
 
 const char* check_name(Check check);
@@ -57,6 +59,13 @@ struct Certificate {
 
 struct CertifyOptions {
   let::ValidationOptions validation;
+  /// Optional compiled view of the same LetComms instance. When set (and
+  /// the layout and transfer shapes check out), certify() additionally
+  /// cross-checks the incremental evaluator's instant-class latency sweep
+  /// against the from-scratch derive_schedule + worst_case_latencies path,
+  /// so a drift in the compiled core is caught by the certifier rather
+  /// than trusted. Not owned; may be null.
+  const let::CompiledComms* compiled = nullptr;
 };
 
 /// Independently certifies a configuration. Never throws on a malformed

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "letdma/let/compiled.hpp"
+#include "letdma/let/latency.hpp"
 #include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
 
@@ -15,6 +17,7 @@ const char* check_name(Check check) {
     case Check::kLetSemantics: return "let-semantics";
     case Check::kOutcomeShape: return "outcome-shape";
     case Check::kObjective: return "objective";
+    case Check::kEvaluatorConsistency: return "evaluator-consistency";
   }
   return "?";
 }
@@ -119,6 +122,51 @@ void check_transfers(const let::ScheduleResult& schedule, Certificate& cert) {
   }
 }
 
+/// Cross-checks the compiled instance's latency sweep against the
+/// from-scratch path (derive_schedule + worst_case_latencies). Run only
+/// when layout and transfer shapes certified clean: make_transfer
+/// succeeding on every s0 transfer is what guarantees the transfers'
+/// communication lists are sorted by global position, the precondition of
+/// the class sweep.
+void check_evaluator(const let::LetComms& comms,
+                     const let::CompiledComms& compiled,
+                     const let::ScheduleResult& schedule, Certificate& cert) {
+  if (&compiled.let_comms() != &comms) {
+    Diagnostic d;
+    d.check = Check::kEvaluatorConsistency;
+    d.message = "compiled instance was built from a different LetComms";
+    cert.diagnostics.push_back(std::move(d));
+    return;
+  }
+  try {
+    const std::vector<support::Time> incremental =
+        compiled.sweep_worst_case(schedule.s0_transfers);
+    const let::TransferSchedule derived =
+        let::derive_schedule(comms, schedule.layout, schedule.s0_transfers);
+    const std::vector<support::Time> scratch = let::worst_case_latencies(
+        comms, derived, let::ReadinessSemantics::kProposed);
+    if (incremental != scratch) {
+      std::size_t task = 0;
+      while (task < incremental.size() && task < scratch.size() &&
+             incremental[task] == scratch[task]) {
+        ++task;
+      }
+      Diagnostic d;
+      d.check = Check::kEvaluatorConsistency;
+      d.message =
+          "compiled sweep disagrees with the from-scratch latencies "
+          "(first divergence at task " +
+          std::to_string(task) + ")";
+      cert.diagnostics.push_back(std::move(d));
+    }
+  } catch (const support::Error& e) {
+    Diagnostic d;
+    d.check = Check::kEvaluatorConsistency;
+    d.message = std::string("evaluator cross-check aborted: ") + e.what();
+    cert.diagnostics.push_back(std::move(d));
+  }
+}
+
 }  // namespace
 
 Certificate certify(const let::LetComms& comms,
@@ -148,6 +196,9 @@ Certificate certify(const let::LetComms& comms,
       d.message = v.message;
       d.violation = std::move(v);
       cert.diagnostics.push_back(std::move(d));
+    }
+    if (options.compiled != nullptr && !cert.flags(Check::kTransferShape)) {
+      check_evaluator(comms, *options.compiled, schedule, cert);
     }
   }
 

@@ -1,0 +1,172 @@
+// Compiled scheduling instance: the flat IR every hot evaluator runs on.
+//
+// LetComms answers calendar queries through std::map lookups and per-call
+// vector copies; that is fine for construction-time code but far too slow
+// for the local search, which scores thousands of candidate transfer
+// orders per run. CompiledComms flattens one LetComms into dense arrays,
+// built once and read many times:
+//
+//   * per-communication state indexed by the comm's position in
+//     comms_at_s0(): direction, owning task id, label id, local memory id,
+//     payload bytes, and the precomputed solo copy duration;
+//   * instant classes: the instants of T* grouped by identical active
+//     communication sets. Each class carries one active-comm bitset and the
+//     union of tasks released at its instants, so any per-instant
+//     computation runs once per class instead of once per instant;
+//   * per-communication presence patterns over T* (sorted instants), the
+//     data the greedy subset-chain grouping consumes;
+//   * per-task periods and acquisition deadlines as dense arrays.
+//
+// On top of the arrays it implements the exact group-decomposition rule of
+// build_from_groups (memory-contiguous runs recursively cut at presence
+// holes) and the exact worst-case latency sweep, both bit-identical to the
+// rebuild path in greedy.cpp/latency.cpp: the delta evaluator
+// (letdma/let/delta.hpp) and guard::certify's cross-check both rely on
+// that equivalence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "letdma/let/greedy.hpp"
+
+namespace letdma::let {
+
+/// One intended transfer of a decomposed group: communication ids sorted
+/// by global-memory position, with the derived payload and duration and
+/// the involvement masks the latency sweep consumes.
+struct CompiledTransfer {
+  std::vector<int> comms;  // comm ids, global-position order
+  std::int64_t bytes = 0;
+  Time duration = 0;  // per_transfer_overhead + copy_time(bytes)
+  std::vector<std::uint64_t> comm_mask;  // bit per comm id
+  std::vector<std::uint64_t> task_mask;  // bit per task id
+};
+
+class CompiledComms {
+ public:
+  explicit CompiledComms(const LetComms& comms);
+
+  const LetComms& let_comms() const { return *comms_; }
+  const model::Application& app() const { return comms_->app(); }
+
+  int num_comms() const { return num_comms_; }
+  int num_tasks() const { return num_tasks_; }
+  int num_labels() const { return num_labels_; }
+  int num_classes() const { return static_cast<int>(class_tasks_.size()); }
+
+  /// Words per comm-indexed bitset / per task-indexed bitset.
+  int comm_words() const { return comm_words_; }
+  int task_words() const { return task_words_; }
+
+  const Communication& comm(int c) const {
+    return comms_->comms_at_s0()[static_cast<std::size_t>(c)];
+  }
+  int index_of(const Communication& c) const {
+    return comms_->index_at_s0(c);
+  }
+  bool is_write(int c) const {
+    return is_write_[static_cast<std::size_t>(c)] != 0;
+  }
+  int task_of(int c) const { return task_[static_cast<std::size_t>(c)]; }
+  int label_of(int c) const { return label_[static_cast<std::size_t>(c)]; }
+  int local_mem_of(int c) const { return mem_[static_cast<std::size_t>(c)]; }
+  std::int64_t size_bytes(int c) const {
+    return size_[static_cast<std::size_t>(c)];
+  }
+  /// copy_time(size_bytes(c)) — the comm's solo transfer-duration
+  /// contribution. Copy times are not additive across comms (the per-byte
+  /// cost is applied to the summed payload), so multi-comm durations must
+  /// be derived from summed bytes; this is the single-comm fast path.
+  Time solo_copy_time(int c) const {
+    return solo_copy_[static_cast<std::size_t>(c)];
+  }
+
+  /// Active-comm bitset of an instant class (comm_words() words).
+  const std::uint64_t* active_row(int cls) const {
+    return active_.data() +
+           static_cast<std::size_t>(cls) * static_cast<std::size_t>(comm_words_);
+  }
+  bool active(int c, int cls) const {
+    return (active_row(cls)[static_cast<std::size_t>(c >> 6)] >>
+            (c & 63)) & 1u;
+  }
+  /// Tasks released at any instant of the class (sorted, unique).
+  const std::vector<int>& released_tasks(int cls) const {
+    return class_tasks_[static_cast<std::size_t>(cls)];
+  }
+  /// Presence pattern of a communication: the sorted instants of T* at
+  /// which it is required (same content as greedy.cpp's former
+  /// presence_pattern).
+  const std::vector<Time>& pattern(int c) const {
+    return patterns_[static_cast<std::size_t>(c)];
+  }
+
+  Time period(int task) const { return periods_[static_cast<std::size_t>(task)]; }
+  /// Acquisition deadline, or -1 when the task has none.
+  Time deadline(int task) const {
+    return deadlines_[static_cast<std::size_t>(task)];
+  }
+  bool any_deadline() const { return any_deadline_; }
+
+  Time per_transfer_overhead() const { return overhead_; }
+  Time copy_time(std::int64_t bytes) const;
+
+  /// Decomposes one partition group (comm ids in emission order) into the
+  /// exact transfer list build_from_groups would emit for it, given the
+  /// global-memory position of every label (label id -> position).
+  /// Transfers are appended to `out` in schedule order.
+  void decompose_group(const std::vector<int>& group,
+                       const std::vector<int>& label_global_pos,
+                       std::vector<CompiledTransfer>* out) const;
+
+  /// Worst-case per-task latency (kProposed semantics) of an s0 transfer
+  /// order, computed by the class sweep — bit-identical to
+  /// worst_case_latencies(derive_schedule(...)) for transfers whose comm
+  /// lists are sorted by global position (make_transfer's invariant).
+  /// Result is indexed by TaskId::value. Throws if a communication is not
+  /// part of C(s0).
+  std::vector<Time> sweep_worst_case(
+      const std::vector<DmaTransfer>& s0_order) const;
+
+ private:
+  const LetComms* comms_;
+  int num_comms_ = 0;
+  int num_tasks_ = 0;
+  int num_labels_ = 0;
+  int comm_words_ = 0;
+  int task_words_ = 0;
+
+  std::vector<std::uint8_t> is_write_;
+  std::vector<int> task_;
+  std::vector<int> label_;
+  std::vector<int> mem_;
+  std::vector<std::int64_t> size_;
+  std::vector<Time> solo_copy_;
+
+  std::vector<std::uint64_t> active_;  // num_classes x comm_words_
+  std::vector<std::vector<int>> class_tasks_;
+  std::vector<std::vector<Time>> patterns_;
+
+  std::vector<Time> periods_;
+  std::vector<Time> deadlines_;
+  bool any_deadline_ = false;
+  Time overhead_ = 0;
+  double copy_cost_ns_per_byte_ = 0.0;
+
+  void pattern_split(const std::vector<int>& run, int lo, int hi,
+                     std::vector<CompiledTransfer>* out) const;
+  CompiledTransfer make_compiled_transfer(const std::vector<int>& run, int lo,
+                                          int hi) const;
+};
+
+/// build_from_groups on the compiled instance: identical output to
+/// build_from_groups(comms, groups) (greedy.hpp), shared by the greedy
+/// scheduler and the local search's accepted-move materialization.
+/// `reads_first_placement` mirrors the kReadBatched layout policy.
+ScheduleResult build_from_groups_compiled(
+    const CompiledComms& compiled,
+    const std::vector<std::vector<Communication>>& groups,
+    bool reads_first_placement = false);
+
+}  // namespace letdma::let

@@ -1,0 +1,128 @@
+// Incremental (delta) evaluation of local-search moves.
+//
+// The local search explores an ordered partition of C(s0) under three move
+// kinds — relocate, merge, split. The seed evaluator rebuilt a full
+// ScheduleResult per candidate; DeltaEvaluator scores a move against the
+// compiled instance without rebuilding anything:
+//
+//   * order feasibility (Properties 1-2 on the partition) falls out of
+//     maintained per-task write-max/read-min and per-label write/read-min
+//     group positions, checked in O(|moved group|) per candidate — a pure
+//     index shift of untouched groups can never create a violation;
+//   * the objective comes from cached per-group transfer decompositions
+//     plus the class sweep. A candidate invalidates a cached decomposition
+//     only when it changes the group's content or the global-memory
+//     position of one of its labels (the global layout is the sequence of
+//     first label appearances in group order, so most read-group moves
+//     leave every cached decomposition valid);
+//   * the full ScheduleResult is only materialized through
+//     build_from_groups_compiled once a move is *accepted*, which keeps
+//     guard::certify's from-scratch cross-check independent of this
+//     evaluator.
+//
+// Verdicts and objectives are bit-identical to the seed rebuild path;
+// tests/let/delta_equivalence_test.cpp holds that equivalence over WATERS
+// and randomized instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "letdma/let/compiled.hpp"
+#include "letdma/let/local_search.hpp"
+
+namespace letdma::let {
+
+/// One candidate move on the ordered partition.
+struct ScheduleDelta {
+  enum class Kind {
+    kRelocate,  // erase group `from`, reinsert at index `to`
+    kMerge,     // append group `to`'s comms to group `from`, erase `to`
+    kSplit,     // split group `from` in half (head keeps size/2 comms)
+  };
+  Kind kind = Kind::kRelocate;
+  int from = -1;
+  int to = -1;
+};
+
+struct DeltaEval {
+  bool feasible = false;
+  double objective = 0.0;
+};
+
+class DeltaEvaluator {
+ public:
+  /// `groups` is the partition as comm ids (CompiledComms indexing) in
+  /// emission order. The compiled instance must outlive the evaluator.
+  DeltaEvaluator(const CompiledComms& compiled,
+                 std::vector<std::vector<int>> groups, LocalSearchGoal goal);
+
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+  const std::vector<int>& group(int g) const {
+    return groups_[static_cast<std::size_t>(g)];
+  }
+  bool group_is_write(int g) const {
+    return compiled_->is_write(group(g).front());
+  }
+  int group_mem(int g) const {
+    return compiled_->local_mem_of(group(g).front());
+  }
+
+  /// Scores the current partition from scratch (full feasibility check +
+  /// sweep); the seed evaluation of improve_schedule.
+  DeltaEval evaluate_current();
+
+  /// Scores one candidate move without mutating the current partition.
+  DeltaEval evaluate(const ScheduleDelta& move);
+
+  /// Commits a move: updates the partition and rebuilds the maintained
+  /// state (positions, feasibility counters, decomposition caches).
+  void apply(const ScheduleDelta& move);
+
+  /// The current partition as Communication lists (build_from_groups
+  /// input order).
+  std::vector<std::vector<Communication>> groups_as_comms() const;
+
+  /// Full rebuild of the current partition — identical to
+  /// build_from_groups on the same groups.
+  ScheduleResult materialize() const;
+
+ private:
+  const CompiledComms* compiled_;
+  LocalSearchGoal goal_;
+  std::vector<std::vector<int>> groups_;
+
+  // Maintained state for the current partition.
+  std::vector<std::vector<CompiledTransfer>> decomp_;  // per group
+  std::vector<int> label_pos_;        // label id -> global position
+  std::vector<int> label_write_;      // label id -> write group (-1 none)
+  std::vector<int> label_read_min_;   // label id -> min read group
+  std::vector<int> task_write_max_;   // task id -> max write group (-1)
+  std::vector<int> task_read_min_;    // task id -> min read group
+
+  // Scratch (reused across evaluate calls).
+  std::vector<int> cand_label_pos_;
+  std::vector<std::uint32_t> label_epoch_;
+  std::uint32_t label_gen_ = 0;
+  std::vector<int> merged_scratch_;
+  std::vector<int> head_scratch_;
+  std::vector<int> tail_scratch_;
+  std::vector<const std::vector<int>*> order_;  // candidate group contents
+  std::vector<int> src_;  // original group index per entry; -1 = scratch
+  std::vector<std::vector<CompiledTransfer>> scratch_decomp_;
+  std::vector<const std::vector<CompiledTransfer>*> view_;
+  std::vector<Time> ready_;
+  std::vector<std::uint32_t> ready_stamp_;
+  std::uint32_t sweep_gen_ = 0;
+
+  void reset_state();
+  bool move_order_feasible(const ScheduleDelta& move) const;
+  /// Assigns candidate global positions (into cand_label_pos_) for the
+  /// candidate group order in order_; returns true when any label moved
+  /// relative to label_pos_.
+  bool assign_candidate_positions();
+  /// Scores the candidate decompositions currently in view_.
+  DeltaEval sweep();
+};
+
+}  // namespace letdma::let

@@ -21,6 +21,8 @@
 
 namespace letdma::let {
 
+class CompiledComms;
+
 /// A complete protocol configuration: where every label lives, and the
 /// ordered DMA transfers at s0 plus every other instant of T*.
 struct ScheduleResult {
@@ -62,6 +64,12 @@ class GreedyScheduler {
   explicit GreedyScheduler(const LetComms& comms, GreedyOptions options = {})
       : comms_(comms), options_(options) {}
 
+  /// Same, on a prebuilt compiled instance: reuses its presence patterns
+  /// and instant classes instead of recompiling them per build. The
+  /// instance must outlive the scheduler.
+  explicit GreedyScheduler(const CompiledComms& compiled,
+                           GreedyOptions options = {});
+
   /// Builds the configuration. Always succeeds structurally; whether the
   /// result meets acquisition deadlines is up to validate_schedule().
   ScheduleResult build() const;
@@ -76,6 +84,7 @@ class GreedyScheduler {
 
  private:
   const LetComms& comms_;
+  const CompiledComms* compiled_ = nullptr;  // optional, not owned
   GreedyOptions options_;
 };
 

@@ -7,7 +7,6 @@
 // *all* transfers of the instant complete (Giotto ordering).
 #pragma once
 
-#include <map>
 #include <vector>
 
 #include "letdma/let/transfer.hpp"
@@ -39,8 +38,7 @@ class LatencyModel {
   /// Under kProposed: completion of the last transfer carrying one of the
   /// task's communications (0 when it has none). Under kGiotto: the total
   /// duration whenever the instant is non-empty.
-  Time task_latency(const model::Application& app,
-                    const std::vector<DmaTransfer>& transfers,
+  Time task_latency(const std::vector<DmaTransfer>& transfers,
                     model::TaskId task, ReadinessSemantics sem) const;
 
   /// Time for the CPU (not the DMA) to perform the given copies
@@ -54,9 +52,12 @@ class LatencyModel {
 
 /// Worst-case data-acquisition latency per task over a full schedule:
 /// max over the task's release instants of its per-instant latency.
-/// Result is indexed by TaskId::value.
-std::map<int, Time> worst_case_latencies(const LetComms& comms,
-                                         const TransferSchedule& schedule,
-                                         ReadinessSemantics sem);
+/// Indexed by TaskId::value; every task has an entry (0 when it never
+/// waits on a transfer). Hyperperiod instants that repeat the previous
+/// instant's transfer list reuse its per-task latencies instead of
+/// re-walking the transfers.
+std::vector<Time> worst_case_latencies(const LetComms& comms,
+                                       const TransferSchedule& schedule,
+                                       ReadinessSemantics sem);
 
 }  // namespace letdma::let

@@ -5,10 +5,14 @@
 //   * relocate a group to another position (re-ordering),
 //   * merge two groups of the same (memory, direction),
 //   * split a group in two.
-// Every candidate is rebuilt via build_from_groups() (layouts follow the
-// partition) and kept only when it satisfies Properties 1-2, meets every
-// acquisition deadline, and improves the goal. Hill climbing with
-// first-improvement; deterministic.
+// Candidates are enumerated lazily (generate-evaluate-discard) and scored
+// by the incremental delta evaluator on the compiled instance
+// (letdma/let/delta.hpp): feasibility from maintained order counters, the
+// objective from cached group decompositions and the instant-class sweep.
+// A full ScheduleResult is only rebuilt when a move is accepted. The
+// verdicts match the seed rebuild-per-candidate path exactly (kept as
+// LocalSearchEngine::kReference for A/B benchmarking and the equivalence
+// test); hill climbing with first-improvement, deterministic.
 //
 // This is an extension beyond the paper: a cheap anytime optimizer that
 // closes much of the gap to the MILP on large instances and provides its
@@ -16,18 +20,29 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 
 #include "letdma/let/greedy.hpp"
 
 namespace letdma::let {
+
+class CompiledComms;
 
 enum class LocalSearchGoal {
   kMinMaxLatencyRatio,  // the OBJ-DEL metric (Eq. 5)
   kMinTransfers,        // the OBJ-DMAT metric (Eq. 4 proxy: s0 transfers)
 };
 
+/// Which evaluator scores candidates. Both produce identical accepted-move
+/// sequences, objectives and schedules (delta_equivalence_test pins this).
+enum class LocalSearchEngine {
+  kCompiled,   // delta evaluation on the compiled instance (default)
+  kReference,  // rebuild every candidate via build_from_groups (seed path)
+};
+
 struct LocalSearchOptions {
   LocalSearchGoal goal = LocalSearchGoal::kMinMaxLatencyRatio;
+  LocalSearchEngine engine = LocalSearchEngine::kCompiled;
   /// Stop after this many accepted improvements.
   int max_improvements = 100;
   /// Stop after this many candidate evaluations.
@@ -37,6 +52,10 @@ struct LocalSearchOptions {
   /// Cooperative cancellation, polled before every candidate evaluation.
   /// The best-so-far result is returned on cancel. Not owned; may be null.
   const std::atomic<bool>* stop = nullptr;
+  /// Invoked after every accepted move with the rebuilt schedule and its
+  /// goal value — the engine adapter publishes these as incumbents so the
+  /// MILP warm start sees mid-search improvements. May be empty.
+  std::function<void(const ScheduleResult&, double)> on_improvement;
 };
 
 struct LocalSearchResult {
@@ -50,6 +69,12 @@ struct LocalSearchResult {
 /// best of `start` and its partition rebuild, and always passes
 /// validate_schedule (structurally and on deadlines).
 LocalSearchResult improve_schedule(const LetComms& comms,
+                                   const ScheduleResult& start,
+                                   LocalSearchOptions options = {});
+
+/// Same, on a prebuilt compiled instance (avoids recompiling when the
+/// caller already holds one — the engine adapters do).
+LocalSearchResult improve_schedule(const CompiledComms& compiled,
                                    const ScheduleResult& start,
                                    LocalSearchOptions options = {});
 

@@ -31,7 +31,9 @@ struct ChannelSlot {
 
 struct MultiChannelReport {
   std::vector<ChannelSlot> slots;   // one per transfer, input order
-  std::map<int, Time> readiness;    // per TaskId::value (rule R3)
+  /// Readiness per task (indexed by TaskId::value, rule R3); 0 for tasks
+  /// with no involved transfer.
+  std::vector<Time> readiness;
   Time makespan = 0;
 };
 

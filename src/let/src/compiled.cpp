@@ -1,0 +1,298 @@
+#include "letdma/let/compiled.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::let {
+namespace {
+
+int words_for(int bits) { return (bits + 63) / 64; }
+
+void set_bit(std::vector<std::uint64_t>& words, int bit) {
+  words[static_cast<std::size_t>(bit >> 6)] |= std::uint64_t{1} << (bit & 63);
+}
+
+}  // namespace
+
+CompiledComms::CompiledComms(const LetComms& comms) : comms_(&comms) {
+  const model::Application& app = comms.app();
+  const std::vector<Communication>& s0 = comms.comms_at_s0();
+  num_comms_ = static_cast<int>(s0.size());
+  num_tasks_ = app.num_tasks();
+  num_labels_ = app.num_labels();
+  comm_words_ = words_for(std::max(num_comms_, 1));
+  task_words_ = words_for(std::max(num_tasks_, 1));
+
+  overhead_ = app.platform().dma().per_transfer_overhead();
+  copy_cost_ns_per_byte_ = app.platform().dma().copy_cost_ns_per_byte;
+
+  is_write_.reserve(s0.size());
+  task_.reserve(s0.size());
+  label_.reserve(s0.size());
+  mem_.reserve(s0.size());
+  size_.reserve(s0.size());
+  solo_copy_.reserve(s0.size());
+  for (const Communication& c : s0) {
+    is_write_.push_back(c.dir == Direction::kWrite ? 1 : 0);
+    task_.push_back(c.task.value);
+    label_.push_back(c.label.value);
+    mem_.push_back(local_memory_of(app, c).value);
+    const std::int64_t bytes = app.label(c.label).size_bytes;
+    size_.push_back(bytes);
+    solo_copy_.push_back(copy_time(bytes));
+  }
+
+  periods_.resize(static_cast<std::size_t>(num_tasks_));
+  deadlines_.resize(static_cast<std::size_t>(num_tasks_));
+  for (int i = 0; i < num_tasks_; ++i) {
+    const model::Task& t = app.task(model::TaskId{i});
+    periods_[static_cast<std::size_t>(i)] = t.period;
+    deadlines_[static_cast<std::size_t>(i)] =
+        t.acquisition_deadline ? *t.acquisition_deadline : Time{-1};
+    any_deadline_ = any_deadline_ || t.acquisition_deadline.has_value();
+  }
+
+  // Instant classes: walking T* in ascending order, instants with an
+  // identical active set share one class; the class order is the order of
+  // first occurrence, so a class scan visits holes in the same order an
+  // instant scan would.
+  patterns_.resize(s0.size());
+  std::map<std::vector<std::uint64_t>, int> class_of;
+  for (const Time t : comms.required_instants()) {
+    std::vector<std::uint64_t> bits(
+        static_cast<std::size_t>(comm_words_), 0);
+    for (const Communication& c : comms.comms_at(t)) {
+      set_bit(bits, comms.index_at_s0(c));
+    }
+    auto [it, fresh] = class_of.try_emplace(bits, num_classes());
+    if (fresh) {
+      active_.insert(active_.end(), bits.begin(), bits.end());
+      class_tasks_.emplace_back();
+    }
+    const int cls = it->second;
+    for (int i = 0; i < num_tasks_; ++i) {
+      if (t % periods_[static_cast<std::size_t>(i)] == 0) {
+        class_tasks_[static_cast<std::size_t>(cls)].push_back(i);
+      }
+    }
+    for (int c = 0; c < num_comms_; ++c) {
+      if ((bits[static_cast<std::size_t>(c >> 6)] >> (c & 63)) & 1u) {
+        patterns_[static_cast<std::size_t>(c)].push_back(t);
+      }
+    }
+  }
+  for (std::vector<int>& tasks : class_tasks_) {
+    std::sort(tasks.begin(), tasks.end());
+    tasks.erase(std::unique(tasks.begin(), tasks.end()), tasks.end());
+  }
+}
+
+Time CompiledComms::copy_time(std::int64_t bytes) const {
+  return static_cast<Time>(copy_cost_ns_per_byte_ *
+                           static_cast<double>(bytes));
+}
+
+CompiledTransfer CompiledComms::make_compiled_transfer(
+    const std::vector<int>& run, int lo, int hi) const {
+  CompiledTransfer t;
+  t.comms.assign(run.begin() + lo, run.begin() + hi);
+  t.comm_mask.assign(static_cast<std::size_t>(comm_words_), 0);
+  t.task_mask.assign(static_cast<std::size_t>(task_words_), 0);
+  for (const int c : t.comms) {
+    t.bytes += size_bytes(c);
+    set_bit(t.comm_mask, c);
+    set_bit(t.task_mask, task_of(c));
+  }
+  t.duration = overhead_ + copy_time(t.bytes);
+  return t;
+}
+
+void CompiledComms::pattern_split(const std::vector<int>& run, int lo, int hi,
+                                  std::vector<CompiledTransfer>* out) const {
+  // Mirrors greedy.cpp's former instant_restrictions_contiguous +
+  // make_safe_transfers recursion: cut before the first absent index
+  // inside the first class whose restriction has a hole, then retry both
+  // halves from the first class again.
+  for (int cls = 0; cls < num_classes(); ++cls) {
+    int first = -1, last = -1;
+    for (int i = lo; i < hi; ++i) {
+      if (active(run[static_cast<std::size_t>(i)], cls)) {
+        if (first < 0) first = i;
+        last = i;
+      }
+    }
+    if (first < 0) continue;
+    for (int i = first; i <= last; ++i) {
+      if (!active(run[static_cast<std::size_t>(i)], cls)) {
+        pattern_split(run, lo, i, out);
+        pattern_split(run, i, hi, out);
+        return;
+      }
+    }
+  }
+  out->push_back(make_compiled_transfer(run, lo, hi));
+}
+
+void CompiledComms::decompose_group(const std::vector<int>& group,
+                                    const std::vector<int>& label_global_pos,
+                                    std::vector<CompiledTransfer>* out) const {
+  if (group.empty()) return;
+  const int m = static_cast<int>(group.size());
+  // Sort by global position with the same comparator (and hence the same
+  // tie permutation) as transfer.cpp's sort_by_global_position.
+  std::vector<int> ord(static_cast<std::size_t>(m));
+  std::iota(ord.begin(), ord.end(), 0);
+  auto pos_of = [&](int k) {
+    return label_global_pos[static_cast<std::size_t>(
+        label_of(group[static_cast<std::size_t>(k)]))];
+  };
+  std::sort(ord.begin(), ord.end(),
+            [&](int a, int b) { return pos_of(a) < pos_of(b); });
+
+  // Memory-contiguous runs. Global adjacency is position+1; local
+  // adjacency within one group is adjacency in emission order, because a
+  // group's local slots are placed consecutively in emission order and
+  // every communication owns a distinct local slot (inter-core edges only:
+  // a task never both writes and reads one label over the DMA).
+  std::vector<int> run;
+  auto flush = [&]() {
+    if (run.empty()) return;
+    pattern_split(run, 0, static_cast<int>(run.size()), out);
+    run.clear();
+  };
+  int prev = -1;
+  for (const int k : ord) {
+    const bool contiguous = prev >= 0 && pos_of(k) == pos_of(prev) + 1 &&
+                            k == prev + 1;
+    if (prev >= 0 && !contiguous) flush();
+    run.push_back(group[static_cast<std::size_t>(k)]);
+    prev = k;
+  }
+  flush();
+}
+
+std::vector<Time> CompiledComms::sweep_worst_case(
+    const std::vector<DmaTransfer>& s0_order) const {
+  // Compile the transfer list once: comm ids in the transfers' own order
+  // (make_transfer keeps them sorted by global position, so list-adjacent
+  // comms are memory-adjacent and per-class pieces are maximal runs of
+  // present list-consecutive comms — exactly what derive_schedule +
+  // split_into_transfers produce).
+  std::vector<std::vector<int>> ids(s0_order.size());
+  for (std::size_t g = 0; g < s0_order.size(); ++g) {
+    for (const Communication& c : s0_order[g].comms) {
+      ids[g].push_back(index_of(c));
+    }
+  }
+
+  std::vector<Time> out(static_cast<std::size_t>(num_tasks_), 0);
+  std::vector<Time> ready(static_cast<std::size_t>(num_tasks_), 0);
+  std::vector<std::uint32_t> stamp(static_cast<std::size_t>(num_tasks_), 0);
+  std::uint32_t epoch = 0;
+  for (int cls = 0; cls < num_classes(); ++cls) {
+    ++epoch;
+    Time acc = 0;
+    for (const std::vector<int>& transfer : ids) {
+      std::size_t i = 0;
+      while (i < transfer.size()) {
+        if (!active(transfer[i], cls)) {
+          ++i;
+          continue;
+        }
+        std::size_t j = i;
+        std::int64_t bytes = 0;
+        while (j < transfer.size() && active(transfer[j], cls)) {
+          bytes += size_bytes(transfer[j]);
+          ++j;
+        }
+        acc += overhead_ + copy_time(bytes);
+        for (std::size_t k = i; k < j; ++k) {
+          const int task = task_of(transfer[k]);
+          ready[static_cast<std::size_t>(task)] = acc;
+          stamp[static_cast<std::size_t>(task)] = epoch;
+        }
+        i = j;
+      }
+    }
+    for (const int task : released_tasks(cls)) {
+      const Time lam = stamp[static_cast<std::size_t>(task)] == epoch
+                           ? ready[static_cast<std::size_t>(task)]
+                           : 0;
+      out[static_cast<std::size_t>(task)] =
+          std::max(out[static_cast<std::size_t>(task)], lam);
+    }
+  }
+  return out;
+}
+
+ScheduleResult build_from_groups_compiled(
+    const CompiledComms& compiled,
+    const std::vector<std::vector<Communication>>& groups,
+    bool reads_first_placement) {
+  const LetComms& comms = compiled.let_comms();
+  const model::Application& app = comms.app();
+  const model::Platform& plat = app.platform();
+
+  ScheduleResult result{MemoryLayout(app), {}, {}};
+  std::vector<std::vector<Slot>> mem_order(
+      static_cast<std::size_t>(plat.num_memories()));
+  std::vector<int> label_global_pos(
+      static_cast<std::size_t>(compiled.num_labels()), -1);
+  std::set<std::pair<int, Slot>> placed;
+  auto place = [&](model::MemoryId mem, const Slot& slot) {
+    if (placed.insert({mem.value, slot}).second) {
+      if (plat.is_global(mem)) {
+        label_global_pos[static_cast<std::size_t>(slot.label.value)] =
+            static_cast<int>(
+                mem_order[static_cast<std::size_t>(mem.value)].size());
+      }
+      mem_order[static_cast<std::size_t>(mem.value)].push_back(slot);
+    }
+  };
+  std::vector<const std::vector<Communication>*> placement_order;
+  for (const auto& g : groups) placement_order.push_back(&g);
+  if (reads_first_placement) {
+    std::stable_partition(placement_order.begin(), placement_order.end(),
+                          [](const std::vector<Communication>* g) {
+                            return !g->empty() &&
+                                   g->front().dir == Direction::kRead;
+                          });
+  }
+  for (const std::vector<Communication>* g : placement_order) {
+    for (const Communication& c : *g) {
+      place(plat.global_memory(), global_slot_of(c));
+      place(local_memory_of(app, c), local_slot_of(c));
+    }
+  }
+  for (int m = 0; m < plat.num_memories(); ++m) {
+    const model::MemoryId mem{m};
+    if (!MemoryLayout::required_slots(app, mem).empty()) {
+      result.layout.set_order(mem, mem_order[static_cast<std::size_t>(m)]);
+    }
+  }
+
+  std::vector<int> ids;
+  std::vector<CompiledTransfer> pieces;
+  for (const std::vector<Communication>& g : groups) {
+    if (g.empty()) continue;
+    ids.clear();
+    for (const Communication& c : g) ids.push_back(compiled.index_of(c));
+    pieces.clear();
+    compiled.decompose_group(ids, label_global_pos, &pieces);
+    for (const CompiledTransfer& piece : pieces) {
+      std::vector<Communication> pc;
+      pc.reserve(piece.comms.size());
+      for (const int c : piece.comms) pc.push_back(compiled.comm(c));
+      result.s0_transfers.push_back(
+          make_transfer(result.layout, std::move(pc)));
+    }
+  }
+  result.schedule = derive_schedule(comms, result.layout, result.s0_transfers);
+  return result;
+}
+
+}  // namespace letdma::let

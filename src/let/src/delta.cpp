@@ -1,0 +1,365 @@
+#include "letdma/let/delta.hpp"
+
+#include <algorithm>
+#include <climits>
+
+#include "letdma/support/error.hpp"
+
+namespace letdma::let {
+
+DeltaEvaluator::DeltaEvaluator(const CompiledComms& compiled,
+                               std::vector<std::vector<int>> groups,
+                               LocalSearchGoal goal)
+    : compiled_(&compiled), goal_(goal), groups_(std::move(groups)) {
+  for (const std::vector<int>& g : groups_) {
+    LETDMA_ENSURE(!g.empty(), "delta evaluation needs non-empty groups");
+  }
+  const std::size_t labels = static_cast<std::size_t>(compiled_->num_labels());
+  const std::size_t tasks = static_cast<std::size_t>(compiled_->num_tasks());
+  cand_label_pos_.resize(labels, -1);
+  label_epoch_.resize(labels, 0);
+  ready_.resize(tasks, 0);
+  ready_stamp_.resize(tasks, 0);
+  reset_state();
+}
+
+void DeltaEvaluator::reset_state() {
+  const std::size_t labels = static_cast<std::size_t>(compiled_->num_labels());
+  const std::size_t tasks = static_cast<std::size_t>(compiled_->num_tasks());
+  label_pos_.assign(labels, -1);
+  label_write_.assign(labels, -1);
+  label_read_min_.assign(labels, INT_MAX);
+  task_write_max_.assign(tasks, -1);
+  task_read_min_.assign(tasks, INT_MAX);
+  int pos = 0;
+  for (int gi = 0; gi < num_groups(); ++gi) {
+    for (const int c : groups_[static_cast<std::size_t>(gi)]) {
+      const std::size_t l = static_cast<std::size_t>(compiled_->label_of(c));
+      const std::size_t t = static_cast<std::size_t>(compiled_->task_of(c));
+      if (label_pos_[l] < 0) label_pos_[l] = pos++;
+      if (compiled_->is_write(c)) {
+        task_write_max_[t] = std::max(task_write_max_[t], gi);
+        label_write_[l] = gi;
+      } else {
+        task_read_min_[t] = std::min(task_read_min_[t], gi);
+        label_read_min_[l] = std::min(label_read_min_[l], gi);
+      }
+    }
+  }
+  decomp_.assign(groups_.size(), {});
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    compiled_->decompose_group(groups_[gi], label_pos_, &decomp_[gi]);
+  }
+}
+
+DeltaEval DeltaEvaluator::evaluate_current() {
+  // Full Properties 1-2 check (the seed's order_feasible on the whole
+  // partition); incremental rules take over once this holds.
+  for (std::size_t t = 0; t < task_write_max_.size(); ++t) {
+    if (task_write_max_[t] >= 0 && task_read_min_[t] != INT_MAX &&
+        task_write_max_[t] >= task_read_min_[t]) {
+      return {};
+    }
+  }
+  for (std::size_t l = 0; l < label_write_.size(); ++l) {
+    if (label_write_[l] >= 0 && label_read_min_[l] != INT_MAX &&
+        label_write_[l] >= label_read_min_[l]) {
+      return {};
+    }
+  }
+  view_.clear();
+  for (const std::vector<CompiledTransfer>& d : decomp_) view_.push_back(&d);
+  return sweep();
+}
+
+bool DeltaEvaluator::move_order_feasible(const ScheduleDelta& move) const {
+  // The current partition is feasible; a move can only create a violation
+  // through the content it repositions, and only in the direction that
+  // moves writes later or reads earlier.
+  switch (move.kind) {
+    case ScheduleDelta::Kind::kSplit:
+      return true;
+    case ScheduleDelta::Kind::kRelocate: {
+      const int i = move.from, j = move.to;
+      const std::vector<int>& g = groups_[static_cast<std::size_t>(i)];
+      if (group_is_write(i)) {
+        if (j <= i) return true;  // writes moving earlier are always safe
+        for (const int c : g) {
+          if (task_read_min_[static_cast<std::size_t>(
+                  compiled_->task_of(c))] <= j ||
+              label_read_min_[static_cast<std::size_t>(
+                  compiled_->label_of(c))] <= j) {
+            return false;
+          }
+        }
+        return true;
+      }
+      if (j >= i) return true;  // reads moving later are always safe
+      for (const int c : g) {
+        if (task_write_max_[static_cast<std::size_t>(
+                compiled_->task_of(c))] >= j ||
+            label_write_[static_cast<std::size_t>(compiled_->label_of(c))] >=
+                j) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ScheduleDelta::Kind::kMerge: {
+      const int i = move.from, j = move.to;
+      if (group_is_write(i)) return true;  // write merges move writes earlier
+      for (const int c : groups_[static_cast<std::size_t>(j)]) {
+        if (task_write_max_[static_cast<std::size_t>(
+                compiled_->task_of(c))] >= i ||
+            label_write_[static_cast<std::size_t>(compiled_->label_of(c))] >=
+                i) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+bool DeltaEvaluator::assign_candidate_positions() {
+  ++label_gen_;
+  int pos = 0;
+  bool changed = false;
+  for (const std::vector<int>* g : order_) {
+    for (const int c : *g) {
+      const std::size_t l = static_cast<std::size_t>(compiled_->label_of(c));
+      if (label_epoch_[l] == label_gen_) continue;
+      label_epoch_[l] = label_gen_;
+      cand_label_pos_[l] = pos++;
+      changed = changed || cand_label_pos_[l] != label_pos_[l];
+    }
+  }
+  return changed;
+}
+
+DeltaEval DeltaEvaluator::evaluate(const ScheduleDelta& move) {
+  if (!move_order_feasible(move)) return {};
+
+  const int n = num_groups();
+  order_.clear();
+  src_.clear();
+  switch (move.kind) {
+    case ScheduleDelta::Kind::kRelocate: {
+      for (int g = 0; g < n; ++g) {
+        if (g == move.from) continue;
+        order_.push_back(&groups_[static_cast<std::size_t>(g)]);
+        src_.push_back(g);
+      }
+      order_.insert(order_.begin() + move.to,
+                    &groups_[static_cast<std::size_t>(move.from)]);
+      src_.insert(src_.begin() + move.to, move.from);
+      break;
+    }
+    case ScheduleDelta::Kind::kMerge: {
+      merged_scratch_ = groups_[static_cast<std::size_t>(move.from)];
+      const std::vector<int>& b = groups_[static_cast<std::size_t>(move.to)];
+      merged_scratch_.insert(merged_scratch_.end(), b.begin(), b.end());
+      for (int g = 0; g < n; ++g) {
+        if (g == move.to) continue;
+        if (g == move.from) {
+          order_.push_back(&merged_scratch_);
+          src_.push_back(-1);
+        } else {
+          order_.push_back(&groups_[static_cast<std::size_t>(g)]);
+          src_.push_back(g);
+        }
+      }
+      break;
+    }
+    case ScheduleDelta::Kind::kSplit: {
+      const std::vector<int>& g = groups_[static_cast<std::size_t>(move.from)];
+      const std::size_t half = g.size() / 2;
+      head_scratch_.assign(g.begin(),
+                           g.begin() + static_cast<std::ptrdiff_t>(half));
+      tail_scratch_.assign(g.begin() + static_cast<std::ptrdiff_t>(half),
+                           g.end());
+      for (int gi = 0; gi < n; ++gi) {
+        if (gi == move.from) {
+          order_.push_back(&head_scratch_);
+          src_.push_back(-1);
+          order_.push_back(&tail_scratch_);
+          src_.push_back(-1);
+        } else {
+          order_.push_back(&groups_[static_cast<std::size_t>(gi)]);
+          src_.push_back(gi);
+        }
+      }
+      break;
+    }
+  }
+
+  const bool layout_changed = assign_candidate_positions();
+  view_.clear();
+  // Pre-size the scratch pool: view_ keeps pointers to its elements, so it
+  // must not reallocate while candidates are being decomposed.
+  if (scratch_decomp_.size() < order_.size()) {
+    scratch_decomp_.resize(order_.size());
+  }
+  std::size_t scratch_used = 0;
+  for (std::size_t e = 0; e < order_.size(); ++e) {
+    bool dirty = src_[e] < 0;
+    if (!dirty && layout_changed) {
+      for (const int c : *order_[e]) {
+        const std::size_t l =
+            static_cast<std::size_t>(compiled_->label_of(c));
+        if (cand_label_pos_[l] != label_pos_[l]) {
+          dirty = true;
+          break;
+        }
+      }
+    }
+    if (!dirty) {
+      view_.push_back(&decomp_[static_cast<std::size_t>(src_[e])]);
+      continue;
+    }
+    std::vector<CompiledTransfer>& slot = scratch_decomp_[scratch_used++];
+    slot.clear();
+    compiled_->decompose_group(*order_[e], cand_label_pos_, &slot);
+    view_.push_back(&slot);
+  }
+  return sweep();
+}
+
+DeltaEval DeltaEvaluator::sweep() {
+  DeltaEval ev;
+  int transfer_count = 0;
+  if (goal_ == LocalSearchGoal::kMinTransfers) {
+    for (const std::vector<CompiledTransfer>* d : view_) {
+      transfer_count += static_cast<int>(d->size());
+    }
+    if (!compiled_->any_deadline()) {
+      ev.feasible = true;
+      ev.objective = static_cast<double>(transfer_count);
+      return ev;
+    }
+  }
+
+  const int classes = compiled_->num_classes();
+  const int cw = compiled_->comm_words();
+  const int tw = compiled_->task_words();
+  const Time overhead = compiled_->per_transfer_overhead();
+  double worst_ratio = 0.0;
+  for (int cls = 0; cls < classes; ++cls) {
+    ++sweep_gen_;
+    Time acc = 0;
+    const std::uint64_t* act = compiled_->active_row(cls);
+    for (const std::vector<CompiledTransfer>* transfers : view_) {
+      for (const CompiledTransfer& tr : *transfers) {
+        bool full = true, any = false;
+        for (int w = 0; w < cw; ++w) {
+          const std::uint64_t inter =
+              tr.comm_mask[static_cast<std::size_t>(w)] &
+              act[static_cast<std::size_t>(w)];
+          any = any || inter != 0;
+          full = full && inter == tr.comm_mask[static_cast<std::size_t>(w)];
+        }
+        if (!any) continue;
+        if (full) {
+          acc += tr.duration;
+          for (int w = 0; w < tw; ++w) {
+            std::uint64_t bits = tr.task_mask[static_cast<std::size_t>(w)];
+            while (bits != 0) {
+              const int task = w * 64 + __builtin_ctzll(bits);
+              bits &= bits - 1;
+              ready_[static_cast<std::size_t>(task)] = acc;
+              ready_stamp_[static_cast<std::size_t>(task)] = sweep_gen_;
+            }
+          }
+          continue;
+        }
+        // Partial restriction: the present comms form maximal
+        // list-consecutive runs (the transfer is contiguous in both
+        // memories), one derived piece per run.
+        std::size_t i = 0;
+        while (i < tr.comms.size()) {
+          if (!compiled_->active(tr.comms[i], cls)) {
+            ++i;
+            continue;
+          }
+          std::size_t j = i;
+          std::int64_t bytes = 0;
+          while (j < tr.comms.size() && compiled_->active(tr.comms[j], cls)) {
+            bytes += compiled_->size_bytes(tr.comms[j]);
+            ++j;
+          }
+          acc += overhead + compiled_->copy_time(bytes);
+          for (std::size_t k = i; k < j; ++k) {
+            const std::size_t task =
+                static_cast<std::size_t>(compiled_->task_of(tr.comms[k]));
+            ready_[task] = acc;
+            ready_stamp_[task] = sweep_gen_;
+          }
+          i = j;
+        }
+      }
+    }
+    for (const int task : compiled_->released_tasks(cls)) {
+      const std::size_t t = static_cast<std::size_t>(task);
+      const Time lam = ready_stamp_[t] == sweep_gen_ ? ready_[t] : 0;
+      const Time deadline = compiled_->deadline(task);
+      if (deadline >= 0 && lam > deadline) return ev;  // infeasible
+      worst_ratio = std::max(
+          worst_ratio, static_cast<double>(lam) /
+                           static_cast<double>(compiled_->period(task)));
+    }
+  }
+  ev.feasible = true;
+  ev.objective = goal_ == LocalSearchGoal::kMinTransfers
+                     ? static_cast<double>(transfer_count)
+                     : worst_ratio;
+  return ev;
+}
+
+void DeltaEvaluator::apply(const ScheduleDelta& move) {
+  switch (move.kind) {
+    case ScheduleDelta::Kind::kRelocate: {
+      std::vector<int> moved =
+          std::move(groups_[static_cast<std::size_t>(move.from)]);
+      groups_.erase(groups_.begin() + move.from);
+      groups_.insert(groups_.begin() + move.to, std::move(moved));
+      break;
+    }
+    case ScheduleDelta::Kind::kMerge: {
+      std::vector<int>& dst = groups_[static_cast<std::size_t>(move.from)];
+      const std::vector<int>& b = groups_[static_cast<std::size_t>(move.to)];
+      dst.insert(dst.end(), b.begin(), b.end());
+      groups_.erase(groups_.begin() + move.to);
+      break;
+    }
+    case ScheduleDelta::Kind::kSplit: {
+      std::vector<int>& g = groups_[static_cast<std::size_t>(move.from)];
+      const std::size_t half = g.size() / 2;
+      std::vector<int> tail(g.begin() + static_cast<std::ptrdiff_t>(half),
+                            g.end());
+      g.resize(half);
+      groups_.insert(groups_.begin() + move.from + 1, std::move(tail));
+      break;
+    }
+  }
+  reset_state();
+}
+
+std::vector<std::vector<Communication>> DeltaEvaluator::groups_as_comms()
+    const {
+  std::vector<std::vector<Communication>> out;
+  out.reserve(groups_.size());
+  for (const std::vector<int>& g : groups_) {
+    std::vector<Communication> comms;
+    comms.reserve(g.size());
+    for (const int c : g) comms.push_back(compiled_->comm(c));
+    out.push_back(std::move(comms));
+  }
+  return out;
+}
+
+ScheduleResult DeltaEvaluator::materialize() const {
+  return build_from_groups_compiled(*compiled_, groups_as_comms());
+}
+
+}  // namespace letdma::let

@@ -5,148 +5,24 @@
 #include <optional>
 #include <set>
 
+#include "letdma/let/compiled.hpp"
 #include "letdma/let/latency.hpp"
 #include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
 
 namespace letdma::let {
-namespace {
-
-/// Presence pattern of a communication: the sorted instants of T* at which
-/// it is required. Communications whose patterns form a subset chain can be
-/// merged into one transfer without breaking per-instant contiguity.
-std::vector<Time> presence_pattern(const LetComms& comms,
-                                   const Communication& c) {
-  std::vector<Time> out;
-  for (const Time t : comms.required_instants()) {
-    const std::vector<Communication> at_t = comms.comms_at(t);
-    if (std::binary_search(at_t.begin(), at_t.end(), c)) out.push_back(t);
-  }
-  return out;
-}
-
-using PatternCache = std::map<Communication, std::vector<Time>>;
-
-/// True when, at every instant, the subset of `ordered` (by address) that
-/// is required forms a contiguous index interval — the semantic content of
-/// Constraint 6 for this transfer.
-bool instant_restrictions_contiguous(const LetComms& comms,
-                                     const PatternCache& patterns,
-                                     const std::vector<Communication>& ordered,
-                                     std::size_t* split_at) {
-  for (const Time t : comms.required_instants()) {
-    std::size_t first = ordered.size(), last = 0;
-    bool any = false;
-    for (std::size_t i = 0; i < ordered.size(); ++i) {
-      const std::vector<Time>& p = patterns.at(ordered[i]);
-      if (std::binary_search(p.begin(), p.end(), t)) {
-        first = std::min(first, i);
-        last = i;
-        any = true;
-      }
-    }
-    if (!any) continue;
-    for (std::size_t i = first; i <= last; ++i) {
-      const std::vector<Time>& p = patterns.at(ordered[i]);
-      if (!std::binary_search(p.begin(), p.end(), t)) {
-        *split_at = i;  // hole: cut the run before index i
-        return false;
-      }
-    }
-  }
-  return true;
-}
-
-/// Splits `comms` into transfers that are contiguous in both memories AND
-/// whose per-instant restrictions stay contiguous (recursively cutting at
-/// pattern holes).
-void make_safe_transfers(const LetComms& comms, const PatternCache& patterns,
-                         const MemoryLayout& layout,
-                         std::vector<Communication> group,
-                         std::vector<DmaTransfer>* out) {
-  for (DmaTransfer& piece : split_into_transfers(layout, std::move(group))) {
-    std::size_t split_at = 0;
-    if (instant_restrictions_contiguous(comms, patterns, piece.comms,
-                                        &split_at)) {
-      out->push_back(std::move(piece));
-      continue;
-    }
-    std::vector<Communication> head(piece.comms.begin(),
-                                    piece.comms.begin() +
-                                        static_cast<std::ptrdiff_t>(split_at));
-    std::vector<Communication> tail(piece.comms.begin() +
-                                        static_cast<std::ptrdiff_t>(split_at),
-                                    piece.comms.end());
-    make_safe_transfers(comms, patterns, layout, std::move(head), out);
-    make_safe_transfers(comms, patterns, layout, std::move(tail), out);
-  }
-}
-
-}  // namespace
-
-namespace {
-
-/// Shared core of build_from_groups and GreedyScheduler: layout follows
-/// the group order (optionally letting read groups claim global-memory
-/// positions first), then groups become transfers via make_safe_transfers.
-ScheduleResult detail_build_from_groups(
-    const LetComms& comms, const std::vector<std::vector<Communication>>& groups,
-    bool reads_first_placement) {
-  const model::Application& app = comms.app();
-  PatternCache patterns;
-  for (const Communication& c : comms.comms_at_s0()) {
-    patterns.emplace(c, presence_pattern(comms, c));
-  }
-
-  ScheduleResult result{MemoryLayout(app), {}, {}};
-  const model::Platform& plat = app.platform();
-  std::vector<std::vector<Slot>> mem_order(
-      static_cast<std::size_t>(plat.num_memories()));
-  std::set<std::pair<int, Slot>> placed;
-  auto place = [&](model::MemoryId mem, const Slot& slot) {
-    if (placed.insert({mem.value, slot}).second) {
-      mem_order[static_cast<std::size_t>(mem.value)].push_back(slot);
-    }
-  };
-  std::vector<const std::vector<Communication>*> placement_order;
-  for (const auto& g : groups) placement_order.push_back(&g);
-  if (reads_first_placement) {
-    std::stable_partition(placement_order.begin(), placement_order.end(),
-                          [](const std::vector<Communication>* g) {
-                            return !g->empty() &&
-                                   g->front().dir == Direction::kRead;
-                          });
-  }
-  for (const std::vector<Communication>* g : placement_order) {
-    for (const Communication& c : *g) {
-      place(plat.global_memory(), global_slot_of(c));
-      place(local_memory_of(app, c), local_slot_of(c));
-    }
-  }
-  for (int m = 0; m < plat.num_memories(); ++m) {
-    const model::MemoryId mem{m};
-    if (!MemoryLayout::required_slots(app, mem).empty()) {
-      result.layout.set_order(mem, mem_order[static_cast<std::size_t>(m)]);
-    }
-  }
-
-  for (const std::vector<Communication>& g : groups) {
-    if (g.empty()) continue;
-    make_safe_transfers(comms, patterns, result.layout, g,
-                        &result.s0_transfers);
-  }
-  result.schedule = derive_schedule(comms, result.layout, result.s0_transfers);
-  return result;
-}
-
-}  // namespace
 
 ScheduleResult build_from_groups(
     const LetComms& comms,
     const std::vector<std::vector<Communication>>& groups) {
-  return detail_build_from_groups(comms, groups,
-                                  /*reads_first_placement=*/false);
+  const CompiledComms compiled(comms);
+  return build_from_groups_compiled(compiled, groups,
+                                    /*reads_first_placement=*/false);
 }
+
+GreedyScheduler::GreedyScheduler(const CompiledComms& compiled,
+                                 GreedyOptions options)
+    : comms_(compiled.let_comms()), compiled_(&compiled), options_(options) {}
 
 ScheduleResult GreedyScheduler::build() const {
   static obs::Counter builds("let.greedy.builds");
@@ -154,12 +30,18 @@ ScheduleResult GreedyScheduler::build() const {
   obs::ScopedSpan span("let.greedy.build", "let");
   span.arg("strategy", static_cast<std::int64_t>(options_.strategy));
 
+  // Compile once when the caller did not hand us an instance; the presence
+  // patterns and instant classes drive both the chain grouping below and
+  // the group decomposition in build_from_groups_compiled.
+  std::optional<CompiledComms> local;
+  const CompiledComms& cc =
+      compiled_ != nullptr ? *compiled_ : local.emplace(comms_);
+
   const model::Application& app = comms_.app();
   const std::vector<Communication>& s0 = comms_.comms_at_s0();
-  PatternCache patterns;
-  for (const Communication& c : s0) {
-    patterns.emplace(c, presence_pattern(comms_, c));
-  }
+  auto pattern_of = [&](const Communication& c) -> const std::vector<Time>& {
+    return cc.pattern(cc.index_of(c));
+  };
 
   // Urgency order: tightest acquisition deadline first, then shortest
   // period, then id (deterministic).
@@ -240,27 +122,27 @@ ScheduleResult GreedyScheduler::build() const {
   for (const std::vector<Communication>& batch : batches) {
     std::map<int, std::vector<Communication>> by_mem;
     for (const Communication& c : batch) {
-      by_mem[local_memory_of(app, c).value].push_back(c);
+      by_mem[cc.local_mem_of(cc.index_of(c))].push_back(c);
     }
     for (auto& [mem, cs] : by_mem) {
       // Pattern per communication, sorted by ascending pattern size so a
       // chain's existing tail is always a candidate subset of the next.
-      std::vector<std::pair<std::vector<Time>, Communication>> items;
+      std::vector<std::pair<const std::vector<Time>*, Communication>> items;
       items.reserve(cs.size());
       for (const Communication& c : cs) {
-        items.emplace_back(patterns.at(c), c);
+        items.emplace_back(&pattern_of(c), c);
       }
       std::sort(items.begin(), items.end(),
                 [](const auto& a, const auto& b) {
-                  if (a.first.size() != b.first.size()) {
-                    return a.first.size() < b.first.size();
+                  if (a.first->size() != b.first->size()) {
+                    return a.first->size() < b.first->size();
                   }
-                  if (a.first != b.first) return a.first < b.first;
+                  if (*a.first != *b.first) return *a.first < *b.first;
                   return a.second < b.second;
                 });
       struct Chain {
         std::vector<Communication> comms;
-        std::vector<Time> tail_pattern;
+        const std::vector<Time>* tail_pattern = nullptr;
         std::set<int> labels;
       };
       std::vector<Chain> chains;
@@ -271,9 +153,9 @@ ScheduleResult GreedyScheduler::build() const {
           // label may appear only once per transfer (a single DMA copy
           // cannot duplicate a source).
           if (chain.labels.count(c.label.value) == 0 &&
-              std::includes(pattern.begin(), pattern.end(),
-                            chain.tail_pattern.begin(),
-                            chain.tail_pattern.end())) {
+              std::includes(pattern->begin(), pattern->end(),
+                            chain.tail_pattern->begin(),
+                            chain.tail_pattern->end())) {
             home = &chain;
             break;
           }
@@ -283,15 +165,15 @@ ScheduleResult GreedyScheduler::build() const {
           home = &chains.back();
         }
         home->comms.push_back(c);
-        home->tail_pattern = std::move(pattern);
+        home->tail_pattern = pattern;
         home->labels.insert(c.label.value);
       }
       for (Chain& chain : chains) groups.push_back(std::move(chain.comms));
     }
   }
 
-  ScheduleResult result = detail_build_from_groups(
-      comms_, groups,
+  ScheduleResult result = build_from_groups_compiled(
+      cc, groups,
       /*reads_first_placement=*/options_.strategy ==
           GreedyStrategy::kReadBatched);
   span.arg("batches", static_cast<std::int64_t>(batches.size()));
@@ -304,25 +186,26 @@ namespace {
 
 double max_latency_ratio(const LetComms& comms, const ScheduleResult& r) {
   const model::Application& app = comms.app();
-  const auto wc =
+  const std::vector<Time> wc =
       worst_case_latencies(comms, r.schedule, ReadinessSemantics::kProposed);
   double worst = 0.0;
-  for (const auto& [task, lam] : wc) {
-    worst = std::max(worst,
-                     static_cast<double>(lam) /
-                         static_cast<double>(
-                             app.task(model::TaskId{task}).period));
+  for (int task = 0; task < static_cast<int>(wc.size()); ++task) {
+    worst = std::max(
+        worst, static_cast<double>(wc[static_cast<std::size_t>(task)]) /
+                   static_cast<double>(app.task(model::TaskId{task}).period));
   }
   return worst;
 }
 
 template <typename Better>
 ScheduleResult best_greedy(const LetComms& comms, Better better) {
+  // One compiled instance serves all three strategy builds.
+  const CompiledComms compiled(comms);
   std::optional<ScheduleResult> best;
   for (const GreedyStrategy s :
        {GreedyStrategy::kUrgencyFirst, GreedyStrategy::kWriteBatched,
         GreedyStrategy::kReadBatched}) {
-    ScheduleResult r = GreedyScheduler(comms, {s}).build();
+    ScheduleResult r = GreedyScheduler(compiled, {s}).build();
     if (!best || better(r, *best)) best.emplace(std::move(r));
   }
   return std::move(*best);

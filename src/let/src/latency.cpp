@@ -5,6 +5,33 @@
 #include "letdma/support/error.hpp"
 
 namespace letdma::let {
+namespace {
+
+bool same_comm(const Communication& a, const Communication& b) {
+  return a.dir == b.dir && a.task == b.task && a.label == b.label;
+}
+
+/// Two instants with fieldwise-equal transfer lists have identical
+/// per-task latencies (the release sets may differ, the arithmetic not).
+bool same_transfer_list(const std::vector<DmaTransfer>& a,
+                        const std::vector<DmaTransfer>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const DmaTransfer& x = a[i];
+    const DmaTransfer& y = b[i];
+    if (x.dir != y.dir || x.local_mem.value != y.local_mem.value ||
+        x.bytes != y.bytes || x.local_addr != y.local_addr ||
+        x.global_addr != y.global_addr || x.comms.size() != y.comms.size()) {
+      return false;
+    }
+    for (std::size_t c = 0; c < x.comms.size(); ++c) {
+      if (!same_comm(x.comms[c], y.comms[c])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 Time LatencyModel::transfer_duration(const DmaTransfer& t) const {
   return platform_.dma().per_transfer_overhead() +
@@ -30,11 +57,9 @@ Time LatencyModel::total_duration(
   return acc;
 }
 
-Time LatencyModel::task_latency(const model::Application& app,
-                                const std::vector<DmaTransfer>& transfers,
+Time LatencyModel::task_latency(const std::vector<DmaTransfer>& transfers,
                                 model::TaskId task,
                                 ReadinessSemantics sem) const {
-  (void)app;
   if (transfers.empty()) return 0;
   if (sem == ReadinessSemantics::kGiotto) return total_duration(transfers);
   Time acc = 0;
@@ -59,23 +84,47 @@ Time LatencyModel::cpu_copy_duration(
   return acc;
 }
 
-std::map<int, Time> worst_case_latencies(const LetComms& comms,
-                                         const TransferSchedule& schedule,
-                                         ReadinessSemantics sem) {
+std::vector<Time> worst_case_latencies(const LetComms& comms,
+                                       const TransferSchedule& schedule,
+                                       ReadinessSemantics sem) {
   const model::Application& app = comms.app();
   const LatencyModel lat(app.platform());
-  std::map<int, Time> out;
-  for (int i = 0; i < app.num_tasks(); ++i) out[i] = 0;
+  const int num_tasks = app.num_tasks();
+  std::vector<Time> out(static_cast<std::size_t>(num_tasks), 0);
 
+  // Per-task latencies of the current instant's transfer list, recomputed
+  // only when the list differs from the previous instant's (hyperperiod
+  // schedules repeat long runs of identical slots). A single pass over the
+  // transfers fills every task at once: under kProposed a task's latency is
+  // the completion time of the last transfer carrying one of its
+  // communications; under kGiotto every task waits for the whole instant.
+  std::vector<Time> per_task(static_cast<std::size_t>(num_tasks), 0);
+  const std::vector<DmaTransfer>* prev = nullptr;
   for (const auto& [t, transfers] : schedule.all()) {
-    for (int i = 0; i < app.num_tasks(); ++i) {
-      const model::Task& task = app.task(model::TaskId{i});
+    if (prev == nullptr || !same_transfer_list(*prev, transfers)) {
+      std::fill(per_task.begin(), per_task.end(), Time{0});
+      if (sem == ReadinessSemantics::kGiotto) {
+        if (!transfers.empty()) {
+          std::fill(per_task.begin(), per_task.end(),
+                    lat.total_duration(transfers));
+        }
+      } else {
+        Time acc = 0;
+        for (const DmaTransfer& tr : transfers) {
+          acc += lat.transfer_duration(tr);
+          for (const Communication& c : tr.comms) {
+            per_task[static_cast<std::size_t>(c.task.value)] = acc;
+          }
+        }
+      }
+      prev = &transfers;
+    }
+    for (int i = 0; i < num_tasks; ++i) {
       // Only release instants of the task matter: the task can only be
       // waiting for data at its own releases.
-      if (t % task.period != 0) continue;
-      const Time l =
-          lat.task_latency(app, transfers, model::TaskId{i}, sem);
-      out[i] = std::max(out[i], l);
+      if (t % app.task(model::TaskId{i}).period != 0) continue;
+      out[static_cast<std::size_t>(i)] =
+          std::max(out[static_cast<std::size_t>(i)], per_task[static_cast<std::size_t>(i)]);
     }
   }
   return out;

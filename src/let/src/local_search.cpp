@@ -5,6 +5,8 @@
 #include <map>
 #include <optional>
 
+#include "letdma/let/compiled.hpp"
+#include "letdma/let/delta.hpp"
 #include "letdma/let/latency.hpp"
 #include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
@@ -13,6 +15,43 @@ namespace letdma::let {
 namespace {
 
 using Groups = std::vector<std::vector<Communication>>;
+
+/// Budget shared by both evaluator paths; semantics match the seed: the
+/// stop token and the wall clock are polled before every candidate, the
+/// evaluation and improvement caps are strict.
+class SearchBudget {
+ public:
+  explicit SearchBudget(const LocalSearchOptions& opt) : opt_(opt) {
+    if (opt_.time_limit_sec > 0) {
+      deadline_ =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(opt_.time_limit_sec));
+    }
+  }
+
+  bool left(int evaluations, int improvements) const {
+    if (opt_.stop != nullptr && opt_.stop->load(std::memory_order_relaxed)) {
+      return false;
+    }
+    if (std::chrono::steady_clock::now() >= deadline_) return false;
+    return evaluations < opt_.max_evaluations &&
+           improvements < opt_.max_improvements;
+  }
+
+ private:
+  const LocalSearchOptions& opt_;
+  std::chrono::steady_clock::time_point deadline_ =
+      std::chrono::steady_clock::time_point::max();
+};
+
+// ---------------------------------------------------------------------------
+// Reference path: the seed evaluator. Every candidate partition is
+// materialized, rebuilt via build_from_groups and scored from the full
+// worst-case latency recomputation. Kept callable (LocalSearchEngine::
+// kReference) as the ground truth the compiled path is benchmarked and
+// equivalence-tested against.
+// ---------------------------------------------------------------------------
 
 /// Properties 1-2 on an ordered partition (cheap pre-filter before the
 /// expensive rebuild): per task, writes strictly before reads; per label,
@@ -50,32 +89,25 @@ struct Evaluation {
   double objective = 0.0;
 };
 
-class Search {
+class ReferenceSearch {
  public:
-  Search(const LetComms& comms, LocalSearchOptions options)
-      : comms_(comms), app_(comms.app()), opt_(options) {
-    if (opt_.time_limit_sec > 0) {
-      deadline_ = std::chrono::steady_clock::now() +
-                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                      std::chrono::duration<double>(opt_.time_limit_sec));
-    }
-  }
+  ReferenceSearch(const LetComms& comms, const LocalSearchOptions& options)
+      : comms_(comms), app_(comms.app()), opt_(options) {}
 
   Evaluation evaluate(const Groups& groups, ScheduleResult* out) {
-    ++evaluations_;
     Evaluation ev;
     if (!order_feasible(groups)) return ev;
     ScheduleResult built = build_from_groups(comms_, groups);
     // Deadlines (where set) must hold at every instant.
-    const auto wc = worst_case_latencies(comms_, built.schedule,
-                                         ReadinessSemantics::kProposed);
+    const std::vector<Time> wc = worst_case_latencies(
+        comms_, built.schedule, ReadinessSemantics::kProposed);
     double worst_ratio = 0.0;
-    for (const auto& [task, lam] : wc) {
+    for (int task = 0; task < static_cast<int>(wc.size()); ++task) {
       const model::Task& t = app_.task(model::TaskId{task});
+      const Time lam = wc[static_cast<std::size_t>(task)];
       if (t.acquisition_deadline && lam > *t.acquisition_deadline) return ev;
-      worst_ratio = std::max(worst_ratio,
-                             static_cast<double>(lam) /
-                                 static_cast<double>(t.period));
+      worst_ratio = std::max(worst_ratio, static_cast<double>(lam) /
+                                              static_cast<double>(t.period));
     }
     ev.feasible = true;
     ev.objective = opt_.goal == LocalSearchGoal::kMinTransfers
@@ -85,29 +117,14 @@ class Search {
     return ev;
   }
 
-  bool budget_left(int improvements) const {
-    if (opt_.stop != nullptr &&
-        opt_.stop->load(std::memory_order_relaxed)) {
-      return false;
-    }
-    if (std::chrono::steady_clock::now() >= deadline_) {
-      return false;
-    }
-    return evaluations_ < opt_.max_evaluations &&
-           improvements < opt_.max_improvements;
-  }
-
-  int evaluations() const { return evaluations_; }
-
+ private:
   const LetComms& comms_;
   const model::Application& app_;
-  LocalSearchOptions opt_;
-  int evaluations_ = 0;
-  std::chrono::steady_clock::time_point deadline_ =
-      std::chrono::steady_clock::time_point::max();
+  const LocalSearchOptions& opt_;
 };
 
-/// Candidate neighbours of a partition, in deterministic order.
+/// Candidate neighbours of a partition, in deterministic order (reference
+/// path only; the compiled path enumerates the same moves lazily).
 std::vector<Groups> neighbours(const model::Application& app,
                                const Groups& g) {
   std::vector<Groups> out;
@@ -117,7 +134,8 @@ std::vector<Groups> neighbours(const model::Application& app,
     for (int j = std::max(0, i - 4); j <= std::min(n - 1, i + 4); ++j) {
       if (i == j) continue;
       Groups cand = g;
-      std::vector<Communication> moved = std::move(cand[static_cast<std::size_t>(i)]);
+      std::vector<Communication> moved =
+          std::move(cand[static_cast<std::size_t>(i)]);
       cand.erase(cand.begin() + i);
       cand.insert(cand.begin() + j, std::move(moved));
       out.push_back(std::move(cand));
@@ -149,8 +167,8 @@ std::vector<Groups> neighbours(const model::Application& app,
     if (grp.size() < 2) continue;
     Groups cand = g;
     const std::size_t half = grp.size() / 2;
-    std::vector<Communication> tail(grp.begin() + static_cast<std::ptrdiff_t>(half),
-                                    grp.end());
+    std::vector<Communication> tail(
+        grp.begin() + static_cast<std::ptrdiff_t>(half), grp.end());
     cand[static_cast<std::size_t>(i)].resize(half);
     cand.insert(cand.begin() + i + 1, std::move(tail));
     out.push_back(std::move(cand));
@@ -158,15 +176,11 @@ std::vector<Groups> neighbours(const model::Application& app,
   return out;
 }
 
-}  // namespace
-
-LocalSearchResult improve_schedule(const LetComms& comms,
-                                   const ScheduleResult& start,
-                                   LocalSearchOptions options) {
-  LETDMA_ENSURE(!start.s0_transfers.empty(),
-                "local search needs a non-empty starting schedule");
-  obs::ScopedSpan span("let.local_search", "let");
-  Search search(comms, options);
+LocalSearchResult improve_reference(const LetComms& comms,
+                                    const ScheduleResult& start,
+                                    const LocalSearchOptions& options) {
+  ReferenceSearch search(comms, options);
+  SearchBudget budget(options);
 
   // Seed partition: one group per starting transfer.
   Groups groups;
@@ -178,6 +192,7 @@ LocalSearchResult improve_schedule(const LetComms& comms,
                          0.0, 0, 0};
   {
     ScheduleResult rebuilt{MemoryLayout(comms.app()), {}, {}};
+    ++best.evaluations;
     const Evaluation ev = search.evaluate(groups, &rebuilt);
     LETDMA_ENSURE(ev.feasible,
                   "the starting schedule does not rebuild feasibly");
@@ -186,11 +201,12 @@ LocalSearchResult improve_schedule(const LetComms& comms,
   }
 
   bool improved = true;
-  while (improved && search.budget_left(best.improvements)) {
+  while (improved && budget.left(best.evaluations, best.improvements)) {
     improved = false;
     for (Groups& cand : neighbours(comms.app(), groups)) {
-      if (!search.budget_left(best.improvements)) break;
+      if (!budget.left(best.evaluations, best.improvements)) break;
       ScheduleResult built{MemoryLayout(comms.app()), {}, {}};
+      ++best.evaluations;
       const Evaluation ev = search.evaluate(cand, &built);
       if (ev.feasible && ev.objective < best.objective - 1e-12) {
         best.schedule = std::move(built);
@@ -198,17 +214,184 @@ LocalSearchResult improve_schedule(const LetComms& comms,
         best.improvements += 1;
         groups = std::move(cand);
         improved = true;
+        if (options.on_improvement) {
+          options.on_improvement(best.schedule, best.objective);
+        }
         break;  // first improvement: restart the neighbourhood
       }
     }
   }
-  best.evaluations = search.evaluations();
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Compiled path: lazy move generation + delta evaluation. Enumeration
+// order matches neighbours() exactly (relocations, merges, splits), so the
+// accepted-move sequence — and with it evaluations, improvements,
+// objective and the final schedule — is identical to the reference path.
+// ---------------------------------------------------------------------------
+
+/// Lazily enumerates the moves of the current partition in the reference
+/// neighbour order. Regenerated after every accepted move.
+class MoveGen {
+ public:
+  explicit MoveGen(const DeltaEvaluator& ev) : ev_(ev), n_(ev.num_groups()) {}
+
+  std::optional<ScheduleDelta> next() {
+    while (true) {
+      switch (phase_) {
+        case 0: {  // relocations: i x [i-4, i+4]
+          if (i_ >= n_) {
+            phase_ = 1;
+            i_ = 0;
+            j_ = 1;
+            break;
+          }
+          if (!reloc_started_) {
+            j_ = std::max(0, i_ - 4);
+            reloc_started_ = true;
+          }
+          while (j_ <= std::min(n_ - 1, i_ + 4)) {
+            const int j = j_++;
+            if (j == i_) continue;
+            return ScheduleDelta{ScheduleDelta::Kind::kRelocate, i_, j};
+          }
+          ++i_;
+          reloc_started_ = false;
+          break;
+        }
+        case 1: {  // merges: i < j with equal (memory, direction)
+          if (i_ >= n_) {
+            phase_ = 2;
+            i_ = 0;
+            break;
+          }
+          while (j_ < n_) {
+            const int j = j_++;
+            if (ev_.group_mem(i_) == ev_.group_mem(j) &&
+                ev_.group_is_write(i_) == ev_.group_is_write(j)) {
+              return ScheduleDelta{ScheduleDelta::Kind::kMerge, i_, j};
+            }
+          }
+          ++i_;
+          j_ = i_ + 1;
+          break;
+        }
+        case 2: {  // splits of multi-communication groups
+          while (i_ < n_) {
+            const int i = i_++;
+            if (ev_.group(i).size() >= 2) {
+              return ScheduleDelta{ScheduleDelta::Kind::kSplit, i, -1};
+            }
+          }
+          return std::nullopt;
+        }
+      }
+    }
+  }
+
+ private:
+  const DeltaEvaluator& ev_;
+  const int n_;
+  int phase_ = 0;
+  int i_ = 0;
+  int j_ = 1;
+  bool reloc_started_ = false;
+};
+
+LocalSearchResult improve_compiled(const CompiledComms& compiled,
+                                   const ScheduleResult& start,
+                                   const LocalSearchOptions& options) {
+  SearchBudget budget(options);
+
+  std::vector<std::vector<int>> groups;
+  groups.reserve(start.s0_transfers.size());
+  for (const DmaTransfer& t : start.s0_transfers) {
+    std::vector<int> ids;
+    ids.reserve(t.comms.size());
+    for (const Communication& c : t.comms) {
+      ids.push_back(compiled.index_of(c));
+    }
+    groups.push_back(std::move(ids));
+  }
+  DeltaEvaluator ev(compiled, std::move(groups), options.goal);
+
+  LocalSearchResult best{
+      ScheduleResult{MemoryLayout(compiled.app()), {}, {}}, 0.0, 0, 0};
+  ++best.evaluations;
+  {
+    const DeltaEval seed = ev.evaluate_current();
+    LETDMA_ENSURE(seed.feasible,
+                  "the starting schedule does not rebuild feasibly");
+    best.objective = seed.objective;
+  }
+
+  bool materialized = false;
+  bool improved = true;
+  while (improved && budget.left(best.evaluations, best.improvements)) {
+    improved = false;
+    MoveGen gen(ev);
+    while (const std::optional<ScheduleDelta> move = gen.next()) {
+      if (!budget.left(best.evaluations, best.improvements)) break;
+      ++best.evaluations;
+      const DeltaEval cand = ev.evaluate(*move);
+      if (cand.feasible && cand.objective < best.objective - 1e-12) {
+        ev.apply(*move);
+        best.objective = cand.objective;
+        best.improvements += 1;
+        improved = true;
+        if (options.on_improvement) {
+          best.schedule = ev.materialize();
+          materialized = true;
+          options.on_improvement(best.schedule, best.objective);
+        } else {
+          materialized = false;
+        }
+        break;  // first improvement: restart the neighbourhood
+      }
+    }
+  }
+  if (!materialized) best.schedule = ev.materialize();
+  return best;
+}
+
+LocalSearchResult improve_any(const LetComms& comms,
+                              const CompiledComms* compiled,
+                              const ScheduleResult& start,
+                              const LocalSearchOptions& options) {
+  LETDMA_ENSURE(!start.s0_transfers.empty(),
+                "local search needs a non-empty starting schedule");
+  obs::ScopedSpan span("let.local_search", "let");
+  LocalSearchResult best = [&]() {
+    if (options.engine == LocalSearchEngine::kReference) {
+      return improve_reference(comms, start, options);
+    }
+    if (compiled != nullptr) {
+      return improve_compiled(*compiled, start, options);
+    }
+    const CompiledComms local(comms);
+    return improve_compiled(local, start, options);
+  }();
   static obs::Counter evaluations("let.local_search.evaluations");
   evaluations.add(best.evaluations);
   span.arg("evaluations", static_cast<std::int64_t>(best.evaluations));
   span.arg("improvements", static_cast<std::int64_t>(best.improvements));
   span.arg("objective", best.objective);
   return best;
+}
+
+}  // namespace
+
+LocalSearchResult improve_schedule(const LetComms& comms,
+                                   const ScheduleResult& start,
+                                   LocalSearchOptions options) {
+  return improve_any(comms, nullptr, start, options);
+}
+
+LocalSearchResult improve_schedule(const CompiledComms& compiled,
+                                   const ScheduleResult& start,
+                                   LocalSearchOptions options) {
+  return improve_any(compiled.let_comms(), &compiled, start, options);
 }
 
 }  // namespace letdma::let

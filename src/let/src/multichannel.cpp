@@ -14,12 +14,16 @@ MultiChannelReport schedule_on_channels(
 
   MultiChannelReport report;
   report.slots.resize(transfers.size());
+  report.readiness.assign(static_cast<std::size_t>(app.num_tasks()), 0);
   std::vector<Time> channel_free(static_cast<std::size_t>(channels), 0);
 
   // Dependency bookkeeping while walking the priority order: the finish
-  // time of each label's write and of each task's latest write.
-  std::map<int, Time> label_write_finish;
-  std::map<int, Time> task_write_finish;
+  // time of each label's write and of each task's latest write (0 when
+  // none has been dispatched yet).
+  std::vector<Time> label_write_finish(
+      static_cast<std::size_t>(app.num_labels()), 0);
+  std::vector<Time> task_write_finish(
+      static_cast<std::size_t>(app.num_tasks()), 0);
 
   for (std::size_t g = 0; g < transfers.size(); ++g) {
     const DmaTransfer& t = transfers[g];
@@ -27,14 +31,12 @@ MultiChannelReport schedule_on_channels(
     Time dep_ready = 0;
     if (t.dir == Direction::kRead) {
       for (const Communication& c : t.comms) {
-        if (const auto it = label_write_finish.find(c.label.value);
-            it != label_write_finish.end()) {
-          dep_ready = std::max(dep_ready, it->second);  // Property 2
-        }
-        if (const auto it = task_write_finish.find(c.task.value);
-            it != task_write_finish.end()) {
-          dep_ready = std::max(dep_ready, it->second);  // Property 1
-        }
+        dep_ready = std::max(
+            dep_ready, label_write_finish[static_cast<std::size_t>(
+                           c.label.value)]);  // Property 2
+        dep_ready = std::max(
+            dep_ready, task_write_finish[static_cast<std::size_t>(
+                           c.task.value)]);  // Property 1
       }
     }
     // Earliest-available channel (ties: lowest index, deterministic).
@@ -50,15 +52,14 @@ MultiChannelReport schedule_on_channels(
     report.makespan = std::max(report.makespan, finish);
 
     for (const Communication& c : t.comms) {
+      const auto label = static_cast<std::size_t>(c.label.value);
+      const auto task = static_cast<std::size_t>(c.task.value);
       if (t.dir == Direction::kWrite) {
-        label_write_finish[c.label.value] =
-            std::max(label_write_finish[c.label.value], finish);
-        task_write_finish[c.task.value] =
-            std::max(task_write_finish[c.task.value], finish);
+        label_write_finish[label] = std::max(label_write_finish[label], finish);
+        task_write_finish[task] = std::max(task_write_finish[task], finish);
       }
       // Rule R3: a task is ready when its last involved transfer ends.
-      auto [it, fresh] = report.readiness.try_emplace(c.task.value, finish);
-      if (!fresh) it->second = std::max(it->second, finish);
+      report.readiness[task] = std::max(report.readiness[task], finish);
     }
   }
   return report;

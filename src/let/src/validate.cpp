@@ -73,7 +73,7 @@ ValidationReport validate_schedule(const LetComms& comms,
   std::map<int, Time> s0_latency;
   if (!instants.empty() && schedule.has_instant(instants.front())) {
     for (int i = 0; i < app.num_tasks(); ++i) {
-      s0_latency[i] = lat.task_latency(app, schedule.at(instants.front()),
+      s0_latency[i] = lat.task_latency(schedule.at(instants.front()),
                                        model::TaskId{i}, options.semantics);
     }
   }
@@ -233,7 +233,7 @@ ValidationReport validate_schedule(const LetComms& comms,
       const model::Task& task = app.task(model::TaskId{i});
       if (t % task.period != 0) continue;  // not a release of this task
       const Time l =
-          lat.task_latency(app, transfers, model::TaskId{i}, options.semantics);
+          lat.task_latency(transfers, model::TaskId{i}, options.semantics);
       if (options.check_deadlines && task.acquisition_deadline &&
           l > *task.acquisition_deadline) {
         Violation v;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "../test_fixtures.hpp"
+#include "letdma/let/compiled.hpp"
 #include "letdma/let/greedy.hpp"
 #include "letdma/let/latency.hpp"
 #include "letdma/let/let_comms.hpp"
@@ -32,9 +33,9 @@ void expect_simulator_agreement(const let::LetComms& comms,
   const auto analytic = let::worst_case_latencies(
       comms, schedule.schedule, let::ReadinessSemantics::kProposed);
   for (const auto& [task, sim_latency] : sim.max_latency) {
-    const auto it = analytic.find(task);
-    ASSERT_NE(it, analytic.end()) << "task " << task;
-    EXPECT_LE(sim_latency, it->second)
+    ASSERT_LT(static_cast<std::size_t>(task), analytic.size())
+        << "task " << task;
+    EXPECT_LE(sim_latency, analytic[static_cast<std::size_t>(task)])
         << "simulated latency exceeds the certified analytic bound for "
            "task "
         << task;
@@ -213,6 +214,37 @@ TEST(Certify, MissingLayoutIsLayoutIntegrity) {
   const Certificate cert = certify(comms, schedule);
   ASSERT_FALSE(cert.certified());
   EXPECT_TRUE(cert.flags(Check::kLayoutIntegrity)) << cert.summary();
+}
+
+TEST(Certify, EvaluatorCrossCheckCertifiesCleanSchedules) {
+  const auto app = waters::make_waters_app();
+  const let::LetComms comms(*app);
+  const let::CompiledComms compiled(comms);
+  const let::ScheduleResult schedule =
+      let::GreedyScheduler::best_latency_ratio(comms);
+
+  CertifyOptions options;
+  options.compiled = &compiled;
+  const Certificate cert = certify(comms, schedule, options);
+  EXPECT_TRUE(cert.certified()) << cert.summary();
+}
+
+TEST(Certify, EvaluatorCrossCheckRejectsForeignCompiledInstance) {
+  const auto app = waters::make_waters_app();
+  const let::LetComms comms(*app);
+  const let::ScheduleResult schedule =
+      let::GreedyScheduler::best_latency_ratio(comms);
+
+  // A compiled instance built from a *different* LetComms over the same
+  // application: the cross-check must refuse to compare rather than
+  // certify against state the schedule was not produced from.
+  const let::LetComms other(*app);
+  const let::CompiledComms foreign(other);
+  CertifyOptions options;
+  options.compiled = &foreign;
+  const Certificate cert = certify(comms, schedule, options);
+  ASSERT_FALSE(cert.certified());
+  EXPECT_TRUE(cert.flags(Check::kEvaluatorConsistency)) << cert.summary();
 }
 
 }  // namespace

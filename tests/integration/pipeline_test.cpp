@@ -52,8 +52,9 @@ TEST(Pipeline, WatersEndToEnd) {
   EXPECT_TRUE(sr.all_deadlines_met());
   const auto analytical = let::worst_case_latencies(
       comms, sched.schedule, let::ReadinessSemantics::kProposed);
-  for (const auto& [task, lam] : analytical) {
-    EXPECT_EQ(sr.max_latency.at(task), lam);
+  for (int task = 0; task < static_cast<int>(analytical.size()); ++task) {
+    EXPECT_EQ(sr.max_latency.at(task),
+              analytical[static_cast<std::size_t>(task)]);
   }
 
   // 6. The proposed schedule beats every baseline for the urgent tasks.

@@ -55,9 +55,9 @@ TEST(LatencyModel, ProposedReadinessBeatsGiotto) {
   const auto& transfers = g.s0_transfers;
   const Time total = lat.total_duration(transfers);
   for (int i = 0; i < app->num_tasks(); ++i) {
-    const Time proposed = lat.task_latency(*app, transfers, model::TaskId{i},
+    const Time proposed = lat.task_latency(transfers, model::TaskId{i},
                                            ReadinessSemantics::kProposed);
-    const Time giotto = lat.task_latency(*app, transfers, model::TaskId{i},
+    const Time giotto = lat.task_latency(transfers, model::TaskId{i},
                                          ReadinessSemantics::kGiotto);
     EXPECT_LE(proposed, giotto);
     EXPECT_EQ(giotto, total);
@@ -71,7 +71,7 @@ TEST(LatencyModel, TaskWithoutCommsHasZeroProposedLatency) {
   const LatencyModel lat(app->platform());
   // LOCAL communicates only intra-core: no DMA dependency.
   const model::TaskId local = app->find_task("LOCAL");
-  EXPECT_EQ(lat.task_latency(*app, g.s0_transfers, local,
+  EXPECT_EQ(lat.task_latency(g.s0_transfers, local,
                              ReadinessSemantics::kProposed),
             0);
 }
@@ -80,7 +80,7 @@ TEST(LatencyModel, EmptyInstantIsFree) {
   const auto app = testing::make_pair_app();
   const LatencyModel lat(app->platform());
   EXPECT_EQ(lat.total_duration({}), 0);
-  EXPECT_EQ(lat.task_latency(*app, {}, model::TaskId{0},
+  EXPECT_EQ(lat.task_latency({}, model::TaskId{0},
                              ReadinessSemantics::kGiotto),
             0);
 }
@@ -105,7 +105,7 @@ TEST(WorstCaseLatencies, MaxOverReleases) {
   // s0 carries every communication, so the worst case equals the s0 value
   // for every task (Theorem 1 for pattern-grouped greedy schedules).
   for (int i = 0; i < app->num_tasks(); ++i) {
-    const Time s0 = lat.task_latency(*app, g.schedule.at(0), model::TaskId{i},
+    const Time s0 = lat.task_latency(g.schedule.at(0), model::TaskId{i},
                                      ReadinessSemantics::kProposed);
     EXPECT_EQ(wc.at(i), s0) << app->task(model::TaskId{i}).name;
   }

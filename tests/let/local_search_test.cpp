@@ -16,10 +16,10 @@ double ratio_of(const model::Application& app, const LetComms& lc,
   const auto wc =
       worst_case_latencies(lc, r.schedule, ReadinessSemantics::kProposed);
   double worst = 0;
-  for (const auto& [task, lam] : wc) {
-    worst = std::max(worst, static_cast<double>(lam) /
-                                static_cast<double>(
-                                    app.task(model::TaskId{task}).period));
+  for (int task = 0; task < static_cast<int>(wc.size()); ++task) {
+    worst = std::max(
+        worst, static_cast<double>(wc[static_cast<std::size_t>(task)]) /
+                   static_cast<double>(app.task(model::TaskId{task}).period));
   }
   return worst;
 }

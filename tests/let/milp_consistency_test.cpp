@@ -47,11 +47,11 @@ TEST(MilpConsistency, DelObjectiveBoundsRecomputedRatio) {
   const auto wc = worst_case_latencies(lc, r.schedule->schedule,
                                        ReadinessSemantics::kProposed);
   double recomputed = 0;
-  for (const auto& [task, lam] : wc) {
-    recomputed = std::max(recomputed,
-                          static_cast<double>(lam) /
-                              static_cast<double>(
-                                  app->task(model::TaskId{task}).period));
+  for (int task = 0; task < static_cast<int>(wc.size()); ++task) {
+    recomputed = std::max(
+        recomputed, static_cast<double>(wc[static_cast<std::size_t>(task)]) /
+                        static_cast<double>(
+                            app->task(model::TaskId{task}).period));
   }
   // The MILP's lambda arithmetic counts empty transfer indices, so the
   // recomputed (compacted) ratio can only be better or equal.
@@ -66,7 +66,8 @@ TEST(MilpConsistency, DeadlineBoundIsEnforcedInExtraction) {
   const ScheduleResult greedy = GreedyScheduler(lc).build();
   const auto gwc = worst_case_latencies(lc, greedy.schedule,
                                         ReadinessSemantics::kProposed);
-  for (const auto& [task, lam] : gwc) {
+  for (int task = 0; task < static_cast<int>(gwc.size()); ++task) {
+    const auto lam = gwc[static_cast<std::size_t>(task)];
     if (lam > 0) {
       app->set_acquisition_deadline(model::TaskId{task}, lam);
     }
@@ -79,11 +80,12 @@ TEST(MilpConsistency, DeadlineBoundIsEnforcedInExtraction) {
   ASSERT_TRUE(r.feasible());
   const auto wc = worst_case_latencies(lc2, r.schedule->schedule,
                                        ReadinessSemantics::kProposed);
-  for (const auto& [task, lam] : wc) {
+  for (int task = 0; task < static_cast<int>(wc.size()); ++task) {
     const auto& gamma =
         app->task(model::TaskId{task}).acquisition_deadline;
     if (gamma) {
-      EXPECT_LE(lam, *gamma) << app->task(model::TaskId{task}).name;
+      EXPECT_LE(wc[static_cast<std::size_t>(task)], *gamma)
+          << app->task(model::TaskId{task}).name;
     }
   }
 }

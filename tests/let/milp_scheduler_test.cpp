@@ -200,11 +200,11 @@ TEST(MilpScheduler, LatencyObjectiveNotWorseThanGreedy) {
   const auto greedy_wc =
       worst_case_latencies(lc, greedy.schedule, ReadinessSemantics::kProposed);
   double greedy_ratio = 0;
-  for (const auto& [task, lam] : greedy_wc) {
+  for (int task = 0; task < static_cast<int>(greedy_wc.size()); ++task) {
     greedy_ratio = std::max(
-        greedy_ratio, static_cast<double>(lam) /
-                          static_cast<double>(
-                              app->task(model::TaskId{task}).period));
+        greedy_ratio,
+        static_cast<double>(greedy_wc[static_cast<std::size_t>(task)]) /
+            static_cast<double>(app->task(model::TaskId{task}).period));
   }
   MilpScheduler sched(lc, fast_options(MilpObjective::kMinLatencyRatio, 30.0));
   const MilpScheduleResult r = sched.solve();

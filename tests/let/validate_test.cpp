@@ -226,9 +226,9 @@ TEST(Validate, GiottoSemanticsOptionUsed) {
   const ScheduleResult g = GreedyScheduler(lc).build();
   const LatencyModel lat(app->platform());
   const model::TaskId t2 = app->find_task("tau2");
-  const Time proposed = lat.task_latency(*app, g.schedule.at(0), t2,
+  const Time proposed = lat.task_latency(g.schedule.at(0), t2,
                                          ReadinessSemantics::kProposed);
-  const Time giotto = lat.task_latency(*app, g.schedule.at(0), t2,
+  const Time giotto = lat.task_latency(g.schedule.at(0), t2,
                                        ReadinessSemantics::kGiotto);
   ASSERT_LT(proposed, giotto);
   app->set_acquisition_deadline(t2, (proposed + giotto) / 2);

@@ -65,8 +65,9 @@ TEST_P(GeneratedSystem, SimulatorMatchesAnalyticalLatency) {
                                : sim::Mode::kGiottoDma;
     const sim::SimResult sr =
         sim::ProtocolSimulator(comms, &g.schedule, {mode, 0}).run();
-    for (const auto& [task, lam] : analytical) {
-      EXPECT_EQ(sr.max_latency.at(task), lam)
+    for (int task = 0; task < static_cast<int>(analytical.size()); ++task) {
+      EXPECT_EQ(sr.max_latency.at(task),
+                analytical[static_cast<std::size_t>(task)])
           << app->task(model::TaskId{task}).name;
     }
   }
@@ -107,8 +108,8 @@ TEST_P(GeneratedSystem, ProposedNeverWorseThanGiottoPerTask) {
       comms, g.schedule, let::ReadinessSemantics::kProposed);
   const auto same_schedule_giotto = let::worst_case_latencies(
       comms, g.schedule, let::ReadinessSemantics::kGiotto);
-  for (const auto& [task, lam] : ours) {
-    EXPECT_LE(lam, same_schedule_giotto.at(task));
+  for (std::size_t task = 0; task < ours.size(); ++task) {
+    EXPECT_LE(ours[task], same_schedule_giotto.at(task));
   }
 }
 
