@@ -30,6 +30,17 @@ inline double milp_timeout_sec(double fallback = 45.0) {
   return fallback;
 }
 
+/// MILP worker-thread count for the benches, overridable for scaling runs:
+///   LETDMA_MILP_THREADS=4 ./table1_milp
+/// (harnesses also accept --threads N, which wins over the environment).
+inline int milp_threads(int fallback = 1) {
+  if (const char* env = std::getenv("LETDMA_MILP_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
 /// Builds the WATERS application with acquisition deadlines for `alpha`.
 /// Returns nullptr when the sensitivity procedure is infeasible.
 inline std::unique_ptr<model::Application> waters_with_alpha(double alpha) {
@@ -147,7 +158,9 @@ inline void append_milp_metrics(const std::string& bench,
       {"objective", r.objective},
       {"transfers", static_cast<std::int64_t>(r.dma_transfers_at_s0)},
       {"wall_sec", r.stats.wall_sec},
+      {"threads", static_cast<std::int64_t>(r.stats.threads_used)},
       {"nodes", r.stats.nodes_explored},
+      {"nodes_pruned", r.stats.nodes_pruned},
       {"lp_iterations", r.stats.lp_iterations},
       {"lazy_rows", static_cast<std::int64_t>(r.stats.lazy_rows_added)},
       {"separation_rounds",

@@ -1,13 +1,34 @@
 // Micro-benchmarks (E6) for the MILP substrate: simplex throughput on
 // random dense LPs and branch & bound on knapsack instances.
+//
+// Modes:
+//   ./micro_milp [google-benchmark flags]     run the harness
+//   ./micro_milp --threads N ...              B&B benchmarks use N workers
+//   ./micro_milp --check BASELINE             skip the harness; measure B&B
+//       node throughput on the gate instance, emit metrics, and exit
+//       non-zero when it regressed more than 20% below the committed
+//       baseline (bench/baselines/milp_baseline.json).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_util.hpp"
 #include "letdma/milp/solver.hpp"
 #include "letdma/support/rng.hpp"
 
 using namespace letdma;
 
 namespace {
+
+// B&B worker count for the benchmark and check paths (--threads /
+// LETDMA_MILP_THREADS; 1 = the seed's sequential solver).
+int g_bb_threads = 1;
 
 milp::Model random_lp(int n, int m, std::uint64_t seed) {
   support::Rng rng(seed);
@@ -71,6 +92,7 @@ void BM_BranchAndBoundKnapsack(benchmark::State& state) {
     state.ResumeTiming();
     milp::MilpOptions opt;
     opt.time_limit_sec = 60;
+    opt.threads = g_bb_threads;
     milp::MilpSolver solver(model, opt);
     const milp::MilpResult r = solver.solve();
     benchmark::DoNotOptimize(r.objective);
@@ -90,6 +112,133 @@ void BM_ModelBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelBuild)->Arg(50)->Arg(200);
 
+/// Minimal extraction of `"key": <number>` from a flat JSON object; same
+/// dependency-free reader micro_localsearch uses for its baseline.
+bool json_number(const std::string& text, const std::string& key,
+                 double* out) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t p = text.find(':', at + needle.size());
+  if (p == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + p + 1, nullptr);
+  return true;
+}
+
+/// Strongly-correlated knapsack (profit = weight + 5, capacity = half the
+/// total weight) — the classic hard family for branch & bound, so the gate
+/// measures real tree search rather than a handful of root LPs.
+milp::Model gate_knapsack(int n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  milp::Model model;
+  milp::LinExpr weight, profit;
+  double total_weight = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double w = static_cast<double>(rng.uniform_int(1, 40));
+    const milp::Var x = model.add_binary("x" + std::to_string(i));
+    weight += w * x;
+    profit += (w + 5.0) * x;
+    total_weight += w;
+  }
+  model.add_constraint(weight, milp::Sense::kLe,
+                       std::floor(total_weight / 2.0), "cap");
+  model.set_objective(profit, milp::ObjSense::kMaximize);
+  return model;
+}
+
+/// Nightly regression gate: branch-and-bound node throughput summed over a
+/// fixed batch of knapsack instances, repeat-and-best to filter scheduler
+/// noise. The total node count is deterministic for the sequential solver,
+/// so nodes/sec moves only when the solver itself got slower (or faster).
+int run_check(const std::string& baseline_path) {
+  using Clock = std::chrono::steady_clock;
+  constexpr int kSize = 30;
+  constexpr int kSeeds = 10;
+  constexpr int kRepeats = 5;
+  long nodes = -1;
+  double best_sec = 1e300;
+  for (int r = 0; r < kRepeats + 1; ++r) {  // first run is warm-up
+    long total_nodes = 0;
+    double sec = 0.0;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      milp::Model model = gate_knapsack(kSize, seed);
+      milp::MilpOptions opt;
+      opt.time_limit_sec = 60;
+      opt.threads = g_bb_threads;
+      milp::MilpSolver solver(model, opt);
+      const auto t0 = Clock::now();
+      const milp::MilpResult res = solver.solve();
+      sec += std::chrono::duration<double>(Clock::now() - t0).count();
+      if (res.status != milp::MilpStatus::kOptimal) {
+        std::fprintf(stderr, "gate instance seed=%d did not solve\n", seed);
+        return 2;
+      }
+      total_nodes += res.stats.nodes_explored;
+    }
+    if (r == 0) continue;
+    if (nodes >= 0 && total_nodes != nodes && g_bb_threads == 1) {
+      std::fprintf(stderr, "non-deterministic node count: %ld vs %ld\n",
+                   total_nodes, nodes);
+      return 2;
+    }
+    nodes = total_nodes;
+    best_sec = std::min(best_sec, sec);
+  }
+  const double nodes_per_sec =
+      best_sec > 0.0 ? static_cast<double>(nodes) / best_sec : 0.0;
+  std::printf("knapsack(%d) x %d seeds: %ld nodes in %.3fs best-of-%d = "
+              "%.0f nodes/sec (%d thread%s)\n",
+              kSize, kSeeds, nodes, best_sec, kRepeats, nodes_per_sec,
+              g_bb_threads, g_bb_threads == 1 ? "" : "s");
+  bench::append_metrics(
+      "micro_milp", "knapsack-gate",
+      {{"nodes", static_cast<std::int64_t>(nodes)},
+       {"best_sec", best_sec},
+       {"nodes_per_sec", nodes_per_sec},
+       {"threads", static_cast<std::int64_t>(g_bb_threads)}});
+
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open baseline %s\n", baseline_path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  double baseline = 0.0;
+  if (!json_number(buf.str(), "nodes_per_sec", &baseline) || baseline <= 0.0) {
+    std::fprintf(stderr,
+                 "baseline %s has no positive \"nodes_per_sec\" field\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  const double floor = 0.8 * baseline;
+  std::printf("check: %.0f nodes/sec vs baseline %.0f (floor %.0f): %s\n",
+              nodes_per_sec, baseline, floor,
+              nodes_per_sec >= floor ? "ok" : "REGRESSION");
+  return nodes_per_sec >= floor ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  g_bb_threads = bench::milp_threads();
+  std::string baseline_path;
+  // Strip our flags before google-benchmark sees (and rejects) them.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_bb_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (!baseline_path.empty()) return run_check(baseline_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

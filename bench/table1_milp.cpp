@@ -9,14 +9,28 @@
 // Our bundled branch-and-bound is far weaker than CPLEX, so the budget is
 // minutes rather than an hour; the qualitative ordering is what matters.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench_util.hpp"
 
 using namespace letdma;
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = bench::milp_threads();
+  bool deterministic = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--deterministic") == 0) {
+      deterministic = true;
+    }
+  }
   const double timeout = bench::milp_timeout_sec();
-  std::printf("Table I reproduction (time limit %.0fs per run)\n\n", timeout);
+  std::printf(
+      "Table I reproduction (time limit %.0fs per run, %d thread%s%s)\n\n",
+      timeout, threads, threads == 1 ? "" : "s",
+      deterministic ? ", deterministic" : "");
 
   support::TextTable table({"Obj. function", "alpha", "running time",
                             "status", "# DMA transfers", "nodes",
@@ -36,6 +50,8 @@ int main() {
       let::MilpSchedulerOptions opt;
       opt.objective = obj;
       opt.solver.time_limit_sec = timeout;
+      opt.solver.threads = threads;
+      opt.solver.deterministic = deterministic;
       let::MilpScheduler milp(comms, opt);
       const auto r = milp.solve();
       bench::append_milp_metrics(

@@ -26,6 +26,12 @@
 //                     incumbent events plus the simulated per-core/DMA
 //                     schedule
 //   --metrics <file>  append the full event stream as JSONL
+//   --threads <n>     MILP branch-and-bound worker threads (0 = one per
+//                     hardware thread, 1 = the sequential node loop);
+//                     applies to the milp engine and to the milp strategy
+//                     inside portfolio/supervised
+//   --deterministic   reproducible parallel MILP search (epoch-synchronized
+//                     node batches; the result is thread-count independent)
 //   -v                verbose: mirror events to stderr
 //
 // With "-" (or no arguments) a built-in demo model (the Fig. 1 system) is
@@ -81,8 +87,8 @@ int usage() {
       "[none|dmat|del] [timeout-seconds]\n"
       "       [--engine <name>] [--budget-ms <ms>] [--certify] "
       "[--faults <spec>]\n"
-      "       [--save <file>] [--trace <file>] [--metrics <file>] "
-      "[-v]\n");
+      "       [--save <file>] [--trace <file>] [--metrics <file>]\n"
+      "       [--threads <n>] [--deterministic] [-v]\n");
   return 2;
 }
 
@@ -91,9 +97,10 @@ int usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> pos;
   std::string trace_path, metrics_path, save_path;
-  std::string engine_flag, budget_ms_flag, faults_flag;
+  std::string engine_flag, budget_ms_flag, faults_flag, threads_flag;
   bool verbose = false;
   bool certify_flag = false;
+  bool deterministic_flag = false;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     auto value = [&](std::string* dst) {
@@ -113,6 +120,10 @@ int main(int argc, char** argv) {
       if (!value(&budget_ms_flag)) return usage();
     } else if (arg == "--certify") {
       certify_flag = true;
+    } else if (arg == "--threads") {
+      if (!value(&threads_flag)) return usage();
+    } else if (arg == "--deterministic") {
+      deterministic_flag = true;
     } else if (arg == "--faults") {
       if (!value(&faults_flag)) return usage();
     } else if (arg == "-v") {
@@ -219,16 +230,22 @@ int main(int argc, char** argv) {
     else if (objective == "del") eng_obj = engine::Objective::kMinMaxLatencyRatio;
     else return usage();
 
+    engine::EngineTuning tuning;
+    if (!threads_flag.empty()) tuning.milp_threads = std::atoi(threads_flag.c_str());
+    tuning.milp_deterministic = deterministic_flag;
+
     std::unique_ptr<engine::Scheduler> sched;
     if (scheduler == "milp" && verbose) {
       // The only engine knob the factory does not expose: solver logging.
       engine::MilpEngineOptions mo;
       mo.objective = eng_obj;
       mo.milp.solver.log = true;
+      mo.milp.solver.threads = tuning.milp_threads;
+      mo.milp.solver.deterministic = tuning.milp_deterministic;
       sched = std::make_unique<engine::MilpEngine>(mo);
     } else {
       try {
-        sched = engine::make_scheduler(scheduler, eng_obj);
+        sched = engine::make_scheduler(scheduler, eng_obj, tuning);
       } catch (const support::Error&) {
         return usage();
       }

@@ -154,12 +154,26 @@ ScheduleOutcome expired_outcome(const IncumbentSink& sink,
                                 const std::string& strategy,
                                 const Budget& budget);
 
+/// Cross-cutting solver knobs the factory threads into every scheduler it
+/// builds (directly, or through portfolio/supervised children). Today this
+/// carries the MILP branch-and-bound parallelism knobs exposed by
+/// `letdma_tool --threads` and the benches.
+struct EngineTuning {
+  /// Worker threads for the MILP branch-and-bound. 0 = solver default
+  /// (one per hardware thread); 1 = the sequential seed node loop.
+  int milp_threads = 0;
+  /// Reproducible epoch-synchronized parallel MILP search (see
+  /// milp::MilpOptions::deterministic).
+  bool milp_deterministic = false;
+};
+
 /// Factory for the engine names exposed by tools and benches:
 /// "greedy" | "ls" | "milp" | "portfolio" | "giotto" | "supervised".
 /// Throws PreconditionError on an unknown name.
 std::unique_ptr<Scheduler> make_scheduler(
     const std::string& name,
-    Objective objective = Objective::kMinMaxLatencyRatio);
+    Objective objective = Objective::kMinMaxLatencyRatio,
+    const EngineTuning& tuning = {});
 
 /// Convenience: one standalone solve with a private SharedIncumbent.
 ScheduleOutcome solve_with(const std::string& scheduler_name,

@@ -33,6 +33,8 @@ struct PortfolioOptions {
   /// Raise the stop token once a worker returns a proof
   /// (kOptimal/kInfeasible) so losing workers stop early.
   bool early_stop = true;
+  /// Threaded into every factory-built strategy (MILP parallelism knobs).
+  EngineTuning tuning;
 };
 
 class PortfolioScheduler : public Scheduler {

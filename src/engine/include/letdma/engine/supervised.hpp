@@ -83,6 +83,9 @@ struct GuardOptions {
   bool cross_check_infeasible = true;
   /// Observer invoked with the completed record after every solve.
   std::function<void(const SupervisionRecord&)> on_complete;
+  /// Threaded into every chain level the factory builds (MILP parallelism
+  /// knobs).
+  EngineTuning tuning;
 };
 
 /// The paper's Giotto single-buffered baseline behind the Scheduler

@@ -103,7 +103,8 @@ ScheduleOutcome expired_outcome(const IncumbentSink& sink,
 }
 
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
-                                          Objective objective) {
+                                          Objective objective,
+                                          const EngineTuning& tuning) {
   if (name == "greedy") {
     GreedyEngineOptions opt;
     opt.objective = objective;
@@ -117,11 +118,14 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
   if (name == "milp") {
     MilpEngineOptions opt;
     opt.objective = objective;
+    opt.milp.solver.threads = tuning.milp_threads;
+    opt.milp.solver.deterministic = tuning.milp_deterministic;
     return std::make_unique<MilpEngine>(opt);
   }
   if (name == "portfolio") {
     PortfolioOptions opt;
     opt.objective = objective;
+    opt.tuning = tuning;
     return std::make_unique<PortfolioScheduler>(opt);
   }
   if (name == "giotto") {
@@ -130,6 +134,7 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
   if (name == "supervised") {
     GuardOptions opt;
     opt.objective = objective;
+    opt.tuning = tuning;
     return std::make_unique<SupervisedScheduler>(opt);
   }
   throw support::PreconditionError("unknown engine scheduler: " + name);

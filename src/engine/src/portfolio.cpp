@@ -30,7 +30,8 @@ PortfolioScheduler::PortfolioScheduler(PortfolioOptions options)
           ? std::vector<std::string>{"greedy", "ls", "milp"}
           : options_.strategies;
   for (const std::string& n : names) {
-    strategies_.push_back(make_scheduler(n, options_.objective));
+    strategies_.push_back(make_scheduler(n, options_.objective,
+                                         options_.tuning));
   }
 }
 

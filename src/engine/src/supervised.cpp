@@ -183,7 +183,8 @@ ScheduleOutcome SupervisedScheduler::solve(const let::LetComms& comms,
       ScheduleOutcome out;
       bool threw = false;
       try {
-        const auto scheduler = make_scheduler(strat, options_.objective);
+        const auto scheduler =
+            make_scheduler(strat, options_.objective, options_.tuning);
         Budget level_budget;
         level_budget.wall_sec = std::max(remaining(), kLevelFloorSec);
         level_budget.stop = budget.stop;

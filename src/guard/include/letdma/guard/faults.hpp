@@ -34,9 +34,16 @@
 //   e.g.  LETDMA_FAULTS="seed=42,milp.node=throw@0.02,engine.ls=stall"
 //         LETDMA_FAULTS="seed=7,chaos"
 //
-// Sites: milp.node | simplex.pivot | engine.greedy | engine.ls |
-//        engine.milp | engine.portfolio | io.parse
+// Sites: milp.node | milp.worker | simplex.pivot | engine.greedy |
+//        engine.ls | engine.milp | engine.portfolio | io.parse
 // Kinds: throw | infeasible | nan | stall | truncate
+//
+// `milp.worker` is polled once per node by the parallel branch-and-bound
+// workers (and per epoch task in deterministic mode) in addition to the
+// classic `milp.node` site, so chaos runs exercise worker-thread failure
+// paths: a kThrow there aborts the whole parallel solve through the
+// first-error channel, and a kStall delays one worker while the others
+// keep draining the queue. The sequential (threads=1) path never polls it.
 //
 // Every fire bumps the obs counter "guard.fault.<site>" and emits a
 // "guard.fault" instant, so injected faults are visible in traces.

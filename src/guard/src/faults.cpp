@@ -24,8 +24,8 @@ namespace {
 using support::PreconditionError;
 
 const char* const kSites[] = {
-    "milp.node",   "simplex.pivot",    "engine.greedy", "engine.ls",
-    "engine.milp", "engine.portfolio", "io.parse",
+    "milp.node",   "milp.worker",      "simplex.pivot", "engine.greedy",
+    "engine.ls",   "engine.milp",      "engine.portfolio", "io.parse",
 };
 
 bool known_site(const std::string& site) {
@@ -89,6 +89,8 @@ FaultPlan FaultPlan::chaos(std::uint64_t seed) {
   // faults, sparse enough that cheap strategies still get through.
   plan.specs.push_back({"milp.node", FaultKind::kThrow, 0.002, 2});
   plan.specs.push_back({"milp.node", FaultKind::kSpuriousInfeasible, 0.002, 2});
+  plan.specs.push_back({"milp.worker", FaultKind::kThrow, 0.001, 1});
+  plan.specs.push_back({"milp.worker", FaultKind::kStall, 0.002, 2});
   plan.specs.push_back({"simplex.pivot", FaultKind::kThrow, 0.01, 1});
   plan.specs.push_back({"engine.milp", FaultKind::kThrow, 0.5, 1});
   plan.specs.push_back({"engine.ls", FaultKind::kNanObjective, 0.5, 1});

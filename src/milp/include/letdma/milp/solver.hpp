@@ -7,6 +7,13 @@
 // LET-DMA formulation for the cubic contiguity family (Constraint 6) — are
 // requested from a callback whenever a node relaxation is integral; any
 // returned rows are added globally and the node is re-solved.
+//
+// With MilpOptions::threads != 1 the node loop runs as a worker pool over
+// a shared best-bound queue: each worker owns a simplex workspace and
+// pseudocost table, prunes against an atomic global incumbent, and fires
+// lazy/incumbent callbacks under a callback mutex. An optional
+// `deterministic` mode trades the plunging heuristic for thread-count
+// independent, reproducible exploration (see DESIGN.md §10).
 #pragma once
 
 #include <atomic>
@@ -44,11 +51,30 @@ struct MilpOptions {
   /// the incumbent when one exists, kLimit otherwise — and
   /// MilpStats::cancelled is set. Not owned; may be null.
   const std::atomic<bool>* stop = nullptr;
-  /// Called on the solving thread for every incumbent improvement with the
-  /// integer-snapped solution vector and the reported (model-sense)
-  /// objective. Keep it cheap relative to a node solve.
+  /// Called for every incumbent improvement with the integer-snapped
+  /// solution vector and the reported (model-sense) objective. With
+  /// `threads > 1` the callback fires from worker threads, serialized
+  /// under the solver's callback mutex (never concurrently with itself or
+  /// with the lazy callback). Keep it cheap relative to a node solve.
   std::function<void(const std::vector<double>& x, double objective)>
       on_incumbent;
+  /// Branch-and-bound worker threads. 0 picks one worker per hardware
+  /// thread (`std::thread::hardware_concurrency`). 1 runs the classic
+  /// sequential node loop, preserving its deterministic node order
+  /// bit-identically. Larger values explore a shared best-bound queue
+  /// concurrently with per-worker simplex workspaces; node order then
+  /// depends on timing unless `deterministic` is set.
+  int threads = 0;
+  /// Reproducible parallel search: nodes are popped in best-bound order in
+  /// fixed-size epochs, relaxations solve concurrently against an
+  /// epoch-start snapshot, and all side effects (incumbents, lazy rows,
+  /// pseudocosts, child pushes) commit sequentially in pop order. The
+  /// exploration — and therefore the result — is identical for every
+  /// `threads` value, at the cost of the plunging heuristic.
+  bool deterministic = false;
+  /// Nodes popped per epoch in deterministic mode. Thread-count
+  /// independent so the work schedule is too.
+  int deterministic_batch = 8;
 };
 
 /// One incumbent improvement: when it landed and what it was worth
@@ -69,13 +95,26 @@ struct GapSample {
   long nodes = 0;
 };
 
+/// One worker's slice of a solve. Sequential solves report a single entry
+/// (worker 0); parallel solves one per spawned worker.
+struct WorkerStats {
+  int worker = 0;
+  long nodes_explored = 0;
+  long lp_iterations = 0;
+  long nodes_pruned = 0;     // dropped against the incumbent bound
+  int incumbents_found = 0;  // improvements this worker committed
+};
+
 struct MilpStats {
   long nodes_explored = 0;
   long lp_iterations = 0;
+  long nodes_pruned = 0;      // bound-pruned nodes, merged across workers
   int lazy_rows_added = 0;
   int separation_rounds = 0;  // lazy-callback rounds that returned rows
   double wall_sec = 0.0;
   bool cancelled = false;     // stopped early via MilpOptions::stop
+  int threads_used = 1;       // resolved worker count for this solve
+  std::vector<WorkerStats> per_worker;
 
   // Solve *behaviour* over time (Table-1-style incumbent trajectories).
   double first_incumbent_sec = -1.0;  // -1 when no incumbent was found

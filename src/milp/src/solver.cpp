@@ -1,12 +1,21 @@
 #include "letdma/milp/solver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <cstdint>
 #include <cstdio>
+#include <exception>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <queue>
+#include <shared_mutex>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "letdma/guard/faults.hpp"
 #include "letdma/milp/presolve.hpp"
@@ -17,6 +26,8 @@ namespace letdma::milp {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using Clock = std::chrono::steady_clock;
 
 /// A branch-and-bound node stores only its bound change relative to the
 /// parent; full bound vectors are materialized on demand by walking the
@@ -44,34 +55,249 @@ struct BestBoundOrder {
   }
 };
 
-}  // namespace
+using OpenQueue =
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, BestBoundOrder>;
 
-double MilpResult::gap() const {
-  if (x.empty()) return kInf;
-  const double denom = std::max(1.0, std::abs(objective));
-  return std::abs(objective - best_bound) / denom;
+/// Pseudocosts: per variable, average relaxation degradation observed per
+/// unit of fractionality when branching down/up. Guides later branching
+/// decisions toward variables that actually move the bound. Workers keep
+/// private tables in parallel mode (a stale table only degrades branching
+/// quality, never correctness).
+struct Pseudocost {
+  double down_sum = 0, up_sum = 0;
+  int down_n = 0, up_n = 0;
+};
+
+const Pseudocost& pseudo_at(const std::vector<Pseudocost>& pseudo, int var) {
+  static const Pseudocost kEmpty;
+  if (var < 0 || var >= static_cast<int>(pseudo.size())) return kEmpty;
+  return pseudo[static_cast<std::size_t>(var)];
 }
 
-MilpSolver::MilpSolver(Model& model, MilpOptions options)
-    : model_(model), options_(options) {}
-
-void MilpSolver::set_lazy_callback(LazyConstraintCallback cb) {
-  lazy_ = std::move(cb);
-}
-
-bool MilpSolver::set_warm_start(std::vector<double> x) {
-  if (!model_.is_feasible(x, options_.int_tol)) return false;
-  if (lazy_) {
-    const auto violated = lazy_(x);
-    if (!violated.empty()) return false;
+/// Feeds the pseudocost of the branching that created `node`, observed to
+/// relax to `node_obj`.
+void feed_pseudocost(std::vector<Pseudocost>& pseudo, const Node& node,
+                     double node_obj, double int_tol) {
+  if (node.var < 0 || node.frac <= int_tol || node.bound == -kInf) return;
+  const double degradation = std::max(0.0, node_obj - node.bound) /
+                             (node.is_down ? node.frac : (1.0 - node.frac));
+  if (node.var >= static_cast<int>(pseudo.size())) {
+    pseudo.resize(static_cast<std::size_t>(node.var) + 1);
   }
-  warm_start_ = std::move(x);
-  return true;
+  Pseudocost& pc = pseudo[static_cast<std::size_t>(node.var)];
+  if (node.is_down) {
+    pc.down_sum += degradation;
+    pc.down_n += 1;
+  } else {
+    pc.up_sum += degradation;
+    pc.up_n += 1;
+  }
 }
 
-MilpResult MilpSolver::solve() {
-  using Clock = std::chrono::steady_clock;
+struct BranchPick {
+  int var = -1;       // -1: the relaxation is integral
+  double frac = 0.0;  // fractional part of `var`
+};
+
+/// Picks the branching variable over the first `n` variables of `x`:
+/// pseudocost product score, falling back to most-fractional while no
+/// history exists.
+BranchPick pick_branch(const Model& model, const std::vector<double>& x,
+                       int n, const std::vector<Pseudocost>& pseudo,
+                       double int_tol) {
+  BranchPick out;
+  double best_score = -1.0;
+  for (int j = 0; j < n; ++j) {
+    if (model.var(j).type == VarType::kContinuous) continue;
+    const double v = x[static_cast<std::size_t>(j)];
+    const double frac = v - std::floor(v);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist <= int_tol) continue;
+    const Pseudocost& pc = pseudo_at(pseudo, j);
+    const double down_rate = pc.down_n > 0 ? pc.down_sum / pc.down_n : 1.0;
+    const double up_rate = pc.up_n > 0 ? pc.up_sum / pc.up_n : 1.0;
+    const double down_est = down_rate * frac;
+    const double up_est = up_rate * (1.0 - frac);
+    // Product rule with the fractionality as a tiebreaker.
+    const double score =
+        std::max(down_est, 1e-8) * std::max(up_est, 1e-8) + 1e-3 * dist;
+    if (score > best_score) {
+      best_score = score;
+      out.var = j;
+      out.frac = frac;
+    }
+  }
+  return out;
+}
+
+/// Snaps the integer variables of `x` exactly (first min(n, |x|) entries).
+void snap_integral(const Model& model, std::vector<double>& x, int n) {
+  const int m = std::min(n, static_cast<int>(x.size()));
+  for (int j = 0; j < m; ++j) {
+    if (model.var(j).type != VarType::kContinuous) {
+      x[static_cast<std::size_t>(j)] =
+          std::round(x[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+/// Materializes the bound vectors for `node`: model bounds, tightened by
+/// the root presolve, intersected with the node's branching chain. Bounds
+/// are rebuilt from the model each time because lazy callbacks may append
+/// variables (and rows) mid-solve; node chains only ever reference
+/// variables that existed when the node was created.
+void intersect_node_bounds(const Model& model, const MilpOptions& options,
+                           const PresolveResult& presolved, const Node& node,
+                           std::vector<double>& lb, std::vector<double>& ub) {
+  const int n = model.num_vars();
+  lb.resize(static_cast<std::size_t>(n));
+  ub.resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    lb[static_cast<std::size_t>(j)] = model.var(j).lb;
+    ub[static_cast<std::size_t>(j)] = model.var(j).ub;
+  }
+  if (options.presolve && !presolved.infeasible) {
+    const int np = static_cast<int>(presolved.lb.size());
+    for (int j = 0; j < std::min(n, np); ++j) {
+      lb[static_cast<std::size_t>(j)] =
+          std::max(lb[static_cast<std::size_t>(j)],
+                   presolved.lb[static_cast<std::size_t>(j)]);
+      ub[static_cast<std::size_t>(j)] =
+          std::min(ub[static_cast<std::size_t>(j)],
+                   presolved.ub[static_cast<std::size_t>(j)]);
+    }
+  }
+  // Apply changes root->leaf so later (deeper) changes win. Changes only
+  // tighten, so applying leaf-first with max/min is equivalent; we walk
+  // the chain and intersect.
+  for (const Node* p = &node; p != nullptr; p = p->parent.get()) {
+    if (p->var < 0) continue;
+    lb[static_cast<std::size_t>(p->var)] =
+        std::max(lb[static_cast<std::size_t>(p->var)], p->lb);
+    ub[static_cast<std::size_t>(p->var)] =
+        std::min(ub[static_cast<std::size_t>(p->var)], p->ub);
+  }
+}
+
+int resolve_threads(int requested) {
+  if (requested > 0) return std::min(requested, 256);
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(std::min(hc, 64u));
+}
+
+/// The wall-clock deadline for a solve (clamped so absurd limits cannot
+/// overflow the steady_clock representation).
+Clock::time_point solve_deadline(Clock::time_point t0, double limit_sec) {
+  const double capped = std::clamp(limit_sec, 0.0, 1.0e9);
+  return t0 + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(capped));
+}
+
+/// Injected kStall sleep, clamped to the solve deadline so short time
+/// limits are not quantized by the stall duration (the node loop checks
+/// the deadline right after).
+void stall_sleep(Clock::time_point deadline) {
+  const Clock::time_point cap = Clock::now() + std::chrono::milliseconds(20);
+  std::this_thread::sleep_until(std::min(cap, deadline));
+}
+
+/// A persistent pool for deterministic epochs: run(count, fn) executes
+/// fn(i, slot) for i in [0, count), task i statically assigned to slot
+/// i % workers so per-worker attribution is reproducible. Blocks until the
+/// batch drains; rethrows the first (lowest-slot) captured exception.
+class TaskPool {
+ public:
+  explicit TaskPool(int workers)
+      : workers_(workers), errors_(static_cast<std::size_t>(workers)) {
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      threads_.emplace_back([this, w] { run_worker(w); });
+    }
+  }
+
+  ~TaskPool() {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  void run(std::size_t count, const std::function<void(std::size_t, int)>& fn) {
+    if (count == 0) return;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      fn_ = &fn;
+      count_ = count;
+      finished_ = 0;
+      ++generation_;
+    }
+    cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return finished_ == workers_; });
+    for (std::exception_ptr& e : errors_) {
+      if (e) {
+        const std::exception_ptr err = e;
+        for (std::exception_ptr& x : errors_) x = nullptr;
+        std::rethrow_exception(err);
+      }
+    }
+  }
+
+ private:
+  void run_worker(int w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::size_t count = 0;
+      const std::function<void(std::size_t, int)>* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+        count = count_;
+        fn = fn_;
+      }
+      try {
+        for (std::size_t i = static_cast<std::size_t>(w); i < count;
+             i += static_cast<std::size_t>(workers_)) {
+          (*fn)(i, w);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> g(mu_);
+        errors_[static_cast<std::size_t>(w)] = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        if (++finished_ == workers_) done_cv_.notify_all();
+      }
+    }
+  }
+
+  const int workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  std::size_t count_ = 0;
+  const std::function<void(std::size_t, int)>* fn_ = nullptr;
+  int finished_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::exception_ptr> errors_;
+  std::vector<std::thread> threads_;
+};
+
+// ---------------------------------------------------------------------------
+// Sequential path (threads == 1): the original node loop, preserved
+// bit-identically — same node order, branching, and incumbents.
+// ---------------------------------------------------------------------------
+
+MilpResult run_sequential(Model& model_, const MilpOptions& options_,
+                          const LazyConstraintCallback& lazy_,
+                          const std::vector<double>& warm_start_) {
   const auto t0 = Clock::now();
+  const auto deadline = solve_deadline(t0, options_.time_limit_sec);
   auto elapsed = [&] {
     return std::chrono::duration<double>(Clock::now() - t0).count();
   };
@@ -79,26 +305,8 @@ MilpResult MilpSolver::solve() {
   const double sense_sign =
       model_.objective_sense() == ObjSense::kMinimize ? 1.0 : -1.0;
 
-  obs::ScopedSpan span("milp.solve", "milp");
-  span.arg("vars", static_cast<std::int64_t>(model_.num_vars()));
-  span.arg("rows", static_cast<std::int64_t>(model_.num_constraints()));
-
   MilpResult result;
   MilpStats& stats = result.stats;
-
-  // Final span args come from the stats as they stand at scope exit
-  // (destroyed before `span`, so the args land on the solve slice).
-  struct SpanStats {
-    obs::ScopedSpan& span;
-    const MilpStats& stats;
-    ~SpanStats() {
-      span.arg("nodes", stats.nodes_explored);
-      span.arg("lp_iterations", stats.lp_iterations);
-      span.arg("lazy_rows", static_cast<std::int64_t>(stats.lazy_rows_added));
-      span.arg("incumbents",
-               static_cast<std::int64_t>(stats.incumbents.size()));
-    }
-  } span_stats{span, stats};
 
   // Incumbent (internal minimize sense).
   double incumbent_obj = kInf;
@@ -163,13 +371,23 @@ MilpResult MilpSolver::solve() {
     }
   };
 
+  auto mirror_worker = [&] {
+    stats.threads_used = 1;
+    WorkerStats ws;
+    ws.worker = 0;
+    ws.nodes_explored = stats.nodes_explored;
+    ws.lp_iterations = stats.lp_iterations;
+    ws.nodes_pruned = stats.nodes_pruned;
+    ws.incumbents_found = static_cast<int>(stats.incumbents.size());
+    stats.per_worker.assign(1, ws);
+  };
+
   if (!warm_start_.empty()) {
     accept_incumbent(warm_start_,
                      sense_sign * model_.objective_value(warm_start_));
   }
 
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, BestBoundOrder>
-      open;
+  OpenQueue open;
   auto root = std::make_shared<Node>();
   root->bound = -kInf;
   open.push({root});
@@ -188,58 +406,12 @@ MilpResult MilpSolver::solve() {
     if (presolved.infeasible && incumbent_x.empty()) {
       result.status = MilpStatus::kInfeasible;
       result.stats.wall_sec = elapsed();
+      mirror_worker();
       return result;
     }
   }
 
-  auto materialize_bounds = [&](const Node& node) {
-    // Bounds are rebuilt from the model each time because lazy callbacks
-    // may append variables (and rows) mid-solve; node chains only ever
-    // reference variables that existed when the node was created.
-    const int n = model_.num_vars();
-    lb.resize(static_cast<std::size_t>(n));
-    ub.resize(static_cast<std::size_t>(n));
-    for (int j = 0; j < n; ++j) {
-      lb[static_cast<std::size_t>(j)] = model_.var(j).lb;
-      ub[static_cast<std::size_t>(j)] = model_.var(j).ub;
-    }
-    if (options_.presolve && !presolved.infeasible) {
-      const int np = static_cast<int>(presolved.lb.size());
-      for (int j = 0; j < std::min(n, np); ++j) {
-        lb[static_cast<std::size_t>(j)] =
-            std::max(lb[static_cast<std::size_t>(j)],
-                     presolved.lb[static_cast<std::size_t>(j)]);
-        ub[static_cast<std::size_t>(j)] =
-            std::min(ub[static_cast<std::size_t>(j)],
-                     presolved.ub[static_cast<std::size_t>(j)]);
-      }
-    }
-    // Apply changes root->leaf so later (deeper) changes win. Changes only
-    // tighten, so applying leaf-first with max/min is equivalent; we walk
-    // the chain and intersect.
-    for (const Node* p = &node; p != nullptr; p = p->parent.get()) {
-      if (p->var < 0) continue;
-      lb[static_cast<std::size_t>(p->var)] =
-          std::max(lb[static_cast<std::size_t>(p->var)], p->lb);
-      ub[static_cast<std::size_t>(p->var)] =
-          std::min(ub[static_cast<std::size_t>(p->var)], p->ub);
-    }
-  };
-
-  // Pseudocosts: per variable, average relaxation degradation observed per
-  // unit of fractionality when branching down/up. Guides later branching
-  // decisions toward variables that actually move the bound.
-  struct Pseudocost {
-    double down_sum = 0, up_sum = 0;
-    int down_n = 0, up_n = 0;
-  };
   std::vector<Pseudocost> pseudo;
-  auto pseudo_of = [&](int var) -> Pseudocost& {
-    if (var >= static_cast<int>(pseudo.size())) {
-      pseudo.resize(static_cast<std::size_t>(var) + 1);
-    }
-    return pseudo[static_cast<std::size_t>(var)];
-  };
 
   // Depth-first plunging: after branching, dive into one child directly
   // (skipping the queue) until the plunge ends in a prune/leaf — finds
@@ -251,7 +423,7 @@ MilpResult MilpSolver::solve() {
     const bool stop_raised =
         options_.stop != nullptr &&
         options_.stop->load(std::memory_order_relaxed);
-    if (stop_raised || elapsed() > options_.time_limit_sec ||
+    if (stop_raised || Clock::now() > deadline ||
         stats.nodes_explored >= options_.node_limit) {
       bound_proof_intact = false;
       stats.cancelled = stop_raised;
@@ -279,12 +451,15 @@ MilpResult MilpSolver::solve() {
         continue;
       }
       if (*fault == guard::FaultKind::kStall) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        stall_sleep(deadline);
       }
     }
 
     // Prune by bound (the incumbent may have improved since push).
-    if (node.bound >= incumbent_obj - options_.abs_gap) continue;
+    if (node.bound >= incumbent_obj - options_.abs_gap) {
+      ++stats.nodes_pruned;
+      continue;
+    }
 
     ++stats.nodes_explored;
     if ((stats.nodes_explored & 0xFF) == 0) {
@@ -298,7 +473,7 @@ MilpResult MilpSolver::solve() {
     // Re-solve loop: lazy rows/columns may be added while this node is
     // integral, so the variable count is refreshed per pass.
     for (;;) {
-      materialize_bounds(node);
+      intersect_node_bounds(model_, options_, presolved, node, lb, ub);
       const int n = model_.num_vars();
       const LpResult rel = lp.solve_with_bounds(lb, ub);
       stats.lp_iterations += rel.iterations;
@@ -307,6 +482,7 @@ MilpResult MilpSolver::solve() {
         if (!model_.has_integer_vars() || node.depth == 0) {
           result.status = MilpStatus::kUnbounded;
           result.stats.wall_sec = elapsed();
+          mirror_worker();
           return result;
         }
         bound_proof_intact = false;
@@ -319,59 +495,23 @@ MilpResult MilpSolver::solve() {
       const double node_obj = sense_sign * rel.objective;
 
       // Feed the pseudocost of the branching that created this node.
-      if (node.var >= 0 && node.frac > options_.int_tol &&
-          node.bound > -kInf) {
-        const double degradation =
-            std::max(0.0, node_obj - node.bound) /
-            (node.is_down ? node.frac : (1.0 - node.frac));
-        Pseudocost& pc = pseudo_of(node.var);
-        if (node.is_down) {
-          pc.down_sum += degradation;
-          pc.down_n += 1;
-        } else {
-          pc.up_sum += degradation;
-          pc.up_n += 1;
-        }
+      feed_pseudocost(pseudo, node, node_obj, options_.int_tol);
+
+      if (node_obj >= incumbent_obj - options_.abs_gap) {
+        ++stats.nodes_pruned;
+        break;  // pruned
       }
 
-      if (node_obj >= incumbent_obj - options_.abs_gap) break;  // pruned
-
-      // Pick the branching variable: pseudocost product score, falling
-      // back to most-fractional while no history exists.
-      int branch_var = -1;
-      double best_score = -1.0;
-      double branch_frac = 0.0;
-      for (int j = 0; j < n; ++j) {
-        if (model_.var(j).type == VarType::kContinuous) continue;
-        const double v = rel.x[static_cast<std::size_t>(j)];
-        const double frac = v - std::floor(v);
-        const double dist = std::min(frac, 1.0 - frac);
-        if (dist <= options_.int_tol) continue;
-        const Pseudocost& pc = pseudo_of(j);
-        const double down_rate = pc.down_n > 0 ? pc.down_sum / pc.down_n : 1.0;
-        const double up_rate = pc.up_n > 0 ? pc.up_sum / pc.up_n : 1.0;
-        const double down_est = down_rate * frac;
-        const double up_est = up_rate * (1.0 - frac);
-        // Product rule with the fractionality as a tiebreaker.
-        const double score =
-            std::max(down_est, 1e-8) * std::max(up_est, 1e-8) + 1e-3 * dist;
-        if (score > best_score) {
-          best_score = score;
-          branch_var = j;
-          branch_frac = frac;
-        }
-      }
+      const BranchPick pick =
+          pick_branch(model_, rel.x, n, pseudo, options_.int_tol);
+      const int branch_var = pick.var;
+      const double branch_frac = pick.frac;
 
       if (branch_var < 0) {
         // Integral relaxation: separate lazy rows, else new incumbent.
         if (lazy_) {
           std::vector<double> snapped = rel.x;
-          for (int j = 0; j < n; ++j) {
-            if (model_.var(j).type != VarType::kContinuous) {
-              snapped[static_cast<std::size_t>(j)] =
-                  std::round(snapped[static_cast<std::size_t>(j)]);
-            }
-          }
+          snap_integral(model_, snapped, n);
           std::vector<LazyRow> rows = lazy_(snapped);
           if (!rows.empty()) {
             ++stats.separation_rounds;
@@ -436,6 +576,7 @@ MilpResult MilpSolver::solve() {
   }
   record_gap(best_open_bound);  // closing sample (gap 0 when proved)
   result.stats.wall_sec = elapsed();
+  mirror_worker();
   if (incumbent_x.empty()) {
     if (open.empty() && plunge == nullptr && bound_proof_intact) {
       result.status = MilpStatus::kInfeasible;
@@ -455,6 +596,799 @@ MilpResult MilpSolver::solve() {
                         : final_status;
     result.best_bound = sense_sign * best_open_bound;
   }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Free-running parallel path (threads > 1): a worker pool over a shared
+// best-bound queue. Locking discipline (acquire order, never reversed):
+//
+//   cb_mu     — serializes lazy separation, incumbent acceptance, and both
+//               user callbacks; also the only context that mutates the model.
+//   model_mu  — shared for LP solves / bound materialization / branching
+//               (model reads), unique for lazy row/column insertion.
+//   mu        — queue, incumbent record, merged stats, termination state.
+//
+// Workers prune against an atomic mirror of the incumbent objective so the
+// hot path takes no lock. Each worker owns its simplex workspace, bound
+// scratch, pseudocost table, and plunge chain.
+// ---------------------------------------------------------------------------
+
+MilpResult run_parallel(Model& model_, const MilpOptions& options_,
+                        const LazyConstraintCallback& lazy_,
+                        const std::vector<double>& warm_start_,
+                        int nthreads) {
+  const auto t0 = Clock::now();
+  const auto deadline = solve_deadline(t0, options_.time_limit_sec);
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  const double sense_sign =
+      model_.objective_sense() == ObjSense::kMinimize ? 1.0 : -1.0;
+  const bool model_has_integers = model_.has_integer_vars();
+
+  MilpResult result;
+  MilpStats& stats = result.stats;
+  stats.threads_used = nthreads;
+
+  std::mutex mu;  // queue + incumbent record + merged stats + termination
+  std::condition_variable cv;
+  std::shared_mutex model_mu;
+  std::mutex cb_mu;
+
+  OpenQueue open;
+  int active = nthreads;  // workers currently holding a node
+  bool done = false;
+  bool abort_flag = false;
+  bool unbounded = false;
+  bool stop_flagged = false;
+  bool bound_proof_intact = true;
+  std::exception_ptr first_error;
+
+  double incumbent_obj = kInf;  // guarded by mu
+  std::vector<double> incumbent_x;
+  std::atomic<double> incumbent_mirror{kInf};
+  std::atomic<long> nodes_total{0};
+  // In-flight node bound per worker (kInf when idle), for the global bound.
+  std::vector<double> worker_bound(static_cast<std::size_t>(nthreads), kInf);
+  std::vector<WorkerStats> wstats(static_cast<std::size_t>(nthreads));
+  for (int w = 0; w < nthreads; ++w) wstats[static_cast<std::size_t>(w)].worker = w;
+
+  // Requires mu. Global bound = min over queued and in-flight nodes.
+  auto record_gap_locked = [&] {
+    if (incumbent_x.empty()) return;
+    if (stats.gap_timeline.size() >= 4096) return;
+    double bound = open.empty() ? kInf : open.top().node->bound;
+    for (const double b : worker_bound) bound = std::min(bound, b);
+    if (bound == -kInf || bound == kInf) return;
+    const double denom = std::max(1.0, std::abs(incumbent_obj));
+    GapSample s;
+    s.t_sec = elapsed();
+    s.gap = std::abs(incumbent_obj - bound) / denom;
+    s.best_bound = sense_sign * bound;
+    s.nodes = nodes_total.load(std::memory_order_relaxed);
+    stats.gap_timeline.push_back(s);
+    if (obs::enabled()) {
+      obs::Event e;
+      e.phase = obs::Phase::kCounter;
+      e.name = "milp.gap";
+      e.category = "milp";
+      e.ts_us = obs::now_us();
+      e.args.push_back({"value", s.gap});
+      obs::emit(std::move(e));
+      obs::Event n;
+      n.phase = obs::Phase::kCounter;
+      n.name = "milp.nodes";
+      n.category = "milp";
+      n.ts_us = e.ts_us;
+      n.args.push_back({"value", s.nodes});
+      obs::emit(std::move(n));
+    }
+  };
+
+  // Caller holds cb_mu (or no workers are running yet), so callbacks are
+  // serialized and the model's variable set is stable. Returns false when
+  // a better incumbent won the race.
+  auto accept_incumbent = [&](std::vector<double> x, double internal_obj) {
+    snap_integral(model_, x, model_.num_vars());
+    const double reported = sense_sign * internal_obj;
+    double t = 0.0;
+    long nodes_at = 0;
+    {
+      std::lock_guard<std::mutex> g(mu);
+      if (internal_obj >= incumbent_obj - options_.abs_gap) return false;
+      incumbent_obj = internal_obj;
+      incumbent_mirror.store(internal_obj, std::memory_order_relaxed);
+      incumbent_x = x;
+      t = elapsed();
+      nodes_at = nodes_total.load(std::memory_order_relaxed);
+      if (stats.first_incumbent_sec < 0) stats.first_incumbent_sec = t;
+      stats.incumbents.push_back({t, reported, nodes_at});
+    }
+    if (obs::enabled()) {
+      obs::instant("milp.incumbent", "milp",
+                   {{"objective", reported}, {"nodes", nodes_at},
+                    {"t_sec", t}});
+    }
+    if (options_.log) {
+      char buf[128];
+      std::snprintf(buf, sizeof buf, "incumbent obj=%.6g nodes=%ld t=%.2fs",
+                    reported, nodes_at, t);
+      obs::log_info("milp", buf);
+    }
+    if (options_.on_incumbent) options_.on_incumbent(x, reported);
+    return true;
+  };
+
+  if (!warm_start_.empty()) {
+    accept_incumbent(warm_start_,
+                     sense_sign * model_.objective_value(warm_start_));
+  }
+
+  PresolveResult presolved;
+  if (options_.presolve) {
+    presolved = presolve_bounds(model_);
+    if (presolved.infeasible && incumbent_x.empty()) {
+      result.status = MilpStatus::kInfeasible;
+      result.stats.wall_sec = elapsed();
+      stats.per_worker = wstats;
+      return result;
+    }
+  }
+
+  {
+    auto root = std::make_shared<Node>();
+    root->bound = -kInf;
+    open.push({root});
+  }
+
+  auto worker_fn = [&](int w) {
+    WorkerStats& ws = wstats[static_cast<std::size_t>(w)];
+    SimplexSolver lp(model_, options_.lp);
+    std::vector<double> lb, ub;
+    std::vector<Pseudocost> pseudo;
+    std::shared_ptr<const Node> plunge;
+    try {
+      for (;;) {
+        std::shared_ptr<const Node> picked;
+        if (plunge != nullptr) {
+          picked = std::move(plunge);
+          plunge = nullptr;
+        } else {
+          std::unique_lock<std::mutex> lock(mu);
+          worker_bound[static_cast<std::size_t>(w)] = kInf;
+          --active;
+          if (active == 0 && open.empty() && !done) {
+            done = true;
+            cv.notify_all();
+          }
+          cv.wait(lock,
+                  [&] { return done || abort_flag || !open.empty(); });
+          if (done || abort_flag) break;
+          picked = open.top().node;
+          open.pop();
+          ++active;
+          worker_bound[static_cast<std::size_t>(w)] = picked->bound;
+        }
+
+        // Limit / cancellation check on every node boundary. The node in
+        // hand goes back to the queue so the final bound stays sound.
+        const bool stop_raised =
+            options_.stop != nullptr &&
+            options_.stop->load(std::memory_order_relaxed);
+        if (stop_raised || Clock::now() > deadline ||
+            nodes_total.load(std::memory_order_relaxed) >=
+                options_.node_limit) {
+          std::lock_guard<std::mutex> g(mu);
+          open.push({std::move(picked)});
+          abort_flag = true;
+          bound_proof_intact = false;
+          if (stop_raised) stop_flagged = true;
+          cv.notify_all();
+          break;
+        }
+
+        if (const auto fault = guard::fault_point("milp.worker")) {
+          if (*fault == guard::FaultKind::kSpuriousInfeasible) continue;
+          if (*fault == guard::FaultKind::kStall) stall_sleep(deadline);
+        }
+        if (const auto fault = guard::fault_point("milp.node")) {
+          if (*fault == guard::FaultKind::kSpuriousInfeasible) continue;
+          if (*fault == guard::FaultKind::kStall) stall_sleep(deadline);
+        }
+
+        const Node& node = *picked;
+        if (node.bound >=
+            incumbent_mirror.load(std::memory_order_relaxed) -
+                options_.abs_gap) {
+          ++ws.nodes_pruned;
+          continue;
+        }
+
+        const long node_idx =
+            nodes_total.fetch_add(1, std::memory_order_relaxed) + 1;
+        ++ws.nodes_explored;
+        if ((node_idx & 0xFF) == 0) {
+          std::lock_guard<std::mutex> g(mu);
+          record_gap_locked();
+        }
+
+        // Re-solve loop: lazy rows/columns may be added while this node
+        // is integral, so sizes are refreshed per pass.
+        for (;;) {
+          LpResult rel;
+          int n_at_solve = 0;
+          int rows_at_solve = 0;
+          BranchPick pick;
+          std::vector<double> snapped;
+          bool root_unbounded = false;
+          {
+            std::shared_lock<std::shared_mutex> ml(model_mu);
+            rows_at_solve = model_.num_constraints();
+            intersect_node_bounds(model_, options_, presolved, node, lb, ub);
+            n_at_solve = model_.num_vars();
+            rel = lp.solve_with_bounds(lb, ub);
+            if (rel.status == LpStatus::kOptimal) {
+              pick = pick_branch(model_, rel.x, n_at_solve, pseudo,
+                                 options_.int_tol);
+              if (pick.var < 0) {
+                snapped = rel.x;
+                snap_integral(model_, snapped, n_at_solve);
+              }
+            } else if (rel.status == LpStatus::kUnbounded) {
+              root_unbounded = !model_has_integers || node.depth == 0;
+            }
+          }
+          ws.lp_iterations += rel.iterations;
+          if (rel.status == LpStatus::kInfeasible) break;
+          if (rel.status == LpStatus::kUnbounded) {
+            std::lock_guard<std::mutex> g(mu);
+            if (root_unbounded) {
+              unbounded = true;
+              abort_flag = true;
+              cv.notify_all();
+            } else {
+              bound_proof_intact = false;
+            }
+            break;
+          }
+          if (rel.status == LpStatus::kIterLimit) {
+            std::lock_guard<std::mutex> g(mu);
+            bound_proof_intact = false;
+            break;
+          }
+          const double node_obj = sense_sign * rel.objective;
+          feed_pseudocost(pseudo, node, node_obj, options_.int_tol);
+          if (node_obj >=
+              incumbent_mirror.load(std::memory_order_relaxed) -
+                  options_.abs_gap) {
+            ++ws.nodes_pruned;
+            break;
+          }
+
+          if (pick.var < 0) {
+            // Integral relaxation. All model mutation happens under cb_mu,
+            // so comparing the row count against the count at LP-solve
+            // time (under cb_mu) detects rows that landed after this
+            // relaxation was computed — the point must then be re-proved
+            // against the enlarged model instead of trusted.
+            bool resolve_again = false;
+            {
+              std::unique_lock<std::mutex> cbl(cb_mu);
+              if (lazy_) {
+                if (model_.num_constraints() != rows_at_solve) {
+                  resolve_again = true;
+                } else {
+                  std::vector<LazyRow> rows;
+                  {
+                    // The callback may add variables before returning rows
+                    // that reference them, so it runs under the writer
+                    // lock itself.
+                    std::unique_lock<std::shared_mutex> mlw(model_mu);
+                    rows = lazy_(snapped);
+                    for (LazyRow& r : rows) {
+                      model_.add_constraint(std::move(r.expr), r.sense,
+                                            r.rhs, std::move(r.name));
+                    }
+                  }
+                  if (!rows.empty()) {
+                    {
+                      std::lock_guard<std::mutex> g(mu);
+                      ++stats.separation_rounds;
+                      stats.lazy_rows_added +=
+                          static_cast<int>(rows.size());
+                    }
+                    if (obs::enabled()) {
+                      obs::instant(
+                          "milp.lazy_separation", "milp",
+                          {{"rows", static_cast<std::int64_t>(rows.size())},
+                           {"nodes",
+                            nodes_total.load(std::memory_order_relaxed)}});
+                    }
+                    resolve_again = true;
+                  }
+                }
+              }
+              if (!resolve_again) {
+                if (accept_incumbent(std::move(snapped), node_obj)) {
+                  ++ws.incumbents_found;
+                }
+              }
+            }
+            if (resolve_again) continue;
+            break;
+          }
+
+          // Branch; dive into the child closer to the relaxation value
+          // and queue the other.
+          const double v = rel.x[static_cast<std::size_t>(pick.var)];
+          const double dn = std::floor(v);
+          auto down = std::make_shared<Node>();
+          down->parent = picked;
+          down->var = pick.var;
+          down->lb = lb[static_cast<std::size_t>(pick.var)];
+          down->ub = dn;
+          down->bound = node_obj;
+          down->depth = node.depth + 1;
+          down->frac = pick.frac;
+          down->is_down = true;
+          auto up = std::make_shared<Node>();
+          up->parent = picked;
+          up->var = pick.var;
+          up->lb = dn + 1.0;
+          up->ub = ub[static_cast<std::size_t>(pick.var)];
+          up->bound = node_obj;
+          up->depth = node.depth + 1;
+          up->frac = pick.frac;
+          up->is_down = false;
+          std::shared_ptr<const Node> queued;
+          if (pick.frac < 0.5) {
+            plunge = std::move(down);
+            queued = std::move(up);
+          } else {
+            plunge = std::move(up);
+            queued = std::move(down);
+          }
+          {
+            std::lock_guard<std::mutex> g(mu);
+            open.push({std::move(queued)});
+            worker_bound[static_cast<std::size_t>(w)] = plunge->bound;
+          }
+          cv.notify_one();
+          break;
+        }
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> g(mu);
+      if (!first_error) first_error = std::current_exception();
+      abort_flag = true;
+      bound_proof_intact = false;
+      cv.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> g(mu);
+      worker_bound[static_cast<std::size_t>(w)] = kInf;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nthreads));
+  for (int w = 0; w < nthreads; ++w) threads.emplace_back(worker_fn, w);
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (const WorkerStats& ws : wstats) {
+    stats.lp_iterations += ws.lp_iterations;
+    stats.nodes_pruned += ws.nodes_pruned;
+  }
+  stats.nodes_explored = nodes_total.load(std::memory_order_relaxed);
+  stats.per_worker = wstats;
+  stats.cancelled = stop_flagged;
+
+  if (unbounded) {
+    result.status = MilpStatus::kUnbounded;
+    result.stats.wall_sec = elapsed();
+    return result;
+  }
+
+  double best_open_bound = incumbent_obj;
+  if (!open.empty()) {
+    best_open_bound = std::min(best_open_bound, open.top().node->bound);
+  }
+  record_gap_locked();  // closing sample (workers joined; mu uncontended)
+  result.stats.wall_sec = elapsed();
+  if (incumbent_x.empty()) {
+    result.status = (open.empty() && bound_proof_intact)
+                        ? MilpStatus::kInfeasible
+                        : MilpStatus::kLimit;
+    return result;
+  }
+  result.x = std::move(incumbent_x);
+  result.objective = sense_sign * incumbent_obj;
+  if (open.empty() && bound_proof_intact) {
+    result.status = MilpStatus::kOptimal;
+    result.best_bound = result.objective;
+  } else {
+    result.status = MilpStatus::kFeasible;
+    result.best_bound = sense_sign * best_open_bound;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic epoch path: nodes are popped in best-bound order in fixed-
+// size batches, relaxations solve in parallel against an epoch-start
+// snapshot of incumbent/pseudocosts/model, and every side effect commits
+// sequentially in pop order. The schedule of work — and therefore the
+// result — is independent of the worker count.
+// ---------------------------------------------------------------------------
+
+/// What one epoch task observed for its node; consumed by the commit phase.
+struct EpochOut {
+  LpStatus status = LpStatus::kIterLimit;
+  bool dropped = false;  // injected spurious-infeasible: skip entirely
+  bool root_unbounded = false;
+  double node_obj = 0.0;  // internal sense (kOptimal only)
+  long iterations = 0;
+  int branch_var = -1;
+  double branch_frac = 0.0;
+  double branch_lb = 0.0;  // materialized bounds of branch_var
+  double branch_ub = 0.0;
+  std::vector<double> x;  // relaxation point (kOptimal only)
+};
+
+MilpResult run_deterministic(Model& model_, const MilpOptions& options_,
+                             const LazyConstraintCallback& lazy_,
+                             const std::vector<double>& warm_start_,
+                             int nthreads) {
+  const auto t0 = Clock::now();
+  const auto deadline = solve_deadline(t0, options_.time_limit_sec);
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  const double sense_sign =
+      model_.objective_sense() == ObjSense::kMinimize ? 1.0 : -1.0;
+  const bool model_has_integers = model_.has_integer_vars();
+  const std::size_t batch_cap = static_cast<std::size_t>(
+      std::max(1, options_.deterministic_batch));
+
+  MilpResult result;
+  MilpStats& stats = result.stats;
+  stats.threads_used = nthreads;
+  std::vector<WorkerStats> wstats(static_cast<std::size_t>(nthreads));
+  for (int w = 0; w < nthreads; ++w) wstats[static_cast<std::size_t>(w)].worker = w;
+
+  double incumbent_obj = kInf;
+  std::vector<double> incumbent_x;
+  auto accept_incumbent = [&](std::vector<double> x, double internal_obj) {
+    snap_integral(model_, x, model_.num_vars());
+    incumbent_obj = internal_obj;
+    incumbent_x = std::move(x);
+    const double t = elapsed();
+    const double reported = sense_sign * incumbent_obj;
+    if (stats.first_incumbent_sec < 0) stats.first_incumbent_sec = t;
+    stats.incumbents.push_back({t, reported, stats.nodes_explored});
+    if (obs::enabled()) {
+      obs::instant("milp.incumbent", "milp",
+                   {{"objective", reported},
+                    {"nodes", stats.nodes_explored},
+                    {"t_sec", t}});
+    }
+    if (options_.log) {
+      char buf[128];
+      std::snprintf(buf, sizeof buf, "incumbent obj=%.6g nodes=%ld t=%.2fs",
+                    reported, stats.nodes_explored, t);
+      obs::log_info("milp", buf);
+    }
+    if (options_.on_incumbent) options_.on_incumbent(incumbent_x, reported);
+  };
+
+  auto record_gap = [&](double internal_bound) {
+    if (incumbent_x.empty() || internal_bound == -kInf) return;
+    if (stats.gap_timeline.size() >= 4096) return;
+    const double denom = std::max(1.0, std::abs(incumbent_obj));
+    GapSample s;
+    s.t_sec = elapsed();
+    s.gap = std::abs(incumbent_obj - internal_bound) / denom;
+    s.best_bound = sense_sign * internal_bound;
+    s.nodes = stats.nodes_explored;
+    stats.gap_timeline.push_back(s);
+  };
+
+  auto finalize_workers = [&] { stats.per_worker = wstats; };
+
+  if (!warm_start_.empty()) {
+    accept_incumbent(warm_start_,
+                     sense_sign * model_.objective_value(warm_start_));
+    if (nthreads > 0) wstats[0].incumbents_found += 1;
+  }
+
+  PresolveResult presolved;
+  if (options_.presolve) {
+    presolved = presolve_bounds(model_);
+    if (presolved.infeasible && incumbent_x.empty()) {
+      result.status = MilpStatus::kInfeasible;
+      result.stats.wall_sec = elapsed();
+      finalize_workers();
+      return result;
+    }
+  }
+
+  OpenQueue open;
+  {
+    auto root = std::make_shared<Node>();
+    root->bound = -kInf;
+    open.push({root});
+  }
+
+  std::vector<Pseudocost> pseudo;
+  bool bound_proof_intact = true;
+
+  TaskPool pool(nthreads);
+  std::vector<SimplexSolver> lps;
+  lps.reserve(static_cast<std::size_t>(nthreads));
+  for (int w = 0; w < nthreads; ++w) lps.emplace_back(model_, options_.lp);
+  std::vector<std::vector<double>> lbs(static_cast<std::size_t>(nthreads));
+  std::vector<std::vector<double>> ubs(static_cast<std::size_t>(nthreads));
+
+  std::vector<std::shared_ptr<const Node>> batch;
+  std::vector<EpochOut> results;
+  long last_gap_nodes = 0;
+
+  MilpStatus final_status = MilpStatus::kOptimal;
+  while (!open.empty()) {
+    const bool stop_raised =
+        options_.stop != nullptr &&
+        options_.stop->load(std::memory_order_relaxed);
+    if (stop_raised || Clock::now() > deadline ||
+        stats.nodes_explored >= options_.node_limit) {
+      bound_proof_intact = false;
+      stats.cancelled = stop_raised;
+      final_status = incumbent_x.empty() ? MilpStatus::kLimit
+                                         : MilpStatus::kFeasible;
+      break;
+    }
+
+    // Pop an epoch's worth of nodes in best-bound order. The batch size
+    // does not depend on the worker count, so the exploration schedule is
+    // reproducible for any `threads`.
+    batch.clear();
+    while (batch.size() < batch_cap && !open.empty()) {
+      std::shared_ptr<const Node> n = open.top().node;
+      open.pop();
+      if (n->bound >= incumbent_obj - options_.abs_gap) {
+        ++stats.nodes_pruned;
+        continue;
+      }
+      ++stats.nodes_explored;
+      batch.push_back(std::move(n));
+    }
+    if (batch.empty()) continue;
+
+    // Parallel phase: every task reads the epoch-start model/incumbent/
+    // pseudocost snapshot and writes only its own slot.
+    results.assign(batch.size(), EpochOut{});
+    pool.run(batch.size(), [&](std::size_t i, int slot) {
+      const Node& node = *batch[i];
+      EpochOut& out = results[i];
+      WorkerStats& ws = wstats[static_cast<std::size_t>(slot)];
+      if (const auto fault = guard::fault_point("milp.worker")) {
+        if (*fault == guard::FaultKind::kSpuriousInfeasible) {
+          out.dropped = true;
+          return;
+        }
+        if (*fault == guard::FaultKind::kStall) stall_sleep(deadline);
+      }
+      if (const auto fault = guard::fault_point("milp.node")) {
+        if (*fault == guard::FaultKind::kSpuriousInfeasible) {
+          out.dropped = true;
+          return;
+        }
+        if (*fault == guard::FaultKind::kStall) stall_sleep(deadline);
+      }
+      std::vector<double>& lb = lbs[static_cast<std::size_t>(slot)];
+      std::vector<double>& ub = ubs[static_cast<std::size_t>(slot)];
+      intersect_node_bounds(model_, options_, presolved, node, lb, ub);
+      const int n = model_.num_vars();
+      LpResult rel =
+          lps[static_cast<std::size_t>(slot)].solve_with_bounds(lb, ub);
+      out.status = rel.status;
+      out.iterations = rel.iterations;
+      ws.nodes_explored += 1;
+      ws.lp_iterations += rel.iterations;
+      if (rel.status == LpStatus::kUnbounded) {
+        out.root_unbounded = !model_has_integers || node.depth == 0;
+        return;
+      }
+      if (rel.status != LpStatus::kOptimal) return;
+      out.node_obj = sense_sign * rel.objective;
+      const BranchPick pick =
+          pick_branch(model_, rel.x, n, pseudo, options_.int_tol);
+      out.branch_var = pick.var;
+      out.branch_frac = pick.frac;
+      if (pick.var >= 0) {
+        out.branch_lb = lb[static_cast<std::size_t>(pick.var)];
+        out.branch_ub = ub[static_cast<std::size_t>(pick.var)];
+      }
+      out.x = std::move(rel.x);
+    });
+
+    // Sequential commit phase, in pop order. Lazy rows landing earlier in
+    // this epoch invalidate later integral candidates (their relaxations
+    // never saw the new rows): those nodes are re-queued, not accepted.
+    bool rows_added_this_epoch = false;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EpochOut& out = results[i];
+      const std::shared_ptr<const Node>& picked = batch[i];
+      const Node& node = *picked;
+      const int slot = static_cast<int>(i) % nthreads;
+      stats.lp_iterations += out.iterations;
+      if (out.dropped) continue;
+      if (out.status == LpStatus::kInfeasible) continue;
+      if (out.status == LpStatus::kUnbounded) {
+        if (out.root_unbounded) {
+          result.status = MilpStatus::kUnbounded;
+          result.stats.wall_sec = elapsed();
+          finalize_workers();
+          return result;
+        }
+        bound_proof_intact = false;
+        continue;
+      }
+      if (out.status == LpStatus::kIterLimit) {
+        bound_proof_intact = false;
+        continue;
+      }
+      feed_pseudocost(pseudo, node, out.node_obj, options_.int_tol);
+      if (out.node_obj >= incumbent_obj - options_.abs_gap) {
+        ++stats.nodes_pruned;
+        ++wstats[static_cast<std::size_t>(slot)].nodes_pruned;
+        continue;
+      }
+      if (out.branch_var < 0) {
+        // Integral candidate.
+        if (rows_added_this_epoch) {
+          open.push({picked});  // model changed under it: re-prove
+          continue;
+        }
+        if (lazy_) {
+          std::vector<double> snapped = out.x;
+          snap_integral(model_, snapped,
+                        static_cast<int>(snapped.size()));
+          std::vector<LazyRow> rows = lazy_(snapped);
+          if (!rows.empty()) {
+            ++stats.separation_rounds;
+            if (obs::enabled()) {
+              obs::instant("milp.lazy_separation", "milp",
+                           {{"rows", static_cast<std::int64_t>(rows.size())},
+                            {"nodes", stats.nodes_explored}});
+            }
+            for (LazyRow& r : rows) {
+              model_.add_constraint(std::move(r.expr), r.sense, r.rhs,
+                                    std::move(r.name));
+              ++stats.lazy_rows_added;
+            }
+            rows_added_this_epoch = true;
+            open.push({picked});  // re-solve against the enlarged model
+            continue;
+          }
+        }
+        accept_incumbent(std::move(out.x), out.node_obj);
+        ++wstats[static_cast<std::size_t>(slot)].incumbents_found;
+        continue;
+      }
+      // Branch: both children go to the queue (no plunging — a plunge
+      // chain's length depends on timing, which the epoch schedule must
+      // not).
+      const double v = out.x[static_cast<std::size_t>(out.branch_var)];
+      const double dn = std::floor(v);
+      auto down = std::make_shared<Node>();
+      down->parent = picked;
+      down->var = out.branch_var;
+      down->lb = out.branch_lb;
+      down->ub = dn;
+      down->bound = out.node_obj;
+      down->depth = node.depth + 1;
+      down->frac = out.branch_frac;
+      down->is_down = true;
+      auto up = std::make_shared<Node>();
+      up->parent = picked;
+      up->var = out.branch_var;
+      up->lb = dn + 1.0;
+      up->ub = out.branch_ub;
+      up->bound = out.node_obj;
+      up->depth = node.depth + 1;
+      up->frac = out.branch_frac;
+      up->is_down = false;
+      open.push({std::move(down)});
+      open.push({std::move(up)});
+    }
+
+    if (stats.nodes_explored - last_gap_nodes >= 256 && !open.empty()) {
+      last_gap_nodes = stats.nodes_explored;
+      record_gap(open.top().node->bound);
+    }
+  }
+
+  double best_open_bound = incumbent_obj;
+  if (!open.empty()) {
+    best_open_bound = std::min(best_open_bound, open.top().node->bound);
+  }
+  record_gap(best_open_bound);
+  result.stats.wall_sec = elapsed();
+  finalize_workers();
+  if (incumbent_x.empty()) {
+    result.status = (open.empty() && bound_proof_intact)
+                        ? MilpStatus::kInfeasible
+                        : MilpStatus::kLimit;
+    return result;
+  }
+  result.x = std::move(incumbent_x);
+  result.objective = sense_sign * incumbent_obj;
+  if (open.empty() && bound_proof_intact) {
+    result.status = MilpStatus::kOptimal;
+    result.best_bound = result.objective;
+  } else {
+    result.status = final_status == MilpStatus::kOptimal
+                        ? MilpStatus::kFeasible
+                        : final_status;
+    result.best_bound = sense_sign * best_open_bound;
+  }
+  return result;
+}
+
+}  // namespace
+
+double MilpResult::gap() const {
+  if (x.empty()) return kInf;
+  const double denom = std::max(1.0, std::abs(objective));
+  return std::abs(objective - best_bound) / denom;
+}
+
+MilpSolver::MilpSolver(Model& model, MilpOptions options)
+    : model_(model), options_(options) {}
+
+void MilpSolver::set_lazy_callback(LazyConstraintCallback cb) {
+  lazy_ = std::move(cb);
+}
+
+bool MilpSolver::set_warm_start(std::vector<double> x) {
+  if (!model_.is_feasible(x, options_.int_tol)) return false;
+  if (lazy_) {
+    const auto violated = lazy_(x);
+    if (!violated.empty()) return false;
+  }
+  warm_start_ = std::move(x);
+  return true;
+}
+
+MilpResult MilpSolver::solve() {
+  const int threads = resolve_threads(options_.threads);
+
+  obs::ScopedSpan span("milp.solve", "milp");
+  span.arg("vars", static_cast<std::int64_t>(model_.num_vars()));
+  span.arg("rows", static_cast<std::int64_t>(model_.num_constraints()));
+  span.arg("threads", static_cast<std::int64_t>(threads));
+  span.arg("deterministic", options_.deterministic);
+
+  MilpResult result;
+  if (options_.deterministic) {
+    result = run_deterministic(model_, options_, lazy_, warm_start_, threads);
+  } else if (threads <= 1) {
+    result = run_sequential(model_, options_, lazy_, warm_start_);
+  } else {
+    result = run_parallel(model_, options_, lazy_, warm_start_, threads);
+  }
+
+  span.arg("nodes", result.stats.nodes_explored);
+  span.arg("lp_iterations", result.stats.lp_iterations);
+  span.arg("lazy_rows",
+           static_cast<std::int64_t>(result.stats.lazy_rows_added));
+  span.arg("incumbents",
+           static_cast<std::int64_t>(result.stats.incumbents.size()));
   return result;
 }
 

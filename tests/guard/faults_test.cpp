@@ -48,13 +48,16 @@ TEST_F(FaultsTest, ChaosPresetArmsEverySite) {
   EXPECT_FALSE(plan.empty());
   // Every spec names a known site (parse round-trip would reject others);
   // at least the solver and io sites must be covered.
-  bool has_milp = false, has_io = false, has_engine = false;
+  bool has_milp = false, has_worker = false, has_io = false,
+       has_engine = false;
   for (const FaultSpec& s : plan.specs) {
     if (s.site == "milp.node") has_milp = true;
+    if (s.site == "milp.worker") has_worker = true;
     if (s.site == "io.parse") has_io = true;
     if (s.site.rfind("engine.", 0) == 0) has_engine = true;
   }
   EXPECT_TRUE(has_milp);
+  EXPECT_TRUE(has_worker);
   EXPECT_TRUE(has_io);
   EXPECT_TRUE(has_engine);
 }

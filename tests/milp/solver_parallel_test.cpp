@@ -1,0 +1,238 @@
+// Parallel branch & bound: determinism contracts, thread-count-invariant
+// optima, cooperative cancellation, and worker accounting.
+//
+// Naming note: the suites are pinned by CI — the TSan job runs
+// `ctest -R 'Milp.*Parallel|Engine|Portfolio'`, so every suite here must
+// keep "Milp" before "Parallel" in its name.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "letdma/milp/model.hpp"
+#include "letdma/milp/solver.hpp"
+#include "letdma/support/rng.hpp"
+
+namespace letdma::milp {
+namespace {
+
+/// Strongly-correlated knapsack (profit = weight + 5, cap = half the total
+/// weight): small models whose trees are deep enough that several workers
+/// actually overlap.
+Model hard_knapsack(int n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  Model model;
+  LinExpr weight, profit;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double w = static_cast<double>(rng.uniform_int(1, 40));
+    const Var x = model.add_binary("x" + std::to_string(i));
+    weight += w * x;
+    profit += (w + 5.0) * x;
+    total += w;
+  }
+  model.add_constraint(weight, Sense::kLe, std::floor(total / 2.0), "cap");
+  model.set_objective(profit, ObjSense::kMaximize);
+  return model;
+}
+
+/// Random set-packing-ish binary instance (same family the property tests
+/// brute-force): n binaries, k subset-capacity rows, maximize weights.
+Model random_binary(std::uint64_t seed, int n, int k) {
+  support::Rng rng(seed);
+  Model model;
+  std::vector<Var> vars;
+  LinExpr obj;
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(model.add_binary("x" + std::to_string(i)));
+    obj += static_cast<double>(rng.uniform_int(1, 9)) * vars.back();
+  }
+  for (int r = 0; r < k; ++r) {
+    LinExpr row;
+    int members = 0;
+    for (int i = 0; i < n; ++i) {
+      if (rng.chance(0.5)) {
+        row += static_cast<double>(rng.uniform_int(1, 4)) * vars[i];
+        ++members;
+      }
+    }
+    if (members == 0) continue;
+    model.add_constraint(row, Sense::kLe,
+                         static_cast<double>(rng.uniform_int(2, 8)),
+                         "r" + std::to_string(r));
+  }
+  model.set_objective(obj, ObjSense::kMaximize);
+  return model;
+}
+
+/// Exact (bit-level) equality for doubles: determinism means *identical*,
+/// not merely close.
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+MilpResult solve_fresh(std::uint64_t seed, int n, const MilpOptions& opt) {
+  Model model = hard_knapsack(n, seed);
+  MilpSolver solver(model, opt);
+  return solver.solve();
+}
+
+void expect_identical(const MilpResult& a, const MilpResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.status, b.status) << what;
+  EXPECT_TRUE(same_bits(a.objective, b.objective))
+      << what << ": objective " << a.objective << " vs " << b.objective;
+  EXPECT_TRUE(same_bits(a.best_bound, b.best_bound))
+      << what << ": bound " << a.best_bound << " vs " << b.best_bound;
+  ASSERT_EQ(a.x.size(), b.x.size()) << what;
+  for (std::size_t i = 0; i < a.x.size(); ++i) {
+    EXPECT_TRUE(same_bits(a.x[i], b.x[i])) << what << ": x[" << i << "]";
+  }
+  EXPECT_EQ(a.stats.nodes_explored, b.stats.nodes_explored) << what;
+  EXPECT_EQ(a.stats.lp_iterations, b.stats.lp_iterations) << what;
+  ASSERT_EQ(a.stats.incumbents.size(), b.stats.incumbents.size()) << what;
+  for (std::size_t i = 0; i < a.stats.incumbents.size(); ++i) {
+    EXPECT_TRUE(same_bits(a.stats.incumbents[i].objective,
+                          b.stats.incumbents[i].objective))
+        << what << ": incumbent " << i;
+    EXPECT_EQ(a.stats.incumbents[i].nodes, b.stats.incumbents[i].nodes)
+        << what << ": incumbent " << i;
+  }
+}
+
+// threads=1 must stay the classic sequential loop: repeated solves walk
+// the exact same tree and report bit-identical everything.
+TEST(MilpParallel, SequentialPathBitIdenticalAcrossRuns) {
+  MilpOptions opt;
+  opt.threads = 1;
+  const MilpResult first = solve_fresh(11, 24, opt);
+  ASSERT_EQ(first.status, MilpStatus::kOptimal);
+  EXPECT_EQ(first.stats.threads_used, 1);
+  ASSERT_EQ(first.stats.per_worker.size(), 1u);
+  EXPECT_EQ(first.stats.per_worker[0].nodes_explored,
+            first.stats.nodes_explored);
+  for (int run = 0; run < 2; ++run) {
+    expect_identical(first, solve_fresh(11, 24, opt),
+                     "run " + std::to_string(run));
+  }
+}
+
+// Deterministic mode: the whole point is that the thread count changes the
+// wall clock, never the search. Everything except timing must match.
+TEST(MilpParallel, DeterministicModeThreadCountInvariant) {
+  MilpOptions base;
+  base.deterministic = true;
+  base.threads = 1;
+  const MilpResult one = solve_fresh(23, 24, base);
+  ASSERT_EQ(one.status, MilpStatus::kOptimal);
+  for (const int threads : {2, 4}) {
+    MilpOptions opt = base;
+    opt.threads = threads;
+    const MilpResult r = solve_fresh(23, 24, opt);
+    EXPECT_EQ(r.stats.threads_used, threads);
+    expect_identical(one, r, std::to_string(threads) + " threads");
+  }
+}
+
+// Deterministic mode is also self-consistent run to run at a fixed thread
+// count (no hidden timing dependence in the epoch commit order).
+TEST(MilpParallel, DeterministicModeRepeatable) {
+  MilpOptions opt;
+  opt.deterministic = true;
+  opt.threads = 4;
+  expect_identical(solve_fresh(5, 22, opt), solve_fresh(5, 22, opt),
+                   "repeat");
+}
+
+// The racy (default) parallel mode may explore a different tree per run,
+// but the *answer* is the answer: same optimum as sequential on a sweep of
+// generated instances, and the reported point is feasible.
+TEST(MilpParallel, SameOptimumAnyThreadCount) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Model seq_model = random_binary(seed * 7919u + 13u, 12, 4);
+    MilpOptions seq_opt;
+    seq_opt.threads = 1;
+    const MilpResult seq = MilpSolver(seq_model, seq_opt).solve();
+    ASSERT_EQ(seq.status, MilpStatus::kOptimal) << "seed " << seed;
+
+    for (const int threads : {2, 4}) {
+      Model model = random_binary(seed * 7919u + 13u, 12, 4);
+      MilpOptions opt;
+      opt.threads = threads;
+      const MilpResult par = MilpSolver(model, opt).solve();
+      ASSERT_EQ(par.status, MilpStatus::kOptimal)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_NEAR(par.objective, seq.objective, 1e-6)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_TRUE(model.is_feasible(par.x)) << "seed " << seed;
+    }
+  }
+}
+
+// Cooperative cancellation mid-solve: raise the stop token from the
+// incumbent callback (so an incumbent provably exists) and require the
+// solve to come back promptly with that incumbent, workers joined, and the
+// cancellation recorded.
+TEST(MilpParallel, CancellationReturnsBestIncumbent) {
+  Model model = hard_knapsack(42, 40);
+  std::atomic<bool> stop{false};
+  MilpOptions opt;
+  opt.threads = 4;
+  opt.time_limit_sec = 300.0;  // the stop token, not the clock, ends this
+  opt.stop = &stop;
+  std::atomic<int> incumbents{0};
+  opt.on_incumbent = [&](const std::vector<double>&, double) {
+    ++incumbents;
+    stop.store(true);
+  };
+  MilpSolver solver(model, opt);
+  const MilpResult r = solver.solve();  // returning == all workers joined
+  EXPECT_GE(incumbents.load(), 1);
+  EXPECT_TRUE(r.stats.cancelled);
+  ASSERT_EQ(r.status, MilpStatus::kFeasible);
+  ASSERT_TRUE(r.has_solution());
+  EXPECT_TRUE(model.is_feasible(r.x));
+  EXPECT_NEAR(r.objective, model.objective_value(r.x), 1e-9);
+  EXPECT_LT(r.stats.wall_sec, 60.0);
+}
+
+// Worker accounting: one WorkerStats per spawned worker, and their node
+// counts add up to the merged total for a run-to-completion solve.
+TEST(MilpParallel, WorkerStatsSumToTotals) {
+  MilpOptions opt;
+  opt.threads = 4;
+  const MilpResult r = solve_fresh(9, 26, opt);
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_EQ(r.stats.threads_used, 4);
+  ASSERT_EQ(r.stats.per_worker.size(), 4u);
+  long nodes = 0, pruned = 0, lp_iters = 0;
+  int found = 0;
+  for (std::size_t w = 0; w < r.stats.per_worker.size(); ++w) {
+    EXPECT_EQ(r.stats.per_worker[w].worker, static_cast<int>(w));
+    nodes += r.stats.per_worker[w].nodes_explored;
+    pruned += r.stats.per_worker[w].nodes_pruned;
+    lp_iters += r.stats.per_worker[w].lp_iterations;
+    found += r.stats.per_worker[w].incumbents_found;
+  }
+  EXPECT_EQ(nodes, r.stats.nodes_explored);
+  EXPECT_EQ(pruned, r.stats.nodes_pruned);
+  EXPECT_EQ(lp_iters, r.stats.lp_iterations);
+  EXPECT_EQ(found, r.stats.incumbent_improvements());
+}
+
+// threads=0 resolves to hardware_concurrency and must report what it used.
+TEST(MilpParallel, DefaultThreadsResolved) {
+  MilpOptions opt;
+  opt.threads = 0;
+  const MilpResult r = solve_fresh(3, 18, opt);
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_GE(r.stats.threads_used, 1);
+  EXPECT_EQ(r.stats.per_worker.size(),
+            static_cast<std::size_t>(r.stats.threads_used));
+}
+
+}  // namespace
+}  // namespace letdma::milp
