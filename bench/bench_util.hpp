@@ -3,8 +3,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -14,7 +16,9 @@
 #include "letdma/let/latency.hpp"
 #include "letdma/let/milp_scheduler.hpp"
 #include "letdma/let/validate.hpp"
+#include "letdma/obs/histogram.hpp"
 #include "letdma/obs/json.hpp"
+#include "letdma/obs/obs.hpp"
 #include "letdma/support/table.hpp"
 #include "letdma/waters/waters.hpp"
 
@@ -187,6 +191,65 @@ inline void append_milp_metrics(const std::string& bench,
   timeline += "]";
   fields.push_back({"incumbent_timeline", timeline});
   append_metrics(bench, config, fields);
+}
+
+/// Appends one "histogram" metrics row per non-empty registry histogram —
+/// how the latency percentiles every solve records reach the metrics
+/// stream (and from there letdma_report) with a uniform schema.
+inline void append_histogram_metrics(const std::string& bench) {
+  obs::Registry& reg = obs::Registry::instance();
+  for (const std::string& name : reg.histogram_names()) {
+    const obs::HistogramSnapshot s = obs::snapshot_of(*reg.histogram_cell(name));
+    if (s.count == 0) continue;
+    append_metrics(bench, "histogram",
+                   {{"hist", name},
+                    {"count", s.count},
+                    {"mean", s.mean()},
+                    {"p50", s.p50},
+                    {"p90", s.p90},
+                    {"p99", s.p99},
+                    {"max", s.max}});
+  }
+}
+
+/// Minimal extraction of `"key": <number>` from a flat JSON object; enough
+/// for the committed baseline files and free of parser dependencies.
+/// (Previously copy-pasted into micro_localsearch and micro_milp.)
+inline bool json_number(const std::string& text, const std::string& key,
+                        double* out) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t p = text.find(':', at + needle.size());
+  if (p == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + p + 1, nullptr);
+  return true;
+}
+
+/// Gates `measured` (labelled `label`) against 0.8x the `key` field of the
+/// baseline JSON at `path` — the shared --check implementation of the
+/// micro benches. Returns the process exit code (0 ok, 1 regression or
+/// unreadable baseline).
+inline int check_baseline(const std::string& path, const std::string& key,
+                          const std::string& label, double measured) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open baseline %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  double baseline = 0.0;
+  if (!json_number(buf.str(), key, &baseline) || baseline <= 0.0) {
+    std::fprintf(stderr, "baseline %s has no positive \"%s\" field\n",
+                 path.c_str(), key.c_str());
+    return 1;
+  }
+  const double floor = 0.8 * baseline;
+  std::printf("check: %s %.1f vs baseline %.1f (floor %.1f): %s\n",
+              label.c_str(), measured, baseline, floor,
+              measured >= floor ? "ok" : "REGRESSION");
+  return measured >= floor ? 0 : 1;
 }
 
 }  // namespace letdma::bench

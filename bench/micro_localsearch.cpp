@@ -75,19 +75,6 @@ Sample measure(const let::LetComms& comms, const let::CompiledComms& compiled,
   return Sample{std::move(first), best_sec, rate};
 }
 
-/// Minimal extraction of `"key": <number>` from a flat JSON object; enough
-/// for the committed baseline file and free of parser dependencies.
-bool json_number(const std::string& text, const std::string& key,
-                 double* out) {
-  const std::string needle = "\"" + key + "\"";
-  const std::size_t at = text.find(needle);
-  if (at == std::string::npos) return false;
-  std::size_t p = text.find(':', at + needle.size());
-  if (p == std::string::npos) return false;
-  *out = std::strtod(text.c_str() + p + 1, nullptr);
-  return true;
-}
-
 const char* goal_name(let::LocalSearchGoal goal) {
   return goal == let::LocalSearchGoal::kMinTransfers ? "OBJ-DMAT" : "OBJ-DEL";
 }
@@ -166,27 +153,11 @@ int main(int argc, char** argv) {
          {"speedup", speedup}});
   }
 
+  bench::append_histogram_metrics("micro_localsearch");
+
   if (!baseline_path.empty()) {
-    std::ifstream in(baseline_path);
-    if (!in) {
-      std::fprintf(stderr, "cannot open baseline %s\n",
-                   baseline_path.c_str());
-      return 1;
-    }
-    std::stringstream buf;
-    buf << in.rdbuf();
-    double baseline = 0.0;
-    if (!json_number(buf.str(), "speedup", &baseline) || baseline <= 0.0) {
-      std::fprintf(stderr, "baseline %s has no positive \"speedup\" field\n",
-                   baseline_path.c_str());
-      return 1;
-    }
-    const double floor = 0.8 * baseline;
-    std::printf("check: OBJ-DEL speedup %.1fx vs baseline %.1fx "
-                "(floor %.1fx): %s\n",
-                del_speedup, baseline, floor,
-                del_speedup >= floor ? "ok" : "REGRESSION");
-    if (del_speedup < floor) return 1;
+    return bench::check_baseline(baseline_path, "speedup",
+                                 "OBJ-DEL speedup", del_speedup);
   }
   return 0;
 }

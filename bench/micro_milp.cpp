@@ -112,19 +112,6 @@ void BM_ModelBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelBuild)->Arg(50)->Arg(200);
 
-/// Minimal extraction of `"key": <number>` from a flat JSON object; same
-/// dependency-free reader micro_localsearch uses for its baseline.
-bool json_number(const std::string& text, const std::string& key,
-                 double* out) {
-  const std::string needle = "\"" + key + "\"";
-  const std::size_t at = text.find(needle);
-  if (at == std::string::npos) return false;
-  std::size_t p = text.find(':', at + needle.size());
-  if (p == std::string::npos) return false;
-  *out = std::strtod(text.c_str() + p + 1, nullptr);
-  return true;
-}
-
 /// Strongly-correlated knapsack (profit = weight + 5, capacity = half the
 /// total weight) — the classic hard family for branch & bound, so the gate
 /// measures real tree search rather than a handful of root LPs.
@@ -196,26 +183,10 @@ int run_check(const std::string& baseline_path) {
        {"best_sec", best_sec},
        {"nodes_per_sec", nodes_per_sec},
        {"threads", static_cast<std::int64_t>(g_bb_threads)}});
+  bench::append_histogram_metrics("micro_milp");
 
-  std::ifstream in(baseline_path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open baseline %s\n", baseline_path.c_str());
-    return 1;
-  }
-  std::stringstream buf;
-  buf << in.rdbuf();
-  double baseline = 0.0;
-  if (!json_number(buf.str(), "nodes_per_sec", &baseline) || baseline <= 0.0) {
-    std::fprintf(stderr,
-                 "baseline %s has no positive \"nodes_per_sec\" field\n",
-                 baseline_path.c_str());
-    return 1;
-  }
-  const double floor = 0.8 * baseline;
-  std::printf("check: %.0f nodes/sec vs baseline %.0f (floor %.0f): %s\n",
-              nodes_per_sec, baseline, floor,
-              nodes_per_sec >= floor ? "ok" : "REGRESSION");
-  return nodes_per_sec >= floor ? 0 : 1;
+  return bench::check_baseline(baseline_path, "nodes_per_sec", "nodes/sec",
+                               nodes_per_sec);
 }
 
 }  // namespace

@@ -25,6 +25,7 @@ int main() {
                 engine::status_name(out.status));
     return 1;
   }
+  bench::append_engine_metrics("multichannel_sweep", "greedy", out);
   const let::ScheduleResult& g = *out.schedule;
   std::printf(
       "Multi-channel sweep on WATERS (greedy best-latency order, "
@@ -44,8 +45,12 @@ int main() {
     table.add_row({std::to_string(channels),
                    support::format_time(r.makespan), ready("DASM"),
                    ready("PLAN"), ready("LOC")});
+    bench::append_metrics(
+        "multichannel_sweep", "channels=" + std::to_string(channels),
+        {{"makespan", static_cast<double>(r.makespan)}});
   }
   std::printf("%s", table.render().c_str());
+  bench::append_histogram_metrics("multichannel_sweep");
   std::printf(
       "\nnote: single-channel numbers equal the paper's sequential model "
       "by construction.\n");

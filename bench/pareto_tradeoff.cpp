@@ -32,10 +32,13 @@ int main() {
     opt.solver.time_limit_sec = timeout;
     opt.max_transfers = cap;
     const auto r = let::MilpScheduler(comms, opt).solve();
+    bench::append_milp_metrics("pareto_tradeoff",
+                               "cap=" + std::to_string(cap), r);
     table.add_row({std::to_string(cap), bench::status_name(r.status),
                    r.feasible() ? std::to_string(r.dma_transfers_at_s0) : "-",
                    r.feasible() ? support::fmt_double(r.objective, 4) : "-"});
   }
   std::printf("%s", table.render().c_str());
+  bench::append_histogram_metrics("pareto_tradeoff");
   return 0;
 }

@@ -66,6 +66,10 @@ int main() {
 
         const engine::ScheduleOutcome greedy = bench::run_engine(
             comms, "greedy", engine::Objective::kMinMaxLatencyRatio, 5.0);
+        bench::append_engine_metrics("scaling_sweep",
+                                     "labels=" + std::to_string(labels) +
+                                         ",seed=" + std::to_string(seed),
+                                     greedy);
         if (greedy.schedule) {
           s.greedy_valid = true;
           s.greedy_tr =
@@ -114,5 +118,6 @@ int main() {
          support::fmt_double(sum.cpu_ratio / d, 4)});
   }
   std::printf("%s", table.render().c_str());
+  bench::append_histogram_metrics("scaling_sweep");
   return 0;
 }

@@ -69,6 +69,10 @@ int main() {
         }
         const engine::ScheduleOutcome out = bench::run_engine(
             comms, "greedy", engine::Objective::kMinMaxLatencyRatio, 5.0);
+        bench::append_engine_metrics(
+            "schedulability_sweep",
+            "u=" + support::fmt_double(u, 1) + ",sample=" + std::to_string(s),
+            out);
         if (!out.schedule) return v;
         v.proposed = analysis::analyze_with_protocol(
                          comms, out.schedule->schedule,
@@ -100,5 +104,6 @@ int main() {
                    pct(proposed_ok), pct(giotto_ok)});
   }
   std::printf("%s", table.render().c_str());
+  bench::append_histogram_metrics("schedulability_sweep");
   return 0;
 }

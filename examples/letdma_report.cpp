@@ -1,0 +1,937 @@
+// letdma_report: render the machine-readable benchmark/observability
+// streams into one self-contained HTML page.
+//
+//   letdma_report [options] metrics.jsonl [more.jsonl ...]
+//
+// Inputs are JSONL files as produced by the bench harnesses
+// (LETDMA_METRICS / bench::append_metrics) and by obs::JsonlMetricsSink /
+// the flight recorder — one JSON object per line. A file whose whole
+// content is a single JSON document (e.g. google-benchmark --benchmark_out)
+// is skipped with a note instead of reported as malformed.
+//
+// Options:
+//   --out <file>          HTML destination (default letdma_report.html)
+//   --baselines <path>    a committed baseline JSON, or a directory whose
+//                         *.json files are baselines; repeatable. Each
+//                         baseline is matched by (bench, config) against
+//                         the measured rows and gated at 0.8x its value.
+//   --check               strict mode: exit non-zero on any malformed
+//                         JSONL line or any baseline below its floor
+//   --require-histograms  with --check, also fail when the inputs carry
+//                         no histogram rows (CI smoke uses this to prove
+//                         the solve-latency percentiles made it out)
+//   --title <string>      report heading
+//
+// The page is dependency-free: inline SVG plots (incumbent convergence,
+// sampler gauge timelines), histogram percentile tables, baseline deltas,
+// and a flight-recorder replay, with light/dark styling via CSS custom
+// properties and prefers-color-scheme.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- Minimal JSON value + recursive-descent parser -------------------------
+// The streams are flat machine-written objects; this parser is complete
+// enough for any standard JSON so hand-edited baselines also load.
+
+struct JsonValue;
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::shared_ptr<JsonArray> array;
+  std::shared_ptr<JsonObject> object;
+
+  const JsonValue* find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : *object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+  std::string str_or(const std::string& key, std::string fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->kind == Kind::kString ? v->text
+                                                    : std::move(fallback);
+  }
+  bool num_of(const std::string& key, double* out) const {
+    const JsonValue* v = find(key);
+    if (v == nullptr || v->kind != Kind::kNumber) return false;
+    *out = v->number;
+    return true;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue* out, std::string* error) {
+    pos_ = 0;
+    if (!value(out, error)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      *error = "trailing characters at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word, std::string* error) {
+    const std::size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) {
+      *error = "bad literal at offset " + std::to_string(pos_);
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool string(std::string* out, std::string* error) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      *error = "expected string at offset " + std::to_string(pos_);
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            *error = "truncated \\u escape";
+            return false;
+          }
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              *error = "bad \\u escape";
+              return false;
+            }
+          }
+          // UTF-8 encode the basic-plane code point (the streams only
+          // ever emit \u00XX control escapes; surrogates pass through
+          // as replacement-free three-byte forms).
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          *error = "bad escape character";
+          return false;
+      }
+    }
+    *error = "unterminated string";
+    return false;
+  }
+
+  bool value(JsonValue* out, std::string* error) {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      *error = "unexpected end of input";
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      out->object = std::make_shared<JsonObject>();
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!string(&key, error)) return false;
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != ':') {
+          *error = "expected ':' at offset " + std::to_string(pos_);
+          return false;
+        }
+        ++pos_;
+        JsonValue v;
+        if (!value(&v, error)) return false;
+        out->object->emplace_back(std::move(key), std::move(v));
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        *error = "expected ',' or '}' at offset " + std::to_string(pos_);
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      out->array = std::make_shared<JsonArray>();
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        JsonValue v;
+        if (!value(&v, error)) return false;
+        out->array->push_back(std::move(v));
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        *error = "expected ',' or ']' at offset " + std::to_string(pos_);
+        return false;
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return string(&out->text, error);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return literal("true", error);
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return literal("false", error);
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return literal("null", error);
+    }
+    // Number: delegate to strtod, then verify it consumed a JSON-shaped
+    // token (strtod accepts hex/inf which JSON does not; the streams never
+    // emit those, so a simple charset check is enough).
+    char* end = nullptr;
+    const double num = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) {
+      *error = "unexpected character at offset " + std::to_string(pos_);
+      return false;
+    }
+    for (const char* p = text_.c_str() + pos_; p < end; ++p) {
+      if ((*p >= '0' && *p <= '9') || *p == '-' || *p == '+' || *p == '.' ||
+          *p == 'e' || *p == 'E') {
+        continue;
+      }
+      *error = "bad number at offset " + std::to_string(pos_);
+      return false;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = num;
+    pos_ = static_cast<std::size_t>(end - text_.c_str());
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --- Loaded data -----------------------------------------------------------
+
+struct Row {
+  std::string file;
+  int line = 0;
+  JsonValue value;
+};
+
+struct Baseline {
+  std::string path;
+  std::string bench, config, note;
+  std::string key;  // the gate field: the numeric key besides bench/config
+  double value = 0.0;
+};
+
+struct Report {
+  std::vector<Row> bench_rows;    // {"bench":...,"config":...}
+  std::vector<Row> event_rows;    // {"type":...} from obs sinks
+  std::vector<Row> flight_rows;   // {"type":"flight",...}
+  std::vector<Baseline> baselines;
+  std::vector<std::string> files;
+  std::vector<std::string> skipped;  // whole-file JSON documents
+  std::vector<std::string> errors;
+  int total_lines = 0;
+};
+
+void load_jsonl(const std::string& path, Report* report) {
+  std::ifstream in(path);
+  if (!in) {
+    report->errors.push_back("cannot open " + path);
+    return;
+  }
+  report->files.push_back(path);
+  std::string line;
+  int lineno = 0;
+  std::vector<Row> pending;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Row row;
+    row.file = path;
+    row.line = lineno;
+    std::string error;
+    if (!JsonParser(line).parse(&row.value, &error)) {
+      // Not line-delimited: a pretty-printed single document (e.g.
+      // google-benchmark output) is noted and skipped, anything else is a
+      // genuine malformed line.
+      std::stringstream whole;
+      whole << line << "\n" << in.rdbuf();
+      JsonValue doc;
+      std::string doc_error;
+      if (lineno == 1 && JsonParser(whole.str()).parse(&doc, &doc_error)) {
+        report->skipped.push_back(path + " (single JSON document)");
+        return;
+      }
+      report->errors.push_back(path + ":" + std::to_string(lineno) + ": " +
+                               error);
+      continue;
+    }
+    pending.push_back(std::move(row));
+  }
+  for (Row& row : pending) {
+    ++report->total_lines;
+    if (row.value.has("bench")) {
+      report->bench_rows.push_back(std::move(row));
+    } else if (row.value.str_or("type", "") == "flight") {
+      report->flight_rows.push_back(std::move(row));
+    } else if (row.value.has("type")) {
+      report->event_rows.push_back(std::move(row));
+    } else {
+      report->errors.push_back(row.file + ":" + std::to_string(row.line) +
+                               ": row has neither \"bench\" nor \"type\"");
+    }
+  }
+}
+
+void load_baseline_file(const std::string& path, Report* report) {
+  std::ifstream in(path);
+  if (!in) {
+    report->errors.push_back("cannot open baseline " + path);
+    return;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  JsonValue doc;
+  std::string error;
+  if (!JsonParser(buf.str()).parse(&doc, &error) ||
+      doc.kind != JsonValue::Kind::kObject) {
+    report->errors.push_back("baseline " + path + ": " + error);
+    return;
+  }
+  Baseline b;
+  b.path = path;
+  b.bench = doc.str_or("bench", "");
+  b.config = doc.str_or("config", "");
+  b.note = doc.str_or("note", "");
+  for (const auto& [key, v] : *doc.object) {
+    if (v.kind == JsonValue::Kind::kNumber && key != "bench" &&
+        key != "config" && key != "note") {
+      b.key = key;
+      b.value = v.number;
+      break;
+    }
+  }
+  if (b.bench.empty() || b.key.empty()) {
+    report->errors.push_back("baseline " + path +
+                             ": needs \"bench\" and one numeric gate field");
+    return;
+  }
+  report->baselines.push_back(std::move(b));
+}
+
+void load_baselines(const std::string& path, Report* report) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    std::vector<std::string> files;
+    for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+      if (entry.path().extension() == ".json") {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string& f : files) load_baseline_file(f, report);
+  } else {
+    load_baseline_file(path, report);
+  }
+}
+
+// --- HTML / SVG rendering --------------------------------------------------
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string fmt_num(double v) {
+  char buf[64];
+  if (v != 0.0 && (std::fabs(v) >= 1e7 || std::fabs(v) < 1e-3)) {
+    std::snprintf(buf, sizeof buf, "%.3g", v);
+  } else if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  }
+  return buf;
+}
+
+std::string fmt_coord(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+std::string render_value(const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return v.boolean ? "true" : "false";
+    case JsonValue::Kind::kNumber: return fmt_num(v.number);
+    case JsonValue::Kind::kString: return v.text;
+    case JsonValue::Kind::kArray: return "[...]";
+    case JsonValue::Kind::kObject: return "{...}";
+  }
+  return "?";
+}
+
+/// One single-series inline-SVG line plot: x/y axes, four y gridlines,
+/// a 2px step or linear path, hoverable point markers with native
+/// tooltips, and a direct label on the final value. Identity lives in the
+/// caption, so no legend is needed.
+std::string svg_plot(const std::vector<std::pair<double, double>>& pts,
+                     const std::string& x_label, const std::string& y_label,
+                     bool step) {
+  if (pts.empty()) return "";
+  constexpr double kW = 640, kH = 220;
+  constexpr double kL = 64, kR = 24, kT = 14, kB = 34;
+  double x0 = pts.front().first, x1 = pts.front().first;
+  double y0 = pts.front().second, y1 = pts.front().second;
+  for (const auto& [x, y] : pts) {
+    x0 = std::min(x0, x); x1 = std::max(x1, x);
+    y0 = std::min(y0, y); y1 = std::max(y1, y);
+  }
+  if (x1 - x0 < 1e-12) { x0 -= 0.5; x1 += 0.5; }
+  if (y1 - y0 < 1e-12) { y0 -= (std::fabs(y0) + 1.0) * 0.05;
+                         y1 += (std::fabs(y1) + 1.0) * 0.05; }
+  const auto px = [&](double x) {
+    return kL + (x - x0) / (x1 - x0) * (kW - kL - kR);
+  };
+  const auto py = [&](double y) {
+    return kH - kB - (y - y0) / (y1 - y0) * (kH - kT - kB);
+  };
+  std::string svg =
+      "<svg viewBox=\"0 0 640 220\" role=\"img\" class=\"plot\">\n";
+  // Gridlines + y tick labels.
+  for (int i = 0; i <= 3; ++i) {
+    const double y = y0 + (y1 - y0) * i / 3.0;
+    const std::string yy = fmt_coord(py(y));
+    svg += "<line class=\"grid\" x1=\"" + fmt_coord(kL) + "\" y1=\"" + yy +
+           "\" x2=\"" + fmt_coord(kW - kR) + "\" y2=\"" + yy + "\"/>\n";
+    svg += "<text class=\"tick\" x=\"" + fmt_coord(kL - 6) + "\" y=\"" + yy +
+           "\" text-anchor=\"end\" dominant-baseline=\"middle\">" +
+           html_escape(fmt_num(y)) + "</text>\n";
+  }
+  // X tick labels at the range ends.
+  svg += "<text class=\"tick\" x=\"" + fmt_coord(kL) + "\" y=\"" +
+         fmt_coord(kH - kB + 16) + "\">" + html_escape(fmt_num(x0)) +
+         "</text>\n";
+  svg += "<text class=\"tick\" x=\"" + fmt_coord(kW - kR) + "\" y=\"" +
+         fmt_coord(kH - kB + 16) + "\" text-anchor=\"end\">" +
+         html_escape(fmt_num(x1)) + "</text>\n";
+  svg += "<text class=\"tick\" x=\"" + fmt_coord((kL + kW - kR) / 2) +
+         "\" y=\"" + fmt_coord(kH - 6) + "\" text-anchor=\"middle\">" +
+         html_escape(x_label) + "</text>\n";
+  svg += "<text class=\"tick\" transform=\"translate(14 " +
+         fmt_coord((kT + kH - kB) / 2) + ") rotate(-90)\" "
+         "text-anchor=\"middle\">" + html_escape(y_label) + "</text>\n";
+  // The series path.
+  std::string d = "M" + fmt_coord(px(pts[0].first)) + " " +
+                  fmt_coord(py(pts[0].second));
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (step) d += " H" + fmt_coord(px(pts[i].first));
+    else d += " L" + fmt_coord(px(pts[i].first)) + " " +
+              fmt_coord(py(pts[i].second));
+    if (step) d += " V" + fmt_coord(py(pts[i].second));
+  }
+  svg += "<path class=\"series\" d=\"" + d + "\"/>\n";
+  // Hover markers: native <title> tooltips, targets larger than the dot.
+  for (const auto& [x, y] : pts) {
+    svg += "<circle class=\"pt\" cx=\"" + fmt_coord(px(x)) + "\" cy=\"" +
+           fmt_coord(py(y)) + "\" r=\"8\"><title>" +
+           html_escape(x_label + " " + fmt_num(x) + ", " + y_label + " " +
+                       fmt_num(y)) + "</title></circle>\n";
+  }
+  // Direct label on the last value.
+  svg += "<text class=\"label\" x=\"" +
+         fmt_coord(std::min(px(pts.back().first) + 6, kW - kR)) + "\" y=\"" +
+         fmt_coord(py(pts.back().second) - 8) + "\">" +
+         html_escape(fmt_num(pts.back().second)) + "</text>\n";
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string data_table(const std::vector<std::pair<double, double>>& pts,
+                       const std::string& x_label,
+                       const std::string& y_label) {
+  std::string out = "<details><summary>data</summary><table><tr><th>" +
+                    html_escape(x_label) + "</th><th>" +
+                    html_escape(y_label) + "</th></tr>";
+  for (const auto& [x, y] : pts) {
+    out += "<tr><td>" + html_escape(fmt_num(x)) + "</td><td>" +
+           html_escape(fmt_num(y)) + "</td></tr>";
+  }
+  out += "</table></details>\n";
+  return out;
+}
+
+const char* kStyle = R"css(
+:root {
+  --surface: #fcfcfb; --panel: #f4f3f0; --grid: #e0dfdb;
+  --ink: #0b0b0b; --ink2: #52514e;
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a;
+  /* verdict text needs text-grade contrast on the light surface, so the
+     light step is darker than the series aqua */
+  --bad: #c23b22; --good: #177f55;
+}
+@media (prefers-color-scheme: dark) {
+  :root:not([data-theme="light"]) {
+    --surface: #1a1a19; --panel: #232321; --grid: #3a3936;
+    --ink: #ffffff; --ink2: #c3c2b7;
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70;
+    --bad: #e06650; --good: #199e70;
+  }
+}
+body { background: var(--surface); color: var(--ink);
+  font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto;
+  max-width: 960px; padding: 0 1rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+h3 { font-size: 0.95rem; color: var(--ink2); font-weight: 600; }
+table { border-collapse: collapse; margin: 0.5rem 0; }
+th, td { border: 1px solid var(--grid); padding: 0.25rem 0.6rem;
+  text-align: right; }
+th { background: var(--panel); color: var(--ink2); font-weight: 600; }
+td:first-child, th:first-child { text-align: left; }
+.plot { background: var(--panel); border: 1px solid var(--grid);
+  border-radius: 6px; max-width: 100%; height: auto; }
+.plot .grid { stroke: var(--grid); stroke-width: 1; }
+.plot .series { stroke: var(--s1); stroke-width: 2; fill: none;
+  stroke-linejoin: round; }
+.plot .pt { fill: var(--s1); opacity: 0; }
+.plot .pt:hover { opacity: 1; }
+.plot .tick, .plot .label { fill: var(--ink2); font-size: 11px; }
+.plot .label { fill: var(--ink); font-weight: 600; }
+.hero { display: flex; gap: 1rem; flex-wrap: wrap; margin: 1rem 0; }
+.stat { background: var(--panel); border: 1px solid var(--grid);
+  border-radius: 6px; padding: 0.6rem 1rem; }
+.stat b { display: block; font-size: 1.3rem; }
+.stat span { color: var(--ink2); font-size: 0.85rem; }
+.ok { color: var(--good); font-weight: 600; }
+.fail { color: var(--bad); font-weight: 600; }
+.muted { color: var(--ink2); }
+details summary { cursor: pointer; color: var(--ink2);
+  font-size: 0.85rem; }
+.level-warn td:first-child::before { content: "\26A0 "; }
+.level-error td:first-child::before { content: "\2716 "; }
+code { background: var(--panel); padding: 0 0.25rem; border-radius: 3px; }
+)css";
+
+struct BaselineVerdict {
+  Baseline baseline;
+  bool measured_found = false;
+  double measured = 0.0;
+  bool ok = true;
+};
+
+std::vector<BaselineVerdict> judge_baselines(const Report& report) {
+  std::vector<BaselineVerdict> out;
+  for (const Baseline& b : report.baselines) {
+    BaselineVerdict v;
+    v.baseline = b;
+    // Latest matching measured row wins (the nightly appends re-runs).
+    for (const Row& row : report.bench_rows) {
+      if (row.value.str_or("bench", "") != b.bench) continue;
+      if (!b.config.empty() && row.value.str_or("config", "") != b.config) {
+        continue;
+      }
+      double measured = 0.0;
+      if (!row.value.num_of(b.key, &measured)) continue;
+      v.measured_found = true;
+      v.measured = measured;
+    }
+    v.ok = !v.measured_found || v.measured >= 0.8 * b.value;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::string render_html(const Report& report, const std::string& title) {
+  std::string html = "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+                     "<meta charset=\"utf-8\">\n"
+                     "<meta name=\"viewport\" "
+                     "content=\"width=device-width, initial-scale=1\">\n"
+                     "<title>" + html_escape(title) + "</title>\n<style>" +
+                     kStyle + "</style>\n</head>\n<body>\n";
+  html += "<h1>" + html_escape(title) + "</h1>\n";
+
+  // Overview stat tiles.
+  const auto stat = [&](const std::string& n, const std::string& label) {
+    html += "<div class=\"stat\"><b>" + n + "</b><span>" +
+            html_escape(label) + "</span></div>\n";
+  };
+  html += "<div class=\"hero\">\n";
+  stat(std::to_string(report.files.size()), "input files");
+  stat(std::to_string(report.bench_rows.size()), "bench rows");
+  stat(std::to_string(report.event_rows.size()), "event rows");
+  stat(std::to_string(report.flight_rows.size()), "flight events");
+  html += "</div>\n";
+  html += "<p class=\"muted\">sources:";
+  for (const std::string& f : report.files) {
+    html += " <code>" + html_escape(f) + "</code>";
+  }
+  for (const std::string& s : report.skipped) {
+    html += " <code>" + html_escape(s) + " [skipped]</code>";
+  }
+  html += "</p>\n";
+
+  if (!report.errors.empty()) {
+    html += "<h2>Malformed input</h2>\n<ul>\n";
+    for (const std::string& e : report.errors) {
+      html += "<li class=\"fail\">" + html_escape(e) + "</li>\n";
+    }
+    html += "</ul>\n";
+  }
+
+  // Baseline comparison.
+  if (!report.baselines.empty()) {
+    html += "<h2>Baseline comparison</h2>\n"
+            "<table><tr><th>bench / config</th><th>gate</th>"
+            "<th>baseline</th><th>measured</th><th>delta</th>"
+            "<th>verdict</th></tr>\n";
+    for (const BaselineVerdict& v : judge_baselines(report)) {
+      const Baseline& b = v.baseline;
+      html += "<tr><td>" + html_escape(b.bench + " / " + b.config) +
+              "</td><td>" + html_escape(b.key) + "</td><td>" +
+              fmt_num(b.value) + "</td>";
+      if (v.measured_found) {
+        const double delta = (v.measured / b.value - 1.0) * 100.0;
+        char dbuf[32];
+        std::snprintf(dbuf, sizeof dbuf, "%+.1f%%", delta);
+        html += "<td>" + fmt_num(v.measured) + "</td><td>" + dbuf +
+                "</td><td class=\"" + (v.ok ? "ok\">ok" : "fail\">REGRESSION") +
+                "</td></tr>\n";
+      } else {
+        html += "<td class=\"muted\" colspan=\"2\">not measured in these "
+                "inputs</td><td class=\"muted\">-</td></tr>\n";
+      }
+    }
+    html += "</table>\n";
+  }
+
+  // Convergence plots from incumbent timelines.
+  std::string conv;
+  for (const Row& row : report.bench_rows) {
+    const JsonValue* tl = row.value.find("incumbent_timeline");
+    if (tl == nullptr || tl->kind != JsonValue::Kind::kString) continue;
+    JsonValue arr;
+    std::string error;
+    if (!JsonParser(tl->text).parse(&arr, &error) ||
+        arr.kind != JsonValue::Kind::kArray) {
+      continue;
+    }
+    std::vector<std::pair<double, double>> pts;
+    for (const JsonValue& p : *arr.array) {
+      if (p.kind != JsonValue::Kind::kArray || p.array->size() != 2) continue;
+      pts.emplace_back((*p.array)[0].number, (*p.array)[1].number);
+    }
+    if (pts.empty()) continue;
+    const std::string name = row.value.str_or("bench", "?") + " / " +
+                             row.value.str_or("config", "?");
+    double gap = 0.0;
+    const bool has_gap = row.value.num_of("final_gap", &gap);
+    conv += "<h3>" + html_escape(name) +
+            (has_gap ? " <span class=\"muted\">(final gap " +
+                           html_escape(fmt_num(gap)) + ")</span>"
+                     : "") +
+            "</h3>\n";
+    conv += svg_plot(pts, "t_sec", "objective", /*step=*/true);
+    conv += data_table(pts, "t_sec", "objective");
+  }
+  if (!conv.empty()) {
+    html += "<h2>Incumbent convergence</h2>\n" + conv;
+  }
+
+  // Histogram percentile tables, one per bench.
+  std::map<std::string, std::string> hist_tables;
+  for (const Row& row : report.bench_rows) {
+    if (row.value.str_or("config", "") != "histogram") continue;
+    const std::string bench = row.value.str_or("bench", "?");
+    std::string& table = hist_tables[bench];
+    if (table.empty()) {
+      table = "<h3>" + html_escape(bench) +
+              "</h3>\n<table><tr><th>histogram</th><th>count</th>"
+              "<th>mean</th><th>p50</th><th>p90</th><th>p99</th>"
+              "<th>max</th></tr>\n";
+    }
+    table += "<tr><td>" + html_escape(row.value.str_or("hist", "?")) + "</td>";
+    for (const char* key : {"count", "mean", "p50", "p90", "p99", "max"}) {
+      double v = 0.0;
+      table += row.value.num_of(key, &v)
+                   ? "<td>" + fmt_num(v) + "</td>"
+                   : "<td class=\"muted\">-</td>";
+    }
+    table += "</tr>\n";
+  }
+  if (!hist_tables.empty()) {
+    html += "<h2>Latency histograms</h2>\n"
+            "<p class=\"muted\">units are in the histogram name: "
+            "<code>_ms</code> milliseconds, <code>_us</code> "
+            "microseconds.</p>\n";
+    for (auto& [bench, table] : hist_tables) {
+      html += table + "</table>\n";
+    }
+  }
+
+  // Sampler gauge timelines (counter events with a "value" arg).
+  std::map<std::string, std::vector<std::pair<double, double>>> gauges;
+  for (const Row& row : report.event_rows) {
+    if (row.value.str_or("type", "") != "counter") continue;
+    const JsonValue* args = row.value.find("args");
+    if (args == nullptr || args->kind != JsonValue::Kind::kObject) continue;
+    double ts = 0.0, value = 0.0;
+    if (!row.value.num_of("ts_us", &ts) || !args->num_of("value", &value)) {
+      continue;
+    }
+    gauges[row.value.str_or("name", "?")].emplace_back(ts, value);
+  }
+  std::string gauge_html;
+  for (auto& [name, pts] : gauges) {
+    if (pts.size() < 2) continue;
+    std::sort(pts.begin(), pts.end());
+    const double t0 = pts.front().first;
+    std::vector<std::pair<double, double>> rel;
+    rel.reserve(pts.size());
+    for (const auto& [ts, v] : pts) rel.emplace_back((ts - t0) * 1e-6, v);
+    gauge_html += "<h3>" + html_escape(name) + "</h3>\n";
+    gauge_html += svg_plot(rel, "t_sec", name, /*step=*/false);
+    gauge_html += data_table(rel, "t_sec", "value");
+  }
+  if (!gauge_html.empty()) {
+    html += "<h2>Solver gauge timelines</h2>\n" + gauge_html;
+  }
+
+  // Flight-recorder replay, ordered by sequence number.
+  if (!report.flight_rows.empty()) {
+    std::vector<const Row*> flights;
+    for (const Row& row : report.flight_rows) flights.push_back(&row);
+    std::sort(flights.begin(), flights.end(),
+              [](const Row* a, const Row* b) {
+                double sa = 0.0, sb = 0.0;
+                a->value.num_of("seq", &sa);
+                b->value.num_of("seq", &sb);
+                return sa < sb;
+              });
+    html += "<h2>Flight recorder</h2>\n"
+            "<table><tr><th>seq</th><th>t (s)</th><th>level</th>"
+            "<th>event</th><th>category</th><th>detail</th></tr>\n";
+    for (const Row* row : flights) {
+      double seq = 0.0, ts = 0.0;
+      row->value.num_of("seq", &seq);
+      row->value.num_of("ts_us", &ts);
+      // The sinks emit single-letter level tags (D/I/W/E).
+      std::string level = row->value.str_or("level", "info");
+      if (level == "D") level = "debug";
+      else if (level == "I") level = "info";
+      else if (level == "W") level = "warn";
+      else if (level == "E") level = "error";
+      std::string detail;
+      const JsonValue* args = row->value.find("args");
+      if (args != nullptr && args->kind == JsonValue::Kind::kObject) {
+        for (const auto& [k, v] : *args->object) {
+          if (!detail.empty()) detail += ", ";
+          detail += k + "=" + render_value(v);
+        }
+      }
+      const char* row_class = level == "warn" ? " class=\"level-warn\""
+                              : level == "error" ? " class=\"level-error\""
+                                                 : "";
+      html += std::string("<tr") + row_class + "><td>" + fmt_num(seq) +
+              "</td><td>" + fmt_num(ts * 1e-6) + "</td><td>" +
+              html_escape(level) + "</td><td>" +
+              html_escape(row->value.str_or("name", "?")) + "</td><td>" +
+              html_escape(row->value.str_or("cat", "")) + "</td><td>" +
+              html_escape(detail) + "</td></tr>\n";
+    }
+    html += "</table>\n";
+  }
+
+  html += "</body>\n</html>\n";
+  return html;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: letdma_report [--out report.html] [--baselines path]...\n"
+      "                     [--check] [--require-histograms]\n"
+      "                     [--title string] metrics.jsonl...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "letdma_report.html";
+  std::string title = "letdma bench report";
+  std::vector<std::string> baseline_paths, inputs;
+  bool check = false, require_histograms = false;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto value = [&](std::string* dst) {
+      if (a + 1 >= argc) return false;
+      *dst = argv[++a];
+      return true;
+    };
+    if (arg == "--out") {
+      if (!value(&out_path)) return usage();
+    } else if (arg == "--baselines") {
+      std::string p;
+      if (!value(&p)) return usage();
+      baseline_paths.push_back(p);
+    } else if (arg == "--title") {
+      if (!value(&title)) return usage();
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--require-histograms") {
+      require_histograms = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty() && baseline_paths.empty()) return usage();
+
+  Report report;
+  for (const std::string& path : inputs) load_jsonl(path, &report);
+  for (const std::string& path : baseline_paths) {
+    load_baselines(path, &report);
+  }
+
+  int hist_rows = 0;
+  for (const Row& row : report.bench_rows) {
+    if (row.value.str_or("config", "") == "histogram") ++hist_rows;
+  }
+
+  const std::string html = render_html(report, title);
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << html;
+  std::printf("report: %zu bench rows, %zu event rows, %zu flight events, "
+              "%d histogram rows, %zu baselines -> %s\n",
+              report.bench_rows.size(), report.event_rows.size(),
+              report.flight_rows.size(), hist_rows,
+              report.baselines.size(), out_path.c_str());
+
+  int rc = 0;
+  for (const std::string& e : report.errors) {
+    std::fprintf(stderr, "error: %s\n", e.c_str());
+    if (check) rc = 1;
+  }
+  if (check) {
+    for (const BaselineVerdict& v : judge_baselines(report)) {
+      if (!v.measured_found) {
+        std::fprintf(stderr, "note: baseline %s not measured in inputs\n",
+                     v.baseline.path.c_str());
+      } else if (!v.ok) {
+        std::fprintf(stderr,
+                     "error: %s %s measured %.1f below floor 0.8 x %.1f\n",
+                     v.baseline.bench.c_str(), v.baseline.key.c_str(),
+                     v.measured, v.baseline.value);
+        rc = 1;
+      }
+    }
+    if (require_histograms && hist_rows == 0) {
+      std::fprintf(stderr, "error: no histogram rows in inputs "
+                           "(--require-histograms)\n");
+      rc = 1;
+    }
+  }
+  return rc;
+}

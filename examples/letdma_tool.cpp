@@ -26,6 +26,10 @@
 //                     incumbent events plus the simulated per-core/DMA
 //                     schedule
 //   --metrics <file>  append the full event stream as JSONL
+//   --flight <file>   flight-recorder dump destination: when a supervised
+//                     solve demotes, fails certification, or retries, the
+//                     recent-event ring is appended here as JSONL (same as
+//                     setting LETDMA_FLIGHT_DUMP; the flag wins)
 //   --threads <n>     MILP branch-and-bound worker threads (0 = one per
 //                     hardware thread, 1 = the sequential node loop);
 //                     applies to the milp engine and to the milp strategy
@@ -38,6 +42,7 @@
 // used. See src/model/include/letdma/model/io.hpp for the application
 // format and src/let/include/letdma/let/schedule_io.hpp for schedules.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -88,7 +93,7 @@ int usage() {
       "       [--engine <name>] [--budget-ms <ms>] [--certify] "
       "[--faults <spec>]\n"
       "       [--save <file>] [--trace <file>] [--metrics <file>]\n"
-      "       [--threads <n>] [--deterministic] [-v]\n");
+      "       [--flight <file>] [--threads <n>] [--deterministic] [-v]\n");
   return 2;
 }
 
@@ -96,7 +101,7 @@ int usage() {
 
 int main(int argc, char** argv) {
   std::vector<std::string> pos;
-  std::string trace_path, metrics_path, save_path;
+  std::string trace_path, metrics_path, save_path, flight_path;
   std::string engine_flag, budget_ms_flag, faults_flag, threads_flag;
   bool verbose = false;
   bool certify_flag = false;
@@ -114,6 +119,8 @@ int main(int argc, char** argv) {
       if (!value(&metrics_path)) return usage();
     } else if (arg == "--save") {
       if (!value(&save_path)) return usage();
+    } else if (arg == "--flight") {
+      if (!value(&flight_path)) return usage();
     } else if (arg == "--engine") {
       if (!value(&engine_flag)) return usage();
     } else if (arg == "--budget-ms") {
@@ -170,6 +177,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad fault spec: %s\n", e.what());
     return 2;
   }
+
+  // The supervised chain picks the flight-dump destination up from the
+  // environment, which keeps the engine factory signature unchanged.
+  if (!flight_path.empty()) setenv("LETDMA_FLIGHT_DUMP", flight_path.c_str(), 1);
 
   // Observability sinks, attached before any scheduling work so solver
   // phase spans and incumbent events are captured.

@@ -64,6 +64,9 @@ struct SupervisionRecord {
   /// An upper level claimed kInfeasible but a later level produced a
   /// certified schedule.
   bool infeasible_refuted = false;
+  /// Path the flight-recorder dump for this solve was written to (empty
+  /// when nothing noteworthy happened or dumping is disabled).
+  std::string flight_dump_path;
 };
 
 struct GuardOptions {
@@ -81,6 +84,12 @@ struct GuardOptions {
   /// Run the remaining chain after a kInfeasible claim to try to refute
   /// it instead of trusting the claimant.
   bool cross_check_infeasible = true;
+  /// Where to write the flight-recorder JSONL dump when a solve saw a
+  /// retry, demotion, certification failure, or refuted infeasibility
+  /// claim. Empty = use the LETDMA_FLIGHT_DUMP environment variable;
+  /// both empty = no dump. The file is appended to, one JSONL line per
+  /// ring event, so consecutive solves accumulate.
+  std::string flight_dump_path;
   /// Observer invoked with the completed record after every solve.
   std::function<void(const SupervisionRecord&)> on_complete;
   /// Threaded into every chain level the factory builds (MILP parallelism

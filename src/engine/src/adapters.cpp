@@ -8,6 +8,7 @@
 
 #include "letdma/guard/faults.hpp"
 #include "letdma/let/compiled.hpp"
+#include "letdma/obs/histogram.hpp"
 #include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
 
@@ -112,6 +113,8 @@ ScheduleOutcome GreedyEngine::solve(const let::LetComms& comms,
                                     IncumbentSink& sink) {
   const auto t0 = Clock::now();
   obs::ScopedSpan span("engine.greedy.solve", "engine");
+  static obs::Histogram solve_ms("engine.solve_ms.greedy");
+  obs::ScopedLatency solve_timer(solve_ms, 1e-3);
   if (budget.wall_sec <= 0.0 || budget.cancel_requested()) {
     ScheduleOutcome out = expired_outcome(sink, name(), budget);
     span.arg("status", status_name(out.status));
@@ -143,6 +146,8 @@ ScheduleOutcome LocalSearchEngine::solve(const let::LetComms& comms,
                                          IncumbentSink& sink) {
   const auto t0 = Clock::now();
   obs::ScopedSpan span("engine.ls.solve", "engine");
+  static obs::Histogram solve_ms("engine.solve_ms.ls");
+  obs::ScopedLatency solve_timer(solve_ms, 1e-3);
   if (budget.wall_sec <= 0.0 || budget.cancel_requested()) {
     ScheduleOutcome out = expired_outcome(sink, name(), budget);
     span.arg("status", status_name(out.status));
@@ -218,6 +223,8 @@ ScheduleOutcome MilpEngine::solve(const let::LetComms& comms,
                                   IncumbentSink& sink) {
   const auto t0 = Clock::now();
   obs::ScopedSpan span("engine.milp.solve", "engine");
+  static obs::Histogram solve_ms("engine.solve_ms.milp");
+  obs::ScopedLatency solve_timer(solve_ms, 1e-3);
   if (budget.wall_sec <= 0.0 || budget.cancel_requested()) {
     ScheduleOutcome out = expired_outcome(sink, name(), budget);
     span.arg("status", status_name(out.status));

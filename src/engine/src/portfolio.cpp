@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "letdma/guard/faults.hpp"
+#include "letdma/obs/histogram.hpp"
 #include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
 
@@ -51,6 +52,8 @@ ScheduleOutcome PortfolioScheduler::solve(const let::LetComms& comms,
       t0 + std::chrono::duration_cast<Clock::duration>(
                std::chrono::duration<double>(budget.wall_sec));
   obs::ScopedSpan span("engine.portfolio.solve", "engine");
+  static obs::Histogram solve_ms("engine.solve_ms.portfolio");
+  obs::ScopedLatency solve_timer(solve_ms, 1e-3);
   span.arg("strategies", static_cast<std::int64_t>(strategies_.size()));
   span.arg("budget_sec", budget.wall_sec);
 

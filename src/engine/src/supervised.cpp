@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <thread>
 #include <utility>
 
 #include "letdma/baseline/giotto.hpp"
 #include "letdma/let/compiled.hpp"
+#include "letdma/obs/flight.hpp"
+#include "letdma/obs/histogram.hpp"
 #include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
 
@@ -26,6 +30,16 @@ double seconds_since(Clock::time_point t0) {
 /// budget can overrun it by at most chain-length floors instead of
 /// returning empty-handed.
 constexpr double kLevelFloorSec = 0.05;
+
+/// Resolved dump destination: the per-solve option wins, then the
+/// LETDMA_FLIGHT_DUMP environment variable; empty disables dumping.
+std::string resolve_flight_dump_path(const GuardOptions& options) {
+  if (!options.flight_dump_path.empty()) return options.flight_dump_path;
+  if (const char* env = std::getenv("LETDMA_FLIGHT_DUMP")) {
+    return std::string(env);
+  }
+  return {};
+}
 
 }  // namespace
 
@@ -82,6 +96,8 @@ ScheduleOutcome GiottoEngine::solve(const let::LetComms& comms,
                                     IncumbentSink& sink) {
   const auto t0 = Clock::now();
   obs::ScopedSpan span("engine.giotto.solve", "engine");
+  static obs::Histogram solve_ms("engine.solve_ms.giotto");
+  obs::ScopedLatency solve_timer(solve_ms, 1e-3);
   ScheduleOutcome out;
   out.strategy = name();
   if (budget.wall_sec <= 0.0 || budget.cancel_requested()) {
@@ -124,10 +140,19 @@ ScheduleOutcome SupervisedScheduler::solve(const let::LetComms& comms,
                                            IncumbentSink& sink) {
   const auto t0 = Clock::now();
   obs::ScopedSpan span("engine.supervised.solve", "engine");
+  static obs::Histogram solve_ms("engine.solve_ms.supervised");
+  obs::ScopedLatency solve_timer(solve_ms, 1e-3);
   static obs::Counter retries_counter("engine.guard.retries");
   static obs::Counter demotions_counter("engine.guard.demotions");
   static obs::Counter certfail_counter("engine.guard.certify_failures");
   static obs::Counter refuted_counter("engine.guard.infeasible_refuted");
+
+  // Everything recorded into the flight ring from here on belongs to this
+  // solve; a triggered dump replays exactly this window.
+  const std::uint64_t flight_mark = obs::flight().watermark();
+  obs::flight_event("engine.guard.solve_begin", "engine",
+                    {{"chain_head", chain_.front()},
+                     {"budget_sec", budget.wall_sec}});
 
   SupervisionRecord record;
   ScheduleOutcome served;
@@ -139,14 +164,38 @@ ScheduleOutcome SupervisedScheduler::solve(const let::LetComms& comms,
     if (out.feasible() && saw_infeasible) {
       record.infeasible_refuted = true;
       refuted_counter.add();
-      obs::instant("engine.guard.infeasible_refuted", "engine",
-                   {{"strategy", out.strategy}});
+      obs::flight_event("engine.guard.infeasible_refuted", "engine",
+                        {{"strategy", out.strategy}}, obs::Level::kWarn);
     }
     out.cancelled = budget.cancel_requested();
     out.wall_sec = seconds_since(t0);
     if (out.feasible()) {
       obs::Registry::instance().counter_add(
           "engine.guard.served." + out.strategy, 1);
+    }
+    obs::flight_event("engine.guard.solve_end", "engine",
+                      {{"status", std::string(status_name(out.status))},
+                       {"served_by", record.served_by},
+                       {"wall_sec", out.wall_sec}});
+    // Anything that exercised the safety net is worth a post-mortem: dump
+    // this solve's window of the flight ring as JSONL.
+    const bool noteworthy = record.demotions > 0 ||
+                            record.certification_failures > 0 ||
+                            record.infeasible_refuted || record.retries > 0;
+    if (noteworthy) {
+      const std::string path = resolve_flight_dump_path(options_);
+      if (!path.empty()) {
+        std::ofstream dump(path, std::ios::app);
+        if (dump) {
+          obs::flight().dump_jsonl(dump, flight_mark);
+          record.flight_dump_path = path;
+          obs::log_info("engine",
+                        "supervised flight dump appended to " + path);
+        } else {
+          obs::log_warn("engine",
+                        "cannot open flight dump path " + path);
+        }
+      }
     }
     span.arg("status", status_name(out.status));
     span.arg("fallback_level", static_cast<std::int64_t>(
@@ -192,6 +241,9 @@ ScheduleOutcome SupervisedScheduler::solve(const let::LetComms& comms,
       } catch (const std::exception& e) {
         threw = true;
         la.note = e.what();
+        obs::flight_event("engine.guard.level_threw", "engine",
+                          {{"strategy", strat}, {"what", la.note}},
+                          obs::Level::kError);
         obs::log_warn("engine", "supervised level '" + strat +
                                     "' threw: " + e.what());
       }
@@ -215,8 +267,9 @@ ScheduleOutcome SupervisedScheduler::solve(const let::LetComms& comms,
           ++record.certification_failures;
           certfail_counter.add();
           la.note = cert.summary();
-          obs::instant("engine.guard.certify_reject", "engine",
-                       {{"strategy", strat}});
+          obs::flight_event("engine.guard.certify_reject", "engine",
+                            {{"strategy", strat}, {"summary", la.note}},
+                            obs::Level::kWarn);
         } else if (out.status == Status::kInfeasible) {
           record.attempts.push_back(la);
           if (options_.cross_check_infeasible &&
@@ -238,9 +291,12 @@ ScheduleOutcome SupervisedScheduler::solve(const let::LetComms& comms,
       if (attempt < options_.max_retries) {
         ++record.retries;
         retries_counter.add();
-        obs::instant("engine.guard.retry", "engine",
-                     {{"strategy", strat},
-                      {"attempt", static_cast<std::int64_t>(attempt + 1)}});
+        obs::flight_event(
+            "engine.guard.retry", "engine",
+            {{"strategy", strat},
+             {"attempt", static_cast<std::int64_t>(attempt + 1)},
+             {"note", la.note}},
+            obs::Level::kWarn);
         record.attempts.push_back(la);
         const double backoff =
             std::min(options_.retry_backoff_sec,
@@ -257,10 +313,11 @@ ScheduleOutcome SupervisedScheduler::solve(const let::LetComms& comms,
     if (!have_served && level + 1 < static_cast<int>(chain_.size())) {
       ++record.demotions;
       demotions_counter.add();
-      obs::instant(
+      obs::flight_event(
           "engine.guard.demote", "engine",
           {{"from", strat},
-           {"to", chain_[static_cast<std::size_t>(level) + 1]}});
+           {"to", chain_[static_cast<std::size_t>(level) + 1]}},
+          obs::Level::kWarn);
     }
   }
 

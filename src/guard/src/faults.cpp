@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 
+#include "letdma/obs/flight.hpp"
 #include "letdma/obs/obs.hpp"
 
 namespace letdma::guard {
@@ -203,9 +204,12 @@ std::optional<FaultKind> poll_slow(std::string_view site) {
   if (fired) {
     obs::Registry::instance().counter_add("guard.fault." + std::string(site),
                                           1);
-    obs::instant("guard.fault", "guard",
-                 {{"site", std::string(site)},
-                  {"kind", std::string(fault_kind_name(*fired))}});
+    // flight_event lands in the always-on ring even with no sink attached,
+    // so a later supervised-chain dump shows the fault that caused it.
+    obs::flight_event("guard.fault", "guard",
+                      {{"site", std::string(site)},
+                       {"kind", std::string(fault_kind_name(*fired))}},
+                      obs::Level::kWarn);
   }
   return fired;
 }

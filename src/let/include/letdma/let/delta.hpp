@@ -114,6 +114,9 @@ class DeltaEvaluator {
   std::vector<Time> ready_;
   std::vector<std::uint32_t> ready_stamp_;
   std::uint32_t sweep_gen_ = 0;
+  // Per-instance call counter driving sampled eval timing (a member, not
+  // a static: evaluators on different threads must not share it).
+  std::uint32_t eval_calls_ = 0;
 
   void reset_state();
   bool move_order_feasible(const ScheduleDelta& move) const;

@@ -1,8 +1,11 @@
 #include "letdma/let/delta.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <climits>
 
+#include "letdma/obs/histogram.hpp"
+#include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
 
 namespace letdma::let {
@@ -141,6 +144,13 @@ bool DeltaEvaluator::assign_candidate_positions() {
 DeltaEval DeltaEvaluator::evaluate(const ScheduleDelta& move) {
   if (!move_order_feasible(move)) return {};
 
+  // Sampled timing: full clock reads on every call would cost a visible
+  // fraction of the ~O(|group|) evaluation itself; 1-in-64 keeps the
+  // percentiles honest and the overhead invisible.
+  const bool timed = (eval_calls_++ & 0x3F) == 0;
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
+
   const int n = num_groups();
   order_.clear();
   src_.clear();
@@ -202,6 +212,7 @@ DeltaEval DeltaEvaluator::evaluate(const ScheduleDelta& move) {
     scratch_decomp_.resize(order_.size());
   }
   std::size_t scratch_used = 0;
+  std::int64_t hits = 0;
   for (std::size_t e = 0; e < order_.size(); ++e) {
     bool dirty = src_[e] < 0;
     if (!dirty && layout_changed) {
@@ -215,6 +226,7 @@ DeltaEval DeltaEvaluator::evaluate(const ScheduleDelta& move) {
       }
     }
     if (!dirty) {
+      ++hits;
       view_.push_back(&decomp_[static_cast<std::size_t>(src_[e])]);
       continue;
     }
@@ -223,7 +235,21 @@ DeltaEval DeltaEvaluator::evaluate(const ScheduleDelta& move) {
     compiled_->decompose_group(*order_[e], cand_label_pos_, &slot);
     view_.push_back(&slot);
   }
-  return sweep();
+  // Two relaxed adds per evaluate, not per group: the hit path is a bare
+  // pointer push and must stay that way.
+  static obs::Counter cache_hits("let.delta.cache_hits");
+  static obs::Counter cache_misses("let.delta.cache_misses");
+  cache_hits.add(hits);
+  cache_misses.add(static_cast<std::int64_t>(order_.size()) - hits);
+
+  const DeltaEval result = sweep();
+  if (timed) {
+    static obs::Histogram eval_us("let.delta.eval_us");
+    eval_us.record(std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
+  }
+  return result;
 }
 
 DeltaEval DeltaEvaluator::sweep() {

@@ -9,6 +9,7 @@
 #include "letdma/let/delta.hpp"
 #include "letdma/let/latency.hpp"
 #include "letdma/obs/obs.hpp"
+#include "letdma/obs/sampler.hpp"
 #include "letdma/support/error.hpp"
 
 namespace letdma::let {
@@ -207,8 +208,11 @@ LocalSearchResult improve_reference(const LetComms& comms,
       if (!budget.left(best.evaluations, best.improvements)) break;
       ScheduleResult built{MemoryLayout(comms.app()), {}, {}};
       ++best.evaluations;
+      static obs::Counter accepted("let.local_search.accepted");
+      static obs::Counter rejected("let.local_search.rejected");
       const Evaluation ev = search.evaluate(cand, &built);
       if (ev.feasible && ev.objective < best.objective - 1e-12) {
+        accepted.add();
         best.schedule = std::move(built);
         best.objective = ev.objective;
         best.improvements += 1;
@@ -218,6 +222,8 @@ LocalSearchResult improve_reference(const LetComms& comms,
           options.on_improvement(best.schedule, best.objective);
         }
         break;  // first improvement: restart the neighbourhood
+      } else {
+        rejected.add();
       }
     }
   }
@@ -334,8 +340,11 @@ LocalSearchResult improve_compiled(const CompiledComms& compiled,
     while (const std::optional<ScheduleDelta> move = gen.next()) {
       if (!budget.left(best.evaluations, best.improvements)) break;
       ++best.evaluations;
+      static obs::Counter accepted("let.local_search.accepted");
+      static obs::Counter rejected("let.local_search.rejected");
       const DeltaEval cand = ev.evaluate(*move);
       if (cand.feasible && cand.objective < best.objective - 1e-12) {
+        accepted.add();
         ev.apply(*move);
         best.objective = cand.objective;
         best.improvements += 1;
@@ -348,6 +357,8 @@ LocalSearchResult improve_compiled(const CompiledComms& compiled,
           materialized = false;
         }
         break;  // first improvement: restart the neighbourhood
+      } else {
+        rejected.add();
       }
     }
   }
@@ -362,6 +373,21 @@ LocalSearchResult improve_any(const LetComms& comms,
   LETDMA_ENSURE(!start.s0_transfers.empty(),
                 "local search needs a non-empty starting schedule");
   obs::ScopedSpan span("let.local_search", "let");
+  // Gauge timelines for traced runs: accept/reject/eval rates and the
+  // delta-cache hit rate, derived from the always-on counters. No sink
+  // attached => start() is a no-op and the search pays nothing.
+  obs::Sampler sampler({0.05, "let", 0});
+  sampler.add_counter_rate("ls.accept_per_sec", "let.local_search.accepted");
+  sampler.add_counter_rate("ls.reject_per_sec", "let.local_search.rejected");
+  sampler.add_gauge("ls.delta_cache_hit_rate", [] {
+    obs::Registry& reg = obs::Registry::instance();
+    const double hits =
+        static_cast<double>(reg.counter_value("let.delta.cache_hits"));
+    const double misses =
+        static_cast<double>(reg.counter_value("let.delta.cache_misses"));
+    return hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
+  });
+  sampler.start();
   LocalSearchResult best = [&]() {
     if (options.engine == LocalSearchEngine::kReference) {
       return improve_reference(comms, start, options);

@@ -19,7 +19,10 @@
 
 #include "letdma/guard/faults.hpp"
 #include "letdma/milp/presolve.hpp"
+#include "letdma/obs/flight.hpp"
+#include "letdma/obs/histogram.hpp"
 #include "letdma/obs/obs.hpp"
+#include "letdma/obs/sampler.hpp"
 #include "letdma/support/error.hpp"
 
 namespace letdma::milp {
@@ -98,6 +101,25 @@ struct BranchPick {
   int var = -1;       // -1: the relaxation is integral
   double frac = 0.0;  // fractional part of `var`
 };
+
+obs::Histogram& node_lp_hist() {
+  static obs::Histogram h("milp.node_lp_us");
+  return h;
+}
+
+/// Runs one LP solve, timing it into milp.node_lp_us when `sampled`.
+/// Callers sample every 16th node: at ~400k nodes/sec two clock reads per
+/// node would be measurable, one per 16 is not, and the percentiles are
+/// statistically identical.
+template <typename Fn>
+LpResult timed_lp(bool sampled, Fn&& fn) {
+  if (!sampled) return fn();
+  const auto t0 = Clock::now();
+  LpResult r = fn();
+  node_lp_hist().record(
+      std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+  return r;
+}
 
 /// Picks the branching variable over the first `n` variables of `x`:
 /// pseudocost product score, falling back to most-fractional while no
@@ -325,12 +347,10 @@ MilpResult run_sequential(Model& model_, const MilpOptions& options_,
     const double reported = sense_sign * incumbent_obj;
     if (stats.first_incumbent_sec < 0) stats.first_incumbent_sec = t;
     stats.incumbents.push_back({t, reported, stats.nodes_explored});
-    if (obs::enabled()) {
-      obs::instant("milp.incumbent", "milp",
-                   {{"objective", reported},
-                    {"nodes", stats.nodes_explored},
-                    {"t_sec", t}});
-    }
+    obs::flight_event("milp.incumbent", "milp",
+                      {{"objective", reported},
+                       {"nodes", stats.nodes_explored},
+                       {"t_sec", t}});
     if (options_.log) {
       char buf[128];
       std::snprintf(buf, sizeof buf, "incumbent obj=%.6g nodes=%ld t=%.2fs",
@@ -475,7 +495,8 @@ MilpResult run_sequential(Model& model_, const MilpOptions& options_,
     for (;;) {
       intersect_node_bounds(model_, options_, presolved, node, lb, ub);
       const int n = model_.num_vars();
-      const LpResult rel = lp.solve_with_bounds(lb, ub);
+      const LpResult rel = timed_lp((stats.nodes_explored & 0xF) == 0,
+                                    [&] { return lp.solve_with_bounds(lb, ub); });
       stats.lp_iterations += rel.iterations;
       if (rel.status == LpStatus::kInfeasible) break;
       if (rel.status == LpStatus::kUnbounded) {
@@ -706,11 +727,11 @@ MilpResult run_parallel(Model& model_, const MilpOptions& options_,
       if (stats.first_incumbent_sec < 0) stats.first_incumbent_sec = t;
       stats.incumbents.push_back({t, reported, nodes_at});
     }
-    if (obs::enabled()) {
-      obs::instant("milp.incumbent", "milp",
-                   {{"objective", reported}, {"nodes", nodes_at},
-                    {"t_sec", t}});
-    }
+    // Incumbents are rare and load-bearing for post-mortems: record them
+    // in the flight ring (always on) as well as the trace stream.
+    obs::flight_event("milp.incumbent", "milp",
+                      {{"objective", reported}, {"nodes", nodes_at},
+                       {"t_sec", t}});
     if (options_.log) {
       char buf[128];
       std::snprintf(buf, sizeof buf, "incumbent obj=%.6g nodes=%ld t=%.2fs",
@@ -828,7 +849,8 @@ MilpResult run_parallel(Model& model_, const MilpOptions& options_,
             rows_at_solve = model_.num_constraints();
             intersect_node_bounds(model_, options_, presolved, node, lb, ub);
             n_at_solve = model_.num_vars();
-            rel = lp.solve_with_bounds(lb, ub);
+            rel = timed_lp((node_idx & 0xF) == 0,
+                           [&] { return lp.solve_with_bounds(lb, ub); });
             if (rel.status == LpStatus::kOptimal) {
               pick = pick_branch(model_, rel.x, n_at_solve, pseudo,
                                  options_.int_tol);
@@ -972,10 +994,40 @@ MilpResult run_parallel(Model& model_, const MilpOptions& options_,
     }
   };
 
+  // Gauge timelines for the trace export. Each gauge takes mu for a few
+  // loads; at the sampler's default 20 Hz that is noise next to the queue
+  // traffic the workers generate. The sequential path gets no sampler —
+  // its queue is single-thread-owned and unsynchronized, so a sampler
+  // thread reading it would race. start() is a no-op with no sink.
+  obs::Sampler sampler({0.05, "milp", 0});
+  sampler.add_gauge("milp.queue_depth", [&] {
+    std::lock_guard<std::mutex> g(mu);
+    return static_cast<double>(open.size());
+  });
+  sampler.add_gauge("milp.workers_idle_frac", [&] {
+    std::lock_guard<std::mutex> g(mu);
+    return static_cast<double>(nthreads - active) /
+           static_cast<double>(nthreads);
+  });
+  sampler.add_gauge("milp.bound_spread", [&] {
+    std::lock_guard<std::mutex> g(mu);
+    double lo = kInf, hi = -kInf;
+    const auto feed = [&](double b) {
+      if (b == kInf || b == -kInf) return;
+      lo = std::min(lo, b);
+      hi = std::max(hi, b);
+    };
+    for (const double b : worker_bound) feed(b);
+    if (!open.empty()) feed(open.top().node->bound);
+    return hi > lo ? hi - lo : 0.0;
+  });
+  sampler.start();
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nthreads));
   for (int w = 0; w < nthreads; ++w) threads.emplace_back(worker_fn, w);
   for (std::thread& t : threads) t.join();
+  sampler.stop();
 
   if (first_error) std::rethrow_exception(first_error);
 
@@ -1071,12 +1123,10 @@ MilpResult run_deterministic(Model& model_, const MilpOptions& options_,
     const double reported = sense_sign * incumbent_obj;
     if (stats.first_incumbent_sec < 0) stats.first_incumbent_sec = t;
     stats.incumbents.push_back({t, reported, stats.nodes_explored});
-    if (obs::enabled()) {
-      obs::instant("milp.incumbent", "milp",
-                   {{"objective", reported},
-                    {"nodes", stats.nodes_explored},
-                    {"t_sec", t}});
-    }
+    obs::flight_event("milp.incumbent", "milp",
+                      {{"objective", reported},
+                       {"nodes", stats.nodes_explored},
+                       {"t_sec", t}});
     if (options_.log) {
       char buf[128];
       std::snprintf(buf, sizeof buf, "incumbent obj=%.6g nodes=%ld t=%.2fs",

@@ -1,0 +1,82 @@
+// Flight recorder: a bounded, always-on ring of recent notable events.
+//
+// Trace sinks are opt-in and usually absent in production runs, which
+// makes post-mortems blind: when the supervised chain demotes a solver or
+// a certificate is refused, the events explaining *why* were never
+// captured. The flight recorder closes that gap. Instrumented sites call
+// obs::flight_event(...) unconditionally; the event lands in a fixed-size
+// ring (overwriting the oldest) regardless of sink state, and is
+// additionally forwarded to attached sinks as a normal instant so traces
+// stay complete.
+//
+// Consumers take a watermark (`flight().watermark()`) at the start of a
+// unit of work and, on failure, dump everything recorded since as JSONL
+// (`dump_jsonl`). guard::SupervisedScheduler does exactly this on
+// demotion, certification failure, and refuted-infeasibility escalation;
+// `letdma_report` renders the dump as a replayable timeline.
+//
+// The ring is mutex-protected: recording sites are rare (retries,
+// demotions, incumbents, injected faults), so contention is not a
+// concern, and a mutex keeps the sequence numbers and slots coherent.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "letdma/obs/obs.hpp"
+
+namespace letdma::obs {
+
+/// One recorded event with its global sequence number (monotonic from 0;
+/// gaps after `since()` mean the ring wrapped and events were lost).
+struct FlightEvent {
+  std::uint64_t seq = 0;
+  Event event;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  /// Appends an event (overwriting the oldest when full); returns its
+  /// sequence number.
+  std::uint64_t record(Event event);
+
+  /// The sequence number the *next* record() will get. Take this before a
+  /// unit of work; pass it to since()/dump_jsonl() afterwards.
+  std::uint64_t watermark() const;
+
+  /// Events with seq >= `watermark` still present in the ring, oldest
+  /// first. Events overwritten since the watermark are simply absent.
+  std::vector<FlightEvent> since(std::uint64_t watermark = 0) const;
+
+  /// Total events overwritten before they were ever read.
+  std::uint64_t total_recorded() const { return watermark(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Writes events since `watermark` as JSONL, one
+  /// `{"type":"flight","seq":N,...}` object per line. Returns the number
+  /// of lines written.
+  std::size_t dump_jsonl(std::ostream& out, std::uint64_t watermark = 0) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<FlightEvent> ring_;  // slot = seq % capacity_
+  std::uint64_t next_seq_ = 0;
+};
+
+/// The process-global recorder (leaked, like the Registry).
+FlightRecorder& flight();
+
+/// Records an instant into the flight ring *always*, and mirrors it to
+/// attached trace sinks when any are present. This is what instrumented
+/// sites call for events that must survive into a post-mortem.
+void flight_event(std::string name, std::string category,
+                  std::vector<Arg> args = {}, Level level = Level::kInfo);
+
+}  // namespace letdma::obs

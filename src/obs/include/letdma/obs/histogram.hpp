@@ -1,0 +1,122 @@
+// Log-bucketed latency/size histograms with lock-free recording.
+//
+// Like obs::Counter, histograms are *always on*: recording does not depend
+// on any sink being attached, so benches and tests can read percentile
+// snapshots back programmatically, and `letdma_report` can render them
+// from the metrics stream. The record path is a handful of relaxed atomic
+// RMWs on a registry-owned cell (stable for the process lifetime); there
+// is no lock and no allocation.
+//
+// Buckets are geometric: kSubBuckets buckets per octave (powers of two),
+// so relative resolution is constant (~19% at 4 sub-buckets) across the
+// full range — the right shape for latencies spanning nanoseconds to
+// minutes. Percentiles are reconstructed from the bucket counts using the
+// geometric midpoint of the owning bucket, which bounds the error by the
+// bucket width.
+//
+// Intended use:
+//
+//   static obs::Histogram solve_ms("engine.solve_ms.milp");
+//   solve_ms.record(outcome.wall_sec * 1e3);
+//
+//   const obs::HistogramSnapshot s = solve_ms.snapshot();
+//   printf("p99=%.3f max=%.3f\n", s.p99, s.max);
+//
+// or, scope-timed (records microseconds on destruction):
+//
+//   { obs::ScopedLatency t("milp.node_lp_us"); lp.solve(); }
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace letdma::obs {
+
+namespace detail {
+
+/// Geometric bucket layout: bucket i covers values in
+/// [2^((i - kZeroBucket) / kSubBuckets), 2^((i + 1 - kZeroBucket) / kSubBuckets)).
+/// With kZeroBucket = 40 and 192 buckets the representable range is
+/// ~1e-3 .. ~2.4e11 (in the caller's unit); values outside clamp to the
+/// edge buckets, and values <= 0 land in bucket 0.
+inline constexpr int kHistogramBuckets = 192;
+inline constexpr int kSubBuckets = 4;
+inline constexpr int kZeroBucket = 40;
+
+int bucket_index(double value);
+/// Geometric midpoint of bucket `i` — the value a percentile inside the
+/// bucket is reported as.
+double bucket_value(int i);
+
+/// Registry-owned storage; pointers stay stable for the process lifetime.
+struct HistogramCell {
+  std::array<std::atomic<std::int64_t>, kHistogramBuckets> buckets{};
+  std::atomic<std::int64_t> count{0};
+  std::atomic<double> sum{0.0};
+  std::atomic<double> max{0.0};
+
+  void record(double value);
+  void reset();
+};
+
+}  // namespace detail
+
+/// A point-in-time view of one histogram. Percentiles are bucket-midpoint
+/// reconstructions (exact for `max`, which is tracked separately).
+struct HistogramSnapshot {
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  std::array<std::int64_t, detail::kHistogramBuckets> buckets{};
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Bucket-midpoint value at quantile `q` in [0, 1].
+  double percentile(double q) const;
+};
+
+HistogramSnapshot snapshot_of(const detail::HistogramCell& cell);
+
+/// Always-on histogram with a lock-free record path; the cell is resolved
+/// by name once at construction (same registry discipline as Counter).
+class Histogram {
+ public:
+  explicit Histogram(const std::string& name);
+  void record(double value) { cell_->record(value); }
+  HistogramSnapshot snapshot() const { return snapshot_of(*cell_); }
+
+ private:
+  detail::HistogramCell* cell_;
+};
+
+/// RAII scope timer: records the scope's wall time into a histogram on
+/// destruction. `scale` converts from microseconds (1.0 = record us,
+/// 1e-3 = record ms).
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& hist, double scale = 1.0)
+      : hist_(&hist), scale_(scale),
+        t0_(std::chrono::steady_clock::now()) {}
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+  ~ScopedLatency() {
+    const double us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0_)
+            .count();
+    hist_->record(us * scale_);
+  }
+
+ private:
+  Histogram* hist_;
+  double scale_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace letdma::obs

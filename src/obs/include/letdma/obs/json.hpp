@@ -3,6 +3,7 @@
 // suite carries its own tiny reader for validation.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -22,5 +23,13 @@ void append_value(std::string& out, const ArgValue& v);
 
 /// Appends `{"k":v,...}` for an arg list (empty list -> `{}`).
 void append_args_object(std::string& out, const std::vector<Arg>& args);
+
+/// Renders one event as a JSONL line (trailing newline included) in the
+/// schema JsonlMetricsSink writes. When `type_override` is non-null it
+/// replaces the phase-derived "type" and a "seq":`seq` field is added —
+/// the flight-recorder dump format.
+std::string event_jsonl_line(const Event& event,
+                             const char* type_override = nullptr,
+                             std::uint64_t seq = 0);
 
 }  // namespace letdma::obs::json

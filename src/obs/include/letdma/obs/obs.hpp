@@ -90,6 +90,10 @@ struct TrackInfo {
   int pid = 0;
 };
 
+namespace detail {
+struct HistogramCell;  // histogram.hpp
+}
+
 class Registry {
  public:
   static Registry& instance();
@@ -102,6 +106,10 @@ class Registry {
     return sink_count_.load(std::memory_order_relaxed) > 0;
   }
   void emit(Event event);
+  /// Flushes every attached sink. Registered with std::atexit on first
+  /// construction so JSONL / Chrome-trace files are terminated even when
+  /// a tool exits without detaching its sinks.
+  void flush_sinks();
 
   // --- clock --------------------------------------------------------------
   /// Microseconds of wall time since the registry was created.
@@ -132,6 +140,19 @@ class Registry {
 
   /// Pointer to the counter cell for `name` (stable for process lifetime).
   std::atomic<std::int64_t>* counter_cell(const std::string& name);
+
+  // --- histograms ---------------------------------------------------------
+  /// Pointer to the histogram cell for `name` (stable for process
+  /// lifetime; created on first use). See histogram.hpp for the
+  /// Histogram/HistogramSnapshot API layered on top.
+  detail::HistogramCell* histogram_cell(const std::string& name);
+  /// Names of every registered histogram, sorted.
+  std::vector<std::string> histogram_names() const;
+  /// Zeroes every histogram (test isolation; names stay registered).
+  void reset_histograms();
+  /// Emits the histogram's p50/p90/p99/max as one kCounter trace event
+  /// (multi-series counter in Chrome trace viewers).
+  void sample_histogram(const std::string& name);
 
  private:
   Registry();

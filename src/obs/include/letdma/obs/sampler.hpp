@@ -1,0 +1,90 @@
+// Low-rate background sampling of solver internals.
+//
+// Spans and instants show *events*; they cannot show slowly-evolving
+// state like "how deep is the branch-and-bound queue" or "what fraction
+// of workers are idle right now". A Sampler owns a thread that wakes at a
+// fixed low rate (default 20 Hz, override with LETDMA_SAMPLE_HZ) and
+// publishes a set of registered gauges as Chrome-trace counter events, so
+// the existing trace export grows gauge timelines alongside the spans.
+//
+// Gauges are closures evaluated on the sampler thread — they must be
+// thread-safe with respect to the code they observe (read atomics, or
+// take the same lock the producer takes) and must outlive the sampler.
+// The canonical scoped use inside a solve:
+//
+//   obs::Sampler sampler;
+//   sampler.add_gauge("milp.queue_depth", [&] { ... });
+//   sampler.add_counter_rate("ls.accept_per_sec",
+//                            "let.local_search.accepted");
+//   sampler.start();          // no-op when no trace sink is attached
+//   ... solve ...
+//   sampler.stop();           // joins; also runs one final sample
+//
+// Samplers never start a thread when tracing is inactive, so the hot path
+// of an untraced run pays nothing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace letdma::obs {
+
+class Sampler {
+ public:
+  struct Options {
+    /// Seconds between samples; LETDMA_SAMPLE_HZ (samples per second)
+    /// overrides when set and positive.
+    double period_sec = 0.05;
+    std::string category = "sampler";
+    int track = 0;
+  };
+
+  Sampler() : Sampler(Options{}) {}
+  explicit Sampler(Options options);
+  ~Sampler();  // stops and joins
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Registers a gauge published as counter event `name` each tick.
+  /// Call before start().
+  void add_gauge(std::string name, std::function<double()> fn);
+
+  /// Convenience gauge: the per-second rate of a registry counter,
+  /// computed from the delta between consecutive samples.
+  void add_counter_rate(std::string name, std::string counter_name);
+
+  /// Spawns the sampler thread when tracing is active and gauges exist;
+  /// otherwise a no-op. Idempotent.
+  void start();
+
+  /// Stops the thread (emitting one final sample) and joins. Idempotent;
+  /// also called by the destructor.
+  void stop();
+
+  bool running() const { return running_; }
+
+ private:
+  struct Gauge {
+    std::string name;
+    std::function<double()> fn;
+  };
+
+  void run();
+  void sample_once(double now_us);
+
+  Options options_;
+  std::vector<Gauge> gauges_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace letdma::obs

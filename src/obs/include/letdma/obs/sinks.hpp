@@ -58,7 +58,14 @@ class JsonlMetricsSink : public Sink {
 /// so they show up in context.
 class ChromeTraceSink : public Sink {
  public:
+  ChromeTraceSink() = default;
+  /// With a path, flush() rewrites the complete (terminated) trace file.
+  /// Combined with the registry's atexit flush, the file on disk is
+  /// always loadable even when the process exits mid-trace.
+  explicit ChromeTraceSink(std::string path) : path_(std::move(path)) {}
+
   void consume(const Event& event) override;
+  void flush() override;
   bool wants_logs() const override { return true; }
 
   std::size_t size() const;
@@ -69,6 +76,7 @@ class ChromeTraceSink : public Sink {
  private:
   mutable std::mutex mutex_;
   std::vector<Event> events_;
+  std::string path_;
 };
 
 }  // namespace letdma::obs

@@ -1,0 +1,76 @@
+#include "letdma/obs/flight.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "letdma/obs/json.hpp"
+
+namespace letdma::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+std::uint64_t FlightRecorder::record(Event event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t seq = next_seq_++;
+  FlightEvent& slot = ring_[static_cast<std::size_t>(seq % capacity_)];
+  slot.seq = seq;
+  slot.event = std::move(event);
+  return seq;
+}
+
+std::uint64_t FlightRecorder::watermark() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+std::vector<FlightEvent> FlightRecorder::since(std::uint64_t watermark) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FlightEvent> out;
+  if (next_seq_ == 0) return out;
+  const std::uint64_t oldest =
+      next_seq_ > capacity_ ? next_seq_ - capacity_ : 0;
+  const std::uint64_t first = std::max(watermark, oldest);
+  out.reserve(static_cast<std::size_t>(next_seq_ - first));
+  for (std::uint64_t s = first; s < next_seq_; ++s) {
+    out.push_back(ring_[static_cast<std::size_t>(s % capacity_)]);
+  }
+  return out;
+}
+
+std::size_t FlightRecorder::dump_jsonl(std::ostream& out,
+                                       std::uint64_t watermark) const {
+  const std::vector<FlightEvent> events = since(watermark);
+  for (const FlightEvent& fe : events) {
+    std::string line =
+        json::event_jsonl_line(fe.event, "flight", fe.seq);
+    out.write(line.data(), static_cast<std::streamsize>(line.size()));
+  }
+  return events.size();
+}
+
+FlightRecorder& flight() {
+  static FlightRecorder* g = new FlightRecorder();  // leaked, like Registry
+  return *g;
+}
+
+void flight_event(std::string name, std::string category,
+                  std::vector<Arg> args, Level level) {
+  Event e;
+  e.phase = Phase::kInstant;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.level = level;
+  e.ts_us = Registry::instance().now_us();
+  e.args = std::move(args);
+  if (Registry::instance().tracing_active()) {
+    flight().record(e);
+    Registry::instance().emit(std::move(e));
+  } else {
+    flight().record(std::move(e));
+  }
+}
+
+}  // namespace letdma::obs

@@ -1,0 +1,86 @@
+#include "letdma/obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "letdma/obs/obs.hpp"
+
+namespace letdma::obs {
+
+namespace detail {
+
+int bucket_index(double value) {
+  if (!(value > 0.0)) return 0;  // <= 0 and NaN land in the first bucket
+  const int idx =
+      kZeroBucket +
+      static_cast<int>(std::floor(std::log2(value) *
+                                  static_cast<double>(kSubBuckets)));
+  return std::clamp(idx, 0, kHistogramBuckets - 1);
+}
+
+double bucket_value(int i) {
+  return std::exp2((static_cast<double>(i - kZeroBucket) + 0.5) /
+                   static_cast<double>(kSubBuckets));
+}
+
+void HistogramCell::record(double value) {
+  buckets[static_cast<std::size_t>(bucket_index(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count.fetch_add(1, std::memory_order_relaxed);
+  if (std::isfinite(value)) {
+    sum.fetch_add(value, std::memory_order_relaxed);
+    double seen = max.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max.compare_exchange_weak(seen, value,
+                                      std::memory_order_relaxed)) {
+    }
+  }
+}
+
+void HistogramCell::reset() {
+  for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+  count.store(0, std::memory_order_relaxed);
+  sum.store(0.0, std::memory_order_relaxed);
+  max.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count <= 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based (nearest-rank definition).
+  const std::int64_t rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(clamped * static_cast<double>(count))));
+  std::int64_t seen = 0;
+  for (int i = 0; i < detail::kHistogramBuckets; ++i) {
+    seen += buckets[static_cast<std::size_t>(i)];
+    if (seen >= rank) {
+      // The top bucket's midpoint can overshoot the true maximum; clamp.
+      return std::min(detail::bucket_value(i), max > 0.0 ? max : detail::bucket_value(i));
+    }
+  }
+  return max;
+}
+
+HistogramSnapshot snapshot_of(const detail::HistogramCell& cell) {
+  HistogramSnapshot s;
+  for (int i = 0; i < detail::kHistogramBuckets; ++i) {
+    s.buckets[static_cast<std::size_t>(i)] =
+        cell.buckets[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed);
+    s.count += s.buckets[static_cast<std::size_t>(i)];
+  }
+  s.sum = cell.sum.load(std::memory_order_relaxed);
+  s.max = cell.max.load(std::memory_order_relaxed);
+  s.p50 = s.percentile(0.50);
+  s.p90 = s.percentile(0.90);
+  s.p99 = s.percentile(0.99);
+  return s;
+}
+
+Histogram::Histogram(const std::string& name)
+    : cell_(Registry::instance().histogram_cell(name)) {}
+
+}  // namespace letdma::obs

@@ -2,9 +2,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <map>
 #include <mutex>
+
+#include "letdma/obs/histogram.hpp"
 
 namespace letdma::obs {
 
@@ -26,9 +29,12 @@ struct Registry::Impl {
   std::vector<std::shared_ptr<Sink>> sinks;
   bool any_log_sink = false;
 
-  // Counter cells live in a deque so pointers stay stable forever.
+  // Counter/histogram cells live in deques so pointers stay stable
+  // forever.
   std::deque<std::atomic<std::int64_t>> cells;
   std::map<std::string, std::atomic<std::int64_t>*> counters;
+  std::deque<detail::HistogramCell> hist_cells;
+  std::map<std::string, detail::HistogramCell*> histograms;
 
   std::vector<TrackInfo> tracks;
   std::map<std::string, int> track_ids;
@@ -40,6 +46,10 @@ Registry::Registry() : impl_(new Impl) {
   // Track 0 always exists: the process-wide default timeline.
   impl_->tracks.push_back({0, "letdma", 0});
   impl_->track_ids.emplace("letdma", 0);
+  // Terminate file-backed sinks on normal exit even when a tool forgets
+  // to detach: an unterminated Chrome-trace array is unloadable, and a
+  // truncated JSONL tail corrupts the metrics stream.
+  std::atexit([] { Registry::instance().flush_sinks(); });
 }
 
 Registry& Registry::instance() {
@@ -61,26 +71,42 @@ void Registry::attach(std::shared_ptr<Sink> sink) {
 }
 
 void Registry::detach(const std::shared_ptr<Sink>& sink) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  auto& sinks = impl_->sinks;
-  for (auto it = sinks.begin(); it != sinks.end(); ++it) {
-    if (*it == sink) {
-      (*it)->flush();
-      sinks.erase(it);
-      break;
+  std::shared_ptr<Sink> removed;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto& sinks = impl_->sinks;
+    for (auto it = sinks.begin(); it != sinks.end(); ++it) {
+      if (*it == sink) {
+        removed = *it;
+        sinks.erase(it);
+        break;
+      }
     }
+    impl_->any_log_sink = false;
+    for (const auto& s : sinks) {
+      if (s->wants_logs()) impl_->any_log_sink = true;
+    }
+    sink_count_.store(static_cast<int>(sinks.size()),
+                      std::memory_order_relaxed);
   }
-  impl_->any_log_sink = false;
-  for (const auto& s : sinks) {
-    if (s->wants_logs()) impl_->any_log_sink = true;
-  }
-  sink_count_.store(static_cast<int>(sinks.size()),
-                    std::memory_order_relaxed);
+  // Flushed outside the lock: sink flushes may re-enter the registry
+  // (ChromeTraceSink::flush reads the track table).
+  if (removed != nullptr) removed->flush();
 }
 
 void Registry::emit(Event event) {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   for (const auto& sink : impl_->sinks) sink->consume(event);
+}
+
+void Registry::flush_sinks() {
+  // Copy first: flushes may re-enter the registry (see detach()).
+  std::vector<std::shared_ptr<Sink>> sinks;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    sinks = impl_->sinks;
+  }
+  for (const auto& sink : sinks) sink->flush();
 }
 
 double Registry::now_us() const {
@@ -151,6 +177,51 @@ void Registry::sample_counter(const std::string& name) {
   e.category = "counter";
   e.ts_us = now_us();
   e.args.push_back({"value", counter_value(name)});
+  emit(std::move(e));
+}
+
+detail::HistogramCell* Registry::histogram_cell(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->histograms.find(name);
+  if (it != impl_->histograms.end()) return it->second;
+  impl_->hist_cells.emplace_back();
+  detail::HistogramCell* cell = &impl_->hist_cells.back();
+  impl_->histograms.emplace(name, cell);
+  return cell;
+}
+
+std::vector<std::string> Registry::histogram_names() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::string> out;
+  out.reserve(impl_->histograms.size());
+  for (const auto& [name, cell] : impl_->histograms) {
+    (void)cell;
+    out.push_back(name);
+  }
+  return out;
+}
+
+void Registry::reset_histograms() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& [name, cell] : impl_->histograms) {
+    (void)name;
+    cell->reset();
+  }
+}
+
+void Registry::sample_histogram(const std::string& name) {
+  if (!tracing_active()) return;
+  const HistogramSnapshot snap = snapshot_of(*histogram_cell(name));
+  Event e;
+  e.phase = Phase::kCounter;
+  e.name = name;
+  e.category = "histogram";
+  e.ts_us = now_us();
+  e.args.push_back({"p50", snap.p50});
+  e.args.push_back({"p90", snap.p90});
+  e.args.push_back({"p99", snap.p99});
+  e.args.push_back({"max", snap.max});
+  e.args.push_back({"count", snap.count});
   emit(std::move(e));
 }
 

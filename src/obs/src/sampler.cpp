@@ -1,0 +1,101 @@
+#include "letdma/obs/sampler.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "letdma/obs/obs.hpp"
+
+namespace letdma::obs {
+
+Sampler::Sampler(Options options) : options_(std::move(options)) {
+  if (const char* env = std::getenv("LETDMA_SAMPLE_HZ")) {
+    const double hz = std::atof(env);
+    if (hz > 0.0) options_.period_sec = 1.0 / hz;
+  }
+}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::add_gauge(std::string name, std::function<double()> fn) {
+  gauges_.push_back({std::move(name), std::move(fn)});
+}
+
+void Sampler::add_counter_rate(std::string name, std::string counter_name) {
+  // State lives in a shared_ptr so the closure stays copyable.
+  struct RateState {
+    std::int64_t last_value = 0;
+    double last_us = 0.0;
+    bool primed = false;
+  };
+  auto state = std::make_shared<RateState>();
+  auto counter = std::move(counter_name);
+  add_gauge(std::move(name), [state, counter] {
+    Registry& reg = Registry::instance();
+    const std::int64_t value = reg.counter_value(counter);
+    const double now = reg.now_us();
+    double rate = 0.0;
+    if (state->primed && now > state->last_us) {
+      rate = static_cast<double>(value - state->last_value) /
+             ((now - state->last_us) * 1e-6);
+    }
+    state->last_value = value;
+    state->last_us = now;
+    state->primed = true;
+    return rate;
+  });
+}
+
+void Sampler::start() {
+  if (running_ || gauges_.empty()) return;
+  if (!Registry::instance().tracing_active()) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void Sampler::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  running_ = false;
+}
+
+void Sampler::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    lock.unlock();
+    sample_once(Registry::instance().now_us());
+    lock.lock();
+    if (stop_requested_) return;
+    cv_.wait_for(lock, std::chrono::duration<double>(options_.period_sec),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) {
+      // One closing sample so timelines end at the stop edge.
+      lock.unlock();
+      sample_once(Registry::instance().now_us());
+      return;
+    }
+  }
+}
+
+void Sampler::sample_once(double now_us) {
+  if (!Registry::instance().tracing_active()) return;
+  for (const Gauge& g : gauges_) {
+    Event e;
+    e.phase = Phase::kCounter;
+    e.name = g.name;
+    e.category = options_.category;
+    e.ts_us = now_us;
+    e.track = options_.track;
+    e.args.push_back({"value", g.fn()});
+    Registry::instance().emit(std::move(e));
+  }
+}
+
+}  // namespace letdma::obs

@@ -76,6 +76,47 @@ void append_args_object(std::string& out, const std::vector<Arg>& args) {
 
 namespace {
 
+const char* phase_name(Phase phase);
+
+}  // namespace
+
+namespace json {
+
+std::string event_jsonl_line(const Event& event, const char* type_override,
+                             std::uint64_t seq) {
+  std::string line = "{\"type\":\"";
+  line += type_override != nullptr ? type_override : phase_name(event.phase);
+  line += '"';
+  if (type_override != nullptr) {
+    line += ",\"seq\":" + std::to_string(seq);
+  }
+  line += ",\"name\":";
+  append_string(line, event.name);
+  line += ",\"cat\":";
+  append_string(line, event.category);
+  line += ",\"ts_us\":";
+  append_number(line, event.ts_us);
+  if (event.phase == Phase::kComplete) {
+    line += ",\"dur_us\":";
+    append_number(line, event.dur_us);
+  }
+  if (event.phase == Phase::kLog || type_override != nullptr) {
+    line += ",\"level\":\"";
+    line += level_tag(event.level);
+    line += '"';
+  }
+  if (!event.args.empty()) {
+    line += ",\"args\":";
+    append_args_object(line, event.args);
+  }
+  line += "}\n";
+  return line;
+}
+
+}  // namespace json
+
+namespace {
+
 std::string render_arg_value(const ArgValue& v) {
   std::string out;
   if (const auto* s = std::get_if<std::string>(&v)) {
@@ -172,28 +213,7 @@ JsonlMetricsSink::~JsonlMetricsSink() {
 }
 
 void JsonlMetricsSink::consume(const Event& event) {
-  std::string line = "{\"type\":\"";
-  line += phase_name(event.phase);
-  line += "\",\"name\":";
-  json::append_string(line, event.name);
-  line += ",\"cat\":";
-  json::append_string(line, event.category);
-  line += ",\"ts_us\":";
-  json::append_number(line, event.ts_us);
-  if (event.phase == Phase::kComplete) {
-    line += ",\"dur_us\":";
-    json::append_number(line, event.dur_us);
-  }
-  if (event.phase == Phase::kLog) {
-    line += ",\"level\":\"";
-    line += level_tag(event.level);
-    line += '"';
-  }
-  if (!event.args.empty()) {
-    line += ",\"args\":";
-    json::append_args_object(line, event.args);
-  }
-  line += "}\n";
+  const std::string line = json::event_jsonl_line(event);
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ != nullptr) {
     std::fwrite(line.data(), 1, line.size(), file_);
@@ -216,6 +236,10 @@ void JsonlMetricsSink::flush() {
 void ChromeTraceSink::consume(const Event& event) {
   std::lock_guard<std::mutex> lock(mutex_);
   events_.push_back(event);
+}
+
+void ChromeTraceSink::flush() {
+  if (!path_.empty()) (void)write_file(path_);
 }
 
 std::size_t ChromeTraceSink::size() const {

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "../test_fixtures.hpp"
 #include "letdma/guard/faults.hpp"
@@ -148,6 +151,59 @@ TEST_F(SupervisedTest, RecordsObsCountersForFallbacks) {
   EXPECT_EQ(reg.counter_value("engine.guard.demotions"), base_demotions + 1);
   EXPECT_EQ(reg.counter_value("engine.guard.retries"), base_retries + 1);
   EXPECT_GE(reg.counter_value("engine.guard.served." + record.served_by), 1);
+}
+
+TEST_F(SupervisedTest, DemotionDumpsTheFlightRecorder) {
+  if (!guard::faults_compiled_in()) GTEST_SKIP() << "injector compiled out";
+  const auto app = make_fig1_app();
+  const let::LetComms comms(*app);
+  guard::arm(guard::FaultPlan::parse("seed=1,engine.milp=throw"));
+  GuardOptions opt;
+  opt.chain = {"milp", "greedy"};
+  opt.retry_backoff_sec = 0.0;
+  opt.flight_dump_path =
+      ::testing::TempDir() + "letdma_flight_demotion.jsonl";
+  std::remove(opt.flight_dump_path.c_str());
+  const auto [out, record] = solve_supervised(comms, opt, 10.0);
+  ASSERT_TRUE(out.feasible());
+  ASSERT_EQ(record.demotions, 1);
+  EXPECT_EQ(record.flight_dump_path, opt.flight_dump_path);
+
+  std::ifstream dump(opt.flight_dump_path);
+  ASSERT_TRUE(dump.is_open()) << opt.flight_dump_path;
+  std::string line, all;
+  int lines = 0;
+  while (std::getline(dump, line)) {
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    all += line + "\n";
+    ++lines;
+  }
+  EXPECT_GE(lines, 4);  // solve_begin, retry, demote, solve_end at least
+  for (const char* needle :
+       {"\"type\":\"flight\"", "engine.guard.solve_begin",
+        "engine.guard.retry", "engine.guard.demote",
+        "engine.guard.solve_end"}) {
+    EXPECT_NE(all.find(needle), std::string::npos) << needle;
+  }
+  std::remove(opt.flight_dump_path.c_str());
+}
+
+TEST_F(SupervisedTest, HealthyRunWritesNoFlightDump) {
+  const auto app = make_fig1_app();
+  const let::LetComms comms(*app);
+  GuardOptions opt;
+  opt.chain = {"greedy", "giotto"};
+  opt.flight_dump_path =
+      ::testing::TempDir() + "letdma_flight_healthy.jsonl";
+  std::remove(opt.flight_dump_path.c_str());
+  const auto [out, record] = solve_supervised(comms, opt, 10.0);
+  ASSERT_TRUE(out.feasible());
+  EXPECT_EQ(record.demotions, 0);
+  EXPECT_TRUE(record.flight_dump_path.empty());
+  std::ifstream dump(opt.flight_dump_path);
+  EXPECT_FALSE(dump.is_open())
+      << "uneventful solve must not write a dump";
 }
 
 TEST_F(SupervisedTest, ZeroBudgetReturnsPromptlyWithDefinedOutcome) {

@@ -1,0 +1,98 @@
+#include "letdma/obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "letdma/obs/obs.hpp"
+
+namespace letdma::obs {
+namespace {
+
+Event instant(const std::string& name) {
+  Event e;
+  e.phase = Phase::kInstant;
+  e.name = name;
+  e.category = "test";
+  e.ts_us = static_cast<double>(name.size());
+  return e;
+}
+
+TEST(FlightRecorder, SequenceNumbersAreMonotonicFromZero) {
+  FlightRecorder rec(4);
+  EXPECT_EQ(rec.watermark(), 0u);
+  EXPECT_EQ(rec.record(instant("a")), 0u);
+  EXPECT_EQ(rec.record(instant("b")), 1u);
+  EXPECT_EQ(rec.watermark(), 2u);
+  const std::vector<FlightEvent> all = rec.since();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].event.name, "a");
+  EXPECT_EQ(all[1].event.name, "b");
+}
+
+TEST(FlightRecorder, WraparoundKeepsTheNewestCapacityEvents) {
+  FlightRecorder rec(8);
+  for (int i = 0; i < 20; ++i) {
+    rec.record(instant("e" + std::to_string(i)));
+  }
+  EXPECT_EQ(rec.watermark(), 20u);
+  const std::vector<FlightEvent> kept = rec.since();
+  ASSERT_EQ(kept.size(), 8u);
+  // Oldest first, and exactly the last `capacity` records survive.
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].seq, 12 + i);
+    EXPECT_EQ(kept[i].event.name, "e" + std::to_string(12 + i));
+  }
+}
+
+TEST(FlightRecorder, SinceFiltersByWatermark) {
+  FlightRecorder rec(8);
+  rec.record(instant("before"));
+  const std::uint64_t mark = rec.watermark();
+  rec.record(instant("after1"));
+  rec.record(instant("after2"));
+  const std::vector<FlightEvent> tail = rec.since(mark);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].event.name, "after1");
+  EXPECT_EQ(tail[1].event.name, "after2");
+  // A watermark overtaken by wraparound just yields what is still there.
+  for (int i = 0; i < 30; ++i) rec.record(instant("spam"));
+  EXPECT_EQ(rec.since(mark).size(), 8u);
+}
+
+TEST(FlightRecorder, DumpJsonlWritesOneTaggedLinePerEvent) {
+  FlightRecorder rec(8);
+  Event e = instant("milp.incumbent");
+  e.args.push_back({"objective", 1.5});
+  rec.record(e);
+  rec.record(instant("engine.guard.demote"));
+  std::ostringstream out;
+  EXPECT_EQ(rec.dump_jsonl(out), 2u);
+  std::istringstream in(out.str());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"type\":\"flight\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(lines[0].find("milp.incumbent"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"objective\":1.5"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(lines[1].find("engine.guard.demote"), std::string::npos);
+}
+
+TEST(FlightRecorder, GlobalFlightEventRecordsWithoutAnySink) {
+  // The whole point of the recorder: no sink attached, still captured.
+  const std::uint64_t mark = flight().watermark();
+  flight_event("test.flight.nosink", "test", {{"k", std::string("v")}},
+               Level::kWarn);
+  const std::vector<FlightEvent> tail = flight().since(mark);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].event.name, "test.flight.nosink");
+  EXPECT_EQ(tail[0].event.level, Level::kWarn);
+}
+
+}  // namespace
+}  // namespace letdma::obs

@@ -1,0 +1,149 @@
+#include "letdma/obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "letdma/obs/obs.hpp"
+
+namespace letdma::obs {
+namespace {
+
+// Bucket-midpoint reconstruction is exact to within one bucket's width:
+// with 4 sub-buckets per octave that is a 2^(1/4) ~ 19% relative band.
+constexpr double kBucketTolerance = 0.20;
+
+void expect_within_bucket(double reported, double exact) {
+  EXPECT_GE(reported, exact * (1.0 - kBucketTolerance))
+      << "reported " << reported << " for exact " << exact;
+  EXPECT_LE(reported, exact * (1.0 + kBucketTolerance))
+      << "reported " << reported << " for exact " << exact;
+}
+
+TEST(Histogram, CountSumMaxAreExact) {
+  Histogram h("test.hist.exact");
+  Registry::instance().reset_histograms();
+  h.record(1.0);
+  h.record(10.0);
+  h.record(100.0);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.sum, 111.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 37.0);
+}
+
+TEST(Histogram, PercentilesTrackTheDistribution) {
+  Histogram h("test.hist.percentiles");
+  Registry::instance().reset_histograms();
+  // 1..1000: p50 ~ 500, p90 ~ 900, p99 ~ 990.
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1000);
+  expect_within_bucket(s.p50, 500.0);
+  expect_within_bucket(s.p90, 900.0);
+  expect_within_bucket(s.p99, 990.0);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  // Percentiles never report beyond the exactly-tracked max.
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+}
+
+TEST(Histogram, SingleSampleStaysWithinItsBucket) {
+  Histogram h("test.hist.single");
+  Registry::instance().reset_histograms();
+  h.record(42.0);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1);
+  expect_within_bucket(s.p50, 42.0);
+  expect_within_bucket(s.p99, 42.0);
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+}
+
+TEST(Histogram, PowerOfTwoSampleClampsToTheExactMax) {
+  Histogram h("test.hist.pow2");
+  Registry::instance().reset_histograms();
+  // A value on a bucket's lower edge has a midpoint above it, so the
+  // max clamp kicks in and the percentile is exact.
+  h.record(32.0);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.p50, 32.0);
+  EXPECT_DOUBLE_EQ(s.p99, 32.0);
+}
+
+TEST(Histogram, NonPositiveValuesLandInTheZeroBucket) {
+  Histogram h("test.hist.zero");
+  Registry::instance().reset_histograms();
+  h.record(0.0);
+  h.record(-5.0);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 2);
+  EXPECT_EQ(s.buckets[0], 2);
+  EXPECT_GE(s.p50, 0.0);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h("test.hist.reset");
+  h.record(7.0);
+  EXPECT_GT(h.snapshot().count, 0);
+  Registry::instance().reset_histograms();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(Histogram, SameNameSharesTheCell) {
+  Histogram a("test.hist.shared");
+  Histogram b("test.hist.shared");
+  Registry::instance().reset_histograms();
+  a.record(1.0);
+  b.record(2.0);
+  EXPECT_EQ(a.snapshot().count, 2);
+  EXPECT_EQ(b.snapshot().count, 2);
+}
+
+TEST(Histogram, RegistryEnumeratesNamesSorted) {
+  Histogram b("test.hist.names.b");
+  Histogram a("test.hist.names.a");
+  const std::vector<std::string> names =
+      Registry::instance().histogram_names();
+  const auto pos_a = std::find(names.begin(), names.end(),
+                               "test.hist.names.a");
+  const auto pos_b = std::find(names.begin(), names.end(),
+                               "test.hist.names.b");
+  ASSERT_NE(pos_a, names.end());
+  ASSERT_NE(pos_b, names.end());
+  EXPECT_LT(pos_a - names.begin(), pos_b - names.begin());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Histogram, ScopedLatencyRecordsOneSample) {
+  Histogram h("test.hist.scoped");
+  Registry::instance().reset_histograms();
+  { ScopedLatency t(h); }
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1);
+  EXPECT_GE(s.max, 0.0);
+}
+
+TEST(Histogram, ExtremeValuesClampToEdgeBuckets) {
+  Histogram h("test.hist.extreme");
+  Registry::instance().reset_histograms();
+  h.record(1e300);
+  h.record(1e-300);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 2);
+  EXPECT_DOUBLE_EQ(s.max, 1e300);
+  // The reconstruction stays finite even though the value overflowed the
+  // bucket range (it is clamped to max, which is tracked exactly).
+  EXPECT_LE(s.p99, s.max);
+}
+
+}  // namespace
+}  // namespace letdma::obs
