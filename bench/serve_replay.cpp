@@ -1,0 +1,327 @@
+// serve_replay — load driver for the letdma::serve scheduling service.
+//
+// Replays a seeded corpus of near-duplicate instances (random task/label
+// reorderings, renamings and core renumberings of a few base models — the
+// production traffic shape the solve cache exists for) against a Service,
+// in-process by default or over the Unix-socket protocol with --socket.
+// Base models are seeded into the cache untimed; the timed window then
+// measures steady-state behaviour: requests/second, cache hit rate, and
+// that every response is certified.
+//
+//   serve_replay [--requests n] [--bases n] [--tenants n] [--threads n]
+//                [--clients n] [--budget-ms ms] [--seed s]
+//                [--socket [path]] [--connect path]
+//                [--check <baseline.json>]
+//
+// --socket starts an in-process Server and drives it through the wire;
+// --connect drives an already-running letdma_served at the given path
+// instead (the CI smoke job exercises the real daemon this way — note
+// that cache/certification stats then live in the daemon, so only the
+// per-response flags are asserted). --check gates req_per_sec against
+// 0.8x the committed baseline (the nightly perf gate); metrics land on
+// the standard JSONL stream (LETDMA_METRICS), histograms included, so
+// letdma_report renders the per-tenant serve.* tables.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "letdma/engine/batch.hpp"
+#include "letdma/model/canonical.hpp"
+#include "letdma/model/generator.hpp"
+#include "letdma/model/io.hpp"
+#include "letdma/serve/server.hpp"
+#include "letdma/serve/service.hpp"
+
+using namespace letdma;
+
+namespace {
+
+struct Args {
+  int requests = 20000;
+  int bases = 12;
+  int tenants = 4;
+  int threads = 0;
+  int clients = 4;
+  double budget_ms = 500.0;
+  std::uint64_t seed = 42;
+  bool use_socket = false;
+  bool external_server = false;
+  std::string socket_path = "/tmp/letdma-serve-replay.sock";
+  std::string baseline_path;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: serve_replay [--requests n] [--bases n] [--tenants n]"
+               " [--threads n]\n"
+               "       [--clients n] [--budget-ms ms] [--seed s]"
+               " [--socket [path]]\n"
+               "       [--check <baseline.json>]\n");
+  return 2;
+}
+
+std::vector<int> random_permutation(int n, std::mt19937_64& rng) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  std::shuffle(perm.begin(), perm.end(), rng);
+  return perm;
+}
+
+/// Small harmonic instances: tight T* keeps per-request certification in
+/// the microsecond range, which is what a 10k req/s cache-hit path needs.
+std::unique_ptr<model::Application> make_base(std::uint64_t seed) {
+  model::GeneratorOptions opt;
+  opt.num_cores = 3;
+  opt.num_tasks = 8;
+  opt.num_labels = 10;
+  opt.total_utilization = 0.3;
+  opt.period_choices = {support::ms(10), support::ms(20), support::ms(40)};
+  opt.seed = seed;
+  return model::generate_application(opt);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto value = [&](std::string* dst) {
+      if (a + 1 >= argc) return false;
+      *dst = argv[++a];
+      return true;
+    };
+    std::string v;
+    if (arg == "--requests") {
+      if (!value(&v)) return usage();
+      args.requests = std::atoi(v.c_str());
+    } else if (arg == "--bases") {
+      if (!value(&v)) return usage();
+      args.bases = std::atoi(v.c_str());
+    } else if (arg == "--tenants") {
+      if (!value(&v)) return usage();
+      args.tenants = std::atoi(v.c_str());
+    } else if (arg == "--threads") {
+      if (!value(&v)) return usage();
+      args.threads = std::atoi(v.c_str());
+    } else if (arg == "--clients") {
+      if (!value(&v)) return usage();
+      args.clients = std::atoi(v.c_str());
+    } else if (arg == "--budget-ms") {
+      if (!value(&v)) return usage();
+      args.budget_ms = std::atof(v.c_str());
+    } else if (arg == "--seed") {
+      if (!value(&v)) return usage();
+      args.seed = static_cast<std::uint64_t>(std::atoll(v.c_str()));
+    } else if (arg == "--socket") {
+      args.use_socket = true;
+      // Optional path operand.
+      if (a + 1 < argc && argv[a + 1][0] != '-') args.socket_path = argv[++a];
+    } else if (arg == "--connect") {
+      args.use_socket = true;
+      args.external_server = true;
+      if (!value(&args.socket_path)) return usage();
+    } else if (arg == "--check") {
+      if (!value(&args.baseline_path)) return usage();
+    } else {
+      return usage();
+    }
+  }
+  if (args.requests <= 0 || args.bases <= 0 || args.tenants <= 0 ||
+      args.clients <= 0) {
+    return usage();
+  }
+
+  // --- corpus ---------------------------------------------------------------
+  std::mt19937_64 rng(args.seed);
+  std::vector<std::unique_ptr<model::Application>> bases;
+  bases.reserve(static_cast<std::size_t>(args.bases));
+  for (int b = 0; b < args.bases; ++b) {
+    bases.push_back(make_base(args.seed + static_cast<std::uint64_t>(b)));
+  }
+  std::vector<serve::Request> warmup;
+  for (int b = 0; b < args.bases; ++b) {
+    serve::Request req;
+    req.id = "warm" + std::to_string(b);
+    req.tenant = "t" + std::to_string(b % args.tenants);
+    req.model_text =
+        model::write_application(*bases[static_cast<std::size_t>(b)]);
+    req.budget_sec = args.budget_ms / 1000.0;
+    req.want_schedule = false;
+    warmup.push_back(std::move(req));
+  }
+  std::vector<serve::Request> corpus;
+  corpus.reserve(static_cast<std::size_t>(args.requests));
+  for (int i = 0; i < args.requests; ++i) {
+    const model::Application& base =
+        *bases[static_cast<std::size_t>(i % args.bases)];
+    const auto dup = model::permute_application(
+        base, random_permutation(base.num_tasks(), rng),
+        random_permutation(base.num_labels(), rng),
+        random_permutation(base.platform().num_cores(), rng));
+    serve::Request req;
+    req.id = "r" + std::to_string(i);
+    req.tenant = "t" + std::to_string(i % args.tenants);
+    req.model_text = model::write_application(*dup);
+    req.budget_sec = args.budget_ms / 1000.0;
+    req.want_schedule = false;
+    corpus.push_back(std::move(req));
+  }
+
+  // --- service --------------------------------------------------------------
+  serve::ServiceOptions service_options;
+  service_options.cache_capacity = 4096;
+  // Replay saturates every worker; admission is load-shedding for
+  // production, not the thing under test here.
+  service_options.default_policy.max_inflight = 1 << 20;
+  service_options.default_policy.max_budget_sec = 30.0;
+  // The cheap end of the degradation chain: replay measures the serving
+  // layer, not MILP solve times (table1_milp owns those).
+  service_options.guard.chain = {"ls", "greedy", "giotto"};
+  serve::Service service(service_options);
+
+  const engine::BatchRunner runner(engine::BatchOptions{args.threads});
+  std::printf("serve_replay: %d requests over %d bases, %d tenants, "
+              "%d worker threads%s\n",
+              args.requests, args.bases, args.tenants, runner.threads(),
+              args.external_server ? ", external server"
+              : args.use_socket    ? ", socket mode"
+                                   : ", in-process");
+
+  std::unique_ptr<serve::Server> server;
+  if (args.use_socket && !args.external_server) {
+    serve::ServerOptions so;
+    so.socket_path = args.socket_path;
+    so.threads = args.threads;
+    server = std::make_unique<serve::Server>(service, so);
+    server->start();
+  }
+
+  const auto drive = [&](const std::vector<serve::Request>& requests)
+      -> std::vector<serve::Response> {
+    if (!args.use_socket) {
+      return runner.map<serve::Response>(
+          requests.size(),
+          [&](std::size_t i) { return service.handle(requests[i]); });
+    }
+    // Socket mode: split round-robin across pipelining client
+    // connections, each batching through the line protocol.
+    std::vector<std::vector<serve::Request>> per_client(
+        static_cast<std::size_t>(args.clients));
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      per_client[i % per_client.size()].push_back(requests[i]);
+    }
+    std::vector<std::vector<serve::Response>> gathered(per_client.size());
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < per_client.size(); ++c) {
+      threads.emplace_back([&, c] {
+        serve::Client client(args.socket_path);
+        gathered[c] = client.call_batch(per_client[c]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    std::vector<serve::Response> flat;
+    flat.reserve(requests.size());
+    for (const auto& g : gathered) {
+      flat.insert(flat.end(), g.begin(), g.end());
+    }
+    return flat;
+  };
+
+  // --- warmup (untimed): seed the cache with one solve per base -------------
+  for (const serve::Response& r : drive(warmup)) {
+    if (!r.ok) {
+      std::fprintf(stderr, "warmup solve failed: %s\n", r.error.c_str());
+      return 1;
+    }
+  }
+  const serve::CacheStats warm_stats = service.cache().stats();
+
+  // --- timed replay ---------------------------------------------------------
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<serve::Response> responses = drive(corpus);
+  const double wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (server != nullptr) server->stop();
+
+  std::int64_t ok = 0, certified = 0, hits = 0;
+  for (const serve::Response& r : responses) {
+    ok += r.ok ? 1 : 0;
+    certified += r.certified ? 1 : 0;
+    hits += r.cache_hit ? 1 : 0;
+  }
+  const double req_per_sec =
+      wall_sec > 0 ? static_cast<double>(responses.size()) / wall_sec : 0.0;
+  const double hit_rate =
+      responses.empty()
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(responses.size());
+  const double certified_rate =
+      responses.empty() ? 0.0
+                        : static_cast<double>(certified) /
+                              static_cast<double>(responses.size());
+  const serve::ServiceStats stats = service.stats();
+
+  std::printf("replayed %zu requests in %.2fs: %.0f req/s\n",
+              responses.size(), wall_sec, req_per_sec);
+  std::printf("  ok %lld, certified %lld (%.2f%%), cache hits %lld "
+              "(%.2f%% hit rate)\n",
+              static_cast<long long>(ok), static_cast<long long>(certified),
+              100.0 * certified_rate, static_cast<long long>(hits),
+              100.0 * hit_rate);
+  if (!args.external_server) {
+    std::printf("  cache: %zu/%zu entries, %lld evictions, "
+                "%lld invalidations (warmup filled %zu)\n",
+                stats.cache.size, stats.cache.capacity,
+                static_cast<long long>(stats.cache.evictions),
+                static_cast<long long>(stats.cache.invalidations),
+                warm_stats.size);
+  }
+
+  const std::string config = args.external_server ? "external"
+                             : args.use_socket    ? "socket"
+                                                  : "in-process";
+  bench::append_metrics(
+      "serve_replay", config,
+      {{"requests", static_cast<std::int64_t>(responses.size())},
+       {"bases", static_cast<std::int64_t>(args.bases)},
+       {"tenants", static_cast<std::int64_t>(args.tenants)},
+       {"threads", static_cast<std::int64_t>(runner.threads())},
+       {"wall_sec", wall_sec},
+       {"req_per_sec", req_per_sec},
+       {"hit_rate", hit_rate},
+       {"certified_rate", certified_rate},
+       {"rejected", stats.rejected},
+       {"evictions", stats.cache.evictions},
+       {"invalidations", stats.cache.invalidations}});
+  bench::append_histogram_metrics("serve_replay");
+
+  if (ok != static_cast<std::int64_t>(responses.size()) ||
+      certified != static_cast<std::int64_t>(responses.size())) {
+    std::fprintf(stderr,
+                 "FAIL: %lld responses not ok or not certified\n",
+                 static_cast<long long>(
+                     static_cast<std::int64_t>(responses.size()) -
+                     std::min(ok, certified)));
+    return 1;
+  }
+  if (hit_rate < 0.9) {
+    std::fprintf(stderr, "FAIL: hit rate %.2f%% below 90%%\n",
+                 100.0 * hit_rate);
+    return 1;
+  }
+  if (!args.baseline_path.empty()) {
+    return bench::check_baseline(args.baseline_path, "req_per_sec",
+                                 "serve replay throughput", req_per_sec);
+  }
+  return 0;
+}

@@ -29,269 +29,22 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "letdma/support/json.hpp"
+
 namespace {
 
-// --- Minimal JSON value + recursive-descent parser -------------------------
-// The streams are flat machine-written objects; this parser is complete
-// enough for any standard JSON so hand-edited baselines also load.
-
-struct JsonValue;
-using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string text;
-  std::shared_ptr<JsonArray> array;
-  std::shared_ptr<JsonObject> object;
-
-  const JsonValue* find(const std::string& key) const {
-    if (kind != Kind::kObject) return nullptr;
-    for (const auto& [k, v] : *object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-  bool has(const std::string& key) const { return find(key) != nullptr; }
-  std::string str_or(const std::string& key, std::string fallback) const {
-    const JsonValue* v = find(key);
-    return v != nullptr && v->kind == Kind::kString ? v->text
-                                                    : std::move(fallback);
-  }
-  bool num_of(const std::string& key, double* out) const {
-    const JsonValue* v = find(key);
-    if (v == nullptr || v->kind != Kind::kNumber) return false;
-    *out = v->number;
-    return true;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool parse(JsonValue* out, std::string* error) {
-    pos_ = 0;
-    if (!value(out, error)) return false;
-    skip_ws();
-    if (pos_ != text_.size()) {
-      *error = "trailing characters at offset " + std::to_string(pos_);
-      return false;
-    }
-    return true;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool literal(const char* word, std::string* error) {
-    const std::size_t n = std::strlen(word);
-    if (text_.compare(pos_, n, word) != 0) {
-      *error = "bad literal at offset " + std::to_string(pos_);
-      return false;
-    }
-    pos_ += n;
-    return true;
-  }
-
-  bool string(std::string* out, std::string* error) {
-    if (pos_ >= text_.size() || text_[pos_] != '"') {
-      *error = "expected string at offset " + std::to_string(pos_);
-      return false;
-    }
-    ++pos_;
-    out->clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c != '\\') {
-        out->push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) break;
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out->push_back('"'); break;
-        case '\\': out->push_back('\\'); break;
-        case '/': out->push_back('/'); break;
-        case 'b': out->push_back('\b'); break;
-        case 'f': out->push_back('\f'); break;
-        case 'n': out->push_back('\n'); break;
-        case 'r': out->push_back('\r'); break;
-        case 't': out->push_back('\t'); break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            *error = "truncated \\u escape";
-            return false;
-          }
-          unsigned cp = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            cp <<= 4;
-            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f')
-              cp |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F')
-              cp |= static_cast<unsigned>(h - 'A' + 10);
-            else {
-              *error = "bad \\u escape";
-              return false;
-            }
-          }
-          // UTF-8 encode the basic-plane code point (the streams only
-          // ever emit \u00XX control escapes; surrogates pass through
-          // as replacement-free three-byte forms).
-          if (cp < 0x80) {
-            out->push_back(static_cast<char>(cp));
-          } else if (cp < 0x800) {
-            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
-            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-          } else {
-            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
-            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-          }
-          break;
-        }
-        default:
-          *error = "bad escape character";
-          return false;
-      }
-    }
-    *error = "unterminated string";
-    return false;
-  }
-
-  bool value(JsonValue* out, std::string* error) {
-    skip_ws();
-    if (pos_ >= text_.size()) {
-      *error = "unexpected end of input";
-      return false;
-    }
-    const char c = text_[pos_];
-    if (c == '{') {
-      ++pos_;
-      out->kind = JsonValue::Kind::kObject;
-      out->object = std::make_shared<JsonObject>();
-      skip_ws();
-      if (pos_ < text_.size() && text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      for (;;) {
-        skip_ws();
-        std::string key;
-        if (!string(&key, error)) return false;
-        skip_ws();
-        if (pos_ >= text_.size() || text_[pos_] != ':') {
-          *error = "expected ':' at offset " + std::to_string(pos_);
-          return false;
-        }
-        ++pos_;
-        JsonValue v;
-        if (!value(&v, error)) return false;
-        out->object->emplace_back(std::move(key), std::move(v));
-        skip_ws();
-        if (pos_ < text_.size() && text_[pos_] == ',') {
-          ++pos_;
-          continue;
-        }
-        if (pos_ < text_.size() && text_[pos_] == '}') {
-          ++pos_;
-          return true;
-        }
-        *error = "expected ',' or '}' at offset " + std::to_string(pos_);
-        return false;
-      }
-    }
-    if (c == '[') {
-      ++pos_;
-      out->kind = JsonValue::Kind::kArray;
-      out->array = std::make_shared<JsonArray>();
-      skip_ws();
-      if (pos_ < text_.size() && text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      for (;;) {
-        JsonValue v;
-        if (!value(&v, error)) return false;
-        out->array->push_back(std::move(v));
-        skip_ws();
-        if (pos_ < text_.size() && text_[pos_] == ',') {
-          ++pos_;
-          continue;
-        }
-        if (pos_ < text_.size() && text_[pos_] == ']') {
-          ++pos_;
-          return true;
-        }
-        *error = "expected ',' or ']' at offset " + std::to_string(pos_);
-        return false;
-      }
-    }
-    if (c == '"') {
-      out->kind = JsonValue::Kind::kString;
-      return string(&out->text, error);
-    }
-    if (c == 't') {
-      out->kind = JsonValue::Kind::kBool;
-      out->boolean = true;
-      return literal("true", error);
-    }
-    if (c == 'f') {
-      out->kind = JsonValue::Kind::kBool;
-      out->boolean = false;
-      return literal("false", error);
-    }
-    if (c == 'n') {
-      out->kind = JsonValue::Kind::kNull;
-      return literal("null", error);
-    }
-    // Number: delegate to strtod, then verify it consumed a JSON-shaped
-    // token (strtod accepts hex/inf which JSON does not; the streams never
-    // emit those, so a simple charset check is enough).
-    char* end = nullptr;
-    const double num = std::strtod(text_.c_str() + pos_, &end);
-    if (end == text_.c_str() + pos_) {
-      *error = "unexpected character at offset " + std::to_string(pos_);
-      return false;
-    }
-    for (const char* p = text_.c_str() + pos_; p < end; ++p) {
-      if ((*p >= '0' && *p <= '9') || *p == '-' || *p == '+' || *p == '.' ||
-          *p == 'e' || *p == 'E') {
-        continue;
-      }
-      *error = "bad number at offset " + std::to_string(pos_);
-      return false;
-    }
-    out->kind = JsonValue::Kind::kNumber;
-    out->number = num;
-    pos_ = static_cast<std::size_t>(end - text_.c_str());
-    return true;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+// The JSON machinery (JsonValue + recursive-descent parser) lives in
+// letdma::support so the serve layer parses request envelopes with the
+// same single implementation.
+using letdma::support::JsonValue;
+using letdma::support::parse_json;
 
 // --- Loaded data -----------------------------------------------------------
 
@@ -336,7 +89,7 @@ void load_jsonl(const std::string& path, Report* report) {
     row.file = path;
     row.line = lineno;
     std::string error;
-    if (!JsonParser(line).parse(&row.value, &error)) {
+    if (!parse_json(line, &row.value, &error)) {
       // Not line-delimited: a pretty-printed single document (e.g.
       // google-benchmark output) is noted and skipped, anything else is a
       // genuine malformed line.
@@ -344,7 +97,7 @@ void load_jsonl(const std::string& path, Report* report) {
       whole << line << "\n" << in.rdbuf();
       JsonValue doc;
       std::string doc_error;
-      if (lineno == 1 && JsonParser(whole.str()).parse(&doc, &doc_error)) {
+      if (lineno == 1 && parse_json(whole.str(), &doc, &doc_error)) {
         report->skipped.push_back(path + " (single JSON document)");
         return;
       }
@@ -379,7 +132,7 @@ void load_baseline_file(const std::string& path, Report* report) {
   buf << in.rdbuf();
   JsonValue doc;
   std::string error;
-  if (!JsonParser(buf.str()).parse(&doc, &error) ||
+  if (!parse_json(buf.str(), &doc, &error) ||
       doc.kind != JsonValue::Kind::kObject) {
     report->errors.push_back("baseline " + path + ": " + error);
     return;
@@ -708,7 +461,7 @@ std::string render_html(const Report& report, const std::string& title) {
     if (tl == nullptr || tl->kind != JsonValue::Kind::kString) continue;
     JsonValue arr;
     std::string error;
-    if (!JsonParser(tl->text).parse(&arr, &error) ||
+    if (!parse_json(tl->text, &arr, &error) ||
         arr.kind != JsonValue::Kind::kArray) {
       continue;
     }

@@ -1,0 +1,172 @@
+// letdma_served — the scheduling service daemon.
+//
+//   letdma_served --socket /tmp/letdma.sock [options]
+//
+// Serves the newline-delimited JSON protocol of letdma::serve over a Unix
+// domain socket: each request carries an application model; the response
+// carries a certified schedule, the canonical fingerprint and whether it
+// was answered from the solve cache. Runs until SIGINT/SIGTERM, then
+// shuts down cleanly (joins every connection, unlinks the socket) and
+// prints the session's cache/admission statistics.
+//
+// Options:
+//   --socket <path>        socket path (default /tmp/letdma-serve.sock)
+//   --cache-capacity <n>   solve-cache entries (default 1024)
+//   --threads <n>          worker threads per connection batch (0 = auto)
+//   --max-inflight <n>     per-tenant concurrent request cap (default 16)
+//   --max-budget-sec <s>   per-tenant solve budget cap (default 5)
+//   --chain <a,b,..>       supervised degradation chain (default
+//                          milp,ls,greedy,giotto)
+//   --metrics <file>       append the obs event stream as JSONL
+//   -v                     verbose logging to stderr
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "letdma/obs/obs.hpp"
+#include "letdma/obs/sinks.hpp"
+#include "letdma/serve/server.hpp"
+#include "letdma/serve/service.hpp"
+#include "letdma/support/error.hpp"
+
+using namespace letdma;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: letdma_served [--socket <path>] [--cache-capacity <n>]"
+               " [--threads <n>]\n"
+               "       [--max-inflight <n>] [--max-budget-sec <s>] "
+               "[--chain <a,b,..>]\n"
+               "       [--metrics <file>] [-v]\n");
+  return 2;
+}
+
+std::vector<std::string> split_commas(const std::string& v) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : v) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/letdma-serve.sock";
+  std::string metrics_path, chain_flag;
+  serve::ServiceOptions service_options;
+  int threads = 0;
+  bool verbose = false;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto value = [&](std::string* dst) {
+      if (a + 1 >= argc) return false;
+      *dst = argv[++a];
+      return true;
+    };
+    std::string v;
+    if (arg == "--socket") {
+      if (!value(&socket_path)) return usage();
+    } else if (arg == "--cache-capacity") {
+      if (!value(&v)) return usage();
+      service_options.cache_capacity =
+          static_cast<std::size_t>(std::atoll(v.c_str()));
+    } else if (arg == "--threads") {
+      if (!value(&v)) return usage();
+      threads = std::atoi(v.c_str());
+    } else if (arg == "--max-inflight") {
+      if (!value(&v)) return usage();
+      service_options.default_policy.max_inflight = std::atoi(v.c_str());
+    } else if (arg == "--max-budget-sec") {
+      if (!value(&v)) return usage();
+      service_options.default_policy.max_budget_sec = std::atof(v.c_str());
+    } else if (arg == "--chain") {
+      if (!value(&chain_flag)) return usage();
+    } else if (arg == "--metrics") {
+      if (!value(&metrics_path)) return usage();
+    } else if (arg == "-v") {
+      verbose = true;
+    } else {
+      return usage();
+    }
+  }
+  if (!chain_flag.empty()) {
+    service_options.guard.chain = split_commas(chain_flag);
+  }
+
+  obs::Registry& reg = obs::Registry::instance();
+  std::shared_ptr<obs::JsonlMetricsSink> metrics_sink;
+  if (!metrics_path.empty()) {
+    try {
+      metrics_sink = std::make_shared<obs::JsonlMetricsSink>(metrics_path);
+    } catch (const support::Error& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    reg.attach(metrics_sink);
+  }
+  if (verbose) {
+    reg.set_log_threshold(obs::Level::kDebug);
+    reg.attach(std::make_shared<obs::StderrLogSink>());
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);  // broken clients must not kill the server
+
+  serve::Service service(service_options);
+  serve::ServerOptions server_options;
+  server_options.socket_path = socket_path;
+  server_options.threads = threads;
+  serve::Server server(service, server_options);
+  try {
+    server.start();
+  } catch (const support::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  std::printf("letdma_served listening on %s\n", socket_path.c_str());
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+
+  const serve::ServiceStats stats = service.stats();
+  std::printf("requests: %lld (rejected %lld, certified %lld)\n",
+              static_cast<long long>(stats.requests),
+              static_cast<long long>(stats.rejected),
+              static_cast<long long>(stats.certified));
+  std::printf("cache: %lld hits, %lld misses (%.1f%% hit rate), "
+              "%lld evictions, %lld invalidations, %zu/%zu entries\n",
+              static_cast<long long>(stats.cache.hits),
+              static_cast<long long>(stats.cache.misses),
+              100.0 * stats.cache.hit_rate(),
+              static_cast<long long>(stats.cache.evictions),
+              static_cast<long long>(stats.cache.invalidations),
+              stats.cache.size, stats.cache.capacity);
+  if (metrics_sink != nullptr) reg.detach(metrics_sink);
+  return 0;
+}

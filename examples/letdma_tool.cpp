@@ -34,6 +34,11 @@
 //                     hardware thread, 1 = the sequential node loop);
 //                     applies to the milp engine and to the milp strategy
 //                     inside portfolio/supervised
+//   --fingerprint     print the 128-bit canonical structural fingerprint
+//                     of the model (the letdma::serve cache key) and exit;
+//                     isomorphic models — renamed tasks/labels, reordered
+//                     directives, renumbered cores — print the same hash.
+//                     With -v the canonical form itself goes to stderr
 //   --deterministic   reproducible parallel MILP search (epoch-synchronized
 //                     node batches; the result is thread-count independent)
 //   -v                verbose: mirror events to stderr
@@ -57,6 +62,7 @@
 #include "letdma/let/milp_scheduler.hpp"
 #include "letdma/let/schedule_io.hpp"
 #include "letdma/let/validate.hpp"
+#include "letdma/model/canonical.hpp"
 #include "letdma/model/io.hpp"
 #include "letdma/obs/obs.hpp"
 #include "letdma/obs/sinks.hpp"
@@ -93,7 +99,8 @@ int usage() {
       "       [--engine <name>] [--budget-ms <ms>] [--certify] "
       "[--faults <spec>]\n"
       "       [--save <file>] [--trace <file>] [--metrics <file>]\n"
-      "       [--flight <file>] [--threads <n>] [--deterministic] [-v]\n");
+      "       [--flight <file>] [--threads <n>] [--deterministic]\n"
+      "       [--fingerprint] [-v]\n");
   return 2;
 }
 
@@ -106,6 +113,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool certify_flag = false;
   bool deterministic_flag = false;
+  bool fingerprint_flag = false;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     auto value = [&](std::string* dst) {
@@ -131,6 +139,8 @@ int main(int argc, char** argv) {
       if (!value(&threads_flag)) return usage();
     } else if (arg == "--deterministic") {
       deterministic_flag = true;
+    } else if (arg == "--fingerprint") {
+      fingerprint_flag = true;
     } else if (arg == "--faults") {
       if (!value(&faults_flag)) return usage();
     } else if (arg == "-v") {
@@ -211,6 +221,15 @@ int main(int argc, char** argv) {
   } catch (const support::Error& e) {
     std::fprintf(stderr, "parse error: %s\n", e.what());
     return 2;
+  }
+  if (fingerprint_flag) {
+    const model::Canonicalization canon = model::canonicalize(*app);
+    std::printf("%s\n", canon.fingerprint.to_hex().c_str());
+    if (verbose) {
+      std::fprintf(stderr, "canonical form (%s):\n%s",
+                   canon.exact ? "exact" : "inexact", canon.text.c_str());
+    }
+    return 0;
   }
   let::LetComms comms(*app);
   if (comms.comms_at_s0().empty()) {

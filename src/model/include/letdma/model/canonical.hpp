@@ -1,0 +1,99 @@
+// Canonical instance forms and structural fingerprints.
+//
+// Millions of users mostly submit near-duplicate models: the same task
+// graph with tasks/labels listed in a different order, renamed, or mapped
+// onto renumbered cores. canonicalize() reduces an Application to a
+// *canonical form* — a relabeling of tasks, labels and cores by structural
+// sort keys such that any two isomorphic instances produce byte-identical
+// serialized text — and fingerprint() hashes that text into a 128-bit key
+// suitable for a solve cache.
+//
+// Isomorphism here means: a bijection of tasks, labels and cores that
+// preserves every structural attribute (periods, WCETs, priorities,
+// acquisition deadlines, label sizes, writer/reader relations, core
+// assignment) and the platform timing parameters. Names are NOT
+// structural; neither is insertion order.
+//
+// The algorithm is colour refinement (Weisfeiler–Lehman style) over the
+// task/label bipartite graph with core colours folded in, followed by
+// individualization when refinement alone leaves symmetric entities
+// undistinguished: each member of the first ambiguous task class is
+// individualized in turn and the lexicographically smallest canonical
+// text wins. Branching is bounded (kMaxLeaves); instances rich enough in
+// attributes — every real workload in this tree — discriminate fully in
+// the refinement phase and never branch. If the bound is ever exceeded
+// the result is still deterministic for a fixed input but `exact` is
+// cleared, and a consumer that needs a hard guarantee (the serve cache)
+// re-certifies every hit anyway, so a fingerprint collision or an inexact
+// canonical form degrades to a cache miss, never to a wrong answer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "letdma/model/application.hpp"
+
+namespace letdma::model {
+
+/// A 128-bit structural hash of the canonical form.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  /// 32 lowercase hex characters (hi then lo).
+  std::string to_hex() const;
+
+  friend bool operator==(const Fingerprint& a, const Fingerprint& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend auto operator<=>(const Fingerprint& a, const Fingerprint& b) {
+    if (a.hi != b.hi) return a.hi <=> b.hi;
+    return a.lo <=> b.lo;
+  }
+};
+
+/// The canonical form of an application plus the permutations that map
+/// the original instance onto it (original index -> canonical index).
+/// The canonical application renames tasks to t000.. and labels to l000..
+/// in canonical order, renumbers cores, and keeps every structural
+/// attribute; two isomorphic inputs yield byte-identical `text`.
+struct Canonicalization {
+  std::unique_ptr<Application> app;  // canonical, finalized
+  std::string text;                  // write_application(*app)
+  Fingerprint fingerprint;
+  std::vector<int> task_map;   // task_map[orig]  = canonical task index
+  std::vector<int> label_map;  // label_map[orig] = canonical label index
+  std::vector<int> core_map;   // core_map[orig]  = canonical core index
+  /// False only when the individualization branch budget was exceeded
+  /// (pathologically symmetric instances); the form is then deterministic
+  /// per input but not guaranteed isomorphism-invariant.
+  bool exact = true;
+};
+
+/// Computes the canonical form. The input must be finalized.
+Canonicalization canonicalize(const Application& app);
+
+/// Convenience: canonical fingerprint without keeping the form.
+Fingerprint fingerprint_of(const Application& app);
+
+/// Inverse of a canonicalization permutation: out[canonical] = original.
+std::vector<int> invert_permutation(const std::vector<int>& map);
+
+/// 128-bit hash of arbitrary bytes (the function fingerprints use);
+/// exposed for cache keys derived from canonical text + request knobs.
+Fingerprint fingerprint_bytes(const std::string& bytes);
+
+/// Builds the isomorphic instance obtained by relabeling `app` through the
+/// given permutations (each maps original index -> new index; empty = id).
+/// Tasks and labels are inserted in new-index order under fresh names, so
+/// insertion order, names and core numbering all change while the
+/// structure is preserved — the adversarial input for fingerprint tests
+/// and the near-duplicate generator of the serve replay bench.
+std::unique_ptr<Application> permute_application(
+    const Application& app, const std::vector<int>& task_perm = {},
+    const std::vector<int>& label_perm = {},
+    const std::vector<int>& core_perm = {});
+
+}  // namespace letdma::model

@@ -1,0 +1,476 @@
+#include "letdma/model/canonical.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "letdma/model/io.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::model {
+namespace {
+
+/// Individualization branch budget. Attribute-rich instances discriminate
+/// during refinement and visit exactly one leaf; the budget only matters
+/// for adversarially symmetric inputs (e.g. many byte-identical tasks
+/// with no labels), where remaining ties are automorphic in practice.
+constexpr int kMaxLeaves = 64;
+
+using Sig = std::vector<std::int64_t>;
+
+/// Dense-ranks `sigs` lexicographically into *colors; returns the number
+/// of distinct classes.
+int rank_signatures(const std::vector<Sig>& sigs, std::vector<int>* colors) {
+  const std::size_t n = sigs.size();
+  std::vector<int> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](int a, int b) { return sigs[static_cast<std::size_t>(a)] <
+                                       sigs[static_cast<std::size_t>(b)]; });
+  colors->assign(n, 0);
+  int rank = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && sigs[static_cast<std::size_t>(idx[i])] !=
+                     sigs[static_cast<std::size_t>(idx[i - 1])]) {
+      ++rank;
+    }
+    (*colors)[static_cast<std::size_t>(idx[i])] = rank;
+  }
+  return n == 0 ? 0 : rank + 1;
+}
+
+struct Colors {
+  std::vector<int> task;
+  std::vector<int> label;
+  std::vector<int> core;
+  int classes = 0;  // total distinct classes across the three families
+};
+
+/// Static structure shared by every refinement pass.
+struct Graph {
+  const Application* app = nullptr;
+  int num_tasks = 0, num_labels = 0, num_cores = 0;
+  std::vector<std::vector<int>> writes_of;  // task -> labels it writes
+  std::vector<std::vector<int>> reads_of;   // task -> labels it reads
+  std::vector<std::vector<int>> tasks_on;   // core -> tasks
+};
+
+Graph build_graph(const Application& app) {
+  Graph g;
+  g.app = &app;
+  g.num_tasks = app.num_tasks();
+  g.num_labels = app.num_labels();
+  g.num_cores = app.platform().num_cores();
+  g.writes_of.resize(static_cast<std::size_t>(g.num_tasks));
+  g.reads_of.resize(static_cast<std::size_t>(g.num_tasks));
+  g.tasks_on.resize(static_cast<std::size_t>(g.num_cores));
+  for (int i = 0; i < g.num_tasks; ++i) {
+    g.tasks_on[static_cast<std::size_t>(app.task(TaskId{i}).core.value)]
+        .push_back(i);
+  }
+  for (int l = 0; l < g.num_labels; ++l) {
+    const Label& lab = app.label(LabelId{l});
+    g.writes_of[static_cast<std::size_t>(lab.writer.value)].push_back(l);
+    for (const TaskId r : lab.readers) {
+      g.reads_of[static_cast<std::size_t>(r.value)].push_back(l);
+    }
+  }
+  return g;
+}
+
+Colors initial_colors(const Graph& g) {
+  Colors c;
+  std::vector<Sig> task_sigs, label_sigs, core_sigs;
+  task_sigs.reserve(static_cast<std::size_t>(g.num_tasks));
+  for (int i = 0; i < g.num_tasks; ++i) {
+    const Task& t = g.app->task(TaskId{i});
+    task_sigs.push_back({t.period, t.wcet, t.priority,
+                         t.acquisition_deadline ? *t.acquisition_deadline
+                                                : -1});
+  }
+  label_sigs.reserve(static_cast<std::size_t>(g.num_labels));
+  for (int l = 0; l < g.num_labels; ++l) {
+    label_sigs.push_back({g.app->label(LabelId{l}).size_bytes});
+  }
+  // Cores are structurally identical in the platform model; they are
+  // discriminated purely by the tasks mapped onto them.
+  core_sigs.assign(static_cast<std::size_t>(g.num_cores), {0});
+  c.classes = rank_signatures(task_sigs, &c.task) +
+              rank_signatures(label_sigs, &c.label) +
+              rank_signatures(core_sigs, &c.core);
+  return c;
+}
+
+/// One Weisfeiler–Lehman round: every entity absorbs the colours of its
+/// neighbourhood. Returns colours with re-ranked (dense) classes.
+void refine_round(const Graph& g, Colors* c) {
+  std::vector<Sig> task_sigs(static_cast<std::size_t>(g.num_tasks));
+  for (int i = 0; i < g.num_tasks; ++i) {
+    Sig s{c->task[static_cast<std::size_t>(i)],
+          c->core[static_cast<std::size_t>(
+              g.app->task(TaskId{i}).core.value)]};
+    Sig w, r;
+    for (const int l : g.writes_of[static_cast<std::size_t>(i)]) {
+      w.push_back(c->label[static_cast<std::size_t>(l)]);
+    }
+    for (const int l : g.reads_of[static_cast<std::size_t>(i)]) {
+      r.push_back(c->label[static_cast<std::size_t>(l)]);
+    }
+    std::sort(w.begin(), w.end());
+    std::sort(r.begin(), r.end());
+    s.push_back(-1);  // section separators keep writes/reads unambiguous
+    s.insert(s.end(), w.begin(), w.end());
+    s.push_back(-2);
+    s.insert(s.end(), r.begin(), r.end());
+    task_sigs[static_cast<std::size_t>(i)] = std::move(s);
+  }
+  std::vector<Sig> label_sigs(static_cast<std::size_t>(g.num_labels));
+  for (int l = 0; l < g.num_labels; ++l) {
+    const Label& lab = g.app->label(LabelId{l});
+    Sig s{c->label[static_cast<std::size_t>(l)],
+          c->task[static_cast<std::size_t>(lab.writer.value)]};
+    Sig readers;
+    for (const TaskId r : lab.readers) {
+      readers.push_back(c->task[static_cast<std::size_t>(r.value)]);
+    }
+    std::sort(readers.begin(), readers.end());
+    s.insert(s.end(), readers.begin(), readers.end());
+    label_sigs[static_cast<std::size_t>(l)] = std::move(s);
+  }
+  std::vector<Sig> core_sigs(static_cast<std::size_t>(g.num_cores));
+  for (int k = 0; k < g.num_cores; ++k) {
+    Sig s{c->core[static_cast<std::size_t>(k)]};
+    Sig members;
+    for (const int i : g.tasks_on[static_cast<std::size_t>(k)]) {
+      members.push_back(c->task[static_cast<std::size_t>(i)]);
+    }
+    std::sort(members.begin(), members.end());
+    s.insert(s.end(), members.begin(), members.end());
+    core_sigs[static_cast<std::size_t>(k)] = std::move(s);
+  }
+  c->classes = rank_signatures(task_sigs, &c->task) +
+               rank_signatures(label_sigs, &c->label) +
+               rank_signatures(core_sigs, &c->core);
+}
+
+/// Refines to the fixpoint. Refinement only ever splits classes, so the
+/// partition is stable as soon as the class count stops growing.
+void refine(const Graph& g, Colors* c) {
+  for (;;) {
+    const int before = c->classes;
+    refine_round(g, c);
+    if (c->classes == before) return;
+  }
+}
+
+/// First (smallest-colour) task class with more than one member, or -1.
+int ambiguous_task_class(const Graph& g, const Colors& c) {
+  std::vector<int> count;
+  for (int i = 0; i < g.num_tasks; ++i) {
+    const int col = c.task[static_cast<std::size_t>(i)];
+    if (col >= static_cast<int>(count.size())) {
+      count.resize(static_cast<std::size_t>(col) + 1, 0);
+    }
+    ++count[static_cast<std::size_t>(col)];
+  }
+  for (std::size_t col = 0; col < count.size(); ++col) {
+    if (count[col] > 1) return static_cast<int>(col);
+  }
+  return -1;
+}
+
+struct Leaf {
+  std::string text;
+  std::vector<int> task_map, label_map, core_map;
+  std::unique_ptr<Application> app;
+};
+
+std::vector<int> invert(const std::vector<int>& map) {
+  std::vector<int> inv(map.size(), -1);
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    inv[static_cast<std::size_t>(map[i])] = static_cast<int>(i);
+  }
+  return inv;
+}
+
+/// Builds the canonical application for a fully discriminated colouring.
+/// Task colours are singleton here; label/core ties that survive are
+/// automorphic (identical attributes and identical neighbour sets once
+/// every task colour is unique), so index tie-breaks cannot change the
+/// canonical text.
+Leaf make_leaf(const Graph& g, const Colors& c) {
+  Leaf leaf;
+  const Application& app = *g.app;
+
+  // Tasks: canonical order = colour order.
+  std::vector<int> torder(static_cast<std::size_t>(g.num_tasks));
+  std::iota(torder.begin(), torder.end(), 0);
+  std::sort(torder.begin(), torder.end(), [&](int a, int b) {
+    return c.task[static_cast<std::size_t>(a)] <
+           c.task[static_cast<std::size_t>(b)];
+  });
+  leaf.task_map.assign(static_cast<std::size_t>(g.num_tasks), -1);
+  for (std::size_t p = 0; p < torder.size(); ++p) {
+    leaf.task_map[static_cast<std::size_t>(torder[p])] = static_cast<int>(p);
+  }
+
+  // Labels: colour order, index tie-break (automorphic ties only).
+  std::vector<int> lorder(static_cast<std::size_t>(g.num_labels));
+  std::iota(lorder.begin(), lorder.end(), 0);
+  std::sort(lorder.begin(), lorder.end(), [&](int a, int b) {
+    const int ca = c.label[static_cast<std::size_t>(a)];
+    const int cb = c.label[static_cast<std::size_t>(b)];
+    if (ca != cb) return ca < cb;
+    return a < b;
+  });
+  leaf.label_map.assign(static_cast<std::size_t>(g.num_labels), -1);
+  for (std::size_t p = 0; p < lorder.size(); ++p) {
+    leaf.label_map[static_cast<std::size_t>(lorder[p])] = static_cast<int>(p);
+  }
+
+  // Cores: tasks partition the non-empty cores, so the smallest canonical
+  // task index orders them totally; empty cores (interchangeable) go last.
+  std::vector<int> corder(static_cast<std::size_t>(g.num_cores));
+  std::iota(corder.begin(), corder.end(), 0);
+  const auto core_key = [&](int k) {
+    int min_task = g.num_tasks;  // empty cores sort after every task key
+    for (const int i : g.tasks_on[static_cast<std::size_t>(k)]) {
+      min_task = std::min(min_task,
+                          leaf.task_map[static_cast<std::size_t>(i)]);
+    }
+    return min_task;
+  };
+  std::sort(corder.begin(), corder.end(), [&](int a, int b) {
+    const int ka = core_key(a), kb = core_key(b);
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+  leaf.core_map.assign(static_cast<std::size_t>(g.num_cores), -1);
+  for (std::size_t p = 0; p < corder.size(); ++p) {
+    leaf.core_map[static_cast<std::size_t>(corder[p])] = static_cast<int>(p);
+  }
+
+  // Rebuild the renamed application in canonical order.
+  const Platform& plat = app.platform();
+  auto out = std::make_unique<Application>(
+      Platform(plat.num_cores(), plat.dma(), plat.cpu_copy()));
+  const std::vector<int> task_inv = invert(leaf.task_map);
+  const std::vector<int> label_inv = invert(leaf.label_map);
+  for (int ci = 0; ci < g.num_tasks; ++ci) {
+    const Task& t = app.task(TaskId{task_inv[static_cast<std::size_t>(ci)]});
+    std::string tname = "t";
+    tname += std::to_string(ci);
+    const TaskId id = out->add_task(
+        std::move(tname), t.period, t.wcet,
+        CoreId{leaf.core_map[static_cast<std::size_t>(t.core.value)]},
+        t.priority);
+    if (t.acquisition_deadline) {
+      out->set_acquisition_deadline(id, *t.acquisition_deadline);
+    }
+  }
+  for (int cl = 0; cl < g.num_labels; ++cl) {
+    const Label& lab =
+        app.label(LabelId{label_inv[static_cast<std::size_t>(cl)]});
+    std::vector<TaskId> readers;
+    readers.reserve(lab.readers.size());
+    for (const TaskId r : lab.readers) {
+      readers.push_back(
+          TaskId{leaf.task_map[static_cast<std::size_t>(r.value)]});
+    }
+    std::sort(readers.begin(), readers.end());
+    std::string lname = "l";
+    lname += std::to_string(cl);
+    out->add_label(std::move(lname), lab.size_bytes,
+                   TaskId{leaf.task_map[static_cast<std::size_t>(
+                       lab.writer.value)]},
+                   std::move(readers));
+  }
+  out->finalize();
+  leaf.text = write_application(*out);
+  leaf.app = std::move(out);
+  return leaf;
+}
+
+struct SearchCtx {
+  const Graph* graph = nullptr;
+  int leaves = 0;
+  bool exact = true;
+  Leaf best;
+  bool has_best = false;
+};
+
+void search(SearchCtx& ctx, Colors colors) {
+  const Graph& g = *ctx.graph;
+  refine(g, &colors);
+  const int ambiguous = ambiguous_task_class(g, colors);
+  if (ambiguous < 0) {
+    ++ctx.leaves;
+    Leaf leaf = make_leaf(g, colors);
+    if (!ctx.has_best || leaf.text < ctx.best.text) {
+      ctx.best = std::move(leaf);
+      ctx.has_best = true;
+    }
+    return;
+  }
+  // Individualize each member of the ambiguous class in turn and keep the
+  // lexicographically smallest resulting text. Members are visited in
+  // index order, but the *choice* of winner is order-independent, so the
+  // canonical form stays isomorphism-invariant while the budget holds.
+  std::vector<int> members;
+  for (int i = 0; i < g.num_tasks; ++i) {
+    if (colors.task[static_cast<std::size_t>(i)] == ambiguous) {
+      members.push_back(i);
+    }
+  }
+  bool first = true;
+  for (const int m : members) {
+    if (!first && ctx.leaves >= kMaxLeaves) {
+      ctx.exact = false;
+      break;
+    }
+    first = false;
+    Colors next = colors;
+    // A fresh colour strictly above every existing rank; re-ranked dense
+    // on the next refinement round.
+    next.task[static_cast<std::size_t>(m)] = g.num_tasks;
+    search(ctx, std::move(next));
+  }
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const std::string& bytes, std::uint64_t offset,
+                    std::uint64_t prime) {
+  std::uint64_t h = offset;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= prime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string Fingerprint::to_hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+Fingerprint fingerprint_bytes(const std::string& bytes) {
+  // Two independently seeded FNV-1a streams with a splitmix finalizer.
+  // Collisions only cost a wasted certify + fresh solve in the serve
+  // cache (hits are re-certified against the requesting instance), so a
+  // fast non-cryptographic hash is the right trade.
+  Fingerprint fp;
+  fp.lo = splitmix64(fnv1a(bytes, 0xcbf29ce484222325ULL, 0x100000001b3ULL) ^
+                     bytes.size());
+  fp.hi = splitmix64(fnv1a(bytes, 0x84222325cbf29ce4ULL, 0x00000100000001b3ULL) +
+                     0x9e3779b97f4a7c15ULL * bytes.size());
+  return fp;
+}
+
+Canonicalization canonicalize(const Application& app) {
+  LETDMA_ENSURE(app.finalized(), "canonicalize requires a finalized application");
+  const Graph g = build_graph(app);
+  SearchCtx ctx;
+  ctx.graph = &g;
+  search(ctx, initial_colors(g));
+  LETDMA_ENSURE(ctx.has_best, "canonical search produced no leaf");
+
+  Canonicalization out;
+  out.app = std::move(ctx.best.app);
+  out.text = std::move(ctx.best.text);
+  out.fingerprint = fingerprint_bytes(out.text);
+  out.task_map = std::move(ctx.best.task_map);
+  out.label_map = std::move(ctx.best.label_map);
+  out.core_map = std::move(ctx.best.core_map);
+  out.exact = ctx.exact;
+  return out;
+}
+
+Fingerprint fingerprint_of(const Application& app) {
+  return canonicalize(app).fingerprint;
+}
+
+std::vector<int> invert_permutation(const std::vector<int>& map) {
+  return invert(map);
+}
+
+std::unique_ptr<Application> permute_application(
+    const Application& app, const std::vector<int>& task_perm,
+    const std::vector<int>& label_perm, const std::vector<int>& core_perm) {
+  const int num_tasks = app.num_tasks();
+  const int num_labels = app.num_labels();
+  const int num_cores = app.platform().num_cores();
+  const auto identity = [](int n) {
+    std::vector<int> id(static_cast<std::size_t>(n));
+    std::iota(id.begin(), id.end(), 0);
+    return id;
+  };
+  const std::vector<int> tp = task_perm.empty() ? identity(num_tasks)
+                                                : task_perm;
+  const std::vector<int> lp = label_perm.empty() ? identity(num_labels)
+                                                 : label_perm;
+  const std::vector<int> cp = core_perm.empty() ? identity(num_cores)
+                                                : core_perm;
+  LETDMA_ENSURE(static_cast<int>(tp.size()) == num_tasks &&
+                    static_cast<int>(lp.size()) == num_labels &&
+                    static_cast<int>(cp.size()) == num_cores,
+                "permutation sizes must match the application");
+  const auto is_permutation = [](const std::vector<int>& p) {
+    std::vector<char> seen(p.size(), 0);
+    for (const int v : p) {
+      if (v < 0 || v >= static_cast<int>(p.size()) ||
+          seen[static_cast<std::size_t>(v)] != 0) {
+        return false;
+      }
+      seen[static_cast<std::size_t>(v)] = 1;
+    }
+    return true;
+  };
+  LETDMA_ENSURE(is_permutation(tp) && is_permutation(lp) && is_permutation(cp),
+                "each relabeling must be a bijection");
+
+  const Platform& plat = app.platform();
+  auto out = std::make_unique<Application>(
+      Platform(plat.num_cores(), plat.dma(), plat.cpu_copy()));
+  const std::vector<int> task_inv = invert(tp);
+  const std::vector<int> label_inv = invert(lp);
+  for (int ni = 0; ni < num_tasks; ++ni) {
+    const Task& t = app.task(TaskId{task_inv[static_cast<std::size_t>(ni)]});
+    std::string name = "p";
+    name += std::to_string(ni);
+    const TaskId id = out->add_task(
+        std::move(name), t.period, t.wcet,
+        CoreId{cp[static_cast<std::size_t>(t.core.value)]}, t.priority);
+    if (t.acquisition_deadline) {
+      out->set_acquisition_deadline(id, *t.acquisition_deadline);
+    }
+  }
+  for (int nl = 0; nl < num_labels; ++nl) {
+    const Label& lab =
+        app.label(LabelId{label_inv[static_cast<std::size_t>(nl)]});
+    std::vector<TaskId> readers;
+    readers.reserve(lab.readers.size());
+    for (const TaskId r : lab.readers) {
+      readers.push_back(TaskId{tp[static_cast<std::size_t>(r.value)]});
+    }
+    std::string name = "q";
+    name += std::to_string(nl);
+    out->add_label(std::move(name), lab.size_bytes,
+                   TaskId{tp[static_cast<std::size_t>(lab.writer.value)]},
+                   std::move(readers));
+  }
+  out->finalize();
+  return out;
+}
+
+}  // namespace letdma::model

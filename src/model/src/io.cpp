@@ -1,10 +1,12 @@
 #include "letdma/model/io.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <limits>
 #include <map>
 #include <sstream>
+#include <string_view>
 #include <vector>
 
 #include "letdma/guard/faults.hpp"
@@ -21,20 +23,35 @@ using support::ParseError;
   throw ParseError(line, what);
 }
 
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Yields the next whitespace-delimited token of `rest`, advancing `pos`;
+/// empty view when exhausted. The serve hot path parses thousands of
+/// models per second, so tokenization stays allocation-free.
+std::string_view next_token(std::string_view rest, std::size_t& pos) {
+  while (pos < rest.size() && is_space(rest[pos])) ++pos;
+  const std::size_t begin = pos;
+  while (pos < rest.size() && !is_space(rest[pos])) ++pos;
+  return rest.substr(begin, pos - begin);
+}
+
 /// key=value tokens of one directive line.
-std::map<std::string, std::string> parse_fields(const std::string& rest,
+std::map<std::string, std::string> parse_fields(std::string_view rest,
                                                 int line) {
   std::map<std::string, std::string> out;
-  std::istringstream is(rest);
-  std::string token;
-  while (is >> token) {
+  std::size_t pos = 0;
+  for (std::string_view token = next_token(rest, pos); !token.empty();
+       token = next_token(rest, pos)) {
     const std::size_t eq = token.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      fail(line, "expected key=value, got `" + token + "`");
+    if (eq == std::string_view::npos || eq == 0) {
+      fail(line, "expected key=value, got `" + std::string(token) + "`");
     }
-    const std::string key = token.substr(0, eq);
-    if (!out.emplace(key, token.substr(eq + 1)).second) {
-      fail(line, "duplicate key `" + key + "`");
+    std::string key(token.substr(0, eq));
+    if (!out.emplace(std::move(key), std::string(token.substr(eq + 1)))
+             .second) {
+      fail(line, "duplicate key `" + std::string(token.substr(0, eq)) + "`");
     }
   }
   return out;
@@ -154,29 +171,29 @@ std::string write_application(const Application& app) {
 }
 
 std::unique_ptr<Application> read_application(const std::string& text) {
-  std::string effective = text;
+  std::string_view effective = text;
   if (const auto fault = guard::fault_point("io.parse");
       fault == guard::FaultKind::kTruncate) {
-    effective.resize(effective.size() / 2);
+    effective = effective.substr(0, effective.size() / 2);
   }
-  std::istringstream is(effective);
-  std::string line;
   int line_no = 0;
   std::unique_ptr<Application> app;
   std::map<std::string, TaskId> tasks_by_name;
   std::map<std::string, support::Time> pending_gamma;
 
-  while (std::getline(is, line)) {
+  for (std::size_t cursor = 0; cursor < effective.size();) {
+    const std::size_t nl = effective.find('\n', cursor);
+    std::string_view line = effective.substr(
+        cursor, (nl == std::string_view::npos ? effective.size() : nl) -
+                    cursor);
+    cursor = nl == std::string_view::npos ? effective.size() : nl + 1;
     ++line_no;
     // Strip comments and whitespace-only lines.
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::istringstream ls(line);
-    std::string directive;
-    if (!(ls >> directive)) continue;
-    std::string rest;
-    std::getline(ls, rest);
-    auto fields = parse_fields(rest, line_no);
+    line = line.substr(0, line.find('#'));
+    std::size_t pos = 0;
+    const std::string_view directive = next_token(line, pos);
+    if (directive.empty()) continue;
+    auto fields = parse_fields(line.substr(pos), line_no);
 
     if (directive == "platform") {
       if (app) fail(line_no, "duplicate platform directive");
@@ -212,8 +229,11 @@ std::unique_ptr<Application> read_application(const std::string& text) {
         priority = static_cast<int>(take_int(fields, "priority", line_no));
       }
       if (fields.count("gamma_ns")) {
+        // The model allows gamma >= 0 (set_acquisition_deadline); a lower
+        // bound of 1 here used to reject gamma_ns=0 that write_application
+        // happily emits, breaking the write/read round-trip.
         pending_gamma[name] =
-            take_int_in(fields, "gamma_ns", line_no, 1, period);
+            take_int_in(fields, "gamma_ns", line_no, 0, period);
       }
       expect_empty(fields, line_no);
       if (tasks_by_name.count(name) > 0) {
@@ -253,7 +273,7 @@ std::unique_ptr<Application> read_application(const std::string& text) {
         fail(line_no, e.what());
       }
     } else {
-      fail(line_no, "unknown directive `" + directive + "`");
+      fail(line_no, "unknown directive `" + std::string(directive) + "`");
     }
   }
   if (!app) throw ParseError(0, "no platform directive found");
@@ -268,11 +288,15 @@ std::unique_ptr<Application> read_application(const std::string& text) {
     // rather than leaking a model-layer exception for a parsing call.
     throw ParseError(0, e.what());
   }
-  obs::log_debug("model",
-                 "parsed application: " + std::to_string(app->num_tasks()) +
-                     " tasks, " + std::to_string(app->num_labels()) +
-                     " labels, " +
-                     std::to_string(app->platform().num_cores()) + " cores");
+  // Built lazily: the serve hot path parses thousands of models per
+  // second and the message costs several allocations.
+  if (obs::Registry::instance().log_threshold() <= obs::Level::kDebug) {
+    obs::log_debug("model",
+                   "parsed application: " + std::to_string(app->num_tasks()) +
+                       " tasks, " + std::to_string(app->num_labels()) +
+                       " labels, " +
+                       std::to_string(app->platform().num_cores()) + " cores");
+  }
   return app;
 }
 

@@ -1,0 +1,116 @@
+// Fingerprint-keyed LRU cache of certified solves.
+//
+// The serve layer's workload is dominated by near-duplicate instances:
+// the same application resubmitted with renamed tasks, reordered labels
+// or renumbered cores. All of those canonicalize to one fingerprint, so
+// one solved canonical instance answers every isomorphic request. The
+// cache key is (fingerprint, engine objective); the value co-owns the
+// canonical application, its LetComms and the schedule solved on it —
+// ScheduleResult holds pointers into the application, so the three must
+// share one lifetime.
+//
+// A cached schedule is NEVER trusted blindly: the service re-certifies
+// every hit against the requesting instance after un-permuting (see
+// service.hpp), and calls invalidate() when certification fails — a
+// fingerprint collision or a corrupted entry degrades to a miss, never
+// to a wrong answer.
+//
+// The LRU is sharded by fingerprint to keep mutex contention off the
+// request fast path; hits, misses, evictions and invalidations bump the
+// always-on "serve.cache.*" counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "letdma/engine/engine.hpp"
+#include "letdma/let/let_comms.hpp"
+#include "letdma/model/canonical.hpp"
+
+namespace letdma::serve {
+
+struct CacheKey {
+  model::Fingerprint fingerprint;
+  engine::Objective objective = engine::Objective::kMinMaxLatencyRatio;
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) {
+    return a.fingerprint == b.fingerprint && a.objective == b.objective;
+  }
+  friend auto operator<=>(const CacheKey& a, const CacheKey& b) {
+    if (!(a.fingerprint == b.fingerprint)) {
+      return a.fingerprint <=> b.fingerprint;
+    }
+    return a.objective <=> b.objective;
+  }
+};
+
+/// One cached solve. Declaration order is a lifetime contract: `schedule`
+/// and `comms` reference `*app`, so `app` must be declared (and therefore
+/// destroyed) last.
+struct CachedSolve {
+  std::unique_ptr<model::Application> app;  // canonical instance
+  std::unique_ptr<let::LetComms> comms;     // over *app
+  let::ScheduleResult schedule;             // solved on the canonical form
+  engine::Status status = engine::Status::kFeasible;
+  double objective_value = 0.0;
+  std::string strategy;
+};
+
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+  std::int64_t invalidations = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+
+  double hit_rate() const {
+    const std::int64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+class SolveCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across `shards`
+  /// independent LRU lists (shard chosen by fingerprint bits).
+  explicit SolveCache(std::size_t capacity = 1024, int shards = 8);
+
+  /// Returns the entry and refreshes its LRU position, or null on a miss.
+  std::shared_ptr<const CachedSolve> lookup(const CacheKey& key);
+
+  /// Inserts (or replaces) an entry, evicting the shard's least recently
+  /// used entry when the shard is full.
+  void insert(const CacheKey& key, std::shared_ptr<const CachedSolve> value);
+
+  /// Drops an entry (a hit that failed re-certification). Returns true
+  /// when the key was present.
+  bool invalidate(const CacheKey& key);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  CacheStats stats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Most recently used at the front.
+    std::list<std::pair<CacheKey, std::shared_ptr<const CachedSolve>>> lru;
+    std::map<CacheKey, decltype(lru)::iterator> index;
+  };
+
+  Shard& shard_of(const CacheKey& key);
+
+  std::size_t capacity_ = 0;
+  std::size_t per_shard_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace letdma::serve

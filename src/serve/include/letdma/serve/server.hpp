@@ -1,0 +1,125 @@
+// Socket front end of letdma::serve.
+//
+// Protocol: newline-delimited JSON over a Unix domain socket. One request
+// object per line; the server answers each with one "result" line, in
+// request order per connection. A request with "stream":true additionally
+// receives zero or more "incumbent" event lines before its result.
+//
+//   -> {"id":"r1","tenant":"acme","objective":"del","budget_sec":0.5,
+//       "model":"platform cores=2 ...\ntask ...","schedule":false}
+//   <- {"id":"r1","event":"result","ok":true,"status":"optimal",
+//       "certified":true,"cache":"hit","fingerprint":"ab..12",
+//       "objective":0.125,"strategy":"milp","wall_ms":0.4}
+//
+// Connections are independent; within one connection the server drains
+// every complete line that has arrived and processes the batch on the
+// shared engine::BatchRunner worker fleet (responses keep arrival order),
+// so a pipelining client gets fan-out for free. Streaming requests are
+// processed one at a time — incumbent events interleave with nothing.
+//
+// stop() (also run by the destructor) closes the listener and every live
+// connection and joins all threads, so a server can be started and torn
+// down repeatedly in one process without leaking fds or threads — the
+// property the ASan CI smoke job asserts.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "letdma/engine/batch.hpp"
+#include "letdma/serve/service.hpp"
+
+namespace letdma::serve {
+
+struct ServerOptions {
+  /// Filesystem path of the Unix socket; unlinked on start and stop.
+  std::string socket_path;
+  /// Worker threads for per-connection request batches (0 = hardware
+  /// concurrency).
+  int threads = 0;
+  /// Largest request batch drained from one connection at a time.
+  std::size_t max_batch = 64;
+};
+
+class Server {
+ public:
+  Server(Service& service, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds + listens + spawns the accept loop. Throws support::Error when
+  /// the socket cannot be created.
+  void start();
+  /// Idempotent: closes the listener and all connections, joins threads.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Service& service_;
+  ServerOptions options_;
+  engine::BatchRunner runner_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+};
+
+// --- line protocol (shared by server, client, tools and the replay
+// bench) --------------------------------------------------------------
+
+/// Parses one request line; throws support::ParseError on malformed JSON
+/// or bad fields.
+Request parse_request_line(const std::string& line);
+
+/// Renders a request as one JSON line (trailing newline included).
+std::string render_request_line(const Request& request);
+
+/// Renders the final "result" line (trailing newline included).
+std::string render_response_line(const Response& response);
+
+/// Renders one "incumbent" event line (trailing newline included).
+std::string render_incumbent_line(const std::string& id,
+                                  const IncumbentUpdate& update);
+
+/// Parses a "result" line back into a Response (client side; event lines
+/// other than "result" are rejected). Throws support::ParseError.
+Response parse_response_line(const std::string& line);
+
+/// Blocking client for the protocol above.
+class Client {
+ public:
+  /// Connects immediately; throws support::Error on failure.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request and reads until its result line; incumbent events
+  /// for the request are delivered to `on_incumbent`.
+  Response call(const Request& request,
+                const Service::IncumbentCallback& on_incumbent = {});
+
+  /// Pipelines a whole batch (one write, then reads all results in
+  /// order). Streaming is ignored in batch mode.
+  std::vector<Response> call_batch(const std::vector<Request>& requests);
+
+ private:
+  bool read_line(std::string* line);
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace letdma::serve

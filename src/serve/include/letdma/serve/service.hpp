@@ -1,0 +1,144 @@
+// letdma::serve — multi-tenant scheduling service with a certified solve
+// cache.
+//
+// Service::handle() is one request end to end:
+//
+//   1. Admission: the tenant's in-flight count is checked against its
+//      policy and the requested budget is clamped to the tenant cap
+//      (engine::Budget carries it into the solve). Rejections are cheap,
+//      counted ("serve.admission.rejected") and never touch the solver.
+//   2. Canonicalization: the submitted model is reduced to its canonical
+//      form + 128-bit fingerprint (model::canonicalize). Isomorphic
+//      submissions — renamed, reordered, renumbered — collapse onto one
+//      cache key: (fingerprint, objective).
+//   3. Cache: on a hit the cached canonical schedule is un-permuted onto
+//      the *requesting* instance (translate_schedule) and independently
+//      re-certified by guard::certify against it. Only a certificate
+//      makes it a hit; a failure invalidates the entry, records a flight
+//      event and falls through to a fresh solve.
+//   4. Fresh solve: engine::SupervisedScheduler on the canonical
+//      instance (so the result is reusable by every isomorphic tenant),
+//      with incumbent streaming through the caller's callback for long
+//      solves. Feasible results are cached, then translated + certified
+//      exactly like a hit.
+//
+// Every response that carries a schedule was certified against the
+// requesting instance in this process, whether it came from the cache or
+// a solver. Per-tenant counters and latency histograms ("serve.requests",
+// "serve.request_ms.<tenant>", ...) are always on.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "letdma/engine/supervised.hpp"
+#include "letdma/serve/cache.hpp"
+
+namespace letdma::serve {
+
+struct Request {
+  /// Caller-chosen id echoed back in the response (and in incumbent
+  /// events), so pipelined responses can be matched to requests.
+  std::string id;
+  std::string tenant = "default";
+  /// model::io application text.
+  std::string model_text;
+  engine::Objective objective = engine::Objective::kMinMaxLatencyRatio;
+  /// Wall-clock budget for a fresh solve (cache hits ignore it); clamped
+  /// to the tenant policy's max_budget_sec.
+  double budget_sec = 1.0;
+  /// Include the schedule text (let::write_schedule) in the response.
+  bool want_schedule = true;
+  /// Emit incumbent updates while the solve runs (socket clients receive
+  /// them as "incumbent" events before the final "result" line).
+  bool stream_incumbents = false;
+};
+
+struct Response {
+  std::string id;
+  bool ok = false;
+  std::string error;  // set when !ok (parse failure, admission, ...)
+  engine::Status status = engine::Status::kTimeout;
+  /// The served schedule passed guard::certify against the requesting
+  /// instance (always true when ok && a schedule is present).
+  bool certified = false;
+  bool cache_hit = false;
+  std::string fingerprint;  // canonical 128-bit hash, 32 hex chars
+  /// Canonicalization was exact (see model::Canonicalization::exact).
+  bool exact = true;
+  double objective_value = 0.0;
+  std::string strategy;  // engine strategy that produced the schedule
+  double wall_ms = 0.0;  // service-side handling time
+  int incumbents = 0;    // improving incumbents seen during a fresh solve
+  /// let::write_schedule text on the requesting instance (when ok, a
+  /// schedule exists and want_schedule was set).
+  std::string schedule_text;
+
+  bool has_schedule() const { return ok && !schedule_text.empty(); }
+};
+
+struct IncumbentUpdate {
+  double objective = 0.0;
+  std::string strategy;
+};
+
+/// Per-tenant admission limits.
+struct TenantPolicy {
+  /// Concurrent requests allowed in the solve path; further requests are
+  /// rejected (load shedding, not queueing — the client owns retry).
+  int max_inflight = 16;
+  /// Hard cap on the per-request solve budget.
+  double max_budget_sec = 5.0;
+};
+
+struct ServiceOptions {
+  std::size_t cache_capacity = 1024;
+  int cache_shards = 8;
+  TenantPolicy default_policy;
+  /// Overrides per tenant name.
+  std::map<std::string, TenantPolicy> tenant_policies;
+  /// Supervised-chain configuration for fresh solves. The objective field
+  /// is overridden per request.
+  engine::GuardOptions guard;
+};
+
+struct ServiceStats {
+  std::int64_t requests = 0;
+  std::int64_t rejected = 0;
+  std::int64_t certified = 0;
+  CacheStats cache;
+};
+
+class Service {
+ public:
+  using IncumbentCallback = std::function<void(const IncumbentUpdate&)>;
+
+  explicit Service(ServiceOptions options = {});
+
+  /// Handles one request synchronously. Thread-safe; the socket server
+  /// calls this from its worker fleet.
+  Response handle(const Request& request,
+                  const IncumbentCallback& on_incumbent = {});
+
+  SolveCache& cache() { return cache_; }
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  const TenantPolicy& policy_for(const std::string& tenant) const;
+
+  ServiceOptions options_;
+  SolveCache cache_;
+  mutable std::mutex mu_;
+  std::map<std::string, int> inflight_;
+};
+
+/// Wire names used by the line protocol and the tools ("del" | "dmat" |
+/// "none", matching letdma_tool).
+bool parse_objective(const std::string& name, engine::Objective* out);
+const char* objective_wire_name(engine::Objective objective);
+
+}  // namespace letdma::serve

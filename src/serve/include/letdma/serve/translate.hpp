@@ -1,0 +1,27 @@
+// Schedule translation between isomorphic instances.
+//
+// A cached solve lives on the *canonical* instance. To answer a request
+// it must be mapped back onto the requesting instance through the
+// canonicalization permutations: memory orders are re-indexed slot by
+// slot, every s0 transfer is rebuilt with make_transfer() (which
+// re-verifies contiguity in both memories — the translation is
+// self-checking), and the per-instant schedule is re-derived. If the
+// "isomorphism" is not one (a fingerprint collision), some step throws
+// PreconditionError; the service treats that exactly like a failed
+// certificate: invalidate and solve fresh.
+#pragma once
+
+#include "letdma/let/greedy.hpp"
+#include "letdma/model/canonical.hpp"
+
+namespace letdma::serve {
+
+/// Maps `canonical_result` (solved on the canonical form that `canon`
+/// describes) onto `target` (the LetComms of the instance `canon` was
+/// computed from). Throws support::PreconditionError when the mapping is
+/// structurally impossible.
+let::ScheduleResult translate_schedule(
+    const let::ScheduleResult& canonical_result,
+    const model::Canonicalization& canon, const let::LetComms& target);
+
+}  // namespace letdma::serve

@@ -1,0 +1,113 @@
+#include "letdma/serve/cache.hpp"
+
+#include <algorithm>
+
+#include "letdma/obs/obs.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::serve {
+namespace {
+
+obs::Counter& hits_counter() {
+  static obs::Counter c("serve.cache.hits");
+  return c;
+}
+obs::Counter& misses_counter() {
+  static obs::Counter c("serve.cache.misses");
+  return c;
+}
+obs::Counter& evictions_counter() {
+  static obs::Counter c("serve.cache.evictions");
+  return c;
+}
+obs::Counter& invalidations_counter() {
+  static obs::Counter c("serve.cache.invalidations");
+  return c;
+}
+
+}  // namespace
+
+SolveCache::SolveCache(std::size_t capacity, int shards) {
+  LETDMA_ENSURE(capacity > 0, "cache capacity must be positive");
+  LETDMA_ENSURE(shards > 0, "cache shard count must be positive");
+  const std::size_t n =
+      std::min(static_cast<std::size_t>(shards), capacity);
+  capacity_ = capacity;
+  per_shard_ = (capacity + n - 1) / n;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SolveCache::Shard& SolveCache::shard_of(const CacheKey& key) {
+  // lo already went through a splitmix finalizer, so any bits are
+  // uniformly distributed.
+  return *shards_[static_cast<std::size_t>(key.fingerprint.lo) %
+                  shards_.size()];
+}
+
+std::shared_ptr<const CachedSolve> SolveCache::lookup(const CacheKey& key) {
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    misses_counter().add();
+    return nullptr;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  hits_counter().add();
+  return it->second->second;
+}
+
+void SolveCache::insert(const CacheKey& key,
+                        std::shared_ptr<const CachedSolve> value) {
+  LETDMA_ENSURE(value != nullptr, "cannot cache a null solve");
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (const auto it = s.index.find(key); it != s.index.end()) {
+    it->second->second = std::move(value);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  if (s.lru.size() >= per_shard_) {
+    s.index.erase(s.lru.back().first);
+    s.lru.pop_back();
+    evictions_counter().add();
+  }
+  s.lru.emplace_front(key, std::move(value));
+  s.index.emplace(key, s.lru.begin());
+}
+
+bool SolveCache::invalidate(const CacheKey& key) {
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) return false;
+  s.lru.erase(it->second);
+  s.index.erase(it);
+  invalidations_counter().add();
+  return true;
+}
+
+std::size_t SolveCache::size() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->lru.size();
+  }
+  return total;
+}
+
+CacheStats SolveCache::stats() const {
+  CacheStats st;
+  st.hits = hits_counter().value();
+  st.misses = misses_counter().value();
+  st.evictions = evictions_counter().value();
+  st.invalidations = invalidations_counter().value();
+  st.size = size();
+  st.capacity = capacity_;
+  return st;
+}
+
+}  // namespace letdma::serve

@@ -1,0 +1,448 @@
+#include "letdma/serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "letdma/obs/json.hpp"
+#include "letdma/obs/obs.hpp"
+#include "letdma/support/error.hpp"
+#include "letdma/support/json.hpp"
+
+namespace letdma::serve {
+namespace {
+
+using support::ParseError;
+
+const char* wire_status_name(engine::Status status) {
+  switch (status) {
+    case engine::Status::kOptimal: return "optimal";
+    case engine::Status::kFeasible: return "feasible";
+    case engine::Status::kInfeasible: return "infeasible";
+    case engine::Status::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+bool parse_wire_status(const std::string& name, engine::Status* out) {
+  if (name == "optimal") *out = engine::Status::kOptimal;
+  else if (name == "feasible") *out = engine::Status::kFeasible;
+  else if (name == "infeasible") *out = engine::Status::kInfeasible;
+  else if (name == "timeout") *out = engine::Status::kTimeout;
+  else return false;
+  return true;
+}
+
+/// write(2) the whole buffer; false on a broken connection.
+bool write_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a peer hanging up must surface as EPIPE here, not as
+    // a process-killing SIGPIPE, whatever the host's signal disposition.
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+// --- line protocol ---------------------------------------------------------
+
+Request parse_request_line(const std::string& line) {
+  support::JsonValue v;
+  std::string err;
+  if (!support::parse_json(line, &v, &err)) {
+    throw ParseError(0, "bad request JSON: " + err);
+  }
+  if (v.kind != support::JsonValue::Kind::kObject) {
+    throw ParseError(0, "request must be a JSON object");
+  }
+  Request r;
+  r.id = v.str_or("id", "");
+  r.tenant = v.str_or("tenant", "default");
+  const support::JsonValue* model = v.find("model");
+  if (model == nullptr ||
+      model->kind != support::JsonValue::Kind::kString) {
+    throw ParseError(0, "request missing string field `model`");
+  }
+  r.model_text = model->text;
+  if (const support::JsonValue* o = v.find("objective")) {
+    if (o->kind != support::JsonValue::Kind::kString ||
+        !parse_objective(o->text, &r.objective)) {
+      throw ParseError(0, "bad objective (expected del | dmat | none)");
+    }
+  }
+  double budget = 0.0;
+  if (v.num_of("budget_sec", &budget)) r.budget_sec = budget;
+  r.want_schedule = v.bool_or("schedule", true);
+  r.stream_incumbents = v.bool_or("stream", false);
+  return r;
+}
+
+std::string render_request_line(const Request& request) {
+  std::string out = "{\"id\":";
+  obs::json::append_string(out, request.id);
+  out += ",\"tenant\":";
+  obs::json::append_string(out, request.tenant);
+  out += ",\"objective\":";
+  obs::json::append_string(out, objective_wire_name(request.objective));
+  out += ",\"budget_sec\":";
+  obs::json::append_number(out, request.budget_sec);
+  out += ",\"schedule\":";
+  out += request.want_schedule ? "true" : "false";
+  out += ",\"stream\":";
+  out += request.stream_incumbents ? "true" : "false";
+  out += ",\"model\":";
+  obs::json::append_string(out, request.model_text);
+  out += "}\n";
+  return out;
+}
+
+std::string render_response_line(const Response& response) {
+  std::string out = "{\"id\":";
+  obs::json::append_string(out, response.id);
+  out += ",\"event\":\"result\",\"ok\":";
+  out += response.ok ? "true" : "false";
+  if (!response.error.empty()) {
+    out += ",\"error\":";
+    obs::json::append_string(out, response.error);
+  }
+  out += ",\"status\":";
+  obs::json::append_string(out, wire_status_name(response.status));
+  out += ",\"certified\":";
+  out += response.certified ? "true" : "false";
+  out += ",\"cache\":";
+  obs::json::append_string(out, response.cache_hit ? "hit" : "miss");
+  out += ",\"fingerprint\":";
+  obs::json::append_string(out, response.fingerprint);
+  out += ",\"exact\":";
+  out += response.exact ? "true" : "false";
+  out += ",\"objective\":";
+  obs::json::append_number(out, response.objective_value);
+  out += ",\"strategy\":";
+  obs::json::append_string(out, response.strategy);
+  out += ",\"wall_ms\":";
+  obs::json::append_number(out, response.wall_ms);
+  out += ",\"incumbents\":";
+  obs::json::append_number(out, response.incumbents);
+  if (!response.schedule_text.empty()) {
+    out += ",\"schedule\":";
+    obs::json::append_string(out, response.schedule_text);
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string render_incumbent_line(const std::string& id,
+                                  const IncumbentUpdate& update) {
+  std::string out = "{\"id\":";
+  obs::json::append_string(out, id);
+  out += ",\"event\":\"incumbent\",\"objective\":";
+  obs::json::append_number(out, update.objective);
+  out += ",\"strategy\":";
+  obs::json::append_string(out, update.strategy);
+  out += "}\n";
+  return out;
+}
+
+Response parse_response_line(const std::string& line) {
+  support::JsonValue v;
+  std::string err;
+  if (!support::parse_json(line, &v, &err)) {
+    throw ParseError(0, "bad response JSON: " + err);
+  }
+  if (v.kind != support::JsonValue::Kind::kObject ||
+      v.str_or("event", "") != "result") {
+    throw ParseError(0, "not a result line");
+  }
+  Response r;
+  r.id = v.str_or("id", "");
+  r.ok = v.bool_or("ok", false);
+  r.error = v.str_or("error", "");
+  if (!parse_wire_status(v.str_or("status", ""), &r.status)) {
+    throw ParseError(0, "bad status in result line");
+  }
+  r.certified = v.bool_or("certified", false);
+  r.cache_hit = v.str_or("cache", "miss") == "hit";
+  r.fingerprint = v.str_or("fingerprint", "");
+  r.exact = v.bool_or("exact", true);
+  double num = 0.0;
+  if (v.num_of("objective", &num)) r.objective_value = num;
+  r.strategy = v.str_or("strategy", "");
+  if (v.num_of("wall_ms", &num)) r.wall_ms = num;
+  if (v.num_of("incumbents", &num)) r.incumbents = static_cast<int>(num);
+  r.schedule_text = v.str_or("schedule", "");
+  return r;
+}
+
+// --- server ----------------------------------------------------------------
+
+Server::Server(Service& service, ServerOptions options)
+    : service_(service),
+      options_(std::move(options)),
+      runner_(engine::BatchOptions{options_.threads}) {
+  LETDMA_ENSURE(!options_.socket_path.empty(), "socket_path is required");
+  LETDMA_ENSURE(options_.max_batch > 0, "max_batch must be positive");
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  LETDMA_ENSURE(!running(), "server already running");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  LETDMA_ENSURE(options_.socket_path.size() < sizeof(addr.sun_path),
+                "socket path too long");
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+  ::unlink(options_.socket_path.c_str());
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw support::Error(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw support::Error("bind/listen " + options_.socket_path + ": " + what);
+  }
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread(&Server::accept_loop, this);
+  obs::log_info("serve", "listening on " + options_.socket_path);
+}
+
+void Server::stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) {
+    // Never started (or a concurrent stop won); still reap a listener
+    // left behind by a failed start.
+    if (listen_fd_ >= 0 && !accept_thread_.joinable()) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : conn_fds_) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  for (const int fd : conn_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+  conn_threads_.clear();
+  conn_fds_.clear();
+  ::unlink(options_.socket_path.c_str());
+  obs::log_info("serve", "stopped " + options_.socket_path);
+}
+
+void Server::accept_loop() {
+  while (running()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (stop()) or broken
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!running()) {
+      ::close(fd);
+      break;
+    }
+    const std::size_t slot = conn_fds_.size();
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, slot, fd] {
+      serve_connection(fd);
+      std::lock_guard<std::mutex> inner(conn_mu_);
+      ::close(fd);
+      conn_fds_[slot] = -1;
+    });
+  }
+}
+
+void Server::serve_connection(int fd) {
+  obs::Counter("serve.connections").add();
+  std::string buffer;
+  std::vector<std::string> batch;
+  char chunk[65536];
+  for (;;) {
+    // Drain every complete line already buffered into one batch.
+    batch.clear();
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos && batch.size() < options_.max_batch;
+         nl = buffer.find('\n', start)) {
+      batch.push_back(buffer.substr(start, nl - start));
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+
+    if (!batch.empty()) {
+      const auto answer = [&](const std::string& line,
+                              const Service::IncumbentCallback& stream) {
+        Response res;
+        try {
+          const Request req = parse_request_line(line);
+          res = service_.handle(req, stream);
+        } catch (const std::exception& e) {
+          res.ok = false;
+          res.error = e.what();
+        }
+        return render_response_line(res);
+      };
+      if (batch.size() == 1) {
+        // Single request: stream incumbents inline (request order cannot
+        // be violated — there is nothing to interleave with).
+        const std::string out = answer(batch[0], [&](const IncumbentUpdate&
+                                                         update) {
+          std::string id;
+          try {
+            id = parse_request_line(batch[0]).id;
+          } catch (const std::exception&) {
+          }
+          write_all(fd, render_incumbent_line(id, update));
+        });
+        if (!write_all(fd, out)) return;
+      } else {
+        // Pipelined batch: fan out on the worker fleet, reply in order.
+        const std::vector<std::string> replies =
+            runner_.map<std::string>(batch.size(), [&](std::size_t i) {
+              return answer(batch[i], {});
+            });
+        std::string out;
+        for (const std::string& r : replies) out += r;
+        if (!write_all(fd, out)) return;
+      }
+      continue;  // more complete lines may already be buffered
+    }
+
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // peer closed or stop() shut the socket down
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+// --- client ----------------------------------------------------------------
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  LETDMA_ENSURE(socket_path.size() < sizeof(addr.sun_path),
+                "socket path too long");
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw support::Error(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw support::Error("connect " + socket_path + ": " + what);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Client::read_line(std::string* line) {
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      *line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[65536];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Response Client::call(const Request& request,
+                      const Service::IncumbentCallback& on_incumbent) {
+  if (!write_all(fd_, render_request_line(request))) {
+    throw support::Error("serve client: connection closed while writing");
+  }
+  std::string line;
+  while (read_line(&line)) {
+    support::JsonValue v;
+    std::string err;
+    if (support::parse_json(line, &v, &err) &&
+        v.str_or("event", "") == "incumbent") {
+      if (on_incumbent) {
+        IncumbentUpdate update;
+        v.num_of("objective", &update.objective);
+        update.strategy = v.str_or("strategy", "");
+        on_incumbent(update);
+      }
+      continue;
+    }
+    return parse_response_line(line);
+  }
+  throw support::Error("serve client: connection closed before result");
+}
+
+std::vector<Response> Client::call_batch(
+    const std::vector<Request>& requests) {
+  std::string out;
+  for (const Request& r : requests) {
+    Request flat = r;
+    flat.stream_incumbents = false;
+    out += render_request_line(flat);
+  }
+  // Write from a helper thread while this thread drains responses: a
+  // large batch can exceed both socket buffers, and a server blocked on
+  // writing responses stops reading requests — writer and reader must
+  // make progress independently or the connection deadlocks.
+  std::thread writer([this, &out] { write_all(fd_, out); });
+  std::vector<Response> responses;
+  responses.reserve(requests.size());
+  try {
+    std::string line;
+    while (responses.size() < requests.size() && read_line(&line)) {
+      support::JsonValue v;
+      std::string err;
+      if (support::parse_json(line, &v, &err) &&
+          v.str_or("event", "") != "result") {
+        continue;  // stray incumbent event
+      }
+      responses.push_back(parse_response_line(line));
+    }
+  } catch (...) {
+    ::shutdown(fd_, SHUT_RDWR);  // unblock the writer before joining
+    writer.join();
+    throw;
+  }
+  writer.join();
+  if (responses.size() != requests.size()) {
+    throw support::Error("serve client: connection closed mid-batch");
+  }
+  return responses;
+}
+
+}  // namespace letdma::serve

@@ -1,0 +1,267 @@
+#include "letdma/serve/service.hpp"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "letdma/guard/certify.hpp"
+#include "letdma/let/schedule_io.hpp"
+#include "letdma/model/io.hpp"
+#include "letdma/obs/flight.hpp"
+#include "letdma/obs/histogram.hpp"
+#include "letdma/obs/obs.hpp"
+#include "letdma/serve/translate.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::serve {
+namespace {
+
+obs::Counter& requests_counter() {
+  static obs::Counter c("serve.requests");
+  return c;
+}
+obs::Counter& rejected_counter() {
+  static obs::Counter c("serve.admission.rejected");
+  return c;
+}
+obs::Counter& certified_counter() {
+  static obs::Counter c("serve.responses.certified");
+  return c;
+}
+
+/// RAII slot in the tenant's in-flight budget.
+class InflightSlot {
+ public:
+  InflightSlot(std::mutex& mu, std::map<std::string, int>& inflight,
+               const std::string& tenant)
+      : mu_(mu), inflight_(inflight), tenant_(tenant) {}
+  ~InflightSlot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--inflight_[tenant_] <= 0) inflight_.erase(tenant_);
+  }
+
+ private:
+  std::mutex& mu_;
+  std::map<std::string, int>& inflight_;
+  std::string tenant_;
+};
+
+/// Publishes improving incumbents to the shared sink AND the caller's
+/// streaming callback (the sink keeps the dedup/improvement logic).
+class StreamingSink : public engine::IncumbentSink {
+ public:
+  explicit StreamingSink(const Service::IncumbentCallback& callback)
+      : callback_(callback) {}
+
+  bool offer(const let::ScheduleResult& schedule, double objective,
+             const std::string& strategy) override {
+    const bool kept = inner_.offer(schedule, objective, strategy);
+    if (kept && callback_) callback_({objective, strategy});
+    return kept;
+  }
+  std::optional<engine::Incumbent> best() const override {
+    return inner_.best();
+  }
+  int improvements() const { return inner_.improvements(); }
+
+ private:
+  engine::SharedIncumbent inner_;
+  Service::IncumbentCallback callback_;
+};
+
+double elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+bool parse_objective(const std::string& name, engine::Objective* out) {
+  if (name == "del") {
+    *out = engine::Objective::kMinMaxLatencyRatio;
+  } else if (name == "dmat") {
+    *out = engine::Objective::kMinTransfers;
+  } else if (name == "none") {
+    *out = engine::Objective::kFeasibility;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* objective_wire_name(engine::Objective objective) {
+  switch (objective) {
+    case engine::Objective::kMinMaxLatencyRatio: return "del";
+    case engine::Objective::kMinTransfers: return "dmat";
+    case engine::Objective::kFeasibility: return "none";
+  }
+  return "?";
+}
+
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity, options_.cache_shards) {}
+
+const TenantPolicy& Service::policy_for(const std::string& tenant) const {
+  const auto it = options_.tenant_policies.find(tenant);
+  return it != options_.tenant_policies.end() ? it->second
+                                              : options_.default_policy;
+}
+
+Response Service::handle(const Request& request,
+                         const IncumbentCallback& on_incumbent) {
+  const auto t0 = std::chrono::steady_clock::now();
+  requests_counter().add();
+  obs::Counter("serve.requests." + request.tenant).add();
+
+  Response res;
+  res.id = request.id;
+
+  // --- admission ----------------------------------------------------------
+  const TenantPolicy& policy = policy_for(request.tenant);
+  std::optional<InflightSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int& inflight = inflight_[request.tenant];
+    if (inflight >= policy.max_inflight) {
+      rejected_counter().add();
+      obs::Counter("serve.admission.rejected." + request.tenant).add();
+      res.error = "admission: tenant `" + request.tenant + "` over " +
+                  std::to_string(policy.max_inflight) +
+                  " in-flight requests";
+      res.wall_ms = elapsed_ms(t0);
+      return res;
+    }
+    ++inflight;
+    slot.emplace(mu_, inflight_, request.tenant);
+  }
+  const double budget_sec =
+      std::min(request.budget_sec > 0 ? request.budget_sec
+                                      : policy.max_budget_sec,
+               policy.max_budget_sec);
+
+  try {
+    // --- canonicalize -----------------------------------------------------
+    const std::unique_ptr<model::Application> app =
+        model::read_application(request.model_text);
+    model::Canonicalization canon = model::canonicalize(*app);
+    res.fingerprint = canon.fingerprint.to_hex();
+    res.exact = canon.exact;
+    const let::LetComms target(*app);
+    const CacheKey key{canon.fingerprint, request.objective};
+
+    const auto serve_entry =
+        [&](const CachedSolve& entry) -> bool {
+      // Un-permute onto the requesting instance and certify against it;
+      // any structural throw is equivalent to a failed certificate.
+      try {
+        let::ScheduleResult translated =
+            translate_schedule(entry.schedule, canon, target);
+        const guard::Certificate cert = guard::certify(target, translated);
+        if (!cert.certified()) return false;
+        res.ok = true;
+        res.status = entry.status;
+        res.certified = true;
+        res.objective_value =
+            engine::objective_of(target, translated, request.objective);
+        res.strategy = entry.strategy;
+        if (request.want_schedule) {
+          res.schedule_text = let::write_schedule(*app, translated);
+        }
+        return true;
+      } catch (const support::Error&) {
+        return false;
+      }
+    };
+
+    // --- cache ------------------------------------------------------------
+    if (const std::shared_ptr<const CachedSolve> hit = cache_.lookup(key)) {
+      if (serve_entry(*hit)) {
+        res.cache_hit = true;
+        certified_counter().add();
+        res.wall_ms = elapsed_ms(t0);
+        obs::Histogram("serve.request_ms." + request.tenant)
+            .record(res.wall_ms);
+        return res;
+      }
+      cache_.invalidate(key);
+      obs::flight_event(
+          "serve.cache_invalidate", "serve",
+          {{"fingerprint", res.fingerprint}, {"tenant", request.tenant}},
+          obs::Level::kWarn);
+    }
+
+    // --- fresh supervised solve on the canonical instance -----------------
+    auto canonical_comms = std::make_unique<let::LetComms>(*canon.app);
+    engine::GuardOptions guard_options = options_.guard;
+    guard_options.objective = request.objective;
+    engine::SupervisedScheduler scheduler(std::move(guard_options));
+    StreamingSink sink(request.stream_incumbents ? on_incumbent
+                                                 : IncumbentCallback{});
+    engine::Budget budget;
+    budget.wall_sec = budget_sec;
+    const engine::ScheduleOutcome outcome =
+        scheduler.solve(*canonical_comms, budget, sink);
+    res.incumbents = sink.improvements();
+    res.status = outcome.status;
+    res.strategy = outcome.strategy;
+
+    if (outcome.schedule.has_value()) {
+      // The entry takes over the canonical application and its comms;
+      // moving the unique_ptrs does not move the referenced objects, so
+      // the ScheduleResult's internal pointers stay valid.
+      const auto entry = std::make_shared<CachedSolve>(
+          CachedSolve{std::move(canon.app), std::move(canonical_comms),
+                      *outcome.schedule, outcome.status, outcome.objective,
+                      outcome.strategy});
+      // Inexact canonical forms (branch budget exceeded) are cached too:
+      // they are deterministic per input, so they still hit for repeated
+      // identical submissions, and a cross-instance false hit is caught
+      // by the per-request certification below.
+      cache_.insert(key, entry);
+      if (serve_entry(*entry)) {
+        certified_counter().add();
+      } else {
+        // The solve certified on the canonical instance but the mapping
+        // back failed — only possible if the canonicalization maps are
+        // corrupt. Surface it instead of serving uncertified bytes.
+        cache_.invalidate(key);
+        obs::flight_event(
+            "serve.translate_failed", "serve",
+            {{"fingerprint", res.fingerprint}, {"tenant", request.tenant}},
+            obs::Level::kError);
+        res.ok = false;
+        res.certified = false;
+        res.error = "internal: translated schedule failed certification";
+      }
+    } else {
+      // Infeasible / timeout: no schedule to certify; the outcome shape
+      // itself is still checked.
+      res.ok = true;
+      res.certified =
+          engine::certify_outcome(*canonical_comms, outcome,
+                                  request.objective)
+              .certified();
+      res.objective_value = outcome.objective;
+    }
+  } catch (const support::Error& e) {
+    res.ok = false;
+    res.error = e.what();
+  }
+
+  res.wall_ms = elapsed_ms(t0);
+  obs::Histogram("serve.request_ms." + request.tenant).record(res.wall_ms);
+  return res;
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats st;
+  st.requests = requests_counter().value();
+  st.rejected = rejected_counter().value();
+  st.certified = certified_counter().value();
+  st.cache = cache_.stats();
+  return st;
+}
+
+}  // namespace letdma::serve

@@ -1,0 +1,71 @@
+#include "letdma/serve/translate.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "letdma/let/transfer.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::serve {
+
+let::ScheduleResult translate_schedule(
+    const let::ScheduleResult& canonical_result,
+    const model::Canonicalization& canon, const let::LetComms& target) {
+  const model::Application& app = target.app();
+  const int num_cores = app.platform().num_cores();
+  LETDMA_ENSURE(static_cast<int>(canon.task_map.size()) == app.num_tasks() &&
+                    static_cast<int>(canon.label_map.size()) ==
+                        app.num_labels() &&
+                    static_cast<int>(canon.core_map.size()) == num_cores,
+                "canonicalization does not describe the target instance");
+  const std::vector<int> task_inv = model::invert_permutation(canon.task_map);
+  const std::vector<int> label_inv =
+      model::invert_permutation(canon.label_map);
+
+  const auto pull_slot = [&](const let::Slot& s) {
+    let::Slot t;
+    t.label = model::LabelId{label_inv[static_cast<std::size_t>(s.label.value)]};
+    t.owner = s.owner.value < 0
+                  ? model::TaskId{}
+                  : model::TaskId{
+                        task_inv[static_cast<std::size_t>(s.owner.value)]};
+    return t;
+  };
+
+  let::MemoryLayout layout(app);
+  for (int m = 0; m <= num_cores; ++m) {
+    // Local memory m belongs to core m; its canonical twin is the local
+    // memory of the renumbered core. The global memory maps to itself.
+    const model::MemoryId target_mem{m};
+    const model::MemoryId canon_mem{
+        m == num_cores ? num_cores
+                       : canon.core_map[static_cast<std::size_t>(m)]};
+    std::vector<let::Slot> slots;
+    const std::vector<let::Slot>& canon_order =
+        canonical_result.layout.order(canon_mem);
+    slots.reserve(canon_order.size());
+    for (const let::Slot& s : canon_order) slots.push_back(pull_slot(s));
+    layout.set_order(target_mem, std::move(slots));
+  }
+
+  std::vector<let::DmaTransfer> s0;
+  s0.reserve(canonical_result.s0_transfers.size());
+  for (const let::DmaTransfer& tr : canonical_result.s0_transfers) {
+    std::vector<let::Communication> comms;
+    comms.reserve(tr.comms.size());
+    for (const let::Communication& c : tr.comms) {
+      comms.push_back(
+          {c.dir,
+           model::TaskId{task_inv[static_cast<std::size_t>(c.task.value)]},
+           model::LabelId{
+               label_inv[static_cast<std::size_t>(c.label.value)]}});
+    }
+    s0.push_back(let::make_transfer(layout, std::move(comms)));
+  }
+
+  let::ScheduleResult out{std::move(layout), std::move(s0), {}};
+  out.schedule = let::derive_schedule(target, out.layout, out.s0_transfers);
+  return out;
+}
+
+}  // namespace letdma::serve

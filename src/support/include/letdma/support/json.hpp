@@ -1,0 +1,57 @@
+// Minimal JSON value + recursive-descent parser.
+//
+// One JSON reader for the whole tree: letdma_report loads the bench/obs
+// JSONL streams and committed baselines through it, and letdma::serve
+// parses request envelopes with it. The parser accepts any standard JSON
+// document (objects, arrays, strings with escapes incl. \uXXXX, numbers,
+// booleans, null) and reports the byte offset of the first error instead
+// of throwing — callers decide whether a malformed line is fatal.
+//
+// Writing helpers live in letdma::obs::json; this header is read-only on
+// purpose so the base support library stays dependency-free.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace letdma::support {
+
+struct JsonValue;
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+using JsonArray = std::vector<JsonValue>;
+
+/// A parsed JSON value. Objects preserve key order (the streams are
+/// machine-written and key order carries no meaning, but stable iteration
+/// keeps renderings deterministic); duplicate keys are kept as written and
+/// find() returns the first.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::shared_ptr<JsonArray> array;
+  std::shared_ptr<JsonObject> object;
+
+  /// First value under `key`; null for non-objects and absent keys.
+  const JsonValue* find(const std::string& key) const;
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+
+  /// String value under `key`, or `fallback` when absent / not a string.
+  std::string str_or(const std::string& key, std::string fallback) const;
+
+  /// Reads a numeric field into *out; false when absent / not a number.
+  bool num_of(const std::string& key, double* out) const;
+
+  /// Boolean field with a default for absent / non-boolean values.
+  bool bool_or(const std::string& key, bool fallback) const;
+};
+
+/// Parses one complete JSON document (trailing content is an error). On
+/// failure returns false and sets *error to a message naming the byte
+/// offset; *out is left in an unspecified state.
+bool parse_json(const std::string& text, JsonValue* out, std::string* error);
+
+}  // namespace letdma::support

@@ -1,0 +1,212 @@
+#include "letdma/model/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "../test_fixtures.hpp"
+#include "letdma/model/generator.hpp"
+#include "letdma/model/io.hpp"
+#include "letdma/support/error.hpp"
+#include "letdma/waters/waters.hpp"
+
+namespace letdma::model {
+namespace {
+
+std::vector<int> random_permutation(int n, std::mt19937_64& rng) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  std::shuffle(perm.begin(), perm.end(), rng);
+  return perm;
+}
+
+std::unique_ptr<Application> random_relabeling(const Application& app,
+                                               std::mt19937_64& rng) {
+  return permute_application(app,
+                             random_permutation(app.num_tasks(), rng),
+                             random_permutation(app.num_labels(), rng),
+                             random_permutation(app.platform().num_cores(),
+                                                rng));
+}
+
+TEST(Canonical, FingerprintIsDeterministic) {
+  const auto app = testing::make_fig1_app();
+  const Fingerprint a = fingerprint_of(*app);
+  const Fingerprint b = fingerprint_of(*app);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.to_hex(), b.to_hex());
+  EXPECT_EQ(a.to_hex().size(), 32u);
+}
+
+TEST(Canonical, RequiresFinalizedApplication) {
+  Application app{Platform(1)};
+  app.add_task("a", support::ms(10), support::ms(1), CoreId{0});
+  EXPECT_THROW(canonicalize(app), support::Error);
+}
+
+TEST(Canonical, CanonicalTextMatchesCanonicalApp) {
+  const auto app = testing::make_fig1_app();
+  const Canonicalization canon = canonicalize(*app);
+  EXPECT_TRUE(canon.exact);
+  EXPECT_EQ(canon.text, write_application(*canon.app));
+  EXPECT_EQ(canon.fingerprint, fingerprint_bytes(canon.text));
+  // Canonicalizing the canonical form is a fixed point.
+  EXPECT_EQ(canonicalize(*canon.app).text, canon.text);
+}
+
+TEST(Canonical, MapsAreValidPermutations) {
+  const auto app = testing::make_fig1_app();
+  const Canonicalization canon = canonicalize(*app);
+  ASSERT_EQ(canon.task_map.size(),
+            static_cast<std::size_t>(app->num_tasks()));
+  ASSERT_EQ(canon.label_map.size(),
+            static_cast<std::size_t>(app->num_labels()));
+  ASSERT_EQ(canon.core_map.size(),
+            static_cast<std::size_t>(app->platform().num_cores()));
+  const std::vector<int> task_inv = invert_permutation(canon.task_map);
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    EXPECT_EQ(task_inv[static_cast<std::size_t>(
+                  canon.task_map[static_cast<std::size_t>(i)])],
+              i);
+    // The mapped canonical task is the same structural task.
+    const Task& orig = app->task(TaskId{i});
+    const Task& mapped =
+        canon.app->task(TaskId{canon.task_map[static_cast<std::size_t>(i)]});
+    EXPECT_EQ(orig.period, mapped.period);
+    EXPECT_EQ(orig.wcet, mapped.wcet);
+    EXPECT_EQ(canon.core_map[static_cast<std::size_t>(orig.core.value)],
+              mapped.core.value);
+  }
+  const std::vector<int> label_inv = invert_permutation(canon.label_map);
+  for (int l = 0; l < app->num_labels(); ++l) {
+    const Label& orig = app->label(LabelId{l});
+    const Label& mapped = canon.app->label(
+        LabelId{canon.label_map[static_cast<std::size_t>(l)]});
+    EXPECT_EQ(orig.size_bytes, mapped.size_bytes);
+    EXPECT_EQ(canon.task_map[static_cast<std::size_t>(orig.writer.value)],
+              mapped.writer.value);
+    (void)label_inv;
+  }
+}
+
+TEST(Canonical, PermutedWatersHasIdenticalFingerprint) {
+  const auto app = waters::make_waters_app();
+  const Canonicalization base = canonicalize(*app);
+  std::mt19937_64 rng(2024);
+  for (int round = 0; round < 5; ++round) {
+    const auto shuffled = random_relabeling(*app, rng);
+    const Canonicalization other = canonicalize(*shuffled);
+    EXPECT_EQ(base.text, other.text) << "round " << round;
+    EXPECT_EQ(base.fingerprint, other.fingerprint) << "round " << round;
+  }
+}
+
+TEST(Canonical, PermutedGeneratedInstancesHaveIdenticalFingerprints) {
+  std::mt19937_64 rng(7);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    GeneratorOptions opt;
+    opt.num_cores = 3;
+    opt.num_tasks = 10;
+    opt.num_labels = 14;
+    opt.seed = seed;
+    const auto app = generate_application(opt);
+    const Fingerprint base = fingerprint_of(*app);
+    const auto shuffled = random_relabeling(*app, rng);
+    EXPECT_EQ(base, fingerprint_of(*shuffled)) << "seed " << seed;
+  }
+}
+
+TEST(Canonical, MutatedPeriodChangesFingerprint) {
+  GeneratorOptions opt;
+  opt.seed = 3;
+  const auto app = generate_application(opt);
+  const Fingerprint base = fingerprint_of(*app);
+
+  // Rebuild with one task's period nudged by one period quantum.
+  Application mutated{app->platform()};
+  std::vector<TaskId> ids;
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    const Task& t = app->task(TaskId{i});
+    const support::Time period = i == 0 ? t.period * 2 : t.period;
+    ids.push_back(mutated.add_task(t.name, period, t.wcet, t.core,
+                                   t.priority));
+  }
+  for (int l = 0; l < app->num_labels(); ++l) {
+    const Label& lab = app->label(LabelId{l});
+    std::vector<TaskId> readers;
+    for (const TaskId r : lab.readers) {
+      readers.push_back(ids[static_cast<std::size_t>(r.value)]);
+    }
+    mutated.add_label(lab.name, lab.size_bytes,
+                      ids[static_cast<std::size_t>(lab.writer.value)],
+                      std::move(readers));
+  }
+  mutated.finalize();
+  EXPECT_NE(base, fingerprint_of(mutated));
+}
+
+TEST(Canonical, MutatedLabelSizeChangesFingerprint) {
+  const auto app = testing::make_fig1_app();
+  const Fingerprint base = fingerprint_of(*app);
+
+  auto grown = std::make_unique<Application>(app->platform());
+  std::vector<TaskId> ids;
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    const Task& t = app->task(TaskId{i});
+    ids.push_back(grown->add_task(t.name, t.period, t.wcet, t.core,
+                                  t.priority));
+  }
+  for (int l = 0; l < app->num_labels(); ++l) {
+    const Label& lab = app->label(LabelId{l});
+    std::vector<TaskId> readers;
+    for (const TaskId r : lab.readers) {
+      readers.push_back(ids[static_cast<std::size_t>(r.value)]);
+    }
+    grown->add_label(lab.name, lab.size_bytes + (l == 2 ? 1 : 0),
+                     ids[static_cast<std::size_t>(lab.writer.value)],
+                     std::move(readers));
+  }
+  grown->finalize();
+  EXPECT_NE(base, fingerprint_of(*grown));
+}
+
+TEST(Canonical, SymmetricInstanceIsStillInvariant) {
+  // Fully symmetric: four identical tasks on one core, no labels between
+  // them distinguishable by structure. Refinement cannot split them;
+  // individualization must still produce an isomorphism-invariant form.
+  auto build = [](const std::vector<int>& order) {
+    auto app = std::make_unique<Application>(Platform(2));
+    std::vector<TaskId> ids(4);
+    for (const int i : order) {
+      ids[static_cast<std::size_t>(i)] =
+          app->add_task("task" + std::to_string(i), support::ms(10),
+                        support::ms(1), CoreId{i % 2});
+    }
+    app->add_label("ring0", 100, ids[0], {ids[1]});
+    app->add_label("ring1", 100, ids[1], {ids[2]});
+    app->add_label("ring2", 100, ids[2], {ids[3]});
+    app->add_label("ring3", 100, ids[3], {ids[0]});
+    app->finalize();
+    return app;
+  };
+  const Fingerprint a = fingerprint_of(*build({0, 1, 2, 3}));
+  const Fingerprint b = fingerprint_of(*build({2, 0, 3, 1}));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Canonical, PermuteApplicationValidatesPermutations) {
+  const auto app = testing::make_pair_app();
+  EXPECT_THROW(permute_application(*app, {0}), support::Error);
+  EXPECT_THROW(permute_application(*app, {1, 1}), support::Error);
+}
+
+TEST(Canonical, FingerprintBytesSeparatesCloseInputs) {
+  const Fingerprint a = fingerprint_bytes("instance-a");
+  const Fingerprint b = fingerprint_bytes("instance-b");
+  EXPECT_NE(a, b);
+  EXPECT_NE(fingerprint_bytes(""), a);
+}
+
+}  // namespace
+}  // namespace letdma::model

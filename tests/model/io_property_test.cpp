@@ -1,0 +1,108 @@
+// Write/read round-trip property over generated instances: every field
+// that write_application emits must survive read_application exactly, and
+// the second serialization must be byte-identical (the text format is a
+// canonical encoding of a finalized application). This is the durability
+// contract behind both the on-disk model corpus and the serve wire
+// protocol, which ships models as this text.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "letdma/model/application.hpp"
+#include "letdma/model/generator.hpp"
+#include "letdma/model/io.hpp"
+#include "letdma/support/time.hpp"
+
+namespace letdma::model {
+namespace {
+
+void expect_equivalent(const Application& a, const Application& b,
+                       const std::string& context) {
+  ASSERT_EQ(a.num_tasks(), b.num_tasks()) << context;
+  ASSERT_EQ(a.num_labels(), b.num_labels()) << context;
+  ASSERT_EQ(a.platform().num_cores(), b.platform().num_cores()) << context;
+  EXPECT_EQ(a.platform().dma().programming_overhead,
+            b.platform().dma().programming_overhead)
+      << context;
+  EXPECT_EQ(a.platform().dma().isr_overhead, b.platform().dma().isr_overhead)
+      << context;
+  EXPECT_EQ(a.platform().dma().copy_cost_ns_per_byte,
+            b.platform().dma().copy_cost_ns_per_byte)
+      << context;
+  EXPECT_EQ(a.platform().cpu_copy().copy_cost_ns_per_byte,
+            b.platform().cpu_copy().copy_cost_ns_per_byte)
+      << context;
+  EXPECT_EQ(a.platform().cpu_copy().per_label_overhead,
+            b.platform().cpu_copy().per_label_overhead)
+      << context;
+  for (int i = 0; i < a.num_tasks(); ++i) {
+    const Task& ta = a.task(TaskId{i});
+    const Task& tb = b.task(TaskId{i});
+    EXPECT_EQ(ta.name, tb.name) << context;
+    EXPECT_EQ(ta.period, tb.period) << context;
+    EXPECT_EQ(ta.wcet, tb.wcet) << context;
+    EXPECT_EQ(ta.core.value, tb.core.value) << context;
+    EXPECT_EQ(ta.priority, tb.priority) << context;
+    EXPECT_EQ(ta.acquisition_deadline, tb.acquisition_deadline) << context;
+  }
+  for (int l = 0; l < a.num_labels(); ++l) {
+    const Label& la = a.label(LabelId{l});
+    const Label& lb = b.label(LabelId{l});
+    EXPECT_EQ(la.name, lb.name) << context;
+    EXPECT_EQ(la.size_bytes, lb.size_bytes) << context;
+    EXPECT_EQ(la.writer.value, lb.writer.value) << context;
+    ASSERT_EQ(la.readers.size(), lb.readers.size()) << context;
+    for (std::size_t r = 0; r < la.readers.size(); ++r) {
+      EXPECT_EQ(la.readers[r].value, lb.readers[r].value) << context;
+    }
+  }
+}
+
+TEST(IoProperty, RoundTripOverGeneratedInstances) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    GeneratorOptions opt;
+    opt.num_cores = 2 + static_cast<int>(seed % 4);
+    opt.num_tasks = 4 + static_cast<int>(seed % 9);
+    opt.num_labels = 4 + static_cast<int>(seed % 13);
+    opt.total_utilization = 0.2 + 0.05 * static_cast<double>(seed % 7);
+    opt.max_readers = 1 + static_cast<int>(seed % 3);
+    opt.seed = seed;
+    const auto app = generate_application(opt);
+    const std::string context = "seed " + std::to_string(seed);
+
+    const std::string text = write_application(*app);
+    const auto loaded = read_application(text);
+    expect_equivalent(*app, *loaded, context);
+    EXPECT_EQ(write_application(*loaded), text) << context;
+  }
+}
+
+TEST(IoProperty, RoundTripPreservesGammaIncludingZero) {
+  // gamma_ns=0 is a legal acquisition deadline (the model admits
+  // gamma >= 0); the reader used to reject its own writer's output here.
+  GeneratorOptions opt;
+  opt.seed = 11;
+  auto app = generate_application(opt);
+  // Rebuild with explicit deadlines, including the zero edge case.
+  Application tight{app->platform()};
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    const Task& t = app->task(TaskId{i});
+    const TaskId id = tight.add_task(t.name, t.period, t.wcet, t.core,
+                                     t.priority);
+    tight.set_acquisition_deadline(id, i == 0 ? 0 : t.period / 2);
+  }
+  for (int l = 0; l < app->num_labels(); ++l) {
+    const Label& lab = app->label(LabelId{l});
+    std::vector<TaskId> readers;
+    for (const TaskId r : lab.readers) readers.push_back(r);
+    tight.add_label(lab.name, lab.size_bytes, lab.writer, std::move(readers));
+  }
+  tight.finalize();
+
+  const auto loaded = read_application(write_application(tight));
+  expect_equivalent(tight, *loaded, "explicit gammas");
+  EXPECT_EQ(loaded->task(TaskId{0}).acquisition_deadline, support::Time{0});
+}
+
+}  // namespace
+}  // namespace letdma::model

@@ -1,0 +1,142 @@
+#include "letdma/serve/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "../test_fixtures.hpp"
+#include "letdma/engine/supervised.hpp"
+#include "letdma/let/let_comms.hpp"
+#include "letdma/model/canonical.hpp"
+
+namespace letdma::serve {
+namespace {
+
+model::Fingerprint fp(std::uint64_t hi, std::uint64_t lo) {
+  model::Fingerprint f;
+  f.hi = hi;
+  f.lo = lo;
+  return f;
+}
+
+/// A real cache entry: app + comms + a schedule actually solved on them.
+std::shared_ptr<CachedSolve> make_entry() {
+  auto app = testing::make_pair_app();
+  auto comms = std::make_unique<let::LetComms>(*app);
+  engine::GuardOptions options;
+  options.chain = {"greedy", "giotto"};
+  engine::SupervisedScheduler scheduler(options);
+  engine::Budget budget(1.0);
+  engine::SharedIncumbent incumbent;
+  auto outcome = scheduler.solve(*comms, budget, incumbent);
+  EXPECT_TRUE(outcome.schedule.has_value());
+  return std::make_shared<CachedSolve>(
+      CachedSolve{std::move(app), std::move(comms), *outcome.schedule,
+                  outcome.status, outcome.objective, outcome.strategy});
+}
+
+TEST(SolveCache, MissThenHit) {
+  SolveCache cache(8, 2);
+  const CacheKey key{fp(1, 2), engine::Objective::kMinMaxLatencyRatio};
+  EXPECT_EQ(cache.lookup(key), nullptr);
+  cache.insert(key, make_entry());
+  const auto hit = cache.lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SolveCache, ObjectiveIsPartOfTheKey) {
+  SolveCache cache(8, 1);
+  const CacheKey del{fp(1, 2), engine::Objective::kMinMaxLatencyRatio};
+  const CacheKey dmat{fp(1, 2), engine::Objective::kMinTransfers};
+  cache.insert(del, make_entry());
+  EXPECT_NE(cache.lookup(del), nullptr);
+  EXPECT_EQ(cache.lookup(dmat), nullptr);
+}
+
+TEST(SolveCache, EvictsLeastRecentlyUsed) {
+  // One shard so the LRU order is global and observable.
+  SolveCache cache(2, 1);
+  const CacheKey a{fp(1, 1), engine::Objective::kMinMaxLatencyRatio};
+  const CacheKey b{fp(2, 2), engine::Objective::kMinMaxLatencyRatio};
+  const CacheKey c{fp(3, 3), engine::Objective::kMinMaxLatencyRatio};
+  cache.insert(a, make_entry());
+  cache.insert(b, make_entry());
+  EXPECT_NE(cache.lookup(a), nullptr);  // a is now most recent
+  cache.insert(c, make_entry());        // evicts b
+  EXPECT_NE(cache.lookup(a), nullptr);
+  EXPECT_EQ(cache.lookup(b), nullptr);
+  EXPECT_NE(cache.lookup(c), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SolveCache, InvalidateRemovesEntry) {
+  SolveCache cache(8, 2);
+  const CacheKey key{fp(9, 9), engine::Objective::kFeasibility};
+  cache.insert(key, make_entry());
+  EXPECT_NE(cache.lookup(key), nullptr);
+  cache.invalidate(key);
+  EXPECT_EQ(cache.lookup(key), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 1);
+  cache.invalidate(key);  // absent: a no-op, not a second invalidation
+  EXPECT_EQ(cache.stats().invalidations, 1);
+}
+
+TEST(SolveCache, DuplicateInsertReplaces) {
+  SolveCache cache(4, 1);
+  const CacheKey key{fp(5, 5), engine::Objective::kMinMaxLatencyRatio};
+  cache.insert(key, make_entry());
+  const auto replacement = make_entry();
+  cache.insert(key, replacement);
+  EXPECT_EQ(cache.lookup(key).get(), replacement.get());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SolveCache, SharedOwnershipSurvivesEviction) {
+  // A response being served from an entry must stay valid even if the
+  // entry is evicted mid-flight — shared_ptr ownership, not references.
+  SolveCache cache(1, 1);
+  const CacheKey a{fp(1, 0), engine::Objective::kMinMaxLatencyRatio};
+  const CacheKey b{fp(2, 0), engine::Objective::kMinMaxLatencyRatio};
+  cache.insert(a, make_entry());
+  const auto held = cache.lookup(a);
+  cache.insert(b, make_entry());  // evicts a
+  ASSERT_NE(held, nullptr);
+  EXPECT_GT(held->app->num_tasks(), 0);
+  EXPECT_FALSE(held->strategy.empty());
+}
+
+TEST(SolveCache, ConcurrentMixedOperationsStayConsistent) {
+  SolveCache cache(32, 4);
+  const auto entry = make_entry();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&cache, &entry, t] {
+      for (int i = 0; i < 200; ++i) {
+        const CacheKey key{fp(static_cast<std::uint64_t>(i % 40),
+                              static_cast<std::uint64_t>(t)),
+                          engine::Objective::kMinMaxLatencyRatio};
+        if (i % 3 == 0) {
+          cache.insert(key, entry);
+        } else if (i % 7 == 0) {
+          cache.invalidate(key);
+        } else {
+          (void)cache.lookup(key);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_LE(cache.size(), cache.capacity());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.size, cache.size());
+  EXPECT_GE(stats.hits + stats.misses, 1);
+}
+
+}  // namespace
+}  // namespace letdma::serve

@@ -1,0 +1,200 @@
+#include "letdma/serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "../test_fixtures.hpp"
+#include "letdma/model/canonical.hpp"
+#include "letdma/model/io.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::serve {
+namespace {
+
+ServiceOptions fast_options() {
+  ServiceOptions options;
+  options.guard.chain = {"ls", "greedy", "giotto"};
+  return options;
+}
+
+std::string test_socket(const char* tag) {
+  return "/tmp/letdma-serve-test-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+Request request_for(const model::Application& app, std::string id) {
+  Request req;
+  req.id = std::move(id);
+  req.model_text = model::write_application(app);
+  req.budget_sec = 2.0;
+  req.want_schedule = false;
+  return req;
+}
+
+TEST(Protocol, RequestLineRoundTrips) {
+  const auto app = testing::make_pair_app();
+  Request req = request_for(*app, "req-7");
+  req.tenant = "acme";
+  req.objective = engine::Objective::kMinTransfers;
+  req.budget_sec = 0.25;
+  req.want_schedule = true;
+  req.stream_incumbents = true;
+
+  const Request parsed = parse_request_line(render_request_line(req));
+  EXPECT_EQ(parsed.id, req.id);
+  EXPECT_EQ(parsed.tenant, req.tenant);
+  EXPECT_EQ(parsed.objective, req.objective);
+  EXPECT_DOUBLE_EQ(parsed.budget_sec, req.budget_sec);
+  EXPECT_EQ(parsed.want_schedule, req.want_schedule);
+  EXPECT_EQ(parsed.stream_incumbents, req.stream_incumbents);
+  EXPECT_EQ(parsed.model_text, req.model_text);
+}
+
+TEST(Protocol, ResponseLineRoundTrips) {
+  Response res;
+  res.id = "req-7";
+  res.ok = true;
+  res.status = engine::Status::kFeasible;
+  res.certified = true;
+  res.cache_hit = true;
+  res.fingerprint = "00ff00ff00ff00ff00ff00ff00ff00ff";
+  res.exact = true;
+  res.objective_value = 0.375;
+  res.strategy = "ls";
+  res.wall_ms = 1.25;
+  res.incumbents = 3;
+  res.schedule_text = "s0 ...\nschedule ...\n";
+
+  const Response parsed = parse_response_line(render_response_line(res));
+  EXPECT_EQ(parsed.id, res.id);
+  EXPECT_TRUE(parsed.ok);
+  EXPECT_EQ(parsed.status, res.status);
+  EXPECT_TRUE(parsed.certified);
+  EXPECT_TRUE(parsed.cache_hit);
+  EXPECT_EQ(parsed.fingerprint, res.fingerprint);
+  EXPECT_DOUBLE_EQ(parsed.objective_value, res.objective_value);
+  EXPECT_EQ(parsed.strategy, res.strategy);
+  EXPECT_EQ(parsed.incumbents, res.incumbents);
+  EXPECT_EQ(parsed.schedule_text, res.schedule_text);
+}
+
+TEST(Protocol, MalformedRequestLineThrows) {
+  EXPECT_THROW(parse_request_line("not json\n"), support::Error);
+  EXPECT_THROW(parse_request_line(R"({"id":"x","objective":"bogus"})"),
+               support::Error);
+}
+
+TEST(Server, SingleCallOverTheSocket) {
+  Service service(fast_options());
+  ServerOptions options;
+  options.socket_path = test_socket("single");
+  options.threads = 2;
+  Server server(service, options);
+  server.start();
+  EXPECT_TRUE(server.running());
+
+  const auto app = testing::make_fig1_app();
+  Client client(options.socket_path);
+  const Response res = client.call(request_for(*app, "one"));
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.certified);
+  EXPECT_EQ(res.id, "one");
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(Server, PipelinedBatchKeepsOrderAndHitsTheCache) {
+  Service service(fast_options());
+  ServerOptions options;
+  options.socket_path = test_socket("batch");
+  options.threads = 2;
+  Server server(service, options);
+  server.start();
+
+  const auto app = testing::make_fig1_app();
+  // Seed the cache through the wire, then pipeline permuted duplicates.
+  {
+    Client warm(options.socket_path);
+    ASSERT_TRUE(warm.call(request_for(*app, "warm")).ok);
+  }
+  std::vector<Request> batch;
+  batch.push_back(request_for(*app, "b0"));
+  batch.push_back(request_for(
+      *model::permute_application(*app, {1, 0, 2, 3, 4, 5}), "b1"));
+  batch.push_back(request_for(
+      *model::permute_application(*app, {}, {}, {1, 0}), "b2"));
+  batch.push_back(request_for(*app, "b3"));
+
+  Client client(options.socket_path);
+  const std::vector<Response> responses = client.call_batch(batch);
+  ASSERT_EQ(responses.size(), batch.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].id, batch[i].id);
+    EXPECT_TRUE(responses[i].ok) << responses[i].error;
+    EXPECT_TRUE(responses[i].certified);
+    EXPECT_TRUE(responses[i].cache_hit) << responses[i].id;
+  }
+  server.stop();
+}
+
+TEST(Server, StreamingCallDeliversIncumbentEvents) {
+  Service service(fast_options());
+  ServerOptions options;
+  options.socket_path = test_socket("stream");
+  Server server(service, options);
+  server.start();
+
+  const auto app = testing::make_fig1_app();
+  Request req = request_for(*app, "s");
+  req.stream_incumbents = true;
+  std::vector<IncumbentUpdate> updates;
+  Client client(options.socket_path);
+  const Response res = client.call(
+      req, [&updates](const IncumbentUpdate& u) { updates.push_back(u); });
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(static_cast<int>(updates.size()), res.incumbents);
+  server.stop();
+}
+
+TEST(Server, StartStopCyclesDoNotLeakSocketsOrThreads) {
+  Service service(fast_options());
+  const auto app = testing::make_pair_app();
+  ServerOptions options;
+  options.socket_path = test_socket("cycle");
+  for (int round = 0; round < 3; ++round) {
+    Server server(service, options);
+    server.start();
+    Client client(options.socket_path);
+    EXPECT_TRUE(client.call(request_for(*app, "r")).ok);
+    server.stop();
+    server.stop();  // idempotent
+    EXPECT_THROW(Client dead(options.socket_path), support::Error);
+  }
+}
+
+TEST(Server, MalformedLineGetsAnErrorResponse) {
+  Service service(fast_options());
+  ServerOptions options;
+  options.socket_path = test_socket("bad");
+  Server server(service, options);
+  server.start();
+
+  // Speak the raw protocol: a junk line must produce an error result,
+  // not a dropped connection or a crash.
+  Client client(options.socket_path);
+  Request bad;
+  bad.id = "junk";
+  bad.model_text = "this is not a model";
+  const Response res = client.call(bad);
+  EXPECT_FALSE(res.ok);
+  EXPECT_FALSE(res.error.empty());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace letdma::serve

@@ -1,0 +1,195 @@
+#include "letdma/serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../test_fixtures.hpp"
+#include "letdma/guard/certify.hpp"
+#include "letdma/let/let_comms.hpp"
+#include "letdma/let/schedule_io.hpp"
+#include "letdma/model/canonical.hpp"
+#include "letdma/model/io.hpp"
+
+namespace letdma::serve {
+namespace {
+
+ServiceOptions fast_options() {
+  ServiceOptions options;
+  // Cheap chain: these tests exercise the serving layer, not the MILP.
+  options.guard.chain = {"ls", "greedy", "giotto"};
+  return options;
+}
+
+Request request_for(const model::Application& app, std::string id) {
+  Request req;
+  req.id = std::move(id);
+  req.model_text = model::write_application(app);
+  req.budget_sec = 2.0;
+  return req;
+}
+
+TEST(Service, FreshSolveIsCertifiedAndCached) {
+  Service service(fast_options());
+  const auto app = testing::make_fig1_app();
+  const Response first = service.handle(request_for(*app, "r1"));
+  EXPECT_TRUE(first.ok) << first.error;
+  EXPECT_TRUE(first.certified);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(first.exact);
+  EXPECT_EQ(first.fingerprint.size(), 32u);
+  EXPECT_FALSE(first.schedule_text.empty());
+
+  const Response second = service.handle(request_for(*app, "r2"));
+  EXPECT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_TRUE(second.certified);
+  EXPECT_EQ(second.fingerprint, first.fingerprint);
+  EXPECT_DOUBLE_EQ(second.objective_value, first.objective_value);
+}
+
+TEST(Service, PermutedInstanceHitsAndCertifiesOnItsOwnFrame) {
+  Service service(fast_options());
+  const auto app = testing::make_fig1_app();
+  const Response base = service.handle(request_for(*app, "base"));
+  ASSERT_TRUE(base.ok) << base.error;
+
+  // Same structure, different task/label order, names and core numbering.
+  const auto shuffled = model::permute_application(
+      *app, {3, 0, 5, 1, 4, 2}, {2, 4, 0, 5, 1, 3}, {1, 0});
+  const Response hit = service.handle(request_for(*shuffled, "dup"));
+  EXPECT_TRUE(hit.ok) << hit.error;
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_TRUE(hit.certified);
+  EXPECT_EQ(hit.fingerprint, base.fingerprint);
+
+  // The returned schedule is expressed in the REQUESTING instance's
+  // names/cores: it must parse and certify against that instance.
+  const auto parsed_app = model::read_application(
+      model::write_application(*shuffled));
+  const let::LetComms comms(*parsed_app);
+  const let::ScheduleResult schedule =
+      let::read_schedule(comms, hit.schedule_text);
+  EXPECT_TRUE(guard::certify(comms, schedule).certified());
+}
+
+TEST(Service, MutatedInstanceMissesTheCache) {
+  Service service(fast_options());
+  const auto app = testing::make_fig1_app();
+  const Response base = service.handle(request_for(*app, "base"));
+  ASSERT_TRUE(base.ok) << base.error;
+
+  auto mutated = std::make_unique<model::Application>(app->platform());
+  std::vector<model::TaskId> ids;
+  for (int i = 0; i < app->num_tasks(); ++i) {
+    const model::Task& t = app->task(model::TaskId{i});
+    ids.push_back(mutated->add_task(t.name, t.period, t.wcet, t.core,
+                                    t.priority));
+  }
+  for (int l = 0; l < app->num_labels(); ++l) {
+    const model::Label& lab = app->label(model::LabelId{l});
+    std::vector<model::TaskId> readers;
+    for (const model::TaskId r : lab.readers) {
+      readers.push_back(ids[static_cast<std::size_t>(r.value)]);
+    }
+    mutated->add_label(lab.name, lab.size_bytes + (l == 0 ? 8 : 0),
+                       ids[static_cast<std::size_t>(lab.writer.value)],
+                       std::move(readers));
+  }
+  mutated->finalize();
+
+  const Response miss = service.handle(request_for(*mutated, "mut"));
+  EXPECT_TRUE(miss.ok) << miss.error;
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_NE(miss.fingerprint, base.fingerprint);
+}
+
+TEST(Service, ObjectiveIsPartOfTheCacheKey) {
+  Service service(fast_options());
+  const auto app = testing::make_fig1_app();
+  Request del = request_for(*app, "del");
+  del.objective = engine::Objective::kMinMaxLatencyRatio;
+  ASSERT_TRUE(service.handle(del).ok);
+
+  Request dmat = request_for(*app, "dmat");
+  dmat.objective = engine::Objective::kMinTransfers;
+  const Response res = service.handle(dmat);
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_FALSE(res.cache_hit);
+
+  const Response again = service.handle(dmat);
+  EXPECT_TRUE(again.cache_hit);
+}
+
+TEST(Service, MalformedModelIsAnErrorNotACrash) {
+  Service service(fast_options());
+  Request req;
+  req.id = "bad";
+  req.model_text = "task name=orphan period_ns=10\n";
+  const Response res = service.handle(req);
+  EXPECT_FALSE(res.ok);
+  EXPECT_FALSE(res.certified);
+  EXPECT_FALSE(res.error.empty());
+}
+
+TEST(Service, AdmissionRejectsOverInflightBudget) {
+  ServiceOptions options = fast_options();
+  TenantPolicy throttled;
+  throttled.max_inflight = 0;
+  options.tenant_policies["noisy"] = throttled;
+  Service service(options);
+
+  const auto app = testing::make_pair_app();
+  Request req = request_for(*app, "r");
+  req.tenant = "noisy";
+  const Response res = service.handle(req);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("admission"), std::string::npos) << res.error;
+
+  // Other tenants are unaffected.
+  req.tenant = "quiet";
+  EXPECT_TRUE(service.handle(req).ok);
+}
+
+TEST(Service, StreamedIncumbentsMatchTheReportedCount) {
+  Service service(fast_options());
+  const auto app = testing::make_fig1_app();
+  Request req = request_for(*app, "s");
+  req.stream_incumbents = true;
+  std::vector<IncumbentUpdate> updates;
+  const Response res = service.handle(
+      req, [&updates](const IncumbentUpdate& u) { updates.push_back(u); });
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(static_cast<int>(updates.size()), res.incumbents);
+  for (const IncumbentUpdate& u : updates) {
+    EXPECT_FALSE(u.strategy.empty());
+  }
+}
+
+TEST(Service, WantScheduleFalseOmitsTheScheduleText) {
+  Service service(fast_options());
+  const auto app = testing::make_pair_app();
+  Request req = request_for(*app, "lean");
+  req.want_schedule = false;
+  const Response res = service.handle(req);
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.certified);
+  EXPECT_TRUE(res.schedule_text.empty());
+}
+
+TEST(Service, BudgetIsClampedToTheTenantPolicy) {
+  ServiceOptions options = fast_options();
+  options.default_policy.max_budget_sec = 0.5;
+  Service service(options);
+  const auto app = testing::make_pair_app();
+  Request req = request_for(*app, "clamped");
+  req.budget_sec = 3600.0;  // absurd ask; policy caps it
+  const Response res = service.handle(req);
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.certified);
+  EXPECT_LT(res.wall_ms, 3000.0);
+}
+
+}  // namespace
+}  // namespace letdma::serve

@@ -1,0 +1,110 @@
+#include "letdma/support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace letdma::support {
+namespace {
+
+JsonValue parse_ok(const std::string& text) {
+  JsonValue v;
+  std::string err;
+  EXPECT_TRUE(parse_json(text, &v, &err)) << err;
+  return v;
+}
+
+std::string parse_err(const std::string& text) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(parse_json(text, &v, &err)) << "unexpectedly parsed: " << text;
+  return err;
+}
+
+TEST(Json, ParsesScalars) {
+  EXPECT_EQ(parse_ok("null").kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(parse_ok("true").boolean);
+  EXPECT_FALSE(parse_ok("false").boolean);
+  EXPECT_DOUBLE_EQ(parse_ok("3.25").number, 3.25);
+  EXPECT_DOUBLE_EQ(parse_ok("-17").number, -17.0);
+  EXPECT_DOUBLE_EQ(parse_ok("6.02e23").number, 6.02e23);
+  EXPECT_EQ(parse_ok("\"hi\"").text, "hi");
+}
+
+TEST(Json, ParsesStringEscapes) {
+  EXPECT_EQ(parse_ok(R"("a\"b\\c\nd")").text, "a\"b\\c\nd");
+  EXPECT_EQ(parse_ok(R"("tab\there")").text, "tab\there");
+  // \uXXXX decodes to UTF-8; raw UTF-8 passes through untouched.
+  EXPECT_EQ(parse_ok(R"("\u0041")").text, "A");
+  EXPECT_EQ(parse_ok(R"("\u00e9")").text, "\xc3\xa9");
+  EXPECT_EQ(parse_ok(R"("\u20ac")").text, "\xe2\x82\xac");
+  EXPECT_EQ(parse_ok("\"\xc3\xa9\"").text, "\xc3\xa9");
+  EXPECT_FALSE(parse_err(R"("\u00g1")").empty());
+  EXPECT_FALSE(parse_err(R"("\x41")").empty());
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const JsonValue v = parse_ok(
+      R"({"id":"r1","nums":[1,2,3],"inner":{"ok":true},"empty":[]})");
+  ASSERT_EQ(v.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(v.str_or("id", ""), "r1");
+  const JsonValue* nums = v.find("nums");
+  ASSERT_NE(nums, nullptr);
+  ASSERT_EQ(nums->kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(nums->array->size(), 3u);
+  EXPECT_DOUBLE_EQ((*nums->array)[2].number, 3.0);
+  const JsonValue* inner = v.find("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_TRUE(inner->bool_or("ok", false));
+  const JsonValue* empty = v.find("empty");
+  ASSERT_NE(empty, nullptr);
+  EXPECT_TRUE(empty->array->empty());
+}
+
+TEST(Json, AccessorsHaveSafeFallbacks) {
+  const JsonValue v = parse_ok(R"({"s":"x","n":4,"b":true})");
+  EXPECT_EQ(v.str_or("missing", "fb"), "fb");
+  EXPECT_EQ(v.str_or("n", "fb"), "fb");  // wrong type
+  double out = -1;
+  EXPECT_TRUE(v.num_of("n", &out));
+  EXPECT_DOUBLE_EQ(out, 4.0);
+  EXPECT_FALSE(v.num_of("s", &out));
+  EXPECT_FALSE(v.num_of("missing", &out));
+  EXPECT_TRUE(v.bool_or("b", false));
+  EXPECT_FALSE(v.bool_or("missing", false));
+  // Non-object lookups are null, not a crash.
+  const JsonValue arr = parse_ok("[1]");
+  EXPECT_EQ(arr.find("k"), nullptr);
+  EXPECT_FALSE(arr.has("k"));
+}
+
+TEST(Json, DuplicateKeysKeepFirst) {
+  const JsonValue v = parse_ok(R"({"k":"first","k":"second"})");
+  EXPECT_EQ(v.str_or("k", ""), "first");
+  ASSERT_EQ(v.object->size(), 2u);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_FALSE(parse_err("").empty());
+  EXPECT_FALSE(parse_err("{").empty());
+  EXPECT_FALSE(parse_err("[1,]").empty());
+  EXPECT_FALSE(parse_err(R"({"k":})").empty());
+  EXPECT_FALSE(parse_err(R"({"k" 1})").empty());
+  EXPECT_FALSE(parse_err("\"unterminated").empty());
+  EXPECT_FALSE(parse_err("nul").empty());
+}
+
+TEST(Json, RejectsTrailingContent) {
+  EXPECT_FALSE(parse_err("{} extra").empty());
+  EXPECT_FALSE(parse_err("1 2").empty());
+  // Trailing whitespace alone is fine.
+  parse_ok("{\"a\":1}  \n");
+}
+
+TEST(Json, ErrorNamesByteOffset) {
+  const std::string err = parse_err(R"({"k": +})");
+  EXPECT_NE(err.find("6"), std::string::npos) << err;
+}
+
+}  // namespace
+}  // namespace letdma::support
