@@ -10,7 +10,8 @@
 //
 //   serve_replay [--requests n] [--bases n] [--tenants n] [--threads n]
 //                [--clients n] [--budget-ms ms] [--seed s]
-//                [--socket [path]] [--connect path]
+//                [--socket [path]] [--connect path] [--journal path]
+//                [--retry] [--kill-after n] [--recover]
 //                [--check <baseline.json>]
 //
 // --socket starts an in-process Server and drives it through the wire;
@@ -21,11 +22,27 @@
 // 0.8x the committed baseline (the nightly perf gate); metrics land on
 // the standard JSONL stream (LETDMA_METRICS), histograms included, so
 // letdma_report renders the per-tenant serve.* tables.
+//
+// Crash-recovery options (the CI crash smoke drives these):
+//   --journal p     journal the in-process service's cache at p
+//   --retry         enable the client reconnect/backoff policy
+//   --kill-after n  tolerate a mid-load disconnect once >= n responses
+//                   arrived (the harness kill -9s the daemon mid-replay);
+//                   fewer than n is still a failure
+//   --recover       assert (over the wire, via a stats request) that the
+//                   daemon recovered a nonzero journal entry count, and
+//                   gate the hit rate at the post-recovery floor of 80%
+//
+// LETDMA_FAULTS in the environment arms the guard fault injector, so the
+// chaos seeds exercise the io.journal.* / serve.socket.* sites through a
+// real replay.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <random>
 #include <string>
 #include <thread>
@@ -33,6 +50,7 @@
 
 #include "bench_util.hpp"
 #include "letdma/engine/batch.hpp"
+#include "letdma/guard/faults.hpp"
 #include "letdma/model/canonical.hpp"
 #include "letdma/model/generator.hpp"
 #include "letdma/model/io.hpp"
@@ -53,8 +71,12 @@ struct Args {
   std::uint64_t seed = 42;
   bool use_socket = false;
   bool external_server = false;
+  bool retry = false;
+  bool recover = false;
+  int kill_after = -1;  // < 0: disconnects are failures, as before
   std::string socket_path = "/tmp/letdma-serve-replay.sock";
   std::string baseline_path;
+  std::string journal_path;
 };
 
 int usage() {
@@ -63,7 +85,9 @@ int usage() {
                " [--threads n]\n"
                "       [--clients n] [--budget-ms ms] [--seed s]"
                " [--socket [path]]\n"
-               "       [--check <baseline.json>]\n");
+               "       [--connect path] [--journal path] [--retry]"
+               " [--kill-after n]\n"
+               "       [--recover] [--check <baseline.json>]\n");
   return 2;
 }
 
@@ -128,6 +152,15 @@ int main(int argc, char** argv) {
       args.use_socket = true;
       args.external_server = true;
       if (!value(&args.socket_path)) return usage();
+    } else if (arg == "--journal") {
+      if (!value(&args.journal_path)) return usage();
+    } else if (arg == "--retry") {
+      args.retry = true;
+    } else if (arg == "--kill-after") {
+      if (!value(&v)) return usage();
+      args.kill_after = std::atoi(v.c_str());
+    } else if (arg == "--recover") {
+      args.recover = true;
     } else if (arg == "--check") {
       if (!value(&args.baseline_path)) return usage();
     } else {
@@ -137,6 +170,15 @@ int main(int argc, char** argv) {
   if (args.requests <= 0 || args.bases <= 0 || args.tenants <= 0 ||
       args.clients <= 0) {
     return usage();
+  }
+  try {
+    if (guard::arm_from_env()) {
+      std::fprintf(stderr,
+                   "serve_replay: fault injector armed from LETDMA_FAULTS\n");
+    }
+  } catch (const support::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
   }
 
   // --- corpus ---------------------------------------------------------------
@@ -185,6 +227,9 @@ int main(int argc, char** argv) {
   // The cheap end of the degradation chain: replay measures the serving
   // layer, not MILP solve times (table1_milp owns those).
   service_options.guard.chain = {"ls", "greedy", "giotto"};
+  if (!args.external_server) {
+    service_options.journal_path = args.journal_path;
+  }
   serve::Service service(service_options);
 
   const engine::BatchRunner runner(engine::BatchOptions{args.threads});
@@ -204,6 +249,14 @@ int main(int argc, char** argv) {
     server->start();
   }
 
+  serve::ClientOptions client_options;
+  client_options.retry.enabled = args.retry;
+  client_options.retry.jitter_seed = args.seed;
+
+  // Set when any client lost its connection mid-batch with retries
+  // exhausted (the expected shape of a --kill-after run).
+  std::atomic<bool> disconnected{false};
+
   const auto drive = [&](const std::vector<serve::Request>& requests)
       -> std::vector<serve::Response> {
     if (!args.use_socket) {
@@ -222,8 +275,24 @@ int main(int argc, char** argv) {
     std::vector<std::thread> threads;
     for (std::size_t c = 0; c < per_client.size(); ++c) {
       threads.emplace_back([&, c] {
-        serve::Client client(args.socket_path);
-        gathered[c] = client.call_batch(per_client[c]);
+        serve::ClientOptions co = client_options;
+        co.retry.jitter_seed = args.seed + c;
+        try {
+          serve::Client client(args.socket_path, co);
+          if (args.kill_after >= 0) {
+            // Partial-tolerant: a daemon killed mid-load leaves this
+            // client with the prefix it answered; keep it.
+            bool dropped = false;
+            gathered[c] = client.call_batch(per_client[c], &dropped);
+            if (dropped) disconnected.store(true);
+          } else {
+            gathered[c] = client.call_batch(per_client[c]);
+          }
+        } catch (const support::Error& e) {
+          if (args.kill_after < 0) throw;
+          std::fprintf(stderr, "client %zu: %s\n", c, e.what());
+          disconnected.store(true);
+        }
       });
     }
     for (std::thread& t : threads) t.join();
@@ -250,6 +319,32 @@ int main(int argc, char** argv) {
   const double wall_sec =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+
+  // The --recover probe asks the *daemon* for its journal counters (the
+  // per-response flags cannot prove recovery happened), so it must run
+  // while the in-process server is still accepting. In pure in-process
+  // mode the service object is right here — no wire needed.
+  std::optional<serve::ServerStatsReply> recover_stats;
+  std::string recover_error;
+  if (args.recover) {
+    if (args.use_socket) {
+      try {
+        serve::Client probe(args.socket_path, client_options);
+        recover_stats = probe.stats();
+      } catch (const support::Error& e) {
+        recover_error = e.what();
+      }
+    } else {
+      const serve::ServiceStats local = service.stats();
+      serve::ServerStatsReply reply;
+      reply.ok = true;
+      reply.journal_recovered = local.journal.recovered;
+      reply.journal_dropped_corrupt = local.journal.dropped_corrupt;
+      reply.journal_dropped_uncertified = local.journal.dropped_uncertified;
+      reply.journal_dropped_stale = local.journal.dropped_stale;
+      recover_stats = reply;
+    }
+  }
 
   if (server != nullptr) server->stop();
 
@@ -305,6 +400,9 @@ int main(int argc, char** argv) {
        {"invalidations", stats.cache.invalidations}});
   bench::append_histogram_metrics("serve_replay");
 
+  // Zero uncertified responses is non-negotiable in every mode: whatever
+  // was answered — from a fresh solve, the cache, or a recovered journal —
+  // must have been certified.
   if (ok != static_cast<std::int64_t>(responses.size()) ||
       certified != static_cast<std::int64_t>(responses.size())) {
     std::fprintf(stderr,
@@ -314,9 +412,50 @@ int main(int argc, char** argv) {
                      std::min(ok, certified)));
     return 1;
   }
-  if (hit_rate < 0.9) {
-    std::fprintf(stderr, "FAIL: hit rate %.2f%% below 90%%\n",
-                 100.0 * hit_rate);
+
+  if (args.recover) {
+    if (!recover_stats.has_value()) {
+      std::fprintf(stderr, "FAIL: --recover stats probe: %s\n",
+                   recover_error.c_str());
+      return 1;
+    }
+    std::printf("  daemon journal: %lld recovered, %lld corrupt, "
+                "%lld uncertified, %lld stale\n",
+                static_cast<long long>(recover_stats->journal_recovered),
+                static_cast<long long>(recover_stats->journal_dropped_corrupt),
+                static_cast<long long>(
+                    recover_stats->journal_dropped_uncertified),
+                static_cast<long long>(recover_stats->journal_dropped_stale));
+    if (recover_stats->journal_recovered <= 0) {
+      std::fprintf(stderr,
+                   "FAIL: --recover expected a nonzero recovered-entry "
+                   "count\n");
+      return 1;
+    }
+  }
+
+  if (args.kill_after >= 0 && disconnected.load()) {
+    // The harness killed the daemon mid-load, exactly as requested; the
+    // run passes when enough of the corpus was answered first (hit-rate
+    // and throughput gates are meaningless on an interrupted window).
+    if (responses.size() <
+        static_cast<std::size_t>(args.kill_after)) {
+      std::fprintf(stderr,
+                   "FAIL: disconnected after only %zu responses "
+                   "(--kill-after %d)\n",
+                   responses.size(), args.kill_after);
+      return 1;
+    }
+    std::printf("daemon disconnected after %zu responses (expected by "
+                "--kill-after %d): ok\n",
+                responses.size(), args.kill_after);
+    return 0;
+  }
+
+  const double hit_floor = args.recover ? 0.8 : 0.9;
+  if (hit_rate < hit_floor) {
+    std::fprintf(stderr, "FAIL: hit rate %.2f%% below %.0f%%\n",
+                 100.0 * hit_rate, 100.0 * hit_floor);
     return 1;
   }
   if (!args.baseline_path.empty()) {

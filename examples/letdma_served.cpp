@@ -6,19 +6,35 @@
 // domain socket: each request carries an application model; the response
 // carries a certified schedule, the canonical fingerprint and whether it
 // was answered from the solve cache. Runs until SIGINT/SIGTERM, then
-// shuts down cleanly (joins every connection, unlinks the socket) and
-// prints the session's cache/admission statistics.
+// drains gracefully (sheds new work, finishes or cancels in-flight
+// solves within the drain budget, compacts the journal, flushes every
+// obs sink) and prints the session's cache/admission/journal statistics.
+//
+// With --journal the solve cache is crash-safe: every certified solve is
+// appended to a write-ahead journal, and a restart — even after kill -9 —
+// replays it, re-certifying every record before admission, so the daemon
+// reopens with a warm cache. A stale socket left behind by a crash is
+// removed automatically on startup (a live daemon on the same path is
+// detected and refused).
 //
 // Options:
 //   --socket <path>        socket path (default /tmp/letdma-serve.sock)
+//   --journal <path>       write-ahead journal for the solve cache
+//                          (empty = no durability)
 //   --cache-capacity <n>   solve-cache entries (default 1024)
 //   --threads <n>          worker threads per connection batch (0 = auto)
 //   --max-inflight <n>     per-tenant concurrent request cap (default 16)
+//   --max-connections <n>  connection cap, excess sheds (default 256)
 //   --max-budget-sec <s>   per-tenant solve budget cap (default 5)
+//   --read-timeout-sec <s> idle connection timeout (default 30, 0 = off)
+//   --drain-sec <s>        graceful-drain budget on SIGTERM (default 5)
 //   --chain <a,b,..>       supervised degradation chain (default
 //                          milp,ls,greedy,giotto)
 //   --metrics <file>       append the obs event stream as JSONL
 //   -v                     verbose logging to stderr
+//
+// LETDMA_FAULTS in the environment arms the guard fault injector (chaos
+// testing of the journal/socket sites included).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "letdma/guard/faults.hpp"
 #include "letdma/obs/obs.hpp"
 #include "letdma/obs/sinks.hpp"
 #include "letdma/serve/server.hpp"
@@ -47,11 +64,13 @@ void on_signal(int) { g_stop.store(true); }
 
 int usage() {
   std::fprintf(stderr,
-               "usage: letdma_served [--socket <path>] [--cache-capacity <n>]"
-               " [--threads <n>]\n"
-               "       [--max-inflight <n>] [--max-budget-sec <s>] "
-               "[--chain <a,b,..>]\n"
-               "       [--metrics <file>] [-v]\n");
+               "usage: letdma_served [--socket <path>] [--journal <path>]\n"
+               "       [--cache-capacity <n>] [--threads <n>] "
+               "[--max-inflight <n>]\n"
+               "       [--max-connections <n>] [--max-budget-sec <s>] "
+               "[--read-timeout-sec <s>]\n"
+               "       [--drain-sec <s>] [--chain <a,b,..>] "
+               "[--metrics <file>] [-v]\n");
   return 2;
 }
 
@@ -76,7 +95,8 @@ int main(int argc, char** argv) {
   std::string socket_path = "/tmp/letdma-serve.sock";
   std::string metrics_path, chain_flag;
   serve::ServiceOptions service_options;
-  int threads = 0;
+  serve::ServerOptions server_options;
+  double drain_sec = 5.0;
   bool verbose = false;
 
   for (int a = 1; a < argc; ++a) {
@@ -89,19 +109,30 @@ int main(int argc, char** argv) {
     std::string v;
     if (arg == "--socket") {
       if (!value(&socket_path)) return usage();
+    } else if (arg == "--journal") {
+      if (!value(&service_options.journal_path)) return usage();
     } else if (arg == "--cache-capacity") {
       if (!value(&v)) return usage();
       service_options.cache_capacity =
           static_cast<std::size_t>(std::atoll(v.c_str()));
     } else if (arg == "--threads") {
       if (!value(&v)) return usage();
-      threads = std::atoi(v.c_str());
+      server_options.threads = std::atoi(v.c_str());
     } else if (arg == "--max-inflight") {
       if (!value(&v)) return usage();
       service_options.default_policy.max_inflight = std::atoi(v.c_str());
+    } else if (arg == "--max-connections") {
+      if (!value(&v)) return usage();
+      server_options.max_connections = std::atoi(v.c_str());
     } else if (arg == "--max-budget-sec") {
       if (!value(&v)) return usage();
       service_options.default_policy.max_budget_sec = std::atof(v.c_str());
+    } else if (arg == "--read-timeout-sec") {
+      if (!value(&v)) return usage();
+      server_options.read_timeout_sec = std::atof(v.c_str());
+    } else if (arg == "--drain-sec") {
+      if (!value(&v)) return usage();
+      drain_sec = std::atof(v.c_str());
     } else if (arg == "--chain") {
       if (!value(&chain_flag)) return usage();
     } else if (arg == "--metrics") {
@@ -131,30 +162,68 @@ int main(int argc, char** argv) {
     reg.set_log_threshold(obs::Level::kDebug);
     reg.attach(std::make_shared<obs::StderrLogSink>());
   }
+  try {
+    if (guard::arm_from_env()) {
+      std::fprintf(stderr, "letdma_served: fault injector armed from "
+                           "LETDMA_FAULTS\n");
+    }
+  } catch (const support::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
   std::signal(SIGPIPE, SIG_IGN);  // broken clients must not kill the server
 
-  serve::Service service(service_options);
-  serve::ServerOptions server_options;
+  std::unique_ptr<serve::Service> service;
+  try {
+    // Construction replays the journal (if any): parse, re-canonicalize,
+    // re-certify, admit — then compacts away anything that did not
+    // survive.
+    service = std::make_unique<serve::Service>(service_options);
+  } catch (const support::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   server_options.socket_path = socket_path;
-  server_options.threads = threads;
-  serve::Server server(service, server_options);
+  serve::Server server(*service, server_options);
   try {
     server.start();
   } catch (const support::Error& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
-  std::printf("letdma_served listening on %s\n", socket_path.c_str());
+  {
+    const serve::ServiceStats boot = service->stats();
+    std::printf("letdma_served listening on %s\n", socket_path.c_str());
+    if (!service_options.journal_path.empty()) {
+      std::printf(
+          "journal %s: %lld recovered, %lld corrupt, %lld uncertified, "
+          "%lld stale, %lld torn bytes\n",
+          service_options.journal_path.c_str(),
+          static_cast<long long>(boot.journal.recovered),
+          static_cast<long long>(boot.journal.dropped_corrupt),
+          static_cast<long long>(boot.journal.dropped_uncertified),
+          static_cast<long long>(boot.journal.dropped_stale),
+          static_cast<long long>(boot.journal.torn_bytes));
+    }
+    std::fflush(stdout);
+  }
 
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  server.stop();
 
-  const serve::ServiceStats stats = service.stats();
+  // Graceful drain: shed new work, let in-flight finish (or cancel it
+  // when the budget runs out), compact the journal to the live cache.
+  const bool clean = server.drain(drain_sec);
+  if (!clean) {
+    std::fprintf(stderr, "drain budget spent, in-flight solves were "
+                         "cancelled\n");
+  }
+
+  const serve::ServiceStats stats = service->stats();
   std::printf("requests: %lld (rejected %lld, certified %lld)\n",
               static_cast<long long>(stats.requests),
               static_cast<long long>(stats.rejected),
@@ -167,6 +236,15 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.cache.evictions),
               static_cast<long long>(stats.cache.invalidations),
               stats.cache.size, stats.cache.capacity);
+  if (!service_options.journal_path.empty()) {
+    std::printf("journal: %lld appended, %lld recovered, %lld compactions\n",
+                static_cast<long long>(stats.journal.appended),
+                static_cast<long long>(stats.journal.recovered),
+                static_cast<long long>(stats.journal.compactions));
+  }
+  // Signal-path exit must not depend on atexit: flush every sink now so
+  // the final journal/drain counters reach the JSONL file.
+  reg.flush_sinks();
   if (metrics_sink != nullptr) reg.detach(metrics_sink);
   return 0;
 }

@@ -25,7 +25,9 @@
 // evaluation on a thread pool).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -70,12 +72,39 @@ bool schedule_valid(const let::LetComms& comms,
 /// elapsed time); `stop` is an optional externally owned token that any
 /// strategy must honour promptly — the portfolio raises it to cancel
 /// losing workers.
+///
+/// `deadline` is an optional *absolute* cutoff on top of the relative
+/// wall_sec: a serve-layer request deadline survives being re-based by the
+/// supervised chain (each level restarts its own relative clock, which
+/// would otherwise let a degrading chain overrun the caller's patience).
+/// The epoch sentinel (default-constructed time_point) means "no
+/// deadline".
 struct Budget {
   double wall_sec = 60.0;
   const std::atomic<bool>* stop = nullptr;
+  std::chrono::steady_clock::time_point deadline{};
 
   bool cancel_requested() const {
     return stop != nullptr && stop->load(std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
+
+  /// Seconds left: the tighter of (wall_sec - elapsed_sec) and the time
+  /// to `deadline`. May be negative once spent — callers treat <= 0 as
+  /// exhausted.
+  double remaining_sec(double elapsed_sec = 0.0) const {
+    double rem = wall_sec - elapsed_sec;
+    if (has_deadline()) {
+      const double to_deadline =
+          std::chrono::duration<double>(deadline -
+                                        std::chrono::steady_clock::now())
+              .count();
+      rem = std::min(rem, to_deadline);
+    }
+    return rem;
   }
 };
 

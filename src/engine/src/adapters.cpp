@@ -43,7 +43,7 @@ EntryFault poll_entry_fault(std::string_view site, const Budget& budget) {
         break;
       case guard::FaultKind::kStall:
         std::this_thread::sleep_for(std::chrono::duration<double>(
-            std::min(0.2, std::max(budget.wall_sec, 0.0))));
+            std::min(0.2, std::max(budget.remaining_sec(), 0.0))));
         break;
       default:
         break;
@@ -115,7 +115,7 @@ ScheduleOutcome GreedyEngine::solve(const let::LetComms& comms,
   obs::ScopedSpan span("engine.greedy.solve", "engine");
   static obs::Histogram solve_ms("engine.solve_ms.greedy");
   obs::ScopedLatency solve_timer(solve_ms, 1e-3);
-  if (budget.wall_sec <= 0.0 || budget.cancel_requested()) {
+  if (budget.remaining_sec() <= 0.0 || budget.cancel_requested()) {
     ScheduleOutcome out = expired_outcome(sink, name(), budget);
     span.arg("status", status_name(out.status));
     return out;
@@ -148,7 +148,7 @@ ScheduleOutcome LocalSearchEngine::solve(const let::LetComms& comms,
   obs::ScopedSpan span("engine.ls.solve", "engine");
   static obs::Histogram solve_ms("engine.solve_ms.ls");
   obs::ScopedLatency solve_timer(solve_ms, 1e-3);
-  if (budget.wall_sec <= 0.0 || budget.cancel_requested()) {
+  if (budget.remaining_sec() <= 0.0 || budget.cancel_requested()) {
     ScheduleOutcome out = expired_outcome(sink, name(), budget);
     span.arg("status", status_name(out.status));
     return out;
@@ -177,7 +177,7 @@ ScheduleOutcome LocalSearchEngine::solve(const let::LetComms& comms,
                 : let::LocalSearchGoal::kMinMaxLatencyRatio;
   ls.stop = budget.stop;
   ls.time_limit_sec =
-      inner_time_limit(budget.wall_sec - seconds_since(t0), budget);
+      inner_time_limit(budget.remaining_sec(seconds_since(t0)), budget);
   // Publish every accepted move so a racing MILP sees mid-search
   // improvements as warm starts instead of only the final result. The ls
   // goal value doubles as the engine objective except under kFeasibility.
@@ -225,7 +225,7 @@ ScheduleOutcome MilpEngine::solve(const let::LetComms& comms,
   obs::ScopedSpan span("engine.milp.solve", "engine");
   static obs::Histogram solve_ms("engine.solve_ms.milp");
   obs::ScopedLatency solve_timer(solve_ms, 1e-3);
-  if (budget.wall_sec <= 0.0 || budget.cancel_requested()) {
+  if (budget.remaining_sec() <= 0.0 || budget.cancel_requested()) {
     ScheduleOutcome out = expired_outcome(sink, name(), budget);
     span.arg("status", status_name(out.status));
     return out;
@@ -243,8 +243,8 @@ ScheduleOutcome MilpEngine::solve(const let::LetComms& comms,
   }
 
   // Wait briefly for a cheap strategy to publish a warm start.
-  const double grace =
-      std::min(options_.warm_start_grace_sec, 0.1 * budget.wall_sec);
+  const double grace = std::min(options_.warm_start_grace_sec,
+                                0.1 * std::max(budget.remaining_sec(), 0.0));
   std::optional<Incumbent> hint = sink.best();
   while (!hint && seconds_since(t0) < grace && !budget.cancel_requested()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -265,7 +265,7 @@ ScheduleOutcome MilpEngine::solve(const let::LetComms& comms,
   }
   opt.solver.stop = budget.stop;
   opt.solver.time_limit_sec =
-      inner_time_limit(budget.wall_sec - seconds_since(t0), budget);
+      inner_time_limit(budget.remaining_sec(seconds_since(t0)), budget);
   if (hint) {
     // The sink already holds a feasible configuration: seed from it and
     // skip the internal greedy candidates (they are what published it).

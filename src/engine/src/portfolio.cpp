@@ -48,16 +48,18 @@ ScheduleOutcome PortfolioScheduler::solve(const let::LetComms& comms,
                                           const Budget& budget,
                                           IncumbentSink& sink) {
   const auto t0 = Clock::now();
-  const auto deadline =
-      t0 + std::chrono::duration_cast<Clock::duration>(
-               std::chrono::duration<double>(budget.wall_sec));
+  auto deadline = t0 + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(budget.wall_sec));
+  if (budget.has_deadline() && budget.deadline < deadline) {
+    deadline = budget.deadline;
+  }
   obs::ScopedSpan span("engine.portfolio.solve", "engine");
   static obs::Histogram solve_ms("engine.solve_ms.portfolio");
   obs::ScopedLatency solve_timer(solve_ms, 1e-3);
   span.arg("strategies", static_cast<std::int64_t>(strategies_.size()));
   span.arg("budget_sec", budget.wall_sec);
 
-  if (budget.wall_sec <= 0.0 || budget.cancel_requested()) {
+  if (budget.remaining_sec() <= 0.0 || budget.cancel_requested()) {
     // Spent budget: a well-defined prompt answer, no worker threads.
     ScheduleOutcome out = expired_outcome(sink, name(), budget);
     span.arg("status", status_name(out.status));

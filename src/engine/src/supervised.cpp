@@ -100,7 +100,7 @@ ScheduleOutcome GiottoEngine::solve(const let::LetComms& comms,
   obs::ScopedLatency solve_timer(solve_ms, 1e-3);
   ScheduleOutcome out;
   out.strategy = name();
-  if (budget.wall_sec <= 0.0 || budget.cancel_requested()) {
+  if (budget.remaining_sec() <= 0.0 || budget.cancel_requested()) {
     out = expired_outcome(sink, name(), budget);
     out.wall_sec = seconds_since(t0);
     span.arg("status", status_name(out.status));
@@ -208,11 +208,13 @@ ScheduleOutcome SupervisedScheduler::solve(const let::LetComms& comms,
     return out;
   };
 
-  if (budget.wall_sec <= 0.0 || budget.cancel_requested()) {
+  if (budget.remaining_sec() <= 0.0 || budget.cancel_requested()) {
     return finalize(expired_outcome(sink, name(), budget));
   }
 
-  const auto remaining = [&] { return budget.wall_sec - seconds_since(t0); };
+  const auto remaining = [&] {
+    return budget.remaining_sec(seconds_since(t0));
+  };
 
   for (int level = 0;
        level < static_cast<int>(chain_.size()) && !have_served; ++level) {
@@ -237,6 +239,13 @@ ScheduleOutcome SupervisedScheduler::solve(const let::LetComms& comms,
         Budget level_budget;
         level_budget.wall_sec = std::max(remaining(), kLevelFloorSec);
         level_budget.stop = budget.stop;
+        // The absolute deadline rides along so the level floor cannot
+        // stretch a chain past the caller's cutoff — but only while it
+        // leaves room for the floor, so a deadline-spent chain still gets
+        // its last-ditch giotto attempt instead of returning nothing.
+        if (budget.has_deadline() && remaining() > kLevelFloorSec) {
+          level_budget.deadline = budget.deadline;
+        }
         out = scheduler->solve(comms, level_budget, sink);
       } catch (const std::exception& e) {
         threw = true;

@@ -14,6 +14,8 @@
 //   kNanObjective        a corrupted (non-finite) objective value
 //   kStall               a worker that stops making progress for a while
 //   kTruncate            input text cut short before parsing
+//   kCorrupt             stored bytes silently flipped (bitrot)
+//   kDrop                a connection torn down mid-exchange
 //
 // Determinism: firing decisions depend only on (plan seed, site name,
 // per-site poll index), so a given plan produces the same fault sequence
@@ -35,8 +37,17 @@
 //         LETDMA_FAULTS="seed=7,chaos"
 //
 // Sites: milp.node | milp.worker | simplex.pivot | engine.greedy |
-//        engine.ls | engine.milp | engine.portfolio | io.parse
-// Kinds: throw | infeasible | nan | stall | truncate
+//        engine.ls | engine.milp | engine.portfolio | io.parse |
+//        io.journal.torn_write | io.journal.crc | serve.socket.stall |
+//        serve.socket.drop
+// Kinds: throw | infeasible | nan | stall | truncate | corrupt | drop
+//
+// The `io.journal.*` sites are polled by the serve-layer solve-cache
+// journal: `torn_write` truncates an append mid-record (a crash between
+// write() and fsync()), `crc` flips a payload byte after the checksum was
+// computed (bitrot). The `serve.socket.*` sites are polled per request
+// batch by server connection threads: `stall` delays the reply past the
+// client's patience, `drop` hard-closes the connection mid-exchange.
 //
 // `milp.worker` is polled once per node by the parallel branch-and-bound
 // workers (and per epoch task in deterministic mode) in addition to the
@@ -73,6 +84,8 @@ enum class FaultKind {
   kNanObjective,
   kStall,
   kTruncate,
+  kCorrupt,
+  kDrop,
 };
 
 const char* fault_kind_name(FaultKind kind);

@@ -16,6 +16,8 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kNanObjective: return "nan";
     case FaultKind::kStall: return "stall";
     case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kDrop: return "drop";
   }
   return "?";
 }
@@ -27,6 +29,8 @@ using support::PreconditionError;
 const char* const kSites[] = {
     "milp.node",   "milp.worker",      "simplex.pivot", "engine.greedy",
     "engine.ls",   "engine.milp",      "engine.portfolio", "io.parse",
+    "io.journal.torn_write", "io.journal.crc",
+    "serve.socket.stall",    "serve.socket.drop",
 };
 
 bool known_site(const std::string& site) {
@@ -42,6 +46,8 @@ FaultKind parse_kind(const std::string& name) {
   if (name == "nan") return FaultKind::kNanObjective;
   if (name == "stall") return FaultKind::kStall;
   if (name == "truncate") return FaultKind::kTruncate;
+  if (name == "corrupt") return FaultKind::kCorrupt;
+  if (name == "drop") return FaultKind::kDrop;
   throw PreconditionError("unknown fault kind `" + name + "`");
 }
 
@@ -98,6 +104,10 @@ FaultPlan FaultPlan::chaos(std::uint64_t seed) {
   plan.specs.push_back({"engine.ls", FaultKind::kStall, 0.25, 1});
   plan.specs.push_back({"engine.greedy", FaultKind::kThrow, 0.25, 1});
   plan.specs.push_back({"io.parse", FaultKind::kTruncate, 0.1, 1});
+  plan.specs.push_back({"io.journal.torn_write", FaultKind::kTruncate, 0.05, 1});
+  plan.specs.push_back({"io.journal.crc", FaultKind::kCorrupt, 0.05, 1});
+  plan.specs.push_back({"serve.socket.stall", FaultKind::kStall, 0.02, 2});
+  plan.specs.push_back({"serve.socket.drop", FaultKind::kDrop, 0.01, 2});
   return plan;
 }
 

@@ -98,6 +98,12 @@ class SolveCache {
   std::size_t capacity() const { return capacity_; }
   CacheStats stats() const;
 
+  /// Point-in-time copy of every live entry (shard by shard, MRU first
+  /// within a shard). Feeds journal compaction: the snapshot is exactly
+  /// what a restart should recover.
+  std::vector<std::pair<CacheKey, std::shared_ptr<const CachedSolve>>>
+  snapshot() const;
+
  private:
   struct Shard {
     mutable std::mutex mu;

@@ -1,0 +1,124 @@
+// Append-only write-ahead journal for the serve layer's solve cache.
+//
+// Every fresh certified solve appends one record — the canonical instance
+// text, the objective it was solved under, and the schedule solved on the
+// canonical form — so a daemon restart replays the journal and reopens
+// with a warm cache instead of an empty one. The canonical text IS the
+// serialization: recovery re-parses it, re-canonicalizes it (dropping
+// records whose canonical form drifted across versions), re-reads the
+// schedule and re-certifies with guard::certify before anything is
+// admitted. A journal can therefore be corrupted, truncated or tampered
+// with arbitrarily and the worst outcome is a cold entry, never a wrong
+// answer.
+//
+// Wire format (little-endian, binary):
+//
+//   record  := magic "LDJ1" | u32 payload_len | u32 crc32(payload) | payload
+//   payload := u8 version(=1) | u8 objective | u8 status
+//            | f64 objective_value
+//            | u32 strategy_len      | strategy bytes
+//            | u32 canonical_len     | canonical model text
+//            | u32 schedule_len      | schedule text
+//
+// Length-prefixed strings make embedded newlines a non-issue (model and
+// schedule texts are multi-line). Decoding is torn-tail tolerant: a
+// record whose framing runs past the buffer (the classic crash between
+// write() and completion) terminates the scan and the tail is discarded;
+// a record with intact framing but a CRC mismatch (bitrot) is skipped
+// individually and the scan continues, so one bad sector does not cost
+// the rest of the journal.
+//
+// Compaction rewrites the live cache contents into a temporary file,
+// fsyncs, and rename()s over the journal — crash-atomic on POSIX — so the
+// file stays proportional to the cache rather than to request history.
+//
+// Fault sites (guard injector): "io.journal.torn_write" truncates an
+// append mid-record; "io.journal.crc" flips a payload byte after the CRC
+// was computed. Both are exercised by the chaos suite.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "letdma/engine/engine.hpp"
+
+namespace letdma::serve {
+
+/// One journaled solve. `canonical_text` and `schedule_text` are the
+/// model::io / let::schedule_io serializations on the canonical instance.
+struct JournalRecord {
+  std::string canonical_text;
+  engine::Objective objective = engine::Objective::kMinMaxLatencyRatio;
+  engine::Status status = engine::Status::kFeasible;
+  double objective_value = 0.0;
+  std::string strategy;
+  std::string schedule_text;
+};
+
+/// Counters describing one journal's lifetime in this process. Recovery
+/// fills recovered/dropped_*; append/compact maintain the rest.
+struct JournalStats {
+  std::int64_t appended = 0;
+  std::int64_t recovered = 0;          // decoded, certified and admitted
+  std::int64_t dropped_corrupt = 0;    // CRC mismatch or undecodable payload
+  std::int64_t dropped_uncertified = 0;  // failed guard::certify on load
+  std::int64_t dropped_stale = 0;      // canonical form drifted / unparsable
+  std::int64_t compactions = 0;
+  std::int64_t torn_bytes = 0;  // bytes discarded from the torn tail
+};
+
+/// CRC-32 (IEEE 802.3 reflected, poly 0xEDB88320). crc32("123456789")
+/// == 0xCBF43926.
+std::uint32_t crc32(std::string_view data);
+
+/// Serializes one record into its framed wire form.
+std::string encode_record(const JournalRecord& record);
+
+/// Scans `buffer` for consecutive records, appending decoded ones to
+/// `out`. Returns the number of bytes consumed (the torn tail, if any, is
+/// buffer.size() - consumed). CRC-mismatched records with intact framing
+/// are skipped and counted in stats->dropped_corrupt; a record whose
+/// framing runs past the end of the buffer stops the scan.
+std::size_t decode_buffer(std::string_view buffer,
+                          std::vector<JournalRecord>* out,
+                          JournalStats* stats);
+
+/// The on-disk journal. Not internally synchronized: the Service serializes
+/// appends behind its own mutex.
+class Journal {
+ public:
+  /// Opens (creating if absent) the journal at `path` for appending.
+  /// Throws support::Error when the file cannot be opened.
+  explicit Journal(std::string path);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Reads the whole journal and decodes every intact record. Torn tails
+  /// and CRC failures are tolerated and counted into `stats`.
+  std::vector<JournalRecord> load(JournalStats* stats);
+
+  /// Appends one record (write + fsync). Polls the io.journal.torn_write
+  /// and io.journal.crc fault sites.
+  void append(const JournalRecord& record);
+
+  /// Atomically replaces the journal with exactly `records` (temp file +
+  /// fsync + rename). Resets appends_since_compact().
+  void compact(const std::vector<JournalRecord>& records);
+
+  const std::string& path() const { return path_; }
+  std::int64_t appends_since_compact() const { return appends_; }
+
+ private:
+  void open_for_append();
+
+  std::string path_;
+  int fd_ = -1;
+  std::int64_t appends_ = 0;
+};
+
+}  // namespace letdma::serve

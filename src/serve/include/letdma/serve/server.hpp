@@ -11,11 +11,25 @@
 //       "certified":true,"cache":"hit","fingerprint":"ab..12",
 //       "objective":0.125,"strategy":"milp","wall_ms":0.4}
 //
+// Two lightweight request types skip the solve path entirely:
+// {"type":"health","id":"h"} answers with an "health" event (ok +
+// draining), {"type":"stats","id":"s"} with a "stats" event carrying the
+// service counters — both are answered even while every solver thread is
+// busy.
+//
 // Connections are independent; within one connection the server drains
 // every complete line that has arrived and processes the batch on the
 // shared engine::BatchRunner worker fleet (responses keep arrival order),
 // so a pipelining client gets fan-out for free. Streaming requests are
 // processed one at a time — incumbent events interleave with nothing.
+//
+// Robustness: reads are poll()-driven with a per-connection idle timeout
+// (a stalled client gets a "timeout" error line and its connection
+// closed, and cannot pin a thread), connection count is bounded (excess
+// connections receive an explicit load-shed line, not a silent close),
+// and drain() implements graceful shutdown — stop accepting, shed new
+// requests, finish or cancel in-flight within the drain budget, flush
+// the journal.
 //
 // stop() (also run by the destructor) closes the listener and every live
 // connection and joins all threads, so a server can be started and torn
@@ -24,6 +38,8 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <list>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -35,13 +51,22 @@
 namespace letdma::serve {
 
 struct ServerOptions {
-  /// Filesystem path of the Unix socket; unlinked on start and stop.
+  /// Filesystem path of the Unix socket; a stale socket left by a
+  /// crashed daemon is unlinked on start (a *live* one — still accepting
+  /// connections — makes start() throw instead of stealing it).
   std::string socket_path;
   /// Worker threads for per-connection request batches (0 = hardware
   /// concurrency).
   int threads = 0;
   /// Largest request batch drained from one connection at a time.
   std::size_t max_batch = 64;
+  /// A connection idle (no complete request line) for this long is sent
+  /// a timeout error and closed, so a stalled client cannot pin a
+  /// connection thread forever. <= 0 disables the timeout.
+  double read_timeout_sec = 30.0;
+  /// Connections beyond this receive an explicit load-shed error line
+  /// and are closed (shedding, not queueing).
+  int max_connections = 256;
 };
 
 class Server {
@@ -53,26 +78,39 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Binds + listens + spawns the accept loop. Throws support::Error when
-  /// the socket cannot be created.
+  /// the socket cannot be created or another live daemon owns the path.
   void start();
   /// Idempotent: closes the listener and all connections, joins threads.
   void stop();
+  /// Graceful shutdown: sheds new connections and requests, waits up to
+  /// `timeout_sec` for in-flight solves to finish, cancels the stragglers
+  /// through their budget stop tokens, flushes the journal, then stop()s.
+  /// Returns true when everything finished without cancellation.
+  bool drain(double timeout_sec);
   bool running() const { return running_.load(std::memory_order_acquire); }
   const std::string& socket_path() const { return options_.socket_path; }
 
  private:
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
   void accept_loop();
   void serve_connection(int fd);
+  /// Joins and erases finished connections (conn_mu_ must NOT be held).
+  void reap_connections();
 
   Service& service_;
   ServerOptions options_;
   engine::BatchRunner runner_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
   int listen_fd_ = -1;
   std::thread accept_thread_;
   std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<int> conn_fds_;
+  std::list<Conn> conns_;
 };
 
 // --- line protocol (shared by server, client, tools and the replay
@@ -96,30 +134,108 @@ std::string render_incumbent_line(const std::string& id,
 /// other than "result" are rejected). Throws support::ParseError.
 Response parse_response_line(const std::string& line);
 
+/// The "stats" event payload: service counters flattened for the wire.
+struct ServerStatsReply {
+  bool ok = false;
+  bool draining = false;
+  std::int64_t requests = 0;
+  std::int64_t rejected = 0;
+  std::int64_t certified = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::size_t cache_size = 0;
+  std::int64_t journal_appended = 0;
+  std::int64_t journal_recovered = 0;
+  std::int64_t journal_dropped_corrupt = 0;
+  std::int64_t journal_dropped_uncertified = 0;
+  std::int64_t journal_dropped_stale = 0;
+  std::int64_t journal_compactions = 0;
+
+  double cache_hit_rate() const {
+    const std::int64_t total = cache_hits + cache_misses;
+    return total > 0
+               ? static_cast<double>(cache_hits) / static_cast<double>(total)
+               : 0.0;
+  }
+};
+
+std::string render_stats_line(const std::string& id,
+                              const ServiceStats& stats);
+ServerStatsReply parse_stats_line(const std::string& line);
+
+/// Client-side reconnect discipline. Disabled by default: a missing or
+/// crashed daemon fails fast with an errno-bearing message; with
+/// `enabled` the client retries the connect (and re-sends in-flight
+/// requests after a mid-exchange disconnect) under exponential backoff
+/// with deterministic jitter. Re-sending is idempotent by construction:
+/// the service is a fingerprint-keyed cache, so a duplicate solve is at
+/// worst a cache hit.
+struct RetryPolicy {
+  bool enabled = false;
+  int max_attempts = 5;
+  double initial_backoff_sec = 0.05;
+  double max_backoff_sec = 2.0;
+  double backoff_multiplier = 2.0;
+  /// Seed for the jitter sequence (deterministic per client).
+  std::uint64_t jitter_seed = 1;
+};
+
+struct ClientOptions {
+  /// Patience for one read while awaiting a response; <= 0 blocks
+  /// forever.
+  double read_timeout_sec = 0.0;
+  RetryPolicy retry;
+};
+
 /// Blocking client for the protocol above.
 class Client {
  public:
-  /// Connects immediately; throws support::Error on failure.
-  explicit Client(const std::string& socket_path);
+  /// Connects immediately; throws support::Error on failure (with the
+  /// errno and a hint when the daemon looks absent). With retry enabled
+  /// the connect itself is retried under backoff first.
+  explicit Client(const std::string& socket_path, ClientOptions options = {});
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
   /// Sends one request and reads until its result line; incumbent events
-  /// for the request are delivered to `on_incumbent`.
+  /// for the request are delivered to `on_incumbent`. With retry enabled
+  /// a mid-call disconnect reconnects and re-sends the request.
   Response call(const Request& request,
                 const Service::IncumbentCallback& on_incumbent = {});
 
   /// Pipelines a whole batch (one write, then reads all results in
-  /// order). Streaming is ignored in batch mode.
+  /// order). Streaming is ignored in batch mode. Throws when the
+  /// connection dies mid-batch (after exhausting retries, which re-send
+  /// only the unanswered suffix).
   std::vector<Response> call_batch(const std::vector<Request>& requests);
 
+  /// Partial-tolerant variant: on a mid-batch disconnect with retries
+  /// exhausted (or disabled), returns the responses received so far and
+  /// sets *disconnected instead of throwing.
+  std::vector<Response> call_batch(const std::vector<Request>& requests,
+                                   bool* disconnected);
+
+  /// {"type":"health"} round trip; false when the daemon is unreachable
+  /// or answers malformed. `draining` (optional) reports drain state.
+  bool health(bool* draining = nullptr);
+
+  /// {"type":"stats"} round trip; throws on a dead connection.
+  ServerStatsReply stats();
+
  private:
+  void connect_once();
+  /// Reconnects under the retry policy. Returns false when retries are
+  /// disabled or exhausted.
+  bool reconnect_with_backoff();
   bool read_line(std::string* line);
 
+  std::string socket_path_;
+  ClientOptions options_;
   int fd_ = -1;
   std::string buffer_;
+  int reconnects_ = 0;
 };
 
 }  // namespace letdma::serve

@@ -28,6 +28,7 @@
 // "serve.request_ms.<tenant>", ...) are always on.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -36,10 +37,15 @@
 
 #include "letdma/engine/supervised.hpp"
 #include "letdma/serve/cache.hpp"
+#include "letdma/serve/journal.hpp"
 
 namespace letdma::serve {
 
 struct Request {
+  /// "solve" (the default), "health" or "stats". The non-solve types are
+  /// answered by the socket server without entering the solve path, so a
+  /// loaded daemon still answers liveness probes promptly.
+  std::string type = "solve";
   /// Caller-chosen id echoed back in the response (and in incumbent
   /// events), so pipelined responses can be matched to requests.
   std::string id;
@@ -55,6 +61,12 @@ struct Request {
   /// Emit incumbent updates while the solve runs (socket clients receive
   /// them as "incumbent" events before the final "result" line).
   bool stream_incumbents = false;
+  /// Absolute patience for this request in seconds from arrival (0 = no
+  /// deadline). Unlike budget_sec — which each supervised chain level
+  /// re-bases — the deadline is converted to an absolute
+  /// engine::Budget::deadline, so a degrading chain cannot overrun the
+  /// caller's cutoff.
+  double deadline_sec = 0.0;
 };
 
 struct Response {
@@ -103,13 +115,23 @@ struct ServiceOptions {
   /// Supervised-chain configuration for fresh solves. The objective field
   /// is overridden per request.
   engine::GuardOptions guard;
+  /// Write-ahead journal path for cache durability; empty disables
+  /// journaling. On construction the Service replays the journal,
+  /// re-certifies every record (see journal.hpp) and compacts the file to
+  /// the surviving set, so a crash-torn or bitrotten journal self-heals.
+  std::string journal_path;
+  /// Compact once this many records have been appended since the last
+  /// compaction (bounds journal growth to O(cache) + O(compact_every)).
+  std::int64_t journal_compact_every = 1024;
 };
 
 struct ServiceStats {
   std::int64_t requests = 0;
   std::int64_t rejected = 0;
   std::int64_t certified = 0;
+  bool draining = false;
   CacheStats cache;
+  JournalStats journal;
 };
 
 class Service {
@@ -127,13 +149,41 @@ class Service {
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
 
+  /// Graceful-drain phase 1: every subsequent request is shed with an
+  /// explicit "draining" rejection; in-flight solves keep running.
+  void begin_drain();
+  /// Graceful-drain phase 2 (drain budget spent): raises the shared stop
+  /// token that every in-flight solve's engine::Budget polls.
+  void cancel_inflight();
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+  /// Requests currently inside handle() across all tenants (the drain
+  /// loop polls this down to zero).
+  int inflight() const;
+
+  /// Compacts the journal to the live cache contents (no-op when
+  /// journaling is off). Called by the drain path and periodically after
+  /// journal_compact_every appends.
+  void flush_journal();
+
  private:
   const TenantPolicy& policy_for(const std::string& tenant) const;
+  void recover_journal();
+  void append_journal(const std::string& canonical_text,
+                      engine::Objective objective, const CachedSolve& entry);
 
   ServiceOptions options_;
   SolveCache cache_;
   mutable std::mutex mu_;
   std::map<std::string, int> inflight_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> cancel_{false};
+  /// Serializes journal appends/compactions (the Journal itself is not
+  /// thread-safe).
+  mutable std::mutex journal_mu_;
+  std::unique_ptr<Journal> journal_;
+  JournalStats journal_stats_;
 };
 
 /// Wire names used by the line protocol and the tools ("del" | "dmat" |

@@ -99,6 +99,19 @@ std::size_t SolveCache::size() const {
   return total;
 }
 
+std::vector<std::pair<CacheKey, std::shared_ptr<const CachedSolve>>>
+SolveCache::snapshot() const {
+  std::vector<std::pair<CacheKey, std::shared_ptr<const CachedSolve>>> out;
+  out.reserve(size());
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    for (const auto& [key, value] : s->lru) {
+      out.emplace_back(key, value);
+    }
+  }
+  return out;
+}
+
 CacheStats SolveCache::stats() const {
   CacheStats st;
   st.hits = hits_counter().value();

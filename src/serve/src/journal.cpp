@@ -1,0 +1,300 @@
+#include "letdma/serve/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "letdma/guard/faults.hpp"
+#include "letdma/obs/flight.hpp"
+#include "letdma/obs/obs.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::serve {
+namespace {
+
+constexpr char kMagic[4] = {'L', 'D', 'J', '1'};
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 4 + 4 + 4;  // magic + len + crc
+// Framing sanity bound: a single solve's texts are tiny, so anything past
+// this is corruption masquerading as a length, not a real record.
+constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+obs::Counter& appends_counter() {
+  static obs::Counter c("serve.journal.appends");
+  return c;
+}
+obs::Counter& corrupt_counter() {
+  static obs::Counter c("serve.journal.dropped_corrupt");
+  return c;
+}
+obs::Counter& compactions_counter() {
+  static obs::Counter c("serve.journal.compactions");
+  return c;
+}
+
+void put_u32(std::string* out, std::uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(u[0]) |
+         (static_cast<std::uint32_t>(u[1]) << 8) |
+         (static_cast<std::uint32_t>(u[2]) << 16) |
+         (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+void put_string(std::string* out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked cursor over a payload; any overrun flags `bad`.
+struct Reader {
+  const char* p;
+  std::size_t left;
+  bool bad = false;
+
+  std::uint8_t u8() {
+    if (left < 1) { bad = true; return 0; }
+    const auto v = static_cast<std::uint8_t>(*p);
+    ++p; --left;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (left < 4) { bad = true; return 0; }
+    const std::uint32_t v = get_u32(p);
+    p += 4; left -= 4;
+    return v;
+  }
+  double f64() {
+    if (left < 8) { bad = true; return 0.0; }
+    double v;
+    std::memcpy(&v, p, 8);
+    p += 8; left -= 8;
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (bad || left < n) { bad = true; return {}; }
+    std::string s(p, n);
+    p += n; left -= n;
+    return s;
+  }
+};
+
+bool decode_payload(std::string_view payload, JournalRecord* out) {
+  Reader r{payload.data(), payload.size()};
+  if (r.u8() != kVersion) return false;
+  const std::uint8_t objective = r.u8();
+  const std::uint8_t status = r.u8();
+  if (objective > static_cast<std::uint8_t>(engine::Objective::kFeasibility) ||
+      status > static_cast<std::uint8_t>(engine::Status::kTimeout)) {
+    return false;
+  }
+  out->objective = static_cast<engine::Objective>(objective);
+  out->status = static_cast<engine::Status>(status);
+  out->objective_value = r.f64();
+  out->strategy = r.str();
+  out->canonical_text = r.str();
+  out->schedule_text = r.str();
+  return !r.bad && r.left == 0;
+}
+
+std::string errno_message(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+void write_fully(int fd, const char* data, std::size_t size,
+                 const std::string& path) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw support::Error(errno_message("write journal", path));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string encode_record(const JournalRecord& record) {
+  std::string payload;
+  payload.push_back(static_cast<char>(kVersion));
+  payload.push_back(static_cast<char>(record.objective));
+  payload.push_back(static_cast<char>(record.status));
+  static_assert(sizeof(double) == 8);
+  char f64[8];
+  std::memcpy(f64, &record.objective_value, 8);
+  payload.append(f64, 8);
+  put_string(&payload, record.strategy);
+  put_string(&payload, record.canonical_text);
+  put_string(&payload, record.schedule_text);
+
+  std::string framed;
+  framed.reserve(kHeaderSize + payload.size());
+  framed.append(kMagic, 4);
+  put_u32(&framed, static_cast<std::uint32_t>(payload.size()));
+  put_u32(&framed, crc32(payload));
+  framed.append(payload);
+  return framed;
+}
+
+std::size_t decode_buffer(std::string_view buffer,
+                          std::vector<JournalRecord>* out,
+                          JournalStats* stats) {
+  std::size_t pos = 0;
+  while (pos + kHeaderSize <= buffer.size()) {
+    if (std::memcmp(buffer.data() + pos, kMagic, 4) != 0) {
+      // Not a record boundary: either a torn rewrite or foreign bytes.
+      // Nothing past this point can be trusted to be framed.
+      break;
+    }
+    const std::uint32_t len = get_u32(buffer.data() + pos + 4);
+    const std::uint32_t crc = get_u32(buffer.data() + pos + 8);
+    if (len > kMaxPayload) break;  // corrupt length; unframed from here on
+    if (pos + kHeaderSize + len > buffer.size()) break;  // torn tail
+    const std::string_view payload =
+        buffer.substr(pos + kHeaderSize, len);
+    pos += kHeaderSize + len;
+    JournalRecord rec;
+    if (crc32(payload) != crc || !decode_payload(payload, &rec)) {
+      // Framing intact, contents rotten: skip just this record so one bad
+      // sector does not discard the rest of the journal.
+      if (stats != nullptr) ++stats->dropped_corrupt;
+      corrupt_counter().add();
+      continue;
+    }
+    if (out != nullptr) out->push_back(std::move(rec));
+  }
+  return pos;
+}
+
+Journal::Journal(std::string path) : path_(std::move(path)) {
+  LETDMA_ENSURE(!path_.empty(), "journal path must not be empty");
+  open_for_append();
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::open_for_append() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) {
+    throw support::Error(errno_message("open journal", path_));
+  }
+}
+
+std::vector<JournalRecord> Journal::load(JournalStats* stats) {
+  std::ifstream in(path_, std::ios::binary);
+  std::vector<JournalRecord> records;
+  if (!in) return records;  // absent or unreadable: cold start
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+  const std::size_t consumed = decode_buffer(bytes, &records, stats);
+  if (stats != nullptr && consumed < bytes.size()) {
+    stats->torn_bytes +=
+        static_cast<std::int64_t>(bytes.size() - consumed);
+  }
+  if (consumed < bytes.size()) {
+    obs::flight_event(
+        "serve.journal.torn_tail", "serve",
+        {{"path", path_},
+         {"bytes", static_cast<std::int64_t>(bytes.size() - consumed)}},
+        obs::Level::kWarn);
+  }
+  return records;
+}
+
+void Journal::append(const JournalRecord& record) {
+  std::string framed = encode_record(record);
+  if (const auto fault = guard::fault_point("io.journal.crc");
+      fault == guard::FaultKind::kCorrupt && framed.size() > kHeaderSize) {
+    // Flip a payload byte after the CRC was computed: recovery must see a
+    // checksum mismatch, count dropped_corrupt, and keep going.
+    framed[kHeaderSize + framed.size() % (framed.size() - kHeaderSize)] ^=
+        0x40;
+  }
+  std::size_t write_len = framed.size();
+  if (guard::fault_point("io.journal.torn_write") ==
+      guard::FaultKind::kTruncate) {
+    // Simulate a crash mid-append: only a prefix reaches the disk.
+    write_len = framed.size() / 2;
+  }
+  write_fully(fd_, framed.data(), write_len, path_);
+  if (::fsync(fd_) < 0 && errno != EINVAL && errno != EROFS) {
+    throw support::Error(errno_message("fsync journal", path_));
+  }
+  ++appends_;
+  appends_counter().add();
+}
+
+void Journal::compact(const std::vector<JournalRecord>& records) {
+  const std::string tmp = path_ + ".tmp";
+  int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                   0644);
+  if (tfd < 0) {
+    throw support::Error(errno_message("open journal temp", tmp));
+  }
+  try {
+    for (const JournalRecord& rec : records) {
+      const std::string framed = encode_record(rec);
+      write_fully(tfd, framed.data(), framed.size(), tmp);
+    }
+    if (::fsync(tfd) < 0 && errno != EINVAL && errno != EROFS) {
+      throw support::Error(errno_message("fsync journal temp", tmp));
+    }
+  } catch (...) {
+    ::close(tfd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(tfd);
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    const std::string msg = errno_message("rename journal", path_);
+    ::unlink(tmp.c_str());
+    throw support::Error(msg);
+  }
+  // The old fd points at the unlinked inode; reopen the new file.
+  open_for_append();
+  appends_ = 0;
+  compactions_counter().add();
+  obs::flight_event("serve.journal.compacted", "serve",
+                    {{"path", path_},
+                     {"records", static_cast<std::int64_t>(records.size())}});
+}
+
+}  // namespace letdma::serve

@@ -1,13 +1,18 @@
 #include "letdma/serve/server.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
+#include "letdma/guard/faults.hpp"
+#include "letdma/obs/flight.hpp"
 #include "letdma/obs/json.hpp"
 #include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
@@ -16,7 +21,12 @@
 namespace letdma::serve {
 namespace {
 
+using Clock = std::chrono::steady_clock;
 using support::ParseError;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
 
 const char* wire_status_name(engine::Status status) {
   switch (status) {
@@ -54,6 +64,30 @@ bool write_all(int fd, const std::string& bytes) {
   return true;
 }
 
+std::string error_line(const std::string& id, const std::string& error) {
+  Response res;
+  res.id = id;
+  res.ok = false;
+  res.error = error;
+  return render_response_line(res);
+}
+
+std::string health_line(const std::string& id, bool draining) {
+  std::string out = "{\"id\":";
+  obs::json::append_string(out, id);
+  out += ",\"event\":\"health\",\"ok\":true,\"draining\":";
+  out += draining ? "true" : "false";
+  out += "}\n";
+  return out;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 // --- line protocol ---------------------------------------------------------
@@ -68,14 +102,20 @@ Request parse_request_line(const std::string& line) {
     throw ParseError(0, "request must be a JSON object");
   }
   Request r;
+  r.type = v.str_or("type", "solve");
+  if (r.type != "solve" && r.type != "health" && r.type != "stats") {
+    throw ParseError(0, "bad type (expected solve | health | stats)");
+  }
   r.id = v.str_or("id", "");
   r.tenant = v.str_or("tenant", "default");
   const support::JsonValue* model = v.find("model");
-  if (model == nullptr ||
-      model->kind != support::JsonValue::Kind::kString) {
-    throw ParseError(0, "request missing string field `model`");
+  if (r.type == "solve") {
+    if (model == nullptr ||
+        model->kind != support::JsonValue::Kind::kString) {
+      throw ParseError(0, "request missing string field `model`");
+    }
+    r.model_text = model->text;
   }
-  r.model_text = model->text;
   if (const support::JsonValue* o = v.find("objective")) {
     if (o->kind != support::JsonValue::Kind::kString ||
         !parse_objective(o->text, &r.objective)) {
@@ -84,6 +124,8 @@ Request parse_request_line(const std::string& line) {
   }
   double budget = 0.0;
   if (v.num_of("budget_sec", &budget)) r.budget_sec = budget;
+  double deadline = 0.0;
+  if (v.num_of("deadline_sec", &deadline)) r.deadline_sec = deadline;
   r.want_schedule = v.bool_or("schedule", true);
   r.stream_incumbents = v.bool_or("stream", false);
   return r;
@@ -92,12 +134,22 @@ Request parse_request_line(const std::string& line) {
 std::string render_request_line(const Request& request) {
   std::string out = "{\"id\":";
   obs::json::append_string(out, request.id);
+  if (request.type != "solve") {
+    out += ",\"type\":";
+    obs::json::append_string(out, request.type);
+    out += "}\n";
+    return out;
+  }
   out += ",\"tenant\":";
   obs::json::append_string(out, request.tenant);
   out += ",\"objective\":";
   obs::json::append_string(out, objective_wire_name(request.objective));
   out += ",\"budget_sec\":";
   obs::json::append_number(out, request.budget_sec);
+  if (request.deadline_sec > 0.0) {
+    out += ",\"deadline_sec\":";
+    obs::json::append_number(out, request.deadline_sec);
+  }
   out += ",\"schedule\":";
   out += request.want_schedule ? "true" : "false";
   out += ",\"stream\":";
@@ -185,6 +237,74 @@ Response parse_response_line(const std::string& line) {
   return r;
 }
 
+std::string render_stats_line(const std::string& id,
+                              const ServiceStats& stats) {
+  std::string out = "{\"id\":";
+  obs::json::append_string(out, id);
+  out += ",\"event\":\"stats\",\"ok\":true,\"draining\":";
+  out += stats.draining ? "true" : "false";
+  out += ",\"requests\":";
+  obs::json::append_number(out, stats.requests);
+  out += ",\"rejected\":";
+  obs::json::append_number(out, stats.rejected);
+  out += ",\"certified\":";
+  obs::json::append_number(out, stats.certified);
+  out += ",\"cache_hits\":";
+  obs::json::append_number(out, stats.cache.hits);
+  out += ",\"cache_misses\":";
+  obs::json::append_number(out, stats.cache.misses);
+  out += ",\"cache_size\":";
+  obs::json::append_number(out, static_cast<std::int64_t>(stats.cache.size));
+  out += ",\"journal_appended\":";
+  obs::json::append_number(out, stats.journal.appended);
+  out += ",\"journal_recovered\":";
+  obs::json::append_number(out, stats.journal.recovered);
+  out += ",\"journal_dropped_corrupt\":";
+  obs::json::append_number(out, stats.journal.dropped_corrupt);
+  out += ",\"journal_dropped_uncertified\":";
+  obs::json::append_number(out, stats.journal.dropped_uncertified);
+  out += ",\"journal_dropped_stale\":";
+  obs::json::append_number(out, stats.journal.dropped_stale);
+  out += ",\"journal_compactions\":";
+  obs::json::append_number(out, stats.journal.compactions);
+  out += "}\n";
+  return out;
+}
+
+ServerStatsReply parse_stats_line(const std::string& line) {
+  support::JsonValue v;
+  std::string err;
+  if (!support::parse_json(line, &v, &err)) {
+    throw ParseError(0, "bad stats JSON: " + err);
+  }
+  if (v.kind != support::JsonValue::Kind::kObject ||
+      v.str_or("event", "") != "stats") {
+    throw ParseError(0, "not a stats line");
+  }
+  ServerStatsReply r;
+  r.ok = v.bool_or("ok", false);
+  r.draining = v.bool_or("draining", false);
+  double num = 0.0;
+  const auto i64 = [&](const char* key, std::int64_t* out) {
+    if (v.num_of(key, &num)) *out = static_cast<std::int64_t>(num);
+  };
+  i64("requests", &r.requests);
+  i64("rejected", &r.rejected);
+  i64("certified", &r.certified);
+  i64("cache_hits", &r.cache_hits);
+  i64("cache_misses", &r.cache_misses);
+  if (v.num_of("cache_size", &num)) {
+    r.cache_size = static_cast<std::size_t>(num);
+  }
+  i64("journal_appended", &r.journal_appended);
+  i64("journal_recovered", &r.journal_recovered);
+  i64("journal_dropped_corrupt", &r.journal_dropped_corrupt);
+  i64("journal_dropped_uncertified", &r.journal_dropped_uncertified);
+  i64("journal_dropped_stale", &r.journal_dropped_stale);
+  i64("journal_compactions", &r.journal_compactions);
+  return r;
+}
+
 // --- server ----------------------------------------------------------------
 
 Server::Server(Service& service, ServerOptions options)
@@ -193,6 +313,8 @@ Server::Server(Service& service, ServerOptions options)
       runner_(engine::BatchOptions{options_.threads}) {
   LETDMA_ENSURE(!options_.socket_path.empty(), "socket_path is required");
   LETDMA_ENSURE(options_.max_batch > 0, "max_batch must be positive");
+  LETDMA_ENSURE(options_.max_connections > 0,
+                "max_connections must be positive");
 }
 
 Server::~Server() { stop(); }
@@ -205,7 +327,26 @@ void Server::start() {
                 "socket path too long");
   std::memcpy(addr.sun_path, options_.socket_path.c_str(),
               options_.socket_path.size() + 1);
-  ::unlink(options_.socket_path.c_str());
+  // A socket file left behind by a crashed daemon must not block the
+  // restart — but blindly unlinking would steal a *live* daemon's
+  // listener. Probe-connect to tell the two apart.
+  if (::access(options_.socket_path.c_str(), F_OK) == 0) {
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      const bool live =
+          ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0;
+      ::close(probe);
+      if (live) {
+        throw support::Error("bind " + options_.socket_path +
+                             ": another daemon is already serving on this "
+                             "socket");
+      }
+    }
+    ::unlink(options_.socket_path.c_str());
+    obs::log_info("serve",
+                  "removed stale socket " + options_.socket_path);
+  }
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     throw support::Error(std::string("socket: ") + std::strerror(errno));
@@ -218,6 +359,7 @@ void Server::start() {
     listen_fd_ = -1;
     throw support::Error("bind/listen " + options_.socket_path + ": " + what);
   }
+  draining_.store(false, std::memory_order_relaxed);
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread(&Server::accept_loop, this);
   obs::log_info("serve", "listening on " + options_.socket_path);
@@ -240,27 +382,80 @@ void Server::stop() {
   listen_fd_ = -1;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
-    for (const int fd : conn_fds_) {
-      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    for (Conn& c : conns_) {
+      if (c.fd >= 0) ::shutdown(c.fd, SHUT_RDWR);
     }
   }
-  for (std::thread& t : conn_threads_) {
-    if (t.joinable()) t.join();
+  // No new conns can appear (accept thread joined); join + close all.
+  for (Conn& c : conns_) {
+    if (c.thread.joinable()) c.thread.join();
+    if (c.fd >= 0) ::close(c.fd);
   }
-  for (const int fd : conn_fds_) {
-    if (fd >= 0) ::close(fd);
-  }
-  conn_threads_.clear();
-  conn_fds_.clear();
+  conns_.clear();
   ::unlink(options_.socket_path.c_str());
   obs::log_info("serve", "stopped " + options_.socket_path);
 }
 
+bool Server::drain(double timeout_sec) {
+  if (!running()) return true;
+  obs::flight_event("serve.server.drain_begin", "serve",
+                    {{"timeout_sec", timeout_sec}});
+  // Phase 1: shed everything new (connections here, requests in the
+  // service) while in-flight solves run to completion.
+  draining_.store(true, std::memory_order_relaxed);
+  service_.begin_drain();
+  const auto t0 = Clock::now();
+  while (service_.inflight() > 0 && seconds_since(t0) < timeout_sec) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  bool clean = service_.inflight() == 0;
+  if (!clean) {
+    // Phase 2: the drain budget is spent; cancel the stragglers through
+    // their budgets' stop tokens and give cooperative cancellation a
+    // short grace to unwind.
+    service_.cancel_inflight();
+    const auto t1 = Clock::now();
+    while (service_.inflight() > 0 && seconds_since(t1) < 2.0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  service_.flush_journal();
+  stop();
+  obs::flight_event("serve.server.drain_end", "serve", {{"clean", clean}});
+  return clean;
+}
+
+void Server::reap_connections() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->done.load(std::memory_order_acquire)) {
+      if (it->thread.joinable()) it->thread.join();
+      if (it->fd >= 0) ::close(it->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void Server::accept_loop() {
   while (running()) {
+    // poll() rather than blocking accept: the tick both reaps finished
+    // connection threads and re-checks running()/draining_ promptly, and
+    // EINTR from a delivered signal is a normal wakeup, not an error.
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&p, 1, 100);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    reap_connections();
+    if (pr == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) {
+        continue;
+      }
       break;  // listener shut down (stop()) or broken
     }
     std::lock_guard<std::mutex> lock(conn_mu_);
@@ -268,13 +463,29 @@ void Server::accept_loop() {
       ::close(fd);
       break;
     }
-    const std::size_t slot = conn_fds_.size();
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, slot, fd] {
-      serve_connection(fd);
-      std::lock_guard<std::mutex> inner(conn_mu_);
+    if (draining_.load(std::memory_order_relaxed)) {
+      obs::Counter("serve.connections.shed").add();
+      write_all(fd, error_line("", "draining: service is shutting down"));
       ::close(fd);
-      conn_fds_[slot] = -1;
+      continue;
+    }
+    if (static_cast<int>(conns_.size()) >= options_.max_connections) {
+      // Explicit load shed: the client learns why instead of seeing a
+      // silent close it cannot distinguish from a crash.
+      obs::Counter("serve.connections.shed").add();
+      write_all(fd, error_line("", "overloaded: connection limit " +
+                                       std::to_string(
+                                           options_.max_connections) +
+                                       " reached, retry later"));
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace_back();
+    Conn& conn = conns_.back();  // list nodes are address-stable
+    conn.fd = fd;
+    conn.thread = std::thread([this, &conn] {
+      serve_connection(conn.fd);
+      conn.done.store(true, std::memory_order_release);
     });
   }
 }
@@ -284,6 +495,10 @@ void Server::serve_connection(int fd) {
   std::string buffer;
   std::vector<std::string> batch;
   char chunk[65536];
+  // The idle clock measures time since the last *processed* batch; bytes
+  // that never complete a request line do not feed it, so a stalled or
+  // trickling client is disconnected on schedule.
+  auto last_batch = Clock::now();
   for (;;) {
     // Drain every complete line already buffered into one batch.
     batch.clear();
@@ -297,11 +512,28 @@ void Server::serve_connection(int fd) {
     buffer.erase(0, start);
 
     if (!batch.empty()) {
+      last_batch = Clock::now();
+      if (guard::poll("serve.socket.stall") == guard::FaultKind::kStall) {
+        // An injected slow server: the client's read timeout / retry
+        // discipline is what's under test.
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      if (guard::poll("serve.socket.drop") == guard::FaultKind::kDrop) {
+        obs::flight_event("serve.socket.dropped", "serve", {},
+                          obs::Level::kWarn);
+        return;  // hard close mid-exchange
+      }
       const auto answer = [&](const std::string& line,
                               const Service::IncumbentCallback& stream) {
         Response res;
         try {
           const Request req = parse_request_line(line);
+          if (req.type == "health") {
+            return health_line(req.id, service_.draining());
+          }
+          if (req.type == "stats") {
+            return render_stats_line(req.id, service_.stats());
+          }
           res = service_.handle(req, stream);
         } catch (const std::exception& e) {
           res.ok = false;
@@ -335,8 +567,29 @@ void Server::serve_connection(int fd) {
       continue;  // more complete lines may already be buffered
     }
 
+    // Nothing complete buffered: wait for bytes under the idle timeout.
+    // stop() shuts the fd down, which wakes the poll immediately.
+    int timeout_ms = -1;
+    if (options_.read_timeout_sec > 0.0) {
+      const double left =
+          options_.read_timeout_sec - seconds_since(last_batch);
+      if (left <= 0.0) {
+        obs::Counter("serve.connections.timeout").add();
+        write_all(fd, error_line("", "read timeout: no complete request "
+                                     "line arrived within the idle limit"));
+        return;
+      }
+      timeout_ms = static_cast<int>(std::ceil(left * 1000.0));
+    }
+    pollfd p{fd, POLLIN, 0};
+    const int pr = ::poll(&p, 1, timeout_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (pr == 0) continue;  // loop re-checks the idle clock and times out
     const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
     if (n <= 0) return;  // peer closed or stop() shut the socket down
     buffer.append(chunk, static_cast<std::size_t>(n));
   }
@@ -344,22 +597,12 @@ void Server::serve_connection(int fd) {
 
 // --- client ----------------------------------------------------------------
 
-Client::Client(const std::string& socket_path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  LETDMA_ENSURE(socket_path.size() < sizeof(addr.sun_path),
-                "socket path too long");
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw support::Error(std::string("socket: ") + std::strerror(errno));
-  }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const std::string what = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
-    throw support::Error("connect " + socket_path + ": " + what);
+Client::Client(const std::string& socket_path, ClientOptions options)
+    : socket_path_(socket_path), options_(options) {
+  try {
+    connect_once();
+  } catch (const support::Error&) {
+    if (!reconnect_with_backoff()) throw;
   }
 }
 
@@ -367,13 +610,91 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void Client::connect_once() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();  // a partial line from a dead connection is garbage
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  LETDMA_ENSURE(socket_path_.size() < sizeof(addr.sun_path),
+                "socket path too long");
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw support::Error(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    std::string what = "connect " + socket_path_ + ": " +
+                       std::strerror(saved);
+    // The two "daemon absent" shapes deserve an actionable hint, not a
+    // bare errno.
+    if (saved == ENOENT) {
+      what += " (no socket at this path — is letdma_served running?)";
+    } else if (saved == ECONNREFUSED) {
+      what += " (stale socket, no daemon accepting — restart "
+              "letdma_served or remove the file)";
+    }
+    throw support::Error(what);
+  }
+}
+
+bool Client::reconnect_with_backoff() {
+  if (!options_.retry.enabled) return false;
+  double backoff = options_.retry.initial_backoff_sec;
+  for (int attempt = 0; attempt < options_.retry.max_attempts; ++attempt) {
+    // Deterministic jitter in [0.5, 1.0) of the nominal backoff: spreads
+    // a thundering herd without losing reproducibility under a seed.
+    const std::uint64_t r = splitmix64(
+        options_.retry.jitter_seed ^
+        (static_cast<std::uint64_t>(reconnects_) << 16) ^
+        static_cast<std::uint64_t>(attempt));
+    const double u =
+        static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(backoff * (0.5 + 0.5 * u)));
+    try {
+      connect_once();
+      ++reconnects_;
+      obs::Counter("serve.client.reconnects").add();
+      return true;
+    } catch (const support::Error&) {
+      backoff = std::min(backoff * options_.retry.backoff_multiplier,
+                         options_.retry.max_backoff_sec);
+    }
+  }
+  return false;
+}
+
 bool Client::read_line(std::string* line) {
+  const auto t0 = Clock::now();
   for (;;) {
     const std::size_t nl = buffer_.find('\n');
     if (nl != std::string::npos) {
       *line = buffer_.substr(0, nl);
       buffer_.erase(0, nl + 1);
       return true;
+    }
+    if (options_.read_timeout_sec > 0.0) {
+      const double left = options_.read_timeout_sec - seconds_since(t0);
+      if (left <= 0.0) {
+        throw support::Error("serve client: read timed out after " +
+                             std::to_string(options_.read_timeout_sec) +
+                             "s");
+      }
+      pollfd p{fd_, POLLIN, 0};
+      const int pr =
+          ::poll(&p, 1, static_cast<int>(std::ceil(left * 1000.0)));
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (pr == 0) continue;  // loop throws on the recheck
     }
     char chunk[65536];
     const ssize_t n = ::read(fd_, chunk, sizeof chunk);
@@ -385,64 +706,133 @@ bool Client::read_line(std::string* line) {
 
 Response Client::call(const Request& request,
                       const Service::IncumbentCallback& on_incumbent) {
-  if (!write_all(fd_, render_request_line(request))) {
-    throw support::Error("serve client: connection closed while writing");
-  }
-  std::string line;
-  while (read_line(&line)) {
-    support::JsonValue v;
-    std::string err;
-    if (support::parse_json(line, &v, &err) &&
-        v.str_or("event", "") == "incumbent") {
-      if (on_incumbent) {
-        IncumbentUpdate update;
-        v.num_of("objective", &update.objective);
-        update.strategy = v.str_or("strategy", "");
-        on_incumbent(update);
+  for (;;) {
+    bool disconnected = fd_ < 0 ||
+                        !write_all(fd_, render_request_line(request));
+    if (!disconnected) {
+      std::string line;
+      while (read_line(&line)) {
+        support::JsonValue v;
+        std::string err;
+        if (support::parse_json(line, &v, &err) &&
+            v.str_or("event", "") == "incumbent") {
+          if (on_incumbent) {
+            IncumbentUpdate update;
+            v.num_of("objective", &update.objective);
+            update.strategy = v.str_or("strategy", "");
+            on_incumbent(update);
+          }
+          continue;
+        }
+        return parse_response_line(line);
       }
-      continue;
+      disconnected = true;
     }
-    return parse_response_line(line);
+    // Re-sending after a disconnect is idempotent: the service is a
+    // fingerprint-keyed cache, so the worst case is an extra hit.
+    if (disconnected && !reconnect_with_backoff()) {
+      throw support::Error(
+          "serve client: connection closed before result" +
+          std::string(options_.retry.enabled ? " (retries exhausted)"
+                                             : ""));
+    }
   }
-  throw support::Error("serve client: connection closed before result");
 }
 
 std::vector<Response> Client::call_batch(
     const std::vector<Request>& requests) {
-  std::string out;
-  for (const Request& r : requests) {
-    Request flat = r;
-    flat.stream_incumbents = false;
-    out += render_request_line(flat);
-  }
-  // Write from a helper thread while this thread drains responses: a
-  // large batch can exceed both socket buffers, and a server blocked on
-  // writing responses stops reading requests — writer and reader must
-  // make progress independently or the connection deadlocks.
-  std::thread writer([this, &out] { write_all(fd_, out); });
-  std::vector<Response> responses;
-  responses.reserve(requests.size());
-  try {
-    std::string line;
-    while (responses.size() < requests.size() && read_line(&line)) {
-      support::JsonValue v;
-      std::string err;
-      if (support::parse_json(line, &v, &err) &&
-          v.str_or("event", "") != "result") {
-        continue;  // stray incumbent event
-      }
-      responses.push_back(parse_response_line(line));
-    }
-  } catch (...) {
-    ::shutdown(fd_, SHUT_RDWR);  // unblock the writer before joining
-    writer.join();
-    throw;
-  }
-  writer.join();
-  if (responses.size() != requests.size()) {
-    throw support::Error("serve client: connection closed mid-batch");
+  bool disconnected = false;
+  std::vector<Response> responses = call_batch(requests, &disconnected);
+  if (disconnected) {
+    throw support::Error(
+        "serve client: connection closed mid-batch (" +
+        std::to_string(responses.size()) + "/" +
+        std::to_string(requests.size()) + " answered)");
   }
   return responses;
+}
+
+std::vector<Response> Client::call_batch(
+    const std::vector<Request>& requests, bool* disconnected) {
+  *disconnected = false;
+  std::vector<Response> responses;
+  responses.reserve(requests.size());
+  for (;;) {
+    // Re-send only the unanswered suffix (responses arrive in request
+    // order, so the prefix is settled).
+    std::string out;
+    for (std::size_t i = responses.size(); i < requests.size(); ++i) {
+      Request flat = requests[i];
+      flat.stream_incumbents = false;
+      out += render_request_line(flat);
+    }
+    bool broke = fd_ < 0;
+    if (!broke) {
+      // Write from a helper thread while this thread drains responses: a
+      // large batch can exceed both socket buffers, and a server blocked
+      // on writing responses stops reading requests — writer and reader
+      // must make progress independently or the connection deadlocks.
+      std::thread writer([this, &out] { write_all(fd_, out); });
+      try {
+        std::string line;
+        while (responses.size() < requests.size() && read_line(&line)) {
+          support::JsonValue v;
+          std::string err;
+          if (support::parse_json(line, &v, &err) &&
+              v.str_or("event", "") != "result") {
+            continue;  // stray incumbent event
+          }
+          responses.push_back(parse_response_line(line));
+        }
+      } catch (...) {
+        ::shutdown(fd_, SHUT_RDWR);  // unblock the writer before joining
+        writer.join();
+        throw;
+      }
+      writer.join();
+      if (responses.size() == requests.size()) return responses;
+      broke = true;
+    }
+    if (broke && !reconnect_with_backoff()) {
+      *disconnected = true;
+      return responses;
+    }
+  }
+}
+
+bool Client::health(bool* draining) {
+  Request req;
+  req.type = "health";
+  req.id = "health";
+  try {
+    if (fd_ < 0 || !write_all(fd_, render_request_line(req))) return false;
+    std::string line;
+    if (!read_line(&line)) return false;
+    support::JsonValue v;
+    std::string err;
+    if (!support::parse_json(line, &v, &err) ||
+        v.str_or("event", "") != "health") {
+      return false;
+    }
+    if (draining != nullptr) *draining = v.bool_or("draining", false);
+    return v.bool_or("ok", false);
+  } catch (const support::Error&) {
+    return false;
+  }
+}
+
+ServerStatsReply Client::stats() {
+  Request req;
+  req.type = "stats";
+  req.id = "stats";
+  if (fd_ < 0 || !write_all(fd_, render_request_line(req))) {
+    throw support::Error("serve client: connection closed while writing");
+  }
+  std::string line;
+  if (!read_line(&line)) {
+    throw support::Error("serve client: connection closed before stats");
+  }
+  return parse_stats_line(line);
 }
 
 }  // namespace letdma::serve

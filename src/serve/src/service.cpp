@@ -28,6 +28,22 @@ obs::Counter& certified_counter() {
   static obs::Counter c("serve.responses.certified");
   return c;
 }
+obs::Counter& shed_counter() {
+  static obs::Counter c("serve.drain.shed");
+  return c;
+}
+obs::Counter& recovered_counter() {
+  static obs::Counter c("serve.journal.recovered");
+  return c;
+}
+obs::Counter& recover_uncertified_counter() {
+  static obs::Counter c("serve.journal.dropped_uncertified");
+  return c;
+}
+obs::Counter& recover_stale_counter() {
+  static obs::Counter c("serve.journal.dropped_stale");
+  return c;
+}
 
 /// RAII slot in the tenant's in-flight budget.
 class InflightSlot {
@@ -69,6 +85,23 @@ class StreamingSink : public engine::IncumbentSink {
   Service::IncumbentCallback callback_;
 };
 
+/// The live cache re-serialized as journal records — what a restart
+/// should recover.
+std::vector<JournalRecord> snapshot_records(const SolveCache& cache) {
+  std::vector<JournalRecord> live;
+  for (const auto& [key, value] : cache.snapshot()) {
+    JournalRecord r;
+    r.canonical_text = model::write_application(*value->app);
+    r.objective = key.objective;
+    r.status = value->status;
+    r.objective_value = value->objective_value;
+    r.strategy = value->strategy;
+    r.schedule_text = let::write_schedule(*value->app, value->schedule);
+    live.push_back(std::move(r));
+  }
+  return live;
+}
+
 double elapsed_ms(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - t0)
@@ -101,7 +134,141 @@ const char* objective_wire_name(engine::Objective objective) {
 
 Service::Service(ServiceOptions options)
     : options_(std::move(options)),
-      cache_(options_.cache_capacity, options_.cache_shards) {}
+      cache_(options_.cache_capacity, options_.cache_shards) {
+  if (!options_.journal_path.empty()) {
+    journal_ = std::make_unique<Journal>(options_.journal_path);
+    recover_journal();
+  }
+}
+
+void Service::recover_journal() {
+  // No lock needed: recovery runs in the constructor, before any request.
+  const std::vector<JournalRecord> records =
+      journal_->load(&journal_stats_);
+  for (const JournalRecord& rec : records) {
+    try {
+      // The canonical text is the serialization: rebuild the instance and
+      // verify it still canonicalizes to itself under the *current*
+      // algorithm — a version drift would desynchronize the permutation
+      // maps that translate_schedule relies on.
+      auto app = model::read_application(rec.canonical_text);
+      const model::Canonicalization canon = model::canonicalize(*app);
+      if (canon.text != rec.canonical_text) {
+        ++journal_stats_.dropped_stale;
+        recover_stale_counter().add();
+        continue;
+      }
+      auto comms = std::make_unique<let::LetComms>(*app);
+      std::optional<let::ScheduleResult> schedule;
+      try {
+        schedule = let::read_schedule(*comms, rec.schedule_text);
+      } catch (const support::Error&) {
+        ++journal_stats_.dropped_uncertified;
+        recover_uncertified_counter().add();
+        continue;
+      }
+      // The re-certify-on-load invariant: nothing enters the cache from
+      // disk without passing guard::certify in this process. The stored
+      // objective value is recomputed rather than trusted (the CRC
+      // protects integrity, not meaning).
+      if (!guard::certify(*comms, *schedule).certified()) {
+        ++journal_stats_.dropped_uncertified;
+        recover_uncertified_counter().add();
+        obs::flight_event("serve.journal.recover_uncertified", "serve",
+                          {{"fingerprint", canon.fingerprint.to_hex()}},
+                          obs::Level::kWarn);
+        continue;
+      }
+      const double objective =
+          engine::objective_of(*comms, *schedule, rec.objective);
+      const CacheKey key{canon.fingerprint, rec.objective};
+      cache_.insert(key, std::make_shared<CachedSolve>(CachedSolve{
+                             std::move(app), std::move(comms),
+                             std::move(*schedule), rec.status, objective,
+                             rec.strategy}));
+      ++journal_stats_.recovered;
+      recovered_counter().add();
+    } catch (const support::Error&) {
+      ++journal_stats_.dropped_stale;
+      recover_stale_counter().add();
+    }
+  }
+  obs::log_info(
+      "serve",
+      "journal recovery: " + std::to_string(journal_stats_.recovered) +
+          " recovered, " + std::to_string(journal_stats_.dropped_corrupt) +
+          " corrupt, " + std::to_string(journal_stats_.dropped_uncertified) +
+          " uncertified, " + std::to_string(journal_stats_.dropped_stale) +
+          " stale, " + std::to_string(journal_stats_.torn_bytes) +
+          " torn bytes");
+  // Self-heal: rewrite the journal to exactly the surviving set so the
+  // torn tail and dropped records do not come back on the next restart.
+  flush_journal();
+}
+
+void Service::append_journal(const std::string& canonical_text,
+                             engine::Objective objective,
+                             const CachedSolve& entry) {
+  if (journal_ == nullptr) return;
+  JournalRecord rec;
+  rec.canonical_text = canonical_text;
+  rec.objective = objective;
+  rec.status = entry.status;
+  rec.objective_value = entry.objective_value;
+  rec.strategy = entry.strategy;
+  rec.schedule_text = let::write_schedule(*entry.app, entry.schedule);
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  try {
+    journal_->append(rec);
+    ++journal_stats_.appended;
+  } catch (const support::Error& e) {
+    // Durability is best-effort relative to serving: a full disk must not
+    // fail the request whose solve already succeeded.
+    obs::log_warn("serve",
+                  std::string("journal append failed: ") + e.what());
+    return;
+  }
+  if (journal_->appends_since_compact() >=
+      options_.journal_compact_every) {
+    try {
+      journal_->compact(snapshot_records(cache_));
+      ++journal_stats_.compactions;
+    } catch (const support::Error& e) {
+      obs::log_warn("serve",
+                    std::string("journal compaction failed: ") + e.what());
+    }
+  }
+}
+
+void Service::flush_journal() {
+  if (journal_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  try {
+    journal_->compact(snapshot_records(cache_));
+    ++journal_stats_.compactions;
+  } catch (const support::Error& e) {
+    obs::log_warn("serve",
+                  std::string("journal flush failed: ") + e.what());
+  }
+}
+
+int Service::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int total = 0;
+  for (const auto& [tenant, n] : inflight_) total += n;
+  return total;
+}
+
+void Service::begin_drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  obs::flight_event("serve.drain.begin", "serve", {});
+}
+
+void Service::cancel_inflight() {
+  cancel_.store(true, std::memory_order_relaxed);
+  obs::flight_event("serve.drain.cancel_inflight", "serve", {},
+                    obs::Level::kWarn);
+}
 
 const TenantPolicy& Service::policy_for(const std::string& tenant) const {
   const auto it = options_.tenant_policies.find(tenant);
@@ -119,6 +286,13 @@ Response Service::handle(const Request& request,
   res.id = request.id;
 
   // --- admission ----------------------------------------------------------
+  if (draining()) {
+    shed_counter().add();
+    rejected_counter().add();
+    res.error = "draining: service is shutting down, retry elsewhere";
+    res.wall_ms = elapsed_ms(t0);
+    return res;
+  }
   const TenantPolicy& policy = policy_for(request.tenant);
   std::optional<InflightSlot> slot;
   {
@@ -201,6 +375,13 @@ Response Service::handle(const Request& request,
                                                  : IncumbentCallback{});
     engine::Budget budget;
     budget.wall_sec = budget_sec;
+    budget.stop = &cancel_;
+    if (request.deadline_sec > 0.0) {
+      budget.deadline =
+          t0 + std::chrono::duration_cast<
+                   std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(request.deadline_sec));
+    }
     const engine::ScheduleOutcome outcome =
         scheduler.solve(*canonical_comms, budget, sink);
     res.incumbents = sink.improvements();
@@ -222,6 +403,10 @@ Response Service::handle(const Request& request,
       cache_.insert(key, entry);
       if (serve_entry(*entry)) {
         certified_counter().add();
+        // Durability rides behind the response path: the entry is in the
+        // cache and certified, so journal it for the next incarnation.
+        // canon.text survived the move of canon.app above.
+        append_journal(canon.text, request.objective, *entry);
       } else {
         // The solve certified on the canonical instance but the mapping
         // back failed — only possible if the canonicalization maps are
@@ -260,7 +445,12 @@ ServiceStats Service::stats() const {
   st.requests = requests_counter().value();
   st.rejected = rejected_counter().value();
   st.certified = certified_counter().value();
+  st.draining = draining();
   st.cache = cache_.stats();
+  {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    st.journal = journal_stats_;
+  }
   return st;
 }
 

@@ -111,6 +111,60 @@ TEST(BudgetEdge, PreRaisedStopTokenServesSinkBest) {
   }
 }
 
+TEST(BudgetEdge, RemainingSecTakesTheTighterOfWallAndDeadline) {
+  Budget budget;
+  budget.wall_sec = 60.0;
+  EXPECT_FALSE(budget.has_deadline());
+  EXPECT_DOUBLE_EQ(budget.remaining_sec(10.0), 50.0);
+
+  // A deadline 0.5 s out caps remaining below the generous wall budget.
+  budget.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+  EXPECT_TRUE(budget.has_deadline());
+  EXPECT_LE(budget.remaining_sec(), 0.5);
+  EXPECT_GT(budget.remaining_sec(), 0.0);
+  // The wall clamp still applies when it is the tighter of the two.
+  EXPECT_LE(budget.remaining_sec(59.9), 0.1 + 1e-9);
+}
+
+TEST(BudgetEdge, ExpiredDeadlineEmptySinkIsTimeout) {
+  // wall_sec alone would allow a full solve; the absolute deadline is
+  // already in the past, so every engine must bail out promptly.
+  const auto app = make_fig1_app();
+  const let::LetComms comms(*app);
+  for (const std::string& name : kEngines) {
+    SharedIncumbent sink;
+    Budget budget;
+    budget.wall_sec = 60.0;
+    budget.deadline =
+        std::chrono::steady_clock::now() - std::chrono::seconds(1);
+    const ScheduleOutcome out = solve_promptly(name, comms, budget, sink);
+    EXPECT_EQ(out.status, Status::kTimeout) << name;
+    EXPECT_FALSE(out.feasible()) << name;
+  }
+}
+
+TEST(BudgetEdge, ExpiredDeadlineServesPrePublishedIncumbent) {
+  const auto app = make_fig1_app();
+  const let::LetComms comms(*app);
+  const let::ScheduleResult seed =
+      let::GreedyScheduler::best_latency_ratio(comms);
+  const double seed_obj =
+      objective_of(comms, seed, Objective::kMinMaxLatencyRatio);
+  for (const std::string& name : kEngines) {
+    SharedIncumbent sink;
+    ASSERT_TRUE(sink.offer(seed, seed_obj, "pre"));
+    Budget budget;
+    budget.wall_sec = 60.0;
+    budget.deadline =
+        std::chrono::steady_clock::now() - std::chrono::seconds(1);
+    const ScheduleOutcome out = solve_promptly(name, comms, budget, sink);
+    ASSERT_TRUE(out.feasible()) << name;
+    EXPECT_EQ(out.status, Status::kFeasible) << name;
+    EXPECT_DOUBLE_EQ(out.objective, seed_obj) << name;
+  }
+}
+
 TEST(BudgetEdge, TinyPositiveBudgetStillWellDefined) {
   // 1 ms is enough for greedy on fig1 but not for the MILP; whatever each
   // engine manages, the outcome must be one of the four defined statuses

@@ -1,0 +1,258 @@
+// Crash-safe recovery end to end: a Service built on an existing journal
+// must replay it, re-certify every record before admission, drop anything
+// torn, tampered or stale — and then serve recovered entries as certified
+// cache hits, including to permuted (isomorphic) resubmissions. The chaos
+// test SIGKILLs a child daemon mid-load and asserts the survivor set.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../test_fixtures.hpp"
+#include "letdma/model/canonical.hpp"
+#include "letdma/model/io.hpp"
+#include "letdma/serve/journal.hpp"
+#include "letdma/serve/service.hpp"
+
+namespace letdma::serve {
+namespace {
+
+ServiceOptions fast_options() {
+  ServiceOptions options;
+  options.guard.chain = {"ls", "greedy", "giotto"};
+  return options;
+}
+
+std::string test_journal_path(const char* tag) {
+  return "/tmp/letdma-recovery-test-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".wal";
+}
+
+class JournalFile {
+ public:
+  explicit JournalFile(const char* tag) : path_(test_journal_path(tag)) {
+    std::remove(path_.c_str());
+  }
+  ~JournalFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Request request_for(const model::Application& app, std::string id) {
+  Request req;
+  req.id = std::move(id);
+  req.model_text = model::write_application(app);
+  req.budget_sec = 2.0;
+  req.want_schedule = true;
+  return req;
+}
+
+TEST(Recovery, RestartServesRecoveredEntriesAsCertifiedHits) {
+  JournalFile file("warm");
+  const auto fig1 = testing::make_fig1_app();
+  const auto pair = testing::make_pair_app();
+  {
+    ServiceOptions options = fast_options();
+    options.journal_path = file.path();
+    Service first(options);
+    ASSERT_TRUE(first.handle(request_for(*fig1, "a")).ok);
+    ASSERT_TRUE(first.handle(request_for(*pair, "b")).ok);
+    EXPECT_EQ(first.stats().journal.appended, 2);
+    // No clean shutdown: the journal alone carries the cache across.
+  }
+  ServiceOptions options = fast_options();
+  options.journal_path = file.path();
+  Service second(options);
+  const ServiceStats boot = second.stats();
+  EXPECT_EQ(boot.journal.recovered, 2);
+  EXPECT_EQ(boot.journal.dropped_uncertified, 0);
+  EXPECT_EQ(boot.cache.size, 2u);
+
+  // An isomorphic resubmission (tasks permuted) must hit the recovered
+  // cache and still be certified against the *requesting* instance.
+  const auto permuted =
+      model::permute_application(*fig1, {1, 0, 2, 3, 4, 5});
+  const Response res = second.handle(request_for(*permuted, "p"));
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.cache_hit);
+  EXPECT_TRUE(res.certified);
+}
+
+TEST(Recovery, TornTailIsDroppedAndCompactionHealsTheFile) {
+  JournalFile file("torn");
+  const auto fig1 = testing::make_fig1_app();
+  {
+    ServiceOptions options = fast_options();
+    options.journal_path = file.path();
+    Service first(options);
+    ASSERT_TRUE(first.handle(request_for(*fig1, "a")).ok);
+  }
+  // Crash mid-append: half a record of garbage framing at the tail.
+  {
+    std::FILE* f = std::fopen(file.path().c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char torn[] = "LDJ1\x40\x00\x00\x00partial";
+    std::fwrite(torn, 1, sizeof(torn) - 1, f);
+    std::fclose(f);
+  }
+  ServiceOptions options = fast_options();
+  options.journal_path = file.path();
+  Service second(options);
+  const ServiceStats boot = second.stats();
+  EXPECT_EQ(boot.journal.recovered, 1);
+  EXPECT_GT(boot.journal.torn_bytes, 0);
+
+  // Recovery compacts the survivors back to disk, so a third boot sees a
+  // clean journal with no torn tail left.
+  Service third(options);
+  EXPECT_EQ(third.stats().journal.recovered, 1);
+  EXPECT_EQ(third.stats().journal.torn_bytes, 0);
+}
+
+TEST(Recovery, TamperedScheduleIsDroppedNotServed) {
+  JournalFile file("tamper");
+  const auto fig1 = testing::make_fig1_app();
+  const model::Canonicalization canon = model::canonicalize(*fig1);
+  JournalRecord rec;
+  rec.canonical_text = model::write_application(*canon.app);
+  rec.schedule_text = "not a schedule at all\n";  // parses nothing
+  rec.strategy = "milp";
+  rec.objective = engine::Objective::kMinMaxLatencyRatio;
+  rec.status = engine::Status::kFeasible;
+  {
+    Journal journal(file.path());
+    journal.append(rec);
+  }
+  ServiceOptions options = fast_options();
+  options.journal_path = file.path();
+  Service service(options);
+  const ServiceStats boot = service.stats();
+  EXPECT_EQ(boot.journal.recovered, 0);
+  EXPECT_EQ(boot.journal.dropped_uncertified, 1);
+  EXPECT_EQ(boot.cache.size, 0u);
+}
+
+TEST(Recovery, NonCanonicalRecordIsDroppedAsStale) {
+  JournalFile file("stale");
+  // A record whose model text is valid but NOT in canonical form (raw
+  // fig1 ordering): recovery re-canonicalizes, sees the drift, drops it —
+  // the permutation maps it was certified under no longer apply.
+  const auto fig1 = testing::make_fig1_app();
+  ASSERT_NE(model::write_application(*fig1),
+            model::canonicalize(*fig1).text);
+  JournalRecord rec;
+  rec.canonical_text = model::write_application(*fig1);
+  rec.schedule_text = "irrelevant";
+  rec.strategy = "ls";
+  {
+    Journal journal(file.path());
+    journal.append(rec);
+  }
+  ServiceOptions options = fast_options();
+  options.journal_path = file.path();
+  Service service(options);
+  const ServiceStats boot = service.stats();
+  EXPECT_EQ(boot.journal.recovered, 0);
+  EXPECT_EQ(boot.journal.dropped_stale + boot.journal.dropped_uncertified,
+            1);
+  EXPECT_EQ(boot.cache.size, 0u);
+}
+
+TEST(Recovery, CompactionTriggersAtTheConfiguredThreshold) {
+  JournalFile file("compact");
+  ServiceOptions options = fast_options();
+  options.journal_path = file.path();
+  options.journal_compact_every = 2;
+  Service service(options);
+  // Three distinct instances → three appends → at least one periodic
+  // compaction at the threshold of two.
+  ASSERT_TRUE(
+      service.handle(request_for(*testing::make_fig1_app(), "a")).ok);
+  ASSERT_TRUE(
+      service.handle(request_for(*testing::make_pair_app(), "b")).ok);
+  ASSERT_TRUE(
+      service
+          .handle(request_for(*testing::make_multireader_app(), "c"))
+          .ok);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.journal.appended, 3);
+  EXPECT_GE(stats.journal.compactions, 1);
+
+  // The compacted journal still carries every live entry.
+  Service reborn(options);
+  EXPECT_EQ(reborn.stats().journal.recovered, 3);
+}
+
+TEST(Recovery, SigkillMidLoadRecoversOnlyCertifiedEntries) {
+  JournalFile file("chaos");
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: journal-backed service under continuous load until killed.
+    // _exit on any failure path — a forked gtest child must never run
+    // the parent's test teardown.
+    ServiceOptions options = fast_options();
+    options.journal_path = file.path();
+    Service service(options);
+    const auto fig1 = testing::make_fig1_app();
+    const auto pair = testing::make_pair_app();
+    const auto multi = testing::make_multireader_app();
+    for (int i = 0;; ++i) {
+      const model::Application* apps[] = {fig1.get(), pair.get(),
+                                          multi.get()};
+      if (!service.handle(request_for(*apps[i % 3], "c")).ok) _exit(3);
+    }
+  }
+  // Parent: wait until at least one record hit the disk, then SIGKILL —
+  // no drain, no compaction, possibly a torn tail.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  bool journaled = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    struct stat st{};
+    if (::stat(file.path().c_str(), &st) == 0 && st.st_size > 0) {
+      journaled = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ::kill(child, SIGKILL);
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  ASSERT_TRUE(journaled) << "child never wrote a journal record";
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  ServiceOptions options = fast_options();
+  options.journal_path = file.path();
+  Service survivor(options);
+  const ServiceStats boot = survivor.stats();
+  // Everything decodable was re-certified; nothing uncertified was let in.
+  EXPECT_GE(boot.journal.recovered, 1);
+  EXPECT_EQ(boot.journal.dropped_uncertified, 0);
+  EXPECT_EQ(boot.cache.size,
+            static_cast<std::size_t>(boot.journal.recovered));
+
+  // And the recovered cache actually serves: a replayed request is a
+  // certified hit.
+  const Response res =
+      survivor.handle(request_for(*testing::make_fig1_app(), "replay"));
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.certified);
+  EXPECT_TRUE(res.cache_hit);
+}
+
+}  // namespace
+}  // namespace letdma::serve

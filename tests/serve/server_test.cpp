@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -193,6 +197,221 @@ TEST(Server, MalformedLineGetsAnErrorResponse) {
   const Response res = client.call(bad);
   EXPECT_FALSE(res.ok);
   EXPECT_FALSE(res.error.empty());
+  server.stop();
+}
+
+// --- robustness: timeouts, shedding, drain, reconnect -----------------
+
+/// Raw AF_UNIX connect for tests that must speak (or refuse to speak) the
+/// protocol below the Client abstraction. Returns the fd or -1.
+int raw_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Reads until EOF (the server closed) and returns everything received.
+std::string read_to_eof(int fd) {
+  std::string out;
+  char buf[512];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+TEST(Server, HealthAndStatsAnswerOverTheWire) {
+  Service service(fast_options());
+  ServerOptions options;
+  options.socket_path = test_socket("health");
+  Server server(service, options);
+  server.start();
+
+  Client client(options.socket_path);
+  bool draining = true;
+  EXPECT_TRUE(client.health(&draining));
+  EXPECT_FALSE(draining);
+
+  const auto app = testing::make_pair_app();
+  ASSERT_TRUE(client.call(request_for(*app, "one")).ok);
+  const ServerStatsReply stats = client.stats();
+  EXPECT_TRUE(stats.ok);
+  EXPECT_FALSE(stats.draining);
+  EXPECT_GE(stats.requests, 1);
+  EXPECT_GE(stats.certified, 1);
+  EXPECT_EQ(stats.journal_recovered, 0);  // no journal configured
+  server.stop();
+}
+
+TEST(Server, StalledClientTimesOutWithoutBlockingOthers) {
+  Service service(fast_options());
+  ServerOptions options;
+  options.socket_path = test_socket("stall");
+  options.read_timeout_sec = 0.3;
+  Server server(service, options);
+  server.start();
+
+  // The staller sends half a line and goes silent.
+  const int staller = raw_connect(options.socket_path);
+  ASSERT_GE(staller, 0);
+  const char partial[] = "{\"id\":\"never";
+  ASSERT_EQ(::write(staller, partial, sizeof(partial) - 1),
+            static_cast<ssize_t>(sizeof(partial) - 1));
+
+  // A well-behaved client on another connection is not blocked by it.
+  const auto app = testing::make_pair_app();
+  Client client(options.socket_path);
+  EXPECT_TRUE(client.call(request_for(*app, "fine")).ok);
+
+  // The staller is told why and disconnected, instead of pinning a
+  // connection thread forever.
+  const std::string farewell = read_to_eof(staller);
+  EXPECT_NE(farewell.find("read timeout"), std::string::npos) << farewell;
+  ::close(staller);
+  server.stop();
+}
+
+TEST(Server, ConnectionLimitShedsWithAnExplicitError) {
+  Service service(fast_options());
+  ServerOptions options;
+  options.socket_path = test_socket("shed");
+  options.max_connections = 1;
+  Server server(service, options);
+  server.start();
+
+  const auto app = testing::make_pair_app();
+  Client first(options.socket_path);
+  ASSERT_TRUE(first.call(request_for(*app, "ok")).ok);  // conn registered
+
+  const int second = raw_connect(options.socket_path);
+  ASSERT_GE(second, 0);
+  const std::string refusal = read_to_eof(second);
+  EXPECT_NE(refusal.find("overloaded"), std::string::npos) << refusal;
+  ::close(second);
+  server.stop();
+}
+
+TEST(Server, DrainShedsNewWorkThenStopsCleanly) {
+  Service service(fast_options());
+  ServerOptions options;
+  options.socket_path = test_socket("drain");
+  Server server(service, options);
+  server.start();
+
+  const auto app = testing::make_pair_app();
+  Client client(options.socket_path);
+  ASSERT_TRUE(client.call(request_for(*app, "before")).ok);
+
+  service.begin_drain();
+  const Response shed = client.call(request_for(*app, "after"));
+  EXPECT_FALSE(shed.ok);
+  EXPECT_NE(shed.error.find("draining"), std::string::npos) << shed.error;
+  bool draining = false;
+  EXPECT_TRUE(client.health(&draining));
+  EXPECT_TRUE(draining);
+
+  // Nothing in flight: the drain budget is not consumed and the shutdown
+  // is clean.
+  EXPECT_TRUE(server.drain(2.0));
+  EXPECT_FALSE(server.running());
+}
+
+TEST(Server, RetryingClientReconnectsAcrossAServerRestart) {
+  Service service(fast_options());
+  ServerOptions options;
+  options.socket_path = test_socket("restart");
+  const auto app = testing::make_pair_app();
+
+  ClientOptions retrying;
+  retrying.retry.enabled = true;
+  retrying.retry.max_attempts = 8;
+  retrying.retry.initial_backoff_sec = 0.02;
+
+  auto server = std::make_unique<Server>(service, options);
+  server->start();
+  Client client(options.socket_path, retrying);
+  ASSERT_TRUE(client.call(request_for(*app, "first")).ok);
+
+  // Restart the daemon out from under the connected client: the next
+  // call must reconnect under backoff and re-send transparently.
+  server->stop();
+  server = std::make_unique<Server>(service, options);
+  server->start();
+  const Response res = client.call(request_for(*app, "second"));
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.certified);
+  server->stop();
+}
+
+TEST(Server, FailFastConnectErrorNamesThePathAndHint) {
+  try {
+    Client client("/tmp/letdma-serve-test-definitely-absent.sock");
+    FAIL() << "connect to a missing socket should throw";
+  } catch (const support::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("definitely-absent"), std::string::npos) << what;
+    EXPECT_NE(what.find("no socket at this path"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(Server, StaleSocketIsUnlinkedButALiveDaemonIsRefused) {
+  ServerOptions options;
+  options.socket_path = test_socket("stale");
+
+  // A dead daemon's leftover: bound once, never unlinked, nobody
+  // accepting. start() must reclaim the path.
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    ::close(fd);
+  }
+  Service service(fast_options());
+  Server server(service, options);
+  server.start();  // unlinks the stale socket instead of failing
+  const auto app = testing::make_pair_app();
+  Client client(options.socket_path);
+  EXPECT_TRUE(client.call(request_for(*app, "reclaimed")).ok);
+
+  // But a *live* daemon on the path is never stolen.
+  Server usurper(service, options);
+  EXPECT_THROW(usurper.start(), support::Error);
+  EXPECT_TRUE(server.running());
+  server.stop();
+}
+
+TEST(Server, RequestDeadlineStillProducesAnAnswer) {
+  Service service(fast_options());
+  ServerOptions options;
+  options.socket_path = test_socket("deadline");
+  Server server(service, options);
+  server.start();
+
+  const auto app = testing::make_fig1_app();
+  Request req = request_for(*app, "dl");
+  req.budget_sec = 2.0;
+  req.deadline_sec = 0.001;  // effectively already spent on arrival
+  Client client(options.socket_path);
+  const Response res = client.call(req);
+  // A spent deadline degrades to the last-ditch giotto level — the
+  // caller still gets a certified schedule, never a hang.
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.certified);
   server.stop();
 }
 
