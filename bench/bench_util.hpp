@@ -1,11 +1,13 @@
 // Shared helpers for the paper-reproduction benchmark harnesses.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -16,6 +18,8 @@
 #include "letdma/let/latency.hpp"
 #include "letdma/let/milp_scheduler.hpp"
 #include "letdma/let/validate.hpp"
+#include "letdma/model/canonical.hpp"
+#include "letdma/model/generator.hpp"
 #include "letdma/obs/histogram.hpp"
 #include "letdma/obs/json.hpp"
 #include "letdma/obs/obs.hpp"
@@ -53,6 +57,74 @@ inline std::unique_ptr<model::Application> waters_with_alpha(double alpha) {
   if (!sens.feasible) return nullptr;
   analysis::apply_acquisition_deadlines(*app, sens.gamma);
   return app;
+}
+
+// --- corpus generation (shared by serve_replay and incremental_repair) ----
+
+inline std::vector<int> random_permutation(int n, std::mt19937_64& rng) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  std::shuffle(perm.begin(), perm.end(), rng);
+  return perm;
+}
+
+/// Small harmonic instances: tight T* keeps per-request certification in
+/// the microsecond range, which is what a 10k req/s cache-hit path needs.
+inline std::unique_ptr<model::Application> make_replay_base(
+    std::uint64_t seed) {
+  model::GeneratorOptions opt;
+  opt.num_cores = 3;
+  opt.num_tasks = 8;
+  opt.num_labels = 10;
+  opt.total_utilization = 0.3;
+  opt.period_choices = {support::ms(10), support::ms(20), support::ms(40)};
+  opt.seed = seed;
+  return model::generate_application(opt);
+}
+
+/// A random isomorphic duplicate of `base` — tasks, labels and cores
+/// renumbered (model::permute_application renames to match). The
+/// production traffic shape the solve cache collapses onto one key.
+inline std::unique_ptr<model::Application> permuted_duplicate(
+    const model::Application& base, std::mt19937_64& rng) {
+  return model::permute_application(
+      base, random_permutation(base.num_tasks(), rng),
+      random_permutation(base.num_labels(), rng),
+      random_permutation(base.platform().num_cores(), rng));
+}
+
+/// A copy of `base` with `k` labels' sizes perturbed (each by a factor in
+/// [0.5, 2], never a no-op) — a seeded small-diff stream for the
+/// incremental-repair path. Tasks and the label topology are unchanged, so
+/// model::diff reports exactly `k` changed labels.
+inline std::unique_ptr<model::Application> perturb_labels(
+    const model::Application& base, int k, std::mt19937_64& rng) {
+  auto out = std::make_unique<model::Application>(base.platform());
+  for (int t = 0; t < base.num_tasks(); ++t) {
+    const model::Task& task = base.task(model::TaskId{t});
+    const model::TaskId id =
+        out->add_task(task.name, task.period, task.wcet, task.core,
+                      task.priority);
+    if (task.acquisition_deadline.has_value()) {
+      out->set_acquisition_deadline(id, *task.acquisition_deadline);
+    }
+  }
+  std::vector<int> which = random_permutation(base.num_labels(), rng);
+  which.resize(static_cast<std::size_t>(
+      std::min(k, base.num_labels())));
+  std::sort(which.begin(), which.end());
+  std::uniform_int_distribution<int> quarters(2, 8);  // x0.5 .. x2
+  for (int l = 0; l < base.num_labels(); ++l) {
+    const model::Label& label = base.label(model::LabelId{l});
+    std::int64_t bytes = label.size_bytes;
+    if (std::binary_search(which.begin(), which.end(), l)) {
+      bytes = std::max<std::int64_t>(1, bytes * quarters(rng) / 4);
+      if (bytes == label.size_bytes) ++bytes;
+    }
+    out->add_label(label.name, bytes, label.writer, label.readers);
+  }
+  out->finalize();
+  return out;
 }
 
 inline const char* objective_name(let::MilpObjective obj) {

@@ -1,0 +1,271 @@
+// incremental_repair — repair-vs-cold re-solve latency on a WATERS diff
+// stream (the incremental re-scheduling acceptance bench).
+//
+// One cold solve of the WATERS case study seeds the "previous" schedule;
+// the bench then replays seeded k-label perturbations (k in {1,2,3,5,8},
+// bench::perturb_labels) and, per diff, times a cold re-solve through the
+// supervised chain against the IncrementalScheduler warm-started from the
+// previous schedule + model::diff. Every served repair is independently
+// re-certified here (engine::certify_outcome) and printed with its
+// certificate, so the CI chaos job can grep "certificate: CERTIFIED" /
+// "ALL CERTIFIED"; LETDMA_FAULTS in the environment arms the guard fault
+// injector first.
+//
+//   incremental_repair [--reps n] [--budget-ms ms] [--seed s]
+//                      [--check <baseline.json>]
+//
+// Gates (process exit 1 on violation):
+//   * every response certified;
+//   * on small diffs (k <= 5) the repaired objective is <= the cold
+//     re-solve's (bit-identical quality or better);
+//   * p99 repair latency under one WATERS hyperperiod;
+//   * with --check, repairs_per_sec >= 0.8x the committed baseline
+//     (bench/baselines/incremental_baseline.json — which also records the
+//     latency-vs-change-magnitude curve).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "letdma/engine/incremental.hpp"
+#include "letdma/guard/faults.hpp"
+#include "letdma/model/diff.hpp"
+
+using namespace letdma;
+
+namespace {
+
+struct Args {
+  int reps = 8;
+  double budget_ms = 400.0;
+  std::uint64_t seed = 42;
+  std::string baseline_path;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: incremental_repair [--reps n] [--budget-ms ms]"
+               " [--seed s] [--check <baseline.json>]\n");
+  return 2;
+}
+
+double pct(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t at = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(at, v.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto value = [&](std::string* dst) {
+      if (a + 1 >= argc) return false;
+      *dst = argv[++a];
+      return true;
+    };
+    std::string v;
+    if (arg == "--reps") {
+      if (!value(&v)) return usage();
+      args.reps = std::atoi(v.c_str());
+    } else if (arg == "--budget-ms") {
+      if (!value(&v)) return usage();
+      args.budget_ms = std::atof(v.c_str());
+    } else if (arg == "--seed") {
+      if (!value(&v)) return usage();
+      args.seed = static_cast<std::uint64_t>(std::atoll(v.c_str()));
+    } else if (arg == "--check") {
+      if (!value(&args.baseline_path)) return usage();
+    } else {
+      return usage();
+    }
+  }
+  if (args.reps <= 0 || args.budget_ms <= 0) return usage();
+  try {
+    if (guard::arm_from_env()) {
+      std::fprintf(
+          stderr, "incremental_repair: fault injector armed from"
+                  " LETDMA_FAULTS\n");
+    }
+  } catch (const support::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  const double budget_sec = args.budget_ms / 1000.0;
+  const engine::Objective objective = engine::Objective::kMinMaxLatencyRatio;
+  engine::GuardOptions guard_options;
+  guard_options.objective = objective;
+  // The serving chain's cheap end: the bench measures re-scheduling, not
+  // MILP solve times (table1_milp owns those).
+  guard_options.chain = {"ls", "greedy", "giotto"};
+
+  // --- previous state: one cold solve of the unperturbed case study ---------
+  const auto base = waters::make_waters_app();
+  const let::LetComms base_comms(*base);
+  const auto [base_outcome, base_record] =
+      engine::solve_supervised(base_comms, guard_options, budget_sec);
+  if (!base_outcome.feasible()) {
+    std::fprintf(stderr, "FAIL: base WATERS solve infeasible\n");
+    return 1;
+  }
+  const let::ScheduleResult prev = *base_outcome.schedule;
+  const double hyperperiod_ms =
+      static_cast<double>(base->hyperperiod()) / 1e6;
+  std::printf("incremental_repair: WATERS base solved (%s, obj %.4f), "
+              "hyperperiod %.1f ms, %d reps per k, %.0f ms budget\n",
+              base_outcome.strategy.c_str(), base_outcome.objective,
+              hyperperiod_ms, args.reps, args.budget_ms);
+
+  engine::IncrementalOptions inc_options;
+  inc_options.objective = objective;
+  inc_options.guard = guard_options;
+  engine::IncrementalScheduler incremental(inc_options);
+
+  const std::vector<int> ks = {1, 2, 3, 5, 8};
+  std::mt19937_64 rng(args.seed);
+  std::vector<double> all_repair_ms;
+  double repair_wall_total_sec = 0.0;
+  int repairs = 0, quality_violations = 0;
+  bool all_certified = true;
+  struct Row {
+    int k = 0;
+    double magnitude = 0.0;
+    double repair_p50 = 0.0, repair_p99 = 0.0, cold_p50 = 0.0;
+    int served_by_repair = 0;
+  };
+  std::vector<Row> rows;
+
+  for (const int k : ks) {
+    std::vector<double> repair_ms, cold_ms;
+    double magnitude_sum = 0.0;
+    int served_by_repair = 0;
+    for (int rep = 0; rep < args.reps; ++rep) {
+      const auto after = bench::perturb_labels(*base, k, rng);
+      const model::ApplicationDiff d = model::diff(*base, *after);
+      magnitude_sum += model::magnitude(d);
+      const let::LetComms comms(*after);
+
+      const auto cold_t0 = std::chrono::steady_clock::now();
+      const auto [cold, cold_record] =
+          engine::solve_supervised(comms, guard_options, budget_sec);
+      cold_ms.push_back(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - cold_t0)
+                            .count() *
+                        1e3);
+      if (!cold.feasible()) {
+        std::fprintf(stderr, "FAIL: cold re-solve infeasible (k=%d rep=%d)\n",
+                     k, rep);
+        return 1;
+      }
+
+      engine::SharedIncumbent sink;
+      engine::WarmStart warm;
+      warm.schedule = &prev;
+      warm.diff = &d;
+      const auto warm_t0 = std::chrono::steady_clock::now();
+      const engine::ScheduleOutcome repaired =
+          incremental.solve(comms, engine::Budget{budget_sec}, sink, warm);
+      const double warm_ms =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        warm_t0)
+              .count() *
+          1e3;
+      repair_ms.push_back(warm_ms);
+      all_repair_ms.push_back(warm_ms);
+      repair_wall_total_sec += warm_ms / 1e3;
+      ++repairs;
+      if (incremental.last_record().repair_served) ++served_by_repair;
+
+      // Independent re-certification: the engine already gated the result,
+      // but the bench is the acceptance harness, so it checks again.
+      const guard::Certificate cert =
+          engine::certify_outcome(comms, repaired, objective);
+      const bool ok = repaired.feasible() && cert.certified();
+      all_certified = all_certified && ok;
+      std::printf("repair k=%d rep=%d: %7.2f ms (cold %7.2f ms), obj %.4f"
+                  " vs cold %.4f, strategy %s, certificate: %s\n",
+                  k, rep, warm_ms, cold_ms.back(), repaired.objective,
+                  cold.objective, repaired.strategy.c_str(),
+                  ok ? "CERTIFIED" : "REJECTED");
+      if (!ok) continue;
+      if (k <= 5 && repaired.objective > cold.objective + 1e-9) {
+        ++quality_violations;
+        std::fprintf(stderr,
+                     "FAIL: k=%d rep=%d repaired obj %.6f worse than cold"
+                     " %.6f\n",
+                     k, rep, repaired.objective, cold.objective);
+      }
+    }
+    Row row;
+    row.k = k;
+    row.magnitude = magnitude_sum / args.reps;
+    row.repair_p50 = pct(repair_ms, 0.5);
+    row.repair_p99 = pct(repair_ms, 0.99);
+    row.cold_p50 = pct(cold_ms, 0.5);
+    row.served_by_repair = served_by_repair;
+    rows.push_back(row);
+  }
+
+  std::printf("\n  k  magnitude  repair p50   repair p99     cold p50  "
+              "speedup  via-repair\n");
+  for (const Row& r : rows) {
+    std::printf("%3d   %8.2f  %8.2f ms  %8.2f ms  %8.2f ms   %5.1fx  "
+                "%5d/%d\n",
+                r.k, r.magnitude, r.repair_p50, r.repair_p99, r.cold_p50,
+                r.repair_p50 > 0 ? r.cold_p50 / r.repair_p50 : 0.0,
+                r.served_by_repair, args.reps);
+    bench::append_metrics(
+        "incremental_repair", "k=" + std::to_string(r.k),
+        {{"k", static_cast<std::int64_t>(r.k)},
+         {"magnitude", r.magnitude},
+         {"repair_p50_ms", r.repair_p50},
+         {"repair_p99_ms", r.repair_p99},
+         {"cold_p50_ms", r.cold_p50},
+         {"served_by_repair", static_cast<std::int64_t>(r.served_by_repair)},
+         {"reps", static_cast<std::int64_t>(args.reps)}});
+  }
+  const double p99_ms = pct(all_repair_ms, 0.99);
+  const double repairs_per_sec =
+      repair_wall_total_sec > 0
+          ? static_cast<double>(repairs) / repair_wall_total_sec
+          : 0.0;
+  int served_total = 0;
+  for (const Row& r : rows) served_total += r.served_by_repair;
+  std::printf("\n%d repairs, %d served by the repair path; p99 %.2f ms vs "
+              "hyperperiod %.1f ms; %.1f repairs/s\n",
+              repairs, served_total, p99_ms, hyperperiod_ms, repairs_per_sec);
+  bench::append_metrics(
+      "incremental_repair", "summary",
+      {{"repairs", static_cast<std::int64_t>(repairs)},
+       {"p99_ms", p99_ms},
+       {"hyperperiod_ms", hyperperiod_ms},
+       {"repairs_per_sec", repairs_per_sec},
+       {"quality_violations", static_cast<std::int64_t>(quality_violations)}});
+  bench::append_histogram_metrics("incremental_repair");
+
+  if (!all_certified) {
+    std::fprintf(stderr, "FAIL: uncertified response served\n");
+    return 1;
+  }
+  std::printf("ALL CERTIFIED\n");
+  if (quality_violations > 0) return 1;
+  if (p99_ms >= hyperperiod_ms) {
+    std::fprintf(stderr, "FAIL: p99 repair %.2f ms >= hyperperiod %.1f ms\n",
+                 p99_ms, hyperperiod_ms);
+    return 1;
+  }
+  if (!args.baseline_path.empty()) {
+    return bench::check_baseline(args.baseline_path, "repairs_per_sec",
+                                 "incremental repair throughput",
+                                 repairs_per_sec);
+  }
+  return 0;
+}

@@ -91,26 +91,6 @@ int usage() {
   return 2;
 }
 
-std::vector<int> random_permutation(int n, std::mt19937_64& rng) {
-  std::vector<int> perm(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
-  std::shuffle(perm.begin(), perm.end(), rng);
-  return perm;
-}
-
-/// Small harmonic instances: tight T* keeps per-request certification in
-/// the microsecond range, which is what a 10k req/s cache-hit path needs.
-std::unique_ptr<model::Application> make_base(std::uint64_t seed) {
-  model::GeneratorOptions opt;
-  opt.num_cores = 3;
-  opt.num_tasks = 8;
-  opt.num_labels = 10;
-  opt.total_utilization = 0.3;
-  opt.period_choices = {support::ms(10), support::ms(20), support::ms(40)};
-  opt.seed = seed;
-  return model::generate_application(opt);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -186,7 +166,8 @@ int main(int argc, char** argv) {
   std::vector<std::unique_ptr<model::Application>> bases;
   bases.reserve(static_cast<std::size_t>(args.bases));
   for (int b = 0; b < args.bases; ++b) {
-    bases.push_back(make_base(args.seed + static_cast<std::uint64_t>(b)));
+    bases.push_back(
+        bench::make_replay_base(args.seed + static_cast<std::uint64_t>(b)));
   }
   std::vector<serve::Request> warmup;
   for (int b = 0; b < args.bases; ++b) {
@@ -204,10 +185,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < args.requests; ++i) {
     const model::Application& base =
         *bases[static_cast<std::size_t>(i % args.bases)];
-    const auto dup = model::permute_application(
-        base, random_permutation(base.num_tasks(), rng),
-        random_permutation(base.num_labels(), rng),
-        random_permutation(base.platform().num_cores(), rng));
+    const auto dup = bench::permuted_duplicate(base, rng);
     serve::Request req;
     req.id = "r" + std::to_string(i);
     req.tenant = "t" + std::to_string(i % args.tenants);

@@ -39,6 +39,14 @@
 //                     isomorphic models — renamed tasks/labels, reordered
 //                     directives, renumbered cores — print the same hash.
 //                     With -v the canonical form itself goes to stderr
+//   --diff <file>     incremental re-scheduling: solve <app-file> through
+//                     the supervised chain, read the changed model from
+//                     <file>, print the model diff (summary, magnitude,
+//                     structural distance) and repair the previous
+//                     schedule onto it with the incremental engine instead
+//                     of re-solving cold; the repaired result is certified
+//                     and the certificate printed. --save writes the
+//                     repaired schedule
 //   --deterministic   reproducible parallel MILP search (epoch-synchronized
 //                     node batches; the result is thread-count independent)
 //   -v                verbose: mirror events to stderr
@@ -56,6 +64,7 @@
 
 #include "letdma/engine/adapters.hpp"
 #include "letdma/engine/engine.hpp"
+#include "letdma/engine/incremental.hpp"
 #include "letdma/guard/certify.hpp"
 #include "letdma/guard/faults.hpp"
 #include "letdma/let/footprint.hpp"
@@ -63,6 +72,7 @@
 #include "letdma/let/schedule_io.hpp"
 #include "letdma/let/validate.hpp"
 #include "letdma/model/canonical.hpp"
+#include "letdma/model/diff.hpp"
 #include "letdma/model/io.hpp"
 #include "letdma/obs/obs.hpp"
 #include "letdma/obs/sinks.hpp"
@@ -100,7 +110,7 @@ int usage() {
       "[--faults <spec>]\n"
       "       [--save <file>] [--trace <file>] [--metrics <file>]\n"
       "       [--flight <file>] [--threads <n>] [--deterministic]\n"
-      "       [--fingerprint] [-v]\n");
+      "       [--fingerprint] [--diff <after-app-file>] [-v]\n");
   return 2;
 }
 
@@ -108,7 +118,7 @@ int usage() {
 
 int main(int argc, char** argv) {
   std::vector<std::string> pos;
-  std::string trace_path, metrics_path, save_path, flight_path;
+  std::string trace_path, metrics_path, save_path, flight_path, diff_path;
   std::string engine_flag, budget_ms_flag, faults_flag, threads_flag;
   bool verbose = false;
   bool certify_flag = false;
@@ -141,6 +151,8 @@ int main(int argc, char** argv) {
       deterministic_flag = true;
     } else if (arg == "--fingerprint") {
       fingerprint_flag = true;
+    } else if (arg == "--diff") {
+      if (!value(&diff_path)) return usage();
     } else if (arg == "--faults") {
       if (!value(&faults_flag)) return usage();
     } else if (arg == "-v") {
@@ -235,6 +247,102 @@ int main(int argc, char** argv) {
   if (comms.comms_at_s0().empty()) {
     std::printf("no inter-core LET communications; nothing to schedule\n");
     return 0;
+  }
+
+  // --diff: incremental re-scheduling. Solve the base model through the
+  // supervised chain, then repair its schedule onto the changed model
+  // instead of re-solving cold.
+  if (!diff_path.empty()) {
+    engine::Objective eng_obj;
+    if (objective == "none") eng_obj = engine::Objective::kFeasibility;
+    else if (objective == "dmat") eng_obj = engine::Objective::kMinTransfers;
+    else if (objective == "del") eng_obj = engine::Objective::kMinMaxLatencyRatio;
+    else return usage();
+
+    std::ifstream in(diff_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", diff_path.c_str());
+      return 2;
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    std::unique_ptr<model::Application> after;
+    try {
+      after = model::read_application(os.str());
+    } catch (const support::Error& e) {
+      std::fprintf(stderr, "parse error in %s: %s\n", diff_path.c_str(),
+                   e.what());
+      return 2;
+    }
+
+    const model::ApplicationDiff d = model::diff(*app, *after);
+    std::printf("diff: %s (magnitude %.2f, structural distance %.4f)\n",
+                d.summary().c_str(), model::magnitude(d),
+                model::structural_distance(*app, *after));
+
+    engine::EngineTuning tuning;
+    if (!threads_flag.empty()) {
+      tuning.milp_threads = std::atoi(threads_flag.c_str());
+    }
+    tuning.milp_deterministic = deterministic_flag;
+    engine::GuardOptions gopt;
+    gopt.objective = eng_obj;
+    gopt.tuning = tuning;
+    const auto [base_out, base_record] =
+        engine::solve_supervised(comms, gopt, timeout);
+    if (!base_out.feasible()) {
+      std::printf("base solve: no schedule (%s)\n",
+                  engine::status_name(base_out.status));
+      return 1;
+    }
+    std::printf("base solve: %s via %s, %s = %.4g, %.2fs\n",
+                engine::status_name(base_out.status),
+                base_out.strategy.c_str(), engine::objective_name(eng_obj),
+                base_out.objective, base_out.wall_sec);
+
+    let::LetComms after_comms(*after);
+    if (after_comms.comms_at_s0().empty()) {
+      std::printf("changed model has no inter-core LET communications; "
+                  "nothing to schedule\n");
+      return 0;
+    }
+    engine::IncrementalOptions iopt;
+    iopt.objective = eng_obj;
+    iopt.guard = gopt;
+    engine::IncrementalScheduler incremental(iopt);
+    engine::SharedIncumbent sink;
+    engine::WarmStart warm;
+    warm.schedule = &*base_out.schedule;
+    warm.diff = &d;
+    engine::Budget budget;
+    budget.wall_sec = timeout;
+    const engine::ScheduleOutcome out =
+        incremental.solve(after_comms, budget, sink, warm);
+    if (!out.feasible()) {
+      std::printf("repair: no schedule (%s)\n",
+                  engine::status_name(out.status));
+      return 1;
+    }
+    const engine::IncrementalRecord& rec = incremental.last_record();
+    std::printf("repair: %s via %s (%s), %s = %.4g, %.3fs, "
+                "%d improvement(s)\n",
+                engine::status_name(out.status), out.strategy.c_str(),
+                rec.repair_served ? "repair path" : "supervised fallback",
+                engine::objective_name(eng_obj), out.objective, out.wall_sec,
+                rec.repair_improvements);
+    const guard::Certificate cert =
+        engine::certify_outcome(after_comms, out, eng_obj);
+    std::printf("certificate: %s\n", cert.summary().c_str());
+    if (!save_path.empty()) {
+      std::ofstream outf(save_path);
+      if (!outf) {
+        std::fprintf(stderr, "cannot write %s\n", save_path.c_str());
+        return 2;
+      }
+      outf << let::write_schedule(*after, *out.schedule);
+      std::printf("repaired schedule saved to %s\n", save_path.c_str());
+    }
+    return cert.certified() ? 0 : 1;
   }
 
   std::unique_ptr<let::ScheduleResult> result;

@@ -2,14 +2,21 @@
 //
 //   * GreedyEngine      — the constructive heuristics; near-instant, always
 //                         publishes the best valid strategy result.
-//   * LocalSearchEngine — greedy seed + hill climbing; anytime, honours the
-//                         stop token between candidate evaluations.
-//   * MilpEngine        — the branch-and-bound MILP; warm-starts from the
-//                         sink's incumbent when one is published in time
-//                         (replacing the hard-coded greedy_warm_start
-//                         plumbing under the engine), publishes every
-//                         solver incumbent, and honours the stop token in
-//                         the node loop.
+//   * LocalSearchEngine — hill climbing from a greedy seed, or from a
+//                         translated WarmStart hint when one is supplied
+//                         (schedule repair); anytime, honours the stop
+//                         token between candidate evaluations.
+//   * MilpEngine        — the branch-and-bound MILP; takes a supplied
+//                         WarmStart as its incumbent bound immediately,
+//                         else warm-starts from the sink's incumbent when
+//                         one is published in time, publishes every solver
+//                         incumbent, and honours the stop token in the
+//                         node loop.
+//
+// All adapters resolve a WarmStart hint first (resolve_warm_start seeds
+// the sink with the translated previous schedule as strategy "warm"), so
+// even a zero-budget solve with a warm start returns the previous
+// schedule via expired_outcome.
 //
 // All adapters validate what they publish: a schedule reaches the sink or
 // the outcome only when validate_schedule passes.
@@ -32,8 +39,9 @@ class GreedyEngine : public Scheduler {
   explicit GreedyEngine(GreedyEngineOptions options = {})
       : options_(options) {}
   const char* name() const override { return "greedy"; }
+  using Scheduler::solve;
   ScheduleOutcome solve(const let::LetComms& comms, const Budget& budget,
-                        IncumbentSink& sink) override;
+                        IncumbentSink& sink, const WarmStart& warm) override;
 
  private:
   GreedyEngineOptions options_;
@@ -51,8 +59,9 @@ class LocalSearchEngine : public Scheduler {
   explicit LocalSearchEngine(LocalSearchEngineOptions options = {})
       : options_(options) {}
   const char* name() const override { return "ls"; }
+  using Scheduler::solve;
   ScheduleOutcome solve(const let::LetComms& comms, const Budget& budget,
-                        IncumbentSink& sink) override;
+                        IncumbentSink& sink, const WarmStart& warm) override;
 
  private:
   LocalSearchEngineOptions options_;
@@ -63,10 +72,10 @@ struct MilpEngineOptions {
   /// Solver knobs; objective, time limit, stop token, warm start and
   /// incumbent callback are overridden from the engine inputs.
   let::MilpSchedulerOptions milp;
-  /// Wait up to this long (capped at 10% of the budget) for a cheap
-  /// strategy to publish an incumbent into the sink before solving, and
-  /// warm-start from it. With no incumbent the internal greedy warm start
-  /// is used instead.
+  /// With no WarmStart hint: wait up to this long (capped at 10% of the
+  /// budget) for a cheap strategy to publish an incumbent into the sink
+  /// before solving, and warm-start from it. A supplied WarmStart skips
+  /// the wait. With neither, the internal greedy warm start is used.
   double warm_start_grace_sec = 0.25;
 };
 
@@ -74,8 +83,9 @@ class MilpEngine : public Scheduler {
  public:
   explicit MilpEngine(MilpEngineOptions options = {}) : options_(options) {}
   const char* name() const override { return "milp"; }
+  using Scheduler::solve;
   ScheduleOutcome solve(const let::LetComms& comms, const Budget& budget,
-                        IncumbentSink& sink) override;
+                        IncumbentSink& sink, const WarmStart& warm) override;
 
  private:
   MilpEngineOptions options_;

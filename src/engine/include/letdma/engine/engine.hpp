@@ -34,6 +34,7 @@
 #include <string>
 
 #include "letdma/let/greedy.hpp"
+#include "letdma/model/diff.hpp"
 
 namespace letdma::engine {
 
@@ -163,6 +164,47 @@ struct ScheduleOutcome {
   bool feasible() const { return schedule.has_value(); }
 };
 
+/// An optional prior state handed to a solve: the schedule of a previous
+/// (or structurally close) instance plus the model diff mapping that
+/// instance onto the one being solved. `diff == nullptr` with a schedule
+/// means "same instance" (identity diff). Both pointers are borrowed and
+/// must outlive the solve call.
+///
+/// Every adapter accepts the hint with uniform semantics: the hint is
+/// translated onto the target instance, validated, and — when it holds —
+/// published into the sink as strategy "warm" before anything else runs.
+/// Greedy then ignores it, the local search repairs from it instead of a
+/// greedy cold start, and the MILP takes it as its incumbent bound
+/// immediately (no grace wait for a cheap strategy). Because the warm
+/// incumbent lands in the sink first, a zero-budget solve returns the
+/// previous schedule through expired_outcome instead of nothing.
+struct WarmStart {
+  const let::ScheduleResult* schedule = nullptr;
+  const model::ApplicationDiff* diff = nullptr;
+
+  bool has_schedule() const { return schedule != nullptr; }
+};
+
+/// A warm-start hint translated onto a concrete instance.
+struct ResolvedWarmStart {
+  /// Present when translation+legalization succeeded structurally.
+  std::optional<let::ScheduleResult> seed;
+  /// True when `seed` additionally passes validate_schedule (deadlines
+  /// included) — only then is it offered to the sink / usable as served
+  /// output without a repair pass.
+  bool valid = false;
+  double objective = 0.0;  // engine objective of `seed` when valid
+};
+
+/// Translates `warm` onto `comms` (via let::warm_start) and, when the
+/// translated schedule fully validates, offers it into `sink` under the
+/// strategy name "warm". Returns the resolution either way; a hint without
+/// a schedule resolves to an empty ResolvedWarmStart. Never throws on a
+/// bad hint — translation failures simply leave `seed` empty.
+ResolvedWarmStart resolve_warm_start(const let::LetComms& comms,
+                                     const WarmStart& warm,
+                                     Objective objective, IncumbentSink* sink);
+
 /// A strategy behind the uniform interface. Implementations keep no
 /// per-solve state in the object, so one Scheduler instance may run
 /// concurrent solve() calls (BatchRunner relies on this).
@@ -170,9 +212,15 @@ class Scheduler {
  public:
   virtual ~Scheduler() = default;
   virtual const char* name() const = 0;
+  /// Solves with an optional warm-start hint (WarmStart{} = cold solve).
   virtual ScheduleOutcome solve(const let::LetComms& comms,
-                                const Budget& budget,
-                                IncumbentSink& sink) = 0;
+                                const Budget& budget, IncumbentSink& sink,
+                                const WarmStart& warm) = 0;
+  /// Cold-solve convenience; forwards to the four-argument overload.
+  ScheduleOutcome solve(const let::LetComms& comms, const Budget& budget,
+                        IncumbentSink& sink) {
+    return solve(comms, budget, sink, WarmStart{});
+  }
 };
 
 /// Well-defined outcome for a budget that is already exhausted on entry
@@ -197,8 +245,8 @@ struct EngineTuning {
 };
 
 /// Factory for the engine names exposed by tools and benches:
-/// "greedy" | "ls" | "milp" | "portfolio" | "giotto" | "supervised".
-/// Throws PreconditionError on an unknown name.
+/// "greedy" | "ls" | "milp" | "portfolio" | "giotto" | "supervised" |
+/// "incremental". Throws PreconditionError on an unknown name.
 std::unique_ptr<Scheduler> make_scheduler(
     const std::string& name,
     Objective objective = Objective::kMinMaxLatencyRatio,

@@ -1,0 +1,69 @@
+// IncrementalScheduler — repair-first re-scheduling with a supervised
+// safety net.
+//
+// The incremental engine is what a dynamic system calls when an instance
+// *changed* rather than appeared: it takes the previous schedule plus the
+// model::ApplicationDiff as a WarmStart hint, translates the schedule onto
+// the new instance (let::warm_start), runs the local-search repair from
+// that seed (let::repair), and serves the repaired schedule — but only
+// after guard::certify accepts it, exactly the gate fresh solves pass.
+// When the repair fails (untranslatable seed, certification reject, or no
+// warm start supplied at all) it falls through to the full
+// SupervisedScheduler degradation chain under the remaining budget, still
+// carrying the warm hint so even the fallback levels start from the
+// previous schedule instead of cold.
+//
+// The acceptance target (ROADMAP): a certified re-schedule in well under
+// one hyperperiod on WATERS-scale diffs of a few labels — the repair path
+// skips the greedy candidate sweep and the MILP entirely, so its cost is
+// one warm-start translation plus a short hill climb.
+#pragma once
+
+#include "letdma/engine/supervised.hpp"
+#include "letdma/let/local_search.hpp"
+
+namespace letdma::engine {
+
+struct IncrementalOptions {
+  Objective objective = Objective::kMinMaxLatencyRatio;
+  /// Caps for the repair search (goal/stop/time limit are overridden from
+  /// the engine inputs per solve).
+  let::LocalSearchOptions search;
+  /// Fraction of the remaining budget the repair attempt may consume
+  /// before the supervised chain takes over on failure.
+  double repair_budget_frac = 0.5;
+  /// The fall-through chain (objective/tuning are kept in sync by the
+  /// factory; certify should stay on).
+  GuardOptions guard;
+};
+
+/// What the last solve on this scheduler did (repair vs fallback), exposed
+/// for tools/benches; guarded per-solve, not thread-safe across concurrent
+/// solves on one instance.
+struct IncrementalRecord {
+  bool warm_supplied = false;
+  bool repair_attempted = false;
+  bool repair_served = false;   // the repaired schedule was certified+served
+  bool fell_through = false;    // the supervised chain produced the result
+  int repair_improvements = 0;
+  int repair_evaluations = 0;
+};
+
+class IncrementalScheduler : public Scheduler {
+ public:
+  explicit IncrementalScheduler(IncrementalOptions options = {});
+  const char* name() const override { return "incremental"; }
+  using Scheduler::solve;
+  ScheduleOutcome solve(const let::LetComms& comms, const Budget& budget,
+                        IncumbentSink& sink, const WarmStart& warm) override;
+
+  /// Record of the most recent solve (for single-threaded callers).
+  const IncrementalRecord& last_record() const { return record_; }
+
+ private:
+  IncrementalOptions options_;
+  SupervisedScheduler supervised_;
+  IncrementalRecord record_;
+};
+
+}  // namespace letdma::engine

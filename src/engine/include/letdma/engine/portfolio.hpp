@@ -45,11 +45,14 @@ class PortfolioScheduler : public Scheduler {
                      PortfolioOptions options = {});
 
   const char* name() const override { return "portfolio"; }
+  using Scheduler::solve;
   /// Returns the best published incumbent; kOptimal when some worker
   /// proved it, kInfeasible when some worker proved that, kTimeout when
-  /// nothing was found. The caller's sink receives the winner too.
+  /// nothing was found. The caller's sink receives the winner too. A
+  /// warm-start hint is resolved once into the shared incumbent and
+  /// handed to every worker.
   ScheduleOutcome solve(const let::LetComms& comms, const Budget& budget,
-                        IncumbentSink& sink) override;
+                        IncumbentSink& sink, const WarmStart& warm) override;
 
  private:
   PortfolioOptions options_;

@@ -105,8 +105,9 @@ class GiottoEngine : public Scheduler {
   explicit GiottoEngine(Objective objective = Objective::kMinMaxLatencyRatio)
       : objective_(objective) {}
   const char* name() const override { return "giotto"; }
+  using Scheduler::solve;
   ScheduleOutcome solve(const let::LetComms& comms, const Budget& budget,
-                        IncumbentSink& sink) override;
+                        IncumbentSink& sink, const WarmStart& warm) override;
 
  private:
   Objective objective_;
@@ -116,8 +117,12 @@ class SupervisedScheduler : public Scheduler {
  public:
   explicit SupervisedScheduler(GuardOptions options = {});
   const char* name() const override { return "supervised"; }
+  using Scheduler::solve;
+  /// The warm-start hint is resolved once (seeding the sink) and handed
+  /// through to every chain level; a zero-budget call with a valid warm
+  /// start therefore serves the (certified) previous schedule.
   ScheduleOutcome solve(const let::LetComms& comms, const Budget& budget,
-                        IncumbentSink& sink) override;
+                        IncumbentSink& sink, const WarmStart& warm) override;
 
  private:
   GuardOptions options_;

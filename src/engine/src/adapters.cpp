@@ -109,12 +109,17 @@ double inner_time_limit(double remaining_sec, const Budget& budget) {
 }  // namespace
 
 ScheduleOutcome GreedyEngine::solve(const let::LetComms& comms,
-                                    const Budget& budget,
-                                    IncumbentSink& sink) {
+                                    const Budget& budget, IncumbentSink& sink,
+                                    const WarmStart& warm) {
   const auto t0 = Clock::now();
   obs::ScopedSpan span("engine.greedy.solve", "engine");
   static obs::Histogram solve_ms("engine.solve_ms.greedy");
   obs::ScopedLatency solve_timer(solve_ms, 1e-3);
+  // Seed the sink with the translated warm start (greedy otherwise
+  // ignores the hint) so an expired budget still returns it.
+  if (warm.has_schedule()) {
+    resolve_warm_start(comms, warm, options_.objective, &sink);
+  }
   if (budget.remaining_sec() <= 0.0 || budget.cancel_requested()) {
     ScheduleOutcome out = expired_outcome(sink, name(), budget);
     span.arg("status", status_name(out.status));
@@ -143,11 +148,16 @@ ScheduleOutcome GreedyEngine::solve(const let::LetComms& comms,
 
 ScheduleOutcome LocalSearchEngine::solve(const let::LetComms& comms,
                                          const Budget& budget,
-                                         IncumbentSink& sink) {
+                                         IncumbentSink& sink,
+                                         const WarmStart& warm) {
   const auto t0 = Clock::now();
   obs::ScopedSpan span("engine.ls.solve", "engine");
   static obs::Histogram solve_ms("engine.solve_ms.ls");
   obs::ScopedLatency solve_timer(solve_ms, 1e-3);
+  const ResolvedWarmStart resolved =
+      warm.has_schedule()
+          ? resolve_warm_start(comms, warm, options_.objective, &sink)
+          : ResolvedWarmStart{};
   if (budget.remaining_sec() <= 0.0 || budget.cancel_requested()) {
     ScheduleOutcome out = expired_outcome(sink, name(), budget);
     span.arg("status", status_name(out.status));
@@ -157,19 +167,29 @@ ScheduleOutcome LocalSearchEngine::solve(const let::LetComms& comms,
   ScheduleOutcome out;
   out.strategy = name();
 
-  auto seed = pick_best_valid(
-      comms, greedy_candidates(comms, options_.objective, std::nullopt),
-      options_.objective);
-  if (!seed) {
-    out.cancelled = budget.cancel_requested();
-    out.wall_sec = seconds_since(t0);
-    span.arg("status", status_name(out.status));
-    return out;
+  // Repair mode: explore from the translated previous schedule instead of
+  // a greedy cold start. Falls back to the greedy seed when the hint does
+  // not survive translation/validation.
+  if (resolved.valid) {
+    out.status = Status::kFeasible;
+    out.objective = resolved.objective;
+    out.schedule = *resolved.seed;
+    span.arg("warm_seeded", true);
+  } else {
+    auto seed = pick_best_valid(
+        comms, greedy_candidates(comms, options_.objective, std::nullopt),
+        options_.objective);
+    if (!seed) {
+      out.cancelled = budget.cancel_requested();
+      out.wall_sec = seconds_since(t0);
+      span.arg("status", status_name(out.status));
+      return out;
+    }
+    sink.offer(seed->first, seed->second, name());
+    out.status = Status::kFeasible;
+    out.objective = seed->second;
+    out.schedule = seed->first;
   }
-  sink.offer(seed->first, seed->second, name());
-  out.status = Status::kFeasible;
-  out.objective = seed->second;
-  out.schedule = seed->first;
 
   let::LocalSearchOptions ls = options_.search;
   ls.goal = options_.objective == Objective::kMinTransfers
@@ -219,12 +239,15 @@ ScheduleOutcome LocalSearchEngine::solve(const let::LetComms& comms,
 }
 
 ScheduleOutcome MilpEngine::solve(const let::LetComms& comms,
-                                  const Budget& budget,
-                                  IncumbentSink& sink) {
+                                  const Budget& budget, IncumbentSink& sink,
+                                  const WarmStart& warm) {
   const auto t0 = Clock::now();
   obs::ScopedSpan span("engine.milp.solve", "engine");
   static obs::Histogram solve_ms("engine.solve_ms.milp");
   obs::ScopedLatency solve_timer(solve_ms, 1e-3);
+  if (warm.has_schedule()) {
+    resolve_warm_start(comms, warm, options_.objective, &sink);
+  }
   if (budget.remaining_sec() <= 0.0 || budget.cancel_requested()) {
     ScheduleOutcome out = expired_outcome(sink, name(), budget);
     span.arg("status", status_name(out.status));
@@ -242,13 +265,18 @@ ScheduleOutcome MilpEngine::solve(const let::LetComms& comms,
     return out;
   }
 
-  // Wait briefly for a cheap strategy to publish a warm start.
-  const double grace = std::min(options_.warm_start_grace_sec,
-                                0.1 * std::max(budget.remaining_sec(), 0.0));
+  // A resolved WarmStart hint is already the sink's incumbent; without
+  // one, wait briefly for a cheap strategy to publish a warm start.
   std::optional<Incumbent> hint = sink.best();
-  while (!hint && seconds_since(t0) < grace && !budget.cancel_requested()) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    hint = sink.best();
+  if (!hint) {
+    const double grace =
+        std::min(options_.warm_start_grace_sec,
+                 0.1 * std::max(budget.remaining_sec(), 0.0));
+    while (!hint && seconds_since(t0) < grace &&
+           !budget.cancel_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      hint = sink.best();
+    }
   }
 
   let::MilpSchedulerOptions opt = options_.milp;

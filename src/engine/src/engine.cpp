@@ -3,9 +3,12 @@
 #include <algorithm>
 
 #include "letdma/engine/adapters.hpp"
+#include "letdma/engine/incremental.hpp"
 #include "letdma/engine/portfolio.hpp"
 #include "letdma/engine/supervised.hpp"
+#include "letdma/let/compiled.hpp"
 #include "letdma/let/latency.hpp"
+#include "letdma/let/repair.hpp"
 #include "letdma/let/validate.hpp"
 #include "letdma/obs/obs.hpp"
 #include "letdma/support/error.hpp"
@@ -87,6 +90,25 @@ int SharedIncumbent::improvements() const {
   return improvements_;
 }
 
+ResolvedWarmStart resolve_warm_start(const let::LetComms& comms,
+                                     const WarmStart& warm,
+                                     Objective objective,
+                                     IncumbentSink* sink) {
+  ResolvedWarmStart out;
+  if (!warm.has_schedule()) return out;
+  try {
+    const let::CompiledComms compiled(comms);
+    out.seed = let::warm_start(compiled, *warm.schedule, warm.diff);
+  } catch (const support::Error&) {
+    return out;  // untranslatable hint: proceed cold
+  }
+  if (!schedule_valid(comms, *out.seed)) return out;
+  out.valid = true;
+  out.objective = objective_of(comms, *out.seed, objective);
+  if (sink != nullptr) sink->offer(*out.seed, out.objective, "warm");
+  return out;
+}
+
 ScheduleOutcome expired_outcome(const IncumbentSink& sink,
                                 const std::string& strategy,
                                 const Budget& budget) {
@@ -136,6 +158,13 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
     opt.objective = objective;
     opt.tuning = tuning;
     return std::make_unique<SupervisedScheduler>(opt);
+  }
+  if (name == "incremental") {
+    IncrementalOptions opt;
+    opt.objective = objective;
+    opt.guard.objective = objective;
+    opt.guard.tuning = tuning;
+    return std::make_unique<IncrementalScheduler>(opt);
   }
   throw support::PreconditionError("unknown engine scheduler: " + name);
 }

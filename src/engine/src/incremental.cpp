@@ -1,0 +1,132 @@
+#include "letdma/engine/incremental.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "letdma/let/compiled.hpp"
+#include "letdma/let/repair.hpp"
+#include "letdma/obs/flight.hpp"
+#include "letdma/obs/histogram.hpp"
+#include "letdma/obs/obs.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::engine {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+IncrementalScheduler::IncrementalScheduler(IncrementalOptions options)
+    : options_(std::move(options)), supervised_([&] {
+        GuardOptions g = options_.guard;
+        g.objective = options_.objective;
+        return g;
+      }()) {}
+
+ScheduleOutcome IncrementalScheduler::solve(const let::LetComms& comms,
+                                            const Budget& budget,
+                                            IncumbentSink& sink,
+                                            const WarmStart& warm) {
+  const auto t0 = Clock::now();
+  obs::ScopedSpan span("engine.incremental.solve", "engine");
+  static obs::Histogram solve_ms("engine.solve_ms.incremental");
+  static obs::Histogram repair_ms("engine.repair_ms");
+  obs::ScopedLatency solve_timer(solve_ms, 1e-3);
+  static obs::Counter repair_served_counter("engine.incremental.repair_served");
+  static obs::Counter fallthrough_counter("engine.incremental.fallthrough");
+
+  record_ = IncrementalRecord{};
+  record_.warm_supplied = warm.has_schedule();
+
+  const auto fall_through = [&](const char* reason) {
+    record_.fell_through = true;
+    fallthrough_counter.add();
+    span.arg("fallthrough", reason);
+    Budget rest = budget;
+    rest.wall_sec = std::max(budget.wall_sec - seconds_since(t0), 0.0);
+    ScheduleOutcome out = supervised_.solve(comms, rest, sink, warm);
+    out.wall_sec = seconds_since(t0);
+    return out;
+  };
+
+  if (!warm.has_schedule()) return fall_through("no_warm_start");
+
+  // Zero budget: hand straight to the supervised chain, whose expired
+  // path serves the (certified) warm incumbent instead of nothing.
+  if (budget.remaining_sec() <= 0.0 || budget.cancel_requested()) {
+    return fall_through("budget_expired");
+  }
+
+  record_.repair_attempted = true;
+  let::LocalSearchOptions ls = options_.search;
+  ls.goal = options_.objective == Objective::kMinTransfers
+                ? let::LocalSearchGoal::kMinTransfers
+                : let::LocalSearchGoal::kMinMaxLatencyRatio;
+  ls.stop = budget.stop;
+  ls.time_limit_sec = std::max(
+      0.01, budget.remaining_sec() * std::clamp(options_.repair_budget_frac,
+                                                0.05, 1.0));
+  ls.on_improvement = [&](const let::ScheduleResult& improved,
+                          double ls_objective) {
+    sink.offer(improved,
+               options_.objective == Objective::kFeasibility ? 0.0
+                                                             : ls_objective,
+               "repair");
+  };
+
+  const auto repair_t0 = Clock::now();
+  std::optional<ScheduleOutcome> repaired;
+  try {
+    const let::CompiledComms compiled(comms);
+    const let::RepairResult r =
+        let::repair(compiled, *warm.schedule, warm.diff, ls);
+    if (r.repaired && schedule_valid(comms, r.result.schedule)) {
+      ScheduleOutcome out;
+      out.status = Status::kFeasible;
+      out.objective = objective_of(comms, r.result.schedule,
+                                   options_.objective);
+      out.schedule = r.result.schedule;
+      out.strategy = "repair";
+      record_.repair_improvements = r.result.improvements;
+      record_.repair_evaluations = r.result.evaluations;
+      repaired = std::move(out);
+    }
+    span.arg("comms_carried",
+             static_cast<std::int64_t>(r.stats.comms_carried));
+    span.arg("comms_dropped",
+             static_cast<std::int64_t>(r.stats.comms_dropped));
+    span.arg("comms_added", static_cast<std::int64_t>(r.stats.comms_added));
+  } catch (const support::Error&) {
+    // Translation blew up structurally; the chain below re-solves cold.
+  }
+  repair_ms.record(seconds_since(repair_t0) * 1e3);
+
+  if (!repaired) return fall_through("repair_failed");
+
+  // The repaired schedule is gated exactly like a fresh solve.
+  const guard::Certificate cert =
+      certify_outcome(comms, *repaired, options_.objective);
+  if (!cert.certified()) {
+    obs::flight_event("engine.incremental.certify_reject", "engine",
+                      {{"summary", cert.summary()}}, obs::Level::kWarn);
+    return fall_through("certify_reject");
+  }
+
+  sink.offer(*repaired->schedule, repaired->objective, "repair");
+  record_.repair_served = true;
+  repair_served_counter.add();
+  repaired->cancelled = budget.cancel_requested();
+  repaired->wall_sec = seconds_since(t0);
+  span.arg("status", status_name(repaired->status));
+  span.arg("objective", repaired->objective);
+  span.arg("served_by", "repair");
+  return std::move(*repaired);
+}
+
+}  // namespace letdma::engine

@@ -46,7 +46,8 @@ PortfolioScheduler::PortfolioScheduler(
 
 ScheduleOutcome PortfolioScheduler::solve(const let::LetComms& comms,
                                           const Budget& budget,
-                                          IncumbentSink& sink) {
+                                          IncumbentSink& sink,
+                                          const WarmStart& warm) {
   const auto t0 = Clock::now();
   auto deadline = t0 + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double>(budget.wall_sec));
@@ -59,6 +60,9 @@ ScheduleOutcome PortfolioScheduler::solve(const let::LetComms& comms,
   span.arg("strategies", static_cast<std::int64_t>(strategies_.size()));
   span.arg("budget_sec", budget.wall_sec);
 
+  if (warm.has_schedule()) {
+    resolve_warm_start(comms, warm, options_.objective, &sink);
+  }
   if (budget.remaining_sec() <= 0.0 || budget.cancel_requested()) {
     // Spent budget: a well-defined prompt answer, no worker threads.
     ScheduleOutcome out = expired_outcome(sink, name(), budget);
@@ -108,7 +112,7 @@ ScheduleOutcome PortfolioScheduler::solve(const let::LetComms& comms,
       ScheduleOutcome out;
       out.strategy = strategy.name();
       try {
-        out = strategy.solve(comms, worker_budget, shared);
+        out = strategy.solve(comms, worker_budget, shared, warm);
       } catch (const std::exception& e) {
         obs::log_warn("engine", std::string("portfolio worker '") +
                                     strategy.name() + "' failed: " +

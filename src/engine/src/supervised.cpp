@@ -92,12 +92,15 @@ guard::Certificate certify_outcome(const let::LetComms& comms,
 }
 
 ScheduleOutcome GiottoEngine::solve(const let::LetComms& comms,
-                                    const Budget& budget,
-                                    IncumbentSink& sink) {
+                                    const Budget& budget, IncumbentSink& sink,
+                                    const WarmStart& warm) {
   const auto t0 = Clock::now();
   obs::ScopedSpan span("engine.giotto.solve", "engine");
   static obs::Histogram solve_ms("engine.solve_ms.giotto");
   obs::ScopedLatency solve_timer(solve_ms, 1e-3);
+  if (warm.has_schedule()) {
+    resolve_warm_start(comms, warm, objective_, &sink);
+  }
   ScheduleOutcome out;
   out.strategy = name();
   if (budget.remaining_sec() <= 0.0 || budget.cancel_requested()) {
@@ -137,7 +140,8 @@ SupervisedScheduler::SupervisedScheduler(GuardOptions options)
 
 ScheduleOutcome SupervisedScheduler::solve(const let::LetComms& comms,
                                            const Budget& budget,
-                                           IncumbentSink& sink) {
+                                           IncumbentSink& sink,
+                                           const WarmStart& warm) {
   const auto t0 = Clock::now();
   obs::ScopedSpan span("engine.supervised.solve", "engine");
   static obs::Histogram solve_ms("engine.solve_ms.supervised");
@@ -208,8 +212,34 @@ ScheduleOutcome SupervisedScheduler::solve(const let::LetComms& comms,
     return out;
   };
 
+  // Resolve the warm-start hint once up front: the translated previous
+  // schedule lands in the sink as strategy "warm", so both the expired
+  // path below and every chain level see it.
+  if (warm.has_schedule()) {
+    resolve_warm_start(comms, warm, options_.objective, &sink);
+  }
+
   if (budget.remaining_sec() <= 0.0 || budget.cancel_requested()) {
-    return finalize(expired_outcome(sink, name(), budget));
+    ScheduleOutcome out = expired_outcome(sink, name(), budget);
+    // The supervised contract holds even for a spent budget: anything
+    // served (e.g. a warm-started previous schedule) must certify.
+    if (out.feasible() && options_.certify) {
+      const guard::Certificate cert =
+          certify_outcome(comms, out, options_.objective);
+      if (cert.certified()) {
+        record.served_by = out.strategy;
+        record.fallback_level = 0;
+      } else {
+        ++record.certification_failures;
+        certfail_counter.add();
+        out.schedule.reset();
+        out.status = Status::kTimeout;
+        out.objective = 0.0;
+      }
+    } else if (out.feasible()) {
+      record.served_by = out.strategy;
+    }
+    return finalize(std::move(out));
   }
 
   const auto remaining = [&] {
@@ -246,7 +276,7 @@ ScheduleOutcome SupervisedScheduler::solve(const let::LetComms& comms,
         if (budget.has_deadline() && remaining() > kLevelFloorSec) {
           level_budget.deadline = budget.deadline;
         }
-        out = scheduler->solve(comms, level_budget, sink);
+        out = scheduler->solve(comms, level_budget, sink, warm);
       } catch (const std::exception& e) {
         threw = true;
         la.note = e.what();

@@ -1,0 +1,66 @@
+// Warm-started schedule repair for incremental re-scheduling.
+//
+// When an instance changes by a small diff (a label resized, a task added,
+// a mapping moved), the previous schedule's group structure is mostly
+// still right: only the LET groups the diff touches need rethinking.
+// warm_start() translates a previous ScheduleResult onto a new compiled
+// instance through a model::ApplicationDiff — carrying every surviving
+// communication in its old group, dropping communications whose endpoints
+// disappeared, appending communications the diff introduced as singleton
+// groups — and then *legalizes* the group order (Properties 1-2: per task
+// and per label, writes strictly before reads) with a stable topological
+// pass. Legalization always succeeds: every ordering constraint points
+// from a write group to a read group, and transfer groups are
+// single-direction, so the constraint graph is bipartite and acyclic.
+//
+// repair() runs the local search from that seed instead of a greedy cold
+// start. It never throws on a bad seed: a seed the search cannot rebuild
+// feasibly (e.g. the diff made the old placement deadline-infeasible in a
+// way local moves cannot fix) reports repaired=false so the caller can
+// fall through to a cold solve.
+#pragma once
+
+#include "letdma/let/local_search.hpp"
+#include "letdma/model/diff.hpp"
+
+namespace letdma::let {
+
+class CompiledComms;
+
+/// What the warm-start translation did, for observability and tests.
+struct WarmStartStats {
+  int prev_groups = 0;     // transfer groups in the previous schedule
+  int groups_kept = 0;     // groups with at least one surviving comm
+  int comms_carried = 0;   // comms translated into the new instance
+  int comms_dropped = 0;   // comms whose endpoints the diff removed
+  int comms_added = 0;     // new comms appended as singleton groups
+  bool order_legalized = false;  // topological pass had to reorder groups
+};
+
+/// Translates `prev` (a schedule of the diff's *before* instance) onto the
+/// instance `compiled` was built from (the diff's *after* instance) and
+/// materializes it via build_from_groups_compiled. `diff` may be null,
+/// meaning the identity diff (same instance — used when re-solving an
+/// unchanged instance from its cached schedule). The result is always
+/// structurally valid and Properties-1/2 ordered; acquisition deadlines
+/// are NOT guaranteed — run the local search or certify.
+ScheduleResult warm_start(const CompiledComms& compiled,
+                          const ScheduleResult& prev,
+                          const model::ApplicationDiff* diff = nullptr,
+                          WarmStartStats* stats = nullptr);
+
+struct RepairResult {
+  /// True when the warm seed rebuilt feasibly and the search ran; false
+  /// means the caller should fall through to a cold solve.
+  bool repaired = false;
+  WarmStartStats stats;
+  LocalSearchResult result;  // valid only when repaired
+};
+
+/// warm_start + improve_schedule from the translated seed. Exceptions from
+/// an infeasible seed are absorbed into repaired=false.
+RepairResult repair(const CompiledComms& compiled, const ScheduleResult& prev,
+                    const model::ApplicationDiff* diff = nullptr,
+                    LocalSearchOptions options = {});
+
+}  // namespace letdma::let

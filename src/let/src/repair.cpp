@@ -1,0 +1,199 @@
+#include "letdma/let/repair.hpp"
+
+#include <map>
+#include <vector>
+
+#include "letdma/let/compiled.hpp"
+#include "letdma/obs/obs.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::let {
+namespace {
+
+using Groups = std::vector<std::vector<Communication>>;
+
+/// Stable topological legalization of a single-direction group sequence.
+/// Write groups keep their relative order; each read group is placed
+/// directly after the last write group it depends on (per-task and
+/// per-label write-before-read, strict). Returns true when the order
+/// changed.
+bool legalize_order(Groups* groups) {
+  const int n = static_cast<int>(groups->size());
+  // Positions of write groups in write-subsequence order, and for every
+  // task/label the write-subsequence index of its latest write group.
+  std::vector<int> write_groups;  // group index per write-subsequence slot
+  std::map<int, int> task_write_slot;   // task -> latest write slot
+  std::map<int, int> label_write_slot;  // label -> write slot
+  std::vector<int> kind(static_cast<std::size_t>(n), 0);  // 0=read, 1=write
+  for (int gi = 0; gi < n; ++gi) {
+    const auto& g = (*groups)[static_cast<std::size_t>(gi)];
+    if (g.empty() || g.front().dir != Direction::kWrite) continue;
+    kind[static_cast<std::size_t>(gi)] = 1;
+    const int slot = static_cast<int>(write_groups.size());
+    write_groups.push_back(gi);
+    for (const Communication& c : g) {
+      task_write_slot[c.task.value] = slot;
+      label_write_slot[c.label.value] = slot;
+    }
+  }
+  // dep[gi] for a read group: the write slot it must follow (-1 = none).
+  // Bucket reads by dep, preserving their relative order.
+  const int num_writes = static_cast<int>(write_groups.size());
+  std::vector<std::vector<int>> buckets(
+      static_cast<std::size_t>(num_writes) + 1);
+  for (int gi = 0; gi < n; ++gi) {
+    if (kind[static_cast<std::size_t>(gi)] == 1) continue;
+    int dep = -1;
+    for (const Communication& c :
+         (*groups)[static_cast<std::size_t>(gi)]) {
+      if (auto it = task_write_slot.find(c.task.value);
+          it != task_write_slot.end()) {
+        dep = std::max(dep, it->second);
+      }
+      if (auto it = label_write_slot.find(c.label.value);
+          it != label_write_slot.end()) {
+        dep = std::max(dep, it->second);
+      }
+    }
+    buckets[static_cast<std::size_t>(dep + 1)].push_back(gi);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (int gi : buckets[0]) order.push_back(gi);
+  for (int slot = 0; slot < num_writes; ++slot) {
+    order.push_back(write_groups[static_cast<std::size_t>(slot)]);
+    for (int gi : buckets[static_cast<std::size_t>(slot) + 1]) {
+      order.push_back(gi);
+    }
+  }
+  bool changed = false;
+  for (int i = 0; i < n; ++i) {
+    if (order[static_cast<std::size_t>(i)] != i) {
+      changed = true;
+      break;
+    }
+  }
+  if (!changed) return false;
+  Groups reordered;
+  reordered.reserve(static_cast<std::size_t>(n));
+  for (int gi : order) {
+    reordered.push_back(std::move((*groups)[static_cast<std::size_t>(gi)]));
+  }
+  *groups = std::move(reordered);
+  return true;
+}
+
+int map_index(const std::vector<int>& map, int idx) {
+  if (map.empty()) return idx;  // identity diff
+  if (idx < 0 || idx >= static_cast<int>(map.size())) return -1;
+  return map[static_cast<std::size_t>(idx)];
+}
+
+}  // namespace
+
+ScheduleResult warm_start(const CompiledComms& compiled,
+                          const ScheduleResult& prev,
+                          const model::ApplicationDiff* diff,
+                          WarmStartStats* stats) {
+  WarmStartStats local;
+  WarmStartStats& st = stats != nullptr ? *stats : local;
+  st = WarmStartStats{};
+
+  // Membership of the new instance's C(s0), by canonical comm identity.
+  std::map<Communication, int> new_index;
+  const auto& new_comms = compiled.let_comms().comms_at_s0();
+  for (int c = 0; c < compiled.num_comms(); ++c) {
+    new_index.emplace(new_comms[static_cast<std::size_t>(c)], c);
+  }
+
+  std::vector<char> covered(static_cast<std::size_t>(compiled.num_comms()), 0);
+  Groups groups;
+  st.prev_groups = static_cast<int>(prev.s0_transfers.size());
+  for (const DmaTransfer& t : prev.s0_transfers) {
+    std::vector<Communication> group;
+    group.reserve(t.comms.size());
+    for (const Communication& old_c : t.comms) {
+      Communication c = old_c;
+      if (diff != nullptr) {
+        const int task = map_index(diff->task_map, old_c.task.value);
+        const int label = map_index(diff->label_map, old_c.label.value);
+        if (task < 0 || label < 0) {
+          ++st.comms_dropped;
+          continue;
+        }
+        c.task = model::TaskId{task};
+        c.label = model::LabelId{label};
+      }
+      const auto it = new_index.find(c);
+      if (it == new_index.end() || covered[static_cast<std::size_t>(it->second)]) {
+        // Dropped: the comm no longer exists at s0 on the new instance
+        // (label no longer inter-core, reader gone) or was already carried.
+        ++st.comms_dropped;
+        continue;
+      }
+      covered[static_cast<std::size_t>(it->second)] = 1;
+      group.push_back(c);
+      ++st.comms_carried;
+    }
+    if (!group.empty()) {
+      groups.push_back(std::move(group));
+      ++st.groups_kept;
+    }
+  }
+  // Communications the previous schedule does not cover (added by the
+  // diff, or newly inter-core) join as singleton groups; legalization
+  // places them legally and the search may merge them.
+  for (int c = 0; c < compiled.num_comms(); ++c) {
+    if (covered[static_cast<std::size_t>(c)]) continue;
+    groups.push_back({compiled.comm(c)});
+    ++st.comms_added;
+  }
+
+  st.order_legalized = legalize_order(&groups);
+  static obs::Counter carried("let.warmstart.comms_carried");
+  static obs::Counter dropped("let.warmstart.comms_dropped");
+  static obs::Counter added("let.warmstart.comms_added");
+  carried.add(st.comms_carried);
+  dropped.add(st.comms_dropped);
+  added.add(st.comms_added);
+  return build_from_groups_compiled(compiled, groups);
+}
+
+RepairResult repair(const CompiledComms& compiled, const ScheduleResult& prev,
+                    const model::ApplicationDiff* diff,
+                    LocalSearchOptions options) {
+  RepairResult out{
+      /*repaired=*/false, WarmStartStats{},
+      LocalSearchResult{ScheduleResult{MemoryLayout(compiled.app()), {}, {}},
+                        0.0, 0, 0}};
+  static obs::Counter accepted("let.repair.accepted");
+  static obs::Counter rejected("let.repair.seed_rejected");
+  ScheduleResult seed{MemoryLayout(compiled.app()), {}, {}};
+  try {
+    seed = warm_start(compiled, prev, diff, &out.stats);
+  } catch (const support::Error&) {
+    rejected.add();
+    return out;
+  }
+  if (seed.s0_transfers.empty()) {
+    // Nothing to schedule on the new instance; the empty schedule is the
+    // (trivially optimal) repair.
+    out.repaired = true;
+    out.result.schedule = std::move(seed);
+    out.result.objective = 0.0;
+    return out;
+  }
+  try {
+    out.result = improve_schedule(compiled, seed, options);
+    out.repaired = true;
+    accepted.add();
+  } catch (const support::Error&) {
+    // The seed does not rebuild feasibly (deadline-infeasible placement the
+    // local moves cannot reach from); report not-repaired so the caller
+    // falls through to a cold solve.
+    rejected.add();
+  }
+  return out;
+}
+
+}  // namespace letdma::let

@@ -1,0 +1,100 @@
+// Application diffs for incremental re-scheduling.
+//
+// The serve layer and the incremental scheduler both need to answer two
+// questions about a pair of instances: "what changed?" (so a repair can
+// re-seed only the LET groups the change touches) and "how far apart are
+// they?" (so a cache can decide whether a structurally close instance is
+// worth warm-starting from). ApplicationDiff answers both.
+//
+// Matching is by task/label *name*: the diff of two finalized applications
+// maps every surviving entity old-index -> new-index, records removed
+// entities as -1, and carries the full payload of every added or changed
+// entity so that apply_diff(before, diff(before, after)) rebuilds `after`
+// byte-identically under write_application. A renamed entity is therefore
+// removed+added — names are the identity of the plain diff. When a
+// name-insensitive notion is needed (the near-miss cache compares
+// instances from different tenants), structural_distance() diffs the
+// *canonical* forms instead: canonical names are positional (t000..,
+// l000..), so name matching there is canonical-index matching and the
+// result is isomorphism-aware (an upper bound on the true edit distance,
+// since an insertion can shift canonical order).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "letdma/model/application.hpp"
+
+namespace letdma::model {
+
+/// A task that exists in `after` and is new or differs from its
+/// name-matched counterpart in `before`. Carries the full payload so
+/// apply_diff needs nothing else.
+struct TaskEdit {
+  int index = -1;  // index in `after`
+  Task task;       // complete after-side payload
+  bool added = false;
+};
+
+/// A label that exists in `after` and is new or differs (size, writer or
+/// reader set) from its name-matched counterpart. Endpoints are after-side
+/// task indices.
+struct LabelEdit {
+  int index = -1;  // index in `after`
+  std::string name;
+  std::int64_t size_bytes = 0;
+  int writer = -1;
+  std::vector<int> readers;
+  bool added = false;
+};
+
+struct ApplicationDiff {
+  /// old index -> new index; -1 when the entity was removed.
+  std::vector<int> task_map;
+  std::vector<int> label_map;
+  int new_num_tasks = 0;
+  int new_num_labels = 0;
+  /// Added or changed entities, sorted by after-side index.
+  std::vector<TaskEdit> task_edits;
+  std::vector<LabelEdit> label_edits;
+  /// Set only when the platform parameters differ.
+  std::optional<Platform> platform;
+
+  int tasks_added() const;
+  int tasks_removed() const;
+  int tasks_changed() const;
+  int labels_added() const;
+  int labels_removed() const;
+  int labels_changed() const;
+  /// True when the diff is the identity (apply_diff == copy).
+  bool empty() const;
+  /// Human-readable one-liner, e.g. "+1 task, -2 labels, 1 label changed".
+  std::string summary() const;
+};
+
+/// Computes the name-matched diff of two finalized applications.
+ApplicationDiff diff(const Application& before, const Application& after);
+
+/// Rebuilds the after-side application: apply_diff(a, diff(a, b)) equals b
+/// byte-identically under write_application. The result is finalized.
+std::unique_ptr<Application> apply_diff(const Application& before,
+                                        const ApplicationDiff& d);
+
+/// Weighted change count: adds/removes weigh 1, attribute changes 0.5, a
+/// platform change 4. Zero iff the diff is empty.
+double magnitude(const ApplicationDiff& d);
+
+/// Isomorphism-aware distance in [0, 1]: magnitude of the diff between the
+/// two canonical forms, normalized by the larger instance size
+/// (num_tasks + num_labels). 0 means isomorphic; small values mean a few
+/// entities differ. Upper bound on the true structural edit distance.
+double structural_distance(const Application& a, const Application& b);
+
+/// Same, but on already-computed canonical applications (the serve cache
+/// holds canonical forms and should not re-canonicalize per candidate).
+double canonical_distance(const Application& canon_a,
+                          const Application& canon_b);
+
+}  // namespace letdma::model

@@ -1,0 +1,281 @@
+#include "letdma/model/diff.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "letdma/model/canonical.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::model {
+namespace {
+
+bool same_platform(const Platform& a, const Platform& b) {
+  return a.num_cores() == b.num_cores() &&
+         a.dma().programming_overhead == b.dma().programming_overhead &&
+         a.dma().isr_overhead == b.dma().isr_overhead &&
+         a.dma().copy_cost_ns_per_byte == b.dma().copy_cost_ns_per_byte &&
+         a.cpu_copy().copy_cost_ns_per_byte ==
+             b.cpu_copy().copy_cost_ns_per_byte &&
+         a.cpu_copy().per_label_overhead == b.cpu_copy().per_label_overhead;
+}
+
+bool same_task(const Task& a, const Task& b) {
+  return a.period == b.period && a.wcet == b.wcet && a.core == b.core &&
+         a.priority == b.priority &&
+         a.acquisition_deadline == b.acquisition_deadline;
+}
+
+std::unordered_map<std::string, int> index_by_name(const Application& app,
+                                                   bool tasks) {
+  std::unordered_map<std::string, int> out;
+  const int n = tasks ? app.num_tasks() : app.num_labels();
+  for (int i = 0; i < n; ++i) {
+    out.emplace(tasks ? app.task(TaskId{i}).name : app.label(LabelId{i}).name,
+                i);
+  }
+  return out;
+}
+
+void append_count(std::ostringstream& os, int count, const char* what,
+                  bool& first) {
+  if (count == 0) return;
+  if (!first) os << ", ";
+  first = false;
+  os << count << ' ' << what;
+}
+
+}  // namespace
+
+int ApplicationDiff::tasks_added() const {
+  int n = 0;
+  for (const auto& e : task_edits) n += e.added ? 1 : 0;
+  return n;
+}
+
+int ApplicationDiff::tasks_removed() const {
+  int n = 0;
+  for (int m : task_map) n += (m < 0) ? 1 : 0;
+  return n;
+}
+
+int ApplicationDiff::tasks_changed() const {
+  return static_cast<int>(task_edits.size()) - tasks_added();
+}
+
+int ApplicationDiff::labels_added() const {
+  int n = 0;
+  for (const auto& e : label_edits) n += e.added ? 1 : 0;
+  return n;
+}
+
+int ApplicationDiff::labels_removed() const {
+  int n = 0;
+  for (int m : label_map) n += (m < 0) ? 1 : 0;
+  return n;
+}
+
+int ApplicationDiff::labels_changed() const {
+  return static_cast<int>(label_edits.size()) - labels_added();
+}
+
+bool ApplicationDiff::empty() const {
+  return task_edits.empty() && label_edits.empty() && tasks_removed() == 0 &&
+         labels_removed() == 0 && !platform.has_value();
+}
+
+std::string ApplicationDiff::summary() const {
+  if (empty()) return "identical";
+  std::ostringstream os;
+  bool first = true;
+  append_count(os, tasks_added(), "task(s) added", first);
+  append_count(os, tasks_removed(), "task(s) removed", first);
+  append_count(os, tasks_changed(), "task(s) changed", first);
+  append_count(os, labels_added(), "label(s) added", first);
+  append_count(os, labels_removed(), "label(s) removed", first);
+  append_count(os, labels_changed(), "label(s) changed", first);
+  if (platform.has_value()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "platform changed";
+  }
+  return os.str();
+}
+
+ApplicationDiff diff(const Application& before, const Application& after) {
+  LETDMA_ENSURE(before.finalized() && after.finalized(),
+                "diff requires finalized applications");
+  ApplicationDiff d;
+  d.new_num_tasks = after.num_tasks();
+  d.new_num_labels = after.num_labels();
+  if (!same_platform(before.platform(), after.platform())) {
+    d.platform = after.platform();
+  }
+
+  const auto before_tasks = index_by_name(before, /*tasks=*/true);
+  const auto after_tasks = index_by_name(after, /*tasks=*/true);
+  d.task_map.assign(before.num_tasks(), -1);
+  for (const auto& [name, old_idx] : before_tasks) {
+    auto it = after_tasks.find(name);
+    if (it != after_tasks.end()) d.task_map[old_idx] = it->second;
+  }
+  // new index -> old index for surviving tasks (-1 = added).
+  std::vector<int> task_inv(after.num_tasks(), -1);
+  for (int old_idx = 0; old_idx < before.num_tasks(); ++old_idx) {
+    if (d.task_map[old_idx] >= 0) task_inv[d.task_map[old_idx]] = old_idx;
+  }
+  for (int new_idx = 0; new_idx < after.num_tasks(); ++new_idx) {
+    const Task& t = after.task(TaskId{new_idx});
+    const int old_idx = task_inv[new_idx];
+    if (old_idx >= 0 && same_task(before.task(TaskId{old_idx}), t)) continue;
+    d.task_edits.push_back(TaskEdit{new_idx, t, /*added=*/old_idx < 0});
+  }
+
+  const auto before_labels = index_by_name(before, /*tasks=*/false);
+  const auto after_labels = index_by_name(after, /*tasks=*/false);
+  d.label_map.assign(before.num_labels(), -1);
+  for (const auto& [name, old_idx] : before_labels) {
+    auto it = after_labels.find(name);
+    if (it != after_labels.end()) d.label_map[old_idx] = it->second;
+  }
+  std::vector<int> label_inv(after.num_labels(), -1);
+  for (int old_idx = 0; old_idx < before.num_labels(); ++old_idx) {
+    if (d.label_map[old_idx] >= 0) label_inv[d.label_map[old_idx]] = old_idx;
+  }
+  for (int new_idx = 0; new_idx < after.num_labels(); ++new_idx) {
+    const Label& lab = after.label(LabelId{new_idx});
+    const int old_idx = label_inv[new_idx];
+    bool changed = true;
+    if (old_idx >= 0) {
+      // A surviving label is unchanged when its size matches and every
+      // endpoint survives onto the matching after-side task.
+      const Label& old_lab = before.label(LabelId{old_idx});
+      changed = old_lab.size_bytes != lab.size_bytes ||
+                d.task_map[old_lab.writer.value] != lab.writer.value;
+      if (!changed) {
+        std::vector<int> old_readers;
+        old_readers.reserve(old_lab.readers.size());
+        for (TaskId r : old_lab.readers) {
+          old_readers.push_back(d.task_map[r.value]);
+        }
+        std::vector<int> new_readers;
+        new_readers.reserve(lab.readers.size());
+        for (TaskId r : lab.readers) new_readers.push_back(r.value);
+        std::sort(old_readers.begin(), old_readers.end());
+        std::sort(new_readers.begin(), new_readers.end());
+        changed = old_readers != new_readers;
+      }
+    }
+    if (!changed) continue;
+    LabelEdit e;
+    e.index = new_idx;
+    e.name = lab.name;
+    e.size_bytes = lab.size_bytes;
+    e.writer = lab.writer.value;
+    e.readers.reserve(lab.readers.size());
+    for (TaskId r : lab.readers) e.readers.push_back(r.value);
+    e.added = old_idx < 0;
+    d.label_edits.push_back(std::move(e));
+  }
+  return d;
+}
+
+std::unique_ptr<Application> apply_diff(const Application& before,
+                                        const ApplicationDiff& d) {
+  LETDMA_ENSURE(before.finalized(), "apply_diff requires a finalized base");
+  LETDMA_ENSURE(static_cast<int>(d.task_map.size()) == before.num_tasks() &&
+                    static_cast<int>(d.label_map.size()) == before.num_labels(),
+                "diff does not match the base application");
+
+  // Materialize the after-side task table: surviving tasks carried over,
+  // edits overwrite/fill.
+  std::vector<std::optional<Task>> tasks(d.new_num_tasks);
+  for (int old_idx = 0; old_idx < before.num_tasks(); ++old_idx) {
+    const int new_idx = d.task_map[old_idx];
+    if (new_idx < 0) continue;
+    LETDMA_ENSURE(new_idx < d.new_num_tasks, "diff task_map out of range");
+    tasks[new_idx] = before.task(TaskId{old_idx});
+  }
+  for (const auto& e : d.task_edits) {
+    LETDMA_ENSURE(e.index >= 0 && e.index < d.new_num_tasks,
+                  "diff task edit out of range");
+    tasks[e.index] = e.task;
+  }
+
+  struct PendingLabel {
+    std::string name;
+    std::int64_t size_bytes = 0;
+    int writer = -1;
+    std::vector<int> readers;
+  };
+  std::vector<std::optional<PendingLabel>> labels(d.new_num_labels);
+  for (int old_idx = 0; old_idx < before.num_labels(); ++old_idx) {
+    const int new_idx = d.label_map[old_idx];
+    if (new_idx < 0) continue;
+    LETDMA_ENSURE(new_idx < d.new_num_labels, "diff label_map out of range");
+    const Label& lab = before.label(LabelId{old_idx});
+    PendingLabel p;
+    p.name = lab.name;
+    p.size_bytes = lab.size_bytes;
+    p.writer = d.task_map[lab.writer.value];
+    for (TaskId r : lab.readers) p.readers.push_back(d.task_map[r.value]);
+    labels[new_idx] = std::move(p);
+  }
+  for (const auto& e : d.label_edits) {
+    LETDMA_ENSURE(e.index >= 0 && e.index < d.new_num_labels,
+                  "diff label edit out of range");
+    labels[e.index] = PendingLabel{e.name, e.size_bytes, e.writer, e.readers};
+  }
+
+  auto out = std::make_unique<Application>(
+      d.platform.has_value() ? *d.platform : before.platform());
+  for (int i = 0; i < d.new_num_tasks; ++i) {
+    LETDMA_ENSURE(tasks[i].has_value(), "diff leaves a task slot unfilled");
+    const Task& t = *tasks[i];
+    const TaskId id = out->add_task(t.name, t.period, t.wcet, t.core,
+                                    t.priority);
+    if (t.acquisition_deadline.has_value()) {
+      out->set_acquisition_deadline(id, *t.acquisition_deadline);
+    }
+  }
+  for (int i = 0; i < d.new_num_labels; ++i) {
+    LETDMA_ENSURE(labels[i].has_value(), "diff leaves a label slot unfilled");
+    const PendingLabel& p = *labels[i];
+    LETDMA_ENSURE(p.writer >= 0, "diff label writer was removed");
+    std::vector<TaskId> readers;
+    readers.reserve(p.readers.size());
+    for (int r : p.readers) {
+      LETDMA_ENSURE(r >= 0, "diff label reader was removed");
+      readers.push_back(TaskId{r});
+    }
+    out->add_label(p.name, p.size_bytes, TaskId{p.writer}, std::move(readers));
+  }
+  out->finalize();
+  return out;
+}
+
+double magnitude(const ApplicationDiff& d) {
+  return 1.0 * (d.tasks_added() + d.tasks_removed() + d.labels_added() +
+                d.labels_removed()) +
+         0.5 * (d.tasks_changed() + d.labels_changed()) +
+         (d.platform.has_value() ? 4.0 : 0.0);
+}
+
+double canonical_distance(const Application& canon_a,
+                          const Application& canon_b) {
+  const double size = static_cast<double>(
+      std::max(canon_a.num_tasks() + canon_a.num_labels(),
+               canon_b.num_tasks() + canon_b.num_labels()));
+  if (size <= 0) return 0.0;
+  const double m = magnitude(diff(canon_a, canon_b));
+  return std::min(1.0, m / size);
+}
+
+double structural_distance(const Application& a, const Application& b) {
+  const Canonicalization ca = canonicalize(a);
+  const Canonicalization cb = canonicalize(b);
+  if (ca.fingerprint == cb.fingerprint) return 0.0;
+  return canonical_distance(*ca.app, *cb.app);
+}
+
+}  // namespace letdma::model

@@ -16,7 +16,16 @@
 //      re-certified by guard::certify against it. Only a certificate
 //      makes it a hit; a failure invalidates the entry, records a flight
 //      event and falls through to a fresh solve.
-//   4. Fresh solve: engine::SupervisedScheduler on the canonical
+//   4. Near-miss reuse: on a fingerprint miss, the cache is scanned for
+//      the structurally closest instance (model::canonical_distance on
+//      the canonical forms) within nearmiss_max_distance; when one
+//      exists, the fresh solve runs the IncrementalScheduler warm-started
+//      from its schedule + diff — a certified repair in a fraction of a
+//      cold solve. "serve.nearmiss.hit" counts solves the repair served;
+//      "serve.nearmiss.reject" counts candidates whose repair fell
+//      through to the cold chain.
+//   5. Fresh solve: engine::SupervisedScheduler (or the incremental
+//      engine when a near-miss candidate seeded it) on the canonical
 //      instance (so the result is reusable by every isomorphic tenant),
 //      with incumbent streaming through the caller's callback for long
 //      solves. Feasible results are cached, then translated + certified
@@ -78,6 +87,10 @@ struct Response {
   /// instance (always true when ok && a schedule is present).
   bool certified = false;
   bool cache_hit = false;
+  /// The solve was warm-started from a structurally close cached instance
+  /// and the repaired schedule was served (always certified like any
+  /// other response).
+  bool near_miss = false;
   std::string fingerprint;  // canonical 128-bit hash, 32 hex chars
   /// Canonicalization was exact (see model::Canonicalization::exact).
   bool exact = true;
@@ -115,6 +128,14 @@ struct ServiceOptions {
   /// Supervised-chain configuration for fresh solves. The objective field
   /// is overridden per request.
   engine::GuardOptions guard;
+  /// Near-miss reuse: on a fingerprint miss, warm-start the solve from
+  /// the structurally closest cached instance whose canonical distance
+  /// (model::canonical_distance, in [0,1]) is at most this. <= 0 disables
+  /// the scan entirely.
+  double nearmiss_max_distance = 0.2;
+  /// At most this many MRU cache entries are examined per miss (each
+  /// examination diffs two canonical forms — cheap, but bounded).
+  int nearmiss_scan_limit = 32;
   /// Write-ahead journal path for cache durability; empty disables
   /// journaling. On construction the Service replays the journal,
   /// re-certifies every record (see journal.hpp) and compacts the file to

@@ -175,6 +175,7 @@ std::string render_response_line(const Response& response) {
   out += response.certified ? "true" : "false";
   out += ",\"cache\":";
   obs::json::append_string(out, response.cache_hit ? "hit" : "miss");
+  if (response.near_miss) out += ",\"near\":true";
   out += ",\"fingerprint\":";
   obs::json::append_string(out, response.fingerprint);
   out += ",\"exact\":";
@@ -226,6 +227,7 @@ Response parse_response_line(const std::string& line) {
   }
   r.certified = v.bool_or("certified", false);
   r.cache_hit = v.str_or("cache", "miss") == "hit";
+  r.near_miss = v.bool_or("near", false);
   r.fingerprint = v.str_or("fingerprint", "");
   r.exact = v.bool_or("exact", true);
   double num = 0.0;

@@ -4,8 +4,10 @@
 #include <optional>
 #include <utility>
 
+#include "letdma/engine/incremental.hpp"
 #include "letdma/guard/certify.hpp"
 #include "letdma/let/schedule_io.hpp"
+#include "letdma/model/diff.hpp"
 #include "letdma/model/io.hpp"
 #include "letdma/obs/flight.hpp"
 #include "letdma/obs/histogram.hpp"
@@ -42,6 +44,14 @@ obs::Counter& recover_uncertified_counter() {
 }
 obs::Counter& recover_stale_counter() {
   static obs::Counter c("serve.journal.dropped_stale");
+  return c;
+}
+obs::Counter& nearmiss_hit_counter() {
+  static obs::Counter c("serve.nearmiss.hit");
+  return c;
+}
+obs::Counter& nearmiss_reject_counter() {
+  static obs::Counter c("serve.nearmiss.reject");
   return c;
 }
 
@@ -366,11 +376,58 @@ Response Service::handle(const Request& request,
           obs::Level::kWarn);
     }
 
-    // --- fresh supervised solve on the canonical instance -----------------
+    // --- near-miss scan ---------------------------------------------------
+    // On a fingerprint miss, look for the structurally closest cached
+    // instance under the same objective; its schedule + diff warm-start
+    // the fresh solve below. The shared_ptr keeps the candidate alive for
+    // the duration of the solve even if the cache evicts it.
+    std::shared_ptr<const CachedSolve> near;
+    std::optional<model::ApplicationDiff> near_diff;
+    if (options_.nearmiss_max_distance > 0.0) {
+      double best_dist = options_.nearmiss_max_distance;
+      int scanned = 0;
+      for (const auto& [cand_key, cand] : cache_.snapshot()) {
+        if (cand_key.objective != request.objective) continue;
+        if (++scanned > options_.nearmiss_scan_limit) break;
+        try {
+          const double dist =
+              model::canonical_distance(*cand->app, *canon.app);
+          if (dist <= best_dist) {
+            best_dist = dist;
+            near = cand;
+          }
+        } catch (const support::Error&) {
+          // An undiffable candidate is simply not a near miss.
+        }
+      }
+      if (near) {
+        near_diff = model::diff(*near->app, *canon.app);
+        obs::flight_event("serve.nearmiss.candidate", "serve",
+                          {{"fingerprint", res.fingerprint},
+                           {"distance", best_dist},
+                           {"diff", near_diff->summary()}});
+      }
+    }
+
+    // --- fresh solve on the canonical instance ----------------------------
+    // Supervised chain cold; the incremental repair engine (which falls
+    // through to the same chain) when a near-miss candidate seeded it.
     auto canonical_comms = std::make_unique<let::LetComms>(*canon.app);
     engine::GuardOptions guard_options = options_.guard;
     guard_options.objective = request.objective;
-    engine::SupervisedScheduler scheduler(std::move(guard_options));
+    engine::WarmStart warm;
+    std::unique_ptr<engine::Scheduler> scheduler;
+    if (near) {
+      warm.schedule = &near->schedule;
+      warm.diff = &*near_diff;
+      engine::IncrementalOptions iopt;
+      iopt.objective = request.objective;
+      iopt.guard = guard_options;
+      scheduler = std::make_unique<engine::IncrementalScheduler>(iopt);
+    } else {
+      scheduler =
+          std::make_unique<engine::SupervisedScheduler>(guard_options);
+    }
     StreamingSink sink(request.stream_incumbents ? on_incumbent
                                                  : IncumbentCallback{});
     engine::Budget budget;
@@ -383,7 +440,28 @@ Response Service::handle(const Request& request,
                    std::chrono::duration<double>(request.deadline_sec));
     }
     const engine::ScheduleOutcome outcome =
-        scheduler.solve(*canonical_comms, budget, sink);
+        scheduler->solve(*canonical_comms, budget, sink, warm);
+    if (near) {
+      // hit = the repair (or the warm seed itself) produced the served
+      // schedule; reject = the warm start did not pay and the cold chain
+      // took over.
+      const bool warm_served = outcome.schedule.has_value() &&
+                               (outcome.strategy == "repair" ||
+                                outcome.strategy == "warm");
+      if (warm_served) {
+        res.near_miss = true;
+        nearmiss_hit_counter().add();
+        obs::flight_event("serve.nearmiss.hit", "serve",
+                          {{"fingerprint", res.fingerprint},
+                           {"strategy", outcome.strategy}});
+      } else {
+        nearmiss_reject_counter().add();
+        obs::flight_event("serve.nearmiss.reject", "serve",
+                          {{"fingerprint", res.fingerprint},
+                           {"strategy", outcome.strategy}},
+                          obs::Level::kWarn);
+      }
+    }
     res.incumbents = sink.improvements();
     res.status = outcome.status;
     res.strategy = outcome.strategy;

@@ -1,0 +1,151 @@
+#include "letdma/engine/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../test_fixtures.hpp"
+#include "letdma/let/let_comms.hpp"
+#include "letdma/model/diff.hpp"
+
+namespace letdma::engine {
+namespace {
+
+using model::CoreId;
+using model::TaskId;
+using support::ms;
+
+/// Fig.1 system with lB's size as a knob (the one-label diff stream).
+std::unique_ptr<model::Application> make_variant(std::int64_t lb_bytes) {
+  auto app = std::make_unique<model::Application>(model::Platform(2));
+  const TaskId t1 = app->add_task("tau1", ms(10), ms(2), CoreId{0});
+  const TaskId t3 = app->add_task("tau3", ms(20), ms(4), CoreId{0});
+  const TaskId t5 = app->add_task("tau5", ms(40), ms(8), CoreId{0});
+  const TaskId t2 = app->add_task("tau2", ms(5), ms(1), CoreId{1});
+  const TaskId t4 = app->add_task("tau4", ms(20), ms(4), CoreId{1});
+  const TaskId t6 = app->add_task("tau6", ms(40), ms(8), CoreId{1});
+  app->add_label("lA", 2000, t1, {t2});
+  app->add_label("lB", lb_bytes, t3, {t4});
+  app->add_label("lC", 8000, t5, {t6});
+  app->add_label("lD", 1000, t2, {t1});
+  app->add_label("lE", 3000, t4, {t3});
+  app->add_label("lF", 6000, t6, {t5});
+  app->finalize();
+  return app;
+}
+
+IncrementalOptions cheap_options() {
+  IncrementalOptions options;
+  options.guard.chain = {"ls", "greedy", "giotto"};
+  return options;
+}
+
+/// Cold supervised solve of one instance, as the "previous" state.
+let::ScheduleResult solve_prev(const let::LetComms& comms) {
+  GuardOptions g;
+  g.chain = {"ls", "greedy", "giotto"};
+  const auto [outcome, record] = solve_supervised(comms, g, 2.0);
+  EXPECT_TRUE(outcome.feasible());
+  return *outcome.schedule;
+}
+
+TEST(Incremental, RepairServesOnAWarmStart) {
+  const auto before = make_variant(4000);
+  const auto after = make_variant(9000);
+  const let::LetComms before_comms(*before);
+  const let::LetComms after_comms(*after);
+  const let::ScheduleResult prev = solve_prev(before_comms);
+  const model::ApplicationDiff d = model::diff(*before, *after);
+
+  IncrementalScheduler incremental(cheap_options());
+  SharedIncumbent sink;
+  WarmStart warm;
+  warm.schedule = &prev;
+  warm.diff = &d;
+  const ScheduleOutcome out =
+      incremental.solve(after_comms, Budget{2.0}, sink, warm);
+  ASSERT_TRUE(out.feasible());
+  EXPECT_EQ(out.strategy, "repair");
+  EXPECT_TRUE(schedule_valid(after_comms, *out.schedule));
+  const IncrementalRecord& record = incremental.last_record();
+  EXPECT_TRUE(record.warm_supplied);
+  EXPECT_TRUE(record.repair_attempted);
+  EXPECT_TRUE(record.repair_served);
+  EXPECT_FALSE(record.fell_through);
+  // The served repair is certified like a fresh solve.
+  EXPECT_TRUE(certify_outcome(after_comms, out,
+                              Objective::kMinMaxLatencyRatio)
+                  .certified());
+}
+
+TEST(Incremental, NoWarmStartFallsThroughToTheSupervisedChain) {
+  const auto app = testing::make_fig1_app();
+  const let::LetComms comms(*app);
+  IncrementalScheduler incremental(cheap_options());
+  SharedIncumbent sink;
+  const ScheduleOutcome out = incremental.solve(comms, Budget{2.0}, sink);
+  ASSERT_TRUE(out.feasible());
+  const IncrementalRecord& record = incremental.last_record();
+  EXPECT_FALSE(record.warm_supplied);
+  EXPECT_FALSE(record.repair_attempted);
+  EXPECT_TRUE(record.fell_through);
+}
+
+TEST(Incremental, ZeroBudgetReturnsThePriorCertifiedSchedule) {
+  // The zero-budget incremental call must serve the still-certified
+  // previous schedule (published into the sink as the "warm" incumbent by
+  // the supervised expired path) — not nothing, and not a fresh giotto.
+  const auto app = testing::make_fig1_app();
+  const let::LetComms comms(*app);
+  const let::ScheduleResult prev = solve_prev(comms);
+  IncrementalScheduler incremental(cheap_options());
+  SharedIncumbent sink;
+  WarmStart warm;
+  warm.schedule = &prev;  // identity diff: same instance
+  Budget spent;
+  spent.wall_sec = 0.0;
+  const ScheduleOutcome out = incremental.solve(comms, spent, sink, warm);
+  ASSERT_TRUE(out.feasible());
+  EXPECT_EQ(out.strategy, "warm");
+  EXPECT_EQ(out.schedule->s0_transfers.size(), prev.s0_transfers.size());
+  EXPECT_DOUBLE_EQ(
+      out.objective,
+      objective_of(comms, prev, Objective::kMinMaxLatencyRatio));
+  const IncrementalRecord& record = incremental.last_record();
+  EXPECT_TRUE(record.warm_supplied);
+  EXPECT_FALSE(record.repair_attempted);
+  EXPECT_TRUE(record.fell_through);
+}
+
+TEST(Incremental, FactoryBuildsIt) {
+  const auto factory = make_scheduler("incremental");
+  ASSERT_NE(factory, nullptr);
+  EXPECT_STREQ(factory->name(), "incremental");
+}
+
+TEST(Incremental, UntranslatableWarmStartStillProducesASchedule) {
+  // A warm start whose diff maps onto a structurally different instance
+  // (here: a hint from a different system with no matching comms) must not
+  // crash or serve garbage — the chain takes over.
+  const auto other = testing::make_multireader_app();
+  const auto target = make_variant(4000);
+  const let::LetComms other_comms(*other);
+  const let::LetComms target_comms(*target);
+  const let::ScheduleResult prev = solve_prev(other_comms);
+  const model::ApplicationDiff d = model::diff(*other, *target);
+  IncrementalScheduler incremental(cheap_options());
+  SharedIncumbent sink;
+  WarmStart warm;
+  warm.schedule = &prev;
+  warm.diff = &d;
+  const ScheduleOutcome out =
+      incremental.solve(target_comms, Budget{2.0}, sink, warm);
+  ASSERT_TRUE(out.feasible());
+  EXPECT_TRUE(schedule_valid(target_comms, *out.schedule));
+  EXPECT_TRUE(certify_outcome(target_comms, out,
+                              Objective::kMinMaxLatencyRatio)
+                  .certified());
+}
+
+}  // namespace
+}  // namespace letdma::engine

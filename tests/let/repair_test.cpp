@@ -1,0 +1,167 @@
+#include "letdma/let/repair.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "../test_fixtures.hpp"
+#include "letdma/let/compiled.hpp"
+#include "letdma/let/greedy.hpp"
+#include "letdma/let/latency.hpp"
+#include "letdma/let/let_comms.hpp"
+#include "letdma/let/validate.hpp"
+#include "letdma/model/diff.hpp"
+
+namespace letdma::let {
+namespace {
+
+using model::CoreId;
+using model::TaskId;
+using support::ms;
+
+/// Fig.1 system with lB resized and lF removed / lG added on demand.
+std::unique_ptr<model::Application> make_variant(std::int64_t lb_bytes,
+                                                 bool drop_lf = false,
+                                                 bool add_lg = false) {
+  auto app = std::make_unique<model::Application>(model::Platform(2));
+  const TaskId t1 = app->add_task("tau1", ms(10), ms(2), CoreId{0});
+  const TaskId t3 = app->add_task("tau3", ms(20), ms(4), CoreId{0});
+  const TaskId t5 = app->add_task("tau5", ms(40), ms(8), CoreId{0});
+  const TaskId t2 = app->add_task("tau2", ms(5), ms(1), CoreId{1});
+  const TaskId t4 = app->add_task("tau4", ms(20), ms(4), CoreId{1});
+  const TaskId t6 = app->add_task("tau6", ms(40), ms(8), CoreId{1});
+  app->add_label("lA", 2000, t1, {t2});
+  app->add_label("lB", lb_bytes, t3, {t4});
+  app->add_label("lC", 8000, t5, {t6});
+  app->add_label("lD", 1000, t2, {t1});
+  app->add_label("lE", 3000, t4, {t3});
+  if (!drop_lf) app->add_label("lF", 6000, t6, {t5});
+  if (add_lg) app->add_label("lG", 1500, t1, {t4});
+  app->finalize();
+  return app;
+}
+
+TEST(WarmStart, IdentityTranslationKeepsEveryCommAndGroup) {
+  const auto app = testing::make_fig1_app();
+  const LetComms comms(*app);
+  const CompiledComms compiled(comms);
+  const ScheduleResult prev = GreedyScheduler::best_latency_ratio(comms);
+  WarmStartStats stats;
+  const ScheduleResult seeded = warm_start(compiled, prev, nullptr, &stats);
+  EXPECT_EQ(stats.prev_groups,
+            static_cast<int>(prev.s0_transfers.size()));
+  EXPECT_EQ(stats.groups_kept, stats.prev_groups);
+  EXPECT_EQ(stats.comms_carried,
+            static_cast<int>(comms.comms_at_s0().size()));
+  EXPECT_EQ(stats.comms_dropped, 0);
+  EXPECT_EQ(stats.comms_added, 0);
+  EXPECT_EQ(seeded.s0_transfers.size(), prev.s0_transfers.size());
+  EXPECT_TRUE(
+      validate_schedule(comms, seeded.layout, seeded.schedule).ok());
+}
+
+TEST(WarmStart, TranslatesAcrossALabelResize) {
+  const auto before = make_variant(4000);
+  const auto after = make_variant(9000);
+  const LetComms before_comms(*before);
+  const LetComms after_comms(*after);
+  const CompiledComms compiled(after_comms);
+  const ScheduleResult prev =
+      GreedyScheduler::best_latency_ratio(before_comms);
+  const model::ApplicationDiff d = model::diff(*before, *after);
+  WarmStartStats stats;
+  const ScheduleResult seeded = warm_start(compiled, prev, &d, &stats);
+  // Same comm topology: everything carries, nothing is dropped or added.
+  EXPECT_EQ(stats.comms_carried,
+            static_cast<int>(after_comms.comms_at_s0().size()));
+  EXPECT_EQ(stats.comms_dropped, 0);
+  EXPECT_EQ(stats.comms_added, 0);
+  // The materialized transfers reflect the *new* label size: whichever
+  // group carries an lB communication moves at least its 9000 bytes.
+  const model::LabelId lb{1};  // "lB" is the second label in both
+  bool saw_lb = false;
+  for (const DmaTransfer& t : seeded.s0_transfers) {
+    for (const Communication& c : t.comms) {
+      if (c.label == lb) {
+        saw_lb = true;
+        EXPECT_GE(t.bytes, 9000);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_lb);
+  EXPECT_TRUE(
+      validate_schedule(after_comms, seeded.layout, seeded.schedule).ok());
+}
+
+TEST(WarmStart, DropsRemovedCommsAndAddsNewOnes) {
+  const auto before = make_variant(4000);
+  const auto after = make_variant(4000, /*drop_lf=*/true, /*add_lg=*/true);
+  const LetComms before_comms(*before);
+  const LetComms after_comms(*after);
+  const CompiledComms compiled(after_comms);
+  const ScheduleResult prev =
+      GreedyScheduler::best_latency_ratio(before_comms);
+  const model::ApplicationDiff d = model::diff(*before, *after);
+  WarmStartStats stats;
+  const ScheduleResult seeded = warm_start(compiled, prev, &d, &stats);
+  EXPECT_GT(stats.comms_dropped, 0);  // lF's comms are gone
+  EXPECT_GT(stats.comms_added, 0);    // lG's comms are new
+  // Everything the new instance requires is covered exactly once.
+  std::size_t covered = 0;
+  for (const DmaTransfer& t : seeded.s0_transfers) covered += t.comms.size();
+  EXPECT_EQ(covered, after_comms.comms_at_s0().size());
+  EXPECT_TRUE(
+      validate_schedule(after_comms, seeded.layout, seeded.schedule).ok());
+}
+
+TEST(Repair, ImprovesFromTheTranslatedSeed) {
+  const auto before = make_variant(4000);
+  const auto after = make_variant(9000);
+  const LetComms before_comms(*before);
+  const LetComms after_comms(*after);
+  const CompiledComms compiled(after_comms);
+  const ScheduleResult prev =
+      GreedyScheduler::best_latency_ratio(before_comms);
+  const model::ApplicationDiff d = model::diff(*before, *after);
+  const RepairResult r = repair(compiled, prev, &d);
+  ASSERT_TRUE(r.repaired);
+  EXPECT_TRUE(validate_schedule(after_comms, r.result.schedule.layout,
+                                r.result.schedule.schedule)
+                  .ok());
+  EXPECT_GE(r.result.evaluations, 0);
+  // The search never returns something worse than its seed.
+  WarmStartStats stats;
+  const ScheduleResult seeded = warm_start(compiled, prev, &d, &stats);
+  const auto seed_wc = worst_case_latencies(
+      after_comms, seeded.schedule, ReadinessSemantics::kProposed);
+  const auto out_wc = worst_case_latencies(
+      after_comms, r.result.schedule.schedule, ReadinessSemantics::kProposed);
+  double seed_worst = 0.0, out_worst = 0.0;
+  for (int t = 0; t < static_cast<int>(seed_wc.size()); ++t) {
+    const double period = static_cast<double>(
+        after->task(model::TaskId{t}).period);
+    seed_worst = std::max(
+        seed_worst,
+        static_cast<double>(seed_wc[static_cast<std::size_t>(t)]) / period);
+    out_worst = std::max(
+        out_worst,
+        static_cast<double>(out_wc[static_cast<std::size_t>(t)]) / period);
+  }
+  EXPECT_LE(out_worst, seed_worst + 1e-12);
+}
+
+TEST(Repair, IdentityRepairIsTriviallyFeasible) {
+  const auto app = testing::make_fig1_app();
+  const LetComms comms(*app);
+  const CompiledComms compiled(comms);
+  const ScheduleResult prev = GreedyScheduler::best_latency_ratio(comms);
+  const RepairResult r = repair(compiled, prev);
+  ASSERT_TRUE(r.repaired);
+  EXPECT_TRUE(validate_schedule(comms, r.result.schedule.layout,
+                                r.result.schedule.schedule)
+                  .ok());
+}
+
+}  // namespace
+}  // namespace letdma::let

@@ -208,5 +208,43 @@ TEST(Canonical, FingerprintBytesSeparatesCloseInputs) {
   EXPECT_NE(fingerprint_bytes(""), a);
 }
 
+TEST(Canonical, SingleTaskNoLabelsIsDegenerateButWellDefined) {
+  auto app = std::make_unique<Application>(Platform(1));
+  app->add_task("only", support::ms(10), support::ms(1), CoreId{0});
+  app->finalize();
+  const Canonicalization canon = canonicalize(*app);
+  EXPECT_TRUE(canon.exact);
+  EXPECT_EQ(canon.app->num_tasks(), 1);
+  EXPECT_EQ(canon.app->num_labels(), 0);
+  EXPECT_EQ(canon.fingerprint, canonicalize(*app).fingerprint);
+  // A rename does not change the structure.
+  auto renamed = std::make_unique<Application>(Platform(1));
+  renamed->add_task("other", support::ms(10), support::ms(1), CoreId{0});
+  renamed->finalize();
+  EXPECT_EQ(canonicalize(*renamed).fingerprint, canon.fingerprint);
+}
+
+TEST(Canonical, SingleLabelInstanceIsInvariantUnderPermutation) {
+  const auto app = testing::make_pair_app();
+  ASSERT_EQ(app->num_labels(), 1);
+  const Canonicalization canon = canonicalize(*app);
+  const auto permuted = permute_application(*app, {1, 0}, {0}, {1, 0});
+  EXPECT_EQ(canonicalize(*permuted).fingerprint, canon.fingerprint);
+  EXPECT_EQ(canonicalize(*permuted).text, canon.text);
+}
+
+TEST(Canonical, ZeroSizeLabelIsRejectedByTheModel) {
+  // Degenerate zero-size labels never reach canonicalization: the model
+  // rejects them at construction (sizes are clamped to [1, 2^40] at the
+  // io layer too), so canonical forms only ever carry positive sizes.
+  auto app = std::make_unique<Application>(Platform(2));
+  const TaskId prod =
+      app->add_task("P", support::ms(10), support::ms(1), CoreId{0});
+  const TaskId cons =
+      app->add_task("C", support::ms(10), support::ms(1), CoreId{1});
+  EXPECT_THROW(app->add_label("zero", 0, prod, {cons}), support::Error);
+  EXPECT_THROW(app->add_label("negative", -5, prod, {cons}), support::Error);
+}
+
 }  // namespace
 }  // namespace letdma::model

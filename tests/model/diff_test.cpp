@@ -1,0 +1,168 @@
+#include "letdma/model/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../test_fixtures.hpp"
+#include "letdma/model/canonical.hpp"
+#include "letdma/model/generator.hpp"
+#include "letdma/model/io.hpp"
+#include "letdma/support/error.hpp"
+
+namespace letdma::model {
+namespace {
+
+using support::ms;
+
+/// Fig.1 system with one label's size changed.
+std::unique_ptr<Application> make_fig1_resized(std::int64_t lb_bytes) {
+  auto app = std::make_unique<Application>(Platform(2));
+  const TaskId t1 = app->add_task("tau1", ms(10), ms(2), CoreId{0});
+  const TaskId t3 = app->add_task("tau3", ms(20), ms(4), CoreId{0});
+  const TaskId t5 = app->add_task("tau5", ms(40), ms(8), CoreId{0});
+  const TaskId t2 = app->add_task("tau2", ms(5), ms(1), CoreId{1});
+  const TaskId t4 = app->add_task("tau4", ms(20), ms(4), CoreId{1});
+  const TaskId t6 = app->add_task("tau6", ms(40), ms(8), CoreId{1});
+  app->add_label("lA", 2000, t1, {t2});
+  app->add_label("lB", lb_bytes, t3, {t4});
+  app->add_label("lC", 8000, t5, {t6});
+  app->add_label("lD", 1000, t2, {t1});
+  app->add_label("lE", 3000, t4, {t3});
+  app->add_label("lF", 6000, t6, {t5});
+  app->finalize();
+  return app;
+}
+
+TEST(Diff, IdentityDiffIsEmpty) {
+  const auto app = testing::make_fig1_app();
+  const ApplicationDiff d = diff(*app, *app);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(magnitude(d), 0.0);
+  EXPECT_EQ(d.summary(), "identical");
+  const auto rebuilt = apply_diff(*app, d);
+  EXPECT_EQ(write_application(*rebuilt), write_application(*app));
+}
+
+TEST(Diff, DetectsLabelSizeChange) {
+  const auto before = testing::make_fig1_app();
+  const auto after = make_fig1_resized(9000);
+  const ApplicationDiff d = diff(*before, *after);
+  EXPECT_FALSE(d.empty());
+  EXPECT_EQ(d.labels_changed(), 1);
+  EXPECT_EQ(d.labels_added(), 0);
+  EXPECT_EQ(d.labels_removed(), 0);
+  EXPECT_EQ(d.tasks_added() + d.tasks_removed() + d.tasks_changed(), 0);
+  EXPECT_DOUBLE_EQ(magnitude(d), 0.5);
+  // Survivor maps are the identity here.
+  for (int t = 0; t < before->num_tasks(); ++t) {
+    EXPECT_EQ(d.task_map[static_cast<std::size_t>(t)], t);
+  }
+}
+
+TEST(Diff, RenamedEntityIsRemovePlusAdd) {
+  const auto before = testing::make_pair_app();
+  auto after = std::make_unique<Application>(Platform(2));
+  const TaskId prod = after->add_task("PROD", ms(10), ms(10) / 4, CoreId{0});
+  const TaskId cons = after->add_task("CONS", ms(10), ms(10) / 4, CoreId{1});
+  after->add_label("y", 1000, prod, {cons});  // "x" renamed to "y"
+  after->finalize();
+  const ApplicationDiff d = diff(*before, *after);
+  EXPECT_EQ(d.labels_removed(), 1);
+  EXPECT_EQ(d.labels_added(), 1);
+  EXPECT_EQ(d.label_map[0], -1);
+  EXPECT_EQ(write_application(*apply_diff(*before, d)),
+            write_application(*after));
+}
+
+TEST(Diff, RoundTripsOnGeneratedPairs) {
+  // 100 generated instance pairs of varying size (sharing the generator's
+  // naming scheme, so the diff sees a mix of matched, changed, added and
+  // removed entities): apply_diff rebuilds the after side byte-identically.
+  for (int i = 0; i < 100; ++i) {
+    GeneratorOptions oa;
+    oa.num_cores = 2 + i % 3;
+    oa.num_tasks = 3 + i % 6;
+    oa.num_labels = 2 + i % 8;
+    oa.seed = 1000 + static_cast<std::uint64_t>(i);
+    GeneratorOptions ob = oa;
+    ob.num_tasks = 3 + (i + 2) % 6;
+    ob.num_labels = 2 + (i + 3) % 8;
+    ob.seed = 5000 + static_cast<std::uint64_t>(i);
+    const auto a = generate_application(oa);
+    const auto b = generate_application(ob);
+    const ApplicationDiff d = diff(*a, *b);
+    const auto rebuilt = apply_diff(*a, d);
+    ASSERT_EQ(write_application(*rebuilt), write_application(*b))
+        << "pair " << i << ": " << d.summary();
+    // The rebuilt instance diffs empty against the target.
+    EXPECT_TRUE(diff(*b, *rebuilt).empty()) << "pair " << i;
+  }
+}
+
+TEST(Diff, CarriesPlatformChange) {
+  const auto before = testing::make_fig1_app();
+  auto after = make_fig1_resized(4000);  // same model...
+  ASSERT_TRUE(diff(*before, *after).empty());
+  // ...now on a different platform.
+  Platform p(2);
+  DmaParams dma = p.dma();
+  dma.programming_overhead *= 2;
+  Platform changed(2, dma, p.cpu_copy());
+  auto moved = std::make_unique<Application>(changed);
+  for (int t = 0; t < before->num_tasks(); ++t) {
+    const Task& task = before->task(TaskId{t});
+    moved->add_task(task.name, task.period, task.wcet, task.core,
+                    task.priority);
+  }
+  for (int l = 0; l < before->num_labels(); ++l) {
+    const Label& label = before->label(LabelId{l});
+    moved->add_label(label.name, label.size_bytes, label.writer,
+                     label.readers);
+  }
+  moved->finalize();
+  const ApplicationDiff d = diff(*before, *moved);
+  EXPECT_TRUE(d.platform.has_value());
+  EXPECT_FALSE(d.empty());
+  EXPECT_EQ(write_application(*apply_diff(*before, d)),
+            write_application(*moved));
+}
+
+TEST(Diff, StructuralDistanceZeroForIsomorphicInstances) {
+  const auto app = testing::make_fig1_app();
+  const auto permuted = permute_application(*app, {5, 4, 3, 2, 1, 0},
+                                            {1, 0, 3, 2, 5, 4}, {1, 0});
+  EXPECT_DOUBLE_EQ(structural_distance(*app, *permuted), 0.0);
+}
+
+TEST(Diff, StructuralDistanceGrowsWithTheEdit) {
+  const auto base = testing::make_fig1_app();
+  const auto small = make_fig1_resized(9000);
+  const double d_small = structural_distance(*base, *small);
+  EXPECT_GT(d_small, 0.0);
+  EXPECT_LE(d_small, 1.0);
+  const auto big = testing::make_multireader_app();
+  const double d_big = structural_distance(*base, *big);
+  EXPECT_GT(d_big, d_small);
+  EXPECT_LE(d_big, 1.0);
+}
+
+TEST(Diff, CanonicalDistanceMatchesStructuralDistance) {
+  const auto a = testing::make_fig1_app();
+  const auto b = make_fig1_resized(9000);
+  const Canonicalization ca = canonicalize(*a);
+  const Canonicalization cb = canonicalize(*b);
+  EXPECT_DOUBLE_EQ(canonical_distance(*ca.app, *cb.app),
+                   structural_distance(*a, *b));
+}
+
+TEST(Diff, RequiresFinalizedApplications) {
+  const auto done = testing::make_pair_app();
+  Application raw{Platform(2)};
+  raw.add_task("a", ms(10), ms(1), CoreId{0});
+  EXPECT_THROW(diff(*done, raw), support::Error);
+  EXPECT_THROW(diff(raw, *done), support::Error);
+}
+
+}  // namespace
+}  // namespace letdma::model

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "../test_fixtures.hpp"
+#include "letdma/model/diff.hpp"
+#include "letdma/model/io.hpp"
+#include "letdma/serve/service.hpp"
+
+namespace letdma::serve {
+namespace {
+
+using model::CoreId;
+using model::TaskId;
+using support::ms;
+
+ServiceOptions fast_options() {
+  ServiceOptions options;
+  // Cheap chain: these tests exercise the near-miss path, not the MILP.
+  options.guard.chain = {"ls", "greedy", "giotto"};
+  return options;
+}
+
+/// Fig.1 system with lB's size as a knob: a one-label diff away from the
+/// fixture, well inside the default near-miss threshold.
+std::unique_ptr<model::Application> make_variant(std::int64_t lb_bytes) {
+  auto app = std::make_unique<model::Application>(model::Platform(2));
+  const TaskId t1 = app->add_task("tau1", ms(10), ms(2), CoreId{0});
+  const TaskId t3 = app->add_task("tau3", ms(20), ms(4), CoreId{0});
+  const TaskId t5 = app->add_task("tau5", ms(40), ms(8), CoreId{0});
+  const TaskId t2 = app->add_task("tau2", ms(5), ms(1), CoreId{1});
+  const TaskId t4 = app->add_task("tau4", ms(20), ms(4), CoreId{1});
+  const TaskId t6 = app->add_task("tau6", ms(40), ms(8), CoreId{1});
+  app->add_label("lA", 2000, t1, {t2});
+  app->add_label("lB", lb_bytes, t3, {t4});
+  app->add_label("lC", 8000, t5, {t6});
+  app->add_label("lD", 1000, t2, {t1});
+  app->add_label("lE", 3000, t4, {t3});
+  app->add_label("lF", 6000, t6, {t5});
+  app->finalize();
+  return app;
+}
+
+Request request_for(const model::Application& app, std::string id) {
+  Request req;
+  req.id = std::move(id);
+  req.model_text = model::write_application(app);
+  req.budget_sec = 2.0;
+  return req;
+}
+
+TEST(NearMiss, WarmStartsFromTheStructurallyClosestEntry) {
+  Service service(fast_options());
+  const auto base = make_variant(4000);
+  const Response seed = service.handle(request_for(*base, "seed"));
+  ASSERT_TRUE(seed.ok) << seed.error;
+  ASSERT_FALSE(seed.cache_hit);
+  EXPECT_FALSE(seed.near_miss);
+
+  // One label resized: a fingerprint miss, but structurally close.
+  const auto changed = make_variant(9000);
+  const Response near = service.handle(request_for(*changed, "near"));
+  ASSERT_TRUE(near.ok) << near.error;
+  EXPECT_FALSE(near.cache_hit);
+  EXPECT_TRUE(near.near_miss);
+  EXPECT_TRUE(near.certified);
+  EXPECT_NE(near.fingerprint, seed.fingerprint);
+  EXPECT_FALSE(near.schedule_text.empty());
+
+  // The repaired result was cached under its own fingerprint: the same
+  // instance again is now an exact hit, not a near miss.
+  const Response again = service.handle(request_for(*changed, "again"));
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_FALSE(again.near_miss);
+}
+
+TEST(NearMiss, ZeroThresholdDisablesTheScan) {
+  ServiceOptions options = fast_options();
+  options.nearmiss_max_distance = 0.0;
+  Service service(options);
+  const auto base = make_variant(4000);
+  ASSERT_TRUE(service.handle(request_for(*base, "seed")).ok);
+  const auto changed = make_variant(9000);
+  const Response miss = service.handle(request_for(*changed, "miss"));
+  ASSERT_TRUE(miss.ok) << miss.error;
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_FALSE(miss.near_miss);
+  EXPECT_TRUE(miss.certified);
+}
+
+TEST(NearMiss, DistantInstanceIsSolvedCold) {
+  Service service(fast_options());
+  const auto base = make_variant(4000);
+  ASSERT_TRUE(service.handle(request_for(*base, "seed")).ok);
+  // A structurally unrelated system: outside the distance threshold.
+  const auto other = testing::make_multireader_app();
+  ASSERT_GT(model::structural_distance(*base, *other),
+            fast_options().nearmiss_max_distance);
+  const Response cold = service.handle(request_for(*other, "cold"));
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_FALSE(cold.near_miss);
+  EXPECT_TRUE(cold.certified);
+}
+
+TEST(NearMiss, ObjectiveMismatchedEntriesAreSkipped) {
+  Service service(fast_options());
+  const auto base = make_variant(4000);
+  Request seed = request_for(*base, "seed");
+  seed.objective = engine::Objective::kMinTransfers;
+  ASSERT_TRUE(service.handle(seed).ok);
+  // Same neighbourhood, different objective: the cached dmat schedule must
+  // not warm-start a del solve.
+  const auto changed = make_variant(9000);
+  Request req = request_for(*changed, "del");
+  req.objective = engine::Objective::kMinMaxLatencyRatio;
+  const Response res = service.handle(req);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_FALSE(res.near_miss);
+  EXPECT_TRUE(res.certified);
+}
+
+TEST(NearMiss, RepairedNearMissMatchesAColdSolveQuality) {
+  // The near-miss response must be as good as solving the changed instance
+  // from scratch with the same chain/budget.
+  Service warm_service(fast_options());
+  const auto base = make_variant(4000);
+  ASSERT_TRUE(warm_service.handle(request_for(*base, "seed")).ok);
+  const auto changed = make_variant(9000);
+  const Response near = warm_service.handle(request_for(*changed, "near"));
+  ASSERT_TRUE(near.ok) << near.error;
+  ASSERT_TRUE(near.near_miss);
+
+  Service cold_service(fast_options());
+  const Response cold = cold_service.handle(request_for(*changed, "cold"));
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_LE(near.objective_value, cold.objective_value + 1e-9);
+}
+
+}  // namespace
+}  // namespace letdma::serve
